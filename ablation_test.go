@@ -1,0 +1,150 @@
+package vif_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/innetworkfiltering/vif/internal/enclave"
+	"github.com/innetworkfiltering/vif/internal/filter"
+	"github.com/innetworkfiltering/vif/internal/packet"
+	"github.com/innetworkfiltering/vif/internal/rules"
+	"github.com/innetworkfiltering/vif/internal/sketch"
+	"github.com/innetworkfiltering/vif/internal/trie"
+)
+
+// Ablation benchmarks for the design choices DESIGN.md §5 calls out.
+
+// --- trie stride: lookup speed and memory vs fan-out -------------------------
+
+func benchmarkStride(b *testing.B, stride int) {
+	rng := rand.New(rand.NewSource(1))
+	tbl, err := trie.New(stride)
+	if err != nil {
+		b.Fatal(err)
+	}
+	dst := rules.MustParsePrefix("192.0.2.0/24")
+	for i := 0; i < 3000; i++ {
+		tbl.Insert(rules.Rule{
+			ID:    uint32(i + 1),
+			Src:   rules.Prefix{Addr: rng.Uint32(), Len: 24}.Canonical(),
+			Dst:   dst,
+			Proto: packet.ProtoUDP,
+		}, i)
+	}
+	pkts := make([]packet.FiveTuple, 1024)
+	for i := range pkts {
+		pkts[i] = packet.FiveTuple{
+			SrcIP: rng.Uint32(), DstIP: packet.MustParseIP("192.0.2.1"), Proto: packet.ProtoUDP,
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tbl.Lookup(pkts[i&1023])
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(tbl.MemoryBytes())/1e6, "table-MB")
+}
+
+func BenchmarkAblationTrieStride4(b *testing.B)  { benchmarkStride(b, 4) }
+func BenchmarkAblationTrieStride8(b *testing.B)  { benchmarkStride(b, 8) }
+func BenchmarkAblationTrieStride16(b *testing.B) { benchmarkStride(b, 16) }
+
+// --- sketch geometry: memory vs bypass-detection noise ----------------------
+
+func benchmarkSketchGeometry(b *testing.B, rows, bins int) {
+	s, err := sketch.New(rows, bins)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var key [13]byte
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		key[0] = byte(i)
+		key[1] = byte(i >> 8)
+		s.Add(key[:], 1)
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(s.MemoryBytes())/1024, "sketch-KiB")
+}
+
+func BenchmarkAblationSketch2x64K(b *testing.B) { benchmarkSketchGeometry(b, 2, 1<<16) }
+func BenchmarkAblationSketch4x16K(b *testing.B) { benchmarkSketchGeometry(b, 4, 1<<14) }
+func BenchmarkAblationSketch2x4K(b *testing.B)  { benchmarkSketchGeometry(b, 2, 1<<12) }
+
+// --- hybrid connection preservation: hash-only vs promotion -----------------
+
+func benchmarkHybrid(b *testing.B, promote bool) {
+	rng := rand.New(rand.NewSource(2))
+	set, err := rules.NewSet([]rules.Rule{{
+		Dst:    rules.MustParsePrefix("192.0.2.0/24"),
+		Proto:  packet.ProtoTCP,
+		PAllow: 0.5,
+	}}, true)
+	if err != nil {
+		b.Fatal(err)
+	}
+	e, err := enclave.New(enclave.CodeIdentity{Name: "vif-filter", BinarySize: 1 << 20},
+		enclave.DefaultCostModel())
+	if err != nil {
+		b.Fatal(err)
+	}
+	f, err := filter.New(e, set, filter.Config{DisablePromotion: !promote})
+	if err != nil {
+		b.Fatal(err)
+	}
+	// A working set of 512 recurring flows (established connections).
+	flows := make([]packet.Descriptor, 512)
+	for i := range flows {
+		flows[i] = packet.Descriptor{
+			Tuple: packet.FiveTuple{
+				SrcIP: rng.Uint32(), DstIP: packet.MustParseIP("192.0.2.5"),
+				SrcPort: uint16(i + 1024), DstPort: 80, Proto: packet.ProtoTCP,
+			},
+			Size: 512, Ref: packet.NoRef,
+		}
+	}
+	if promote {
+		// Warm: first packets queue the flows; the update period promotes.
+		for _, d := range flows {
+			f.Process(d)
+		}
+		f.Promote()
+	}
+	e.ResetMeter()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.Process(flows[i&511])
+	}
+	b.StopTimer()
+	if n := b.N; n > 0 {
+		b.ReportMetric(e.VirtualNs()/float64(n), "modeled-ns/pkt")
+	}
+	st := f.Stats()
+	if promote && st.ExactHits == 0 {
+		b.Fatal("promotion bench never hit the exact table")
+	}
+}
+
+func BenchmarkAblationHashOnly(b *testing.B)      { benchmarkHybrid(b, false) }
+func BenchmarkAblationHybridPromote(b *testing.B) { benchmarkHybrid(b, true) }
+
+// --- ECall-per-packet vs ring-based data path (§V-A's optimization) ---------
+
+func BenchmarkAblationECallPerPacket(b *testing.B) {
+	// What the paper's context-switch optimization avoids: one ECall per
+	// packet instead of in-enclave ring polling.
+	e, err := enclave.New(enclave.CodeIdentity{Name: "vif-filter", BinarySize: 1 << 20},
+		enclave.DefaultCostModel())
+	if err != nil {
+		b.Fatal(err)
+	}
+	e.ResetMeter()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.ChargeECall()
+	}
+	b.StopTimer()
+	if b.N > 0 {
+		b.ReportMetric(e.VirtualNs()/float64(b.N), "modeled-ns/pkt")
+	}
+}

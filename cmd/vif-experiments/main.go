@@ -1,0 +1,81 @@
+// Command vif-experiments regenerates the tables and figures of the VIF
+// paper's evaluation (§V, §VI-C, and the appendices).
+//
+// Usage:
+//
+//	vif-experiments                 # run everything, quick scale
+//	vif-experiments -run fig8       # one experiment
+//	vif-experiments -run fig11 -full -seed 7
+//	vif-experiments -list
+//
+// Quick mode (the default) scales down the slowest sweeps; -full runs at
+// paper scale. Every experiment is deterministic for a given -seed.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"github.com/innetworkfiltering/vif/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "vif-experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out *os.File) error {
+	fs := flag.NewFlagSet("vif-experiments", flag.ContinueOnError)
+	var (
+		runID = fs.String("run", "", "experiment id to run (default: all); see -list")
+		full  = fs.Bool("full", false, "paper-scale sweeps instead of quick mode")
+		seed  = fs.Int64("seed", 1, "seed for all random draws")
+		list  = fs.Bool("list", false, "list experiments and exit")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *list {
+		for _, r := range experiments.All() {
+			fmt.Fprintf(out, "%-8s %s\n", r.ID, r.Desc)
+		}
+		return nil
+	}
+
+	cfg := experiments.Config{Quick: !*full, Seed: *seed}
+	var runners []experiments.Runner
+	if *runID == "" {
+		runners = experiments.All()
+	} else {
+		for _, id := range strings.Split(*runID, ",") {
+			r, ok := experiments.ByID(strings.TrimSpace(id))
+			if !ok {
+				return fmt.Errorf("unknown experiment %q (use -list)", id)
+			}
+			runners = append(runners, r)
+		}
+	}
+
+	mode := "quick"
+	if *full {
+		mode = "full"
+	}
+	fmt.Fprintf(out, "VIF evaluation reproduction — %d experiment(s), %s mode, seed %d\n\n",
+		len(runners), mode, *seed)
+	for _, r := range runners {
+		start := time.Now()
+		res, err := r.Run(cfg)
+		if err != nil {
+			return fmt.Errorf("%s: %w", r.ID, err)
+		}
+		fmt.Fprint(out, res.Render())
+		fmt.Fprintf(out, "(%s in %v)\n\n", r.ID, time.Since(start).Round(time.Millisecond))
+	}
+	return nil
+}

@@ -1,0 +1,65 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// capture runs run() with stdout redirected to a temp file.
+func capture(t *testing.T, args []string) (string, error) {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "out")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runErr := run(args, f)
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(data), runErr
+}
+
+func TestList(t *testing.T) {
+	out, err := capture(t, []string{"-list"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []string{"fig3a", "fig8", "fig11", "table1", "attest"} {
+		if !strings.Contains(out, id) {
+			t.Errorf("listing missing %q", id)
+		}
+	}
+}
+
+func TestRunSingleExperiment(t *testing.T) {
+	out, err := capture(t, []string{"-run", "table3", "-seed", "2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "AMS-IX") || !strings.Contains(out, "IXPN Lagos") {
+		t.Fatalf("table3 output incomplete:\n%s", out)
+	}
+}
+
+func TestRunCommaSeparated(t *testing.T) {
+	out, err := capture(t, []string{"-run", "fig3b,attest"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "fig3b") || !strings.Contains(out, "attest") {
+		t.Fatalf("multi-run output incomplete:\n%s", out)
+	}
+}
+
+func TestUnknownExperiment(t *testing.T) {
+	if _, err := capture(t, []string{"-run", "fig99"}); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}

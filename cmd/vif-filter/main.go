@@ -1,0 +1,199 @@
+// Command vif-filter runs a standalone VIF filter node: one simulated SGX
+// enclave hosting the auditable filter, fed by synthetic attack traffic,
+// reporting throughput, verdict counters, and authenticated log digests.
+//
+// It is the single-box demonstrator of the paper's §V testbed:
+//
+//	vif-filter -rules rules.txt -pps 2000000 -duration 5s
+//	vif-filter -rules rules.txt -mode full-copy -size 64
+//
+// The rules file uses the textual rule form, one per line, with an
+// optional leading "default allow|drop" line:
+//
+//	default allow
+//	drop udp from 10.0.0.0/8 to 192.0.2.0/24 dport 53
+//	drop 50% tcp from any to 192.0.2.0/24 dport 80
+package main
+
+import (
+	"crypto/sha256"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"github.com/innetworkfiltering/vif/internal/enclave"
+	"github.com/innetworkfiltering/vif/internal/filter"
+	"github.com/innetworkfiltering/vif/internal/netsim"
+	"github.com/innetworkfiltering/vif/internal/packet"
+	"github.com/innetworkfiltering/vif/internal/pipeline"
+	"github.com/innetworkfiltering/vif/internal/rules"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "vif-filter:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("vif-filter", flag.ContinueOnError)
+	var (
+		rulesPath = fs.String("rules", "", "path to rules file (default: built-in demo rules)")
+		modeStr   = fs.String("mode", "near-zero-copy", "data path: native | full-copy | near-zero-copy")
+		size      = fs.Int("size", 64, "frame size in bytes")
+		duration  = fs.Duration("duration", 2*time.Second, "how long to generate traffic")
+		seed      = fs.Int64("seed", 1, "traffic generator seed")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	set, err := loadRules(*rulesPath)
+	if err != nil {
+		return err
+	}
+	mode, err := parseMode(*modeStr)
+	if err != nil {
+		return err
+	}
+
+	e, err := enclave.New(enclave.CodeIdentity{
+		Name: "vif-filter", Version: "1.0.0", Config: *modeStr, BinarySize: 1 << 20,
+	}, enclave.DefaultCostModel())
+	if err != nil {
+		return err
+	}
+	f, err := filter.New(e, set, filter.Config{Mode: mode})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "enclave %d measurement %x\n", e.ID(), e.Measurement())
+	fmt.Fprintf(out, "rules: %d, default %s, mode %s\n",
+		set.Len(), defaultWord(set.DefaultAllow), mode)
+
+	p, err := pipeline.New(f, nil, pipeline.Config{})
+	if err != nil {
+		return err
+	}
+	if err := p.Start(); err != nil {
+		return err
+	}
+	defer p.Stop()
+
+	gen := netsim.NewFlowGen(*seed, victimBase(set), 24)
+	frame := make([]byte, *size)
+	deadline := time.Now().Add(*duration)
+	start := time.Now()
+	injected := 0
+	for time.Now().Before(deadline) {
+		for burst := 0; burst < 256; burst++ {
+			packet.SynthesizeInto(frame, gen.Next())
+			if p.Inject(frame) {
+				injected++
+			}
+		}
+	}
+	p.WaitDrained()
+	elapsed := time.Since(start)
+
+	c := p.Counters()
+	st := f.Stats()
+	pps := float64(c.RxPackets) / elapsed.Seconds()
+	fmt.Fprintf(out, "\nwall-clock: %v, injected %d frames (%.2f Mpps, %.2f Gb/s at %dB)\n",
+		elapsed.Round(time.Millisecond), injected, pps/1e6,
+		pipeline.ThroughputBps(pps, *size)/1e9, *size)
+	fmt.Fprintf(out, "verdicts: allowed %d, dropped %d (rule hits %d, hash evals %d, default %d)\n",
+		st.Allowed, st.Dropped, st.RuleHits, st.Hashed, st.DefaultHits)
+	fmt.Fprintf(out, "modeled enclave time: %.0f ns/pkt; EPC in use: %.1f MB\n",
+		e.VirtualNs()/float64(st.Processed), float64(e.MemoryUsed())/1e6)
+
+	for _, kind := range []filter.LogKind{filter.LogIncoming, filter.LogOutgoing} {
+		snap, err := f.Snapshot(kind, 1)
+		if err != nil {
+			return err
+		}
+		digest := sha256.Sum256(snap.Data)
+		fmt.Fprintf(out, "%s log: %d bytes, digest %x..., MAC %x...\n",
+			kind, len(snap.Data), digest[:8], snap.MAC[:8])
+	}
+	return nil
+}
+
+func loadRules(path string) (*rules.Set, error) {
+	if path == "" {
+		return rules.NewSet([]rules.Rule{
+			rules.MustParse("drop udp from any to 192.0.2.0/24 dport 53"),
+			rules.MustParse("drop 50% tcp from any to 192.0.2.0/24 dport 80"),
+		}, true)
+	}
+	text, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return parseRulesFile(string(text))
+}
+
+// parseRulesFile accepts plain one-rule-per-line files with an optional
+// "default allow|drop" first line and # comments.
+func parseRulesFile(text string) (*rules.Set, error) {
+	defaultAllow := true
+	var rs []rules.Rule
+	for i, line := range strings.Split(text, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if strings.HasPrefix(line, "default ") {
+			switch strings.TrimPrefix(line, "default ") {
+			case "allow":
+				defaultAllow = true
+			case "drop":
+				defaultAllow = false
+			default:
+				return nil, fmt.Errorf("line %d: bad default %q", i+1, line)
+			}
+			continue
+		}
+		r, err := rules.Parse(line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", i+1, err)
+		}
+		rs = append(rs, r)
+	}
+	return rules.NewSet(rs, defaultAllow)
+}
+
+func parseMode(s string) (filter.CopyMode, error) {
+	switch s {
+	case "native":
+		return filter.CopyModeNative, nil
+	case "full-copy":
+		return filter.CopyModeFull, nil
+	case "near-zero-copy":
+		return filter.CopyModeNearZero, nil
+	default:
+		return 0, fmt.Errorf("unknown mode %q", s)
+	}
+}
+
+func defaultWord(allow bool) string {
+	if allow {
+		return "allow"
+	}
+	return "drop"
+}
+
+// victimBase picks the destination prefix traffic should target: the first
+// rule's destination, falling back to TEST-NET-1.
+func victimBase(set *rules.Set) uint32 {
+	for _, r := range set.Rules {
+		if !r.Dst.IsAny() {
+			return r.Dst.Addr
+		}
+	}
+	return packet.MustParseIP("192.0.2.0")
+}

@@ -1,0 +1,98 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/innetworkfiltering/vif/internal/filter"
+)
+
+func TestParseRulesFile(t *testing.T) {
+	set, err := parseRulesFile(`
+# amplification defense
+default drop
+drop udp from 10.0.0.0/8 to 192.0.2.0/24 dport 53
+allow tcp from any to 192.0.2.0/24 dport 443
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if set.DefaultAllow {
+		t.Error("default drop not honored")
+	}
+	if set.Len() != 2 {
+		t.Errorf("rules = %d, want 2", set.Len())
+	}
+}
+
+func TestParseRulesFileErrors(t *testing.T) {
+	tests := []string{
+		"default maybe",
+		"drop nonsense from any to any",
+		"", // no rules at all
+	}
+	for _, give := range tests {
+		if _, err := parseRulesFile(give); err == nil {
+			t.Errorf("parseRulesFile(%q): want error", give)
+		}
+	}
+}
+
+func TestParseMode(t *testing.T) {
+	tests := []struct {
+		give string
+		want filter.CopyMode
+		ok   bool
+	}{
+		{"native", filter.CopyModeNative, true},
+		{"full-copy", filter.CopyModeFull, true},
+		{"near-zero-copy", filter.CopyModeNearZero, true},
+		{"turbo", 0, false},
+	}
+	for _, tt := range tests {
+		got, err := parseMode(tt.give)
+		if (err == nil) != tt.ok || got != tt.want {
+			t.Errorf("parseMode(%q) = %v, %v", tt.give, got, err)
+		}
+	}
+}
+
+func TestRunEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	rulesPath := filepath.Join(dir, "rules.txt")
+	err := os.WriteFile(rulesPath, []byte(
+		"default allow\ndrop udp from any to 192.0.2.0/24 dport 53\n"), 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	start := time.Now()
+	if err := run([]string{
+		"-rules", rulesPath, "-duration", "200ms", "-size", "128",
+	}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if time.Since(start) > 30*time.Second {
+		t.Fatal("run took far longer than the requested duration")
+	}
+	text := out.String()
+	for _, want := range []string{"measurement", "verdicts:", "incoming log", "outgoing log"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("output missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-mode", "bogus"}, &out); err == nil {
+		t.Fatal("bogus mode accepted")
+	}
+	if err := run([]string{"-rules", "/nonexistent/rules.txt"}, &out); err == nil {
+		t.Fatal("missing rules file accepted")
+	}
+}

@@ -1,0 +1,78 @@
+package main
+
+import (
+	"bytes"
+	"encoding/binary"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/innetworkfiltering/vif/internal/packet"
+)
+
+func TestRunWritesParsableFrames(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "traffic.bin")
+	var stdout bytes.Buffer
+	err := run([]string{
+		"-count", "500", "-size", "128", "-attack", "0.5", "-out", out,
+	}, &stdout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(stdout.String(), "generated 500 frames") {
+		t.Fatalf("stdout: %s", stdout.String())
+	}
+
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frames, attacks := 0, 0
+	for off := 0; off < len(data); {
+		if off+4 > len(data) {
+			t.Fatal("truncated length prefix")
+		}
+		n := int(binary.BigEndian.Uint32(data[off : off+4]))
+		off += 4
+		if off+n > len(data) {
+			t.Fatal("truncated frame")
+		}
+		tuple, err := packet.Parse(data[off : off+n])
+		if err != nil {
+			t.Fatalf("frame %d unparsable: %v", frames, err)
+		}
+		if tuple.SrcPort == 53 && tuple.Proto == packet.ProtoUDP {
+			attacks++
+		}
+		off += n
+		frames++
+	}
+	if frames != 500 {
+		t.Fatalf("frames = %d", frames)
+	}
+	if attacks < 200 || attacks > 300 {
+		t.Fatalf("attack frames = %d, want ≈250", attacks)
+	}
+}
+
+func TestRunStatsOnly(t *testing.T) {
+	var stdout bytes.Buffer
+	if err := run([]string{"-count", "100"}, &stdout); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(stdout.String(), "generated 100 frames") {
+		t.Fatalf("stdout: %s", stdout.String())
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	var stdout bytes.Buffer
+	if err := run([]string{"-attack", "1.5"}, &stdout); err == nil {
+		t.Fatal("attack > 1 accepted")
+	}
+	if err := run([]string{"-victim", "garbage"}, &stdout); err == nil {
+		t.Fatal("garbage victim accepted")
+	}
+}

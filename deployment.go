@@ -1,0 +1,133 @@
+package vif
+
+import (
+	"crypto/ecdsa"
+	"errors"
+	"fmt"
+
+	"github.com/innetworkfiltering/vif/internal/attest"
+	"github.com/innetworkfiltering/vif/internal/bgp"
+	"github.com/innetworkfiltering/vif/internal/cluster"
+	"github.com/innetworkfiltering/vif/internal/dist"
+	"github.com/innetworkfiltering/vif/internal/enclave"
+	"github.com/innetworkfiltering/vif/internal/filter"
+	"github.com/innetworkfiltering/vif/internal/lb"
+	"github.com/innetworkfiltering/vif/internal/rpki"
+	"github.com/innetworkfiltering/vif/internal/rules"
+)
+
+// ErrUnauthorized rejects filtering requests failing RPKI origin
+// validation.
+var ErrUnauthorized = rpki.ErrUnauthorized
+
+// DeploymentConfig sizes a VIF filtering service (Figure 10's IXP rack).
+type DeploymentConfig struct {
+	// Name identifies the filtering network (e.g. "AMS-IX").
+	Name string
+	// Identity is the enclave code identity loaded on every filter;
+	// defaults to FilterIdentity().
+	Identity CodeIdentity
+	// CostModel is the SGX platform model; defaults to the calibrated
+	// DefaultCostModel.
+	CostModel *enclave.CostModel
+	// PerEnclaveGbps is each enclave's line rate (paper: 10 Gb/s).
+	PerEnclaveGbps float64
+	// MaxRulesPerEnclave is the per-enclave rule budget (paper: ~3,000
+	// before the Figure 3a cliff).
+	MaxRulesPerEnclave int
+	// MaxEnclaves caps scale-out (50 enclaves ≈ the paper's 500 Gb/s
+	// deployment example).
+	MaxEnclaves int
+	// LBFaults optionally makes the untrusted load balancer misbehave,
+	// for adversarial experiments.
+	LBFaults lb.Faults
+}
+
+func (c *DeploymentConfig) fillDefaults() {
+	if c.Identity == (CodeIdentity{}) {
+		c.Identity = FilterIdentity()
+	}
+	if c.CostModel == nil {
+		m := enclave.DefaultCostModel()
+		c.CostModel = &m
+	}
+	if c.PerEnclaveGbps == 0 {
+		c.PerEnclaveGbps = 10
+	}
+	if c.MaxRulesPerEnclave == 0 {
+		c.MaxRulesPerEnclave = 3000
+	}
+	if c.MaxEnclaves == 0 {
+		c.MaxEnclaves = 50
+	}
+}
+
+// Deployment is a VIF filtering service operated by a transit network.
+// It owns the attestation platform, the RPKI validation cache, and the
+// enclave fleet of each victim session.
+type Deployment struct {
+	cfg      DeploymentConfig
+	service  *attest.Service
+	platform *attest.Platform
+	registry *rpki.Registry
+}
+
+// NewDeployment stands up a filtering service whose platform is certified
+// by the given attestation service. The registry authorizes victims'
+// filtering requests (it would be fed from the public RPKI).
+func NewDeployment(cfg DeploymentConfig, service *attest.Service, registry *rpki.Registry) (*Deployment, error) {
+	cfg.fillDefaults()
+	if service == nil || registry == nil {
+		return nil, errors.New("vif: deployment needs an attestation service and an RPKI registry")
+	}
+	platform, err := service.CertifyPlatform(cfg.Name)
+	if err != nil {
+		return nil, fmt.Errorf("vif: certify platform: %w", err)
+	}
+	return &Deployment{
+		cfg:      cfg,
+		service:  service,
+		platform: platform,
+		registry: registry,
+	}, nil
+}
+
+// Name returns the filtering network's name.
+func (d *Deployment) Name() string { return d.cfg.Name }
+
+// Identity returns the enclave code identity the deployment loads.
+func (d *Deployment) Identity() CodeIdentity { return d.cfg.Identity }
+
+// ServiceRoot returns the attestation service's verification key
+// (published out of band; victims pin it).
+func (d *Deployment) ServiceRoot() ecdsa.PublicKey { return d.service.RootPublicKey() }
+
+// startCluster builds the enclave fleet for one authorized rule set.
+func (d *Deployment) startCluster(set *rules.Set) (*cluster.Cluster, error) {
+	epc := float64(d.cfg.CostModel.EPCBytes)
+	return cluster.New(cluster.Config{
+		Identity: d.cfg.Identity,
+		Model:    *d.cfg.CostModel,
+		Platform: d.platform,
+		Dist: dist.Instance{
+			G:      d.cfg.PerEnclaveGbps * 1e9,
+			M:      epc,
+			U:      epc / float64(d.cfg.MaxRulesPerEnclave),
+			V:      2e6,
+			Alpha:  1,
+			Lambda: 0.2,
+		},
+		MaxEnclaves: d.cfg.MaxEnclaves,
+		Faults:      d.cfg.LBFaults,
+	}, set)
+}
+
+// authorize gates a victim's request on RPKI origin validation.
+func (d *Deployment) authorize(victim bgp.ASN, set *rules.Set) error {
+	return d.registry.AuthorizeFilterRequest(victim, set)
+}
+
+// snapshot relays an authenticated log snapshot request to the fleet.
+func (d *Deployment) snapshot(c *cluster.Cluster, kind filter.LogKind, seq uint64) ([]*filter.SignedSnapshot, map[uint64][32]byte, error) {
+	return c.Snapshots(kind, seq)
+}

@@ -1,0 +1,75 @@
+// Scaleout demonstrates §IV at the paper's headline scale: 150,000 filter
+// rules carrying 500 Gb/s of lognormally distributed traffic, distributed
+// across ~10 Gb/s enclaves by the greedy algorithm (Algorithm 1), then a
+// traffic shift and a Figure 5 master/slave redistribution round.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"time"
+
+	"github.com/innetworkfiltering/vif/internal/dist"
+	"github.com/innetworkfiltering/vif/internal/netsim"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	const (
+		k     = 150000
+		total = 500e9 // 500 Gb/s
+	)
+	rng := rand.New(rand.NewSource(1))
+
+	// Measured per-rule bandwidths (lognormal, as in §V-C), pre-split so
+	// no single rule exceeds one enclave's capacity.
+	b := netsim.LognormalBandwidths(rng, k, total, netsim.DefaultSigma)
+	b, splits := netsim.ClampToCapacity(b, 10e9)
+	in := dist.Instance{
+		B: b, G: 10e9, M: 92e6, U: 92e6 / 3000, V: 2e6, Alpha: 1, Lambda: 0.2,
+	}
+	fmt.Printf("problem: %d rules (%d oversize splits), %.0f Gb/s total\n",
+		len(in.B), splits, total/1e9)
+	fmt.Printf("minimum enclaves: %d (bandwidth %.0f Gb/s each, ≤%d rules each)\n",
+		in.MinEnclaves(), in.G/1e9, in.MaxRulesPerEnclave())
+
+	start := time.Now()
+	alloc, err := dist.Greedy(in, dist.GreedyOptions{})
+	if err != nil {
+		return err
+	}
+	elapsed := time.Since(start)
+	if err := in.Check(alloc); err != nil {
+		return fmt.Errorf("allocation failed validation: %w", err)
+	}
+	fmt.Printf("greedy solved in %v: %d enclaves, bottleneck %.2f Gb/s / %d rules\n",
+		elapsed.Round(time.Millisecond), alloc.N, alloc.MaxLoad/1e9, alloc.MaxRules)
+	fmt.Printf("(paper: no more than 40 s for the same sweep)\n\n")
+
+	// Traffic shifts: a DDoS pulse concentrates on 1% of the rules.
+	// The Figure 5 protocol recomputes placements from fresh B_i.
+	fmt.Println("traffic shift: 100x surge on 1% of rules; redistributing...")
+	for i := 0; i < len(in.B); i += 100 {
+		in.B[i] *= 100
+	}
+	in.B, _ = netsim.ClampToCapacity(in.B, 10e9)
+	start = time.Now()
+	realloc, err := dist.Greedy(in, dist.GreedyOptions{})
+	if err != nil {
+		return err
+	}
+	if err := in.Check(realloc); err != nil {
+		return fmt.Errorf("reallocation failed validation: %w", err)
+	}
+	fmt.Printf("redistribution in %v: %d enclaves, bottleneck %.2f Gb/s / %d rules\n",
+		time.Since(start).Round(time.Millisecond), realloc.N,
+		realloc.MaxLoad/1e9, realloc.MaxRules)
+	fmt.Println("near-real-time reconfiguration at 150K-rule scale — the paper's §V-C claim")
+	return nil
+}

@@ -1,0 +1,131 @@
+// Package attack synthesizes the two attack-source datasets of §VI-C —
+// vulnerable open DNS resolvers (the paper used 3M addresses from the
+// DNS-OARC scan) and Mirai botnet IPs (250K from Bad Packets) — as
+// distributions of source counts over the ASes of a synthetic topology.
+//
+// The real datasets are not redistributable; what Figure 11 measures is
+// the *fraction* of sources whose route crosses a VIF IXP, which depends
+// on where sources sit in the AS hierarchy, not on absolute counts. The
+// generators therefore reproduce the datasets' placement character:
+//
+//   - Open resolvers are everywhere DNS servers are — spread broadly
+//     across regions and across both transit and edge ASes, roughly
+//     proportional to network size.
+//   - Mirai bots live in consumer edge networks, heavily skewed toward a
+//     few large residential ISPs and toward particular regions (the 2016
+//     outbreak concentrated in a handful of countries).
+package attack
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"github.com/innetworkfiltering/vif/internal/bgp"
+	"github.com/innetworkfiltering/vif/internal/ixp"
+)
+
+// DefaultResolverCount scales the paper's 3M resolvers into simulation
+// range (coverage ratios are count-invariant; see package comment).
+const DefaultResolverCount = 30000
+
+// DefaultMiraiCount scales the paper's 250K bots likewise.
+const DefaultMiraiCount = 25000
+
+// DNSResolvers synthesizes the open-resolver set over a topology.
+func DNSResolvers(inet *bgp.Internet, count int, seed int64) (*ixp.SourceSet, error) {
+	if count <= 0 {
+		return nil, fmt.Errorf("attack: count %d", count)
+	}
+	rng := rand.New(rand.NewSource(seed))
+
+	// Candidate hosts: all stubs plus tier-2s (hosting providers run many
+	// open resolvers). Weight ∝ exp(N(0, 0.8)): broad, mildly skewed.
+	var (
+		ases    []bgp.ASN
+		weights []float64
+	)
+	for r := range inet.Stubs {
+		for _, a := range inet.Stubs[r] {
+			ases = append(ases, a)
+			weights = append(weights, math.Exp(rng.NormFloat64()*0.8))
+		}
+		for _, a := range inet.Tier2[r] {
+			ases = append(ases, a)
+			// Transit/hosting ASes run more resolvers.
+			weights = append(weights, 2*math.Exp(rng.NormFloat64()*0.8))
+		}
+	}
+	set := &ixp.SourceSet{Name: "vulnerable-dns-resolvers", PerAS: make(map[bgp.ASN]int)}
+	distribute(set.PerAS, ases, weights, count, rng)
+	return set, nil
+}
+
+// MiraiRegionWeights skews bots toward the regions the 2016 outbreak hit
+// hardest (indexed like ixp.RegionNames: Europe, North America, South
+// America, Asia-Pacific, Africa).
+var MiraiRegionWeights = []float64{0.15, 0.12, 0.28, 0.35, 0.10}
+
+// MiraiBots synthesizes the botnet set: stub-only, region-skewed, and
+// heavily concentrated (lognormal σ=2: a few consumer ISPs contribute
+// most of the bots).
+func MiraiBots(inet *bgp.Internet, count int, seed int64) (*ixp.SourceSet, error) {
+	if count <= 0 {
+		return nil, fmt.Errorf("attack: count %d", count)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	var (
+		ases    []bgp.ASN
+		weights []float64
+	)
+	for r := range inet.Stubs {
+		regionW := 0.05
+		if r < len(MiraiRegionWeights) {
+			regionW = MiraiRegionWeights[r]
+		}
+		for _, a := range inet.Stubs[r] {
+			ases = append(ases, a)
+			weights = append(weights, regionW*math.Exp(rng.NormFloat64()*2.0))
+		}
+	}
+	set := &ixp.SourceSet{Name: "mirai-botnet", PerAS: make(map[bgp.ASN]int)}
+	distribute(set.PerAS, ases, weights, count, rng)
+	return set, nil
+}
+
+// distribute allocates count sources across ases proportionally to
+// weights: integer parts exactly, the remainder by fractional-part coin
+// flips, so the total is exact and the draw deterministic per seed.
+func distribute(perAS map[bgp.ASN]int, ases []bgp.ASN, weights []float64, count int, rng *rand.Rand) {
+	var total float64
+	for _, w := range weights {
+		total += w
+	}
+	if total <= 0 || len(ases) == 0 {
+		return
+	}
+	type frac struct {
+		as bgp.ASN
+		f  float64
+	}
+	rem := make([]frac, 0, len(ases))
+	assigned := 0
+	for i, a := range ases {
+		exact := weights[i] / total * float64(count)
+		base := int(exact)
+		if base > 0 {
+			perAS[a] += base
+			assigned += base
+		}
+		rem = append(rem, frac{as: a, f: exact - float64(base)})
+	}
+	for assigned < count && len(rem) > 0 {
+		i := rng.Intn(len(rem))
+		if rem[i].f == 0 || rng.Float64() < rem[i].f {
+			perAS[rem[i].as]++
+			assigned++
+			rem[i] = rem[len(rem)-1]
+			rem = rem[:len(rem)-1]
+		}
+	}
+}

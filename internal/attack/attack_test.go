@@ -1,0 +1,188 @@
+package attack
+
+import (
+	"math"
+	"testing"
+
+	"github.com/innetworkfiltering/vif/internal/bgp"
+)
+
+func testInternet(t testing.TB) *bgp.Internet {
+	t.Helper()
+	inet, err := bgp.Generate(bgp.GenConfig{
+		Regions: 5, Tier1PerRegion: 2, Tier2PerRegion: 10, StubsPerRegion: 120, Seed: 11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return inet
+}
+
+func TestDNSResolversExactCount(t *testing.T) {
+	inet := testInternet(t)
+	set, err := DNSResolvers(inet, 10000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := set.Total(); got != 10000 {
+		t.Fatalf("Total = %d, want 10000", got)
+	}
+	if set.Name != "vulnerable-dns-resolvers" {
+		t.Fatalf("Name = %q", set.Name)
+	}
+}
+
+func TestMiraiExactCount(t *testing.T) {
+	inet := testInternet(t)
+	set, err := MiraiBots(inet, 5000, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := set.Total(); got != 5000 {
+		t.Fatalf("Total = %d, want 5000", got)
+	}
+}
+
+func TestCountValidation(t *testing.T) {
+	inet := testInternet(t)
+	if _, err := DNSResolvers(inet, 0, 1); err == nil {
+		t.Fatal("zero count accepted")
+	}
+	if _, err := MiraiBots(inet, -5, 1); err == nil {
+		t.Fatal("negative count accepted")
+	}
+}
+
+func TestResolversSpreadBroadly(t *testing.T) {
+	// Open resolvers must appear in every region and on many ASes.
+	inet := testInternet(t)
+	set, err := DNSResolvers(inet, 20000, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perRegion := make(map[int]int)
+	for as, n := range set.PerAS {
+		r, err := inet.Topo.RegionOf(as)
+		if err != nil {
+			t.Fatal(err)
+		}
+		perRegion[r] += n
+	}
+	for r := 0; r < 5; r++ {
+		if perRegion[r] < 1000 {
+			t.Fatalf("region %d has only %d resolvers: not broad", r, perRegion[r])
+		}
+	}
+	if len(set.PerAS) < 300 {
+		t.Fatalf("resolvers on only %d ASes", len(set.PerAS))
+	}
+}
+
+func TestMiraiConcentration(t *testing.T) {
+	// Mirai must be (a) stub-only, (b) more concentrated than the
+	// resolver set, (c) region-skewed per MiraiRegionWeights.
+	inet := testInternet(t)
+	bots, err := MiraiBots(inet, 20000, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resolvers, err := DNSResolvers(inet, 20000, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	perRegion := make(map[int]int)
+	for as, n := range bots.PerAS {
+		tier, err := inet.Topo.TierOf(as)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tier != bgp.Stub {
+			t.Fatalf("bot AS%d has tier %v, want stub-only", as, tier)
+		}
+		r, _ := inet.Topo.RegionOf(as)
+		perRegion[r] += n
+	}
+
+	// Concentration: the top-10 bot ASes hold a larger share than the
+	// top-10 resolver ASes.
+	if topShare(bots.PerAS, 10) <= topShare(resolvers.PerAS, 10) {
+		t.Fatalf("bots (top10 %.3f) not more concentrated than resolvers (top10 %.3f)",
+			topShare(bots.PerAS, 10), topShare(resolvers.PerAS, 10))
+	}
+
+	// Region skew: Asia-Pacific (weight 0.35) must hold more bots than
+	// Africa (weight 0.10).
+	if perRegion[3] <= perRegion[4] {
+		t.Fatalf("region skew missing: AP=%d Africa=%d", perRegion[3], perRegion[4])
+	}
+	apShare := float64(perRegion[3]) / 20000
+	if math.Abs(apShare-MiraiRegionWeights[3]) > 0.12 {
+		t.Fatalf("Asia-Pacific share %.3f, want ≈%.2f", apShare, MiraiRegionWeights[3])
+	}
+}
+
+func topShare(perAS map[bgp.ASN]int, k int) float64 {
+	var counts []int
+	total := 0
+	for _, n := range perAS {
+		counts = append(counts, n)
+		total += n
+	}
+	if total == 0 {
+		return 0
+	}
+	// selection of top k
+	for i := 0; i < k && i < len(counts); i++ {
+		maxJ := i
+		for j := i + 1; j < len(counts); j++ {
+			if counts[j] > counts[maxJ] {
+				maxJ = j
+			}
+		}
+		counts[i], counts[maxJ] = counts[maxJ], counts[i]
+	}
+	top := 0
+	for i := 0; i < k && i < len(counts); i++ {
+		top += counts[i]
+	}
+	return float64(top) / float64(total)
+}
+
+func TestDeterministicPerSeed(t *testing.T) {
+	inet := testInternet(t)
+	a, err := MiraiBots(inet, 1000, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := MiraiBots(inet, 1000, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.PerAS) != len(b.PerAS) {
+		t.Fatal("same seed, different AS spread")
+	}
+	for as, n := range a.PerAS {
+		if b.PerAS[as] != n {
+			t.Fatalf("same seed, different counts on AS%d", as)
+		}
+	}
+	c, err := MiraiBots(inet, 1000, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	if len(c.PerAS) != len(a.PerAS) {
+		same = false
+	} else {
+		for as, n := range a.PerAS {
+			if c.PerAS[as] != n {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical draws")
+	}
+}

@@ -1,0 +1,220 @@
+package attest
+
+import (
+	"crypto/rand"
+	"testing"
+	"time"
+
+	"github.com/innetworkfiltering/vif/internal/enclave"
+)
+
+func newTestEnclave(t *testing.T) *enclave.Enclave {
+	t.Helper()
+	e, err := enclave.New(enclave.CodeIdentity{
+		Name: "vif-filter", Version: "1.0.0", Config: "test", BinarySize: 1 << 20,
+	}, enclave.DefaultCostModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func nonce(t *testing.T) [32]byte {
+	t.Helper()
+	var n [32]byte
+	if _, err := rand.Read(n[:]); err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+func TestAttestationHappyPath(t *testing.T) {
+	svc, err := NewService()
+	if err != nil {
+		t.Fatal(err)
+	}
+	platform, err := svc.CertifyPlatform("ixp-rack-01")
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := newTestEnclave(t)
+
+	n := nonce(t)
+	var report [ReportDataSize]byte
+	copy(report[:], "channel-key-share-binding")
+	q, err := platform.GenerateQuote(e, n, report)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyQuote(svc.RootPublicKey(), svc, q, n, e.Measurement()); err != nil {
+		t.Fatalf("valid quote rejected: %v", err)
+	}
+	if q.ReportData != report {
+		t.Fatal("report data not carried through")
+	}
+}
+
+func TestVerifyRejectsWrongMeasurement(t *testing.T) {
+	svc, _ := NewService()
+	platform, _ := svc.CertifyPlatform("p")
+	e := newTestEnclave(t)
+	n := nonce(t)
+	q, err := platform.GenerateQuote(e, n, [ReportDataSize]byte{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var other [32]byte
+	other[0] = 0xff
+	if err := VerifyQuote(svc.RootPublicKey(), svc, q, n, other); err != ErrMeasurement {
+		t.Fatalf("err = %v, want ErrMeasurement", err)
+	}
+}
+
+func TestVerifyRejectsWrongNonce(t *testing.T) {
+	svc, _ := NewService()
+	platform, _ := svc.CertifyPlatform("p")
+	e := newTestEnclave(t)
+	q, err := platform.GenerateQuote(e, nonce(t), [ReportDataSize]byte{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyQuote(svc.RootPublicKey(), svc, q, nonce(t), e.Measurement()); err != ErrBadNonce {
+		t.Fatalf("err = %v, want ErrBadNonce (replay must fail)", err)
+	}
+}
+
+func TestVerifyRejectsTamperedQuote(t *testing.T) {
+	svc, _ := NewService()
+	platform, _ := svc.CertifyPlatform("p")
+	e := newTestEnclave(t)
+	n := nonce(t)
+	q, err := platform.GenerateQuote(e, n, [ReportDataSize]byte{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	tampered := *q
+	tampered.ReportData[0] ^= 0xff // host flips the bound channel key
+	if err := VerifyQuote(svc.RootPublicKey(), svc, &tampered, n, e.Measurement()); err != ErrBadQuoteSig {
+		t.Fatalf("tampered report: err = %v, want ErrBadQuoteSig", err)
+	}
+
+	tampered = *q
+	tampered.Signature = append([]byte(nil), q.Signature...)
+	tampered.Signature[4] ^= 0xff
+	if err := VerifyQuote(svc.RootPublicKey(), svc, &tampered, n, e.Measurement()); err == nil {
+		t.Fatal("mangled signature accepted")
+	}
+}
+
+func TestVerifyRejectsForeignPlatform(t *testing.T) {
+	// A platform certified by a *different* service (a fake IAS run by the
+	// malicious filtering network) must not verify against the real root.
+	realSvc, _ := NewService()
+	fakeSvc, _ := NewService()
+	platform, _ := fakeSvc.CertifyPlatform("evil-rack")
+	e := newTestEnclave(t)
+	n := nonce(t)
+	q, err := platform.GenerateQuote(e, n, [ReportDataSize]byte{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyQuote(realSvc.RootPublicKey(), realSvc, q, n, e.Measurement()); err != ErrBadPlatformCert {
+		t.Fatalf("err = %v, want ErrBadPlatformCert", err)
+	}
+}
+
+func TestVerifyRejectsRevokedPlatform(t *testing.T) {
+	svc, _ := NewService()
+	platform, _ := svc.CertifyPlatform("compromised")
+	e := newTestEnclave(t)
+	n := nonce(t)
+	q, err := platform.GenerateQuote(e, n, [ReportDataSize]byte{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc.Revoke("compromised")
+	if err := VerifyQuote(svc.RootPublicKey(), svc, q, n, e.Measurement()); err != ErrRevoked {
+		t.Fatalf("err = %v, want ErrRevoked", err)
+	}
+	// Offline verification (svc == nil) cannot check revocation but the
+	// signature chain still verifies.
+	if err := VerifyQuote(svc.RootPublicKey(), nil, q, n, e.Measurement()); err != nil {
+		t.Fatalf("offline verify: %v", err)
+	}
+}
+
+func TestQuoteBindsPlatformName(t *testing.T) {
+	svc, _ := NewService()
+	pa, _ := svc.CertifyPlatform("a")
+	pb, _ := svc.CertifyPlatform("b")
+	e := newTestEnclave(t)
+	n := nonce(t)
+	q, err := pa.GenerateQuote(e, n, [ReportDataSize]byte{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Splice platform B's credentials onto platform A's quote.
+	q.PlatformName = pb.Name
+	q.PlatformPub = pb.pub
+	q.PlatformCert = pb.cert
+	if err := VerifyQuote(svc.RootPublicKey(), svc, q, n, e.Measurement()); err == nil {
+		t.Fatal("credential splice accepted")
+	}
+}
+
+func TestLatencyModelMatchesAppendixG(t *testing.T) {
+	m := DefaultLatencyModel()
+	b := m.EndToEnd(1 << 20)
+	// Appendix G: ~28.8 ms platform time for a 1 MB binary.
+	if b.PlatformTime < 25*time.Millisecond || b.PlatformTime > 35*time.Millisecond {
+		t.Errorf("platform time %v, want ≈28.8 ms", b.PlatformTime)
+	}
+	// Appendix G: ~3.04 s end to end.
+	if b.Total < 2500*time.Millisecond || b.Total > 3600*time.Millisecond {
+		t.Errorf("end-to-end %v, want ≈3.04 s", b.Total)
+	}
+	if b.Total != b.PlatformTime+b.NetworkTime+b.ServiceTime {
+		t.Error("breakdown does not sum")
+	}
+}
+
+func TestLatencyScalesWithBinarySize(t *testing.T) {
+	m := DefaultLatencyModel()
+	small := m.EndToEnd(1 << 18)
+	large := m.EndToEnd(8 << 20)
+	if small.PlatformTime >= large.PlatformTime {
+		t.Error("platform time must grow with binary size")
+	}
+	if small.NetworkTime != large.NetworkTime {
+		t.Error("network time must not depend on binary size")
+	}
+}
+
+func BenchmarkGenerateQuote(b *testing.B) {
+	svc, _ := NewService()
+	platform, _ := svc.CertifyPlatform("bench")
+	e, _ := enclave.New(enclave.CodeIdentity{Name: "f", BinarySize: 1 << 20}, enclave.DefaultCostModel())
+	var n [32]byte
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := platform.GenerateQuote(e, n, [ReportDataSize]byte{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkVerifyQuote(b *testing.B) {
+	svc, _ := NewService()
+	platform, _ := svc.CertifyPlatform("bench")
+	e, _ := enclave.New(enclave.CodeIdentity{Name: "f", BinarySize: 1 << 20}, enclave.DefaultCostModel())
+	var n [32]byte
+	q, _ := platform.GenerateQuote(e, n, [ReportDataSize]byte{})
+	root := svc.RootPublicKey()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := VerifyQuote(root, svc, q, n, e.Measurement()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

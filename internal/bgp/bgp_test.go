@@ -1,0 +1,387 @@
+package bgp
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// diamond builds the classic test topology:
+//
+//	    T1a --peer-- T1b
+//	    /  \          \
+//	  T2a  T2b        T2c      (customers of T1s)
+//	  /      \        /
+//	S1        S2    S3         (stubs)
+//
+// plus a peering T2a--T2b.
+func diamond(t *testing.T) *Topology {
+	t.Helper()
+	topo := NewTopology()
+	for _, a := range []struct {
+		asn  ASN
+		tier Tier
+	}{
+		{1, Tier1}, {2, Tier1},
+		{11, Tier2}, {12, Tier2}, {13, Tier2},
+		{101, Stub}, {102, Stub}, {103, Stub},
+	} {
+		if err := topo.AddAS(a.asn, a.tier, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	links := []struct{ p, c ASN }{
+		{1, 11}, {1, 12}, {2, 13},
+		{11, 101}, {12, 102}, {13, 103},
+	}
+	for _, l := range links {
+		if err := topo.AddProviderCustomer(l.p, l.c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := topo.AddPeering(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := topo.AddPeering(11, 12); err != nil {
+		t.Fatal(err)
+	}
+	topo.Freeze()
+	return topo
+}
+
+func TestTopologyValidation(t *testing.T) {
+	topo := NewTopology()
+	if err := topo.AddAS(1, Tier1, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := topo.AddAS(1, Tier1, 0); err == nil {
+		t.Fatal("duplicate AS accepted")
+	}
+	if err := topo.AddProviderCustomer(1, 1); err != ErrSelfLink {
+		t.Fatalf("self link: %v", err)
+	}
+	if err := topo.AddProviderCustomer(1, 99); err == nil {
+		t.Fatal("unknown AS accepted")
+	}
+	if err := topo.AddPeering(1, 99); err == nil {
+		t.Fatal("unknown peer accepted")
+	}
+}
+
+func TestCustomerRoutePreferred(t *testing.T) {
+	topo := diamond(t)
+	// Destination S1 (AS101). AS1 has a customer route (1→11→101).
+	tree, err := topo.Routes(101)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tree.TypeOf(1); got != RouteCustomer {
+		t.Fatalf("AS1 route type = %v, want customer", got)
+	}
+	path, err := tree.Path(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []ASN{1, 11, 101}
+	if !equalPath(path, want) {
+		t.Fatalf("Path(1) = %v, want %v", path, want)
+	}
+}
+
+func TestPeerRouteWhenNoCustomerRoute(t *testing.T) {
+	topo := diamond(t)
+	// Destination S1. AS12 has no customer path to 101; its peer 11 has a
+	// customer route, so 12 uses the peer route 12→11→101.
+	tree, err := topo.Routes(101)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tree.TypeOf(12); got != RoutePeer {
+		t.Fatalf("AS12 route type = %v, want peer", got)
+	}
+	path, _ := tree.Path(12)
+	if !equalPath(path, []ASN{12, 11, 101}) {
+		t.Fatalf("Path(12) = %v", path)
+	}
+}
+
+func TestProviderRouteAsLastResort(t *testing.T) {
+	topo := diamond(t)
+	// Destination S1. S2 (AS102) must go up to its provider 12, which
+	// peers with 11: 102→12→11→101.
+	tree, err := topo.Routes(101)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tree.TypeOf(102); got != RouteProvider {
+		t.Fatalf("AS102 route type = %v, want provider", got)
+	}
+	path, _ := tree.Path(102)
+	if !equalPath(path, []ASN{102, 12, 11, 101}) {
+		t.Fatalf("Path(102) = %v", path)
+	}
+	// S3 must cross the tier-1 peering: 103→13→2→1→11→101.
+	path, _ = tree.Path(103)
+	if !equalPath(path, []ASN{103, 13, 2, 1, 11, 101}) {
+		t.Fatalf("Path(103) = %v", path)
+	}
+}
+
+func TestValleyFreeProperty(t *testing.T) {
+	// No path may go down (provider→customer) and then up (customer→
+	// provider), nor traverse two peering links.
+	inet, err := Generate(GenConfig{Regions: 3, Tier1PerRegion: 2, Tier2PerRegion: 10, StubsPerRegion: 60, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	topo := inet.Topo
+	rng := rand.New(rand.NewSource(1))
+	stubs := inet.AllStubs()
+	linkType := buildLinkTypes(topo)
+
+	for trial := 0; trial < 20; trial++ {
+		dst := stubs[rng.Intn(len(stubs))]
+		tree, err := topo.Routes(dst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for probe := 0; probe < 200; probe++ {
+			src := stubs[rng.Intn(len(stubs))]
+			if src == dst || !tree.Reachable(src) {
+				continue
+			}
+			path, err := tree.Path(src)
+			if err != nil {
+				t.Fatal(err)
+			}
+			assertValleyFree(t, linkType, path)
+		}
+	}
+}
+
+type linkKey struct{ a, b ASN }
+
+// buildLinkTypes maps each directed AS pair to its relationship seen from
+// the first element: "up" (customer→provider), "down", or "peer".
+func buildLinkTypes(topo *Topology) map[linkKey]string {
+	m := make(map[linkKey]string)
+	for i, a := range topo.asn {
+		for _, p := range topo.providers[i] {
+			m[linkKey{a, topo.asn[p]}] = "up"
+			m[linkKey{topo.asn[p], a}] = "down"
+		}
+		for _, q := range topo.peers[i] {
+			m[linkKey{a, topo.asn[q]}] = "peer"
+		}
+	}
+	return m
+}
+
+func assertValleyFree(t *testing.T, linkType map[linkKey]string, path []ASN) {
+	t.Helper()
+	wentDownOrPeered := false
+	peersSeen := 0
+	for i := 0; i+1 < len(path); i++ {
+		lt := linkType[linkKey{path[i], path[i+1]}]
+		switch lt {
+		case "up":
+			if wentDownOrPeered {
+				t.Fatalf("valley in path %v at hop %d", path, i)
+			}
+		case "peer":
+			peersSeen++
+			if peersSeen > 1 {
+				t.Fatalf("two peering links in path %v", path)
+			}
+			wentDownOrPeered = true
+		case "down":
+			wentDownOrPeered = true
+		default:
+			t.Fatalf("path %v uses nonexistent link %v-%v", path, path[i], path[i+1])
+		}
+	}
+}
+
+func TestAllStubsReachEachOther(t *testing.T) {
+	inet, err := Generate(DefaultGenConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	stubs := inet.AllStubs()
+	for trial := 0; trial < 5; trial++ {
+		dst := stubs[rng.Intn(len(stubs))]
+		tree, err := inet.Topo.Routes(dst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		unreachable := 0
+		for _, src := range inet.Topo.ASNs() {
+			if !tree.Reachable(src) {
+				unreachable++
+			}
+		}
+		if unreachable > 0 {
+			t.Fatalf("dst AS%d: %d ASes unreachable", dst, unreachable)
+		}
+	}
+}
+
+func TestRoutesAvoidingExcludesAS(t *testing.T) {
+	topo := diamond(t)
+	// S3→S1 normally crosses AS1 (tier-1). Avoiding AS1 leaves S3 with
+	// no policy-compliant path in this tiny topology... except via
+	// 13→2? AS2 without AS1 has no route to 101 at all. So expect
+	// unreachable.
+	tree, err := topo.RoutesAvoiding(101, map[ASN]bool{1: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tree.Reachable(103) {
+		path, _ := tree.Path(103)
+		for _, a := range path {
+			if a == 1 {
+				t.Fatalf("avoided AS1 still on path %v", path)
+			}
+		}
+		t.Fatalf("unexpected path around AS1: reachable")
+	}
+	// The victim-side test of Appendix B: avoiding AS12 must leave S2
+	// reachable via... S2's only provider is 12, so unreachable; avoid
+	// AS11 instead and S1 is the destination — AS12's peer route dies but
+	// provider path 12→1→11 also dies; this asserts exclusion semantics.
+	tree2, err := topo.RoutesAvoiding(101, map[ASN]bool{12: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tree2.Reachable(102) {
+		t.Fatal("AS102's only provider was avoided; must be unreachable")
+	}
+	if !tree2.Reachable(1) {
+		t.Fatal("AS1 should still reach 101 via 11")
+	}
+}
+
+func TestRerouteAroundIntermediateAS(t *testing.T) {
+	// The richer generated topology must usually offer an alternate path
+	// around a single avoided transit AS (the Appendix B use case).
+	inet, err := Generate(DefaultGenConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	stubs := inet.AllStubs()
+	rerouted, attempts := 0, 0
+	for trial := 0; trial < 30 && attempts < 15; trial++ {
+		src := stubs[rng.Intn(len(stubs))]
+		dst := stubs[rng.Intn(len(stubs))]
+		if src == dst {
+			continue
+		}
+		tree, err := inet.Topo.Routes(dst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		path, err := tree.Path(src)
+		if err != nil || len(path) < 4 {
+			continue
+		}
+		mid := path[len(path)/2]
+		attempts++
+		avoided, err := inet.Topo.RoutesAvoiding(dst, map[ASN]bool{mid: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !avoided.Reachable(src) {
+			continue
+		}
+		newPath, err := avoided.Path(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, a := range newPath {
+			if a == mid {
+				t.Fatalf("avoided AS%d still on path %v", mid, newPath)
+			}
+		}
+		rerouted++
+	}
+	if rerouted == 0 {
+		t.Fatal("no reroute ever succeeded; topology too fragile for Appendix B test")
+	}
+}
+
+func TestDeterministicRouting(t *testing.T) {
+	inet, err := Generate(GenConfig{Regions: 2, Tier1PerRegion: 2, Tier2PerRegion: 8, StubsPerRegion: 40, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stubs := inet.AllStubs()
+	dst := stubs[0]
+	t1, err := inet.Topo.Routes(dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t2, err := inet.Topo.Routes(dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, src := range inet.Topo.ASNs() {
+		if src == dst {
+			continue
+		}
+		p1, e1 := t1.Path(src)
+		p2, e2 := t2.Path(src)
+		if (e1 == nil) != (e2 == nil) || !equalPath(p1, p2) {
+			t.Fatalf("nondeterministic route for AS%d: %v vs %v", src, p1, p2)
+		}
+	}
+}
+
+func TestPathLenConsistency(t *testing.T) {
+	topo := diamond(t)
+	tree, err := topo.Routes(101)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range topo.ASNs() {
+		if !tree.Reachable(a) {
+			continue
+		}
+		path, err := tree.Path(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := tree.PathLen(a); got != len(path)-1 {
+			t.Fatalf("PathLen(%d) = %d, path %v", a, got, path)
+		}
+	}
+	if tree.PathLen(9999) != -1 {
+		t.Fatal("unknown AS must report -1")
+	}
+}
+
+func equalPath(a, b []ASN) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func BenchmarkRoutesDefaultInternet(b *testing.B) {
+	inet, err := Generate(DefaultGenConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	stubs := inet.AllStubs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := inet.Topo.Routes(stubs[i%len(stubs)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,166 @@
+package bgp
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// GenConfig sizes the synthetic Internet. The defaults produce a
+// five-region hierarchy of a few thousand ASes whose degree distribution
+// is skewed like the real Internet's: a small full-mesh tier-1 core,
+// regional tier-2 transit ISPs, and a long tail of stub (edge) ASes —
+// the substrate for the Figure 11 IXP-coverage simulation.
+type GenConfig struct {
+	// Regions is the number of geographic regions (the paper uses five:
+	// Europe, North America, South America, Asia-Pacific, Africa).
+	Regions int
+	// Tier1PerRegion is the number of tier-1 backbone ASes per region.
+	Tier1PerRegion int
+	// Tier2PerRegion is the number of regional transit ISPs per region.
+	Tier2PerRegion int
+	// StubsPerRegion is the number of edge ASes per region.
+	StubsPerRegion int
+	// Seed drives all sampling.
+	Seed int64
+}
+
+// DefaultGenConfig returns the configuration the experiments use.
+func DefaultGenConfig() GenConfig {
+	return GenConfig{
+		Regions:        5,
+		Tier1PerRegion: 3,
+		Tier2PerRegion: 40,
+		StubsPerRegion: 600,
+		Seed:           1,
+	}
+}
+
+// Internet is a generated topology plus the AS inventory per region/tier.
+type Internet struct {
+	Topo *Topology
+	// ByRegionTier[region][tier] lists ASes.
+	Tier1 [][]ASN // [region]
+	Tier2 [][]ASN
+	Stubs [][]ASN
+}
+
+// AllStubs returns every stub AS.
+func (n *Internet) AllStubs() []ASN {
+	var out []ASN
+	for _, s := range n.Stubs {
+		out = append(out, s...)
+	}
+	return out
+}
+
+// Generate builds the synthetic Internet:
+//
+//   - Tier-1s form a full mesh of peerings (global reachability without
+//     providers, the defining property of the clique).
+//   - Each tier-2 buys transit from 1-2 same-region tier-1s (occasionally
+//     one remote), and peers with a few same-region tier-2s — the links
+//     that large IXPs host.
+//   - Each stub buys transit from 1-3 same-region tier-2s, with a small
+//     chance of multihoming to a tier-1.
+func Generate(cfg GenConfig) (*Internet, error) {
+	if cfg.Regions <= 0 || cfg.Tier1PerRegion <= 0 || cfg.Tier2PerRegion <= 0 || cfg.StubsPerRegion <= 0 {
+		return nil, fmt.Errorf("bgp: invalid generator config %+v", cfg)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	topo := NewTopology()
+	inet := &Internet{
+		Topo:  topo,
+		Tier1: make([][]ASN, cfg.Regions),
+		Tier2: make([][]ASN, cfg.Regions),
+		Stubs: make([][]ASN, cfg.Regions),
+	}
+
+	next := ASN(100)
+	newAS := func(tier Tier, region int) (ASN, error) {
+		a := next
+		next++
+		if err := topo.AddAS(a, tier, region); err != nil {
+			return 0, err
+		}
+		return a, nil
+	}
+
+	for r := 0; r < cfg.Regions; r++ {
+		for i := 0; i < cfg.Tier1PerRegion; i++ {
+			a, err := newAS(Tier1, r)
+			if err != nil {
+				return nil, err
+			}
+			inet.Tier1[r] = append(inet.Tier1[r], a)
+		}
+	}
+	// Tier-1 clique.
+	var allT1 []ASN
+	for _, t1s := range inet.Tier1 {
+		allT1 = append(allT1, t1s...)
+	}
+	for i := 0; i < len(allT1); i++ {
+		for j := i + 1; j < len(allT1); j++ {
+			if err := topo.AddPeering(allT1[i], allT1[j]); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	for r := 0; r < cfg.Regions; r++ {
+		for i := 0; i < cfg.Tier2PerRegion; i++ {
+			a, err := newAS(Tier2, r)
+			if err != nil {
+				return nil, err
+			}
+			inet.Tier2[r] = append(inet.Tier2[r], a)
+			// Providers: 1-2 same-region tier-1s, sometimes one remote.
+			nProv := 1 + rng.Intn(2)
+			for p := 0; p < nProv; p++ {
+				prov := inet.Tier1[r][rng.Intn(len(inet.Tier1[r]))]
+				if rng.Float64() < 0.15 {
+					prov = allT1[rng.Intn(len(allT1))]
+				}
+				if err := topo.AddProviderCustomer(prov, a); err != nil {
+					return nil, err
+				}
+			}
+		}
+		// Tier-2 regional peering (IXP fabric links): each tier-2 peers
+		// with ~4 same-region tier-2s.
+		t2s := inet.Tier2[r]
+		for _, a := range t2s {
+			for k := 0; k < 4; k++ {
+				b := t2s[rng.Intn(len(t2s))]
+				if a != b {
+					if err := topo.AddPeering(a, b); err != nil {
+						return nil, err
+					}
+				}
+			}
+		}
+	}
+
+	for r := 0; r < cfg.Regions; r++ {
+		for i := 0; i < cfg.StubsPerRegion; i++ {
+			a, err := newAS(Stub, r)
+			if err != nil {
+				return nil, err
+			}
+			inet.Stubs[r] = append(inet.Stubs[r], a)
+			nProv := 1 + rng.Intn(3)
+			for p := 0; p < nProv; p++ {
+				prov := inet.Tier2[r][rng.Intn(len(inet.Tier2[r]))]
+				if rng.Float64() < 0.05 {
+					prov = inet.Tier1[r][rng.Intn(len(inet.Tier1[r]))]
+				}
+				if err := topo.AddProviderCustomer(prov, a); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+
+	topo.Freeze()
+	return inet, nil
+}

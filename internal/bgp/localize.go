@@ -1,0 +1,97 @@
+package bgp
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Appendix B: when a victim sees VIF-allowed packets go missing (the
+// outgoing log is clean but traffic doesn't arrive), the drop happened
+// somewhere between the filtering network and the victim — by an
+// intermediate AS or by the filtering network itself lying about its logs.
+// Classic fault localization needs global cooperation; VIF instead has the
+// victim *test* intermediate ASes one at a time, using BGP-poisoning
+// inbound rerouting (LIFEGUARD/Nyx style) to detour around each candidate
+// for a short window and watching whether the loss stops.
+
+// DropOracle reports whether the victim still observes loss when its
+// inbound traffic follows the given routing tree. In deployment this is a
+// measurement over a short test window; in simulation the test harness
+// supplies it.
+type DropOracle func(tree *Tree) (lossObserved bool, err error)
+
+// Localization is the outcome of the Appendix B procedure.
+type Localization struct {
+	// Suspects are intermediate ASes whose avoidance stopped the loss.
+	Suspects []ASN
+	// Untestable are intermediate ASes that could not be detoured around
+	// (no alternate policy-compliant path); the victim cannot rule on
+	// them without cooperation.
+	Untestable []ASN
+	// FilteringNetworkSuspected is set when loss persists across every
+	// testable detour: per Appendix B, the victim "may conclude that the
+	// VIF IXP itself has been misbehaving" and abort the contract.
+	FilteringNetworkSuspected bool
+}
+
+// Errors.
+var (
+	ErrNoBaselinePath = errors.New("bgp: no baseline path from filtering network to victim")
+	ErrNoBaselineLoss = errors.New("bgp: no loss on the baseline path; nothing to localize")
+)
+
+// LocalizeDrops runs the Appendix B test for victim dst whose inbound
+// traffic from the filtering network filterAS is experiencing unexplained
+// loss. It reroutes around each intermediate AS of the current path in
+// turn and consults the oracle.
+func (t *Topology) LocalizeDrops(filterAS, dst ASN, oracle DropOracle) (*Localization, error) {
+	baseline, err := t.Routes(dst)
+	if err != nil {
+		return nil, err
+	}
+	path, err := baseline.Path(filterAS)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrNoBaselinePath, err)
+	}
+	lossy, err := oracle(baseline)
+	if err != nil {
+		return nil, err
+	}
+	if !lossy {
+		return nil, ErrNoBaselineLoss
+	}
+	if len(path) <= 2 {
+		// Direct adjacency: no intermediate AS exists, the counterparty
+		// is the filtering network.
+		return &Localization{FilteringNetworkSuspected: true}, nil
+	}
+
+	out := &Localization{}
+	testable := 0
+	for _, mid := range path[1 : len(path)-1] {
+		avoided, err := t.RoutesAvoiding(dst, map[ASN]bool{mid: true})
+		if err != nil {
+			return nil, err
+		}
+		if !avoided.Reachable(filterAS) {
+			out.Untestable = append(out.Untestable, mid)
+			continue
+		}
+		testable++
+		stillLossy, err := oracle(avoided)
+		if err != nil {
+			return nil, err
+		}
+		if !stillLossy {
+			out.Suspects = append(out.Suspects, mid)
+		}
+	}
+	// Loss survived every detour we could make: either an untestable AS
+	// or the filtering network itself. With no suspects and at least one
+	// completed test, Appendix B tells the victim to suspect the VIF
+	// network (it can then abort the contract at its discretion).
+	if len(out.Suspects) == 0 && testable > 0 {
+		out.FilteringNetworkSuspected = true
+	}
+	return out, nil
+}

@@ -1,0 +1,116 @@
+package bgp
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// localizeFixture finds, in a generated topology, a (filterAS, victim)
+// pair whose path has a midpoint that can be detoured around, and returns
+// the pieces the tests need.
+func localizeFixture(t *testing.T) (topo *Topology, filterAS, victim, culprit ASN) {
+	t.Helper()
+	inet, err := Generate(DefaultGenConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	topo = inet.Topo
+	rng := rand.New(rand.NewSource(17))
+	stubs := inet.AllStubs()
+	for trial := 0; trial < 200; trial++ {
+		victim = stubs[rng.Intn(len(stubs))]
+		filterAS = stubs[rng.Intn(len(stubs))]
+		if victim == filterAS {
+			continue
+		}
+		tree, err := topo.Routes(victim)
+		if err != nil {
+			t.Fatal(err)
+		}
+		path, err := tree.Path(filterAS)
+		if err != nil || len(path) < 4 {
+			continue
+		}
+		mid := path[len(path)/2]
+		avoided, err := topo.RoutesAvoiding(victim, map[ASN]bool{mid: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if avoided.Reachable(filterAS) {
+			return topo, filterAS, victim, mid
+		}
+	}
+	t.Fatal("no localizable fixture found")
+	return
+}
+
+// dropOracleFor simulates an intermediate AS `bad` that drops the victim's
+// inbound traffic whenever it is on the path.
+func dropOracleFor(filterAS ASN, bad ASN) DropOracle {
+	return func(tree *Tree) (bool, error) {
+		path, err := tree.Path(filterAS)
+		if err != nil {
+			return false, nil // unreachable: nothing arrives, nothing measured
+		}
+		for _, a := range path {
+			if a == bad {
+				return true, nil
+			}
+		}
+		return false, nil
+	}
+}
+
+func TestLocalizeFindsDroppingAS(t *testing.T) {
+	topo, filterAS, victim, culprit := localizeFixture(t)
+	loc, err := topo.LocalizeDrops(filterAS, victim, dropOracleFor(filterAS, culprit))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loc.FilteringNetworkSuspected {
+		t.Fatalf("filtering network suspected though AS%d drops: %+v", culprit, loc)
+	}
+	found := false
+	for _, s := range loc.Suspects {
+		if s == culprit {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("culprit AS%d not among suspects %v", culprit, loc.Suspects)
+	}
+}
+
+func TestLocalizeSuspectsFilteringNetworkWhenLossPersists(t *testing.T) {
+	topo, filterAS, victim, _ := localizeFixture(t)
+	// The filtering network itself drops: loss persists on every detour.
+	alwaysLossy := func(*Tree) (bool, error) { return true, nil }
+	loc, err := topo.LocalizeDrops(filterAS, victim, alwaysLossy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !loc.FilteringNetworkSuspected {
+		t.Fatalf("persistent loss must implicate the filtering network: %+v", loc)
+	}
+	if len(loc.Suspects) != 0 {
+		t.Fatalf("no intermediate AS should be a suspect: %v", loc.Suspects)
+	}
+}
+
+func TestLocalizeRequiresBaselineLoss(t *testing.T) {
+	topo, filterAS, victim, _ := localizeFixture(t)
+	neverLossy := func(*Tree) (bool, error) { return false, nil }
+	if _, err := topo.LocalizeDrops(filterAS, victim, neverLossy); err != ErrNoBaselineLoss {
+		t.Fatalf("err = %v, want ErrNoBaselineLoss", err)
+	}
+}
+
+func TestLocalizeUnknownASes(t *testing.T) {
+	topo, filterAS, victim, culprit := localizeFixture(t)
+	if _, err := topo.LocalizeDrops(99999999, victim, dropOracleFor(filterAS, culprit)); err == nil {
+		t.Fatal("unknown filter AS accepted")
+	}
+	if _, err := topo.LocalizeDrops(filterAS, 99999999, dropOracleFor(filterAS, culprit)); err == nil {
+		t.Fatal("unknown victim accepted")
+	}
+}

@@ -1,0 +1,228 @@
+package bgp
+
+import (
+	"errors"
+	"fmt"
+)
+
+// RouteType orders route preference: customer > peer > provider (§VI-C
+// policy 1).
+type RouteType uint8
+
+// Route types in preference order.
+const (
+	RouteNone RouteType = iota
+	RouteCustomer
+	RoutePeer
+	RouteProvider
+)
+
+// String renders the route type.
+func (rt RouteType) String() string {
+	switch rt {
+	case RouteCustomer:
+		return "customer"
+	case RoutePeer:
+		return "peer"
+	case RouteProvider:
+		return "provider"
+	default:
+		return "none"
+	}
+}
+
+// ErrNoRoute indicates the source has no policy-compliant path.
+var ErrNoRoute = errors.New("bgp: no route")
+
+// Tree is the routing tree toward one destination: every AS's selected
+// next hop under Gao-Rexford policy. Immutable once computed.
+type Tree struct {
+	topo    *Topology
+	dst     int
+	nextHop []int32 // -1 = unreachable, self for dst
+	rtype   []RouteType
+	pathLen []int32
+}
+
+// Routes computes the routing tree toward dst with no exclusions.
+func (t *Topology) Routes(dst ASN) (*Tree, error) {
+	return t.RoutesAvoiding(dst, nil)
+}
+
+// RoutesAvoiding computes the routing tree toward dst while excluding the
+// given ASes entirely (the Appendix B BGP-poisoning reroute: the victim
+// poisons an AS so that no path traverses it). The destination itself
+// cannot be avoided.
+func (t *Topology) RoutesAvoiding(dst ASN, avoid map[ASN]bool) (*Tree, error) {
+	if !t.frozen {
+		t.Freeze()
+	}
+	d, err := t.lookup(dst)
+	if err != nil {
+		return nil, err
+	}
+	n := t.Len()
+	tr := &Tree{
+		topo:    t,
+		dst:     d,
+		nextHop: make([]int32, n),
+		rtype:   make([]RouteType, n),
+		pathLen: make([]int32, n),
+	}
+	for i := range tr.nextHop {
+		tr.nextHop[i] = -1
+	}
+	excluded := make([]bool, n)
+	for a, on := range avoid {
+		if !on {
+			continue
+		}
+		if i, ok := t.idx[a]; ok && i != d {
+			excluded[i] = true
+		}
+	}
+
+	tr.nextHop[d] = int32(d)
+	tr.rtype[d] = RouteCustomer // the origin exports like a customer route
+	tr.pathLen[d] = 0
+
+	// Phase 1 — customer routes, BFS up provider edges level by level.
+	// Processing whole levels before assignment keeps the lowest-ASN
+	// tiebreak exact.
+	frontier := []int32{int32(d)}
+	for level := int32(1); len(frontier) > 0; level++ {
+		type cand struct{ via int32 }
+		cands := make(map[int32]int32) // provider -> best (lowest-ASN) via
+		for _, u := range frontier {
+			for _, p := range t.providers[u] {
+				if tr.nextHop[p] != -1 || excluded[p] {
+					continue
+				}
+				if best, ok := cands[p]; !ok || t.asn[u] < t.asn[best] {
+					cands[p] = u
+				}
+			}
+		}
+		next := make([]int32, 0, len(cands))
+		for p, via := range cands {
+			tr.nextHop[p] = via
+			tr.rtype[p] = RouteCustomer
+			tr.pathLen[p] = level
+			next = append(next, p)
+		}
+		// Deterministic order for the next level's tiebreaks.
+		sortByASN(t, next)
+		frontier = next
+	}
+
+	// Phase 2 — peer routes: one peer hop from any AS holding a customer
+	// route (valley-free: peers only accept customer-learned routes).
+	type peerCand struct {
+		via int32
+		len int32
+	}
+	peerBest := make(map[int32]peerCand)
+	for u := 0; u < n; u++ {
+		if tr.rtype[u] != RouteCustomer || excluded[u] || tr.nextHop[u] == -1 {
+			continue
+		}
+		for _, v := range t.peers[u] {
+			if tr.nextHop[v] != -1 || excluded[v] {
+				continue // already has a (better) customer route
+			}
+			nl := tr.pathLen[u] + 1
+			cur, ok := peerBest[v]
+			if !ok || nl < cur.len || (nl == cur.len && t.asn[u] < t.asn[cur.via]) {
+				peerBest[v] = peerCand{via: int32(u), len: nl}
+			}
+		}
+	}
+	for v, c := range peerBest {
+		tr.nextHop[v] = c.via
+		tr.rtype[v] = RoutePeer
+		tr.pathLen[v] = c.len
+	}
+
+	// Phase 3 — provider routes: BFS down customer edges from every routed
+	// AS, shortest-first (bucket queue by path length).
+	maxLen := int32(n + 1)
+	buckets := make([][]int32, maxLen+2)
+	for u := 0; u < n; u++ {
+		if tr.nextHop[u] != -1 && !excluded[u] {
+			buckets[tr.pathLen[u]] = append(buckets[tr.pathLen[u]], int32(u))
+		}
+	}
+	for l := int32(0); l <= maxLen; l++ {
+		sortByASN(t, buckets[l])
+		for _, u := range buckets[l] {
+			if tr.pathLen[u] != l {
+				continue // superseded
+			}
+			for _, c := range t.customers[u] {
+				if tr.nextHop[c] != -1 || excluded[c] {
+					continue
+				}
+				tr.nextHop[c] = u
+				tr.rtype[c] = RouteProvider
+				tr.pathLen[c] = l + 1
+				if l+1 <= maxLen {
+					buckets[l+1] = append(buckets[l+1], c)
+				}
+			}
+		}
+	}
+	return tr, nil
+}
+
+func sortByASN(t *Topology, s []int32) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && t.asn[s[j]] < t.asn[s[j-1]]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+// Reachable reports whether src has a route to the destination.
+func (tr *Tree) Reachable(src ASN) bool {
+	i, ok := tr.topo.idx[src]
+	return ok && tr.nextHop[i] != -1
+}
+
+// TypeOf returns the route type src selected.
+func (tr *Tree) TypeOf(src ASN) RouteType {
+	i, ok := tr.topo.idx[src]
+	if !ok || tr.nextHop[i] == -1 {
+		return RouteNone
+	}
+	return tr.rtype[i]
+}
+
+// Path returns the AS path from src to the destination, inclusive of both.
+func (tr *Tree) Path(src ASN) ([]ASN, error) {
+	i, err := tr.topo.lookup(src)
+	if err != nil {
+		return nil, err
+	}
+	if tr.nextHop[i] == -1 {
+		return nil, fmt.Errorf("%w: AS%d", ErrNoRoute, src)
+	}
+	path := []ASN{src}
+	cur := int32(i)
+	for cur != int32(tr.dst) {
+		cur = tr.nextHop[cur]
+		path = append(path, tr.topo.asn[cur])
+		if len(path) > tr.topo.Len() {
+			return nil, fmt.Errorf("bgp: routing loop from AS%d", src)
+		}
+	}
+	return path, nil
+}
+
+// PathLen returns the AS-path length (hops) from src, or -1.
+func (tr *Tree) PathLen(src ASN) int {
+	i, ok := tr.topo.idx[src]
+	if !ok || tr.nextHop[i] == -1 {
+		return -1
+	}
+	return int(tr.pathLen[i])
+}

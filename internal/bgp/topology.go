@@ -1,0 +1,192 @@
+// Package bgp is VIF's inter-domain routing substrate: an AS-level model
+// of the Internet with business relationships (customer/provider/peer) and
+// Gao-Rexford policy routing, standing in for the CAIDA AS-relationship
+// dataset driving the paper's §VI-C simulations.
+//
+// Route selection follows the three policies the paper states: (1) prefer
+// customer routes over peer routes over provider routes, (2) prefer the
+// shortest AS-path, (3) break remaining ties with the lower next-hop AS
+// number. Export follows the valley-free rules those preferences imply:
+// customer routes are exported to everyone; peer and provider routes only
+// to customers.
+//
+// The package also implements the BGP-poisoning reroute of Appendix B:
+// computing routes with selected ASes excluded, which a victim uses to
+// test intermediate ASes for packet drops without their cooperation.
+package bgp
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// ASN is an autonomous system number.
+type ASN uint32
+
+// Tier classifies ASes in the synthetic topology generator.
+type Tier int
+
+// Tiers.
+const (
+	Tier1 Tier = iota + 1
+	Tier2
+	Stub
+)
+
+// String renders the tier.
+func (t Tier) String() string {
+	switch t {
+	case Tier1:
+		return "tier1"
+	case Tier2:
+		return "tier2"
+	case Stub:
+		return "stub"
+	default:
+		return fmt.Sprintf("tier(%d)", int(t))
+	}
+}
+
+// Errors.
+var (
+	ErrUnknownAS = errors.New("bgp: unknown AS")
+	ErrSelfLink  = errors.New("bgp: self link")
+)
+
+// Topology is an immutable-after-build AS graph. Build with NewTopology +
+// AddProviderCustomer/AddPeering, then call Freeze before routing.
+type Topology struct {
+	idx    map[ASN]int
+	asn    []ASN
+	region []int
+	tier   []Tier
+
+	providers [][]int32 // of each AS (edges up)
+	customers [][]int32 // of each AS (edges down)
+	peers     [][]int32
+
+	frozen bool
+}
+
+// NewTopology creates an empty topology.
+func NewTopology() *Topology {
+	return &Topology{idx: make(map[ASN]int)}
+}
+
+// AddAS registers an AS with metadata. Adding twice is an error.
+func (t *Topology) AddAS(a ASN, tier Tier, region int) error {
+	if _, ok := t.idx[a]; ok {
+		return fmt.Errorf("bgp: AS%d added twice", a)
+	}
+	t.idx[a] = len(t.asn)
+	t.asn = append(t.asn, a)
+	t.tier = append(t.tier, tier)
+	t.region = append(t.region, region)
+	t.providers = append(t.providers, nil)
+	t.customers = append(t.customers, nil)
+	t.peers = append(t.peers, nil)
+	return nil
+}
+
+func (t *Topology) lookup(a ASN) (int, error) {
+	i, ok := t.idx[a]
+	if !ok {
+		return 0, fmt.Errorf("%w: AS%d", ErrUnknownAS, a)
+	}
+	return i, nil
+}
+
+// AddProviderCustomer records that provider sells transit to customer.
+func (t *Topology) AddProviderCustomer(provider, customer ASN) error {
+	if provider == customer {
+		return ErrSelfLink
+	}
+	p, err := t.lookup(provider)
+	if err != nil {
+		return err
+	}
+	c, err := t.lookup(customer)
+	if err != nil {
+		return err
+	}
+	t.customers[p] = append(t.customers[p], int32(c))
+	t.providers[c] = append(t.providers[c], int32(p))
+	return nil
+}
+
+// AddPeering records a settlement-free peering between a and b.
+func (t *Topology) AddPeering(a, b ASN) error {
+	if a == b {
+		return ErrSelfLink
+	}
+	i, err := t.lookup(a)
+	if err != nil {
+		return err
+	}
+	j, err := t.lookup(b)
+	if err != nil {
+		return err
+	}
+	t.peers[i] = append(t.peers[i], int32(j))
+	t.peers[j] = append(t.peers[j], int32(i))
+	return nil
+}
+
+// Freeze canonicalizes adjacency order (deterministic routing ties) and
+// deduplicates accidental parallel links.
+func (t *Topology) Freeze() {
+	dedup := func(adj [][]int32) {
+		for i := range adj {
+			s := adj[i]
+			sort.Slice(s, func(a, b int) bool { return t.asn[s[a]] < t.asn[s[b]] })
+			out := s[:0]
+			var prev int32 = -1
+			for _, v := range s {
+				if v != prev {
+					out = append(out, v)
+				}
+				prev = v
+			}
+			adj[i] = out
+		}
+	}
+	dedup(t.providers)
+	dedup(t.customers)
+	dedup(t.peers)
+	t.frozen = true
+}
+
+// Len returns the number of ASes.
+func (t *Topology) Len() int { return len(t.asn) }
+
+// ASNs returns all AS numbers (in registration order; do not mutate).
+func (t *Topology) ASNs() []ASN { return t.asn }
+
+// TierOf returns an AS's tier.
+func (t *Topology) TierOf(a ASN) (Tier, error) {
+	i, err := t.lookup(a)
+	if err != nil {
+		return 0, err
+	}
+	return t.tier[i], nil
+}
+
+// RegionOf returns an AS's region index.
+func (t *Topology) RegionOf(a ASN) (int, error) {
+	i, err := t.lookup(a)
+	if err != nil {
+		return 0, err
+	}
+	return t.region[i], nil
+}
+
+// Degree returns an AS's total adjacency count (providers + customers +
+// peers); IXP membership sampling weights by it.
+func (t *Topology) Degree(a ASN) (int, error) {
+	i, err := t.lookup(a)
+	if err != nil {
+		return 0, err
+	}
+	return len(t.providers[i]) + len(t.customers[i]) + len(t.peers[i]), nil
+}

@@ -1,0 +1,225 @@
+// Package bypass implements VIF's filter-bypass detection (§III-B): the
+// victim-side and neighbor-side verifiers that compare their own local
+// packet logs against the authenticated logs measured inside the enclave.
+//
+// The three bypass attacks and their witnesses:
+//
+//   - Injection after filtering: the filtering network re-injects a copy of
+//     a dropped packet downstream of the filter. The victim's local log then
+//     contains traffic absent from the enclave's outgoing log.
+//   - Drop after filtering: the filtering network drops a packet the filter
+//     allowed. The enclave's outgoing log contains traffic the victim never
+//     received.
+//   - Drop before filtering: the filtering network drops a neighbor's
+//     packets before they reach the filter. The neighbor's sent-traffic log
+//     contains sources the enclave's incoming log undercounts.
+//
+// Injection *before* filtering is explicitly not an attack: by
+// packet-injection independence (§III-A) it cannot change any other
+// packet's verdict, and the extra traffic is simply filtered.
+package bypass
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/innetworkfiltering/vif/internal/filter"
+	"github.com/innetworkfiltering/vif/internal/packet"
+	"github.com/innetworkfiltering/vif/internal/sketch"
+)
+
+// Verdict of a log comparison.
+type Verdict struct {
+	// Clean is true when no discrepancy beyond tolerance was found.
+	Clean bool
+	// InjectionAfterFilter estimates packets the verifier saw that the
+	// enclave never forwarded (victim-side only).
+	InjectionAfterFilter uint64
+	// DropAfterFilter estimates packets the enclave forwarded that the
+	// verifier never received (victim-side only).
+	DropAfterFilter uint64
+	// DropBeforeFilter estimates packets the neighbor sent that never
+	// reached the filter (neighbor-side only).
+	DropBeforeFilter uint64
+	// Detail describes the finding for operator logs.
+	Detail string
+}
+
+// ErrSnapshotAuth wraps snapshot authentication failures: an unauthentic
+// snapshot is itself evidence of misbehavior.
+var ErrSnapshotAuth = errors.New("bypass: enclave log snapshot failed authentication")
+
+// VictimVerifier is the DDoS victim's local observer: it logs every packet
+// actually received from the filtering network in a sketch with the same
+// geometry and key schema as the enclave's outgoing log, then compares.
+type VictimVerifier struct {
+	local *sketch.Sketch
+	// Tolerance absorbs benign loss between filter and victim (congestion
+	// on intermediate ASes), as a fraction of the enclave's total. Zero
+	// means exact matching. The paper handles residual ambiguity with the
+	// Appendix B rerouting test, implemented in package bgp.
+	Tolerance float64
+}
+
+// NewVictimVerifier creates a verifier with the default sketch geometry.
+func NewVictimVerifier() *VictimVerifier {
+	return &VictimVerifier{local: sketch.NewDefault()}
+}
+
+// Observe records one received packet (called from the victim's capture
+// path with the parsed tuple).
+func (v *VictimVerifier) Observe(t packet.FiveTuple) {
+	key := t.Key()
+	v.local.Add(key[:], 1)
+}
+
+// ObservedTotal returns the number of packets observed locally.
+func (v *VictimVerifier) ObservedTotal() uint64 { return v.local.Total() }
+
+// Reset clears the local log at a round boundary.
+func (v *VictimVerifier) Reset() { v.local.Reset() }
+
+// Check compares the enclave's authenticated outgoing log against the
+// local received-traffic log. macKey is the log key obtained over the
+// attested channel.
+func (v *VictimVerifier) Check(macKey [32]byte, snap *filter.SignedSnapshot) (Verdict, error) {
+	if snap.Kind != filter.LogOutgoing {
+		return Verdict{}, fmt.Errorf("bypass: victim check needs the outgoing log, got %v", snap.Kind)
+	}
+	enclaveLog, err := filter.VerifySnapshot(macKey, snap)
+	if err != nil {
+		return Verdict{}, fmt.Errorf("%w: %v", ErrSnapshotAuth, err)
+	}
+	d, err := enclaveLog.Diff(v.local)
+	if err != nil {
+		return Verdict{}, fmt.Errorf("bypass: diff: %w", err)
+	}
+	verdict := Verdict{
+		DropAfterFilter:      d.Excess,
+		InjectionAfterFilter: d.Missing,
+	}
+	tol := uint64(v.Tolerance * float64(enclaveLog.Total()))
+	verdict.Clean = d.Excess <= tol && d.Missing <= tol
+	switch {
+	case verdict.Clean:
+		verdict.Detail = "outgoing log matches received traffic"
+	case d.Missing > tol && d.Excess > tol:
+		verdict.Detail = fmt.Sprintf("injection (%d) and drop (%d) after filtering", d.Missing, d.Excess)
+	case d.Missing > tol:
+		verdict.Detail = fmt.Sprintf("injection after filtering: %d unlogged packets received", d.Missing)
+	default:
+		verdict.Detail = fmt.Sprintf("drop after filtering: %d logged packets never arrived", d.Excess)
+	}
+	return verdict, nil
+}
+
+// CheckSketch is Check for an already-verified (e.g. merged multi-enclave)
+// outgoing log.
+func (v *VictimVerifier) CheckSketch(enclaveLog *sketch.Sketch) (Verdict, error) {
+	d, err := enclaveLog.Diff(v.local)
+	if err != nil {
+		return Verdict{}, fmt.Errorf("bypass: diff: %w", err)
+	}
+	verdict := Verdict{
+		DropAfterFilter:      d.Excess,
+		InjectionAfterFilter: d.Missing,
+	}
+	tol := uint64(v.Tolerance * float64(enclaveLog.Total()))
+	verdict.Clean = d.Excess <= tol && d.Missing <= tol
+	if verdict.Clean {
+		verdict.Detail = "merged outgoing logs match received traffic"
+	} else {
+		verdict.Detail = fmt.Sprintf("discrepancy: injection=%d drop=%d", d.Missing, d.Excess)
+	}
+	return verdict, nil
+}
+
+// NeighborVerifier is an upstream neighbor AS's observer: it logs the
+// per-source-IP counts of traffic it hands to the filtering network and
+// compares against the enclave's incoming log to expose drop-before-
+// filtering discrimination (the paper's Goal-1 attack).
+type NeighborVerifier struct {
+	local *sketch.Sketch
+	// Tolerance as in VictimVerifier.
+	Tolerance float64
+}
+
+// NewNeighborVerifier creates a neighbor-side verifier.
+func NewNeighborVerifier() *NeighborVerifier {
+	return &NeighborVerifier{local: sketch.NewDefault()}
+}
+
+// Observe records one packet handed to the filtering network.
+func (n *NeighborVerifier) Observe(t packet.FiveTuple) {
+	var key [4]byte
+	key[0] = byte(t.SrcIP >> 24)
+	key[1] = byte(t.SrcIP >> 16)
+	key[2] = byte(t.SrcIP >> 8)
+	key[3] = byte(t.SrcIP)
+	n.local.Add(key[:], 1)
+}
+
+// ObservedTotal returns the number of packets observed locally.
+func (n *NeighborVerifier) ObservedTotal() uint64 { return n.local.Total() }
+
+// Reset clears the local log at a round boundary.
+func (n *NeighborVerifier) Reset() { n.local.Reset() }
+
+// Check compares the neighbor's sent-traffic log against the enclave's
+// authenticated incoming log. Packets the neighbor sent but the enclave
+// never saw were dropped before filtering.
+func (n *NeighborVerifier) Check(macKey [32]byte, snap *filter.SignedSnapshot) (Verdict, error) {
+	if snap.Kind != filter.LogIncoming {
+		return Verdict{}, fmt.Errorf("bypass: neighbor check needs the incoming log, got %v", snap.Kind)
+	}
+	enclaveLog, err := filter.VerifySnapshot(macKey, snap)
+	if err != nil {
+		return Verdict{}, fmt.Errorf("%w: %v", ErrSnapshotAuth, err)
+	}
+	d, err := enclaveLog.Diff(n.local)
+	if err != nil {
+		return Verdict{}, fmt.Errorf("bypass: diff: %w", err)
+	}
+	// d.Missing: the neighbor logged traffic the enclave never received.
+	// (d.Excess would be traffic from other neighbors sharing source
+	// prefixes — the incoming log aggregates all neighbors — so the
+	// neighbor check is one-sided.)
+	verdict := Verdict{DropBeforeFilter: d.Missing}
+	tol := uint64(n.Tolerance * float64(n.local.Total()))
+	verdict.Clean = d.Missing <= tol
+	if verdict.Clean {
+		verdict.Detail = "incoming log covers all traffic we delivered"
+	} else {
+		verdict.Detail = fmt.Sprintf("drop before filtering: %d delivered packets never reached the filter", d.Missing)
+	}
+	return verdict, nil
+}
+
+// MergeSnapshots verifies and merges authenticated log snapshots from
+// multiple parallel enclaves into one combined sketch, keyed by per-enclave
+// MAC keys. Victims of a scaled-out deployment (Figure 4) call this before
+// Check-style comparison.
+func MergeSnapshots(keys map[uint64][32]byte, snaps []*filter.SignedSnapshot) (*sketch.Sketch, error) {
+	if len(snaps) == 0 {
+		return nil, errors.New("bypass: no snapshots")
+	}
+	var merged *sketch.Sketch
+	for _, snap := range snaps {
+		key, ok := keys[snap.EnclaveID]
+		if !ok {
+			return nil, fmt.Errorf("bypass: no MAC key for enclave %d", snap.EnclaveID)
+		}
+		s, err := filter.VerifySnapshot(key, snap)
+		if err != nil {
+			return nil, fmt.Errorf("%w: enclave %d: %v", ErrSnapshotAuth, snap.EnclaveID, err)
+		}
+		if merged == nil {
+			merged = s
+			continue
+		}
+		if err := merged.Merge(s); err != nil {
+			return nil, fmt.Errorf("bypass: merge enclave %d: %w", snap.EnclaveID, err)
+		}
+	}
+	return merged, nil
+}

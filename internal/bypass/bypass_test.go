@@ -1,0 +1,311 @@
+package bypass
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/innetworkfiltering/vif/internal/enclave"
+	"github.com/innetworkfiltering/vif/internal/filter"
+	"github.com/innetworkfiltering/vif/internal/packet"
+	"github.com/innetworkfiltering/vif/internal/rules"
+)
+
+// scenario wires a filter (the honest enclave) plus victim and neighbor
+// verifiers, and drives traffic through with optional host misbehavior.
+type scenario struct {
+	f        *filter.Filter
+	victim   *VictimVerifier
+	neighbor *NeighborVerifier
+}
+
+func newScenario(t *testing.T) *scenario {
+	t.Helper()
+	e, err := enclave.New(enclave.CodeIdentity{Name: "vif-filter", BinarySize: 1 << 20}, enclave.DefaultCostModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	set, err := rules.NewSet([]rules.Rule{
+		rules.MustParse("drop udp from 10.0.0.0/8 to 192.0.2.0/24 dport 53"),
+	}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := filter.New(e, set, filter.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &scenario{f: f, victim: NewVictimVerifier(), neighbor: NewNeighborVerifier()}
+}
+
+type hostBehavior struct {
+	// dropBeforeFilter drops every nth delivered packet before the filter.
+	dropBeforeFilter int
+	// dropAfterFilter drops every nth allowed packet before the victim.
+	dropAfterFilter int
+	// injectAfterFilter sends this many extra packets straight to the
+	// victim, bypassing the filter.
+	injectAfterFilter int
+}
+
+// run pushes n mixed packets through the scenario under the given host
+// behavior. Traffic arrives via the neighbor (which logs it), optionally
+// gets dropped by the host, passes the filter, and allowed packets reach
+// the victim unless the host drops them.
+func (s *scenario) run(n int, seed int64, host hostBehavior) {
+	rng := rand.New(rand.NewSource(seed))
+	for i := 0; i < n; i++ {
+		var tp packet.FiveTuple
+		if i%3 == 0 { // attack traffic: will be dropped by the rule
+			tp = packet.FiveTuple{
+				SrcIP:   packet.MustParseIP("10.0.0.1") + rng.Uint32()%1000,
+				DstIP:   packet.MustParseIP("192.0.2.10"),
+				SrcPort: 53, DstPort: 53, Proto: packet.ProtoUDP,
+			}
+		} else { // legitimate
+			tp = packet.FiveTuple{
+				SrcIP:   rng.Uint32() | 0x80000000, // outside 10/8
+				DstIP:   packet.MustParseIP("192.0.2.10"),
+				SrcPort: uint16(rng.Intn(60000) + 1), DstPort: 443, Proto: packet.ProtoTCP,
+			}
+		}
+		s.neighbor.Observe(tp)
+		if host.dropBeforeFilter > 0 && i%host.dropBeforeFilter == 0 {
+			continue // host discards before the filter ever sees it
+		}
+		v := s.f.Process(packet.Descriptor{Tuple: tp, Size: 64, Ref: packet.NoRef})
+		if v != filter.VerdictAllow {
+			continue
+		}
+		if host.dropAfterFilter > 0 && i%host.dropAfterFilter == 0 {
+			continue // host discards after the filter allowed it
+		}
+		s.victim.Observe(tp)
+	}
+	// Injection after filtering: traffic the filter never saw.
+	for i := 0; i < host.injectAfterFilter; i++ {
+		s.victim.Observe(packet.FiveTuple{
+			SrcIP: packet.MustParseIP("10.9.9.9"), DstIP: packet.MustParseIP("192.0.2.10"),
+			SrcPort: 53, DstPort: 53, Proto: packet.ProtoUDP,
+		})
+	}
+}
+
+func (s *scenario) victimVerdict(t *testing.T) Verdict {
+	t.Helper()
+	snap, err := s.f.Snapshot(filter.LogOutgoing, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := s.victim.Check(s.f.Enclave().MACKey(), snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+func (s *scenario) neighborVerdict(t *testing.T) Verdict {
+	t.Helper()
+	snap, err := s.f.Snapshot(filter.LogIncoming, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := s.neighbor.Check(s.f.Enclave().MACKey(), snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+func TestHonestHostIsClean(t *testing.T) {
+	s := newScenario(t)
+	s.run(5000, 1, hostBehavior{})
+	if v := s.victimVerdict(t); !v.Clean {
+		t.Fatalf("honest host flagged by victim: %+v", v)
+	}
+	if v := s.neighborVerdict(t); !v.Clean {
+		t.Fatalf("honest host flagged by neighbor: %+v", v)
+	}
+}
+
+func TestDetectsDropAfterFilter(t *testing.T) {
+	s := newScenario(t)
+	s.run(5000, 2, hostBehavior{dropAfterFilter: 10})
+	v := s.victimVerdict(t)
+	if v.Clean {
+		t.Fatal("drop-after-filter not detected")
+	}
+	if v.DropAfterFilter == 0 {
+		t.Fatalf("wrong attribution: %+v", v)
+	}
+	if v.InjectionAfterFilter != 0 {
+		t.Fatalf("spurious injection finding: %+v", v)
+	}
+	// The neighbor-side check must stay clean: nothing was dropped
+	// before the filter.
+	if nv := s.neighborVerdict(t); !nv.Clean {
+		t.Fatalf("neighbor flagged a drop-after attack: %+v", nv)
+	}
+}
+
+func TestDetectsInjectionAfterFilter(t *testing.T) {
+	s := newScenario(t)
+	s.run(5000, 3, hostBehavior{injectAfterFilter: 200})
+	v := s.victimVerdict(t)
+	if v.Clean {
+		t.Fatal("injection-after-filter not detected")
+	}
+	if v.InjectionAfterFilter < 150 {
+		t.Fatalf("injection estimate too low: %+v", v)
+	}
+}
+
+func TestDetectsDropBeforeFilter(t *testing.T) {
+	s := newScenario(t)
+	s.run(5000, 4, hostBehavior{dropBeforeFilter: 5})
+	v := s.neighborVerdict(t)
+	if v.Clean {
+		t.Fatal("drop-before-filter not detected")
+	}
+	if v.DropBeforeFilter == 0 {
+		t.Fatalf("wrong attribution: %+v", v)
+	}
+	// The victim cannot distinguish this from normal filtering: packets
+	// dropped before the filter were never logged as outgoing.
+	if vv := s.victimVerdict(t); !vv.Clean {
+		t.Fatalf("victim flagged a pre-filter drop: %+v", vv)
+	}
+}
+
+func TestInjectionBeforeFilterIsNotAnAttack(t *testing.T) {
+	// Per §III-B footnote: injected traffic upstream of the filter is
+	// simply filtered like any other traffic; no verifier should fire.
+	s := newScenario(t)
+	s.run(3000, 5, hostBehavior{})
+	// Host injects attack packets *before* the filter: the filter sees,
+	// logs, and drops them; the neighbor never sent them.
+	for i := 0; i < 500; i++ {
+		tp := packet.FiveTuple{
+			SrcIP:   packet.MustParseIP("10.66.0.1") + uint32(i),
+			DstIP:   packet.MustParseIP("192.0.2.10"),
+			SrcPort: 53, DstPort: 53, Proto: packet.ProtoUDP,
+		}
+		s.f.Process(packet.Descriptor{Tuple: tp, Size: 64, Ref: packet.NoRef})
+	}
+	if v := s.victimVerdict(t); !v.Clean {
+		t.Fatalf("victim flagged pre-filter injection: %+v", v)
+	}
+	// Note the neighbor comparison is one-sided (enclave may see MORE
+	// than one neighbor sent); it must not fire either.
+	if v := s.neighborVerdict(t); !v.Clean {
+		t.Fatalf("neighbor flagged pre-filter injection: %+v", v)
+	}
+}
+
+func TestToleranceAbsorbsBenignLoss(t *testing.T) {
+	s := newScenario(t)
+	s.victim.Tolerance = 0.05 // 5% benign WAN loss budget
+	s.run(5000, 6, hostBehavior{dropAfterFilter: 100})
+	if v := s.victimVerdict(t); !v.Clean {
+		t.Fatalf("1%% loss flagged despite 5%% tolerance: %+v", v)
+	}
+	s2 := newScenario(t)
+	s2.victim.Tolerance = 0.05
+	s2.run(5000, 7, hostBehavior{dropAfterFilter: 4})
+	if v := s2.victimVerdict(t); v.Clean {
+		t.Fatal("25% drop slipped under 5% tolerance")
+	}
+}
+
+func TestTamperedSnapshotRejected(t *testing.T) {
+	s := newScenario(t)
+	s.run(1000, 8, hostBehavior{})
+	snap, err := s.f.Snapshot(filter.LogOutgoing, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap.Data[20] ^= 0xff
+	if _, err := s.victim.Check(s.f.Enclave().MACKey(), snap); err == nil {
+		t.Fatal("tampered snapshot accepted")
+	}
+}
+
+func TestKindConfusionRejected(t *testing.T) {
+	s := newScenario(t)
+	s.run(100, 9, hostBehavior{})
+	in, err := s.f.Snapshot(filter.LogIncoming, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.victim.Check(s.f.Enclave().MACKey(), in); err == nil {
+		t.Fatal("victim accepted an incoming log")
+	}
+	out, err := s.f.Snapshot(filter.LogOutgoing, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.neighbor.Check(s.f.Enclave().MACKey(), out); err == nil {
+		t.Fatal("neighbor accepted an outgoing log")
+	}
+}
+
+func TestMergeSnapshotsAcrossEnclaves(t *testing.T) {
+	// Two parallel enclaves each forward part of the traffic; the victim
+	// merges their outgoing logs and compares against everything received.
+	sA, sB := newScenario(t), newScenario(t)
+	victim := NewVictimVerifier()
+	rng := rand.New(rand.NewSource(10))
+	for i := 0; i < 3000; i++ {
+		tp := packet.FiveTuple{
+			SrcIP: rng.Uint32() | 0x80000000, DstIP: packet.MustParseIP("192.0.2.10"),
+			SrcPort: uint16(rng.Intn(60000) + 1), DstPort: 443, Proto: packet.ProtoTCP,
+		}
+		f := sA.f
+		if i%2 == 1 {
+			f = sB.f
+		}
+		if f.Process(packet.Descriptor{Tuple: tp, Size: 64, Ref: packet.NoRef}) == filter.VerdictAllow {
+			victim.Observe(tp)
+		}
+	}
+	snapA, err := sA.f.Snapshot(filter.LogOutgoing, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snapB, err := sB.f.Snapshot(filter.LogOutgoing, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := map[uint64][32]byte{
+		sA.f.Enclave().ID(): sA.f.Enclave().MACKey(),
+		sB.f.Enclave().ID(): sB.f.Enclave().MACKey(),
+	}
+	merged, err := MergeSnapshots(keys, []*filter.SignedSnapshot{snapA, snapB})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := victim.CheckSketch(merged)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.Clean {
+		t.Fatalf("honest two-enclave deployment flagged: %+v", v)
+	}
+
+	// Missing key and unknown enclave must fail.
+	if _, err := MergeSnapshots(map[uint64][32]byte{}, []*filter.SignedSnapshot{snapA}); err == nil {
+		t.Fatal("merge without keys succeeded")
+	}
+	if _, err := MergeSnapshots(keys, nil); err == nil {
+		t.Fatal("merge of nothing succeeded")
+	}
+}
+
+func TestResetClearsVerifiers(t *testing.T) {
+	s := newScenario(t)
+	s.run(100, 11, hostBehavior{})
+	s.victim.Reset()
+	s.neighbor.Reset()
+	if s.victim.ObservedTotal() != 0 || s.neighbor.ObservedTotal() != 0 {
+		t.Fatal("reset did not clear observers")
+	}
+}

@@ -1,0 +1,290 @@
+// Package cluster orchestrates the scalable multi-enclave VIF deployment
+// of §IV: n enclaved filters behind an untrusted load balancer, with the
+// master/slave rule-recalculation protocol of Figure 5.
+//
+// Each reconfiguration round:
+//
+//  1. a master enclave is chosen (any enclave may initiate; the protocol
+//     is symmetric),
+//  2. every slave uploads its rule shard R_i and measured per-rule traffic
+//     B_i (byte counts — enclaves deliberately do not timestamp, §IV
+//     footnote 6, because their clocks are host-influenced),
+//  3. the master recomputes the distribution with the greedy algorithm
+//     (Algorithm 1 / package dist),
+//  4. new enclaves are spawned and attested if the allocation needs them,
+//     and
+//  5. shards and the load-balancer programme are installed atomically.
+package cluster
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/innetworkfiltering/vif/internal/attest"
+	"github.com/innetworkfiltering/vif/internal/dist"
+	"github.com/innetworkfiltering/vif/internal/enclave"
+	"github.com/innetworkfiltering/vif/internal/filter"
+	"github.com/innetworkfiltering/vif/internal/lb"
+	"github.com/innetworkfiltering/vif/internal/packet"
+	"github.com/innetworkfiltering/vif/internal/rules"
+)
+
+// ErrTooLarge is returned when an allocation demands more enclaves than
+// Config.MaxEnclaves permits.
+var ErrTooLarge = errors.New("cluster: allocation demands more enclaves than MaxEnclaves")
+
+// Config assembles a cluster.
+type Config struct {
+	// Identity is the enclave code identity every member must measure to.
+	Identity enclave.CodeIdentity
+	// Model is the SGX platform cost model.
+	Model enclave.CostModel
+	// Platform signs attestation quotes for newly spawned enclaves.
+	Platform *attest.Platform
+	// FilterConfig is applied to every member filter.
+	FilterConfig filter.Config
+	// Dist parameterizes the rule-distribution problem (B is ignored;
+	// it is measured).
+	Dist dist.Instance
+	// MaxEnclaves caps scale-out. Default 256.
+	MaxEnclaves int
+	// WindowSeconds is the measurement window length used to convert the
+	// enclaves' per-rule byte counts into bandwidths (the control plane
+	// timestamps windows externally because enclave clocks are untrusted).
+	// Default 5 s, the paper's rule update period.
+	WindowSeconds float64
+	// Faults optionally makes the untrusted load balancer misbehave.
+	Faults lb.Faults
+}
+
+// Cluster is a running multi-enclave deployment.
+type Cluster struct {
+	cfg     Config
+	set     *rules.Set
+	filters []*filter.Filter
+	bal     *lb.Balancer
+	round   uint64
+	// lbDrops counts packets the (faulty) balancer discarded.
+	lbDrops uint64
+}
+
+// New builds a cluster for the full rule set, distributing rules with an
+// initial uniform traffic estimate (no measurements exist yet).
+func New(cfg Config, set *rules.Set) (*Cluster, error) {
+	if set == nil || set.Len() == 0 {
+		return nil, filter.ErrNoRules
+	}
+	if cfg.MaxEnclaves == 0 {
+		cfg.MaxEnclaves = 256
+	}
+	if cfg.WindowSeconds == 0 {
+		cfg.WindowSeconds = 5
+	}
+	c := &Cluster{cfg: cfg, set: set}
+	uniform := make(map[uint32]uint64, set.Len())
+	for _, r := range set.Rules {
+		uniform[r.ID] = 1
+	}
+	if err := c.Reconfigure(uniform); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// Filters returns the member filters (for attestation, log queries).
+func (c *Cluster) Filters() []*filter.Filter { return c.filters }
+
+// Round returns the completed reconfiguration round count.
+func (c *Cluster) Round() uint64 { return c.round }
+
+// LBDrops returns packets the balancer dropped (fault injection).
+func (c *Cluster) LBDrops() uint64 { return c.lbDrops }
+
+// Process routes one descriptor through the load balancer to its enclave
+// and returns the verdict. Packets the faulty balancer discards report
+// VerdictDrop (that is what the victim experiences) and are counted in
+// LBDrops for the bypass analysis.
+func (c *Cluster) Process(d packet.Descriptor) filter.Verdict {
+	j, ok := c.bal.Route(d.Tuple)
+	if !ok {
+		c.lbDrops++
+		return filter.VerdictDrop
+	}
+	return c.filters[j].Process(d)
+}
+
+// MeasuredBytes aggregates the per-rule byte counters across all member
+// enclaves — the {R_i, B_i} upload step of Figure 5. reset starts the next
+// measurement window.
+func (c *Cluster) MeasuredBytes(reset bool) map[uint32]uint64 {
+	total := make(map[uint32]uint64, c.set.Len())
+	for _, f := range c.filters {
+		for id, b := range f.RuleBytes(reset) {
+			total[id] += b
+		}
+	}
+	return total
+}
+
+// Reconfigure runs one Figure 5 round using the given per-rule traffic
+// measurements (bytes within the last window; only proportions matter to
+// the optimizer, which receives them scaled into the instance's bandwidth
+// domain).
+func (c *Cluster) Reconfigure(measured map[uint32]uint64) error {
+	in := c.cfg.Dist
+	in.B = make([]float64, c.set.Len())
+	// Convert window byte counts to bits/s; rules with no traffic yet
+	// still get an epsilon so they are installed somewhere.
+	scale := 8.0 / c.cfg.WindowSeconds
+	for i, r := range c.set.Rules {
+		b := float64(measured[r.ID]) * scale
+		if b <= 0 {
+			b = 1 // 1 bit/s epsilon keeps the rule placeable
+		}
+		in.B[i] = b
+	}
+
+	alloc, err := dist.Greedy(in, dist.GreedyOptions{})
+	if err != nil {
+		return fmt.Errorf("cluster: redistribute: %w", err)
+	}
+	if alloc.N > c.cfg.MaxEnclaves {
+		return fmt.Errorf("%w: need %d", ErrTooLarge, alloc.N)
+	}
+
+	// Scale the fleet: spawn and attest new enclaves as needed. Extra
+	// enclaves beyond the allocation are retired (their EPC is reclaimed).
+	for len(c.filters) < alloc.N {
+		f, err := c.spawnAttested()
+		if err != nil {
+			return err
+		}
+		c.filters = append(c.filters, f)
+	}
+	if len(c.filters) > alloc.N {
+		c.filters = c.filters[:alloc.N]
+	}
+
+	// Build per-enclave shards and the balancer programme.
+	shares := make(map[uint32][]float64, c.set.Len())
+	shardIDs := make([]map[uint32]bool, alloc.N)
+	for j := range shardIDs {
+		shardIDs[j] = make(map[uint32]bool)
+	}
+	for i, r := range c.set.Rules {
+		shares[r.ID] = alloc.X[i]
+		for j, x := range alloc.X[i] {
+			if x > 0 {
+				shardIDs[j][r.ID] = true
+			}
+		}
+	}
+	for j, f := range c.filters {
+		shard := c.set.Subset(shardIDs[j])
+		if shard.Len() == 0 {
+			// An enclave with no rules still participates (default
+			// action for unmatched traffic); give it the lowest-priority
+			// rule as a placeholder shard is NOT acceptable — instead
+			// skip reconfiguring it with an empty set by retiring it.
+			// The greedy never produces empty enclaves when N is derived
+			// from the instance, but a pinned N can.
+			shard = c.set.Subset(map[uint32]bool{c.set.Rules[0].ID: true})
+		}
+		foreignIDs := make(map[uint32]bool, c.set.Len())
+		for _, r := range c.set.Rules {
+			if !shardIDs[j][r.ID] {
+				foreignIDs[r.ID] = true
+			}
+		}
+		if err := f.Reconfigure(shard, c.set.Subset(foreignIDs)); err != nil {
+			return fmt.Errorf("cluster: enclave %d: %w", j, err)
+		}
+	}
+
+	bal, err := lb.New(lb.Config{
+		FullSet: c.set,
+		Shares:  shares,
+		N:       alloc.N,
+		Faults:  c.cfg.Faults,
+	})
+	if err != nil {
+		return fmt.Errorf("cluster: balancer: %w", err)
+	}
+	c.bal = bal
+	c.round++
+	return nil
+}
+
+// spawnAttested creates a new enclave loaded with the cluster's measured
+// code identity — the "creating and attesting more enclaved filters" step
+// of §IV-B. Attestation is the *victim's* act, not the operator's: newly
+// spawned members surface in the next Quotes call, where the victim
+// challenges each enclave and checks its measurement before trusting its
+// logs (§VI-B).
+func (c *Cluster) spawnAttested() (*filter.Filter, error) {
+	e, err := enclave.New(c.cfg.Identity, c.cfg.Model)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: spawn: %w", err)
+	}
+	f, err := filter.New(e, c.set, c.cfg.FilterConfig)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: filter: %w", err)
+	}
+	return f, nil
+}
+
+// Quotes generates an attestation quote per member for a verifier
+// challenge (the victim audits every enclave, §VI-B).
+func (c *Cluster) Quotes(nonce [32]byte, reportData [attest.ReportDataSize]byte) ([]*attest.Quote, error) {
+	if c.cfg.Platform == nil {
+		return nil, errors.New("cluster: no attestation platform")
+	}
+	quotes := make([]*attest.Quote, 0, len(c.filters))
+	for _, f := range c.filters {
+		q, err := c.cfg.Platform.GenerateQuote(f.Enclave(), nonce, reportData)
+		if err != nil {
+			return nil, err
+		}
+		quotes = append(quotes, q)
+	}
+	return quotes, nil
+}
+
+// Snapshots returns authenticated log snapshots of the given kind from
+// every member, plus the per-enclave MAC keys (released to the verifier
+// over its attested channels).
+func (c *Cluster) Snapshots(kind filter.LogKind, seq uint64) ([]*filter.SignedSnapshot, map[uint64][32]byte, error) {
+	snaps := make([]*filter.SignedSnapshot, 0, len(c.filters))
+	keys := make(map[uint64][32]byte, len(c.filters))
+	for _, f := range c.filters {
+		s, err := f.Snapshot(kind, seq)
+		if err != nil {
+			return nil, nil, err
+		}
+		snaps = append(snaps, s)
+		keys[f.Enclave().ID()] = f.Enclave().MACKey()
+	}
+	return snaps, keys, nil
+}
+
+// TotalStats sums member filter stats.
+func (c *Cluster) TotalStats() filter.Stats {
+	var t filter.Stats
+	for _, f := range c.filters {
+		s := f.Stats()
+		t.Processed += s.Processed
+		t.Allowed += s.Allowed
+		t.Dropped += s.Dropped
+		t.ExactHits += s.ExactHits
+		t.RuleHits += s.RuleHits
+		t.DefaultHits += s.DefaultHits
+		t.Hashed += s.Hashed
+		t.Promoted += s.Promoted
+		t.Misrouted += s.Misrouted
+		t.Malformed += s.Malformed
+	}
+	return t
+}
+
+// Size returns the current enclave count.
+func (c *Cluster) Size() int { return len(c.filters) }

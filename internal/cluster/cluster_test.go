@@ -1,0 +1,354 @@
+package cluster
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/innetworkfiltering/vif/internal/attest"
+	"github.com/innetworkfiltering/vif/internal/bypass"
+	"github.com/innetworkfiltering/vif/internal/dist"
+	"github.com/innetworkfiltering/vif/internal/enclave"
+	"github.com/innetworkfiltering/vif/internal/filter"
+	"github.com/innetworkfiltering/vif/internal/lb"
+	"github.com/innetworkfiltering/vif/internal/packet"
+	"github.com/innetworkfiltering/vif/internal/rules"
+)
+
+func testConfig(t *testing.T) (Config, *attest.Service) {
+	t.Helper()
+	svc, err := attest.NewService()
+	if err != nil {
+		t.Fatal(err)
+	}
+	platform, err := svc.CertifyPlatform("ixp-rack-01")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Config{
+		Identity: enclave.CodeIdentity{Name: "vif-filter", Version: "1", BinarySize: 1 << 20},
+		Model:    enclave.DefaultCostModel(),
+		Platform: platform,
+		Dist: dist.Instance{
+			G: 10e9, M: 92e6, U: 92e6 / 3000, V: 2e6, Alpha: 1, Lambda: 0.2,
+		},
+	}, svc
+}
+
+func bigSet(t *testing.T, k int) *rules.Set {
+	t.Helper()
+	rng := rand.New(rand.NewSource(77))
+	rs := make([]rules.Rule, k)
+	for i := range rs {
+		rs[i] = rules.Rule{
+			Src:   rules.Prefix{Addr: rng.Uint32(), Len: 24}.Canonical(),
+			Dst:   rules.MustParsePrefix("192.0.2.0/24"),
+			Proto: packet.ProtoUDP,
+			// PAllow 0: drop attack sources.
+		}
+	}
+	return mustSet(t, rs)
+}
+
+func mustSet(t *testing.T, rs []rules.Rule) *rules.Set {
+	t.Helper()
+	s, err := rules.NewSet(rs, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestNewDistributesRules(t *testing.T) {
+	cfg, _ := testConfig(t)
+	set := bigSet(t, 500)
+	c, err := New(cfg, set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Size() < 1 {
+		t.Fatal("no enclaves")
+	}
+	if c.Round() != 1 {
+		t.Fatalf("Round = %d, want 1", c.Round())
+	}
+	// Every rule must be installed on at least one member.
+	installed := make(map[uint32]bool)
+	for _, f := range c.Filters() {
+		for _, r := range f.Rules().Rules {
+			installed[r.ID] = true
+		}
+	}
+	for _, r := range set.Rules {
+		if !installed[r.ID] {
+			t.Fatalf("rule %d installed nowhere", r.ID)
+		}
+	}
+}
+
+func TestClusterFiltersLikeASingleFilter(t *testing.T) {
+	cfg, _ := testConfig(t)
+	set := bigSet(t, 200)
+	c, err := New(cfg, set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	attackDropped, cleanAllowed := 0, 0
+	const n = 2000
+	for i := 0; i < n; i++ {
+		if i%2 == 0 {
+			// Attack: source inside some rule's /24.
+			r := set.Rules[rng.Intn(set.Len())]
+			tp := packet.FiveTuple{
+				SrcIP: r.Src.Addr | (rng.Uint32() & 0xff),
+				DstIP: packet.MustParseIP("192.0.2.9"),
+				Proto: packet.ProtoUDP,
+			}
+			if c.Process(packet.Descriptor{Tuple: tp, Size: 64}) == filter.VerdictDrop {
+				attackDropped++
+			}
+		} else {
+			tp := packet.FiveTuple{
+				SrcIP: rng.Uint32(), DstIP: packet.MustParseIP("192.0.2.9"),
+				SrcPort: 555, DstPort: 443, Proto: packet.ProtoTCP,
+			}
+			if c.Process(packet.Descriptor{Tuple: tp, Size: 64}) == filter.VerdictAllow {
+				cleanAllowed++
+			}
+		}
+	}
+	if attackDropped != n/2 {
+		t.Fatalf("attack packets dropped %d/%d", attackDropped, n/2)
+	}
+	if cleanAllowed != n/2 {
+		t.Fatalf("clean packets allowed %d/%d", cleanAllowed, n/2)
+	}
+	if got := c.TotalStats().Processed; got != n {
+		t.Fatalf("Processed = %d, want %d", got, n)
+	}
+}
+
+func TestReconfigureRebalancesByMeasuredTraffic(t *testing.T) {
+	cfg, _ := testConfig(t)
+	// Small per-enclave memory so few rules fit each enclave: forces a
+	// multi-enclave deployment.
+	cfg.Dist.M = 92e6
+	cfg.Dist.U = 92e6 / 50 // 50 rules per enclave
+	set := bigSet(t, 200)
+	c, err := New(cfg, set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Size() < 4 {
+		t.Fatalf("expected ≥4 enclaves, got %d", c.Size())
+	}
+
+	// Drive traffic so one rule dominates, then reconfigure.
+	rng := rand.New(rand.NewSource(2))
+	hot := set.Rules[0]
+	for i := 0; i < 5000; i++ {
+		tp := packet.FiveTuple{
+			SrcIP: hot.Src.Addr | (rng.Uint32() & 0xff),
+			DstIP: packet.MustParseIP("192.0.2.9"),
+			Proto: packet.ProtoUDP,
+		}
+		c.Process(packet.Descriptor{Tuple: tp, Size: 1500})
+	}
+	measured := c.MeasuredBytes(true)
+	if measured[hot.ID] == 0 {
+		t.Fatal("hot rule measured no traffic")
+	}
+	if err := c.Reconfigure(measured); err != nil {
+		t.Fatal(err)
+	}
+	if c.Round() != 2 {
+		t.Fatalf("Round = %d", c.Round())
+	}
+	// The deployment must still filter correctly after redistribution.
+	tp := packet.FiveTuple{
+		SrcIP: hot.Src.Addr | 5, DstIP: packet.MustParseIP("192.0.2.9"), Proto: packet.ProtoUDP,
+	}
+	if got := c.Process(packet.Descriptor{Tuple: tp, Size: 64}); got != filter.VerdictDrop {
+		t.Fatalf("hot rule no longer enforced after round: %v", got)
+	}
+}
+
+func TestQuotesVerifyForEveryMember(t *testing.T) {
+	cfg, svc := testConfig(t)
+	set := bigSet(t, 100)
+	c, err := New(cfg, set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var nonce [32]byte
+	nonce[0] = 7
+	quotes, err := c.Quotes(nonce, [attest.ReportDataSize]byte{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(quotes) != c.Size() {
+		t.Fatalf("got %d quotes for %d members", len(quotes), c.Size())
+	}
+	want := cfg.Identity.Measurement()
+	for i, q := range quotes {
+		if err := attest.VerifyQuote(svc.RootPublicKey(), svc, q, nonce, want); err != nil {
+			t.Fatalf("member %d quote rejected: %v", i, err)
+		}
+	}
+}
+
+func TestMergedLogsCoverWholeCluster(t *testing.T) {
+	cfg, _ := testConfig(t)
+	set := bigSet(t, 100)
+	c, err := New(cfg, set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	victim := bypass.NewVictimVerifier()
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 3000; i++ {
+		tp := packet.FiveTuple{
+			SrcIP: rng.Uint32(), DstIP: packet.MustParseIP("192.0.2.9"),
+			SrcPort: uint16(rng.Intn(60000) + 1), DstPort: 443, Proto: packet.ProtoTCP,
+		}
+		if c.Process(packet.Descriptor{Tuple: tp, Size: 64}) == filter.VerdictAllow {
+			victim.Observe(tp)
+		}
+	}
+	snaps, keys, err := c.Snapshots(filter.LogOutgoing, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	merged, err := bypass.MergeSnapshots(keys, snaps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := victim.CheckSketch(merged)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.Clean {
+		t.Fatalf("honest cluster flagged: %+v", v)
+	}
+}
+
+func TestFaultyBalancerCaughtByMisrouteDetection(t *testing.T) {
+	cfg, _ := testConfig(t)
+	cfg.Dist.M = 92e6
+	cfg.Dist.U = 92e6 / 50
+	cfg.Faults = lb.Faults{MisrouteProb: 0.5, Seed: 9}
+	set := bigSet(t, 200)
+	c, err := New(cfg, set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 2000; i++ {
+		r := set.Rules[rng.Intn(set.Len())]
+		tp := packet.FiveTuple{
+			SrcIP: r.Src.Addr | (rng.Uint32() & 0xff),
+			DstIP: packet.MustParseIP("192.0.2.9"),
+			Proto: packet.ProtoUDP,
+		}
+		c.Process(packet.Descriptor{Tuple: tp, Size: 64})
+	}
+	if got := c.TotalStats().Misrouted; got == 0 {
+		t.Fatal("misrouting balancer never detected by enclaves")
+	}
+}
+
+func TestFaultyBalancerDropsCountAsLBDrops(t *testing.T) {
+	cfg, _ := testConfig(t)
+	cfg.Faults = lb.Faults{DropProb: 0.25, Seed: 10}
+	set := bigSet(t, 50)
+	c, err := New(cfg, set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint32(0); i < 2000; i++ {
+		tp := packet.FiveTuple{
+			SrcIP: i, DstIP: packet.MustParseIP("192.0.2.9"), DstPort: 443, Proto: packet.ProtoTCP,
+		}
+		c.Process(packet.Descriptor{Tuple: tp, Size: 64})
+	}
+	drops := c.LBDrops()
+	if drops < 300 || drops > 700 {
+		t.Fatalf("LBDrops = %d, want ≈500", drops)
+	}
+}
+
+func TestNewRejectsEmptySet(t *testing.T) {
+	cfg, _ := testConfig(t)
+	if _, err := New(cfg, nil); err == nil {
+		t.Fatal("nil set accepted")
+	}
+}
+
+func TestFleetScalesUpWithTraffic(t *testing.T) {
+	// §IV-B: "If the calculation requires the changes to the number of
+	// enclaves, necessary additional steps (e.g., creating and attesting
+	// more enclaved filters) may be required." A traffic surge past one
+	// enclave's bandwidth must grow the fleet.
+	cfg, svc := testConfig(t)
+	set := bigSet(t, 20)
+	c, err := New(cfg, set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := c.Size()
+
+	// Report measured traffic of ~4 GB over a 5 s window per rule:
+	// 20 rules x 6.4 Gb/s ≈ 128 Gb/s total → ≥13 enclaves at 10 Gb/s.
+	surge := make(map[uint32]uint64, set.Len())
+	for _, r := range set.Rules {
+		surge[r.ID] = 4 << 30
+	}
+	if err := c.Reconfigure(surge); err != nil {
+		t.Fatal(err)
+	}
+	if c.Size() <= before {
+		t.Fatalf("fleet did not grow: %d -> %d", before, c.Size())
+	}
+	// Every member of the grown fleet must still attest.
+	var nonce [32]byte
+	nonce[5] = 1
+	quotes, err := c.Quotes(nonce, [attest.ReportDataSize]byte{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := cfg.Identity.Measurement()
+	for i, q := range quotes {
+		if err := attest.VerifyQuote(svc.RootPublicKey(), svc, q, nonce, want); err != nil {
+			t.Fatalf("scaled-up member %d failed attestation: %v", i, err)
+		}
+	}
+
+	// And a traffic collapse must shrink it back down.
+	calm := make(map[uint32]uint64, set.Len())
+	for _, r := range set.Rules {
+		calm[r.ID] = 1000
+	}
+	if err := c.Reconfigure(calm); err != nil {
+		t.Fatal(err)
+	}
+	if c.Size() >= before+10 {
+		t.Fatalf("fleet did not shrink after the surge ended: %d", c.Size())
+	}
+}
+
+func TestReconfigureRespectsMaxEnclaves(t *testing.T) {
+	cfg, _ := testConfig(t)
+	cfg.MaxEnclaves = 2
+	set := bigSet(t, 20)
+	c, err := New(cfg, set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	surge := make(map[uint32]uint64, set.Len())
+	for _, r := range set.Rules {
+		surge[r.ID] = 8 << 30
+	}
+	if err := c.Reconfigure(surge); err == nil {
+		t.Fatal("surge beyond MaxEnclaves accepted")
+	}
+}

@@ -1,0 +1,125 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§V and §VI-C plus the appendices). Each experiment returns a
+// Result — a paper-style table of rows — that cmd/vif-experiments prints
+// and EXPERIMENTS.md records against the paper's numbers.
+//
+// Every experiment is deterministic given its seed; "quick" mode scales
+// down the slowest sweeps (noted per experiment) without changing any
+// qualitative shape.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Result is one regenerated table or figure.
+type Result struct {
+	// ID is the paper artifact, e.g. "fig8" or "table1".
+	ID string
+	// Title describes what the paper's artifact shows.
+	Title string
+	// Header names the columns.
+	Header []string
+	// Rows are the data, already formatted.
+	Rows [][]string
+	// Notes records calibration caveats and paper-vs-measured remarks.
+	Notes []string
+}
+
+// Render formats the result as an aligned text table.
+func (r *Result) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", r.ID, r.Title)
+	widths := make([]int, len(r.Header))
+	for i, h := range r.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range r.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(r.Header)
+	for i, w := range widths {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(strings.Repeat("-", w))
+	}
+	b.WriteByte('\n')
+	for _, row := range r.Rows {
+		writeRow(row)
+	}
+	for _, n := range r.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// Config tunes experiment scale.
+type Config struct {
+	// Quick trades sweep size for runtime (default true in tests; the
+	// CLI exposes -full).
+	Quick bool
+	// Seed drives every random draw.
+	Seed int64
+}
+
+// Runner is one registered experiment.
+type Runner struct {
+	ID   string
+	Desc string
+	Run  func(Config) (*Result, error)
+}
+
+// All returns the experiment registry in paper order.
+func All() []Runner {
+	return []Runner{
+		{ID: "fig3a", Desc: "filter throughput vs number of rules", Run: Fig3a},
+		{ID: "fig3b", Desc: "enclave memory footprint vs number of rules", Run: Fig3b},
+		{ID: "fig8", Desc: "throughput (Gb/s) vs packet size, three implementations", Run: Fig8},
+		{ID: "fig13", Desc: "throughput (Mpps) vs packet size, three implementations", Run: Fig13},
+		{ID: "latency", Desc: "data-plane latency vs packet size at 8 Gb/s", Run: Latency},
+		{ID: "fig14", Desc: "throughput vs fraction of hashed packets", Run: Fig14},
+		{ID: "table2", Desc: "batch insertion into the multi-bit trie", Run: Table2},
+		{ID: "table1", Desc: "exact-solver vs greedy execution time", Run: Table1},
+		{ID: "gap", Desc: "greedy optimality gap on small instances", Run: Gap},
+		{ID: "fig9", Desc: "greedy runtime for 10K-150K rules", Run: Fig9},
+		{ID: "fig11", Desc: "attack sources handled by top-n regional IXPs", Run: Fig11},
+		{ID: "attest", Desc: "remote attestation latency breakdown", Run: Attestation},
+		{ID: "table3", Desc: "top five IXPs per region", Run: Table3},
+	}
+}
+
+// ByID returns one experiment.
+func ByID(id string) (Runner, bool) {
+	for _, r := range All() {
+		if r.ID == id {
+			return r, true
+		}
+	}
+	return Runner{}, false
+}
+
+// IDs lists registered experiment IDs.
+func IDs() []string {
+	var out []string
+	for _, r := range All() {
+		out = append(out, r.ID)
+	}
+	sort.Strings(out)
+	return out
+}

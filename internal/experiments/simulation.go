@@ -1,0 +1,186 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"github.com/innetworkfiltering/vif/internal/attack"
+	"github.com/innetworkfiltering/vif/internal/attest"
+	"github.com/innetworkfiltering/vif/internal/bgp"
+	"github.com/innetworkfiltering/vif/internal/enclave"
+	"github.com/innetworkfiltering/vif/internal/ixp"
+)
+
+// Fig11 regenerates Figure 11: the ratio of attack sources (a: vulnerable
+// DNS resolvers, b: Mirai bots) whose route to a random stub victim
+// crosses at least one of the top-1..5 IXPs per region. The paper's
+// box-and-whisker panels become rows of (P5, Q1, median, Q3, P95).
+func Fig11(cfg Config) (*Result, error) {
+	genCfg := bgp.DefaultGenConfig()
+	genCfg.Seed = cfg.Seed
+	victims := 200
+	resolverCount := attack.DefaultResolverCount
+	miraiCount := attack.DefaultMiraiCount
+	if cfg.Quick {
+		genCfg.Tier2PerRegion = 20
+		genCfg.StubsPerRegion = 200
+		victims = 60
+		resolverCount /= 4
+		miraiCount /= 4
+	}
+	inet, err := bgp.Generate(genCfg)
+	if err != nil {
+		return nil, err
+	}
+	ixps, err := ixp.Build(inet, ixp.BuildConfig{Seed: cfg.Seed + 1})
+	if err != nil {
+		return nil, err
+	}
+	resolvers, err := attack.DNSResolvers(inet, resolverCount, cfg.Seed+2)
+	if err != nil {
+		return nil, err
+	}
+	mirai, err := attack.MiraiBots(inet, miraiCount, cfg.Seed+3)
+	if err != nil {
+		return nil, err
+	}
+
+	rng := rand.New(rand.NewSource(cfg.Seed + 4))
+	stubs := inet.AllStubs()
+	victimASes := make([]bgp.ASN, 0, victims)
+	for _, i := range rng.Perm(len(stubs))[:victims] {
+		victimASes = append(victimASes, stubs[i])
+	}
+
+	res := &Result{
+		ID:     "fig11",
+		Title:  "ratio of attack sources handled by VIF IXPs (top-n per region)",
+		Header: []string{"dataset", "IXPs", "P5", "Q1", "median", "Q3", "P95"},
+	}
+	for _, ds := range []struct {
+		name    string
+		sources *ixp.SourceSet
+	}{
+		{"dns-resolvers", resolvers},
+		{"mirai-bots", mirai},
+	} {
+		for n := 1; n <= 5; n++ {
+			selected := ixp.SelectTopN(ixps, n)
+			cov, err := ixp.Coverage(inet.Topo, victimASes, ds.sources, selected)
+			if err != nil {
+				return nil, err
+			}
+			res.Rows = append(res.Rows, []string{
+				ds.name,
+				fmt.Sprintf("top-%d (%d total)", n, len(selected)),
+				fmt.Sprintf("%.2f", cov.P5),
+				fmt.Sprintf("%.2f", cov.Q1),
+				fmt.Sprintf("%.2f", cov.Median),
+				fmt.Sprintf("%.2f", cov.Q3),
+				fmt.Sprintf("%.2f", cov.P95),
+			})
+		}
+	}
+	res.Notes = append(res.Notes,
+		fmt.Sprintf("topology: %d ASes, %d victims, %d resolvers, %d bots (paper: CAIDA topology, 1,000 victims, 3M resolvers, 250K bots — ratios are scale-invariant)",
+			inet.Topo.Len(), victims, resolvers.Total(), mirai.Total()),
+		"paper anchors: ≈60% median at top-1, ≥75% median at top-5, 80-90% upper quartile")
+	return res, nil
+}
+
+// Attestation regenerates Appendix G: the remote-attestation latency
+// decomposition — measured local quote generation/verification on this
+// host plus the modelled WAN legs of the paper's deployment (verifier and
+// filter in South Asia, attestation service in Ashburn, VA).
+func Attestation(cfg Config) (*Result, error) {
+	svc, err := attest.NewService()
+	if err != nil {
+		return nil, err
+	}
+	platform, err := svc.CertifyPlatform("bench-platform")
+	if err != nil {
+		return nil, err
+	}
+	e, err := enclave.New(enclave.CodeIdentity{
+		Name: "vif-filter", Version: "exp", BinarySize: 1 << 20,
+	}, enclave.DefaultCostModel())
+	if err != nil {
+		return nil, err
+	}
+
+	reps := 50
+	if cfg.Quick {
+		reps = 10
+	}
+	var nonce [32]byte
+	var quoteTotal, verifyTotal time.Duration
+	for i := 0; i < reps; i++ {
+		nonce[0] = byte(i)
+		start := time.Now()
+		q, err := platform.GenerateQuote(e, nonce, [attest.ReportDataSize]byte{})
+		if err != nil {
+			return nil, err
+		}
+		quoteTotal += time.Since(start)
+		start = time.Now()
+		if err := attest.VerifyQuote(svc.RootPublicKey(), svc, q, nonce, e.Measurement()); err != nil {
+			return nil, err
+		}
+		verifyTotal += time.Since(start)
+	}
+
+	model := attest.DefaultLatencyModel()
+	breakdown := model.EndToEnd(1 << 20)
+	res := &Result{
+		ID:     "attest",
+		Title:  "remote attestation latency (1 MB enclave binary)",
+		Header: []string{"component", "value", "paper"},
+		Rows: [][]string{
+			{"local quote generation (measured ECDSA)", (quoteTotal / time.Duration(reps)).Round(time.Microsecond).String(), "-"},
+			{"local quote verification (measured ECDSA)", (verifyTotal / time.Duration(reps)).Round(time.Microsecond).String(), "-"},
+			{"platform time (modeled, incl. 1 MB measurement)", breakdown.PlatformTime.Round(100 * time.Microsecond).String(), "28.8 ms"},
+			{"WAN legs (modeled)", breakdown.NetworkTime.String(), "-"},
+			{"attestation service processing (modeled)", breakdown.ServiceTime.String(), "-"},
+			{"end to end", breakdown.Total.Round(10 * time.Millisecond).String(), "3.04 s"},
+		},
+		Notes: []string{
+			"the paper's 3.04 s end-to-end is dominated by the WAN path to the Intel Attestation Service; local cryptography is milliseconds on any platform",
+		},
+	}
+	return res, nil
+}
+
+// Table3 regenerates Table III: the top five IXPs per region, with the
+// paper's real member counts and this simulation's scaled membership.
+func Table3(cfg Config) (*Result, error) {
+	genCfg := bgp.DefaultGenConfig()
+	genCfg.Seed = cfg.Seed
+	if cfg.Quick {
+		genCfg.Tier2PerRegion = 20
+		genCfg.StubsPerRegion = 200
+	}
+	inet, err := bgp.Generate(genCfg)
+	if err != nil {
+		return nil, err
+	}
+	ixps, err := ixp.Build(inet, ixp.BuildConfig{Seed: cfg.Seed + 1})
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{
+		ID:     "table3",
+		Title:  "top five IXPs per region (paper member counts; simulated membership)",
+		Header: []string{"region", "rank", "IXP", "paper members", "simulated members"},
+	}
+	for _, x := range ixps {
+		res.Rows = append(res.Rows, []string{
+			ixp.RegionNames[x.Region],
+			fmt.Sprintf("%d", x.Rank),
+			x.Name,
+			fmt.Sprintf("%d", ixp.TableIII[x.Region][x.Rank-1].Members),
+			fmt.Sprintf("%d", len(x.Members)),
+		})
+	}
+	return res, nil
+}

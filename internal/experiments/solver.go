@@ -1,0 +1,204 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"github.com/innetworkfiltering/vif/internal/dist"
+	"github.com/innetworkfiltering/vif/internal/netsim"
+)
+
+// solverInstance mirrors §V-C: 10 Gb/s enclaves, EPC-derived memory cap
+// (≈3,000 rules each), lognormal traffic summing to totalBps.
+func solverInstance(rng *rand.Rand, k int, totalBps float64) dist.Instance {
+	b := netsim.LognormalBandwidths(rng, k, totalBps, netsim.DefaultSigma)
+	b, _ = netsim.ClampToCapacity(b, 10e9)
+	return dist.Instance{
+		B: b, G: 10e9, M: 92e6, U: 92e6 / 3000, V: 2e6, Alpha: 1, Lambda: 0.2,
+	}
+}
+
+// Table1 regenerates Table I: execution time of the exact solver (CPLEX
+// stand-in, configured like the paper to stop at a sub-optimal incumbent)
+// against the greedy, for k = 5,000/10,000/15,000 rules at 100 Gb/s.
+// Quick mode scales k by 10x down; the order-of-magnitude gap is the
+// claim, and it is scale-stable.
+func Table1(cfg Config) (*Result, error) {
+	ks := []int{5000, 10000, 15000}
+	scale := 1
+	if cfg.Quick {
+		scale = 10
+	}
+	res := &Result{
+		ID:     "table1",
+		Title:  "execution time: exact solver (stop at first incumbent) vs greedy",
+		Header: []string{"rules k", "exact first-incumbent", "exact proven", "greedy", "speedup"},
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	budget := 30 * time.Second
+	if cfg.Quick {
+		budget = 5 * time.Second
+	}
+	for _, k := range ks {
+		k := k / scale
+		in := solverInstance(rng, k, 100e9)
+
+		exact, exactErr := dist.SolveExact(in, dist.ExactOptions{
+			StopAtFirst: true, Deadline: budget,
+		})
+		firstInc := "n/a"
+		if exactErr == nil && exact.Allocation != nil {
+			firstInc = exact.FirstIncumbent.Round(10 * time.Microsecond).String()
+		}
+
+		proven, provenErr := dist.SolveExact(in, dist.ExactOptions{Deadline: budget})
+		provenStr := fmt.Sprintf(">%v (timeout)", budget)
+		if provenErr == nil && proven.Allocation != nil && proven.Allocation.Proven {
+			provenStr = proven.Elapsed.Round(10 * time.Microsecond).String()
+		}
+
+		start := time.Now()
+		if _, err := dist.Greedy(in, dist.GreedyOptions{}); err != nil {
+			return nil, err
+		}
+		greedyTime := time.Since(start)
+
+		speedup := "-"
+		if provenErr == nil && proven.Allocation != nil && proven.Allocation.Proven && greedyTime > 0 {
+			speedup = fmt.Sprintf("%.0fx", float64(proven.Elapsed)/float64(greedyTime))
+		} else if greedyTime > 0 {
+			speedup = fmt.Sprintf(">%.0fx", float64(budget)/float64(greedyTime))
+		}
+
+		res.Rows = append(res.Rows, []string{
+			fmt.Sprintf("%d", k),
+			firstInc,
+			provenStr,
+			greedyTime.Round(10 * time.Microsecond).String(),
+			speedup,
+		})
+	}
+	res.Notes = append(res.Notes,
+		"paper: CPLEX needs 210-1,615 s even for sub-optimal stops; greedy 0.31-0.73 s (3 orders of magnitude)",
+		"the branch-and-bound stand-in finds first incumbents faster than CPLEX's LP-based search, so the headline column here is 'exact proven' vs greedy")
+	if cfg.Quick {
+		res.Notes = append(res.Notes, "quick mode: k scaled down 10x; run with -full for paper-scale k")
+	}
+	return res, nil
+}
+
+// Gap regenerates the §V-C optimality-gap measurement: greedy objective vs
+// proven-optimal objective on small instances (10 ≤ k ≤ 15; the paper
+// reports a 5.2% mean gap against CPLEX).
+func Gap(cfg Config) (*Result, error) {
+	res := &Result{
+		ID:     "gap",
+		Title:  "greedy optimality gap on small instances (10 ≤ k ≤ 15)",
+		Header: []string{"instance", "k", "exact z", "greedy z", "gap %"},
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	instances := 10
+	if cfg.Quick {
+		instances = 5
+	}
+	var sum float64
+	n := 0
+	for i := 0; i < instances; i++ {
+		k := 10 + rng.Intn(6)
+		b := netsim.LognormalBandwidths(rng, k, 25e9, 1.0)
+		b, _ = netsim.ClampToCapacity(b, 10e9)
+		// Alpha weights the memory cost so the two objective terms are
+		// comparable at this scale (as in the Appendix C formulation where
+		// α "balances two maximums"): splitting rules across enclaves then
+		// has a real price and the greedy pays a measurable gap.
+		in := dist.Instance{
+			B: b, G: 10e9, M: 92e6, U: 92e6 / 3000, V: 0, Alpha: 5000, Lambda: 0.3,
+		}
+		exact, err := dist.SolveExact(in, dist.ExactOptions{Deadline: 20 * time.Second})
+		if err != nil || exact.Allocation == nil || !exact.Allocation.Proven {
+			continue
+		}
+		greedy, err := dist.Greedy(in, dist.GreedyOptions{})
+		if err != nil {
+			return nil, err
+		}
+		gap := (greedy.Objective - exact.Allocation.Objective) / exact.Allocation.Objective * 100
+		sum += gap
+		n++
+		res.Rows = append(res.Rows, []string{
+			fmt.Sprintf("%d", i),
+			fmt.Sprintf("%d", k),
+			fmt.Sprintf("%.3g", exact.Allocation.Objective),
+			fmt.Sprintf("%.3g", greedy.Objective),
+			fmt.Sprintf("%+.1f", gap),
+		})
+	}
+	if n > 0 {
+		res.Notes = append(res.Notes, fmt.Sprintf(
+			"mean gap %.1f%% over %d instances (paper: 5.2%%); negative gaps occur because the greedy may split rules across enclaves, which whole-rule exact placement cannot",
+			sum/float64(n), n))
+	}
+	return res, nil
+}
+
+// Fig9 regenerates Figure 9: greedy runtime for k = 10K..150K rules at
+// 500 Gb/s total traffic (paper: ≤40 s everywhere; mean and stdev over
+// seeds).
+func Fig9(cfg Config) (*Result, error) {
+	ks := []int{10000, 50000, 100000, 150000}
+	if !cfg.Quick {
+		ks = []int{10000, 20000, 30000, 40000, 50000, 60000, 70000, 80000,
+			90000, 100000, 110000, 120000, 130000, 140000, 150000}
+	}
+	seeds := 3
+	if cfg.Quick {
+		seeds = 2
+	}
+	res := &Result{
+		ID:     "fig9",
+		Title:  "greedy runtime vs rule count (500 Gb/s lognormal traffic)",
+		Header: []string{"rules k", "mean", "stdev", "enclaves"},
+	}
+	for _, k := range ks {
+		var times []float64
+		enclaves := 0
+		for s := 0; s < seeds; s++ {
+			rng := rand.New(rand.NewSource(cfg.Seed + int64(s)))
+			in := solverInstance(rng, k, 500e9)
+			start := time.Now()
+			a, err := dist.Greedy(in, dist.GreedyOptions{})
+			if err != nil {
+				return nil, fmt.Errorf("fig9 k=%d: %w", k, err)
+			}
+			times = append(times, time.Since(start).Seconds())
+			enclaves = a.N
+		}
+		mean, std := meanStd(times)
+		res.Rows = append(res.Rows, []string{
+			fmt.Sprintf("%d", k),
+			fmt.Sprintf("%.3fs", mean),
+			fmt.Sprintf("%.3fs", std),
+			fmt.Sprintf("%d", enclaves),
+		})
+	}
+	res.Notes = append(res.Notes,
+		"paper anchor: no more than 40 s anywhere in 10K-150K — near-real-time redistribution; this implementation is faster at the same shape (growing with k)")
+	return res, nil
+}
+
+func meanStd(xs []float64) (mean, std float64) {
+	if len(xs) == 0 {
+		return 0, 0
+	}
+	for _, x := range xs {
+		mean += x
+	}
+	mean /= float64(len(xs))
+	for _, x := range xs {
+		std += (x - mean) * (x - mean)
+	}
+	std = math.Sqrt(std / float64(len(xs)))
+	return mean, std
+}

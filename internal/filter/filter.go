@@ -1,0 +1,471 @@
+// Package filter implements VIF's auditable in-enclave traffic filter —
+// the paper's core contribution (§III).
+//
+// The decision function is stateless in the sense of Eq. 2: the verdict for
+// a packet depends only on the packet's five-tuple, the installed rule set,
+// and the enclave's sealed secret — never on arrival time, packet order, or
+// any previous packet. That property (asserted by this package's tests) is
+// what makes the filter auditable: the untrusted host controls packet
+// timing and can inject traffic, but cannot steer decisions.
+//
+// Probabilistic rules ("drop 50% of HTTP flows") are executed
+// connection-preservingly via hash-based filtering (Appendix A): a flow is
+// allowed iff the leading 64 bits of SHA-256(fiveTuple ‖ secret) fall under
+// PAllow·2^64, so all packets of a flow share one fate, the host cannot
+// predict or bias fates without the secret, and the empirical allow rate
+// converges to PAllow. The hybrid design (Appendix F) additionally promotes
+// newly observed flows to exact-match entries in batches, trading per-packet
+// hashing for lookup-table growth.
+package filter
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+
+	"github.com/innetworkfiltering/vif/internal/enclave"
+	"github.com/innetworkfiltering/vif/internal/packet"
+	"github.com/innetworkfiltering/vif/internal/rules"
+	"github.com/innetworkfiltering/vif/internal/sketch"
+	"github.com/innetworkfiltering/vif/internal/trie"
+)
+
+// Verdict is the filter's per-packet decision.
+type Verdict uint8
+
+// Verdicts.
+const (
+	VerdictAllow Verdict = iota + 1
+	VerdictDrop
+)
+
+// String renders the verdict.
+func (v Verdict) String() string {
+	switch v {
+	case VerdictAllow:
+		return "allow"
+	case VerdictDrop:
+		return "drop"
+	default:
+		return fmt.Sprintf("verdict(%d)", uint8(v))
+	}
+}
+
+// CopyMode selects the data-path copy discipline whose costs the enclave
+// meter charges (the three implementations of Figure 8).
+type CopyMode int
+
+// Copy modes.
+const (
+	// CopyModeNative is the no-SGX baseline: the filter runs in host
+	// memory, packets are processed zero-copy as in plain DPDK.
+	CopyModeNative CopyMode = iota + 1
+	// CopyModeFull copies every packet byte into the enclave before
+	// processing (the naive SGX middlebox design).
+	CopyModeFull
+	// CopyModeNearZero copies only ⟨five-tuple, size, ref⟩ into the
+	// enclave (§V-A's near zero-copy optimization).
+	CopyModeNearZero
+)
+
+// String renders the copy mode.
+func (m CopyMode) String() string {
+	switch m {
+	case CopyModeNative:
+		return "native"
+	case CopyModeFull:
+		return "sgx-full-copy"
+	case CopyModeNearZero:
+		return "sgx-near-zero-copy"
+	default:
+		return fmt.Sprintf("mode(%d)", int(m))
+	}
+}
+
+// descriptorBytes is what the near-zero-copy path moves across the enclave
+// boundary per packet: five-tuple (13) + size (2) + buffer reference (8).
+const descriptorBytes = packet.KeySize + 2 + 8
+
+// exactEntryBytes approximates the in-enclave cost of one learned
+// exact-match flow entry (map bucket share + key + verdict).
+const exactEntryBytes = 64
+
+// Errors.
+var (
+	ErrNoRules = errors.New("filter: no rule set installed")
+)
+
+// Config configures a Filter.
+type Config struct {
+	// Mode is the data-path copy discipline. Default CopyModeNearZero.
+	Mode CopyMode
+	// Stride is the lookup trie stride. Default trie.DefaultStride.
+	Stride int
+	// MaxPending caps the queue of flows awaiting exact-match promotion;
+	// beyond it, new flows are still decided by hashing but not queued
+	// (bounding enclave memory). Default 65536.
+	MaxPending int
+	// DisablePromotion turns off the hybrid design: flows are always
+	// decided by hashing. Used by the Fig 14 ablation.
+	DisablePromotion bool
+}
+
+func (c *Config) fillDefaults() {
+	if c.Mode == 0 {
+		c.Mode = CopyModeNearZero
+	}
+	if c.Stride == 0 {
+		c.Stride = trie.DefaultStride
+	}
+	if c.MaxPending == 0 {
+		c.MaxPending = 65536
+	}
+}
+
+// Stats counts data-plane events since the last reset.
+type Stats struct {
+	Processed uint64
+	Allowed   uint64
+	Dropped   uint64
+	// ExactHits counts verdicts served by the learned exact-match table.
+	ExactHits uint64
+	// RuleHits counts verdicts served by installed rules (trie).
+	RuleHits uint64
+	// DefaultHits counts packets matching no rule.
+	DefaultHits uint64
+	// Hashed counts SHA-256 evaluations for probabilistic rules.
+	Hashed uint64
+	// Promoted counts flows promoted to exact-match entries.
+	Promoted uint64
+	// Misrouted counts packets that matched no local rule but do match a
+	// rule assigned to a different enclave — evidence of load-balancer
+	// misbehavior (§IV-B), reported to the victim.
+	Misrouted uint64
+	// Malformed counts undecodable frames (dropped before rule lookup).
+	Malformed uint64
+}
+
+// Filter is one enclaved filter instance. All methods must be called from
+// the single filter thread, mirroring the paper's pipeline design; log
+// snapshots are taken via the control-plane methods which copy under the
+// data-plane's quiescence points.
+type Filter struct {
+	encl *enclave.Enclave
+	cfg  Config
+
+	set     *rules.Set // this enclave's shard
+	foreign *rules.Set // rules assigned to peer enclaves (misroute check)
+	table   *trie.Table
+
+	exact      map[packet.FiveTuple]Verdict
+	pendingQ   []packet.FiveTuple
+	pendingSet map[packet.FiveTuple]bool
+
+	inLog  *sketch.Sketch // per-source-IP, incoming packets
+	outLog *sketch.Sketch // per-five-tuple, forwarded packets
+
+	// ruleBytes accumulates per-rule traffic volume (the B_i vector each
+	// slave uploads to the master during rule redistribution, Figure 5).
+	// Pure measurement state: it never influences a verdict, so the
+	// statelessness property is preserved. Per §IV footnote 6, counts are
+	// bytes, not rates — the enclave's clock is untrusted, so the control
+	// plane timestamps collection externally.
+	ruleBytes map[uint32]uint64
+
+	stats Stats
+}
+
+// New creates a filter inside the given enclave with the given rule shard.
+func New(encl *enclave.Enclave, set *rules.Set, cfg Config) (*Filter, error) {
+	if set == nil || set.Len() == 0 {
+		return nil, ErrNoRules
+	}
+	cfg.fillDefaults()
+	table, err := trie.New(cfg.Stride)
+	if err != nil {
+		return nil, err
+	}
+	f := &Filter{
+		encl:       encl,
+		cfg:        cfg,
+		set:        set,
+		table:      table,
+		exact:      make(map[packet.FiveTuple]Verdict),
+		pendingSet: make(map[packet.FiveTuple]bool),
+		ruleBytes:  make(map[uint32]uint64),
+		inLog:      sketch.NewDefault(),
+		outLog:     sketch.NewDefault(),
+	}
+	table.InsertSet(set)
+	f.syncMemory()
+	return f, nil
+}
+
+// Enclave returns the hosting enclave (for attestation and metering).
+func (f *Filter) Enclave() *enclave.Enclave { return f.encl }
+
+// Rules returns the installed shard.
+func (f *Filter) Rules() *rules.Set { return f.set }
+
+// Stats returns a copy of the counters.
+func (f *Filter) Stats() Stats { return f.stats }
+
+// syncMemory recomputes the enclave's EPC charge from the actual data
+// structure sizes: lookup table + learned flows + the two packet logs.
+func (f *Filter) syncMemory() {
+	mem := f.table.MemoryBytes() +
+		len(f.exact)*exactEntryBytes +
+		len(f.pendingQ)*packet.KeySize +
+		f.inLog.MemoryBytes() + f.outLog.MemoryBytes()
+	f.encl.SetMemoryUsed(mem)
+}
+
+// Reconfigure atomically installs a new shard (and the peer-rule view used
+// for misroute detection), rebuilding the lookup table. Learned flows and
+// the pending queue are cleared: promoted entries derive from rules that
+// may no longer be local.
+func (f *Filter) Reconfigure(set *rules.Set, foreign *rules.Set) error {
+	if set == nil || set.Len() == 0 {
+		return ErrNoRules
+	}
+	table, err := trie.New(f.cfg.Stride)
+	if err != nil {
+		return err
+	}
+	table.InsertSet(set)
+	f.set = set
+	f.foreign = foreign
+	f.table = table
+	f.exact = make(map[packet.FiveTuple]Verdict)
+	f.pendingQ = f.pendingQ[:0]
+	clear(f.pendingSet)
+	clear(f.ruleBytes)
+	f.syncMemory()
+	return nil
+}
+
+// SetForeign installs only the peer-rule view.
+func (f *Filter) SetForeign(foreign *rules.Set) { f.foreign = foreign }
+
+// hashAllow computes the connection-preserving probabilistic decision:
+// allow iff the leading 64 bits of SHA-256(key ‖ secret) < pAllow·2^64.
+func (f *Filter) hashAllow(t packet.FiveTuple, pAllow float64) bool {
+	key := t.Key()
+	secret := f.encl.Secret()
+	h := sha256.New()
+	h.Write(key[:])
+	h.Write(secret[:])
+	var sum [32]byte
+	h.Sum(sum[:0])
+	x := binary.BigEndian.Uint64(sum[:8])
+	// pAllow == 1 must allow everything including x == MaxUint64.
+	if pAllow >= 1 {
+		return true
+	}
+	return float64(x) < pAllow*math.MaxUint64
+}
+
+// Decision is the pure, stateless decision function f(p) of Eq. 2. It
+// consults only the packet bits, the installed rules, the learned
+// exact-match entries (which themselves are deterministic functions of
+// rules+secret), and the enclave secret. It performs no logging, no cost
+// accounting, and no mutation: calling it any number of times, in any
+// order, yields identical verdicts.
+func (f *Filter) Decision(t packet.FiveTuple) Verdict {
+	if v, ok := f.exact[t]; ok {
+		return v
+	}
+	if r, _, ok := f.table.Lookup(t); ok {
+		return f.ruleVerdict(t, r)
+	}
+	if f.set.DefaultAllow {
+		return VerdictAllow
+	}
+	return VerdictDrop
+}
+
+func (f *Filter) ruleVerdict(t packet.FiveTuple, r rules.Rule) Verdict {
+	switch {
+	case r.PAllow >= 1:
+		return VerdictAllow
+	case r.PAllow <= 0:
+		return VerdictDrop
+	case f.hashAllow(t, r.PAllow):
+		return VerdictAllow
+	default:
+		return VerdictDrop
+	}
+}
+
+// Process runs the full data-plane path for one packet descriptor: charge
+// boundary-crossing costs for the configured copy mode, log the packet in
+// the incoming sketch, decide, and log forwarded packets in the outgoing
+// sketch. It returns the verdict the TX stage applies to the buffer.
+func (f *Filter) Process(d packet.Descriptor) Verdict {
+	f.encl.Tick() // the clock advances; the decision path never reads it
+	f.stats.Processed++
+
+	model := f.encl.Model()
+	switch f.cfg.Mode {
+	case CopyModeFull:
+		f.encl.ChargeFixed()
+		f.encl.ChargeFullCopy(int(d.Size))
+	case CopyModeNearZero:
+		f.encl.ChargeFixed()
+		f.encl.ChargeCopyIn(descriptorBytes)
+	case CopyModeNative:
+		// No boundary crossing; rule access costs are charged at native
+		// rates below via the generic access charge.
+	}
+
+	// Incoming log: per-source-IP counters (drop-before-filter evidence
+	// for neighbors).
+	var srcKey [4]byte
+	binary.BigEndian.PutUint32(srcKey[:], d.Tuple.SrcIP)
+	f.inLog.Add(srcKey[:], 1)
+	f.encl.ChargeSketchUpdate(sketch.DefaultRows)
+
+	// Decide, charging lookup costs.
+	verdict := f.decideAndCharge(d.Tuple, uint64(d.Size), model)
+
+	if verdict == VerdictAllow {
+		key := d.Tuple.Key()
+		f.outLog.Add(key[:], 1)
+		f.encl.ChargeSketchUpdate(sketch.DefaultRows)
+		f.stats.Allowed++
+	} else {
+		f.stats.Dropped++
+	}
+	return verdict
+}
+
+func (f *Filter) decideAndCharge(t packet.FiveTuple, size uint64, model enclave.CostModel) Verdict {
+	if v, ok := f.exact[t]; ok {
+		f.encl.ChargeExactMatch()
+		f.stats.ExactHits++
+		return v
+	}
+	f.encl.ChargeExactMatch() // the miss probe still costs
+
+	r, _, visited, ok := f.table.LookupTrace(t)
+	f.chargeTableAccesses(visited, model)
+	if ok {
+		f.ruleBytes[r.ID] += size
+	}
+	if !ok {
+		f.stats.DefaultHits++
+		f.checkMisroute(t)
+		if f.set.DefaultAllow {
+			return VerdictAllow
+		}
+		return VerdictDrop
+	}
+	f.stats.RuleHits++
+	if r.Deterministic() {
+		return f.ruleVerdict(t, r)
+	}
+
+	// Probabilistic rule: hash-based connection-preserving decision.
+	f.stats.Hashed++
+	f.encl.ChargeSHA256(packet.KeySize + 32)
+	v := f.ruleVerdict(t, r)
+	if !f.cfg.DisablePromotion {
+		f.enqueuePending(t)
+	}
+	return v
+}
+
+// chargeTableAccesses charges trie node visits. The first HotVisits
+// accesses (the upper trie levels every packet touches) are priced as
+// cache hits regardless of table size; the rest pay the footprint-
+// dependent miss cost — at enclave (MEE/EPC) or native rates.
+func (f *Filter) chargeTableAccesses(visited int, model enclave.CostModel) {
+	hot := visited
+	if hot > model.HotVisits {
+		hot = model.HotVisits
+	}
+	cold := visited - hot
+	if f.cfg.Mode == CopyModeNative {
+		f.encl.ChargeNative(float64(hot)*model.MemRefNs +
+			float64(cold)*model.NativeAccessCost(f.encl.MemoryUsed()))
+		return
+	}
+	f.encl.ChargeNative(float64(hot) * model.MemRefNs)
+	f.encl.ChargeAccesses(cold)
+}
+
+// checkMisroute flags packets matching no local rule but matching a peer
+// enclave's rule: the untrusted load balancer steered traffic wrongly.
+func (f *Filter) checkMisroute(t packet.FiveTuple) {
+	if f.foreign == nil {
+		return
+	}
+	if _, ok := f.foreign.Match(t); ok {
+		f.stats.Misrouted++
+	}
+}
+
+func (f *Filter) enqueuePending(t packet.FiveTuple) {
+	if len(f.pendingQ) >= f.cfg.MaxPending || f.pendingSet[t] {
+		return
+	}
+	f.pendingSet[t] = true
+	f.pendingQ = append(f.pendingQ, t)
+}
+
+// PendingFlows reports how many flows await promotion.
+func (f *Filter) PendingFlows() int { return len(f.pendingQ) }
+
+// Promote converts all pending flows to exact-match entries (Appendix F's
+// batch insertion at every rule update period) and returns how many were
+// promoted. The verdicts are the same ones hashing produced — promotion is
+// a pure performance optimization and cannot change any decision, which
+// TestPromotionPreservesDecisions asserts.
+func (f *Filter) Promote() int {
+	n := 0
+	for _, t := range f.pendingQ {
+		// Recompute via the rule, not the hash cache, so the entry is the
+		// deterministic function of (rules, secret).
+		if r, _, ok := f.table.Lookup(t); ok && !r.Deterministic() {
+			f.exact[t] = f.ruleVerdict(t, r)
+			n++
+		}
+		delete(f.pendingSet, t)
+	}
+	f.pendingQ = f.pendingQ[:0]
+	f.stats.Promoted += uint64(n)
+	f.syncMemory()
+	return n
+}
+
+// RuleBytes returns a copy of the per-rule byte counters (the B_i vector
+// of the redistribution protocol) and optionally resets them for the next
+// measurement window.
+func (f *Filter) RuleBytes(reset bool) map[uint32]uint64 {
+	out := make(map[uint32]uint64, len(f.ruleBytes))
+	for id, b := range f.ruleBytes {
+		out[id] = b
+	}
+	if reset {
+		clear(f.ruleBytes)
+	}
+	return out
+}
+
+// HashRatio returns the fraction of processed packets that required a
+// SHA-256 evaluation — the x-axis of Figure 14.
+func (f *Filter) HashRatio() float64 {
+	if f.stats.Processed == 0 {
+		return 0
+	}
+	return float64(f.stats.Hashed) / float64(f.stats.Processed)
+}
+
+// RuleCount returns the number of installed rules (excluding learned
+// exact-match entries).
+func (f *Filter) RuleCount() int { return f.set.Len() }
+
+// ExactEntries returns the number of learned exact-match entries.
+func (f *Filter) ExactEntries() int { return len(f.exact) }

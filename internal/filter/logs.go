@@ -1,0 +1,114 @@
+package filter
+
+import (
+	"crypto/hmac"
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"github.com/innetworkfiltering/vif/internal/sketch"
+)
+
+// LogKind distinguishes the two accountable packet logs of §III-B.
+type LogKind uint8
+
+// Log kinds.
+const (
+	// LogIncoming is the per-source-IP log of packets entering the filter;
+	// neighbor ASes compare it with their own sent-traffic logs to detect
+	// drop-before-filtering.
+	LogIncoming LogKind = iota + 1
+	// LogOutgoing is the per-five-tuple log of packets the filter allowed;
+	// the victim compares it with its received-traffic log to detect
+	// injection-after-filtering and drop-after-filtering.
+	LogOutgoing
+)
+
+// String renders the log kind.
+func (k LogKind) String() string {
+	switch k {
+	case LogIncoming:
+		return "incoming"
+	case LogOutgoing:
+		return "outgoing"
+	default:
+		return fmt.Sprintf("logkind(%d)", uint8(k))
+	}
+}
+
+// ErrBadSnapshotMAC indicates an authenticated snapshot failed to verify:
+// the untrusted host modified log data in transit.
+var ErrBadSnapshotMAC = errors.New("filter: snapshot MAC verification failed")
+
+// SignedSnapshot is an authenticated copy of one packet log. The MAC key
+// is held inside the enclave and released to the verifier only over the
+// attested secure channel, so a host that tampers with snapshot bytes is
+// caught by Verify.
+type SignedSnapshot struct {
+	Kind      LogKind
+	EnclaveID uint64
+	Seq       uint64 // snapshot sequence within the filtering round
+	Data      []byte // canonical sketch encoding
+	MAC       [32]byte
+}
+
+func snapshotMAC(key [32]byte, kind LogKind, enclaveID, seq uint64, data []byte) [32]byte {
+	mac := hmac.New(sha256.New, key[:])
+	var hdr [17]byte
+	hdr[0] = byte(kind)
+	binary.BigEndian.PutUint64(hdr[1:9], enclaveID)
+	binary.BigEndian.PutUint64(hdr[9:17], seq)
+	mac.Write(hdr[:])
+	mac.Write(data)
+	var out [32]byte
+	mac.Sum(out[:0])
+	return out
+}
+
+// Snapshot returns an authenticated copy of the requested log. seq lets
+// the verifier order snapshots and detect rollback within a round.
+func (f *Filter) Snapshot(kind LogKind, seq uint64) (*SignedSnapshot, error) {
+	var s *sketch.Sketch
+	switch kind {
+	case LogIncoming:
+		s = f.inLog
+	case LogOutgoing:
+		s = f.outLog
+	default:
+		return nil, fmt.Errorf("filter: unknown log kind %d", kind)
+	}
+	data, err := s.Clone().MarshalBinary()
+	if err != nil {
+		return nil, fmt.Errorf("filter: marshal log: %w", err)
+	}
+	snap := &SignedSnapshot{
+		Kind:      kind,
+		EnclaveID: f.encl.ID(),
+		Seq:       seq,
+		Data:      data,
+	}
+	snap.MAC = snapshotMAC(f.encl.MACKey(), kind, snap.EnclaveID, seq, data)
+	return snap, nil
+}
+
+// VerifySnapshot checks a snapshot's MAC with the key obtained over the
+// attested channel and decodes the sketch.
+func VerifySnapshot(key [32]byte, snap *SignedSnapshot) (*sketch.Sketch, error) {
+	want := snapshotMAC(key, snap.Kind, snap.EnclaveID, snap.Seq, snap.Data)
+	if !hmac.Equal(want[:], snap.MAC[:]) {
+		return nil, ErrBadSnapshotMAC
+	}
+	var s sketch.Sketch
+	if err := s.UnmarshalBinary(snap.Data); err != nil {
+		return nil, fmt.Errorf("filter: decode snapshot: %w", err)
+	}
+	return &s, nil
+}
+
+// ResetLogs clears both packet logs; the control plane calls it at each
+// filtering-round boundary so verifiers compare like-for-like windows.
+func (f *Filter) ResetLogs() {
+	f.inLog.Reset()
+	f.outLog.Reset()
+}

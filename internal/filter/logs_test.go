@@ -1,0 +1,128 @@
+package filter
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/innetworkfiltering/vif/internal/packet"
+)
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	f := newFilter(t, Config{})
+	rng := rand.New(rand.NewSource(20))
+	for i := 0; i < 500; i++ {
+		f.Process(desc(httpFlow(rng.Uint32(), uint16(i+1)), 64))
+	}
+	for _, kind := range []LogKind{LogIncoming, LogOutgoing} {
+		snap, err := f.Snapshot(kind, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := VerifySnapshot(f.Enclave().MACKey(), snap)
+		if err != nil {
+			t.Fatalf("%v: %v", kind, err)
+		}
+		if s.Total() == 0 {
+			t.Fatalf("%v snapshot empty", kind)
+		}
+	}
+}
+
+func TestSnapshotOutgoingCountsOnlyAllowed(t *testing.T) {
+	f := newFilter(t, Config{})
+	// 10 dropped DNS packets, 5 allowed SSH packets.
+	for i := 0; i < 10; i++ {
+		f.Process(desc(udpTo53("10.1.1.1"), 64))
+	}
+	ssh := packet.FiveTuple{
+		SrcIP: packet.MustParseIP("203.0.113.1"), DstIP: packet.MustParseIP("192.0.2.2"),
+		SrcPort: 9999, DstPort: 22, Proto: packet.ProtoTCP,
+	}
+	for i := 0; i < 5; i++ {
+		f.Process(desc(ssh, 64))
+	}
+	snapOut, err := f.Snapshot(LogOutgoing, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := VerifySnapshot(f.Enclave().MACKey(), snapOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Total() != 5 {
+		t.Fatalf("outgoing total = %d, want 5 (drops must not be logged)", out.Total())
+	}
+	snapIn, err := f.Snapshot(LogIncoming, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, err := VerifySnapshot(f.Enclave().MACKey(), snapIn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.Total() != 15 {
+		t.Fatalf("incoming total = %d, want 15 (everything is logged)", in.Total())
+	}
+}
+
+func TestSnapshotTamperDetected(t *testing.T) {
+	f := newFilter(t, Config{})
+	f.Process(desc(udpTo53("10.1.1.1"), 64))
+	snap, err := f.Snapshot(LogIncoming, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := f.Enclave().MACKey()
+
+	// Host flips a counter byte.
+	tampered := *snap
+	tampered.Data = append([]byte(nil), snap.Data...)
+	tampered.Data[len(tampered.Data)-1] ^= 0xff
+	if _, err := VerifySnapshot(key, &tampered); err != ErrBadSnapshotMAC {
+		t.Fatalf("data tamper: err = %v, want ErrBadSnapshotMAC", err)
+	}
+
+	// Host relabels the log kind (presenting the incoming log as outgoing).
+	relabel := *snap
+	relabel.Kind = LogOutgoing
+	if _, err := VerifySnapshot(key, &relabel); err != ErrBadSnapshotMAC {
+		t.Fatalf("kind tamper: err = %v, want ErrBadSnapshotMAC", err)
+	}
+
+	// Host rolls back the sequence number.
+	rollback := *snap
+	rollback.Seq = 0
+	if _, err := VerifySnapshot(key, &rollback); err != ErrBadSnapshotMAC {
+		t.Fatalf("seq tamper: err = %v, want ErrBadSnapshotMAC", err)
+	}
+
+	// Wrong key (host guessing) fails too.
+	var badKey [32]byte
+	if _, err := VerifySnapshot(badKey, snap); err != ErrBadSnapshotMAC {
+		t.Fatalf("wrong key: err = %v, want ErrBadSnapshotMAC", err)
+	}
+}
+
+func TestSnapshotUnknownKind(t *testing.T) {
+	f := newFilter(t, Config{})
+	if _, err := f.Snapshot(LogKind(99), 1); err == nil {
+		t.Fatal("unknown kind accepted")
+	}
+}
+
+func TestResetLogs(t *testing.T) {
+	f := newFilter(t, Config{})
+	f.Process(desc(udpTo53("10.1.1.1"), 64))
+	f.ResetLogs()
+	snap, err := f.Snapshot(LogIncoming, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := VerifySnapshot(f.Enclave().MACKey(), snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Total() != 0 {
+		t.Fatalf("after reset, incoming total = %d", s.Total())
+	}
+}

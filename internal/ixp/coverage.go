@@ -1,0 +1,108 @@
+package ixp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"github.com/innetworkfiltering/vif/internal/bgp"
+)
+
+// SourceSet is a distribution of attack-source IPs over origin ASes (3M
+// open resolvers, 250K Mirai bots in the paper; package attack synthesizes
+// scaled equivalents).
+type SourceSet struct {
+	Name  string
+	PerAS map[bgp.ASN]int
+}
+
+// Total returns the number of source IPs in the set.
+func (s *SourceSet) Total() int {
+	t := 0
+	for _, n := range s.PerAS {
+		t += n
+	}
+	return t
+}
+
+// CoverageResult summarizes the per-victim coverage ratios behind one box
+// of Figure 11's box-and-whisker plots.
+type CoverageResult struct {
+	// Ratios holds, per victim, the fraction of attack source IPs whose
+	// path to the victim crosses at least one selected IXP.
+	Ratios []float64
+	// P5, Q1, Median, Q3, P95 summarize Ratios like the paper's whiskers
+	// (5th/95th percentiles) and box (quartiles, median).
+	P5, Q1, Median, Q3, P95 float64
+}
+
+// Coverage runs the Figure 11 experiment: for every victim, compute the
+// policy-routed path from every source AS and test whether any selected
+// IXP transits it; the covered *IP-weighted* fraction is the victim's
+// ratio.
+func Coverage(topo *bgp.Topology, victims []bgp.ASN, sources *SourceSet, selected []*IXP) (*CoverageResult, error) {
+	if len(victims) == 0 || sources == nil || sources.Total() == 0 {
+		return nil, errors.New("ixp: empty victims or sources")
+	}
+	res := &CoverageResult{Ratios: make([]float64, 0, len(victims))}
+	for _, v := range victims {
+		tree, err := topo.Routes(v)
+		if err != nil {
+			return nil, fmt.Errorf("ixp: routes to victim AS%d: %w", v, err)
+		}
+		covered, total := 0, 0
+		for src, ips := range sources.PerAS {
+			if src == v {
+				continue
+			}
+			total += ips
+			path, err := tree.Path(src)
+			if err != nil {
+				continue // unreachable sources cannot attack
+			}
+			for _, x := range selected {
+				if x.Transits(path) {
+					covered += ips
+					break
+				}
+			}
+		}
+		if total == 0 {
+			continue
+		}
+		res.Ratios = append(res.Ratios, float64(covered)/float64(total))
+	}
+	if len(res.Ratios) == 0 {
+		return nil, errors.New("ixp: no victim had any reachable source")
+	}
+	res.summarize()
+	return res, nil
+}
+
+func (r *CoverageResult) summarize() {
+	s := append([]float64(nil), r.Ratios...)
+	sort.Float64s(s)
+	r.P5 = percentile(s, 0.05)
+	r.Q1 = percentile(s, 0.25)
+	r.Median = percentile(s, 0.50)
+	r.Q3 = percentile(s, 0.75)
+	r.P95 = percentile(s, 0.95)
+}
+
+func percentile(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return math.NaN()
+	}
+	if len(sorted) == 1 {
+		return sorted[0]
+	}
+	pos := p * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}

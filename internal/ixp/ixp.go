@@ -1,0 +1,188 @@
+// Package ixp models Internet exchange points and the VIF-at-IXP
+// deployment of §VI: the Table III catalogue of the top five IXPs per
+// region, degree-weighted membership over a synthetic AS topology, the
+// path-transit test, and the Figure 11 coverage experiment (what fraction
+// of attack sources cross at least one VIF-equipped IXP on their way to a
+// victim).
+package ixp
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"github.com/innetworkfiltering/vif/internal/bgp"
+)
+
+// RegionNames are the five regions of Table III, indexed like the
+// generator's region indices.
+var RegionNames = []string{
+	"Europe", "North America", "South America", "Asia Pacific", "Africa",
+}
+
+// CatalogEntry is one row of Table III: a real IXP and its member count.
+type CatalogEntry struct {
+	Name    string
+	Members int
+}
+
+// TableIII reproduces the paper's Table III: the top five IXPs of each of
+// the five regions with their membership sizes (from the CAIDA IXP
+// dataset the paper used).
+var TableIII = [5][5]CatalogEntry{
+	{ // Europe
+		{Name: "AMS-IX", Members: 1660},
+		{Name: "DE-CIX", Members: 1494},
+		{Name: "LINX Juniper", Members: 755},
+		{Name: "EPIX Katowice", Members: 732},
+		{Name: "LINX LON1", Members: 697},
+	},
+	{ // North America
+		{Name: "Equinix Ashburn", Members: 598},
+		{Name: "Any2", Members: 557},
+		{Name: "SIX", Members: 462},
+		{Name: "TorIX", Members: 426},
+		{Name: "Equinix Chicago", Members: 384},
+	},
+	{ // South America
+		{Name: "IX.br São Paulo", Members: 2082},
+		{Name: "PTT Porto Alegre", Members: 258},
+		{Name: "PTT Rio de Janeiro", Members: 246},
+		{Name: "CABASE-BUE", Members: 183},
+		{Name: "PTT Curitiba", Members: 140},
+	},
+	{ // Asia Pacific
+		{Name: "Equinix Singapore", Members: 504},
+		{Name: "Equinix Sydney", Members: 393},
+		{Name: "Megaport Sydney", Members: 383},
+		{Name: "BBIX Tokyo", Members: 286},
+		{Name: "HKIX", Members: 281},
+	},
+	{ // Africa
+		{Name: "NAPAfrica Johannesburg", Members: 506},
+		{Name: "NAPAfrica Cape Town", Members: 258},
+		{Name: "JINX", Members: 180},
+		{Name: "NAPAfrica Durban", Members: 122},
+		{Name: "IXPN Lagos", Members: 69},
+	},
+}
+
+// IXP is one exchange point with its member ASes.
+type IXP struct {
+	Name    string
+	Region  int
+	Rank    int // 1 = largest in its region
+	Members map[bgp.ASN]bool
+}
+
+// Transits reports whether an AS path crosses this IXP: per §VI-C, "a
+// traffic flow is said to be transited at an IXP if it traverses along an
+// AS-path that include two consecutive ASes that are the members of the
+// IXP".
+func (x *IXP) Transits(path []bgp.ASN) bool {
+	for i := 0; i+1 < len(path); i++ {
+		if x.Members[path[i]] && x.Members[path[i+1]] {
+			return true
+		}
+	}
+	return false
+}
+
+// BuildConfig tunes membership synthesis.
+type BuildConfig struct {
+	// Seed drives membership sampling.
+	Seed int64
+	// Tier2Share is the probability that a regional tier-2 ISP is a
+	// member of the region's *largest* IXP; smaller IXPs scale it by
+	// their Table III member ratio. Default 0.65 — large exchanges
+	// connect most but not all regional transit, which is what puts the
+	// Figure 11 top-1 coverage median near the paper's ≈60%.
+	Tier2Share float64
+	// Tier1Share is the same for tier-1 backbones (default 0.9: the
+	// major carriers peer at every large exchange).
+	Tier1Share float64
+	// StubShare is the same for edge ASes (default 0.10: content-heavy
+	// edge networks do join big IXPs, most stubs do not).
+	StubShare float64
+}
+
+func (c *BuildConfig) fillDefaults() {
+	if c.Tier2Share == 0 {
+		c.Tier2Share = 0.65
+	}
+	if c.Tier1Share == 0 {
+		c.Tier1Share = 0.9
+	}
+	if c.StubShare == 0 {
+		c.StubShare = 0.10
+	}
+}
+
+// Build synthesizes the Table III IXPs over a generated topology. Each
+// AS of an IXP's region joins with a per-tier probability scaled by the
+// IXP's Table III member count relative to the region's largest exchange:
+// the biggest IXPs connect most regional transit providers plus a slice
+// of the edge, smaller ones proportionally less. Transit membership is
+// what places an IXP on attack paths (the Transits test needs two
+// *consecutive* member ASes), so these shares directly set the Figure 11
+// coverage levels.
+func Build(inet *bgp.Internet, cfg BuildConfig) ([]*IXP, error) {
+	cfg.fillDefaults()
+	for _, p := range []float64{cfg.Tier1Share, cfg.Tier2Share, cfg.StubShare} {
+		if p < 0 || p > 1 {
+			return nil, fmt.Errorf("ixp: membership share %v out of range", p)
+		}
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	var out []*IXP
+	regions := len(inet.Tier1)
+	if regions > len(TableIII) {
+		regions = len(TableIII)
+	}
+	for r := 0; r < regions; r++ {
+		maxMembers := TableIII[r][0].Members
+		for rank, entry := range TableIII[r] {
+			ratio := float64(entry.Members) / float64(maxMembers)
+			members := make(map[bgp.ASN]bool)
+			include := func(ases []bgp.ASN, p float64) {
+				for _, a := range ases {
+					if rng.Float64() < p*ratio {
+						members[a] = true
+					}
+				}
+			}
+			include(inet.Tier1[r], cfg.Tier1Share)
+			include(inet.Tier2[r], cfg.Tier2Share)
+			include(inet.Stubs[r], cfg.StubShare)
+			// An exchange needs at least two members to exist.
+			for len(members) < 2 {
+				members[inet.Tier2[r][rng.Intn(len(inet.Tier2[r]))]] = true
+			}
+			out = append(out, &IXP{
+				Name:    entry.Name,
+				Region:  r,
+				Rank:    rank + 1,
+				Members: members,
+			})
+		}
+	}
+	return out, nil
+}
+
+// SelectTopN returns, for each region, its top-n IXPs (the paper's
+// "Top-n IXPs in each of the five regions": n per region, 5n globally).
+func SelectTopN(all []*IXP, n int) []*IXP {
+	var out []*IXP
+	for _, x := range all {
+		if x.Rank <= n {
+			out = append(out, x)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Region != out[j].Region {
+			return out[i].Region < out[j].Region
+		}
+		return out[i].Rank < out[j].Rank
+	})
+	return out
+}

@@ -1,0 +1,243 @@
+package ixp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/innetworkfiltering/vif/internal/bgp"
+)
+
+func smallInternet(t testing.TB) *bgp.Internet {
+	t.Helper()
+	inet, err := bgp.Generate(bgp.GenConfig{
+		Regions: 5, Tier1PerRegion: 2, Tier2PerRegion: 15, StubsPerRegion: 150, Seed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return inet
+}
+
+func TestTableIIIShape(t *testing.T) {
+	if len(TableIII) != 5 || len(RegionNames) != 5 {
+		t.Fatal("five regions required")
+	}
+	for r, entries := range TableIII {
+		prev := math.MaxInt
+		for rank, e := range entries {
+			if e.Members <= 0 || e.Name == "" {
+				t.Fatalf("region %d rank %d malformed: %+v", r, rank, e)
+			}
+			if e.Members > prev {
+				t.Fatalf("region %s not ordered by member count", RegionNames[r])
+			}
+			prev = e.Members
+		}
+	}
+	// Spot-check the paper's numbers.
+	if TableIII[0][0].Name != "AMS-IX" || TableIII[0][0].Members != 1660 {
+		t.Fatalf("Europe #1 = %+v, want AMS-IX/1660", TableIII[0][0])
+	}
+	if TableIII[4][4].Name != "IXPN Lagos" || TableIII[4][4].Members != 69 {
+		t.Fatalf("Africa #5 = %+v", TableIII[4][4])
+	}
+}
+
+func TestBuildProducesRegionalIXPs(t *testing.T) {
+	inet := smallInternet(t)
+	ixps, err := Build(inet, BuildConfig{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ixps) != 25 {
+		t.Fatalf("built %d IXPs, want 25 (5 regions x 5)", len(ixps))
+	}
+	for _, x := range ixps {
+		if len(x.Members) < 2 {
+			t.Fatalf("%s has %d members", x.Name, len(x.Members))
+		}
+		// Members must be from the IXP's own region.
+		for m := range x.Members {
+			r, err := inet.Topo.RegionOf(m)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if r != x.Region {
+				t.Fatalf("%s (region %d) contains AS%d of region %d", x.Name, x.Region, m, r)
+			}
+		}
+	}
+	// The region's #1 must not be smaller than its #5.
+	for r := 0; r < 5; r++ {
+		sel := SelectTopN(ixps, 5)
+		var first, last *IXP
+		for _, x := range sel {
+			if x.Region != r {
+				continue
+			}
+			if x.Rank == 1 {
+				first = x
+			}
+			if x.Rank == 5 {
+				last = x
+			}
+		}
+		if first == nil || last == nil {
+			t.Fatalf("region %d missing ranks", r)
+		}
+		if len(first.Members) < len(last.Members) {
+			t.Fatalf("region %d: rank1 (%d members) smaller than rank5 (%d)",
+				r, len(first.Members), len(last.Members))
+		}
+	}
+}
+
+func TestBuildValidatesConfig(t *testing.T) {
+	inet := smallInternet(t)
+	if _, err := Build(inet, BuildConfig{Tier2Share: 1.5}); err == nil {
+		t.Fatal("Tier2Share > 1 accepted")
+	}
+	if _, err := Build(inet, BuildConfig{StubShare: -0.1}); err == nil {
+		t.Fatal("negative StubShare accepted")
+	}
+}
+
+func TestSelectTopN(t *testing.T) {
+	inet := smallInternet(t)
+	ixps, err := Build(inet, BuildConfig{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for n := 1; n <= 5; n++ {
+		sel := SelectTopN(ixps, n)
+		if len(sel) != 5*n {
+			t.Fatalf("SelectTopN(%d) = %d IXPs, want %d", n, len(sel), 5*n)
+		}
+		for _, x := range sel {
+			if x.Rank > n {
+				t.Fatalf("rank %d leaked into top-%d", x.Rank, n)
+			}
+		}
+	}
+}
+
+func TestTransits(t *testing.T) {
+	x := &IXP{Name: "test", Members: map[bgp.ASN]bool{10: true, 11: true, 12: true}}
+	tests := []struct {
+		name string
+		path []bgp.ASN
+		want bool
+	}{
+		{"consecutive members", []bgp.ASN{1, 10, 11, 2}, true},
+		{"members not adjacent", []bgp.ASN{10, 1, 11}, false},
+		{"single member", []bgp.ASN{1, 10, 2}, false},
+		{"no members", []bgp.ASN{1, 2, 3}, false},
+		{"empty path", nil, false},
+		{"member endpoints", []bgp.ASN{11, 12}, true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := x.Transits(tt.path); got != tt.want {
+				t.Errorf("Transits(%v) = %v, want %v", tt.path, got, tt.want)
+			}
+		})
+	}
+}
+
+func uniformSources(inet *bgp.Internet, perStub int) *SourceSet {
+	s := &SourceSet{Name: "uniform", PerAS: make(map[bgp.ASN]int)}
+	for _, a := range inet.AllStubs() {
+		s.PerAS[a] = perStub
+	}
+	return s
+}
+
+func pickVictims(inet *bgp.Internet, n int, seed int64) []bgp.ASN {
+	rng := rand.New(rand.NewSource(seed))
+	stubs := inet.AllStubs()
+	victims := make([]bgp.ASN, 0, n)
+	for _, i := range rng.Perm(len(stubs))[:n] {
+		victims = append(victims, stubs[i])
+	}
+	return victims
+}
+
+func TestCoverageMonotoneInIXPCount(t *testing.T) {
+	// Figure 11's headline shape: more VIF IXPs can only cover more
+	// attack sources, and top-1-per-region already covers a majority.
+	inet := smallInternet(t)
+	ixps, err := Build(inet, BuildConfig{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sources := uniformSources(inet, 3)
+	victims := pickVictims(inet, 30, 4)
+
+	var prevMedian float64
+	for n := 1; n <= 5; n++ {
+		res, err := Coverage(inet.Topo, victims, sources, SelectTopN(ixps, n))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Ratios) != len(victims) {
+			t.Fatalf("top-%d: %d ratios for %d victims", n, len(res.Ratios), len(victims))
+		}
+		if res.Median+1e-9 < prevMedian {
+			t.Fatalf("median coverage fell from %.3f to %.3f at top-%d", prevMedian, res.Median, n)
+		}
+		if !(res.P5 <= res.Q1 && res.Q1 <= res.Median && res.Median <= res.Q3 && res.Q3 <= res.P95) {
+			t.Fatalf("top-%d: summary not ordered: %+v", n, res)
+		}
+		prevMedian = res.Median
+	}
+	if prevMedian < 0.5 {
+		t.Fatalf("top-5 median coverage %.3f; paper reports ≥0.75 — topology or membership model off", prevMedian)
+	}
+}
+
+func TestCoverageEmptyInputs(t *testing.T) {
+	inet := smallInternet(t)
+	ixps, _ := Build(inet, BuildConfig{Seed: 5})
+	sources := uniformSources(inet, 1)
+	if _, err := Coverage(inet.Topo, nil, sources, ixps); err == nil {
+		t.Fatal("no victims accepted")
+	}
+	empty := &SourceSet{Name: "empty", PerAS: map[bgp.ASN]int{}}
+	if _, err := Coverage(inet.Topo, pickVictims(inet, 2, 1), empty, ixps); err == nil {
+		t.Fatal("empty sources accepted")
+	}
+}
+
+func TestCoverageZeroWithoutIXPs(t *testing.T) {
+	inet := smallInternet(t)
+	sources := uniformSources(inet, 1)
+	res, err := Coverage(inet.Topo, pickVictims(inet, 5, 6), sources, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Median != 0 || res.P95 != 0 {
+		t.Fatalf("coverage without IXPs: %+v", res)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	s := []float64{1, 2, 3, 4, 5}
+	tests := []struct {
+		p    float64
+		want float64
+	}{
+		{0, 1}, {0.5, 3}, {1, 5}, {0.25, 2},
+	}
+	for _, tt := range tests {
+		if got := percentile(s, tt.p); math.Abs(got-tt.want) > 1e-9 {
+			t.Errorf("percentile(%v) = %v, want %v", tt.p, got, tt.want)
+		}
+	}
+	if got := percentile([]float64{7}, 0.9); got != 7 {
+		t.Errorf("single element: %v", got)
+	}
+	if !math.IsNaN(percentile(nil, 0.5)) {
+		t.Error("empty slice must be NaN")
+	}
+}

@@ -1,0 +1,171 @@
+// Package lb models the untrusted load balancer / switching fabric of the
+// scalable VIF architecture (§IV-B, Figure 4). The balancer steers traffic
+// to enclaves according to the rule distribution computed by the master
+// enclave; because it runs outside any enclave it may misbehave, so the
+// package also provides fault injection (misrouting, silent drops) that
+// the enclave-side misroute detection and the sketch-based bypass
+// detection must catch — exercised by the cluster and integration tests.
+package lb
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"github.com/innetworkfiltering/vif/internal/packet"
+	"github.com/innetworkfiltering/vif/internal/rules"
+)
+
+// Errors.
+var ErrNoTargets = errors.New("lb: rule installed nowhere")
+
+// target is one enclave handling a weighted share of a rule's traffic.
+type target struct {
+	enclave int
+	// cum is the cumulative weight boundary in [0,1]; a flow whose unit
+	// hash falls below cum (and above the previous boundary) goes here.
+	cum float64
+}
+
+// Balancer steers flows to enclaves. Flow-to-enclave choice is a
+// deterministic hash of the five-tuple, so all packets of a connection
+// take the same path (the filter's connection-preserving guarantee must
+// survive load balancing).
+type Balancer struct {
+	// ruleTargets maps rule ID to its weighted enclave shares.
+	ruleTargets map[uint32][]target
+	// matcher finds which rule a flow belongs to (the full rule set,
+	// mirroring what the controller learns during distribution, §VI-B:
+	// "The VIF IXP eventually learns and analyzes all the rules").
+	matcher *rules.Set
+	// n is the enclave count, for default spreading of unmatched traffic.
+	n int
+
+	faults Faults
+	rng    *rand.Rand
+}
+
+// Faults configures load-balancer misbehavior for adversarial tests.
+type Faults struct {
+	// MisrouteProb sends a flow to a uniformly random wrong enclave.
+	MisrouteProb float64
+	// DropProb silently discards the packet (a "drop before filtering"
+	// bypass attack executed in the switching fabric).
+	DropProb float64
+	// Seed makes fault injection reproducible.
+	Seed int64
+}
+
+// Config assembles a balancer.
+type Config struct {
+	// FullSet is the complete rule set (priority order preserved).
+	FullSet *rules.Set
+	// Shares maps each rule ID to its per-enclave bandwidth shares
+	// (absolute values; they are normalized). Every rule must have at
+	// least one positive share.
+	Shares map[uint32][]float64
+	// N is the number of enclaves.
+	N int
+	// Faults optionally injects misbehavior.
+	Faults Faults
+}
+
+// New builds a balancer from a distribution outcome.
+func New(cfg Config) (*Balancer, error) {
+	if cfg.FullSet == nil || cfg.N <= 0 {
+		return nil, errors.New("lb: missing rule set or enclaves")
+	}
+	b := &Balancer{
+		ruleTargets: make(map[uint32][]target, len(cfg.Shares)),
+		matcher:     cfg.FullSet,
+		n:           cfg.N,
+		faults:      cfg.Faults,
+		rng:         rand.New(rand.NewSource(cfg.Faults.Seed)),
+	}
+	for _, r := range cfg.FullSet.Rules {
+		shares, ok := cfg.Shares[r.ID]
+		if !ok {
+			return nil, fmt.Errorf("%w: rule %d", ErrNoTargets, r.ID)
+		}
+		if len(shares) != cfg.N {
+			return nil, fmt.Errorf("lb: rule %d has %d shares, want %d", r.ID, len(shares), cfg.N)
+		}
+		var total float64
+		for _, s := range shares {
+			if s < 0 {
+				return nil, fmt.Errorf("lb: rule %d negative share", r.ID)
+			}
+			total += s
+		}
+		if total <= 0 {
+			return nil, fmt.Errorf("%w: rule %d", ErrNoTargets, r.ID)
+		}
+		var ts []target
+		var cum float64
+		for j, s := range shares {
+			if s <= 0 {
+				continue
+			}
+			cum += s / total
+			ts = append(ts, target{enclave: j, cum: cum})
+		}
+		ts[len(ts)-1].cum = 1.0 // absorb rounding
+		b.ruleTargets[r.ID] = ts
+	}
+	return b, nil
+}
+
+// unitHash maps a tuple to [0,1) deterministically and independently of
+// the filter's secret-keyed decision hash.
+func unitHash(t packet.FiveTuple) float64 {
+	const salt = 0x6c62272e07bb0142 // distinct domain from FiveTuple.Hash64 use
+	h := t.Hash64() ^ salt
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	return float64(h>>11) / float64(1<<53)
+}
+
+// Route returns the enclave index for a packet, or ok=false when the
+// (faulty) balancer dropped it. Honest routing is fully deterministic
+// per flow.
+func (b *Balancer) Route(t packet.FiveTuple) (int, bool) {
+	if b.faults.DropProb > 0 && b.rng.Float64() < b.faults.DropProb {
+		return 0, false
+	}
+	j := b.route(t)
+	if b.faults.MisrouteProb > 0 && b.rng.Float64() < b.faults.MisrouteProb {
+		j = (j + 1 + b.rng.Intn(b.n)) % b.n
+	}
+	return j, true
+}
+
+func (b *Balancer) route(t packet.FiveTuple) int {
+	r, ok := b.matcher.Match(t)
+	if !ok {
+		// Unmatched traffic has no owning enclave; spread it by flow hash
+		// so any enclave's default action applies consistently per flow.
+		return int(unitHash(t) * float64(b.n))
+	}
+	ts := b.ruleTargets[r.ID]
+	u := unitHash(t)
+	idx := sort.Search(len(ts), func(i int) bool { return u < ts[i].cum })
+	if idx == len(ts) {
+		idx = len(ts) - 1
+	}
+	return ts[idx].enclave
+}
+
+// Targets returns the enclaves serving a rule (for tests and ops).
+func (b *Balancer) Targets(ruleID uint32) []int {
+	ts := b.ruleTargets[ruleID]
+	out := make([]int, len(ts))
+	for i, t := range ts {
+		out[i] = t.enclave
+	}
+	return out
+}
+
+// N returns the enclave count.
+func (b *Balancer) N() int { return b.n }

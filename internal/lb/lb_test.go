@@ -1,0 +1,213 @@
+package lb
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/innetworkfiltering/vif/internal/packet"
+	"github.com/innetworkfiltering/vif/internal/rules"
+)
+
+func testSet(t *testing.T) *rules.Set {
+	t.Helper()
+	s, err := rules.NewSet([]rules.Rule{
+		rules.MustParse("drop udp from 10.0.0.0/8 to 192.0.2.0/24 dport 53"),
+		rules.MustParse("drop 50% tcp from any to 192.0.2.0/24 dport 80"),
+	}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func dnsTuple(src uint32) packet.FiveTuple {
+	return packet.FiveTuple{
+		SrcIP: 0x0a000000 | (src & 0x00ffffff), DstIP: packet.MustParseIP("192.0.2.1"),
+		SrcPort: uint16(src>>16) | 1, DstPort: 53, Proto: packet.ProtoUDP,
+	}
+}
+
+func httpTuple(src uint32, port uint16) packet.FiveTuple {
+	return packet.FiveTuple{
+		SrcIP: src, DstIP: packet.MustParseIP("192.0.2.2"),
+		SrcPort: port, DstPort: 80, Proto: packet.ProtoTCP,
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	set := testSet(t)
+	ids := set.IDs()
+	tests := []struct {
+		name   string
+		shares map[uint32][]float64
+	}{
+		{"missing rule", map[uint32][]float64{ids[0]: {1, 0}}},
+		{"wrong width", map[uint32][]float64{ids[0]: {1}, ids[1]: {1, 0}}},
+		{"all zero", map[uint32][]float64{ids[0]: {0, 0}, ids[1]: {1, 0}}},
+		{"negative", map[uint32][]float64{ids[0]: {-1, 2}, ids[1]: {1, 0}}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := New(Config{FullSet: set, Shares: tt.shares, N: 2}); err == nil {
+				t.Error("want error")
+			}
+		})
+	}
+	if _, err := New(Config{}); err == nil {
+		t.Error("empty config accepted")
+	}
+}
+
+func TestRouteRespectsAssignment(t *testing.T) {
+	set := testSet(t)
+	ids := set.IDs()
+	// Rule 0 lives on enclave 1 only; rule 1 on enclave 0 only.
+	b, err := New(Config{
+		FullSet: set,
+		Shares:  map[uint32][]float64{ids[0]: {0, 5e9}, ids[1]: {3e9, 0}},
+		N:       2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint32(0); i < 500; i++ {
+		if j, ok := b.Route(dnsTuple(i)); !ok || j != 1 {
+			t.Fatalf("dns flow routed to %d (ok=%v), want 1", j, ok)
+		}
+		if j, ok := b.Route(httpTuple(i+1, uint16(i%6000)+1)); !ok || j != 0 {
+			t.Fatalf("http flow routed to %d (ok=%v), want 0", j, ok)
+		}
+	}
+	if got := b.Targets(ids[0]); len(got) != 1 || got[0] != 1 {
+		t.Fatalf("Targets(rule0) = %v", got)
+	}
+}
+
+func TestRouteConnectionStability(t *testing.T) {
+	// Every packet of a flow must take the same path, even for split rules.
+	set := testSet(t)
+	ids := set.IDs()
+	b, err := New(Config{
+		FullSet: set,
+		Shares:  map[uint32][]float64{ids[0]: {1, 1}, ids[1]: {2, 3}},
+		N:       2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 200; i++ {
+		flow := httpTuple(rng.Uint32(), uint16(rng.Intn(60000)+1))
+		first, ok := b.Route(flow)
+		if !ok {
+			t.Fatal("honest balancer dropped")
+		}
+		for rep := 0; rep < 20; rep++ {
+			if j, _ := b.Route(flow); j != first {
+				t.Fatalf("flow %v flapped %d -> %d", flow, first, j)
+			}
+		}
+	}
+}
+
+func TestSplitSharesApproximateWeights(t *testing.T) {
+	// A 25%/75% split must route ≈25%/75% of flows.
+	set := testSet(t)
+	ids := set.IDs()
+	b, err := New(Config{
+		FullSet: set,
+		Shares:  map[uint32][]float64{ids[0]: {1, 3}, ids[1]: {1, 0}},
+		N:       2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	counts := [2]int{}
+	const flows = 20000
+	for i := 0; i < flows; i++ {
+		j, ok := b.Route(dnsTuple(rng.Uint32()))
+		if !ok {
+			t.Fatal("drop")
+		}
+		counts[j]++
+	}
+	frac := float64(counts[0]) / flows
+	if math.Abs(frac-0.25) > 0.02 {
+		t.Fatalf("enclave 0 got %.3f of flows, want 0.25", frac)
+	}
+}
+
+func TestUnmatchedTrafficSpreads(t *testing.T) {
+	set := testSet(t)
+	ids := set.IDs()
+	b, err := New(Config{
+		FullSet: set,
+		Shares:  map[uint32][]float64{ids[0]: {1, 0, 0}, ids[1]: {0, 1, 0}},
+		N:       3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	counts := make([]int, 3)
+	for i := 0; i < 9000; i++ {
+		tp := packet.FiveTuple{ // matches neither rule
+			SrcIP: rng.Uint32(), DstIP: packet.MustParseIP("198.51.100.1"),
+			DstPort: 22, Proto: packet.ProtoTCP,
+		}
+		j, ok := b.Route(tp)
+		if !ok {
+			t.Fatal("drop")
+		}
+		counts[j]++
+	}
+	for j, c := range counts {
+		if c < 2000 || c > 4000 {
+			t.Fatalf("unmatched traffic skewed: enclave %d got %d/9000", j, c)
+		}
+	}
+}
+
+func TestFaultInjection(t *testing.T) {
+	set := testSet(t)
+	ids := set.IDs()
+	shares := map[uint32][]float64{ids[0]: {1, 0}, ids[1]: {0, 1}}
+
+	dropper, err := New(Config{
+		FullSet: set, Shares: shares, N: 2,
+		Faults: Faults{DropProb: 0.3, Seed: 4},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	drops := 0
+	const n = 10000
+	for i := uint32(0); i < n; i++ {
+		if _, ok := dropper.Route(dnsTuple(i)); !ok {
+			drops++
+		}
+	}
+	if frac := float64(drops) / n; math.Abs(frac-0.3) > 0.03 {
+		t.Fatalf("drop rate %.3f, want 0.3", frac)
+	}
+
+	misrouter, err := New(Config{
+		FullSet: set, Shares: shares, N: 2,
+		Faults: Faults{MisrouteProb: 1.0, Seed: 5},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wrong := 0
+	for i := uint32(0); i < 1000; i++ {
+		// dns flows belong on enclave 0 per shares.
+		if j, ok := misrouter.Route(dnsTuple(i)); ok && j != 0 {
+			wrong++
+		}
+	}
+	if wrong == 0 {
+		t.Fatal("MisrouteProb=1 never misrouted")
+	}
+}

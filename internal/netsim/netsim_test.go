@@ -1,0 +1,139 @@
+package netsim
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/innetworkfiltering/vif/internal/packet"
+)
+
+func TestLognormalSumsToTotal(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	b := LognormalBandwidths(rng, 5000, 100e9, DefaultSigma)
+	if len(b) != 5000 {
+		t.Fatalf("len = %d", len(b))
+	}
+	var sum float64
+	for _, v := range b {
+		if v <= 0 {
+			t.Fatal("non-positive bandwidth")
+		}
+		sum += v
+	}
+	if math.Abs(sum-100e9) > 1 {
+		t.Fatalf("sum = %v, want 100e9", sum)
+	}
+	if LognormalBandwidths(rng, 0, 1, 1) != nil {
+		t.Fatal("k=0 must return nil")
+	}
+}
+
+func TestLognormalIsSkewed(t *testing.T) {
+	// With sigma=1.5 the top 1% of rules must carry far more than 1% of
+	// traffic (the heavy-tail premise of the distribution experiments).
+	rng := rand.New(rand.NewSource(2))
+	b := LognormalBandwidths(rng, 10000, 1e9, DefaultSigma)
+	sorted := append([]float64(nil), b...)
+	// Compute share of top 100 without a full sort: threshold selection.
+	top := topK(sorted, 100)
+	var topSum float64
+	for _, v := range top {
+		topSum += v
+	}
+	if topSum < 0.10e9 {
+		t.Fatalf("top 1%% carries %.1f%% of traffic, want ≥10%%", topSum/1e9*100)
+	}
+}
+
+func topK(xs []float64, k int) []float64 {
+	out := append([]float64(nil), xs...)
+	for i := 0; i < k && i < len(out); i++ {
+		maxJ := i
+		for j := i + 1; j < len(out); j++ {
+			if out[j] > out[maxJ] {
+				maxJ = j
+			}
+		}
+		out[i], out[maxJ] = out[maxJ], out[i]
+	}
+	return out[:k]
+}
+
+func TestClampToCapacity(t *testing.T) {
+	b := []float64{25, 5, 10, 0}
+	out, splits := ClampToCapacity(b, 10)
+	if splits != 2 {
+		t.Fatalf("splits = %d, want 2 (25 -> 10+10+5)", splits)
+	}
+	var sum float64
+	for _, v := range out {
+		if v > 10 || v <= 0 {
+			t.Fatalf("entry %v outside (0,10]", v)
+		}
+		sum += v
+	}
+	if math.Abs(sum-40) > 1e-9 {
+		t.Fatalf("sum = %v, want 40", sum)
+	}
+}
+
+func TestClampProperty(t *testing.T) {
+	f := func(seed int64, k uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		b := LognormalBandwidths(rng, int(k%50)+1, 100, 2.0)
+		out, _ := ClampToCapacity(b, 10)
+		var in, res float64
+		for _, v := range b {
+			in += v
+		}
+		for _, v := range out {
+			if v > 10+1e-9 {
+				return false
+			}
+			res += v
+		}
+		return math.Abs(in-res) < 1e-6*in+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFlowGenTargetsVictim(t *testing.T) {
+	victim := packet.MustParseIP("192.0.2.0")
+	g := NewFlowGen(1, victim, 24)
+	for i := 0; i < 1000; i++ {
+		f := g.Next()
+		if f.DstIP&0xffffff00 != victim {
+			t.Fatalf("flow %v outside victim /24", f)
+		}
+		if f.SrcPort < 1024 {
+			t.Fatalf("source port %d in privileged range", f.SrcPort)
+		}
+	}
+}
+
+func TestFlowGenDeterministic(t *testing.T) {
+	a := NewFlowGen(7, packet.MustParseIP("192.0.2.0"), 24)
+	b := NewFlowGen(7, packet.MustParseIP("192.0.2.0"), 24)
+	for i := 0; i < 100; i++ {
+		if a.Next() != b.Next() {
+			t.Fatal("same seed diverged")
+		}
+	}
+}
+
+func TestDescriptors(t *testing.T) {
+	g := NewFlowGen(3, packet.MustParseIP("192.0.2.0"), 24)
+	ds := g.Descriptors(64, 512)
+	if len(ds) != 64 {
+		t.Fatalf("len = %d", len(ds))
+	}
+	for _, d := range ds {
+		if d.Size != 512 {
+			t.Fatalf("size = %d", d.Size)
+		}
+	}
+}

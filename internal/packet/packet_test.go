@@ -1,0 +1,284 @@
+package packet
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func tupleTCP() FiveTuple {
+	return FiveTuple{
+		SrcIP:   MustParseIP("10.1.2.3"),
+		DstIP:   MustParseIP("192.0.2.9"),
+		SrcPort: 443,
+		DstPort: 51234,
+		Proto:   ProtoTCP,
+	}
+}
+
+func TestKeyRoundTrip(t *testing.T) {
+	tests := []FiveTuple{
+		tupleTCP(),
+		{SrcIP: 0, DstIP: 0xffffffff, SrcPort: 0, DstPort: 65535, Proto: ProtoUDP},
+		{SrcIP: 1, DstIP: 2, Proto: ProtoICMP},
+		{},
+	}
+	for _, tt := range tests {
+		if got := TupleFromKey(tt.Key()); got != tt {
+			t.Errorf("TupleFromKey(Key(%v)) = %v", tt, got)
+		}
+	}
+}
+
+func TestKeyRoundTripProperty(t *testing.T) {
+	f := func(src, dst uint32, sp, dp uint16, proto uint8) bool {
+		tt := FiveTuple{SrcIP: src, DstIP: dst, SrcPort: sp, DstPort: dp, Proto: Protocol(proto)}
+		return TupleFromKey(tt.Key()) == tt
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestParseIPRoundTrip(t *testing.T) {
+	tests := []struct {
+		give string
+		want uint32
+	}{
+		{"0.0.0.0", 0},
+		{"255.255.255.255", 0xffffffff},
+		{"192.0.2.1", 0xc0000201},
+		{"10.0.0.1", 0x0a000001},
+	}
+	for _, tt := range tests {
+		got, err := ParseIP(tt.give)
+		if err != nil {
+			t.Fatalf("ParseIP(%q): %v", tt.give, err)
+		}
+		if got != tt.want {
+			t.Errorf("ParseIP(%q) = %#x, want %#x", tt.give, got, tt.want)
+		}
+		if s := FormatIP(got); s != tt.give {
+			t.Errorf("FormatIP(%#x) = %q, want %q", got, s, tt.give)
+		}
+	}
+}
+
+func TestParseIPErrors(t *testing.T) {
+	for _, give := range []string{"", "not-an-ip", "1.2.3", "::1", "2001:db8::1"} {
+		if _, err := ParseIP(give); err == nil {
+			t.Errorf("ParseIP(%q): want error", give)
+		}
+	}
+}
+
+func TestMustParseIPPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustParseIP on garbage: want panic")
+		}
+	}()
+	MustParseIP("garbage")
+}
+
+func TestSynthesizeParseRoundTrip(t *testing.T) {
+	sizes := []int{64, 128, 256, 512, 1024, 1500}
+	protos := []Protocol{ProtoTCP, ProtoUDP, ProtoICMP}
+	for _, proto := range protos {
+		for _, size := range sizes {
+			tt := tupleTCP()
+			tt.Proto = proto
+			if proto == ProtoICMP {
+				tt.SrcPort, tt.DstPort = 0, 0
+			}
+			pkt := Synthesize(tt, size)
+			if pkt.Size != size {
+				t.Fatalf("size %d/%v: got Size %d", size, proto, pkt.Size)
+			}
+			if len(pkt.Buf) != size {
+				t.Fatalf("size %d/%v: buf len %d", size, proto, len(pkt.Buf))
+			}
+			got, err := Parse(pkt.Buf)
+			if err != nil {
+				t.Fatalf("Parse(%d/%v): %v", size, proto, err)
+			}
+			if got != tt {
+				t.Errorf("Parse(%d/%v) = %v, want %v", size, proto, got, tt)
+			}
+		}
+	}
+}
+
+func TestSynthesizeClampsTinySizes(t *testing.T) {
+	pkt := Synthesize(tupleTCP(), 1)
+	if pkt.Size < HeaderLen(ProtoTCP) {
+		t.Fatalf("Size %d below header length", pkt.Size)
+	}
+	if _, err := Parse(pkt.Buf); err != nil {
+		t.Fatalf("Parse clamped frame: %v", err)
+	}
+}
+
+func TestSynthesizePropertyRoundTrip(t *testing.T) {
+	f := func(src, dst uint32, sp, dp uint16, udp bool, extra uint16) bool {
+		proto := ProtoTCP
+		if udp {
+			proto = ProtoUDP
+		}
+		tt := FiveTuple{SrcIP: src, DstIP: dst, SrcPort: sp, DstPort: dp, Proto: proto}
+		size := HeaderLen(proto) + int(extra%1400)
+		pkt := Synthesize(tt, size)
+		got, err := Parse(pkt.Buf)
+		return err == nil && got == tt
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestParseRejectsMalformed(t *testing.T) {
+	good := Synthesize(tupleTCP(), 64).Buf
+
+	tests := []struct {
+		name   string
+		mangle func(b []byte)
+	}{
+		{"truncated", func(b []byte) {}}, // handled below with a short slice
+		{"bad ethertype", func(b []byte) { b[12] = 0x86; b[13] = 0xdd }},
+		{"bad version", func(b []byte) { b[14] = 0x65 }},
+		{"bad checksum", func(b []byte) { b[30] ^= 0xff }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			b := append([]byte(nil), good...)
+			if tt.name == "truncated" {
+				b = b[:20]
+			} else {
+				tt.mangle(b)
+			}
+			if _, err := Parse(b); err == nil {
+				t.Errorf("Parse(%s): want error", tt.name)
+			}
+		})
+	}
+}
+
+func TestHash64Distribution(t *testing.T) {
+	// Smoke-check: distinct tuples should essentially never collide at the
+	// scale of this test, and the hash must be deterministic.
+	rng := rand.New(rand.NewSource(1))
+	seen := make(map[uint64]FiveTuple, 10000)
+	for i := 0; i < 10000; i++ {
+		tt := FiveTuple{
+			SrcIP:   rng.Uint32(),
+			DstIP:   rng.Uint32(),
+			SrcPort: uint16(rng.Uint32()),
+			DstPort: uint16(rng.Uint32()),
+			Proto:   ProtoUDP,
+		}
+		h := tt.Hash64()
+		if h != tt.Hash64() {
+			t.Fatal("Hash64 not deterministic")
+		}
+		if prev, ok := seen[h]; ok && prev != tt {
+			t.Fatalf("collision: %v and %v both hash to %#x", prev, tt, h)
+		}
+		seen[h] = tt
+	}
+}
+
+func TestPoolAllocFree(t *testing.T) {
+	p := NewPool(4, 128)
+	if p.Cap() != 4 || p.Available() != 4 {
+		t.Fatalf("fresh pool: cap=%d avail=%d", p.Cap(), p.Available())
+	}
+	var refs []Ref
+	for i := 0; i < 4; i++ {
+		r, ok := p.Alloc()
+		if !ok {
+			t.Fatalf("Alloc %d failed", i)
+		}
+		if len(p.Buf(r)) != 128 {
+			t.Fatalf("buf len %d", len(p.Buf(r)))
+		}
+		refs = append(refs, r)
+	}
+	if _, ok := p.Alloc(); ok {
+		t.Fatal("Alloc on exhausted pool succeeded")
+	}
+	for _, r := range refs {
+		p.Free(r)
+	}
+	if p.Available() != 4 {
+		t.Fatalf("after free: avail=%d", p.Available())
+	}
+}
+
+func TestPoolBuffersDisjoint(t *testing.T) {
+	p := NewPool(3, 64)
+	r0, _ := p.Alloc()
+	r1, _ := p.Alloc()
+	for i := range p.Buf(r0) {
+		p.Buf(r0)[i] = 0xaa
+	}
+	for _, b := range p.Buf(r1) {
+		if b == 0xaa {
+			t.Fatal("pool buffers alias")
+		}
+	}
+}
+
+func TestSynthesizeIntoReusesBuffer(t *testing.T) {
+	buf := make([]byte, 256)
+	pkt := SynthesizeInto(buf, tupleTCP())
+	if &pkt.Buf[0] != &buf[0] {
+		t.Fatal("SynthesizeInto allocated a new buffer")
+	}
+	got, err := Parse(buf)
+	if err != nil || got != tupleTCP() {
+		t.Fatalf("Parse after SynthesizeInto: %v, %v", got, err)
+	}
+}
+
+func TestProtocolString(t *testing.T) {
+	tests := []struct {
+		give Protocol
+		want string
+	}{
+		{ProtoTCP, "tcp"},
+		{ProtoUDP, "udp"},
+		{ProtoICMP, "icmp"},
+		{Protocol(99), "proto(99)"},
+	}
+	for _, tt := range tests {
+		if got := tt.give.String(); got != tt.want {
+			t.Errorf("Protocol(%d).String() = %q, want %q", tt.give, got, tt.want)
+		}
+	}
+}
+
+func BenchmarkSynthesize64(b *testing.B) {
+	tt := tupleTCP()
+	buf := make([]byte, 64)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		SynthesizeInto(buf, tt)
+	}
+}
+
+func BenchmarkParse(b *testing.B) {
+	buf := Synthesize(tupleTCP(), 64).Buf
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Parse(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkHash64(b *testing.B) {
+	tt := tupleTCP()
+	for i := 0; i < b.N; i++ {
+		_ = tt.Hash64()
+	}
+}

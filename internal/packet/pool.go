@@ -1,0 +1,80 @@
+package packet
+
+import "fmt"
+
+// Pool is the untrusted packet memory pool of the DPDK-style data plane
+// (the paper's Figure 6 "Packet Memory Pool"). Buffers live outside the
+// enclave; the near-zero-copy path hands the enclave only a Ref plus the
+// parsed five-tuple and size, and the enclave's verdict is applied to the
+// buffer by reference.
+//
+// Pool is not safe for concurrent use; in the pipeline each Pool is owned by
+// the RX stage, mirroring DPDK's per-port mempool ownership.
+type Pool struct {
+	bufs []([]byte)
+	free []int32
+}
+
+// Ref identifies a packet buffer inside a Pool. It is the "*" of the
+// paper's near-zero-copy design: an untrusted memory reference the enclave
+// never dereferences.
+type Ref int32
+
+// NoRef is the sentinel for "no buffer attached".
+const NoRef Ref = -1
+
+// NewPool creates a pool of n buffers each of bufSize bytes.
+func NewPool(n, bufSize int) *Pool {
+	p := &Pool{
+		bufs: make([][]byte, n),
+		free: make([]int32, n),
+	}
+	backing := make([]byte, n*bufSize)
+	for i := 0; i < n; i++ {
+		p.bufs[i] = backing[i*bufSize : (i+1)*bufSize : (i+1)*bufSize]
+		p.free[i] = int32(n - 1 - i) // pop order 0,1,2,...
+	}
+	return p
+}
+
+// Alloc takes a free buffer from the pool, or reports false when exhausted
+// (the data plane then drops the arriving frame, as a NIC would when its
+// descriptor ring backs up).
+func (p *Pool) Alloc() (Ref, bool) {
+	if len(p.free) == 0 {
+		return NoRef, false
+	}
+	r := p.free[len(p.free)-1]
+	p.free = p.free[:len(p.free)-1]
+	return Ref(r), true
+}
+
+// Free returns a buffer to the pool.
+func (p *Pool) Free(r Ref) {
+	p.free = append(p.free, int32(r))
+}
+
+// Buf returns the backing bytes for a buffer.
+func (p *Pool) Buf(r Ref) []byte {
+	return p.bufs[r]
+}
+
+// Available reports how many buffers remain free.
+func (p *Pool) Available() int { return len(p.free) }
+
+// Cap reports the pool's total buffer count.
+func (p *Pool) Cap() int { return len(p.bufs) }
+
+// Descriptor is what travels on the data-plane rings: the parsed summary of
+// one packet plus the reference to its out-of-enclave buffer. It mirrors the
+// ⟨∗, 5T, s⟩ triple the paper copies into the enclave.
+type Descriptor struct {
+	Tuple FiveTuple
+	Size  uint16
+	Ref   Ref
+}
+
+// String implements fmt.Stringer for logs and test failures.
+func (d Descriptor) String() string {
+	return fmt.Sprintf("%v size=%d ref=%d", d.Tuple, d.Size, d.Ref)
+}

@@ -1,0 +1,296 @@
+package pipeline
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+
+	"github.com/innetworkfiltering/vif/internal/filter"
+	"github.com/innetworkfiltering/vif/internal/packet"
+)
+
+// DefaultBatch is the per-poll batch size, matching DPDK's conventional
+// 32-packet burst.
+const DefaultBatch = 32
+
+// ErrRunning is returned by Start on an already-running pipeline.
+var ErrRunning = errors.New("pipeline: already running")
+
+// Sink receives packets the filter allowed, in order, with the verdict
+// already applied. The frame bytes are only valid during the call (the
+// buffer returns to the pool afterwards), mirroring NIC TX semantics.
+type Sink func(d packet.Descriptor, frame []byte)
+
+// Config configures a Pipeline.
+type Config struct {
+	// RingSize is the capacity of each inter-stage ring. Default 1024.
+	RingSize int
+	// Batch is the per-poll burst size. Default DefaultBatch.
+	Batch int
+	// PoolSize is the packet buffer pool depth. Default 4096.
+	PoolSize int
+	// BufSize is the per-buffer byte capacity. Default MaxFrameSize.
+	BufSize int
+}
+
+func (c *Config) fillDefaults() {
+	if c.RingSize == 0 {
+		c.RingSize = 1024
+	}
+	if c.Batch == 0 {
+		c.Batch = DefaultBatch
+	}
+	if c.PoolSize == 0 {
+		c.PoolSize = 4096
+	}
+	if c.BufSize == 0 {
+		c.BufSize = packet.MaxFrameSize
+	}
+}
+
+// Counters are the pipeline's packet counters.
+type Counters struct {
+	RxPackets uint64 // frames accepted by Inject
+	RxDropped uint64 // frames dropped at RX (pool/ring exhaustion, parse)
+	TxPackets uint64 // frames delivered to the sink
+	Filtered  uint64 // frames dropped by filter verdict
+}
+
+// Pipeline wires RX → enclaved filter → TX over SPSC rings, with a DROP
+// ring for filtered packets and a FREE ring recycling buffers back to the
+// RX stage — the paper's Figure 6 topology. The RX stage is driven by the
+// caller's Inject (playing the NIC + pktgen role); the filter and TX stages
+// run on their own goroutines.
+type Pipeline struct {
+	cfg  Config
+	f    *filter.Filter
+	pool *packet.Pool
+
+	rx, tx, drop, free *Ring
+
+	sink Sink
+
+	rxPackets atomic.Uint64
+	rxDropped atomic.Uint64
+	txPackets atomic.Uint64
+	filtered  atomic.Uint64
+
+	running atomic.Bool
+	stop    chan struct{}
+	doneFlt chan struct{}
+	doneTx  chan struct{}
+}
+
+// New creates a pipeline around a filter and a sink.
+func New(f *filter.Filter, sink Sink, cfg Config) (*Pipeline, error) {
+	cfg.fillDefaults()
+	if f == nil {
+		return nil, errors.New("pipeline: nil filter")
+	}
+	if sink == nil {
+		sink = func(packet.Descriptor, []byte) {}
+	}
+	mk := func() (*Ring, error) { return NewRing(cfg.RingSize) }
+	rx, err := mk()
+	if err != nil {
+		return nil, err
+	}
+	tx, err := mk()
+	if err != nil {
+		return nil, err
+	}
+	drop, err := mk()
+	if err != nil {
+		return nil, err
+	}
+	free, err := NewRing(cfg.PoolSize)
+	if err != nil {
+		return nil, err
+	}
+	return &Pipeline{
+		cfg:  cfg,
+		f:    f,
+		pool: packet.NewPool(cfg.PoolSize, cfg.BufSize),
+		rx:   rx, tx: tx, drop: drop, free: free,
+		sink: sink,
+	}, nil
+}
+
+// Start launches the filter and TX stages.
+func (p *Pipeline) Start() error {
+	if !p.running.CompareAndSwap(false, true) {
+		return ErrRunning
+	}
+	p.stop = make(chan struct{})
+	p.doneFlt = make(chan struct{})
+	p.doneTx = make(chan struct{})
+	go p.filterStage()
+	go p.txStage()
+	return nil
+}
+
+// Stop drains in-flight packets and stops the stages. It is idempotent.
+func (p *Pipeline) Stop() {
+	if !p.running.CompareAndSwap(true, false) {
+		return
+	}
+	close(p.stop)
+	<-p.doneFlt
+	<-p.doneTx
+}
+
+// Counters returns a snapshot of the packet counters.
+func (p *Pipeline) Counters() Counters {
+	return Counters{
+		RxPackets: p.rxPackets.Load(),
+		RxDropped: p.rxDropped.Load(),
+		TxPackets: p.txPackets.Load(),
+		Filtered:  p.filtered.Load(),
+	}
+}
+
+// Filter returns the wrapped filter.
+func (p *Pipeline) Filter() *filter.Filter { return p.f }
+
+// Inject plays the NIC RX role for one frame: parse, copy into a pool
+// buffer, and enqueue to the filter stage. It must be called from a single
+// goroutine (the traffic generator). Frames that fail to parse, or that
+// arrive while pool or ring are exhausted, count as RX drops — exactly how
+// a saturated NIC behaves.
+func (p *Pipeline) Inject(frame []byte) bool {
+	// Recycle buffers returned by TX before allocating.
+	for {
+		d, ok := p.free.Dequeue()
+		if !ok {
+			break
+		}
+		p.pool.Free(d.Ref)
+	}
+	tuple, err := packet.Parse(frame)
+	if err != nil {
+		p.rxDropped.Add(1)
+		return false
+	}
+	ref, ok := p.pool.Alloc()
+	if !ok {
+		p.rxDropped.Add(1)
+		return false
+	}
+	buf := p.pool.Buf(ref)
+	if len(frame) > len(buf) {
+		p.pool.Free(ref)
+		p.rxDropped.Add(1)
+		return false
+	}
+	copy(buf, frame)
+	d := packet.Descriptor{Tuple: tuple, Size: uint16(len(frame)), Ref: ref}
+	if !p.rx.Enqueue(d) {
+		p.pool.Free(ref)
+		p.rxDropped.Add(1)
+		return false
+	}
+	p.rxPackets.Add(1)
+	return true
+}
+
+// filterStage polls the RX ring, runs the enclaved filter on each
+// descriptor, and forwards to the TX or DROP ring by verdict.
+func (p *Pipeline) filterStage() {
+	defer close(p.doneFlt)
+	batch := make([]packet.Descriptor, p.cfg.Batch)
+	for {
+		n := p.rx.DequeueBatch(batch)
+		if n == 0 {
+			select {
+			case <-p.stop:
+				// Final drain: whatever raced in after the signal.
+				if n = p.rx.DequeueBatch(batch); n == 0 {
+					return
+				}
+			default:
+				runtime.Gosched()
+				continue
+			}
+		}
+		for _, d := range batch[:n] {
+			if p.f.Process(d) == filter.VerdictAllow {
+				for !p.tx.Enqueue(d) {
+					runtime.Gosched()
+				}
+			} else {
+				p.filtered.Add(1)
+				for !p.drop.Enqueue(d) {
+					runtime.Gosched()
+				}
+			}
+		}
+	}
+}
+
+// txStage delivers allowed packets to the sink and recycles all buffers.
+func (p *Pipeline) txStage() {
+	defer close(p.doneTx)
+	batch := make([]packet.Descriptor, p.cfg.Batch)
+	for {
+		idle := true
+		if n := p.tx.DequeueBatch(batch); n > 0 {
+			idle = false
+			for _, d := range batch[:n] {
+				p.sink(d, p.pool.Buf(d.Ref)[:d.Size])
+				p.txPackets.Add(1)
+				for !p.free.Enqueue(d) {
+					runtime.Gosched()
+				}
+			}
+		}
+		if n := p.drop.DequeueBatch(batch); n > 0 {
+			idle = false
+			for _, d := range batch[:n] {
+				for !p.free.Enqueue(d) {
+					runtime.Gosched()
+				}
+			}
+		}
+		if idle {
+			select {
+			case <-p.stop:
+				// Drain whatever the filter stage flushed after stop.
+				if p.tx.Len() == 0 && p.drop.Len() == 0 && p.filterDone() {
+					return
+				}
+			default:
+				runtime.Gosched()
+			}
+		}
+	}
+}
+
+func (p *Pipeline) filterDone() bool {
+	select {
+	case <-p.doneFlt:
+		return true
+	default:
+		return false
+	}
+}
+
+// WaitDrained spins until every injected packet has been either delivered
+// or dropped. Call after the generator finishes and before reading final
+// counters.
+func (p *Pipeline) WaitDrained() {
+	for {
+		c := p.Counters()
+		if c.RxPackets == c.TxPackets+c.Filtered {
+			return
+		}
+		runtime.Gosched()
+	}
+}
+
+// String summarizes the pipeline state for logs.
+func (p *Pipeline) String() string {
+	c := p.Counters()
+	return fmt.Sprintf("pipeline{rx=%d rxdrop=%d tx=%d filtered=%d}",
+		c.RxPackets, c.RxDropped, c.TxPackets, c.Filtered)
+}

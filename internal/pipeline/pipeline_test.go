@@ -1,0 +1,339 @@
+package pipeline
+
+import (
+	"math"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/innetworkfiltering/vif/internal/enclave"
+	"github.com/innetworkfiltering/vif/internal/filter"
+	"github.com/innetworkfiltering/vif/internal/packet"
+	"github.com/innetworkfiltering/vif/internal/rules"
+)
+
+func testFilter(t testing.TB, defaultAllow bool) *filter.Filter {
+	t.Helper()
+	e, err := enclave.New(enclave.CodeIdentity{Name: "vif-filter", BinarySize: 1 << 20}, enclave.DefaultCostModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	set, err := rules.NewSet([]rules.Rule{
+		rules.MustParse("drop udp from 10.0.0.0/8 to 192.0.2.0/24 dport 53"),
+	}, defaultAllow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := filter.New(e, set, filter.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func attackFrame(src string) []byte {
+	return packet.Synthesize(packet.FiveTuple{
+		SrcIP:   packet.MustParseIP(src),
+		DstIP:   packet.MustParseIP("192.0.2.10"),
+		SrcPort: 53, DstPort: 53, Proto: packet.ProtoUDP,
+	}, 128).Buf
+}
+
+func cleanFrame(src string) []byte {
+	return packet.Synthesize(packet.FiveTuple{
+		SrcIP:   packet.MustParseIP(src),
+		DstIP:   packet.MustParseIP("192.0.2.10"),
+		SrcPort: 40000, DstPort: 443, Proto: packet.ProtoTCP,
+	}, 128).Buf
+}
+
+func TestRingBasics(t *testing.T) {
+	r, err := NewRing(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Cap() != 4 {
+		t.Fatalf("Cap = %d", r.Cap())
+	}
+	if _, ok := r.Dequeue(); ok {
+		t.Fatal("empty ring dequeued")
+	}
+	for i := 0; i < 4; i++ {
+		if !r.Enqueue(packet.Descriptor{Size: uint16(i)}) {
+			t.Fatalf("enqueue %d failed", i)
+		}
+	}
+	if r.Enqueue(packet.Descriptor{}) {
+		t.Fatal("full ring accepted enqueue")
+	}
+	for i := 0; i < 4; i++ {
+		d, ok := r.Dequeue()
+		if !ok || d.Size != uint16(i) {
+			t.Fatalf("dequeue %d: %v %v (FIFO violated)", i, d.Size, ok)
+		}
+	}
+}
+
+func TestRingSizeValidation(t *testing.T) {
+	if _, err := NewRing(0); err == nil {
+		t.Fatal("size 0 accepted")
+	}
+	r, err := NewRing(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Cap() != 4 {
+		t.Fatalf("Cap = %d, want rounded to 4", r.Cap())
+	}
+}
+
+func TestRingBatchOps(t *testing.T) {
+	r, _ := NewRing(8)
+	in := make([]packet.Descriptor, 12)
+	for i := range in {
+		in[i].Size = uint16(i)
+	}
+	if n := r.EnqueueBatch(in); n != 8 {
+		t.Fatalf("EnqueueBatch = %d, want 8 (capacity)", n)
+	}
+	out := make([]packet.Descriptor, 5)
+	if n := r.DequeueBatch(out); n != 5 {
+		t.Fatalf("DequeueBatch = %d", n)
+	}
+	for i := 0; i < 5; i++ {
+		if out[i].Size != uint16(i) {
+			t.Fatalf("batch order violated at %d", i)
+		}
+	}
+	if n := r.DequeueBatch(out); n != 3 {
+		t.Fatalf("remaining = %d, want 3", n)
+	}
+}
+
+func TestRingSPSCStress(t *testing.T) {
+	r, _ := NewRing(64)
+	const total = 200000
+	var sum atomic.Uint64
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		got := 0
+		buf := make([]packet.Descriptor, 16)
+		for got < total {
+			n := r.DequeueBatch(buf)
+			for i := 0; i < n; i++ {
+				sum.Add(uint64(buf[i].Size))
+			}
+			got += n
+		}
+	}()
+	var want uint64
+	for i := 0; i < total; i++ {
+		d := packet.Descriptor{Size: uint16(i & 0x3ff)}
+		want += uint64(d.Size)
+		for !r.Enqueue(d) {
+		}
+	}
+	<-done
+	if sum.Load() != want {
+		t.Fatalf("sum %d != %d: lost or duplicated descriptors", sum.Load(), want)
+	}
+}
+
+func TestPipelineEndToEnd(t *testing.T) {
+	f := testFilter(t, true)
+	var delivered atomic.Uint64
+	sink := func(d packet.Descriptor, frame []byte) {
+		if _, err := packet.Parse(frame); err != nil {
+			t.Errorf("sink got malformed frame: %v", err)
+		}
+		delivered.Add(1)
+	}
+	p, err := New(f, sink, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer p.Stop()
+
+	const attacks, clean = 500, 300
+	for i := 0; i < attacks; i++ {
+		for !p.Inject(attackFrame("10.1.2.3")) {
+			time.Sleep(time.Microsecond)
+		}
+	}
+	for i := 0; i < clean; i++ {
+		for !p.Inject(cleanFrame("203.0.113.7")) {
+			time.Sleep(time.Microsecond)
+		}
+	}
+	p.WaitDrained()
+	c := p.Counters()
+	if c.RxPackets != attacks+clean {
+		t.Fatalf("RxPackets = %d", c.RxPackets)
+	}
+	if c.Filtered != attacks {
+		t.Fatalf("Filtered = %d, want %d", c.Filtered, attacks)
+	}
+	if c.TxPackets != clean || delivered.Load() != clean {
+		t.Fatalf("TxPackets = %d delivered = %d, want %d", c.TxPackets, delivered.Load(), clean)
+	}
+}
+
+func TestPipelineBufferRecycling(t *testing.T) {
+	// Far more packets than pool buffers: recycling must keep up.
+	f := testFilter(t, true)
+	p, err := New(f, nil, Config{PoolSize: 64, RingSize: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer p.Stop()
+	frame := cleanFrame("203.0.113.8")
+	injected := 0
+	for injected < 10000 {
+		if p.Inject(frame) {
+			injected++
+		}
+	}
+	p.WaitDrained()
+	if got := p.Counters().TxPackets; got != 10000 {
+		t.Fatalf("TxPackets = %d, want 10000", got)
+	}
+}
+
+func TestPipelineRejectsGarbageFrames(t *testing.T) {
+	f := testFilter(t, true)
+	p, err := New(f, nil, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer p.Stop()
+	if p.Inject([]byte{1, 2, 3}) {
+		t.Fatal("garbage accepted")
+	}
+	if got := p.Counters().RxDropped; got != 1 {
+		t.Fatalf("RxDropped = %d", got)
+	}
+}
+
+func TestPipelineDoubleStartStop(t *testing.T) {
+	f := testFilter(t, true)
+	p, err := New(f, nil, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Start(); err != ErrRunning {
+		t.Fatalf("second Start: %v, want ErrRunning", err)
+	}
+	p.Stop()
+	p.Stop() // idempotent
+}
+
+func TestLineRateArithmetic(t *testing.T) {
+	// 64-byte frames at 10 GbE: the canonical 14.88 Mpps.
+	got := LineRatePps(64, TenGigE)
+	if math.Abs(got-14.88e6) > 0.01e6 {
+		t.Fatalf("LineRatePps(64) = %v, want ≈14.88M", got)
+	}
+	// 1500-byte frames: ≈822 Kpps.
+	got = LineRatePps(1500, TenGigE)
+	if math.Abs(got-822e3) > 2e3 {
+		t.Fatalf("LineRatePps(1500) = %v, want ≈822K", got)
+	}
+}
+
+func TestModeledThroughputCapsAtLineRate(t *testing.T) {
+	// A 1 ns/packet filter is NIC-bound, not CPU-bound.
+	pps, _ := ModeledThroughput(1, 64, TenGigE)
+	if math.Abs(pps-LineRatePps(64, TenGigE)) > 1 {
+		t.Fatalf("pps = %v, want line rate", pps)
+	}
+	// A 1 µs/packet filter is CPU-bound at 1 Mpps.
+	pps, bps := ModeledThroughput(1000, 64, TenGigE)
+	if math.Abs(pps-1e6) > 1 {
+		t.Fatalf("pps = %v, want 1M", pps)
+	}
+	if math.Abs(bps-1e6*64*8) > 1 {
+		t.Fatalf("bps = %v", bps)
+	}
+}
+
+func TestLatencyModelMatchesPaper(t *testing.T) {
+	// §V-B: 34/38/52/80/107 µs at 128/256/512/1024/1500 B under 8 Gb/s.
+	m := DefaultLatencyModel()
+	want := map[int]float64{128: 34, 256: 38, 512: 52, 1024: 80, 1500: 107}
+	for size, wantUs := range want {
+		got := m.Latency(8e9, size, 100).Seconds() * 1e6
+		// The model should land within 25% of each measured point.
+		if math.Abs(got-wantUs)/wantUs > 0.25 {
+			t.Errorf("latency(%dB) = %.1f µs, paper %.0f µs", size, got, wantUs)
+		}
+	}
+	// And it must be monotone in packet size at fixed bit rate.
+	prev := time.Duration(0)
+	for _, size := range []int{128, 256, 512, 1024, 1500} {
+		l := m.Latency(8e9, size, 100)
+		if l <= prev {
+			t.Fatalf("latency not monotone at %d B", size)
+		}
+		prev = l
+	}
+}
+
+func TestRunClosedLoopProducesCosts(t *testing.T) {
+	f := testFilter(t, true)
+	descs := []packet.Descriptor{{
+		Tuple: packet.FiveTuple{
+			SrcIP: packet.MustParseIP("10.1.2.3"), DstIP: packet.MustParseIP("192.0.2.10"),
+			SrcPort: 53, DstPort: 53, Proto: packet.ProtoUDP,
+		},
+		Size: 64,
+	}}
+	perPkt := RunClosedLoop(f, descs, 1000)
+	if perPkt <= 0 {
+		t.Fatalf("perPkt = %v", perPkt)
+	}
+	if RunClosedLoop(f, nil, 10) != 0 || RunClosedLoop(f, descs, 0) != 0 {
+		t.Fatal("degenerate inputs must return 0")
+	}
+}
+
+func BenchmarkPipelineThroughput(b *testing.B) {
+	f := testFilter(b, true)
+	p, err := New(f, nil, Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := p.Start(); err != nil {
+		b.Fatal(err)
+	}
+	defer p.Stop()
+	frame := cleanFrame("203.0.113.8")
+	b.SetBytes(int64(len(frame)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for !p.Inject(frame) {
+		}
+	}
+	p.WaitDrained()
+}
+
+func BenchmarkRingEnqueueDequeue(b *testing.B) {
+	r, _ := NewRing(1024)
+	d := packet.Descriptor{Size: 64}
+	for i := 0; i < b.N; i++ {
+		r.Enqueue(d)
+		r.Dequeue()
+	}
+}

@@ -1,0 +1,102 @@
+// Package pipeline implements VIF's DPDK-style data plane: single-producer/
+// single-consumer lock-free rings connecting an RX stage, the enclaved
+// filter stage, and a TX stage, each running on its own goroutine and
+// processing packets in batches (the paper's Figure 6 pipeline model with
+// RX/DROP/TX rings). It also provides the throughput and latency arithmetic
+// used to regenerate the paper's data-plane figures.
+package pipeline
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"github.com/innetworkfiltering/vif/internal/packet"
+)
+
+// Ring is a bounded single-producer/single-consumer lock-free queue of
+// packet descriptors, the analogue of DPDK's rte_ring in SP/SC mode.
+// Exactly one goroutine may call Enqueue* and exactly one may call
+// Dequeue*; this matches the pipeline's fixed stage topology.
+type Ring struct {
+	buf  []packet.Descriptor
+	mask uint64
+	head atomic.Uint64 // next slot to dequeue (consumer-owned)
+	tail atomic.Uint64 // next slot to enqueue (producer-owned)
+}
+
+// NewRing creates a ring with capacity size (rounded up to a power of two,
+// minimum 2).
+func NewRing(size int) (*Ring, error) {
+	if size < 1 {
+		return nil, fmt.Errorf("pipeline: ring size %d", size)
+	}
+	pow := 1
+	for pow < size || pow < 2 {
+		pow <<= 1
+	}
+	return &Ring{buf: make([]packet.Descriptor, pow), mask: uint64(pow - 1)}, nil
+}
+
+// Cap returns the ring capacity.
+func (r *Ring) Cap() int { return len(r.buf) }
+
+// Len returns the number of queued descriptors (approximate under
+// concurrency, exact when quiesced).
+func (r *Ring) Len() int {
+	return int(r.tail.Load() - r.head.Load())
+}
+
+// Enqueue adds one descriptor; it reports false when the ring is full
+// (the producer then drops the packet, as a NIC does on ring overflow).
+func (r *Ring) Enqueue(d packet.Descriptor) bool {
+	tail := r.tail.Load()
+	if tail-r.head.Load() >= uint64(len(r.buf)) {
+		return false
+	}
+	r.buf[tail&r.mask] = d
+	r.tail.Store(tail + 1)
+	return true
+}
+
+// EnqueueBatch adds as many descriptors from ds as fit and returns the
+// number enqueued.
+func (r *Ring) EnqueueBatch(ds []packet.Descriptor) int {
+	tail := r.tail.Load()
+	free := uint64(len(r.buf)) - (tail - r.head.Load())
+	n := uint64(len(ds))
+	if n > free {
+		n = free
+	}
+	for i := uint64(0); i < n; i++ {
+		r.buf[(tail+i)&r.mask] = ds[i]
+	}
+	r.tail.Store(tail + n)
+	return int(n)
+}
+
+// Dequeue removes one descriptor; ok is false when the ring is empty.
+func (r *Ring) Dequeue() (packet.Descriptor, bool) {
+	head := r.head.Load()
+	if head == r.tail.Load() {
+		return packet.Descriptor{}, false
+	}
+	d := r.buf[head&r.mask]
+	r.head.Store(head + 1)
+	return d, true
+}
+
+// DequeueBatch fills out with up to len(out) descriptors and returns the
+// count, the batched polling every pipeline stage uses.
+func (r *Ring) DequeueBatch(out []packet.Descriptor) int {
+	head := r.head.Load()
+	avail := r.tail.Load() - head
+	n := uint64(len(out))
+	if n > avail {
+		n = avail
+	}
+	for i := uint64(0); i < n; i++ {
+		out[i] = r.buf[(head+i)&r.mask]
+	}
+	r.head.Store(head + n)
+	return int(n)
+}

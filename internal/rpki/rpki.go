@@ -1,0 +1,126 @@
+// Package rpki is a minimal Resource Public Key Infrastructure registry
+// used to authorize VIF filtering requests (§VI-B: "the victim network can
+// easily authenticate to the IXP via RPKI", and §VII: "filter rules are
+// first validated with RPKI" so a malicious network cannot black-hole
+// someone else's prefix by requesting filters for it).
+//
+// Only origin validation is modelled — ROAs binding a prefix to the AS
+// authorized to originate it — because that is all VIF consumes: a
+// filtering request for destination prefix P from AS V is honored only if
+// a ROA authorizes V for P.
+package rpki
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"github.com/innetworkfiltering/vif/internal/bgp"
+	"github.com/innetworkfiltering/vif/internal/rules"
+)
+
+// Validity is the RPKI origin-validation outcome.
+type Validity int
+
+// Outcomes.
+const (
+	// Valid: a ROA covers the prefix and authorizes the AS.
+	Valid Validity = iota + 1
+	// Invalid: a ROA covers the prefix but for a different AS or a
+	// shorter max length.
+	Invalid
+	// NotFound: no ROA covers the prefix.
+	NotFound
+)
+
+// String renders the outcome.
+func (v Validity) String() string {
+	switch v {
+	case Valid:
+		return "valid"
+	case Invalid:
+		return "invalid"
+	case NotFound:
+		return "not-found"
+	default:
+		return fmt.Sprintf("validity(%d)", int(v))
+	}
+}
+
+// ErrUnauthorized rejects filtering requests that fail origin validation.
+var ErrUnauthorized = errors.New("rpki: requester not authorized for prefix")
+
+// ROA is a route origin authorization: asn may originate prefix up to
+// MaxLength.
+type ROA struct {
+	Prefix    rules.Prefix
+	ASN       bgp.ASN
+	MaxLength uint8
+}
+
+// Registry is a thread-safe ROA store (the IXP keeps a validated cache).
+type Registry struct {
+	mu   sync.RWMutex
+	roas []ROA
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry { return &Registry{} }
+
+// Add registers a ROA. MaxLength zero defaults to the prefix length.
+func (r *Registry) Add(roa ROA) error {
+	if roa.MaxLength == 0 {
+		roa.MaxLength = roa.Prefix.Len
+	}
+	if roa.MaxLength < roa.Prefix.Len || roa.MaxLength > 32 {
+		return fmt.Errorf("rpki: max length %d invalid for %v", roa.MaxLength, roa.Prefix)
+	}
+	roa.Prefix = roa.Prefix.Canonical()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.roas = append(r.roas, roa)
+	return nil
+}
+
+// Validate performs origin validation of (prefix, origin).
+func (r *Registry) Validate(prefix rules.Prefix, origin bgp.ASN) Validity {
+	prefix = prefix.Canonical()
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	covered := false
+	for _, roa := range r.roas {
+		if roa.Prefix.Len > prefix.Len || !roa.Prefix.Contains(prefix.Addr) {
+			continue // ROA does not cover this prefix
+		}
+		covered = true
+		if roa.ASN == origin && prefix.Len <= roa.MaxLength {
+			return Valid
+		}
+	}
+	if covered {
+		return Invalid
+	}
+	return NotFound
+}
+
+// AuthorizeFilterRequest checks that every rule in a requested set targets
+// destination space the requesting AS is authorized for — the gate that
+// stops a malicious "victim" from asking an IXP to drop someone else's
+// traffic (§VII). Rules whose destination is unbounded (shorter than /8)
+// are rejected outright: a victim names its own networks.
+func (r *Registry) AuthorizeFilterRequest(requester bgp.ASN, set *rules.Set) error {
+	if set == nil || set.Len() == 0 {
+		return rules.ErrEmptySet
+	}
+	for _, rule := range set.Rules {
+		if rule.Dst.Len < 8 {
+			return fmt.Errorf("%w: rule %d destination %v too broad",
+				ErrUnauthorized, rule.ID, rule.Dst)
+		}
+		if v := r.Validate(rule.Dst, requester); v != Valid {
+			return fmt.Errorf("%w: rule %d destination %v is %v for AS%d",
+				ErrUnauthorized, rule.ID, rule.Dst, v, requester)
+		}
+	}
+	return nil
+}

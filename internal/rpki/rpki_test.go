@@ -1,0 +1,114 @@
+package rpki
+
+import (
+	"errors"
+	"testing"
+
+	"github.com/innetworkfiltering/vif/internal/bgp"
+	"github.com/innetworkfiltering/vif/internal/rules"
+)
+
+func TestValidateOutcomes(t *testing.T) {
+	r := NewRegistry()
+	if err := r.Add(ROA{Prefix: rules.MustParsePrefix("192.0.2.0/24"), ASN: 64500}); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Add(ROA{Prefix: rules.MustParsePrefix("10.0.0.0/8"), ASN: 64501, MaxLength: 16}); err != nil {
+		t.Fatal(err)
+	}
+
+	tests := []struct {
+		name   string
+		prefix string
+		origin uint32
+		want   Validity
+	}{
+		{"exact valid", "192.0.2.0/24", 64500, Valid},
+		{"wrong origin", "192.0.2.0/24", 64999, Invalid},
+		{"more specific within maxlen", "10.1.0.0/16", 64501, Valid},
+		{"more specific beyond maxlen", "10.1.1.0/24", 64501, Invalid},
+		{"uncovered", "203.0.113.0/24", 64500, NotFound},
+		{"less specific than roa", "192.0.0.0/16", 64500, NotFound},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got := r.Validate(rules.MustParsePrefix(tt.prefix), bgp.ASN(tt.origin))
+			if got != tt.want {
+				t.Errorf("Validate(%s, AS%d) = %v, want %v", tt.prefix, tt.origin, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestAddValidation(t *testing.T) {
+	r := NewRegistry()
+	if err := r.Add(ROA{Prefix: rules.MustParsePrefix("10.0.0.0/16"), ASN: 1, MaxLength: 8}); err == nil {
+		t.Fatal("max length shorter than prefix accepted")
+	}
+	if err := r.Add(ROA{Prefix: rules.MustParsePrefix("10.0.0.0/16"), ASN: 1, MaxLength: 33}); err == nil {
+		t.Fatal("max length 33 accepted")
+	}
+}
+
+func TestAuthorizeFilterRequest(t *testing.T) {
+	r := NewRegistry()
+	if err := r.Add(ROA{Prefix: rules.MustParsePrefix("192.0.2.0/24"), ASN: 64500, MaxLength: 32}); err != nil {
+		t.Fatal(err)
+	}
+
+	good, err := rules.NewSet([]rules.Rule{
+		rules.MustParse("drop udp from any to 192.0.2.0/24 dport 53"),
+		rules.MustParse("drop 50% tcp from any to 192.0.2.10/32 dport 80"),
+	}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.AuthorizeFilterRequest(64500, good); err != nil {
+		t.Fatalf("legitimate victim rejected: %v", err)
+	}
+
+	// A different AS asking to filter the same prefix: denied.
+	if err := r.AuthorizeFilterRequest(64666, good); !errors.Is(err, ErrUnauthorized) {
+		t.Fatalf("hijacker allowed: %v", err)
+	}
+
+	// Rules covering someone else's space: denied even for a valid AS.
+	foreign, err := rules.NewSet([]rules.Rule{
+		rules.MustParse("drop udp from any to 198.51.100.0/24"),
+	}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.AuthorizeFilterRequest(64500, foreign); !errors.Is(err, ErrUnauthorized) {
+		t.Fatalf("foreign prefix allowed: %v", err)
+	}
+
+	// Overly broad destinations: denied outright (DoS-by-filtering guard).
+	broad, err := rules.NewSet([]rules.Rule{
+		rules.MustParse("drop udp from any to 0.0.0.0/0"),
+	}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.AuthorizeFilterRequest(64500, broad); !errors.Is(err, ErrUnauthorized) {
+		t.Fatalf("0.0.0.0/0 allowed: %v", err)
+	}
+
+	if err := r.AuthorizeFilterRequest(64500, nil); err == nil {
+		t.Fatal("nil set accepted")
+	}
+}
+
+func TestValidityString(t *testing.T) {
+	tests := []struct {
+		v    Validity
+		want string
+	}{
+		{Valid, "valid"}, {Invalid, "invalid"}, {NotFound, "not-found"},
+	}
+	for _, tt := range tests {
+		if got := tt.v.String(); got != tt.want {
+			t.Errorf("%d.String() = %q", tt.v, got)
+		}
+	}
+}

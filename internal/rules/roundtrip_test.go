@@ -1,0 +1,81 @@
+package rules
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/innetworkfiltering/vif/internal/packet"
+)
+
+// TestRuleStringParseRoundTripProperty fuzzes the textual codec: any
+// structurally valid rule must survive String → Parse unchanged in
+// matching behavior (the wire form is the victim-enclave contract).
+func TestRuleStringParseRoundTripProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	f := func(src, dst uint32, srcLen, dstLen uint8, pctTenths uint16, protoPick, portPick uint8) bool {
+		r := Rule{
+			Src:    Prefix{Addr: src, Len: srcLen % 33}.Canonical(),
+			Dst:    Prefix{Addr: dst, Len: dstLen % 33}.Canonical(),
+			PAllow: float64(pctTenths%1001) / 1000,
+		}
+		switch protoPick % 4 {
+		case 0:
+			r.Proto = 0
+		case 1:
+			r.Proto = packet.ProtoTCP
+		case 2:
+			r.Proto = packet.ProtoUDP
+		case 3:
+			r.Proto = packet.ProtoICMP
+		}
+		switch portPick % 3 {
+		case 0:
+			r.SrcPort, r.DstPort = AnyPort, AnyPort
+		case 1:
+			r.DstPort = Port(uint16(rng.Intn(65536)))
+			r.SrcPort = AnyPort
+		case 2:
+			lo := uint16(rng.Intn(60000))
+			r.SrcPort = PortRange{Lo: lo, Hi: lo + uint16(rng.Intn(5000))}
+			r.DstPort = Port(443)
+		}
+		back, err := Parse(r.String())
+		if err != nil {
+			t.Logf("Parse(%q): %v", r.String(), err)
+			return false
+		}
+		// PAllow survives within text precision; everything else exactly.
+		if back.Src != r.Src || back.Dst != r.Dst || back.Proto != r.Proto {
+			return false
+		}
+		if back.SrcPort.String() != r.SrcPort.String() || back.DstPort.String() != r.DstPort.String() {
+			return false
+		}
+		diff := back.PAllow - r.PAllow
+		return diff < 1e-9 && diff > -1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestMatchesConsistentUnderCanonical fuzz: matching behavior must be
+// identical whether or not host bits were pre-cleared.
+func TestMatchesConsistentUnderCanonical(t *testing.T) {
+	f := func(src, dst, probeSrc, probeDst uint32, srcLen, dstLen uint8) bool {
+		raw := Rule{
+			Src:   Prefix{Addr: src, Len: srcLen % 33},
+			Dst:   Prefix{Addr: dst, Len: dstLen % 33},
+			Proto: packet.ProtoUDP,
+		}
+		canon := raw
+		canon.Src = canon.Src.Canonical()
+		canon.Dst = canon.Dst.Canonical()
+		probe := packet.FiveTuple{SrcIP: probeSrc, DstIP: probeDst, Proto: packet.ProtoUDP}
+		return raw.Matches(probe) == canon.Matches(probe)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

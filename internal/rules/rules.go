@@ -1,0 +1,357 @@
+// Package rules defines VIF filter rules as DDoS victims express them.
+//
+// Following §III-A, a rule's decision may depend only on the bits of the
+// packet under evaluation (the five-tuple), never on arrival time or prior
+// packets. Victims may write exact-match five-tuple rules ("this TCP flow
+// between these two hosts") or coarse flow specifications ("HTTP connections
+// from hosts in a /24"), and either deterministic actions or probabilistic
+// ones ("drop 50% of HTTP flows"), per Appendix A.
+package rules
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"github.com/innetworkfiltering/vif/internal/packet"
+)
+
+// Errors shared by rule validation and parsing.
+var (
+	ErrBadProbability = errors.New("rules: allow probability outside [0,1]")
+	ErrBadPrefix      = errors.New("rules: invalid prefix")
+	ErrBadPortRange   = errors.New("rules: invalid port range")
+	ErrEmptySet       = errors.New("rules: empty rule set")
+)
+
+// Prefix is an IPv4 CIDR prefix in host byte order. The zero value matches
+// every address (0.0.0.0/0).
+type Prefix struct {
+	Addr uint32
+	Len  uint8
+}
+
+// AnyPrefix matches all IPv4 addresses.
+var AnyPrefix = Prefix{}
+
+// ParsePrefix parses "a.b.c.d/len" or a bare address (treated as /32).
+func ParsePrefix(s string) (Prefix, error) {
+	addrStr, lenStr, found := strings.Cut(s, "/")
+	addr, err := packet.ParseIP(addrStr)
+	if err != nil {
+		return Prefix{}, fmt.Errorf("%w: %v", ErrBadPrefix, err)
+	}
+	plen := 32
+	if found {
+		plen, err = strconv.Atoi(lenStr)
+		if err != nil || plen < 0 || plen > 32 {
+			return Prefix{}, fmt.Errorf("%w: length %q", ErrBadPrefix, lenStr)
+		}
+	}
+	p := Prefix{Addr: addr, Len: uint8(plen)}
+	return p.Canonical(), nil
+}
+
+// MustParsePrefix is ParsePrefix for static inputs; it panics on error.
+func MustParsePrefix(s string) Prefix {
+	p, err := ParsePrefix(s)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Mask returns the prefix netmask.
+func (p Prefix) Mask() uint32 {
+	if p.Len == 0 {
+		return 0
+	}
+	return ^uint32(0) << (32 - p.Len)
+}
+
+// Canonical zeroes host bits so equal prefixes compare equal.
+func (p Prefix) Canonical() Prefix {
+	return Prefix{Addr: p.Addr & p.Mask(), Len: p.Len}
+}
+
+// Contains reports whether ip is inside the prefix.
+func (p Prefix) Contains(ip uint32) bool {
+	return ip&p.Mask() == p.Addr&p.Mask()
+}
+
+// Overlaps reports whether two prefixes share any address.
+func (p Prefix) Overlaps(q Prefix) bool {
+	return p.Contains(q.Addr&q.Mask()) || q.Contains(p.Addr&p.Mask())
+}
+
+// IsAny reports whether the prefix matches all addresses.
+func (p Prefix) IsAny() bool { return p.Len == 0 }
+
+// String renders the prefix in CIDR form.
+func (p Prefix) String() string {
+	return fmt.Sprintf("%s/%d", packet.FormatIP(p.Addr&p.Mask()), p.Len)
+}
+
+// PortRange is an inclusive port interval. The zero value means "any port"
+// (it is normalized to 0..65535 by Canonical/Validate paths).
+type PortRange struct {
+	Lo, Hi uint16
+}
+
+// AnyPort matches all ports.
+var AnyPort = PortRange{Lo: 0, Hi: 65535}
+
+// Port returns the range containing exactly p.
+func Port(p uint16) PortRange { return PortRange{Lo: p, Hi: p} }
+
+// IsAny reports whether the range matches all ports (either the explicit
+// full range or the zero value).
+func (r PortRange) IsAny() bool {
+	return (r.Lo == 0 && r.Hi == 65535) || (r.Lo == 0 && r.Hi == 0)
+}
+
+// Contains reports whether p falls inside the range.
+func (r PortRange) Contains(p uint16) bool {
+	if r.IsAny() {
+		return true
+	}
+	return r.Lo <= p && p <= r.Hi
+}
+
+// Validate reports malformed ranges.
+func (r PortRange) Validate() error {
+	if r.Lo > r.Hi {
+		return fmt.Errorf("%w: %d-%d", ErrBadPortRange, r.Lo, r.Hi)
+	}
+	return nil
+}
+
+// String renders the range; "any" when it matches everything.
+func (r PortRange) String() string {
+	switch {
+	case r.IsAny():
+		return "any"
+	case r.Lo == r.Hi:
+		return strconv.Itoa(int(r.Lo))
+	default:
+		return fmt.Sprintf("%d-%d", r.Lo, r.Hi)
+	}
+}
+
+// Rule is one filter rule. PAllow encodes both deterministic rules
+// (PAllow == 0 → drop all matching flows; PAllow == 1 → allow all) and
+// non-deterministic rules (0 < PAllow < 1 → the filter allows each matching
+// flow with this probability, connection-preservingly).
+type Rule struct {
+	// ID identifies the rule across redistribution rounds; assigned by the
+	// victim (or the Set compiler) and stable within a filtering session.
+	ID uint32
+	// Src and Dst restrict the flow's endpoints.
+	Src, Dst Prefix
+	// SrcPort and DstPort restrict transport ports. Ignored for protocols
+	// without ports when the packet carries none.
+	SrcPort, DstPort PortRange
+	// Proto restricts the IP protocol; 0 matches any protocol.
+	Proto packet.Protocol
+	// PAllow is the probability a matching flow is allowed.
+	PAllow float64
+}
+
+// Deterministic reports whether the rule always allows or always drops.
+func (r Rule) Deterministic() bool { return r.PAllow == 0 || r.PAllow == 1 }
+
+// ExactMatch reports whether the rule pins one exact five-tuple flow
+// (both /32 endpoints, single ports, fixed protocol).
+func (r Rule) ExactMatch() bool {
+	return r.Src.Len == 32 && r.Dst.Len == 32 &&
+		!r.SrcPort.IsAny() && r.SrcPort.Lo == r.SrcPort.Hi &&
+		!r.DstPort.IsAny() && r.DstPort.Lo == r.DstPort.Hi &&
+		r.Proto != 0
+}
+
+// Tuple returns the five-tuple an exact-match rule pins. Meaningless unless
+// ExactMatch reports true.
+func (r Rule) Tuple() packet.FiveTuple {
+	return packet.FiveTuple{
+		SrcIP:   r.Src.Addr,
+		DstIP:   r.Dst.Addr,
+		SrcPort: r.SrcPort.Lo,
+		DstPort: r.DstPort.Lo,
+		Proto:   r.Proto,
+	}
+}
+
+// Matches reports whether the packet's five-tuple falls inside the rule's
+// flow specification. This is the only packet-dependent input to the filter
+// (Eq. 2 of the paper: f(p), not f(p, history)).
+func (r Rule) Matches(t packet.FiveTuple) bool {
+	if r.Proto != 0 && r.Proto != t.Proto {
+		return false
+	}
+	if !r.Src.Contains(t.SrcIP) || !r.Dst.Contains(t.DstIP) {
+		return false
+	}
+	return r.SrcPort.Contains(t.SrcPort) && r.DstPort.Contains(t.DstPort)
+}
+
+// Validate checks structural invariants.
+func (r Rule) Validate() error {
+	if r.PAllow < 0 || r.PAllow > 1 {
+		return fmt.Errorf("rule %d: %w: %v", r.ID, ErrBadProbability, r.PAllow)
+	}
+	if err := r.SrcPort.Validate(); err != nil {
+		return fmt.Errorf("rule %d src port: %w", r.ID, err)
+	}
+	if err := r.DstPort.Validate(); err != nil {
+		return fmt.Errorf("rule %d dst port: %w", r.ID, err)
+	}
+	return nil
+}
+
+// String renders the rule in the textual form accepted by Parse.
+func (r Rule) String() string {
+	var b strings.Builder
+	switch r.PAllow {
+	case 1:
+		b.WriteString("allow")
+	case 0:
+		b.WriteString("drop")
+	default:
+		fmt.Fprintf(&b, "drop %g%%", (1-r.PAllow)*100)
+	}
+	proto := "any"
+	if r.Proto != 0 {
+		proto = r.Proto.String()
+	}
+	fmt.Fprintf(&b, " %s from %s to %s", proto, r.Src, r.Dst)
+	if !r.SrcPort.IsAny() {
+		fmt.Fprintf(&b, " sport %s", r.SrcPort)
+	}
+	if !r.DstPort.IsAny() {
+		fmt.Fprintf(&b, " dport %s", r.DstPort)
+	}
+	return b.String()
+}
+
+// Parse parses the textual rule form:
+//
+//	drop udp from 10.0.0.0/8 to 192.0.2.0/24 dport 53
+//	allow tcp from any to 192.0.2.10/32 dport 80
+//	drop 50% tcp from any to 192.0.2.0/24 dport 80
+//
+// "drop P%" means PAllow = 1 - P/100 for matching flows.
+func Parse(s string) (Rule, error) {
+	fields := strings.Fields(s)
+	if len(fields) < 2 {
+		return Rule{}, fmt.Errorf("rules: parse %q: too short", s)
+	}
+	var r Rule
+	i := 0
+	switch fields[i] {
+	case "allow":
+		r.PAllow = 1
+	case "drop":
+		r.PAllow = 0
+	default:
+		return Rule{}, fmt.Errorf("rules: parse %q: want allow/drop, got %q", s, fields[i])
+	}
+	i++
+	if strings.HasSuffix(fields[i], "%") {
+		pct, err := strconv.ParseFloat(strings.TrimSuffix(fields[i], "%"), 64)
+		if err != nil || pct < 0 || pct > 100 {
+			return Rule{}, fmt.Errorf("rules: parse %q: bad percentage %q", s, fields[i])
+		}
+		frac := pct / 100
+		if r.PAllow == 1 {
+			r.PAllow = frac
+		} else {
+			r.PAllow = 1 - frac
+		}
+		i++
+	}
+	if i >= len(fields) {
+		return Rule{}, fmt.Errorf("rules: parse %q: missing protocol", s)
+	}
+	switch fields[i] {
+	case "any":
+		r.Proto = 0
+	case "tcp":
+		r.Proto = packet.ProtoTCP
+	case "udp":
+		r.Proto = packet.ProtoUDP
+	case "icmp":
+		r.Proto = packet.ProtoICMP
+	default:
+		return Rule{}, fmt.Errorf("rules: parse %q: unknown protocol %q", s, fields[i])
+	}
+	i++
+	r.SrcPort, r.DstPort = AnyPort, AnyPort
+	r.Src, r.Dst = AnyPrefix, AnyPrefix
+	for i < len(fields) {
+		if i+1 >= len(fields) {
+			return Rule{}, fmt.Errorf("rules: parse %q: dangling %q", s, fields[i])
+		}
+		kw, val := fields[i], fields[i+1]
+		i += 2
+		var err error
+		switch kw {
+		case "from":
+			r.Src, err = parsePrefixOrAny(val)
+		case "to":
+			r.Dst, err = parsePrefixOrAny(val)
+		case "sport":
+			r.SrcPort, err = parsePortRange(val)
+		case "dport":
+			r.DstPort, err = parsePortRange(val)
+		default:
+			return Rule{}, fmt.Errorf("rules: parse %q: unknown keyword %q", s, kw)
+		}
+		if err != nil {
+			return Rule{}, fmt.Errorf("rules: parse %q: %w", s, err)
+		}
+	}
+	if err := r.Validate(); err != nil {
+		return Rule{}, err
+	}
+	return r, nil
+}
+
+// MustParse is Parse for static inputs; it panics on error.
+func MustParse(s string) Rule {
+	r, err := Parse(s)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+func parsePrefixOrAny(s string) (Prefix, error) {
+	if s == "any" {
+		return AnyPrefix, nil
+	}
+	return ParsePrefix(s)
+}
+
+func parsePortRange(s string) (PortRange, error) {
+	if s == "any" {
+		return AnyPort, nil
+	}
+	loStr, hiStr, found := strings.Cut(s, "-")
+	lo, err := strconv.ParseUint(loStr, 10, 16)
+	if err != nil {
+		return PortRange{}, fmt.Errorf("%w: %q", ErrBadPortRange, s)
+	}
+	hi := lo
+	if found {
+		hi, err = strconv.ParseUint(hiStr, 10, 16)
+		if err != nil {
+			return PortRange{}, fmt.Errorf("%w: %q", ErrBadPortRange, s)
+		}
+	}
+	r := PortRange{Lo: uint16(lo), Hi: uint16(hi)}
+	if err := r.Validate(); err != nil {
+		return PortRange{}, err
+	}
+	return r, nil
+}

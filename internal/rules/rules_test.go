@@ -1,0 +1,396 @@
+package rules
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/innetworkfiltering/vif/internal/packet"
+)
+
+func TestParsePrefix(t *testing.T) {
+	tests := []struct {
+		give    string
+		want    Prefix
+		wantErr bool
+	}{
+		{give: "10.0.0.0/8", want: Prefix{Addr: 0x0a000000, Len: 8}},
+		{give: "192.0.2.1", want: Prefix{Addr: 0xc0000201, Len: 32}},
+		{give: "0.0.0.0/0", want: Prefix{}},
+		{give: "10.1.2.3/8", want: Prefix{Addr: 0x0a000000, Len: 8}}, // host bits cleared
+		{give: "10.0.0.0/33", wantErr: true},
+		{give: "10.0.0.0/-1", wantErr: true},
+		{give: "junk/8", wantErr: true},
+		{give: "::1/128", wantErr: true},
+	}
+	for _, tt := range tests {
+		got, err := ParsePrefix(tt.give)
+		if (err != nil) != tt.wantErr {
+			t.Errorf("ParsePrefix(%q) err = %v", tt.give, err)
+			continue
+		}
+		if !tt.wantErr && got != tt.want {
+			t.Errorf("ParsePrefix(%q) = %+v, want %+v", tt.give, got, tt.want)
+		}
+	}
+}
+
+func TestPrefixContains(t *testing.T) {
+	p := MustParsePrefix("10.0.0.0/8")
+	tests := []struct {
+		ip   string
+		want bool
+	}{
+		{"10.0.0.0", true},
+		{"10.255.255.255", true},
+		{"11.0.0.0", false},
+		{"9.255.255.255", false},
+	}
+	for _, tt := range tests {
+		if got := p.Contains(packet.MustParseIP(tt.ip)); got != tt.want {
+			t.Errorf("%v.Contains(%s) = %v, want %v", p, tt.ip, got, tt.want)
+		}
+	}
+	if !AnyPrefix.Contains(0) || !AnyPrefix.Contains(0xffffffff) {
+		t.Error("AnyPrefix must contain everything")
+	}
+}
+
+func TestPrefixOverlaps(t *testing.T) {
+	tests := []struct {
+		a, b string
+		want bool
+	}{
+		{"10.0.0.0/8", "10.1.0.0/16", true},
+		{"10.1.0.0/16", "10.0.0.0/8", true},
+		{"10.0.0.0/8", "11.0.0.0/8", false},
+		{"0.0.0.0/0", "203.0.113.0/24", true},
+	}
+	for _, tt := range tests {
+		a, b := MustParsePrefix(tt.a), MustParsePrefix(tt.b)
+		if got := a.Overlaps(b); got != tt.want {
+			t.Errorf("%s.Overlaps(%s) = %v, want %v", tt.a, tt.b, got, tt.want)
+		}
+	}
+}
+
+func TestPrefixContainsProperty(t *testing.T) {
+	// Canonicalization must not change membership semantics.
+	f := func(addr uint32, plen uint8, ip uint32) bool {
+		p := Prefix{Addr: addr, Len: plen % 33}
+		return p.Contains(ip) == p.Canonical().Contains(ip)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPortRange(t *testing.T) {
+	if !AnyPort.Contains(0) || !AnyPort.Contains(65535) {
+		t.Error("AnyPort must contain all ports")
+	}
+	var zero PortRange
+	if !zero.IsAny() || !zero.Contains(8080) {
+		t.Error("zero PortRange must behave as any")
+	}
+	r := PortRange{Lo: 80, Hi: 443}
+	for _, tt := range []struct {
+		p    uint16
+		want bool
+	}{{80, true}, {443, true}, {200, true}, {79, false}, {444, false}} {
+		if got := r.Contains(tt.p); got != tt.want {
+			t.Errorf("Contains(%d) = %v, want %v", tt.p, got, tt.want)
+		}
+	}
+	if err := (PortRange{Lo: 100, Hi: 10}).Validate(); err == nil {
+		t.Error("inverted range must fail validation")
+	}
+}
+
+func TestParseRuleRoundTrip(t *testing.T) {
+	tests := []string{
+		"drop udp from 10.0.0.0/8 to 192.0.2.0/24 dport 53",
+		"allow tcp from any to 192.0.2.10/32 dport 80",
+		"drop 50% tcp from 0.0.0.0/0 to 192.0.2.0/24 dport 80",
+		"drop 80% udp from 172.16.0.0/12 to 192.0.2.0/24",
+		"allow any from any to 198.51.100.0/24",
+		"drop tcp from 203.0.113.5/32 to 192.0.2.9/32 sport 4444 dport 80",
+		"allow udp from any to 192.0.2.0/24 sport 53 dport 1024-65535",
+	}
+	for _, give := range tests {
+		r, err := Parse(give)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", give, err)
+		}
+		back, err := Parse(r.String())
+		if err != nil {
+			t.Fatalf("reparse of %q → %q: %v", give, r.String(), err)
+		}
+		if back != r {
+			t.Errorf("round trip %q: %+v != %+v", give, back, r)
+		}
+	}
+}
+
+func TestParseRuleSemantics(t *testing.T) {
+	r := MustParse("drop 80% udp from 10.0.0.0/8 to 192.0.2.0/24 dport 53")
+	if got := r.PAllow; got < 0.199 || got > 0.201 {
+		t.Fatalf("drop 80%% → PAllow = %v, want 0.2", got)
+	}
+	if r.Deterministic() {
+		t.Error("probabilistic rule reported deterministic")
+	}
+	r = MustParse("allow 30% tcp from any to any")
+	if got := r.PAllow; got < 0.299 || got > 0.301 {
+		t.Fatalf("allow 30%% → PAllow = %v, want 0.3", got)
+	}
+	if !MustParse("drop any from any to any").Deterministic() {
+		t.Error("drop must be deterministic")
+	}
+}
+
+func TestParseRuleErrors(t *testing.T) {
+	tests := []string{
+		"",
+		"permit tcp from any to any",
+		"drop",
+		"drop 200% tcp from any to any",
+		"drop -1% tcp from any to any",
+		"drop xtp from any to any",
+		"drop tcp from",
+		"drop tcp badkw any",
+		"drop tcp from 10.0.0.0/99 to any",
+		"drop tcp from any to any dport 99999",
+		"drop tcp from any to any dport 100-10",
+	}
+	for _, give := range tests {
+		if _, err := Parse(give); err == nil {
+			t.Errorf("Parse(%q): want error", give)
+		}
+	}
+}
+
+func TestRuleMatches(t *testing.T) {
+	r := MustParse("drop udp from 10.0.0.0/8 to 192.0.2.0/24 dport 53")
+	tests := []struct {
+		name string
+		give packet.FiveTuple
+		want bool
+	}{
+		{"exact", packet.FiveTuple{SrcIP: packet.MustParseIP("10.9.9.9"), DstIP: packet.MustParseIP("192.0.2.53"), SrcPort: 5353, DstPort: 53, Proto: packet.ProtoUDP}, true},
+		{"wrong proto", packet.FiveTuple{SrcIP: packet.MustParseIP("10.9.9.9"), DstIP: packet.MustParseIP("192.0.2.53"), SrcPort: 5353, DstPort: 53, Proto: packet.ProtoTCP}, false},
+		{"wrong src", packet.FiveTuple{SrcIP: packet.MustParseIP("11.9.9.9"), DstIP: packet.MustParseIP("192.0.2.53"), DstPort: 53, Proto: packet.ProtoUDP}, false},
+		{"wrong dst", packet.FiveTuple{SrcIP: packet.MustParseIP("10.9.9.9"), DstIP: packet.MustParseIP("192.0.3.53"), DstPort: 53, Proto: packet.ProtoUDP}, false},
+		{"wrong dport", packet.FiveTuple{SrcIP: packet.MustParseIP("10.9.9.9"), DstIP: packet.MustParseIP("192.0.2.53"), DstPort: 54, Proto: packet.ProtoUDP}, false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := r.Matches(tt.give); got != tt.want {
+				t.Errorf("Matches = %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestExactMatchRule(t *testing.T) {
+	r := MustParse("drop tcp from 203.0.113.5/32 to 192.0.2.9/32 sport 4444 dport 80")
+	if !r.ExactMatch() {
+		t.Fatal("want exact-match")
+	}
+	want := packet.FiveTuple{
+		SrcIP:   packet.MustParseIP("203.0.113.5"),
+		DstIP:   packet.MustParseIP("192.0.2.9"),
+		SrcPort: 4444,
+		DstPort: 80,
+		Proto:   packet.ProtoTCP,
+	}
+	if got := r.Tuple(); got != want {
+		t.Fatalf("Tuple = %v, want %v", got, want)
+	}
+	if MustParse("drop tcp from any to 192.0.2.9/32 dport 80").ExactMatch() {
+		t.Error("coarse rule reported exact-match")
+	}
+}
+
+func TestRuleValidate(t *testing.T) {
+	bad := Rule{PAllow: 1.5}
+	if err := bad.Validate(); err == nil {
+		t.Error("PAllow 1.5 must fail")
+	}
+	bad = Rule{PAllow: 0.5, SrcPort: PortRange{Lo: 9, Hi: 1}}
+	if err := bad.Validate(); err == nil {
+		t.Error("inverted port range must fail")
+	}
+}
+
+func TestNewSetAssignsUniqueIDs(t *testing.T) {
+	rs := []Rule{
+		MustParse("drop udp from any to 192.0.2.0/24 dport 53"),
+		MustParse("allow tcp from any to 192.0.2.0/24"),
+		{ID: 1, PAllow: 1}, // collides with auto-assign start
+	}
+	s, err := NewSet(rs, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[uint32]bool)
+	for _, r := range s.Rules {
+		if r.ID == 0 {
+			t.Fatal("rule left with zero ID")
+		}
+		if seen[r.ID] {
+			t.Fatalf("duplicate ID %d", r.ID)
+		}
+		seen[r.ID] = true
+	}
+}
+
+func TestNewSetRejects(t *testing.T) {
+	if _, err := NewSet(nil, true); err == nil {
+		t.Error("empty set must fail")
+	}
+	dup := []Rule{{ID: 7, PAllow: 1}, {ID: 7, PAllow: 0}}
+	if _, err := NewSet(dup, true); err == nil {
+		t.Error("duplicate explicit IDs must fail")
+	}
+	if _, err := NewSet([]Rule{{PAllow: 2}}, true); err == nil {
+		t.Error("invalid rule must fail")
+	}
+}
+
+func TestSetMatchFirstWins(t *testing.T) {
+	s, err := NewSet([]Rule{
+		MustParse("allow udp from 10.1.0.0/16 to 192.0.2.0/24 dport 53"),
+		MustParse("drop udp from 10.0.0.0/8 to 192.0.2.0/24 dport 53"),
+	}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkt := packet.FiveTuple{
+		SrcIP: packet.MustParseIP("10.1.2.3"), DstIP: packet.MustParseIP("192.0.2.1"),
+		SrcPort: 999, DstPort: 53, Proto: packet.ProtoUDP,
+	}
+	got, ok := s.Match(pkt)
+	if !ok || got.PAllow != 1 {
+		t.Fatalf("first-match: got %+v ok=%v, want allow rule", got, ok)
+	}
+	pkt.SrcIP = packet.MustParseIP("10.2.2.3")
+	got, ok = s.Match(pkt)
+	if !ok || got.PAllow != 0 {
+		t.Fatalf("second rule: got %+v ok=%v, want drop rule", got, ok)
+	}
+	pkt.Proto = packet.ProtoTCP
+	if _, ok = s.Match(pkt); ok {
+		t.Fatal("no rule should match TCP")
+	}
+}
+
+func TestSetMarshalRoundTrip(t *testing.T) {
+	s, err := NewSet([]Rule{
+		MustParse("drop udp from 10.0.0.0/8 to 192.0.2.0/24 dport 53"),
+		MustParse("drop 50% tcp from any to 192.0.2.0/24 dport 80"),
+		MustParse("allow any from any to 192.0.2.0/24"),
+	}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := UnmarshalSet(s.Marshal())
+	if err != nil {
+		t.Fatalf("UnmarshalSet: %v\ntext:\n%s", err, s.Marshal())
+	}
+	if got.DefaultAllow != s.DefaultAllow || len(got.Rules) != len(s.Rules) {
+		t.Fatalf("round trip shape mismatch: %+v vs %+v", got, s)
+	}
+	for i := range s.Rules {
+		if got.Rules[i] != s.Rules[i] {
+			t.Errorf("rule %d: %+v != %+v", i, got.Rules[i], s.Rules[i])
+		}
+	}
+}
+
+func TestUnmarshalSetErrors(t *testing.T) {
+	tests := []string{
+		"",
+		"default maybe\n1: allow tcp from any to any",
+		"default allow",
+		"default allow\nallow tcp from any to any", // missing id
+		"default allow\n1: allow tcp from any to any\n1: drop tcp from any to any",
+		"default allow\nx: allow tcp from any to any",
+	}
+	for _, give := range tests {
+		if _, err := UnmarshalSet(give); err == nil {
+			t.Errorf("UnmarshalSet(%q): want error", give)
+		}
+	}
+}
+
+func TestSubset(t *testing.T) {
+	s, _ := NewSet([]Rule{
+		MustParse("drop udp from any to 192.0.2.0/24 dport 53"),
+		MustParse("drop tcp from any to 192.0.2.0/24 dport 80"),
+		MustParse("allow any from any to 192.0.2.0/24"),
+	}, true)
+	ids := map[uint32]bool{s.Rules[0].ID: true, s.Rules[2].ID: true}
+	sub := s.Subset(ids)
+	if sub.Len() != 2 {
+		t.Fatalf("subset len = %d", sub.Len())
+	}
+	if sub.Rules[0].ID != s.Rules[0].ID || sub.Rules[1].ID != s.Rules[2].ID {
+		t.Fatal("subset lost priority order")
+	}
+}
+
+func TestMatchAgreesWithPerRuleMatches(t *testing.T) {
+	// Property: Set.Match returns a rule iff that rule matches and no
+	// earlier rule matches.
+	rng := rand.New(rand.NewSource(11))
+	var rs []Rule
+	for i := 0; i < 50; i++ {
+		rs = append(rs, Rule{
+			Src:    Prefix{Addr: rng.Uint32(), Len: uint8(rng.Intn(33))}.Canonical(),
+			Dst:    Prefix{Addr: rng.Uint32(), Len: uint8(rng.Intn(33))}.Canonical(),
+			Proto:  packet.ProtoUDP,
+			PAllow: 1,
+		})
+	}
+	s, err := NewSet(rs, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2000; i++ {
+		pkt := packet.FiveTuple{SrcIP: rng.Uint32(), DstIP: rng.Uint32(), Proto: packet.ProtoUDP}
+		got, ok := s.Match(pkt)
+		var want Rule
+		var found bool
+		for _, r := range s.Rules {
+			if r.Matches(pkt) {
+				want, found = r, true
+				break
+			}
+		}
+		if ok != found || (ok && got.ID != want.ID) {
+			t.Fatalf("Match disagrees with linear scan for %v", pkt)
+		}
+	}
+}
+
+func BenchmarkSetMatchLinear3000(b *testing.B) {
+	rng := rand.New(rand.NewSource(5))
+	rs := make([]Rule, 3000)
+	for i := range rs {
+		rs[i] = Rule{
+			Src:   Prefix{Addr: rng.Uint32(), Len: 24}.Canonical(),
+			Dst:   MustParsePrefix("192.0.2.0/24"),
+			Proto: packet.ProtoUDP,
+		}
+	}
+	s, err := NewSet(rs, true)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pkt := packet.FiveTuple{SrcIP: rng.Uint32(), DstIP: packet.MustParseIP("192.0.2.1"), Proto: packet.ProtoUDP}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Match(pkt)
+	}
+}

@@ -1,0 +1,173 @@
+package rules
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"github.com/innetworkfiltering/vif/internal/packet"
+)
+
+// Set is an ordered rule list with first-match-wins semantics and a default
+// action for packets matching no rule. Within a VIF filtering session the
+// victim submits one Set; the distribution layer shards it across enclaves.
+type Set struct {
+	// Rules in priority order (earlier wins).
+	Rules []Rule
+	// DefaultAllow is the fate of packets matching no rule. VIF defaults to
+	// allowing unmatched traffic: filtering requests only remove traffic the
+	// victim named, never more.
+	DefaultAllow bool
+}
+
+// NewSet builds a validated set, assigning sequential IDs to rules that
+// carry ID zero (IDs must end up unique).
+func NewSet(rules []Rule, defaultAllow bool) (*Set, error) {
+	if len(rules) == 0 {
+		return nil, ErrEmptySet
+	}
+	out := make([]Rule, len(rules))
+	copy(out, rules)
+	used := make(map[uint32]bool, len(out))
+	for i := range out {
+		if err := out[i].Validate(); err != nil {
+			return nil, err
+		}
+		if out[i].ID == 0 {
+			continue
+		}
+		if used[out[i].ID] {
+			return nil, fmt.Errorf("rules: duplicate rule id %d", out[i].ID)
+		}
+		used[out[i].ID] = true
+	}
+	next := uint32(1)
+	for i := range out {
+		if out[i].ID != 0 {
+			continue
+		}
+		for used[next] {
+			next++
+		}
+		out[i].ID = next
+		used[next] = true
+	}
+	return &Set{Rules: out, DefaultAllow: defaultAllow}, nil
+}
+
+// Match returns the first rule matching the tuple, or ok=false when no rule
+// matches. This is the O(k) reference matcher; the data plane uses the
+// multi-bit trie in package trie, which is property-tested against this.
+func (s *Set) Match(t packet.FiveTuple) (Rule, bool) {
+	for _, r := range s.Rules {
+		if r.Matches(t) {
+			return r, true
+		}
+	}
+	return Rule{}, false
+}
+
+// Len returns the number of rules.
+func (s *Set) Len() int { return len(s.Rules) }
+
+// ByID returns the rule with the given ID, or ok=false.
+func (s *Set) ByID(id uint32) (Rule, bool) {
+	for _, r := range s.Rules {
+		if r.ID == id {
+			return r, true
+		}
+	}
+	return Rule{}, false
+}
+
+// Subset returns a new Set containing only the rules whose IDs appear in
+// ids, preserving priority order and the default action. The distribution
+// layer uses this to build each enclave's shard.
+func (s *Set) Subset(ids map[uint32]bool) *Set {
+	sub := &Set{DefaultAllow: s.DefaultAllow}
+	for _, r := range s.Rules {
+		if ids[r.ID] {
+			sub.Rules = append(sub.Rules, r)
+		}
+	}
+	return sub
+}
+
+// IDs returns the rule IDs in priority order.
+func (s *Set) IDs() []uint32 {
+	ids := make([]uint32, len(s.Rules))
+	for i, r := range s.Rules {
+		ids[i] = r.ID
+	}
+	return ids
+}
+
+// Marshal renders the set in the textual wire form exchanged between the
+// victim and the enclave control plane: one rule per line, preceded by a
+// default-action line.
+func (s *Set) Marshal() string {
+	var b strings.Builder
+	if s.DefaultAllow {
+		b.WriteString("default allow\n")
+	} else {
+		b.WriteString("default drop\n")
+	}
+	for _, r := range s.Rules {
+		fmt.Fprintf(&b, "%d: %s\n", r.ID, r)
+	}
+	return b.String()
+}
+
+// UnmarshalSet parses the Marshal form.
+func UnmarshalSet(text string) (*Set, error) {
+	lines := strings.Split(strings.TrimSpace(text), "\n")
+	if len(lines) == 0 {
+		return nil, ErrEmptySet
+	}
+	var s Set
+	switch strings.TrimSpace(lines[0]) {
+	case "default allow":
+		s.DefaultAllow = true
+	case "default drop":
+		s.DefaultAllow = false
+	default:
+		return nil, fmt.Errorf("rules: set missing default action line, got %q", lines[0])
+	}
+	for _, ln := range lines[1:] {
+		ln = strings.TrimSpace(ln)
+		if ln == "" {
+			continue
+		}
+		idStr, ruleStr, found := strings.Cut(ln, ":")
+		if !found {
+			return nil, fmt.Errorf("rules: set line %q missing id", ln)
+		}
+		var id uint32
+		if _, err := fmt.Sscanf(strings.TrimSpace(idStr), "%d", &id); err != nil {
+			return nil, fmt.Errorf("rules: set line %q: bad id: %w", ln, err)
+		}
+		r, err := Parse(strings.TrimSpace(ruleStr))
+		if err != nil {
+			return nil, err
+		}
+		r.ID = id
+		s.Rules = append(s.Rules, r)
+	}
+	if len(s.Rules) == 0 {
+		return nil, ErrEmptySet
+	}
+	seen := make(map[uint32]bool, len(s.Rules))
+	for _, r := range s.Rules {
+		if seen[r.ID] {
+			return nil, fmt.Errorf("rules: duplicate rule id %d", r.ID)
+		}
+		seen[r.ID] = true
+	}
+	return &s, nil
+}
+
+// SortByID orders rules by ID in place; redistribution rounds use it to
+// canonicalize shards before measuring memory.
+func (s *Set) SortByID() {
+	sort.Slice(s.Rules, func(i, j int) bool { return s.Rules[i].ID < s.Rules[j].ID })
+}

@@ -1,0 +1,164 @@
+package secure
+
+import (
+	"bytes"
+	"testing"
+)
+
+func handshake(t *testing.T) (*Channel, *Channel) {
+	t.Helper()
+	ek, err := NewKeyPair()
+	if err != nil {
+		t.Fatal(err)
+	}
+	vk, err := NewKeyPair()
+	if err != nil {
+		t.Fatal(err)
+	}
+	encl, err := Establish(ek, vk.PublicBytes(), RoleEnclave)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vict, err := Establish(vk, ek.PublicBytes(), RoleVictim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return encl, vict
+}
+
+func TestChannelRoundTrip(t *testing.T) {
+	encl, vict := handshake(t)
+	msgs := [][]byte{
+		[]byte("default allow\n1: drop udp from any to 192.0.2.0/24 dport 53"),
+		[]byte(""),
+		bytes.Repeat([]byte{0xab}, 1<<16), // a sketch-sized payload
+	}
+	for _, m := range msgs {
+		rec := vict.Seal(m)
+		got, err := encl.Open(rec)
+		if err != nil {
+			t.Fatalf("Open: %v", err)
+		}
+		if !bytes.Equal(got, m) {
+			t.Fatalf("round trip mismatch: %d bytes vs %d", len(got), len(m))
+		}
+	}
+	// And the reverse direction.
+	rec := encl.Seal([]byte("log snapshot"))
+	got, err := vict.Open(rec)
+	if err != nil || string(got) != "log snapshot" {
+		t.Fatalf("reverse direction: %q, %v", got, err)
+	}
+}
+
+func TestDirectionKeysDiffer(t *testing.T) {
+	encl, _ := handshake(t)
+	rec := encl.Seal([]byte("hello"))
+	// The enclave must not accept its own record (send key != recv key).
+	if _, err := encl.Open(rec); err == nil {
+		t.Fatal("reflected record accepted: direction keys are shared")
+	}
+}
+
+func TestReplayRejected(t *testing.T) {
+	encl, vict := handshake(t)
+	rec := vict.Seal([]byte("rule update"))
+	if _, err := encl.Open(rec); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := encl.Open(rec); err != ErrReplay {
+		t.Fatalf("replay: err = %v, want ErrReplay", err)
+	}
+}
+
+func TestReorderRejected(t *testing.T) {
+	encl, vict := handshake(t)
+	r1 := vict.Seal([]byte("first"))
+	r2 := vict.Seal([]byte("second"))
+	if _, err := encl.Open(r2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := encl.Open(r1); err != ErrReplay {
+		t.Fatalf("reorder: err = %v, want ErrReplay", err)
+	}
+}
+
+func TestTamperRejected(t *testing.T) {
+	encl, vict := handshake(t)
+	rec := vict.Seal([]byte("drop 50% tcp"))
+	for _, idx := range []int{0, 7, 8, len(rec) - 1} {
+		bad := append([]byte(nil), rec...)
+		bad[idx] ^= 0x01
+		if _, err := encl.Open(bad); err == nil {
+			t.Fatalf("tampered byte %d accepted", idx)
+		}
+	}
+	if _, err := encl.Open(rec[:5]); err != ErrShortBuf {
+		t.Fatalf("short record: err = %v, want ErrShortBuf", err)
+	}
+}
+
+func TestMITMGetsGarbage(t *testing.T) {
+	// A malicious host substituting its own key pair derives different
+	// channel keys, so records fail authentication on both ends.
+	ek, _ := NewKeyPair()
+	vk, _ := NewKeyPair()
+	mk, _ := NewKeyPair() // the host in the middle
+
+	vict, err := Establish(vk, mk.PublicBytes(), RoleVictim) // victim duped
+	if err != nil {
+		t.Fatal(err)
+	}
+	encl, err := Establish(ek, vk.PublicBytes(), RoleEnclave)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := vict.Seal([]byte("secret rules"))
+	if _, err := encl.Open(rec); err == nil {
+		t.Fatal("MITM-derived record accepted by enclave")
+	}
+}
+
+func TestBindingReportData(t *testing.T) {
+	k, _ := NewKeyPair()
+	rd := BindingReportData(k.PublicBytes())
+	if !VerifyBinding(rd, k.PublicBytes()) {
+		t.Fatal("binding must verify for matching key")
+	}
+	other, _ := NewKeyPair()
+	if VerifyBinding(rd, other.PublicBytes()) {
+		t.Fatal("binding must fail for substituted key")
+	}
+	// Second half must be zero padding per the SGX report-data layout.
+	for _, b := range rd[32:] {
+		if b != 0 {
+			t.Fatal("report data padding not zero")
+		}
+	}
+}
+
+func TestEstablishRejectsGarbageKey(t *testing.T) {
+	k, _ := NewKeyPair()
+	if _, err := Establish(k, []byte{1, 2, 3}, RoleVictim); err == nil {
+		t.Fatal("garbage peer key accepted")
+	}
+	if _, err := Establish(k, k.PublicBytes(), Role(99)); err == nil {
+		t.Fatal("bad role accepted")
+	}
+}
+
+func BenchmarkSealOpen1KiB(b *testing.B) {
+	ek, _ := NewKeyPair()
+	vk, _ := NewKeyPair()
+	encl, _ := Establish(ek, vk.PublicBytes(), RoleEnclave)
+	vict, _ := Establish(vk, ek.PublicBytes(), RoleVictim)
+	msg := bytes.Repeat([]byte{0x5a}, 1024)
+	b.SetBytes(1024)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rec := vict.Seal(msg)
+		if _, err := encl.Open(rec); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,86 @@
+package sketch
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestUnmarshalNeverPanicsOnGarbage feeds arbitrary bytes to the decoder:
+// the enclave log parser handles attacker-relayed data, so it must reject
+// garbage gracefully, never panic or over-allocate.
+func TestUnmarshalNeverPanicsOnGarbage(t *testing.T) {
+	f := func(data []byte) bool {
+		var s Sketch
+		_ = s.UnmarshalBinary(data) // must not panic; error is fine
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestUnmarshalBitFlipsRejectedOrEquivalent flips bits in valid encodings:
+// every mutation must either fail to decode or decode to a structurally
+// valid sketch (no crashes downstream).
+func TestUnmarshalBitFlipsRejectedOrEquivalent(t *testing.T) {
+	s, err := New(2, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(0); i < 50; i++ {
+		var k [8]byte
+		k[0] = byte(i)
+		s.Add(k[:], i)
+	}
+	valid, err := s.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 500; trial++ {
+		mutated := append([]byte(nil), valid...)
+		for flips := 0; flips < 1+rng.Intn(4); flips++ {
+			mutated[rng.Intn(len(mutated))] ^= 1 << rng.Intn(8)
+		}
+		var out Sketch
+		if err := out.UnmarshalBinary(mutated); err != nil {
+			continue // rejected: fine
+		}
+		// Accepted: the sketch must be usable without panics.
+		var k [8]byte
+		out.Add(k[:], 1)
+		_ = out.Estimate(k[:])
+		if _, err := out.MarshalBinary(); err != nil {
+			t.Fatalf("accepted mutation cannot re-marshal: %v", err)
+		}
+	}
+}
+
+// TestEstimateNeverUndercountsProperty is the count-min guarantee under
+// random geometry, keys, and weights.
+func TestEstimateNeverUndercountsProperty(t *testing.T) {
+	f := func(seed int64, rows, bins uint8, n uint16) bool {
+		s, err := New(int(rows%4)+1, int(bins%64)+1)
+		if err != nil {
+			return false
+		}
+		rng := rand.New(rand.NewSource(seed))
+		truth := make(map[byte]uint64)
+		for i := 0; i < int(n%500)+1; i++ {
+			k := byte(rng.Intn(32))
+			w := uint64(rng.Intn(100))
+			s.Add([]byte{k}, w)
+			truth[k] += w
+		}
+		for k, want := range truth {
+			if s.Estimate([]byte{k}) < want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

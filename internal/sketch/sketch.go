@@ -1,0 +1,322 @@
+// Package sketch implements the count-min sketch (Cormode & Muthukrishnan)
+// used for VIF's accountable packet logs. The paper's configuration — 2
+// independent hash rows, 64K bins, 64-bit counters, ≈1 MB per instance —
+// is the package default.
+//
+// Two sketches live inside each filter enclave: an incoming log keyed by
+// source IP (so neighbor ASes can detect drop-before-filtering) and an
+// outgoing log keyed by the full five-tuple (so the victim can detect
+// injection-after-filtering and drop-after-filtering). Victims and neighbors
+// maintain local counterparts on commodity hardware and compare (Diff).
+package sketch
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Paper-default geometry: 2 rows x 64K bins x 8-byte counters = 1 MiB.
+const (
+	DefaultRows = 2
+	DefaultBins = 1 << 16
+)
+
+// Errors returned by sketch operations.
+var (
+	ErrShapeMismatch = errors.New("sketch: geometry or seed mismatch")
+	ErrCorrupt       = errors.New("sketch: corrupt encoding")
+)
+
+// Sketch is a count-min sketch over byte-string keys with 64-bit counters.
+// The zero value is not usable; construct with New.
+type Sketch struct {
+	rows  int
+	bins  int
+	seeds []uint64
+	cnt   [][]uint64
+	total uint64 // sum of all Add weights, for occupancy stats
+}
+
+// New creates a rows x bins sketch. Each row uses an independent seeded
+// 64-bit hash. rows and bins must be positive; bins is rounded up to a
+// power of two so the bin index is a mask operation on the hot path.
+func New(rows, bins int) (*Sketch, error) {
+	if rows <= 0 || bins <= 0 {
+		return nil, fmt.Errorf("sketch: invalid geometry %dx%d", rows, bins)
+	}
+	pow := 1
+	for pow < bins {
+		pow <<= 1
+	}
+	s := &Sketch{
+		rows:  rows,
+		bins:  pow,
+		seeds: make([]uint64, rows),
+		cnt:   make([][]uint64, rows),
+	}
+	for r := 0; r < rows; r++ {
+		// Fixed, distinct odd seeds: the sketch must be reproducible across
+		// the enclave and the victim's local instance, so seeds are part of
+		// the protocol, not random state.
+		s.seeds[r] = 0x9e3779b97f4a7c15*uint64(r+1) | 1
+		s.cnt[r] = make([]uint64, pow)
+	}
+	return s, nil
+}
+
+// NewDefault creates a sketch with the paper's 2x64K geometry.
+func NewDefault() *Sketch {
+	s, err := New(DefaultRows, DefaultBins)
+	if err != nil {
+		panic(err) // unreachable: constants are valid
+	}
+	return s
+}
+
+// hash is a seeded splitmix-style mix over the key bytes. It is fast
+// (a few ns for 13-byte keys) and pairwise-independent enough for
+// count-min guarantees in practice.
+func hash(seed uint64, key []byte) uint64 {
+	h := seed
+	i := 0
+	for ; i+8 <= len(key); i += 8 {
+		h ^= binary.LittleEndian.Uint64(key[i:])
+		h = mix(h)
+	}
+	var tail uint64
+	for j := len(key) - 1; j >= i; j-- {
+		tail = tail<<8 | uint64(key[j])
+	}
+	h ^= tail ^ uint64(len(key))
+	return mix(h)
+}
+
+func mix(h uint64) uint64 {
+	h ^= h >> 30
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 27
+	h *= 0x94d049bb133111eb
+	h ^= h >> 31
+	return h
+}
+
+// Add increments the key's counters by weight. Weight is typically 1
+// (packet counts) or the frame size (byte counts).
+func (s *Sketch) Add(key []byte, weight uint64) {
+	mask := uint64(s.bins - 1)
+	for r := 0; r < s.rows; r++ {
+		s.cnt[r][hash(s.seeds[r], key)&mask] += weight
+	}
+	s.total += weight
+}
+
+// Estimate returns the count-min estimate for key: the minimum of the key's
+// row counters. It never under-counts.
+func (s *Sketch) Estimate(key []byte) uint64 {
+	mask := uint64(s.bins - 1)
+	est := uint64(math.MaxUint64)
+	for r := 0; r < s.rows; r++ {
+		if c := s.cnt[r][hash(s.seeds[r], key)&mask]; c < est {
+			est = c
+		}
+	}
+	return est
+}
+
+// Total returns the sum of all added weights.
+func (s *Sketch) Total() uint64 { return s.total }
+
+// Reset zeroes all counters. Filtering rounds are short (the paper suggests
+// a few minutes) and each round starts from empty logs.
+func (s *Sketch) Reset() {
+	for r := range s.cnt {
+		clear(s.cnt[r])
+	}
+	s.total = 0
+}
+
+// Clone returns a deep copy, used when snapshotting logs for a query
+// response while the data plane keeps appending.
+func (s *Sketch) Clone() *Sketch {
+	c := &Sketch{
+		rows:  s.rows,
+		bins:  s.bins,
+		seeds: append([]uint64(nil), s.seeds...),
+		cnt:   make([][]uint64, s.rows),
+		total: s.total,
+	}
+	for r := range s.cnt {
+		c.cnt[r] = append([]uint64(nil), s.cnt[r]...)
+	}
+	return c
+}
+
+// Merge adds other's counters into s. Both must share geometry and seeds.
+// Victims use this to combine logs from parallel enclaves into the view
+// "everything the VIF deployment forwarded to me".
+func (s *Sketch) Merge(other *Sketch) error {
+	if !s.sameShape(other) {
+		return ErrShapeMismatch
+	}
+	for r := range s.cnt {
+		for i := range s.cnt[r] {
+			s.cnt[r][i] += other.cnt[r][i]
+		}
+	}
+	s.total += other.total
+	return nil
+}
+
+// Discrepancy summarizes a comparison of two sketches of (allegedly) the
+// same packet stream.
+type Discrepancy struct {
+	// Excess is the total counter weight present in the reference (enclave)
+	// sketch but absent locally: evidence of injection after filtering when
+	// found by a victim comparing its local log against the enclave's
+	// outgoing log — wait, see Diff for orientation.
+	Excess uint64
+	// Missing is the total counter weight present locally but absent in the
+	// reference sketch.
+	Missing uint64
+	// Bins is the number of bins that disagree in either direction,
+	// across all rows.
+	Bins int
+}
+
+// Empty reports whether the two streams were indistinguishable.
+func (d Discrepancy) Empty() bool { return d.Excess == 0 && d.Missing == 0 }
+
+// Diff compares s (the authenticated enclave log) against local (the
+// verifier's own measurement of the same stream).
+//
+//   - Excess > 0: the enclave logged traffic the verifier never saw. For a
+//     victim comparing the enclave's *outgoing* log with its own received
+//     traffic, this means drop-after-filtering (packets the filter allowed
+//     were dropped before reaching the victim). For a neighbor comparing its
+//     *sent* traffic with the enclave's incoming log this cannot happen
+//     absent corruption.
+//   - Missing > 0: the verifier saw traffic the enclave never logged. For a
+//     victim this means injection-after-filtering; for a neighbor, comparing
+//     its own sent-log as reference against the enclave incoming log is done
+//     with the operands swapped, so see Verifier in package bypass.
+//
+// Because a row counter is a sum over colliding keys, per-row differences
+// are computed bin-wise; the per-direction totals take the max across rows
+// (each row alone never under-counts a one-sided difference).
+func (s *Sketch) Diff(local *Sketch) (Discrepancy, error) {
+	if !s.sameShape(local) {
+		return Discrepancy{}, ErrShapeMismatch
+	}
+	var d Discrepancy
+	for r := range s.cnt {
+		var excess, missing uint64
+		for i := range s.cnt[r] {
+			a, b := s.cnt[r][i], local.cnt[r][i]
+			switch {
+			case a > b:
+				excess += a - b
+				d.Bins++
+			case b > a:
+				missing += b - a
+				d.Bins++
+			}
+		}
+		if excess > d.Excess {
+			d.Excess = excess
+		}
+		if missing > d.Missing {
+			d.Missing = missing
+		}
+	}
+	return d, nil
+}
+
+func (s *Sketch) sameShape(o *Sketch) bool {
+	if o == nil || s.rows != o.rows || s.bins != o.bins {
+		return false
+	}
+	for i := range s.seeds {
+		if s.seeds[i] != o.seeds[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// MemoryBytes returns the counter memory consumed, which is what the
+// enclave's EPC accounting charges (≈1 MiB for the default geometry).
+func (s *Sketch) MemoryBytes() int { return s.rows * s.bins * 8 }
+
+// encoding layout: magic, rows, bins, seeds, total, counters.
+const encMagic = 0x56494653 // "VIFS"
+
+// MarshalBinary serializes the sketch for a log query response. The enclave
+// signs/MACs the result before release; see package attest.
+func (s *Sketch) MarshalBinary() ([]byte, error) {
+	buf := make([]byte, 0, 4+4+4+8*len(s.seeds)+8+s.rows*s.bins*8)
+	var tmp [8]byte
+	put32 := func(v uint32) {
+		binary.BigEndian.PutUint32(tmp[:4], v)
+		buf = append(buf, tmp[:4]...)
+	}
+	put64 := func(v uint64) {
+		binary.BigEndian.PutUint64(tmp[:], v)
+		buf = append(buf, tmp[:]...)
+	}
+	put32(encMagic)
+	put32(uint32(s.rows))
+	put32(uint32(s.bins))
+	for _, seed := range s.seeds {
+		put64(seed)
+	}
+	put64(s.total)
+	for r := range s.cnt {
+		for _, c := range s.cnt[r] {
+			put64(c)
+		}
+	}
+	return buf, nil
+}
+
+// UnmarshalBinary reverses MarshalBinary.
+func (s *Sketch) UnmarshalBinary(data []byte) error {
+	if len(data) < 12 {
+		return ErrCorrupt
+	}
+	if binary.BigEndian.Uint32(data[0:4]) != encMagic {
+		return ErrCorrupt
+	}
+	rows := int(binary.BigEndian.Uint32(data[4:8]))
+	bins := int(binary.BigEndian.Uint32(data[8:12]))
+	if rows <= 0 || rows > 64 || bins <= 0 || bins > 1<<26 {
+		return ErrCorrupt
+	}
+	need := 12 + 8*rows + 8 + rows*bins*8
+	if len(data) != need {
+		return ErrCorrupt
+	}
+	ns, err := New(rows, bins)
+	if err != nil {
+		return err
+	}
+	if ns.bins != bins {
+		return ErrCorrupt // bins in encoding must already be a power of two
+	}
+	off := 12
+	for r := 0; r < rows; r++ {
+		ns.seeds[r] = binary.BigEndian.Uint64(data[off:])
+		off += 8
+	}
+	ns.total = binary.BigEndian.Uint64(data[off:])
+	off += 8
+	for r := 0; r < rows; r++ {
+		for i := 0; i < bins; i++ {
+			ns.cnt[r][i] = binary.BigEndian.Uint64(data[off:])
+			off += 8
+		}
+	}
+	*s = *ns
+	return nil
+}

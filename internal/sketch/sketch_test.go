@@ -1,0 +1,374 @@
+package sketch
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func key(i uint64) []byte {
+	var b [13]byte
+	binary.BigEndian.PutUint64(b[:8], i)
+	return b[:]
+}
+
+func TestNewValidation(t *testing.T) {
+	tests := []struct {
+		rows, bins int
+		ok         bool
+	}{
+		{2, 65536, true},
+		{1, 1, true},
+		{0, 10, false},
+		{2, 0, false},
+		{-1, -1, false},
+	}
+	for _, tt := range tests {
+		_, err := New(tt.rows, tt.bins)
+		if (err == nil) != tt.ok {
+			t.Errorf("New(%d,%d): err=%v, want ok=%v", tt.rows, tt.bins, err, tt.ok)
+		}
+	}
+}
+
+func TestBinsRoundedToPowerOfTwo(t *testing.T) {
+	s, err := New(2, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.bins != 1024 {
+		t.Fatalf("bins = %d, want 1024", s.bins)
+	}
+}
+
+func TestDefaultGeometryIsOneMiB(t *testing.T) {
+	s := NewDefault()
+	if got := s.MemoryBytes(); got != 2*65536*8 {
+		t.Fatalf("MemoryBytes = %d, want %d", got, 2*65536*8)
+	}
+}
+
+func TestEstimateNeverUndercounts(t *testing.T) {
+	// Core count-min property: estimate >= true count, always.
+	s, _ := New(2, 256) // deliberately tiny: force collisions
+	truth := make(map[uint64]uint64)
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 5000; i++ {
+		k := uint64(rng.Intn(800))
+		w := uint64(rng.Intn(10) + 1)
+		s.Add(key(k), w)
+		truth[k] += w
+	}
+	for k, want := range truth {
+		if got := s.Estimate(key(k)); got < want {
+			t.Fatalf("Estimate(key %d) = %d < true %d", k, got, want)
+		}
+	}
+}
+
+func TestEstimateExactWithoutCollisions(t *testing.T) {
+	s := NewDefault()
+	for i := uint64(0); i < 100; i++ {
+		s.Add(key(i), i+1)
+	}
+	for i := uint64(0); i < 100; i++ {
+		if got := s.Estimate(key(i)); got != i+1 {
+			t.Fatalf("Estimate(key %d) = %d, want %d", i, got, i+1)
+		}
+	}
+	if s.Total() != 100*101/2 {
+		t.Fatalf("Total = %d", s.Total())
+	}
+}
+
+func TestEstimateUnseenKeyUsuallyZero(t *testing.T) {
+	s := NewDefault()
+	for i := uint64(0); i < 1000; i++ {
+		s.Add(key(i), 1)
+	}
+	if got := s.Estimate(key(999999)); got > 2 {
+		t.Fatalf("unseen key estimate = %d, want ~0", got)
+	}
+}
+
+func TestReset(t *testing.T) {
+	s := NewDefault()
+	s.Add(key(1), 5)
+	s.Reset()
+	if s.Total() != 0 || s.Estimate(key(1)) != 0 {
+		t.Fatal("Reset did not clear counters")
+	}
+}
+
+func TestDiffIdenticalStreamsEmpty(t *testing.T) {
+	a, b := NewDefault(), NewDefault()
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 10000; i++ {
+		k := key(uint64(rng.Intn(500)))
+		a.Add(k, 1)
+		b.Add(k, 1)
+	}
+	d, err := a.Diff(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.Empty() {
+		t.Fatalf("identical streams: discrepancy %+v", d)
+	}
+}
+
+func TestDiffDetectsInjection(t *testing.T) {
+	// local saw 50 packets the enclave never logged -> Missing >= 50.
+	encl, local := NewDefault(), NewDefault()
+	for i := 0; i < 1000; i++ {
+		k := key(uint64(i))
+		encl.Add(k, 1)
+		local.Add(k, 1)
+	}
+	for i := 0; i < 50; i++ {
+		local.Add(key(uint64(100000+i)), 1)
+	}
+	d, err := encl.Diff(local)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Missing < 50 {
+		t.Fatalf("Missing = %d, want >= 50", d.Missing)
+	}
+	if d.Excess != 0 {
+		t.Fatalf("Excess = %d, want 0", d.Excess)
+	}
+}
+
+func TestDiffDetectsDrop(t *testing.T) {
+	// The enclave logged 30 packets the local observer never received
+	// -> Excess >= 30.
+	encl, local := NewDefault(), NewDefault()
+	for i := 0; i < 1000; i++ {
+		k := key(uint64(i))
+		encl.Add(k, 1)
+		if i >= 30 {
+			local.Add(k, 1)
+		}
+	}
+	d, err := encl.Diff(local)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Excess < 30 {
+		t.Fatalf("Excess = %d, want >= 30", d.Excess)
+	}
+	if d.Missing != 0 {
+		t.Fatalf("Missing = %d, want 0", d.Missing)
+	}
+}
+
+func TestDiffDetectsDeltaAtLeastTruth(t *testing.T) {
+	// Property: for arbitrary drop/inject mixes, each direction's reported
+	// weight is at least the true one-sided delta can't exceed... the row
+	// with no aliasing in the opposite direction bounds it from below only
+	// when deltas don't cancel within a bin. We verify the weaker guaranteed
+	// property: a non-empty one-sided manipulation is always detected.
+	f := func(seed int64, drops, injects uint8) bool {
+		if drops == 0 && injects == 0 {
+			return true
+		}
+		encl, local := NewDefault(), NewDefault()
+		rng := rand.New(rand.NewSource(seed))
+		n := 200 + rng.Intn(200)
+		for i := 0; i < n; i++ {
+			k := key(uint64(rng.Intn(100000)))
+			encl.Add(k, 1)
+			local.Add(k, 1)
+		}
+		for i := 0; i < int(drops); i++ {
+			encl.Add(key(uint64(1<<40+i)), 1) // enclave-only traffic
+		}
+		for i := 0; i < int(injects); i++ {
+			local.Add(key(uint64(1<<41+i)), 1) // local-only traffic
+		}
+		d, err := encl.Diff(local)
+		if err != nil {
+			return false
+		}
+		if drops > 0 && d.Excess == 0 {
+			return false
+		}
+		if injects > 0 && d.Missing == 0 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDiffShapeMismatch(t *testing.T) {
+	a, _ := New(2, 1024)
+	b, _ := New(3, 1024)
+	if _, err := a.Diff(b); err != ErrShapeMismatch {
+		t.Fatalf("err = %v, want ErrShapeMismatch", err)
+	}
+	if err := a.Merge(b); err != ErrShapeMismatch {
+		t.Fatalf("Merge err = %v, want ErrShapeMismatch", err)
+	}
+	if _, err := a.Diff(nil); err != ErrShapeMismatch {
+		t.Fatalf("Diff(nil) err = %v, want ErrShapeMismatch", err)
+	}
+}
+
+func TestMergeEquivalentToCombinedStream(t *testing.T) {
+	a, b, both := NewDefault(), NewDefault(), NewDefault()
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 5000; i++ {
+		k := key(uint64(rng.Intn(1000)))
+		if i%2 == 0 {
+			a.Add(k, 1)
+		} else {
+			b.Add(k, 1)
+		}
+		both.Add(k, 1)
+	}
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	d, err := a.Diff(both)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.Empty() {
+		t.Fatalf("merged != combined: %+v", d)
+	}
+	if a.Total() != both.Total() {
+		t.Fatalf("Total %d != %d", a.Total(), both.Total())
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	s := NewDefault()
+	s.Add(key(1), 1)
+	c := s.Clone()
+	s.Add(key(1), 1)
+	if c.Estimate(key(1)) != 1 {
+		t.Fatal("clone mutated by original")
+	}
+	if s.Estimate(key(1)) != 2 {
+		t.Fatal("original lost update")
+	}
+}
+
+func TestMarshalRoundTrip(t *testing.T) {
+	s := NewDefault()
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 1000; i++ {
+		s.Add(key(uint64(rng.Intn(500))), uint64(rng.Intn(100)))
+	}
+	data, err := s.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Sketch
+	if err := got.UnmarshalBinary(data); err != nil {
+		t.Fatal(err)
+	}
+	d, err := s.Diff(&got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.Empty() || got.Total() != s.Total() {
+		t.Fatalf("round trip mismatch: %+v", d)
+	}
+	// Re-marshal must be byte-identical (the MAC in package attest relies
+	// on a canonical encoding).
+	data2, err := got.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(data, data2) {
+		t.Fatal("encoding not canonical")
+	}
+}
+
+func TestUnmarshalRejectsCorrupt(t *testing.T) {
+	s := NewDefault()
+	s.Add(key(9), 3)
+	data, _ := s.MarshalBinary()
+
+	tests := []struct {
+		name   string
+		mangle func([]byte) []byte
+	}{
+		{"empty", func(b []byte) []byte { return nil }},
+		{"short", func(b []byte) []byte { return b[:8] }},
+		{"bad magic", func(b []byte) []byte { b[0] ^= 0xff; return b }},
+		{"truncated body", func(b []byte) []byte { return b[:len(b)-1] }},
+		{"huge rows", func(b []byte) []byte {
+			binary.BigEndian.PutUint32(b[4:8], 1<<20)
+			return b
+		}},
+		{"non-pow2 bins", func(b []byte) []byte {
+			binary.BigEndian.PutUint32(b[8:12], 65535)
+			return b
+		}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			b := tt.mangle(append([]byte(nil), data...))
+			var got Sketch
+			if err := got.UnmarshalBinary(b); err == nil {
+				t.Error("want error")
+			}
+		})
+	}
+}
+
+func TestHashDeterministicAcrossInstances(t *testing.T) {
+	// Protocol requirement: victim-side and enclave-side sketches built
+	// independently must agree bit-for-bit on identical streams.
+	a, _ := New(2, 65536)
+	b, _ := New(2, 65536)
+	for i := uint64(0); i < 1000; i++ {
+		a.Add(key(i), i)
+		b.Add(key(i), i)
+	}
+	da, _ := a.MarshalBinary()
+	db, _ := b.MarshalBinary()
+	if !bytes.Equal(da, db) {
+		t.Fatal("independent instances disagree on identical input")
+	}
+}
+
+func BenchmarkAdd(b *testing.B) {
+	s := NewDefault()
+	k := key(123456)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.Add(k, 1)
+	}
+}
+
+func BenchmarkEstimate(b *testing.B) {
+	s := NewDefault()
+	k := key(123456)
+	s.Add(k, 10)
+	for i := 0; i < b.N; i++ {
+		_ = s.Estimate(k)
+	}
+}
+
+func BenchmarkDiff(b *testing.B) {
+	x, y := NewDefault(), NewDefault()
+	for i := uint64(0); i < 10000; i++ {
+		x.Add(key(i), 1)
+		y.Add(key(i), 1)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := x.Diff(y); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

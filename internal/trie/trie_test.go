@@ -1,0 +1,316 @@
+package trie
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/innetworkfiltering/vif/internal/packet"
+	"github.com/innetworkfiltering/vif/internal/rules"
+)
+
+func TestNewValidation(t *testing.T) {
+	tests := []struct {
+		stride int
+		ok     bool
+	}{
+		{1, true}, {2, true}, {4, true}, {8, true}, {16, true},
+		{0, false}, {3, false}, {5, false}, {32, false}, {-8, false},
+	}
+	for _, tt := range tests {
+		_, err := New(tt.stride)
+		if (err == nil) != tt.ok {
+			t.Errorf("New(%d): err=%v, want ok=%v", tt.stride, err, tt.ok)
+		}
+	}
+}
+
+func mkRule(src string, dst string, proto packet.Protocol, id uint32) rules.Rule {
+	return rules.Rule{
+		ID:    id,
+		Src:   rules.MustParsePrefix(src),
+		Dst:   rules.MustParsePrefix(dst),
+		Proto: proto,
+	}
+}
+
+func TestLookupBasics(t *testing.T) {
+	tbl := NewDefault()
+	r1 := mkRule("10.0.0.0/8", "192.0.2.0/24", packet.ProtoUDP, 1)
+	r2 := mkRule("10.1.0.0/16", "192.0.2.0/24", packet.ProtoUDP, 2)
+	tbl.Insert(r1, 0)
+	tbl.Insert(r2, 1)
+
+	pkt := packet.FiveTuple{
+		SrcIP: packet.MustParseIP("10.1.2.3"),
+		DstIP: packet.MustParseIP("192.0.2.1"),
+		Proto: packet.ProtoUDP,
+	}
+	got, prio, ok := tbl.Lookup(pkt)
+	if !ok || got.ID != 1 || prio != 0 {
+		t.Fatalf("Lookup = %+v prio=%d ok=%v, want rule 1 (first wins)", got, prio, ok)
+	}
+
+	pkt.SrcIP = packet.MustParseIP("172.16.0.1")
+	if _, _, ok := tbl.Lookup(pkt); ok {
+		t.Fatal("unmatched source must miss")
+	}
+
+	pkt.SrcIP = packet.MustParseIP("10.1.2.3")
+	pkt.Proto = packet.ProtoTCP
+	if _, _, ok := tbl.Lookup(pkt); ok {
+		t.Fatal("wrong protocol must miss")
+	}
+}
+
+func TestPriorityOrderIndependentOfDepth(t *testing.T) {
+	// A later (worse-priority) rule anchored deeper must not beat an
+	// earlier shallow rule.
+	tbl := NewDefault()
+	shallow := mkRule("0.0.0.0/0", "192.0.2.0/24", packet.ProtoUDP, 10)
+	deep := mkRule("10.1.2.3/32", "192.0.2.0/24", packet.ProtoUDP, 20)
+	tbl.Insert(shallow, 0)
+	tbl.Insert(deep, 1)
+	pkt := packet.FiveTuple{
+		SrcIP: packet.MustParseIP("10.1.2.3"),
+		DstIP: packet.MustParseIP("192.0.2.1"),
+		Proto: packet.ProtoUDP,
+	}
+	got, _, ok := tbl.Lookup(pkt)
+	if !ok || got.ID != 10 {
+		t.Fatalf("got rule %d, want shallow rule 10", got.ID)
+	}
+}
+
+func TestNonStrideAlignedPrefixes(t *testing.T) {
+	// /12 anchors at depth 1 with stride 8; matching must still be exact.
+	tbl := NewDefault()
+	r := mkRule("172.16.0.0/12", "0.0.0.0/0", packet.ProtoTCP, 5)
+	tbl.Insert(r, 0)
+
+	in := packet.FiveTuple{SrcIP: packet.MustParseIP("172.31.255.1"), Proto: packet.ProtoTCP}
+	if _, _, ok := tbl.Lookup(in); !ok {
+		t.Fatal("address inside /12 must match")
+	}
+	// 172.32.0.0 shares the first 8 bits (172) but not the /12.
+	out := packet.FiveTuple{SrcIP: packet.MustParseIP("172.32.0.1"), Proto: packet.ProtoTCP}
+	if _, _, ok := tbl.Lookup(out); ok {
+		t.Fatal("address outside /12 must not match")
+	}
+}
+
+func TestRemove(t *testing.T) {
+	tbl := NewDefault()
+	r := mkRule("10.0.0.0/8", "192.0.2.0/24", packet.ProtoUDP, 1)
+	tbl.Insert(r, 0)
+	if tbl.Len() != 1 {
+		t.Fatal("len after insert")
+	}
+	if n := tbl.Remove(r); n != 1 {
+		t.Fatalf("Remove = %d, want 1", n)
+	}
+	if tbl.Len() != 0 {
+		t.Fatal("len after remove")
+	}
+	pkt := packet.FiveTuple{
+		SrcIP: packet.MustParseIP("10.1.2.3"),
+		DstIP: packet.MustParseIP("192.0.2.1"),
+		Proto: packet.ProtoUDP,
+	}
+	if _, _, ok := tbl.Lookup(pkt); ok {
+		t.Fatal("removed rule still matches")
+	}
+	if n := tbl.Remove(r); n != 0 {
+		t.Fatalf("second Remove = %d, want 0", n)
+	}
+	other := mkRule("203.0.113.0/24", "0.0.0.0/0", packet.ProtoTCP, 9)
+	if n := tbl.Remove(other); n != 0 {
+		t.Fatalf("Remove of absent path = %d, want 0", n)
+	}
+}
+
+func randomRule(rng *rand.Rand, id uint32) rules.Rule {
+	plens := []uint8{0, 8, 12, 16, 20, 24, 28, 32}
+	protos := []packet.Protocol{0, packet.ProtoTCP, packet.ProtoUDP}
+	r := rules.Rule{
+		ID:    id,
+		Src:   rules.Prefix{Addr: rng.Uint32(), Len: plens[rng.Intn(len(plens))]}.Canonical(),
+		Dst:   rules.Prefix{Addr: rng.Uint32(), Len: plens[rng.Intn(len(plens))]}.Canonical(),
+		Proto: protos[rng.Intn(len(protos))],
+	}
+	if rng.Intn(2) == 0 {
+		r.DstPort = rules.Port(uint16(rng.Intn(1024)))
+	}
+	return r
+}
+
+func TestLookupEquivalentToLinearScan(t *testing.T) {
+	// Core property: for random rule sets and random packets, the trie
+	// agrees exactly with rules.Set.Match (first match wins).
+	for _, stride := range []int{4, 8, 16} {
+		rng := rand.New(rand.NewSource(int64(stride)))
+		tbl, err := New(stride)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var rs []rules.Rule
+		for i := 0; i < 300; i++ {
+			rs = append(rs, randomRule(rng, uint32(i+1)))
+		}
+		set, err := rules.NewSet(rs, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tbl.InsertSet(set)
+
+		for i := 0; i < 5000; i++ {
+			pkt := packet.FiveTuple{
+				SrcIP:   rng.Uint32(),
+				DstIP:   rng.Uint32(),
+				SrcPort: uint16(rng.Intn(2048)),
+				DstPort: uint16(rng.Intn(2048)),
+				Proto:   packet.ProtoUDP,
+			}
+			// Bias half the packets toward rule space so matches happen.
+			if i%2 == 0 {
+				r := rs[rng.Intn(len(rs))]
+				pkt.SrcIP = r.Src.Addr | (rng.Uint32() &^ r.Src.Mask())
+				pkt.DstIP = r.Dst.Addr | (rng.Uint32() &^ r.Dst.Mask())
+			}
+			wantRule, wantOK := set.Match(pkt)
+			gotRule, _, gotOK := tbl.Lookup(pkt)
+			if wantOK != gotOK || (wantOK && wantRule.ID != gotRule.ID) {
+				t.Fatalf("stride %d: trie disagrees with linear scan on %v:\n trie: %+v %v\n scan: %+v %v",
+					stride, pkt, gotRule, gotOK, wantRule, wantOK)
+			}
+		}
+	}
+}
+
+func TestMemoryGrowsLinearly(t *testing.T) {
+	// Figure 3b's premise: lookup table memory grows linearly with rules.
+	tbl := NewDefault()
+	rng := rand.New(rand.NewSource(42))
+	base := tbl.MemoryBytes()
+	var at1000, at2000 int
+	for i := 1; i <= 2000; i++ {
+		tbl.Insert(randomRule(rng, uint32(i)), i)
+		switch i {
+		case 1000:
+			at1000 = tbl.MemoryBytes()
+		case 2000:
+			at2000 = tbl.MemoryBytes()
+		}
+	}
+	grow1 := at1000 - base
+	grow2 := at2000 - at1000
+	if grow1 <= 0 || grow2 <= 0 {
+		t.Fatalf("memory must grow: %d, %d", grow1, grow2)
+	}
+	ratio := float64(grow2) / float64(grow1)
+	if ratio < 0.5 || ratio > 2.0 {
+		t.Fatalf("growth not roughly linear: first 1000 cost %d, second 1000 cost %d", grow1, grow2)
+	}
+}
+
+func TestInsertBatchMatchesSequentialInserts(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	var rs []rules.Rule
+	for i := 0; i < 200; i++ {
+		rs = append(rs, randomRule(rng, uint32(i+1)))
+	}
+	a, b := NewDefault(), NewDefault()
+	a.InsertBatch(rs, 0)
+	for i, r := range rs {
+		b.Insert(r, i)
+	}
+	if a.Len() != b.Len() || a.NodeCount() != b.NodeCount() {
+		t.Fatalf("batch differs: len %d/%d nodes %d/%d", a.Len(), b.Len(), a.NodeCount(), b.NodeCount())
+	}
+	probe := rand.New(rand.NewSource(4))
+	for i := 0; i < 2000; i++ {
+		pkt := packet.FiveTuple{SrcIP: probe.Uint32(), DstIP: probe.Uint32(), Proto: packet.ProtoTCP}
+		ra, _, oka := a.Lookup(pkt)
+		rb, _, okb := b.Lookup(pkt)
+		if oka != okb || (oka && ra.ID != rb.ID) {
+			t.Fatal("batch table disagrees with sequential table")
+		}
+	}
+}
+
+func TestReset(t *testing.T) {
+	tbl := NewDefault()
+	tbl.Insert(mkRule("10.0.0.0/8", "0.0.0.0/0", packet.ProtoUDP, 1), 0)
+	tbl.Reset()
+	if tbl.Len() != 0 || tbl.NodeCount() != 1 {
+		t.Fatalf("after Reset: len=%d nodes=%d", tbl.Len(), tbl.NodeCount())
+	}
+	pkt := packet.FiveTuple{SrcIP: packet.MustParseIP("10.0.0.1"), Proto: packet.ProtoUDP}
+	if _, _, ok := tbl.Lookup(pkt); ok {
+		t.Fatal("reset table still matches")
+	}
+}
+
+func TestLookupTraceVisitBounds(t *testing.T) {
+	tbl := NewDefault()
+	for i := 0; i < 100; i++ {
+		tbl.Insert(mkRule("10.0.0.0/8", "0.0.0.0/0", packet.ProtoUDP, uint32(i+1)), i)
+	}
+	pkt := packet.FiveTuple{SrcIP: packet.MustParseIP("10.1.2.3"), Proto: packet.ProtoUDP}
+	_, _, visited, ok := tbl.LookupTrace(pkt)
+	if !ok {
+		t.Fatal("want match")
+	}
+	if visited < 1 || visited > tbl.levels+1 {
+		t.Fatalf("visited = %d, want 1..%d", visited, tbl.levels+1)
+	}
+}
+
+func benchTable(b *testing.B, n int) (*Table, []packet.FiveTuple) {
+	rng := rand.New(rand.NewSource(9))
+	tbl := NewDefault()
+	dst := rules.MustParsePrefix("192.0.2.0/24")
+	for i := 0; i < n; i++ {
+		r := rules.Rule{
+			ID:    uint32(i + 1),
+			Src:   rules.Prefix{Addr: rng.Uint32(), Len: 24}.Canonical(),
+			Dst:   dst,
+			Proto: packet.ProtoUDP,
+		}
+		tbl.Insert(r, i)
+	}
+	pkts := make([]packet.FiveTuple, 1024)
+	for i := range pkts {
+		pkts[i] = packet.FiveTuple{
+			SrcIP: rng.Uint32(),
+			DstIP: packet.MustParseIP("192.0.2.7"),
+			Proto: packet.ProtoUDP,
+		}
+	}
+	return tbl, pkts
+}
+
+func benchmarkLookup(b *testing.B, n int) {
+	tbl, pkts := benchTable(b, n)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tbl.Lookup(pkts[i&1023])
+	}
+}
+
+func BenchmarkLookup100(b *testing.B)   { benchmarkLookup(b, 100) }
+func BenchmarkLookup1000(b *testing.B)  { benchmarkLookup(b, 1000) }
+func BenchmarkLookup3000(b *testing.B)  { benchmarkLookup(b, 3000) }
+func BenchmarkLookup10000(b *testing.B) { benchmarkLookup(b, 10000) }
+
+func BenchmarkInsert(b *testing.B) {
+	rng := rand.New(rand.NewSource(10))
+	rs := make([]rules.Rule, b.N)
+	for i := range rs {
+		rs[i] = randomRule(rng, uint32(i+1))
+	}
+	tbl := NewDefault()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tbl.Insert(rs[i], i)
+	}
+}
