@@ -1,0 +1,23 @@
+# VIF build/test/bench entry points. `make bench` refreshes
+# BENCH_engine.json so the engine's scaling trajectory accumulates per PR.
+
+GO ?= go
+
+.PHONY: all build vet test race bench
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	./scripts/bench_engine.sh BENCH_engine.json

@@ -95,4 +95,30 @@ func TestRunRejectsBadFlags(t *testing.T) {
 	if err := run([]string{"-rules", "/nonexistent/rules.txt"}, &out); err == nil {
 		t.Fatal("missing rules file accepted")
 	}
+	if err := run([]string{"-shards", "-1"}, &out); err == nil {
+		t.Fatal("negative shard count accepted")
+	}
+	if err := run([]string{"-shards", "2", "-producers", "0"}, &out); err == nil {
+		t.Fatal("zero producers accepted")
+	}
+}
+
+func TestRunEngineMode(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{
+		"-shards", "2", "-producers", "2", "-duration", "150ms",
+	}, &out); err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	for _, want := range []string{
+		"engine: 2 shards",
+		"aggregate modeled fleet capacity",
+		"shard 0:", "shard 1:",
+		"epoch 1 shard 0:", "epoch 1 shard 1:",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("engine output missing %q:\n%s", want, text)
+		}
+	}
 }

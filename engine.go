@@ -1,0 +1,140 @@
+package vif
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/innetworkfiltering/vif/internal/bypass"
+	"github.com/innetworkfiltering/vif/internal/engine"
+	"github.com/innetworkfiltering/vif/internal/filter"
+)
+
+// Engine mode: instead of pushing packets one at a time through
+// Session.Process (the analytical single-threaded path used by the
+// experiment harness), a session can launch the concurrent sharded runtime
+// of §IV-B. Each attested enclave becomes a worker shard behind a bounded
+// MPSC ring; the untrusted load balancer's rule-distribution programme
+// assigns flows to shards; per-epoch authenticated sketch snapshots feed
+// the same bypass-detection checks the serial path uses.
+
+// Re-exported engine vocabulary.
+type (
+	// Engine is the running sharded data plane.
+	Engine = engine.Engine
+	// EngineMetrics is an engine-wide counter snapshot.
+	EngineMetrics = engine.Metrics
+	// ShardMetrics is one shard's counter block.
+	ShardMetrics = engine.ShardMetrics
+	// EpochLog is one shard's sealed per-epoch authenticated logs.
+	EpochLog = engine.EpochLog
+)
+
+// ErrEngineRunning is returned by serial-path session methods while the
+// engine owns the data plane (the fleet's filters are not thread-safe;
+// exactly one runtime may drive them).
+var ErrEngineRunning = errors.New("vif: engine owns the data plane; stop it first")
+
+// ErrNoEngine is returned by engine-path methods when no engine is live.
+var ErrNoEngine = errors.New("vif: no engine running")
+
+// EngineConfig sizes the session's concurrent runtime.
+type EngineConfig struct {
+	// RingSize is each shard's ingress ring capacity. Default 4096.
+	RingSize int
+	// Batch is the worker burst size. Default 64.
+	Batch int
+	// Deliver, when set, observes every packet the fleet forwards toward
+	// the victim (called on worker goroutines; keep it cheap). Simulations
+	// use it to drive Session.ObserveDelivered through the downstream
+	// path.
+	Deliver func(d Descriptor)
+}
+
+// StartEngine launches the concurrent data plane over the session's
+// attested fleet: one worker per enclave, shard assignment by the
+// deployment's load balancer. While the engine runs, the serial methods
+// (Process, Reconfigure, AuditOutgoing, NewRound) refuse — the engine owns
+// the filters. Stop it with StopEngine (or Engine.Stop) to return to the
+// serial path.
+func (s *Session) StartEngine(cfg EngineConfig) (*Engine, error) {
+	if s.Aborted() {
+		return nil, ErrAborted
+	}
+	if s.engine != nil && s.engine.Running() {
+		return nil, ErrEngineRunning
+	}
+	var sink engine.Sink
+	if cfg.Deliver != nil {
+		deliver := cfg.Deliver
+		sink = func(_ int, d Descriptor) { deliver(d) }
+	}
+	eng, err := engine.New(engine.Config{
+		Filters:  s.cluster.Filters(),
+		Route:    s.cluster.Balancer().Route,
+		RingSize: cfg.RingSize,
+		Batch:    cfg.Batch,
+		Sink:     sink,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("vif: engine: %w", err)
+	}
+	if err := eng.Start(); err != nil {
+		return nil, fmt.Errorf("vif: engine: %w", err)
+	}
+	s.engine = eng
+	return eng, nil
+}
+
+// StopEngine drains and stops the running engine, returning the session to
+// the serial path. No-op when no engine is live.
+func (s *Session) StopEngine() {
+	if s.engine == nil {
+		return
+	}
+	s.engine.Stop()
+	s.engine = nil
+}
+
+// EngineRunning reports whether an engine currently owns the data plane.
+func (s *Session) EngineRunning() bool {
+	return s.engine != nil && s.engine.Running()
+}
+
+// AuditEngineEpoch seals the current epoch on every shard (without
+// stopping the data plane), authenticates and merges the per-shard
+// outgoing logs with the MAC keys obtained during attestation, and
+// compares them against the victim's local received-traffic log — the
+// §III-B bypass check, per epoch. The victim's local log is reset so the
+// next epoch starts a fresh audit window on both sides.
+//
+// For an exact comparison, quiesce first (Engine.WaitDrained after the
+// producers stop): a rotation under live traffic can attribute packets in
+// flight at the boundary to adjacent epochs on the two sides, which
+// SetLossTolerance absorbs — the same ambiguity the paper's short audit
+// rounds tolerate.
+func (s *Session) AuditEngineEpoch() (bypass.Verdict, error) {
+	if s.Aborted() {
+		return bypass.Verdict{}, ErrAborted
+	}
+	if !s.EngineRunning() {
+		return bypass.Verdict{}, ErrNoEngine
+	}
+	logs, err := s.engine.RotateEpoch()
+	if err != nil {
+		return bypass.Verdict{}, fmt.Errorf("vif: rotate epoch: %w", err)
+	}
+	snaps := make([]*filter.SignedSnapshot, len(logs))
+	for i, l := range logs {
+		snaps[i] = l.Outgoing
+	}
+	merged, err := bypass.MergeSnapshots(s.macKeys, snaps)
+	if err != nil {
+		return bypass.Verdict{}, err
+	}
+	v, err := s.verifier.CheckSketch(merged)
+	if err != nil {
+		return bypass.Verdict{}, err
+	}
+	s.verifier.Reset()
+	return v, nil
+}

@@ -1,0 +1,238 @@
+package vif
+
+import (
+	"errors"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"github.com/innetworkfiltering/vif/internal/attest"
+	"github.com/innetworkfiltering/vif/internal/lb"
+	"github.com/innetworkfiltering/vif/internal/packet"
+	"github.com/innetworkfiltering/vif/internal/rpki"
+	"github.com/innetworkfiltering/vif/internal/rules"
+)
+
+// engineTraffic builds the usual mixed workload: DNS amplification (hits
+// the drop rule) interleaved with legitimate HTTPS.
+func engineTraffic(n int, seed int64) (descs []Descriptor, attack int) {
+	rng := rand.New(rand.NewSource(seed))
+	descs = make([]Descriptor, n)
+	for i := range descs {
+		var tp FiveTuple
+		if i%2 == 0 {
+			tp = FiveTuple{
+				SrcIP: rng.Uint32(), DstIP: packet.MustParseIP("192.0.2.10"),
+				SrcPort: 53, DstPort: 53, Proto: packet.ProtoUDP,
+			}
+			attack++
+		} else {
+			tp = FiveTuple{
+				SrcIP: rng.Uint32(), DstIP: packet.MustParseIP("192.0.2.10"),
+				SrcPort: uint16(rng.Intn(60000) + 1), DstPort: 443, Proto: packet.ProtoTCP,
+			}
+		}
+		descs[i] = Descriptor{Tuple: tp, Size: 512}
+	}
+	return descs, attack
+}
+
+func TestEngineEndToEndHonest(t *testing.T) {
+	d := testDeployment(t, lb.Faults{})
+	session, err := RequestFiltering(victimASN, d, victimRules(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	eng, err := session.StartEngine(EngineConfig{
+		Deliver: func(d Descriptor) { session.ObserveDelivered(d.Tuple) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !session.EngineRunning() {
+		t.Fatal("engine not running after StartEngine")
+	}
+
+	// Serial paths must refuse while the engine owns the fleet.
+	if _, err := session.AuditOutgoing(); !errors.Is(err, ErrEngineRunning) {
+		t.Fatalf("AuditOutgoing during engine mode: %v", err)
+	}
+	if err := session.Reconfigure(); !errors.Is(err, ErrEngineRunning) {
+		t.Fatalf("Reconfigure during engine mode: %v", err)
+	}
+	if v := session.Process(Descriptor{Tuple: FiveTuple{Proto: packet.ProtoUDP}, Size: 64}); v != VerdictDrop {
+		t.Fatalf("Process during engine mode returned %v", v)
+	}
+	if _, err := session.StartEngine(EngineConfig{}); !errors.Is(err, ErrEngineRunning) {
+		t.Fatalf("second StartEngine: %v", err)
+	}
+
+	descs, attack := engineTraffic(4000, 1)
+	var wg sync.WaitGroup
+	for p := 0; p < 2; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := p; i < len(descs); i += 2 {
+				for !eng.Inject(descs[i]) {
+				}
+			}
+		}(p)
+	}
+	wg.Wait()
+	eng.WaitDrained()
+
+	m := eng.Metrics()
+	if m.Processed != uint64(len(descs)) {
+		t.Fatalf("processed %d of %d", m.Processed, len(descs))
+	}
+	if m.Dropped != uint64(attack) {
+		t.Fatalf("dropped %d, attack packets %d", m.Dropped, attack)
+	}
+
+	// Per-epoch audit: honest fleet, quiesced boundary — must be clean.
+	verdict, err := session.AuditEngineEpoch()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !verdict.Clean {
+		t.Fatalf("honest engine flagged: %+v", verdict)
+	}
+
+	// A second epoch over fresh traffic audits independently.
+	more, _ := engineTraffic(1000, 2)
+	for _, d := range more {
+		for !eng.Inject(d) {
+		}
+	}
+	eng.WaitDrained()
+	verdict, err = session.AuditEngineEpoch()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !verdict.Clean {
+		t.Fatalf("second epoch flagged: %+v", verdict)
+	}
+
+	session.StopEngine()
+	if session.EngineRunning() {
+		t.Fatal("engine still running after StopEngine")
+	}
+	// Serial path is handed back.
+	if v := session.Process(descs[1]); v != VerdictAllow {
+		t.Fatalf("serial Process after StopEngine: %v", v)
+	}
+	if err := session.Reconfigure(); err != nil {
+		t.Fatalf("Reconfigure after StopEngine: %v", err)
+	}
+}
+
+func TestEngineDetectsDropAfterFilter(t *testing.T) {
+	d := testDeployment(t, lb.Faults{})
+	session, err := RequestFiltering(victimASN, d, victimRules(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The downstream path swallows every 10th forwarded packet: the
+	// enclaves' outgoing logs then exceed what the victim saw.
+	var mu sync.Mutex
+	n := 0
+	eng, err := session.StartEngine(EngineConfig{
+		Deliver: func(d Descriptor) {
+			mu.Lock()
+			n++
+			drop := n%10 == 0
+			mu.Unlock()
+			if !drop {
+				session.ObserveDelivered(d.Tuple)
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	descs, _ := engineTraffic(3000, 3)
+	for _, de := range descs {
+		for !eng.Inject(de) {
+		}
+	}
+	eng.WaitDrained()
+	verdict, err := session.AuditEngineEpoch()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if verdict.Clean || verdict.DropAfterFilter == 0 {
+		t.Fatalf("drop-after-filter not detected: %+v", verdict)
+	}
+	session.StopEngine()
+}
+
+func TestEngineReportsMisrouting(t *testing.T) {
+	svc, err := attest.NewService()
+	if err != nil {
+		t.Fatal(err)
+	}
+	registry := rpki.NewRegistry()
+	if err := registry.Add(rpki.ROA{
+		Prefix: rules.MustParsePrefix("192.0.2.0/24"), ASN: victimASN, MaxLength: 32,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// A tiny per-enclave rule budget forces a multi-enclave fleet, so the
+	// misrouting balancer has wrong shards to steer to.
+	d, err := NewDeployment(DeploymentConfig{
+		Name:               "AMS-IX",
+		MaxRulesPerEnclave: 2,
+		LBFaults:           lb.Faults{MisrouteProb: 0.3, Seed: 11},
+	}, svc, registry)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs := make([]Rule, 0, 6)
+	for _, src := range []string{"10.0.0.0/8", "172.16.0.0/12", "198.51.100.0/24",
+		"203.0.113.0/24", "100.64.0.0/10", "192.88.99.0/24"} {
+		r, err := ParseRule("drop udp from " + src + " to 192.0.2.0/24 dport 53")
+		if err != nil {
+			t.Fatal(err)
+		}
+		rs = append(rs, r)
+	}
+	set, err := NewRuleSet(rs, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	session, err := RequestFiltering(victimASN, d, set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if session.FleetSize() < 2 {
+		t.Fatalf("fleet size %d, want ≥2", session.FleetSize())
+	}
+	eng, err := session.StartEngine(EngineConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Traffic sourced inside the rule prefixes: a misrouted packet then
+	// matches a peer shard's rule, which is exactly what the enclave-side
+	// misroute counter witnesses.
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 2000; i++ {
+		r := set.Rules[rng.Intn(set.Len())]
+		de := Descriptor{
+			Tuple: FiveTuple{
+				SrcIP:   r.Src.Addr | (rng.Uint32() &^ r.Src.Mask()),
+				DstIP:   packet.MustParseIP("192.0.2.10"),
+				SrcPort: 53, DstPort: 53, Proto: packet.ProtoUDP,
+			},
+			Size: 512,
+		}
+		for !eng.Inject(de) {
+		}
+	}
+	eng.WaitDrained()
+	session.StopEngine()
+	if session.MisrouteReports() == 0 {
+		t.Fatal("misrouting balancer went unreported")
+	}
+}

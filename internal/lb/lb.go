@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sort"
+	"sync"
 
 	"github.com/innetworkfiltering/vif/internal/packet"
 	"github.com/innetworkfiltering/vif/internal/rules"
@@ -43,7 +44,11 @@ type Balancer struct {
 	n int
 
 	faults Faults
-	rng    *rand.Rand
+	// mu guards rng: honest routing is pure and lock-free (the engine's
+	// concurrent producers call Route directly), but fault injection draws
+	// from shared randomness.
+	mu  sync.Mutex
+	rng *rand.Rand
 }
 
 // Faults configures load-balancer misbehavior for adversarial tests.
@@ -128,9 +133,15 @@ func unitHash(t packet.FiveTuple) float64 {
 }
 
 // Route returns the enclave index for a packet, or ok=false when the
-// (faulty) balancer dropped it. Honest routing is fully deterministic
-// per flow.
+// (faulty) balancer dropped it. Honest routing is fully deterministic per
+// flow and safe for any number of concurrent callers; the faulty paths
+// serialize on the shared randomness.
 func (b *Balancer) Route(t packet.FiveTuple) (int, bool) {
+	if b.faults.DropProb == 0 && b.faults.MisrouteProb == 0 {
+		return b.route(t), true
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
 	if b.faults.DropProb > 0 && b.rng.Float64() < b.faults.DropProb {
 		return 0, false
 	}

@@ -100,3 +100,129 @@ func (r *Ring) DequeueBatch(out []packet.Descriptor) int {
 	r.head.Store(head + n)
 	return int(n)
 }
+
+// mpscSlot is one MPSCRing cell. seq is the Vyukov sequence number that
+// both publishes the descriptor (producer side) and recycles the slot
+// (consumer side); the atomic store/load pair is what orders the plain
+// descriptor write against the consumer's read.
+type mpscSlot struct {
+	seq atomic.Uint64
+	d   packet.Descriptor
+}
+
+// MPSCRing is a bounded multi-producer/single-consumer lock-free queue of
+// packet descriptors — the ingress ring of one engine shard, fed
+// concurrently by any number of RX/load-balancer threads and drained in
+// batches by the shard's single worker goroutine. It is a Vyukov-style
+// bounded queue: producers reserve a slot with a CAS on tail and publish it
+// by advancing the slot's sequence number; the consumer never contends with
+// producers except on that per-slot sequence word.
+type MPSCRing struct {
+	slots []mpscSlot
+	mask  uint64
+	_     [48]byte      // keep tail off the slots/mask line
+	tail  atomic.Uint64 // next slot producers will claim
+	_     [56]byte      // producers and consumer on separate lines
+	head  atomic.Uint64 // next slot the consumer will read
+}
+
+// NewMPSCRing creates a ring with capacity size (rounded up to a power of
+// two, minimum 2).
+func NewMPSCRing(size int) (*MPSCRing, error) {
+	if size < 1 {
+		return nil, fmt.Errorf("pipeline: mpsc ring size %d", size)
+	}
+	pow := 1
+	for pow < size || pow < 2 {
+		pow <<= 1
+	}
+	r := &MPSCRing{slots: make([]mpscSlot, pow), mask: uint64(pow - 1)}
+	for i := range r.slots {
+		r.slots[i].seq.Store(uint64(i))
+	}
+	return r, nil
+}
+
+// Cap returns the ring capacity.
+func (r *MPSCRing) Cap() int { return len(r.slots) }
+
+// Len returns the number of queued descriptors (approximate under
+// concurrency, exact when quiesced).
+func (r *MPSCRing) Len() int {
+	n := int64(r.tail.Load()) - int64(r.head.Load())
+	if n < 0 {
+		return 0
+	}
+	return int(n)
+}
+
+// Enqueue adds one descriptor from any producer goroutine; it reports false
+// when the ring is full (the caller counts a backpressure event and drops,
+// as a NIC does on ring overflow).
+func (r *MPSCRing) Enqueue(d packet.Descriptor) bool {
+	pos := r.tail.Load()
+	for {
+		s := &r.slots[pos&r.mask]
+		switch diff := int64(s.seq.Load()) - int64(pos); {
+		case diff == 0:
+			if r.tail.CompareAndSwap(pos, pos+1) {
+				s.d = d
+				s.seq.Store(pos + 1)
+				return true
+			}
+			pos = r.tail.Load()
+		case diff < 0:
+			// The slot still holds an entry from the previous lap: full.
+			return false
+		default:
+			// Another producer claimed pos; chase the tail.
+			pos = r.tail.Load()
+		}
+	}
+}
+
+// EnqueueBatch adds as many descriptors from ds as fit and returns the
+// number enqueued.
+func (r *MPSCRing) EnqueueBatch(ds []packet.Descriptor) int {
+	for i, d := range ds {
+		if !r.Enqueue(d) {
+			return i
+		}
+	}
+	return len(ds)
+}
+
+// Dequeue removes one descriptor; ok is false when the ring is empty.
+// Exactly one goroutine may consume.
+func (r *MPSCRing) Dequeue() (packet.Descriptor, bool) {
+	pos := r.head.Load()
+	s := &r.slots[pos&r.mask]
+	if int64(s.seq.Load())-int64(pos+1) < 0 {
+		return packet.Descriptor{}, false
+	}
+	d := s.d
+	s.seq.Store(pos + r.mask + 1)
+	r.head.Store(pos + 1)
+	return d, true
+}
+
+// DequeueBatch fills out with up to len(out) descriptors and returns the
+// count — the shard worker's batched poll (the engine's 64-packet bursts).
+func (r *MPSCRing) DequeueBatch(out []packet.Descriptor) int {
+	pos := r.head.Load()
+	n := 0
+	for n < len(out) {
+		s := &r.slots[pos&r.mask]
+		if int64(s.seq.Load())-int64(pos+1) < 0 {
+			break
+		}
+		out[n] = s.d
+		s.seq.Store(pos + r.mask + 1)
+		pos++
+		n++
+	}
+	if n > 0 {
+		r.head.Store(pos)
+	}
+	return n
+}

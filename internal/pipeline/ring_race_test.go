@@ -1,0 +1,244 @@
+// Race-detector coverage for the rings the engine depends on: concurrent
+// producers/consumers, full-ring backpressure, and index wrap-around.
+// Run with `go test -race ./internal/pipeline/`.
+package pipeline
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"testing"
+
+	"github.com/innetworkfiltering/vif/internal/packet"
+)
+
+func ringDesc(i uint64) packet.Descriptor {
+	return packet.Descriptor{
+		Tuple: packet.FiveTuple{SrcIP: uint32(i), DstIP: uint32(i >> 32)},
+		Size:  uint16(i%1400 + 64),
+		Ref:   packet.Ref(int32(i % 4096)),
+	}
+}
+
+// TestRingSPSCWrapAround pushes many times the capacity through a tiny
+// ring so head/tail wrap repeatedly while both sides run concurrently.
+func TestRingSPSCWrapAround(t *testing.T) {
+	r, err := NewRing(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const total = 100000
+	var got uint64
+	done := make(chan error, 1)
+	go func() {
+		var next uint64
+		for next < total {
+			d, ok := r.Dequeue()
+			if !ok {
+				runtime.Gosched()
+				continue
+			}
+			if uint32(next) != d.Tuple.SrcIP {
+				done <- errorf("out of order: got %d want %d", d.Tuple.SrcIP, next)
+				return
+			}
+			next++
+			got++
+		}
+		done <- nil
+	}()
+	for i := uint64(0); i < total; {
+		if r.Enqueue(ringDesc(i)) {
+			i++
+		} else {
+			runtime.Gosched()
+		}
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	if got != total {
+		t.Fatalf("consumed %d of %d", got, total)
+	}
+}
+
+// TestRingSPSCBackpressure verifies a full ring refuses without losing or
+// duplicating entries once the consumer resumes.
+func TestRingSPSCBackpressure(t *testing.T) {
+	r, err := NewRing(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for r.Enqueue(ringDesc(uint64(n))) {
+		n++
+	}
+	if n != r.Cap() {
+		t.Fatalf("accepted %d, cap %d", n, r.Cap())
+	}
+	if r.Enqueue(ringDesc(99)) {
+		t.Fatal("full ring accepted an entry")
+	}
+	if _, ok := r.Dequeue(); !ok {
+		t.Fatal("dequeue from full ring failed")
+	}
+	if !r.Enqueue(ringDesc(uint64(n))) {
+		t.Fatal("ring with one slot free refused")
+	}
+}
+
+// TestMPSCRingManyProducers hammers one ring from several producers while
+// the single consumer drains in batches; every descriptor must arrive
+// exactly once and per-producer sequences must stay in order.
+func TestMPSCRingManyProducers(t *testing.T) {
+	r, err := NewMPSCRing(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const (
+		producers = 8
+		perProd   = 20000
+	)
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < perProd; i++ {
+				d := packet.Descriptor{
+					Tuple: packet.FiveTuple{SrcIP: uint32(p), DstIP: uint32(i)},
+					Size:  64,
+				}
+				for !r.Enqueue(d) {
+					runtime.Gosched()
+				}
+			}
+		}(p)
+	}
+
+	seen := make([]uint32, producers) // next expected per-producer sequence
+	total := 0
+	batch := make([]packet.Descriptor, 16)
+	consumerDone := make(chan error, 1)
+	go func() {
+		for total < producers*perProd {
+			n := r.DequeueBatch(batch)
+			if n == 0 {
+				runtime.Gosched()
+				continue
+			}
+			for _, d := range batch[:n] {
+				p := d.Tuple.SrcIP
+				if d.Tuple.DstIP != seen[p] {
+					consumerDone <- errorf("producer %d: got seq %d want %d", p, d.Tuple.DstIP, seen[p])
+					return
+				}
+				seen[p]++
+			}
+			total += n
+		}
+		consumerDone <- nil
+	}()
+	wg.Wait()
+	if err := <-consumerDone; err != nil {
+		t.Fatal(err)
+	}
+	if total != producers*perProd {
+		t.Fatalf("consumed %d of %d", total, producers*perProd)
+	}
+}
+
+// TestMPSCRingBackpressure fills the ring with no consumer and checks the
+// exact refusal boundary, concurrently from several producers.
+func TestMPSCRingBackpressure(t *testing.T) {
+	r, err := NewMPSCRing(32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const producers = 4
+	var wg sync.WaitGroup
+	var accepted [producers]int
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < 64; i++ {
+				if r.Enqueue(ringDesc(uint64(i))) {
+					accepted[p]++
+				}
+			}
+		}(p)
+	}
+	wg.Wait()
+	var sum int
+	for _, a := range accepted {
+		sum += a
+	}
+	if sum != r.Cap() {
+		t.Fatalf("accepted %d, cap %d", sum, r.Cap())
+	}
+	if r.Len() != r.Cap() {
+		t.Fatalf("Len %d, want %d", r.Len(), r.Cap())
+	}
+	if r.Enqueue(ringDesc(1)) {
+		t.Fatal("full MPSC ring accepted an entry")
+	}
+}
+
+// TestMPSCRingWrapAroundBatches cycles a tiny ring far past its capacity
+// using batch enqueue/dequeue so the Vyukov sequence numbers lap many
+// times.
+func TestMPSCRingWrapAroundBatches(t *testing.T) {
+	r, err := NewMPSCRing(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := make([]packet.Descriptor, 3)
+	out := make([]packet.Descriptor, 3)
+	var next uint64
+	var want uint32
+	for round := 0; round < 10000; round++ {
+		for i := range in {
+			in[i] = ringDesc(next)
+			next++
+		}
+		pushed := 0
+		for pushed < len(in) {
+			pushed += r.EnqueueBatch(in[pushed:])
+			for {
+				n := r.DequeueBatch(out)
+				if n == 0 {
+					break
+				}
+				for _, d := range out[:n] {
+					if d.Tuple.SrcIP != want {
+						t.Fatalf("round %d: got %d want %d", round, d.Tuple.SrcIP, want)
+					}
+					want++
+				}
+			}
+		}
+	}
+	if uint64(want) != next {
+		t.Fatalf("drained %d of %d", want, next)
+	}
+}
+
+// TestMPSCRingSizing mirrors the SPSC constructor contract.
+func TestMPSCRingSizing(t *testing.T) {
+	if _, err := NewMPSCRing(0); err == nil {
+		t.Fatal("size 0 accepted")
+	}
+	r, err := NewMPSCRing(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Cap() != 4 {
+		t.Fatalf("cap %d, want next power of two 4", r.Cap())
+	}
+	if r.Len() != 0 {
+		t.Fatalf("new ring Len %d", r.Len())
+	}
+}
+
+func errorf(format string, args ...any) error { return fmt.Errorf(format, args...) }

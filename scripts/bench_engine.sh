@@ -1,0 +1,52 @@
+#!/bin/sh
+# Runs the engine shard-scaling benchmarks (BenchmarkEngineShards{1,2,4,8})
+# and writes the results as JSON so the performance trajectory accumulates
+# across PRs. Usage:
+#
+#   scripts/bench_engine.sh [output.json]     # default BENCH_engine.json
+#   BENCHTIME=500000x scripts/bench_engine.sh # longer runs
+#
+# The JSON records, per shard count, the wall-clock ns per injected packet,
+# the observed aggregate packet rate, and the aggregate modeled fleet
+# capacity (per-shard SGX-cost-model virtual time converted to a line-rate-
+# capped packet rate and summed — the paper's Figure 4 linear-scaling
+# quantity, which is host-core-count independent).
+set -e
+
+out="${1:-BENCH_engine.json}"
+benchtime="${BENCHTIME:-100000x}"
+tmp="$(mktemp)"
+trap 'rm -f "$tmp"' EXIT
+
+go test -run '^$' -bench 'BenchmarkEngineShards' -benchtime "$benchtime" -count 1 . | tee "$tmp"
+
+awk -v benchtime="$benchtime" '
+/^BenchmarkEngineShards/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)                 # strip the -GOMAXPROCS suffix
+    shards = name
+    sub(/^BenchmarkEngineShards/, "", shards)
+    ns = ""; agg = ""; wall = ""
+    for (i = 2; i < NF; i++) {
+        if ($(i+1) == "ns/op") ns = $i
+        if ($(i+1) == "aggregate-modeled-Mpps") agg = $i
+        if ($(i+1) == "wall-Mpps") wall = $i
+    }
+    n++
+    line[n] = sprintf("    {\"shards\": %s, \"ns_per_op\": %s, \"aggregate_modeled_mpps\": %s, \"wall_mpps\": %s}", shards, ns, agg, wall)
+    aggv[shards] = agg
+}
+END {
+    printf "{\n"
+    printf "  \"benchmark\": \"BenchmarkEngineShards\",\n"
+    printf "  \"frame_bytes\": 64,\n"
+    printf "  \"benchtime\": \"%s\",\n", benchtime
+    printf "  \"results\": [\n"
+    for (i = 1; i <= n; i++) printf "%s%s\n", line[i], (i < n ? "," : "")
+    scaling = (aggv[1] > 0 && aggv[8] > 0) ? aggv[8] / aggv[1] : 0
+    printf "  ],\n"
+    printf "  \"aggregate_scaling_8_over_1\": %.2f\n", scaling
+    printf "}\n"
+}' "$tmp" > "$out"
+
+echo "wrote $out"

@@ -29,6 +29,10 @@ type Session struct {
 
 	verifier *bypass.VictimVerifier
 	seq      uint64
+
+	// engine, when non-nil and running, owns the fleet's data plane (see
+	// engine.go); the serial methods refuse until it stops.
+	engine *Engine
 }
 
 // Tolerance is re-exported for callers tuning benign-loss budgets.
@@ -129,9 +133,11 @@ func (s *Session) attestFleet() error {
 // Process pushes one packet through the deployment's data plane and
 // returns the verdict (what the filtering network forwards toward the
 // victim). Experiment harnesses and examples drive traffic through this.
-// An aborted session forwards nothing.
+// An aborted session forwards nothing; while an engine owns the data
+// plane (StartEngine), inject through the engine instead — Process then
+// refuses by dropping, since the filters are worker-owned.
 func (s *Session) Process(d Descriptor) Verdict {
-	if s.Aborted() {
+	if s.Aborted() || s.EngineRunning() {
 		return VerdictDrop
 	}
 	return s.cluster.Process(d)
@@ -152,6 +158,9 @@ func (s *Session) ObserveDelivered(t FiveTuple) {
 func (s *Session) AuditOutgoing() (bypass.Verdict, error) {
 	if s.Aborted() {
 		return bypass.Verdict{}, ErrAborted
+	}
+	if s.EngineRunning() {
+		return bypass.Verdict{}, ErrEngineRunning
 	}
 	s.seq++
 	snaps, _, err := s.deployment.snapshot(s.cluster, filter.LogOutgoing, s.seq)
@@ -183,6 +192,9 @@ func (s *Session) Reconfigure() error {
 	if s.Aborted() {
 		return ErrAborted
 	}
+	if s.EngineRunning() {
+		return ErrEngineRunning
+	}
 	measured := s.cluster.MeasuredBytes(true)
 	if err := s.cluster.Reconfigure(measured); err != nil {
 		return err
@@ -191,8 +203,13 @@ func (s *Session) Reconfigure() error {
 }
 
 // NewRound starts a fresh audit window on both sides (the paper suggests
-// short rounds — a few minutes — so victims can abort quickly).
+// short rounds — a few minutes — so victims can abort quickly). In engine
+// mode, AuditEngineEpoch's rotation plays this role; NewRound is a no-op
+// while the engine owns the logs.
 func (s *Session) NewRound() {
+	if s.EngineRunning() {
+		return
+	}
 	for _, f := range s.cluster.Filters() {
 		f.ResetLogs()
 	}
@@ -200,8 +217,10 @@ func (s *Session) NewRound() {
 }
 
 // Abort tears down the session (the victim's remedy once misbehavior is
-// detected: §VII "any one of them can abort the temporary contract").
+// detected: §VII "any one of them can abort the temporary contract"). A
+// running engine is stopped first so no worker touches a dead fleet.
 func (s *Session) Abort() {
+	s.StopEngine()
 	s.cluster = nil
 	s.macKeys = nil
 }
