@@ -1,9 +1,11 @@
 # VIF build/test/bench entry points. `make bench` refreshes
-# BENCH_engine.json so the engine's scaling trajectory accumulates per PR.
+# BENCH_engine.json so the engine's scaling trajectory accumulates per PR;
+# `make bench-filter` refreshes BENCH_filter.json, the scalar-vs-batch
+# hot-path comparison (guarded at ≥2x batch speedup).
 
 GO ?= go
 
-.PHONY: all build vet test race bench
+.PHONY: all build vet test race bench bench-filter
 
 all: build vet test
 
@@ -21,3 +23,6 @@ race:
 
 bench:
 	./scripts/bench_engine.sh BENCH_engine.json
+
+bench-filter:
+	./scripts/bench_filter.sh BENCH_filter.json

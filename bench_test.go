@@ -255,6 +255,84 @@ func BenchmarkTable1_ExactFirstIncumbent500(b *testing.B) {
 
 func BenchmarkFig9_Greedy150K(b *testing.B) { benchmarkGreedy(b, 150000, 500e9) }
 
+// --- Batch data path: scalar vs burst processing ------------------------------
+
+// benchTrainDescriptors is the allow-heavy workload for the batch-path
+// comparison: every flow matches a deterministic allow rule (so both
+// packet logs are updated — the most work per allowed packet) and emits
+// trains of consecutive packets, the burst structure real traffic has
+// (TCP segments arrive back-to-back; GRO/GSO exist because of it).
+func benchTrainDescriptors(b *testing.B, set *rules.Set, train, size int) []packet.Descriptor {
+	b.Helper()
+	rng := rand.New(rand.NewSource(21))
+	victim := packet.MustParseIP("192.0.2.77")
+	out := make([]packet.Descriptor, 4096)
+	for i := 0; i < len(out); i += train {
+		r := set.Rules[rng.Intn(set.Len())]
+		d := packet.Descriptor{
+			Tuple: packet.FiveTuple{
+				SrcIP:   r.Src.Addr | (rng.Uint32() &^ r.Src.Mask()),
+				DstIP:   victim,
+				SrcPort: uint16(rng.Intn(60000) + 1),
+				DstPort: 53,
+				Proto:   packet.ProtoUDP,
+			},
+			Size: uint16(size),
+			Ref:  packet.NoRef,
+		}
+		for j := 0; j < train && i+j < len(out); j++ {
+			out[i+j] = d
+		}
+	}
+	return out
+}
+
+// BenchmarkFilterProcess is the retained scalar path: one Process call per
+// packet, the pre-batching data plane.
+func BenchmarkFilterProcess(b *testing.B) {
+	set := benchRules(b, 3000, 1) // allow-heavy: every rule allows
+	f := benchFilter(b, set, filter.CopyModeNearZero)
+	descs := benchTrainDescriptors(b, set, 4, 64)
+	e := f.Enclave()
+	e.ResetMeter()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.Process(descs[i&4095])
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds()/1e6, "wall-Mpps")
+	b.ReportMetric(e.VirtualNs()/float64(b.N), "modeled-ns/pkt")
+}
+
+// BenchmarkFilterBatch drives the same allow-heavy stream through
+// ProcessBatch in engine-sized 64-packet bursts with a pooled verdict
+// slice — the acceptance comparison for the batch-first refactor.
+func BenchmarkFilterBatch(b *testing.B) {
+	set := benchRules(b, 3000, 1)
+	f := benchFilter(b, set, filter.CopyModeNearZero)
+	descs := benchTrainDescriptors(b, set, 4, 64)
+	e := f.Enclave()
+	e.ResetMeter()
+	var verdicts []filter.Verdict
+	b.ResetTimer()
+	n := 0
+	for n < b.N {
+		start := n & 4095
+		end := start + 64
+		if end > 4096 {
+			end = 4096
+		}
+		if remaining := b.N - n; end-start > remaining {
+			end = start + remaining
+		}
+		verdicts = f.ProcessBatch(descs[start:end], verdicts)
+		n += end - start
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds()/1e6, "wall-Mpps")
+	b.ReportMetric(e.VirtualNs()/float64(b.N), "modeled-ns/pkt")
+}
+
 // --- Figure 4: engine shard scaling -------------------------------------------
 
 // benchmarkEngineShards drives b.N descriptors through the live sharded

@@ -293,8 +293,8 @@ func runEngine(out io.Writer, set *rules.Set, mode filter.CopyMode, n, producers
 		eng.AggregateModeledPps(size)/1e6,
 		pipeline.ThroughputBps(eng.AggregateModeledPps(size), size)/1e9, size)
 	for _, sm := range m.Shards {
-		fmt.Fprintf(out, "  shard %d: processed %d (%.2f Mpps), allowed %d, dropped %d, backpressure %d, queue %d\n",
-			sm.Shard, sm.Processed, sm.PPS/1e6, sm.Allowed, sm.Dropped, sm.Backpressure, sm.QueueDepth)
+		fmt.Fprintf(out, "  shard %d: processed %d (%.2f Mpps), allowed %d, dropped %d, backpressure %d, queue %d, avg batch %.1f, %.0f ns/pkt modeled\n",
+			sm.Shard, sm.Processed, sm.PPS/1e6, sm.Allowed, sm.Dropped, sm.Backpressure, sm.QueueDepth, sm.AvgBatch, sm.NsPerPacket)
 	}
 
 	// Seal the run as one epoch and print the authenticated log digests a

@@ -100,6 +100,18 @@ func (s *Session) EngineRunning() bool {
 	return s.engine != nil && s.engine.Running()
 }
 
+// EngineMetrics snapshots the running engine's per-shard counter blocks
+// (verdicts, queue depths, backpressure, batch occupancy, modeled
+// ns/packet). Like Session.Stats, it is safe to call while the data plane
+// runs: the workers publish counters once per burst through atomics, so
+// monitoring never synchronizes with — or races against — the hot path.
+func (s *Session) EngineMetrics() (EngineMetrics, error) {
+	if s.engine == nil {
+		return EngineMetrics{}, ErrNoEngine
+	}
+	return s.engine.Metrics(), nil
+}
+
 // AuditEngineEpoch seals the current epoch on every shard (without
 // stopping the data plane), authenticates and merges the per-shard
 // outgoing logs with the MAC keys obtained during attestation, and

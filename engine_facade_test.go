@@ -91,6 +91,28 @@ func TestEngineEndToEndHonest(t *testing.T) {
 		t.Fatalf("dropped %d, attack packets %d", m.Dropped, attack)
 	}
 
+	// The session exposes the same snapshot, with the batch-path metrics
+	// populated: every shard that processed traffic reports its burst
+	// count, mean occupancy, and modeled per-packet cost.
+	sm, err := session.EngineMetrics()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sm.Processed != m.Processed {
+		t.Fatalf("session metrics processed %d, engine %d", sm.Processed, m.Processed)
+	}
+	for _, shard := range sm.Shards {
+		if shard.Processed == 0 {
+			continue
+		}
+		if shard.Batches == 0 || shard.AvgBatch < 1 {
+			t.Fatalf("shard %d: batches=%d avg=%.2f — batch metrics missing", shard.Shard, shard.Batches, shard.AvgBatch)
+		}
+		if shard.NsPerPacket <= 0 {
+			t.Fatalf("shard %d: ns/packet %.2f", shard.Shard, shard.NsPerPacket)
+		}
+	}
+
 	// Per-epoch audit: honest fleet, quiesced boundary — must be clean.
 	verdict, err := session.AuditEngineEpoch()
 	if err != nil {

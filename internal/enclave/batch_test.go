@@ -1,0 +1,82 @@
+package enclave
+
+import (
+	"math"
+	"testing"
+)
+
+// TestChargeBatchMatchesScalarCharges: one ChargeBatch call must meter
+// exactly what the equivalent sequence of per-operation charges meters
+// (modulo the 1/16 ns fixed-point rounding each individual charge pays).
+func TestChargeBatchMatchesScalarCharges(t *testing.T) {
+	m := DefaultCostModel()
+	a, _ := New(testIdentity(), m)
+	b, _ := New(testIdentity(), m)
+	a.SetMemoryUsed(30 << 20) // past the LLC so cold refs are footprint-priced
+	b.SetMemoryUsed(30 << 20)
+
+	const pkts = 64
+	a.ResetMeter()
+	for i := 0; i < pkts; i++ {
+		a.ChargeFixed()
+		a.ChargeCopyIn(23)
+		a.ChargeSketchUpdate(4)
+		a.ChargeExactMatch()
+		a.ChargeNative(2 * m.MemRefNs)
+		a.ChargeAccesses(2)
+		a.ChargeSHA256(45)
+	}
+
+	b.ResetMeter()
+	b.ChargeBatch(CostVector{
+		FixedPackets: pkts,
+		CopyInBytes:  pkts * 23,
+		SketchRows:   pkts * 4,
+		ExactProbes:  pkts,
+		HotRefs:      pkts * 2,
+		ColdRefs:     pkts * 2,
+		SHA256Hashes: pkts,
+		SHA256Bytes:  pkts * 45,
+	})
+
+	// Scalar rounding: ≤ 1/32 ns expected error per charge, 7 charges/pkt.
+	if diff := math.Abs(a.VirtualNs() - b.VirtualNs()); diff > pkts*7*0.0625 {
+		t.Fatalf("batch %.2f ns vs scalar %.2f ns (diff %.2f)", b.VirtualNs(), a.VirtualNs(), diff)
+	}
+}
+
+// TestChargeBatchFullCopyAndNative covers the remaining cost-vector terms.
+func TestChargeBatchFullCopyAndNative(t *testing.T) {
+	m := DefaultCostModel()
+	e, _ := New(testIdentity(), m)
+	e.SetMemoryUsed(12 << 20)
+
+	e.ResetMeter()
+	e.ChargeBatch(CostVector{
+		FullCopies:     3,
+		FullCopyBytes:  3 * 1500,
+		NativeColdRefs: 5,
+		NativeNs:       40,
+	})
+	want := 3*m.FullCopyCost(1500) + 5*m.NativeAccessCost(e.MemoryUsed()) + 40
+	if diff := math.Abs(e.VirtualNs() - want); diff > 0.5 {
+		t.Fatalf("charge %.2f ns, want %.2f", e.VirtualNs(), want)
+	}
+
+	// The zero vector charges nothing.
+	e.ResetMeter()
+	e.ChargeBatch(CostVector{})
+	if got := e.VirtualNs(); got != 0 {
+		t.Fatalf("zero vector charged %.3f ns", got)
+	}
+}
+
+// TestTickN advances the clock like n Ticks.
+func TestTickN(t *testing.T) {
+	e, _ := New(testIdentity(), DefaultCostModel())
+	e.Tick()
+	e.TickN(63)
+	if got := e.Ticks(); got != 64 {
+		t.Fatalf("ticks = %d, want 64", got)
+	}
+}

@@ -191,6 +191,10 @@ func (e *Enclave) ResetMeter() { e.virtualNs.Store(0) }
 // invariant under clock manipulation.
 func (e *Enclave) Tick() { e.ticks.Add(1) }
 
+// TickN advances the clock by a whole burst at once (the batch data path's
+// amortized equivalent of per-packet Tick).
+func (e *Enclave) TickN(n uint64) { e.ticks.Add(n) }
+
 // Ticks returns the clock, for control-plane bookkeeping only.
 func (e *Enclave) Ticks() uint64 { return e.ticks.Load() }
 

@@ -375,3 +375,45 @@ func TestEngineSinkObservesAllowed(t *testing.T) {
 		t.Fatalf("sink saw %d, engine allowed %d", seen, m.Allowed)
 	}
 }
+
+func TestNsPerPacketExcludesPreEngineWork(t *testing.T) {
+	set := testRules(t, 32)
+	fs := testFilters(t, set, 1)
+	descs := testDescriptors(t, set, 2048)
+
+	// Burn serial virtual time on the same filter before the engine owns
+	// it: the shard metric must reflect engine-era work only.
+	for _, d := range descs {
+		fs[0].Process(d)
+	}
+	serialNs := fs[0].Enclave().VirtualNs()
+	if serialNs == 0 {
+		t.Fatal("serial warm-up charged nothing")
+	}
+
+	eng, err := New(Config{Filters: fs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Start(); err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range descs[:256] {
+		for !eng.Inject(d) {
+		}
+	}
+	eng.WaitDrained()
+	eng.Stop()
+
+	sm := eng.Metrics().Shards[0]
+	if sm.NsPerPacket <= 0 {
+		t.Fatalf("ns/packet %.2f", sm.NsPerPacket)
+	}
+	// Engine-era per-packet cost is well under the serial total; if the
+	// lifetime meter leaked into the numerator the value would exceed
+	// serialNs/256 by orders of magnitude.
+	if sm.NsPerPacket > serialNs/256/2 {
+		t.Fatalf("ns/packet %.1f contaminated by pre-engine meter (serial total %.1f over 2048 pkts)",
+			sm.NsPerPacket, serialNs)
+	}
+}

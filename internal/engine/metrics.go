@@ -2,6 +2,7 @@ package engine
 
 import (
 	"fmt"
+	"math"
 	"strings"
 	"time"
 
@@ -26,6 +27,15 @@ type ShardMetrics struct {
 	Epochs uint64
 	// PPS is the shard's average processed-packet rate since Start.
 	PPS float64
+	// Batches counts bursts drained from the ring; AvgBatch is the mean
+	// burst occupancy (Processed/Batches) — how full the batch path
+	// actually runs, the amortization factor of the per-burst costs.
+	Batches  uint64
+	AvgBatch float64
+	// NsPerPacket is the shard's modeled enclave time per processed packet
+	// (the SGX cost meter's virtual nanoseconds divided by packets) — the
+	// per-packet cost floor behind the paper's throughput figures.
+	NsPerPacket float64
 }
 
 // Metrics is an engine-wide snapshot.
@@ -67,9 +77,17 @@ func (e *Engine) Metrics() Metrics {
 			Backpressure: s.backpressure.Load(),
 			QueueDepth:   s.ring.Len(),
 			Epochs:       s.epochs.Load(),
+			Batches:      s.batches.Load(),
 		}
 		if secs > 0 {
 			sm.PPS = float64(sm.Processed) / secs
+		}
+		if sm.Batches > 0 {
+			sm.AvgBatch = float64(sm.Processed) / float64(sm.Batches)
+		}
+		if sm.Processed > 0 {
+			base := math.Float64frombits(s.baseVirtualNs.Load())
+			sm.NsPerPacket = (s.f.Enclave().VirtualNs() - base) / float64(sm.Processed)
 		}
 		m.Shards[i] = sm
 		m.Processed += sm.Processed
@@ -98,7 +116,8 @@ func (e *Engine) AggregateModeledPps(frameSize int) float64 {
 			continue
 		}
 		encl := s.f.Enclave()
-		perPkt := encl.VirtualNs()/float64(n) + encl.Model().PipelineNs
+		base := math.Float64frombits(s.baseVirtualNs.Load())
+		perPkt := (encl.VirtualNs()-base)/float64(n) + encl.Model().PipelineNs
 		pps, _ := pipeline.ModeledThroughput(perPkt, frameSize, pipeline.TenGigE)
 		total += pps
 	}

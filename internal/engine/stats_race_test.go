@@ -1,0 +1,81 @@
+package engine
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestStatsReadableWhileEngineRuns pins the control-plane monitoring
+// contract: Filter.Stats, ExactEntries, PendingFlows and HashRatio (and
+// the engine's own Metrics) may be read from any goroutine while the
+// shard workers are mutating the filters. Before the batch-first refactor
+// the filter kept plain counter fields, so this exact pattern — which is
+// what cluster.TotalStats and any operator dashboard do against a live
+// engine — was a data race the race detector flags; the counters are now
+// an atomic block the worker updates once per burst. Run under -race
+// (tier-1 CI does) to keep it honest.
+func TestStatsReadableWhileEngineRuns(t *testing.T) {
+	set := testRules(t, 64)
+	fs := testFilters(t, set, 2)
+	eng, err := New(Config{Filters: fs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Start(); err != nil {
+		t.Fatal(err)
+	}
+	descs := testDescriptors(t, set, 4096)
+
+	var producers, readers sync.WaitGroup
+	stop := make(chan struct{})
+
+	// Control-plane readers: exactly what a monitoring loop does.
+	for r := 0; r < 2; r++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			var sink uint64
+			var ratio float64
+			for {
+				select {
+				case <-stop:
+					_ = sink
+					_ = ratio
+					return
+				default:
+				}
+				for _, f := range fs {
+					st := f.Stats()
+					sink += st.Processed + st.Allowed + st.Dropped + st.Hashed
+					sink += uint64(f.ExactEntries() + f.PendingFlows())
+					ratio += f.HashRatio()
+				}
+				m := eng.Metrics()
+				sink += m.Processed
+			}
+		}()
+	}
+
+	// Producers: the data plane mutating the same filters.
+	for p := 0; p < 2; p++ {
+		producers.Add(1)
+		go func(p int) {
+			defer producers.Done()
+			for i := p; i < len(descs); i += 2 {
+				for !eng.Inject(descs[i]) {
+				}
+			}
+		}(p)
+	}
+
+	producers.Wait()
+	eng.WaitDrained()
+	close(stop)
+	readers.Wait()
+	eng.Stop()
+
+	m := eng.Metrics()
+	if m.Processed != m.Accepted {
+		t.Fatalf("processed %d != accepted %d", m.Processed, m.Accepted)
+	}
+}

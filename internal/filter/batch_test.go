@@ -1,0 +1,204 @@
+package filter
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/innetworkfiltering/vif/internal/packet"
+)
+
+// batchDescs builds a stream mixing deterministic-drop, probabilistic, and
+// default-allow traffic, with every flow emitting a train of packets so
+// bursts contain duplicates.
+func batchDescs(rng *rand.Rand, flows, train int) []packet.Descriptor {
+	out := make([]packet.Descriptor, 0, flows*train)
+	for i := 0; i < flows; i++ {
+		var tup packet.FiveTuple
+		switch i % 3 {
+		case 0: // hits the deterministic drop rule
+			tup = udpTo53("10.9.9.9")
+			tup.SrcIP += uint32(i)
+		case 1: // hits the probabilistic HTTP rule
+			tup = httpFlow(rng.Uint32(), uint16(rng.Intn(60000)+1))
+		default: // unmatched → default action
+			tup = packet.FiveTuple{
+				SrcIP: rng.Uint32(), DstIP: packet.MustParseIP("198.51.100.9"),
+				DstPort: 22, Proto: packet.ProtoTCP,
+			}
+		}
+		for j := 0; j < train; j++ {
+			out = append(out, desc(tup, 64+j))
+		}
+	}
+	return out
+}
+
+// TestProcessBatchMatchesDecision asserts the batch path returns exactly
+// the pure decision function's verdict for every packet, across burst
+// sizes, with the counters and logs adding up.
+func TestProcessBatchMatchesDecision(t *testing.T) {
+	for _, burst := range []int{1, 3, 7, 64, 256} {
+		f := newFilter(t, Config{DisablePromotion: true})
+		rng := rand.New(rand.NewSource(int64(burst)))
+		descs := batchDescs(rng, 120, 4)
+
+		want := make([]Verdict, len(descs))
+		for i, d := range descs {
+			want[i] = f.Decision(d.Tuple)
+		}
+
+		var verdicts []Verdict
+		var allowed uint64
+		for start := 0; start < len(descs); start += burst {
+			end := start + burst
+			if end > len(descs) {
+				end = len(descs)
+			}
+			verdicts = f.ProcessBatch(descs[start:end], verdicts)
+			for i, v := range verdicts {
+				if v != want[start+i] {
+					t.Fatalf("burst %d: packet %d got %v, Decision says %v",
+						burst, start+i, v, want[start+i])
+				}
+				if v == VerdictAllow {
+					allowed++
+				}
+			}
+		}
+
+		st := f.Stats()
+		if st.Processed != uint64(len(descs)) {
+			t.Fatalf("burst %d: processed %d, want %d", burst, st.Processed, len(descs))
+		}
+		if st.Allowed != allowed || st.Allowed+st.Dropped != st.Processed {
+			t.Fatalf("burst %d: allowed %d dropped %d processed %d (want allowed %d)",
+				burst, st.Allowed, st.Dropped, st.Processed, allowed)
+		}
+		if st.ExactHits+st.RuleHits+st.DefaultHits != st.Processed {
+			t.Fatalf("burst %d: classification counts do not partition processed: %+v", burst, st)
+		}
+		// Every packet is logged incoming; every allowed packet outgoing.
+		if got := f.inLog.Total(); got != uint64(len(descs)) {
+			t.Fatalf("burst %d: incoming log total %d, want %d", burst, got, len(descs))
+		}
+		if got := f.outLog.Total(); got != allowed {
+			t.Fatalf("burst %d: outgoing log total %d, want %d", burst, got, allowed)
+		}
+	}
+}
+
+// TestProcessBatchDeduplicatesHashing asserts a packet train costs one
+// SHA-256 evaluation per burst, not one per packet — the intra-burst
+// dedup that makes batch work near-constant per packet.
+func TestProcessBatchDeduplicatesHashing(t *testing.T) {
+	f := newFilter(t, Config{DisablePromotion: true})
+	flow := httpFlow(packet.MustParseIP("203.0.113.9"), 4321)
+	batch := make([]packet.Descriptor, 64)
+	for i := range batch {
+		batch[i] = desc(flow, 64)
+	}
+	f.ProcessBatch(batch, nil)
+	st := f.Stats()
+	if st.Processed != 64 || st.RuleHits != 64 {
+		t.Fatalf("stats: %+v", st)
+	}
+	if st.Hashed != 1 {
+		t.Fatalf("Hashed = %d, want 1 (one evaluation per distinct flow per burst)", st.Hashed)
+	}
+	// The verdict still fans out to every duplicate, and the scalar path
+	// agrees with it.
+	if got := f.Process(desc(flow, 64)); got != f.Decision(flow) {
+		t.Fatalf("scalar after batch: %v, Decision %v", got, f.Decision(flow))
+	}
+}
+
+// TestProcessBatchChargesLikeScalar: over all-distinct flows (no dedup
+// savings possible) batching must charge the cost meter what per-packet
+// processing charges, modulo fixed-point rounding — amortization changes
+// who pays when, never how much work is modeled.
+func TestProcessBatchChargesLikeScalar(t *testing.T) {
+	mkDescs := func() []packet.Descriptor {
+		rng := rand.New(rand.NewSource(11))
+		out := make([]packet.Descriptor, 512)
+		for i := range out {
+			out[i] = desc(packet.FiveTuple{
+				SrcIP: rng.Uint32(), DstIP: packet.MustParseIP("192.0.2.30"),
+				SrcPort: uint16(i + 1), DstPort: 443, Proto: packet.ProtoTCP,
+			}, 128)
+		}
+		return out
+	}
+
+	serial := newFilter(t, Config{DisablePromotion: true})
+	serial.Enclave().ResetMeter()
+	for _, d := range mkDescs() {
+		serial.Process(d)
+	}
+	serialNs := serial.Enclave().VirtualNs()
+
+	batched := newFilter(t, Config{DisablePromotion: true})
+	batched.Enclave().ResetMeter()
+	descs := mkDescs()
+	var verdicts []Verdict
+	for start := 0; start < len(descs); start += 64 {
+		verdicts = batched.ProcessBatch(descs[start:start+64], verdicts)
+	}
+	batchNs := batched.Enclave().VirtualNs()
+
+	// 1/16 ns fixed-point rounding per charge bounds the drift.
+	diff := serialNs - batchNs
+	if diff < 0 {
+		diff = -diff
+	}
+	if diff > float64(len(descs))*0.125 {
+		t.Fatalf("modeled cost diverged: serial %.1f ns vs batched %.1f ns", serialNs, batchNs)
+	}
+}
+
+// TestProcessBatchReusesVerdictSlice pins the pooling contract: passing
+// the previous return value back avoids reallocation.
+func TestProcessBatchReusesVerdictSlice(t *testing.T) {
+	f := newFilter(t, Config{DisablePromotion: true})
+	rng := rand.New(rand.NewSource(5))
+	descs := batchDescs(rng, 16, 4)
+	v1 := f.ProcessBatch(descs, nil)
+	v2 := f.ProcessBatch(descs, v1)
+	if &v1[0] != &v2[0] {
+		t.Fatal("verdict slice reallocated despite sufficient capacity")
+	}
+	if got := f.ProcessBatch(nil, v2); len(got) != 0 {
+		t.Fatalf("empty batch returned %d verdicts", len(got))
+	}
+}
+
+// TestProcessBatchPromotionParity: the hybrid design must behave the same
+// whether flows were observed via the batch path or the scalar path —
+// promotion still converts pending flows and preserves decisions.
+func TestProcessBatchPromotionParity(t *testing.T) {
+	f := newFilter(t, Config{})
+	rng := rand.New(rand.NewSource(6))
+	flows := make([]packet.FiveTuple, 200)
+	batch := make([]packet.Descriptor, 0, len(flows)*2)
+	for i := range flows {
+		flows[i] = httpFlow(rng.Uint32(), uint16(rng.Intn(60000)+1))
+		batch = append(batch, desc(flows[i], 64), desc(flows[i], 64))
+	}
+	before := f.ProcessBatch(batch, nil)
+	if f.PendingFlows() == 0 {
+		t.Fatal("no flows queued for promotion from batch path")
+	}
+	promoted := f.Promote()
+	if promoted == 0 || f.ExactEntries() != promoted {
+		t.Fatalf("promoted %d, exact entries %d", promoted, f.ExactEntries())
+	}
+	after := f.ProcessBatch(batch, nil)
+	for i := range before {
+		if before[i] != after[i] {
+			t.Fatalf("packet %d verdict changed after promotion: %v -> %v", i, before[i], after[i])
+		}
+	}
+	st := f.Stats()
+	if st.ExactHits == 0 {
+		t.Fatal("promoted flows not served from the exact table")
+	}
+}

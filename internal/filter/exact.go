@@ -1,0 +1,90 @@
+package filter
+
+import "github.com/innetworkfiltering/vif/internal/packet"
+
+// exactTable is the learned exact-match flow table: open addressing with
+// linear probing over flat arrays, keyed by the tuple's Hash64. It replaces
+// the Go map the filter used before the batch-first refactor — a probe is
+// one hash plus (usually) one cache line, with no per-entry heap objects,
+// which is what lets the exact path approach the paper's hash-table cost
+// anchor (CostModel.ExactMatchNs).
+//
+// Slots with verdict 0 are empty (valid verdicts start at 1). Entries are
+// only ever added (Promote) or dropped wholesale (Reconfigure), so there
+// are no tombstones.
+type exactTable struct {
+	mask     uint64
+	tuples   []packet.FiveTuple
+	verdicts []Verdict
+	count    int
+}
+
+const exactMinSlots = 64
+
+func newExactTable() *exactTable {
+	return &exactTable{
+		mask:     exactMinSlots - 1,
+		tuples:   make([]packet.FiveTuple, exactMinSlots),
+		verdicts: make([]Verdict, exactMinSlots),
+	}
+}
+
+// get probes for t (h must be t.Hash64()).
+func (x *exactTable) get(t packet.FiveTuple, h uint64) (Verdict, bool) {
+	i := h & x.mask
+	for {
+		v := x.verdicts[i]
+		if v == 0 {
+			return 0, false
+		}
+		if x.tuples[i] == t {
+			return v, true
+		}
+		i = (i + 1) & x.mask
+	}
+}
+
+// put inserts or overwrites t's verdict, growing at 3/4 load.
+func (x *exactTable) put(t packet.FiveTuple, h uint64, v Verdict) {
+	if uint64(x.count+1)*4 > uint64(len(x.verdicts))*3 {
+		x.grow()
+	}
+	i := h & x.mask
+	for {
+		switch {
+		case x.verdicts[i] == 0:
+			x.tuples[i] = t
+			x.verdicts[i] = v
+			x.count++
+			return
+		case x.tuples[i] == t:
+			x.verdicts[i] = v
+			return
+		}
+		i = (i + 1) & x.mask
+	}
+}
+
+func (x *exactTable) grow() {
+	oldTuples, oldVerdicts := x.tuples, x.verdicts
+	n := len(oldVerdicts) * 2
+	x.mask = uint64(n - 1)
+	x.tuples = make([]packet.FiveTuple, n)
+	x.verdicts = make([]Verdict, n)
+	x.count = 0
+	for i, v := range oldVerdicts {
+		if v != 0 {
+			x.put(oldTuples[i], oldTuples[i].Hash64(), v)
+		}
+	}
+}
+
+func (x *exactTable) len() int { return x.count }
+
+// memoryBytes is the table's resident size (tuple slot + verdict slot per
+// bucket): the in-enclave cost the EPC accounting charges per learned flow
+// capacity.
+func (x *exactTable) memoryBytes() int {
+	const tupleSlotBytes = 16 // FiveTuple struct (13 bytes padded)
+	return len(x.verdicts) * (tupleSlotBytes + 1)
+}

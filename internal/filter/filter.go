@@ -16,6 +16,13 @@
 // converges to PAllow. The hybrid design (Appendix F) additionally promotes
 // newly observed flows to exact-match entries in batches, trading per-packet
 // hashing for lookup-table growth.
+//
+// The data path is batch-first: ProcessBatch decides a whole burst against
+// an immutable rule-table snapshot (swapped by Reconfigure with one atomic
+// pointer store), deduplicates the burst's flows so a packet train costs
+// one decision, accumulates sketch updates and per-rule byte counts per
+// batch, and charges the enclave cost meter once per burst. Process is the
+// one-packet special case of the same path.
 package filter
 
 import (
@@ -23,7 +30,9 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash"
 	"math"
+	"sync/atomic"
 
 	"github.com/innetworkfiltering/vif/internal/enclave"
 	"github.com/innetworkfiltering/vif/internal/packet"
@@ -88,10 +97,6 @@ func (m CopyMode) String() string {
 // boundary per packet: five-tuple (13) + size (2) + buffer reference (8).
 const descriptorBytes = packet.KeySize + 2 + 8
 
-// exactEntryBytes approximates the in-enclave cost of one learned
-// exact-match flow entry (map bucket share + key + verdict).
-const exactEntryBytes = 64
-
 // Errors.
 var (
 	ErrNoRules = errors.New("filter: no rule set installed")
@@ -135,7 +140,9 @@ type Stats struct {
 	RuleHits uint64
 	// DefaultHits counts packets matching no rule.
 	DefaultHits uint64
-	// Hashed counts SHA-256 evaluations for probabilistic rules.
+	// Hashed counts SHA-256 evaluations for probabilistic rules. The batch
+	// path evaluates once per distinct flow per burst, so under packet
+	// trains this counts actual hash work, not hash-needing packets.
 	Hashed uint64
 	// Promoted counts flows promoted to exact-match entries.
 	Promoted uint64
@@ -147,34 +154,83 @@ type Stats struct {
 	Malformed uint64
 }
 
-// Filter is one enclaved filter instance. All methods must be called from
-// the single filter thread, mirroring the paper's pipeline design; log
-// snapshots are taken via the control-plane methods which copy under the
-// data-plane's quiescence points.
+// statsCounters is the filter's internal counter block. The data-plane
+// thread adds to it once per batch (amortized); control-plane readers
+// (Stats, HashRatio, cluster.TotalStats) load it atomically at any time —
+// this is what makes live monitoring of a running engine race-free.
+type statsCounters struct {
+	processed   atomic.Uint64
+	allowed     atomic.Uint64
+	dropped     atomic.Uint64
+	exactHits   atomic.Uint64
+	ruleHits    atomic.Uint64
+	defaultHits atomic.Uint64
+	hashed      atomic.Uint64
+	promoted    atomic.Uint64
+	misrouted   atomic.Uint64
+	malformed   atomic.Uint64
+}
+
+// ruleView bundles everything a lookup consults about the installed rules:
+// the shard, the peer-rule view, and the immutable trie snapshot. It is
+// swapped wholesale with one atomic pointer store, so a reader never sees
+// a shard paired with the wrong lookup table.
+type ruleView struct {
+	set     *rules.Set
+	foreign *rules.Set
+	snap    *trie.Snapshot
+}
+
+// Filter is one enclaved filter instance. Data-path methods (Process,
+// ProcessBatch, Decision, Promote) must be called from the single filter
+// thread, mirroring the paper's pipeline design. Monitoring methods
+// (Stats, ExactEntries, PendingFlows, HashRatio) are safe from any
+// goroutine while the data plane runs; log snapshots are taken via the
+// control-plane methods which copy under the data-plane's quiescence
+// points.
 type Filter struct {
 	encl *enclave.Enclave
 	cfg  Config
 
-	set     *rules.Set // this enclave's shard
-	foreign *rules.Set // rules assigned to peer enclaves (misroute check)
-	table   *trie.Table
+	// secret caches the enclave's filtering secret (in-enclave state; the
+	// filter is in-enclave code).
+	secret [32]byte
 
-	exact      map[packet.FiveTuple]Verdict
+	view atomic.Pointer[ruleView]
+
+	exact      *exactTable
+	exactCount atomic.Int64
 	pendingQ   []packet.FiveTuple
 	pendingSet map[packet.FiveTuple]bool
+	pendingLen atomic.Int64
 
 	inLog  *sketch.Sketch // per-source-IP, incoming packets
 	outLog *sketch.Sketch // per-five-tuple, forwarded packets
 
 	// ruleBytes accumulates per-rule traffic volume (the B_i vector each
-	// slave uploads to the master during rule redistribution, Figure 5).
+	// slave uploads to the master during rule redistribution, Figure 5),
+	// indexed by rule priority — the rule's position in the installed set —
+	// so the hot path writes a flat array slot instead of a map bucket.
 	// Pure measurement state: it never influences a verdict, so the
 	// statelessness property is preserved. Per §IV footnote 6, counts are
 	// bytes, not rates — the enclave's clock is untrusted, so the control
 	// plane timestamps collection externally.
-	ruleBytes map[uint32]uint64
+	ruleBytes []uint64
 
-	stats Stats
+	stats statsCounters
+
+	// sha is the reused SHA-256 state for hash-based filtering: one state,
+	// Reset per flow, digest into a persistent buffer — no per-packet
+	// allocation. Owned by the filter thread.
+	sha       hash.Hash
+	shaDigest []byte
+
+	// scratch is the batch working set (flow dedup table, log-key staging).
+	scratch batchScratch
+
+	// procBuf/procVerdicts back the one-packet Process wrapper.
+	procBuf      [1]packet.Descriptor
+	procVerdicts []Verdict
 }
 
 // New creates a filter inside the given enclave with the given rule shard.
@@ -183,22 +239,24 @@ func New(encl *enclave.Enclave, set *rules.Set, cfg Config) (*Filter, error) {
 		return nil, ErrNoRules
 	}
 	cfg.fillDefaults()
-	table, err := trie.New(cfg.Stride)
+	tbl, err := trie.New(cfg.Stride)
 	if err != nil {
 		return nil, err
 	}
+	tbl.InsertSet(set)
 	f := &Filter{
 		encl:       encl,
 		cfg:        cfg,
-		set:        set,
-		table:      table,
-		exact:      make(map[packet.FiveTuple]Verdict),
+		secret:     encl.Secret(),
+		exact:      newExactTable(),
 		pendingSet: make(map[packet.FiveTuple]bool),
-		ruleBytes:  make(map[uint32]uint64),
+		ruleBytes:  make([]uint64, set.Len()),
 		inLog:      sketch.NewDefault(),
 		outLog:     sketch.NewDefault(),
+		sha:        sha256.New(),
+		shaDigest:  make([]byte, 0, sha256.Size),
 	}
-	table.InsertSet(set)
+	f.view.Store(&ruleView{set: set, snap: tbl.Snapshot()})
 	f.syncMemory()
 	return f, nil
 }
@@ -207,59 +265,89 @@ func New(encl *enclave.Enclave, set *rules.Set, cfg Config) (*Filter, error) {
 func (f *Filter) Enclave() *enclave.Enclave { return f.encl }
 
 // Rules returns the installed shard.
-func (f *Filter) Rules() *rules.Set { return f.set }
+func (f *Filter) Rules() *rules.Set { return f.view.Load().set }
 
-// Stats returns a copy of the counters.
-func (f *Filter) Stats() Stats { return f.stats }
+// Stats returns a consistent-enough snapshot of the counters: each field
+// is loaded atomically, so reading while the data plane runs is race-free
+// (fields may straddle a batch boundary, like any /proc counter).
+func (f *Filter) Stats() Stats {
+	return Stats{
+		Processed:   f.stats.processed.Load(),
+		Allowed:     f.stats.allowed.Load(),
+		Dropped:     f.stats.dropped.Load(),
+		ExactHits:   f.stats.exactHits.Load(),
+		RuleHits:    f.stats.ruleHits.Load(),
+		DefaultHits: f.stats.defaultHits.Load(),
+		Hashed:      f.stats.hashed.Load(),
+		Promoted:    f.stats.promoted.Load(),
+		Misrouted:   f.stats.misrouted.Load(),
+		Malformed:   f.stats.malformed.Load(),
+	}
+}
 
 // syncMemory recomputes the enclave's EPC charge from the actual data
-// structure sizes: lookup table + learned flows + the two packet logs.
+// structure sizes: lookup table snapshot + learned flows + the two packet
+// logs.
 func (f *Filter) syncMemory() {
-	mem := f.table.MemoryBytes() +
-		len(f.exact)*exactEntryBytes +
+	mem := f.view.Load().snap.MemoryBytes() +
+		f.exact.memoryBytes() +
 		len(f.pendingQ)*packet.KeySize +
 		f.inLog.MemoryBytes() + f.outLog.MemoryBytes()
 	f.encl.SetMemoryUsed(mem)
 }
 
-// Reconfigure atomically installs a new shard (and the peer-rule view used
-// for misroute detection), rebuilding the lookup table. Learned flows and
-// the pending queue are cleared: promoted entries derive from rules that
-// may no longer be local.
+// Reconfigure installs a new shard (and the peer-rule view used for
+// misroute detection) by building a fresh immutable lookup snapshot and
+// swapping it in with one atomic pointer store. The swap means readers of
+// the view (Decision, a monitoring Rules call) never observe a torn or
+// half-built lookup table and the rebuild never parks them — but
+// Reconfigure is still a data-plane mutation: it replaces the exact-match
+// table, the pending queue, and the per-rule byte counters that
+// ProcessBatch writes, so it must not run concurrently with the data-path
+// methods. The engine enforces this by quiescing (Session.Reconfigure
+// refuses while an engine owns the filters). Learned flows and the
+// pending queue are cleared: promoted entries derive from rules that may
+// no longer be local.
 func (f *Filter) Reconfigure(set *rules.Set, foreign *rules.Set) error {
 	if set == nil || set.Len() == 0 {
 		return ErrNoRules
 	}
-	table, err := trie.New(f.cfg.Stride)
+	tbl, err := trie.New(f.cfg.Stride)
 	if err != nil {
 		return err
 	}
-	table.InsertSet(set)
-	f.set = set
-	f.foreign = foreign
-	f.table = table
-	f.exact = make(map[packet.FiveTuple]Verdict)
+	tbl.InsertSet(set)
+	f.exact = newExactTable()
+	f.exactCount.Store(0)
 	f.pendingQ = f.pendingQ[:0]
+	f.pendingLen.Store(0)
 	clear(f.pendingSet)
-	clear(f.ruleBytes)
+	f.ruleBytes = make([]uint64, set.Len())
+	f.view.Store(&ruleView{set: set, foreign: foreign, snap: tbl.Snapshot()})
 	f.syncMemory()
 	return nil
 }
 
 // SetForeign installs only the peer-rule view.
-func (f *Filter) SetForeign(foreign *rules.Set) { f.foreign = foreign }
+func (f *Filter) SetForeign(foreign *rules.Set) {
+	v := f.view.Load()
+	f.view.Store(&ruleView{set: v.set, foreign: foreign, snap: v.snap})
+}
 
-// hashAllow computes the connection-preserving probabilistic decision:
-// allow iff the leading 64 bits of SHA-256(key ‖ secret) < pAllow·2^64.
-func (f *Filter) hashAllow(t packet.FiveTuple, pAllow float64) bool {
+// hashBits computes the leading 64 bits of SHA-256(key ‖ secret) through
+// the filter's reused hash state (no allocation; filter thread only).
+func (f *Filter) hashBits(t packet.FiveTuple) uint64 {
 	key := t.Key()
-	secret := f.encl.Secret()
-	h := sha256.New()
-	h.Write(key[:])
-	h.Write(secret[:])
-	var sum [32]byte
-	h.Sum(sum[:0])
-	x := binary.BigEndian.Uint64(sum[:8])
+	f.sha.Reset()
+	f.sha.Write(key[:])
+	f.sha.Write(f.secret[:])
+	f.shaDigest = f.sha.Sum(f.shaDigest[:0])
+	return binary.BigEndian.Uint64(f.shaDigest[:8])
+}
+
+// allowBits is the connection-preserving probabilistic decision: allow iff
+// the hash bits fall under pAllow·2^64.
+func allowBits(x uint64, pAllow float64) bool {
 	// pAllow == 1 must allow everything including x == MaxUint64.
 	if pAllow >= 1 {
 		return true
@@ -270,17 +358,19 @@ func (f *Filter) hashAllow(t packet.FiveTuple, pAllow float64) bool {
 // Decision is the pure, stateless decision function f(p) of Eq. 2. It
 // consults only the packet bits, the installed rules, the learned
 // exact-match entries (which themselves are deterministic functions of
-// rules+secret), and the enclave secret. It performs no logging, no cost
-// accounting, and no mutation: calling it any number of times, in any
-// order, yields identical verdicts.
+// rules+secret), and the enclave secret. It performs no logging and no
+// cost accounting: calling it any number of times, in any order, yields
+// identical verdicts. (It shares the filter thread's scratch hash state,
+// so like the data-path methods it runs on the filter thread.)
 func (f *Filter) Decision(t packet.FiveTuple) Verdict {
-	if v, ok := f.exact[t]; ok {
+	if v, ok := f.exact.get(t, t.Hash64()); ok {
 		return v
 	}
-	if r, _, ok := f.table.Lookup(t); ok {
+	view := f.view.Load()
+	if r, _, ok := view.snap.Lookup(t); ok {
 		return f.ruleVerdict(t, r)
 	}
-	if f.set.DefaultAllow {
+	if view.set.DefaultAllow {
 		return VerdictAllow
 	}
 	return VerdictDrop
@@ -292,118 +382,307 @@ func (f *Filter) ruleVerdict(t packet.FiveTuple, r rules.Rule) Verdict {
 		return VerdictAllow
 	case r.PAllow <= 0:
 		return VerdictDrop
-	case f.hashAllow(t, r.PAllow):
+	case allowBits(f.hashBits(t), r.PAllow):
 		return VerdictAllow
 	default:
 		return VerdictDrop
 	}
 }
 
-// Process runs the full data-plane path for one packet descriptor: charge
-// boundary-crossing costs for the configured copy mode, log the packet in
-// the incoming sketch, decide, and log forwarded packets in the outgoing
-// sketch. It returns the verdict the TX stage applies to the buffer.
+// Process runs the full data-plane path for one packet descriptor. It is
+// the one-element special case of ProcessBatch, retained so serial callers
+// (the analytical pipeline, the experiment harness) keep working.
 func (f *Filter) Process(d packet.Descriptor) Verdict {
-	f.encl.Tick() // the clock advances; the decision path never reads it
-	f.stats.Processed++
+	f.procBuf[0] = d
+	f.procVerdicts = f.ProcessBatch(f.procBuf[:], f.procVerdicts)
+	return f.procVerdicts[0]
+}
 
+// flow classification within a batch.
+const (
+	classDefault uint8 = iota
+	classExact
+	classRule
+)
+
+// batchEntry is one distinct flow observed in the current burst: its
+// decision, its classification for stats, and the packet/byte totals of
+// its duplicates.
+type batchEntry struct {
+	tuple    packet.FiveTuple
+	hash     uint64
+	bytes    uint64
+	count    uint32
+	prio     int32
+	verdict  Verdict
+	class    uint8
+	hashed   bool
+	misroute bool
+}
+
+// batchScratch is the reusable per-burst working set: a small open-
+// addressing table deduplicating the burst's flows, plus staging for the
+// batched sketch updates. Owned by the filter thread; zero steady-state
+// allocation.
+type batchScratch struct {
+	slots []int32 // open addressing → index into ents; -1 empty
+	ents  []batchEntry
+
+	keyMem     []byte // backing for the log keys below
+	inKeys     [][]byte
+	inWeights  []uint64
+	outKeys    [][]byte
+	outWeights []uint64
+}
+
+// reset prepares the scratch for a burst of n packets (dedup table sized
+// to ≤½ load).
+func (sc *batchScratch) reset(n int) {
+	need := 1
+	for need < 2*n {
+		need <<= 1
+	}
+	if cap(sc.slots) < need {
+		sc.slots = make([]int32, need)
+	} else {
+		sc.slots = sc.slots[:need]
+	}
+	for i := range sc.slots {
+		sc.slots[i] = -1
+	}
+	sc.ents = sc.ents[:0]
+}
+
+// lookupOrAdd returns the index of t's entry, adding one if the burst has
+// not seen this flow yet.
+func (sc *batchScratch) lookupOrAdd(t packet.FiveTuple, h uint64) (int, bool) {
+	mask := uint64(len(sc.slots) - 1)
+	i := h & mask
+	for {
+		s := sc.slots[i]
+		if s < 0 {
+			idx := len(sc.ents)
+			sc.ents = append(sc.ents, batchEntry{tuple: t, hash: h})
+			sc.slots[i] = int32(idx)
+			return idx, true
+		}
+		if sc.ents[s].tuple == t {
+			return int(s), false
+		}
+		i = (i + 1) & mask
+	}
+}
+
+// ProcessBatch runs the full data-plane path for a burst of descriptors,
+// writing one verdict per descriptor into verdicts (grown if its capacity
+// is short; pass the previous call's return value to reuse the buffer).
+//
+// The burst is deduplicated by five-tuple: because the decision function
+// is stateless (Eq. 2), every packet of a flow within one burst must get
+// the same verdict, so the filter decides each distinct flow once and fans
+// the verdict out — a packet train costs one exact probe or trie walk, one
+// set of sketch row updates (weighted by the train length), and at most
+// one SHA-256 evaluation. All cost-model terms are accumulated into a
+// CostVector and charged to the enclave meter once per burst.
+func (f *Filter) ProcessBatch(ds []packet.Descriptor, verdicts []Verdict) []Verdict {
+	n := len(ds)
+	if cap(verdicts) < n {
+		verdicts = make([]Verdict, n)
+	} else {
+		verdicts = verdicts[:n]
+	}
+	if n == 0 {
+		return verdicts
+	}
+
+	f.encl.TickN(uint64(n)) // the clock advances; the decision path never reads it
+	view := f.view.Load()
 	model := f.encl.Model()
+	var cv enclave.CostVector
+
 	switch f.cfg.Mode {
 	case CopyModeFull:
-		f.encl.ChargeFixed()
-		f.encl.ChargeFullCopy(int(d.Size))
+		cv.FixedPackets = n
+		cv.FullCopies = n
+		for i := range ds {
+			cv.FullCopyBytes += int(ds[i].Size)
+		}
 	case CopyModeNearZero:
-		f.encl.ChargeFixed()
-		f.encl.ChargeCopyIn(descriptorBytes)
+		cv.FixedPackets = n
+		cv.CopyInBytes = n * descriptorBytes
 	case CopyModeNative:
 		// No boundary crossing; rule access costs are charged at native
-		// rates below via the generic access charge.
+		// rates below via the access-ref terms.
 	}
 
-	// Incoming log: per-source-IP counters (drop-before-filter evidence
-	// for neighbors).
-	var srcKey [4]byte
-	binary.BigEndian.PutUint32(srcKey[:], d.Tuple.SrcIP)
-	f.inLog.Add(srcKey[:], 1)
-	f.encl.ChargeSketchUpdate(sketch.DefaultRows)
-
-	// Decide, charging lookup costs.
-	verdict := f.decideAndCharge(d.Tuple, uint64(d.Size), model)
-
-	if verdict == VerdictAllow {
-		key := d.Tuple.Key()
-		f.outLog.Add(key[:], 1)
-		f.encl.ChargeSketchUpdate(sketch.DefaultRows)
-		f.stats.Allowed++
-	} else {
-		f.stats.Dropped++
-	}
-	return verdict
-}
-
-func (f *Filter) decideAndCharge(t packet.FiveTuple, size uint64, model enclave.CostModel) Verdict {
-	if v, ok := f.exact[t]; ok {
-		f.encl.ChargeExactMatch()
-		f.stats.ExactHits++
-		return v
-	}
-	f.encl.ChargeExactMatch() // the miss probe still costs
-
-	r, _, visited, ok := f.table.LookupTrace(t)
-	f.chargeTableAccesses(visited, model)
-	if ok {
-		f.ruleBytes[r.ID] += size
-	}
-	if !ok {
-		f.stats.DefaultHits++
-		f.checkMisroute(t)
-		if f.set.DefaultAllow {
-			return VerdictAllow
+	sc := &f.scratch
+	sc.reset(n)
+	for i := range ds {
+		d := &ds[i]
+		ei, fresh := sc.lookupOrAdd(d.Tuple, d.Tuple.Hash64())
+		ent := &sc.ents[ei]
+		if fresh {
+			f.classify(ent, view, model, &cv)
 		}
-		return VerdictDrop
-	}
-	f.stats.RuleHits++
-	if r.Deterministic() {
-		return f.ruleVerdict(t, r)
+		ent.count++
+		ent.bytes += uint64(d.Size)
+		verdicts[i] = ent.verdict
 	}
 
-	// Probabilistic rule: hash-based connection-preserving decision.
-	f.stats.Hashed++
-	f.encl.ChargeSHA256(packet.KeySize + 32)
-	v := f.ruleVerdict(t, r)
-	if !f.cfg.DisablePromotion {
-		f.enqueuePending(t)
-	}
-	return v
+	f.applyBatch(&cv)
+	f.encl.ChargeBatch(cv)
+	return verdicts
 }
 
-// chargeTableAccesses charges trie node visits. The first HotVisits
-// accesses (the upper trie levels every packet touches) are priced as
-// cache hits regardless of table size; the rest pay the footprint-
-// dependent miss cost — at enclave (MEE/EPC) or native rates.
-func (f *Filter) chargeTableAccesses(visited int, model enclave.CostModel) {
+// classify decides one distinct flow: exact table, then the trie snapshot,
+// then the default action, accumulating the lookup costs into cv.
+func (f *Filter) classify(ent *batchEntry, view *ruleView, model enclave.CostModel, cv *enclave.CostVector) {
+	cv.ExactProbes++ // the miss probe still costs
+	if v, ok := f.exact.get(ent.tuple, ent.hash); ok {
+		ent.verdict, ent.class = v, classExact
+		return
+	}
+
+	r, prio, visited, ok := view.snap.LookupTrace(ent.tuple)
+	// The first HotVisits accesses (the upper trie levels every packet
+	// touches) are priced as cache hits regardless of table size; the rest
+	// pay the footprint-dependent miss cost — at enclave (MEE/EPC) or
+	// native rates.
 	hot := visited
 	if hot > model.HotVisits {
 		hot = model.HotVisits
 	}
-	cold := visited - hot
+	cv.HotRefs += hot
 	if f.cfg.Mode == CopyModeNative {
-		f.encl.ChargeNative(float64(hot)*model.MemRefNs +
-			float64(cold)*model.NativeAccessCost(f.encl.MemoryUsed()))
+		cv.NativeColdRefs += visited - hot
+	} else {
+		cv.ColdRefs += visited - hot
+	}
+
+	if !ok {
+		ent.class = classDefault
+		if view.foreign != nil {
+			// A flow matching no local rule but matching a peer enclave's
+			// rule: the untrusted load balancer steered traffic wrongly.
+			if _, m := view.foreign.Match(ent.tuple); m {
+				ent.misroute = true
+			}
+		}
+		if view.set.DefaultAllow {
+			ent.verdict = VerdictAllow
+		} else {
+			ent.verdict = VerdictDrop
+		}
 		return
 	}
-	f.encl.ChargeNative(float64(hot) * model.MemRefNs)
-	f.encl.ChargeAccesses(cold)
+
+	ent.class, ent.prio = classRule, int32(prio)
+	switch {
+	case r.PAllow >= 1:
+		ent.verdict = VerdictAllow
+	case r.PAllow <= 0:
+		ent.verdict = VerdictDrop
+	default:
+		// Probabilistic rule: hash-based connection-preserving decision.
+		ent.hashed = true
+		cv.SHA256Hashes++
+		cv.SHA256Bytes += packet.KeySize + 32
+		if allowBits(f.hashBits(ent.tuple), r.PAllow) {
+			ent.verdict = VerdictAllow
+		} else {
+			ent.verdict = VerdictDrop
+		}
+	}
 }
 
-// checkMisroute flags packets matching no local rule but matching a peer
-// enclave's rule: the untrusted load balancer steered traffic wrongly.
-func (f *Filter) checkMisroute(t packet.FiveTuple) {
-	if f.foreign == nil {
-		return
+// applyBatch folds the burst's per-flow entries into the logs, the per-rule
+// byte counters, the promotion queue, and the stats block — each touched
+// once per burst.
+func (f *Filter) applyBatch(cv *enclave.CostVector) {
+	sc := &f.scratch
+	need := len(sc.ents) * (4 + packet.KeySize)
+	if cap(sc.keyMem) < need {
+		sc.keyMem = make([]byte, 0, need)
 	}
-	if _, ok := f.foreign.Match(t); ok {
-		f.stats.Misrouted++
+	mem := sc.keyMem[:0]
+	sc.inKeys = sc.inKeys[:0]
+	sc.inWeights = sc.inWeights[:0]
+	sc.outKeys = sc.outKeys[:0]
+	sc.outWeights = sc.outWeights[:0]
+
+	var processed, allowed, dropped, exactHits, ruleHits, defaultHits, hashed, misrouted uint64
+	for i := range sc.ents {
+		ent := &sc.ents[i]
+		c := uint64(ent.count)
+		processed += c
+
+		// Incoming log: per-source-IP counters (drop-before-filter
+		// evidence for neighbors).
+		start := len(mem)
+		mem = binary.BigEndian.AppendUint32(mem, ent.tuple.SrcIP)
+		sc.inKeys = append(sc.inKeys, mem[start:])
+		sc.inWeights = append(sc.inWeights, c)
+		cv.SketchRows += sketch.DefaultRows
+
+		if ent.verdict == VerdictAllow {
+			key := ent.tuple.Key()
+			start = len(mem)
+			mem = append(mem, key[:]...)
+			sc.outKeys = append(sc.outKeys, mem[start:])
+			sc.outWeights = append(sc.outWeights, c)
+			cv.SketchRows += sketch.DefaultRows
+			allowed += c
+		} else {
+			dropped += c
+		}
+
+		switch ent.class {
+		case classExact:
+			exactHits += c
+		case classRule:
+			ruleHits += c
+			f.ruleBytes[ent.prio] += ent.bytes
+			if ent.hashed {
+				hashed++
+				if !f.cfg.DisablePromotion {
+					f.enqueuePending(ent.tuple)
+				}
+			}
+		default:
+			defaultHits += c
+			if ent.misroute {
+				misrouted += c
+			}
+		}
+	}
+	sc.keyMem = mem
+
+	f.inLog.AddMany(sc.inKeys, sc.inWeights)
+	if len(sc.outKeys) > 0 {
+		f.outLog.AddMany(sc.outKeys, sc.outWeights)
+	}
+
+	f.stats.processed.Add(processed)
+	if allowed > 0 {
+		f.stats.allowed.Add(allowed)
+	}
+	if dropped > 0 {
+		f.stats.dropped.Add(dropped)
+	}
+	if exactHits > 0 {
+		f.stats.exactHits.Add(exactHits)
+	}
+	if ruleHits > 0 {
+		f.stats.ruleHits.Add(ruleHits)
+	}
+	if defaultHits > 0 {
+		f.stats.defaultHits.Add(defaultHits)
+	}
+	if hashed > 0 {
+		f.stats.hashed.Add(hashed)
+	}
+	if misrouted > 0 {
+		f.stats.misrouted.Add(misrouted)
 	}
 }
 
@@ -413,10 +692,12 @@ func (f *Filter) enqueuePending(t packet.FiveTuple) {
 	}
 	f.pendingSet[t] = true
 	f.pendingQ = append(f.pendingQ, t)
+	f.pendingLen.Store(int64(len(f.pendingQ)))
 }
 
-// PendingFlows reports how many flows await promotion.
-func (f *Filter) PendingFlows() int { return len(f.pendingQ) }
+// PendingFlows reports how many flows await promotion. Safe to read while
+// the data plane runs.
+func (f *Filter) PendingFlows() int { return int(f.pendingLen.Load()) }
 
 // Promote converts all pending flows to exact-match entries (Appendix F's
 // batch insertion at every rule update period) and returns how many were
@@ -424,48 +705,60 @@ func (f *Filter) PendingFlows() int { return len(f.pendingQ) }
 // a pure performance optimization and cannot change any decision, which
 // TestPromotionPreservesDecisions asserts.
 func (f *Filter) Promote() int {
+	view := f.view.Load()
 	n := 0
 	for _, t := range f.pendingQ {
 		// Recompute via the rule, not the hash cache, so the entry is the
 		// deterministic function of (rules, secret).
-		if r, _, ok := f.table.Lookup(t); ok && !r.Deterministic() {
-			f.exact[t] = f.ruleVerdict(t, r)
+		if r, _, ok := view.snap.Lookup(t); ok && !r.Deterministic() {
+			f.exact.put(t, t.Hash64(), f.ruleVerdict(t, r))
 			n++
 		}
 		delete(f.pendingSet, t)
 	}
 	f.pendingQ = f.pendingQ[:0]
-	f.stats.Promoted += uint64(n)
+	f.pendingLen.Store(0)
+	f.exactCount.Store(int64(f.exact.len()))
+	f.stats.promoted.Add(uint64(n))
 	f.syncMemory()
 	return n
 }
 
-// RuleBytes returns a copy of the per-rule byte counters (the B_i vector
-// of the redistribution protocol) and optionally resets them for the next
-// measurement window.
+// RuleBytes returns the per-rule byte counters (the B_i vector of the
+// redistribution protocol) keyed by rule ID, and optionally resets them
+// for the next measurement window.
 func (f *Filter) RuleBytes(reset bool) map[uint32]uint64 {
-	out := make(map[uint32]uint64, len(f.ruleBytes))
-	for id, b := range f.ruleBytes {
-		out[id] = b
-	}
-	if reset {
-		clear(f.ruleBytes)
+	view := f.view.Load()
+	out := make(map[uint32]uint64)
+	for i, r := range view.set.Rules {
+		if b := f.ruleBytes[i]; b > 0 {
+			out[r.ID] += b
+			if reset {
+				f.ruleBytes[i] = 0
+			}
+		}
 	}
 	return out
 }
 
-// HashRatio returns the fraction of processed packets that required a
-// SHA-256 evaluation — the x-axis of Figure 14.
+// HashRatio returns SHA-256 evaluations per processed packet — the
+// x-axis of Figure 14 on the scalar path, where every hash-needing packet
+// evaluates. On the batch path intra-burst dedup evaluates once per
+// distinct flow per burst, so under packet trains this reports actual
+// hash work, which sits below the fraction of hash-needing packets. Safe
+// to read while the data plane runs.
 func (f *Filter) HashRatio() float64 {
-	if f.stats.Processed == 0 {
+	p := f.stats.processed.Load()
+	if p == 0 {
 		return 0
 	}
-	return float64(f.stats.Hashed) / float64(f.stats.Processed)
+	return float64(f.stats.hashed.Load()) / float64(p)
 }
 
 // RuleCount returns the number of installed rules (excluding learned
 // exact-match entries).
-func (f *Filter) RuleCount() int { return f.set.Len() }
+func (f *Filter) RuleCount() int { return f.view.Load().set.Len() }
 
-// ExactEntries returns the number of learned exact-match entries.
-func (f *Filter) ExactEntries() int { return len(f.exact) }
+// ExactEntries returns the number of learned exact-match entries. Safe to
+// read while the data plane runs.
+func (f *Filter) ExactEntries() int { return int(f.exactCount.Load()) }

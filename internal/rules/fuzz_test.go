@@ -1,0 +1,66 @@
+package rules
+
+import (
+	"testing"
+)
+
+// FuzzParse feeds arbitrary strings to the rule parser. Rule text arrives
+// at the control plane from victims over the network, so Parse must never
+// panic — it either returns a structurally valid rule or an error. The
+// seed corpus mirrors rules_test.go: every accepted form, plus the
+// malformed inputs the unit tests pin down.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		// Valid forms.
+		"allow any from any to 192.0.2.0/24",
+		"allow tcp from any to 192.0.2.10/32 dport 80",
+		"allow udp from 10.1.0.0/16 to 192.0.2.0/24 dport 53",
+		"allow udp from any to 192.0.2.0/24 sport 53 dport 1024-65535",
+		"allow 30% tcp from any to any",
+		"drop udp from 10.0.0.0/8 to 192.0.2.0/24 dport 53",
+		"drop 50% tcp from any to 192.0.2.0/24 dport 80",
+		"drop 80% udp from 172.16.0.0/12 to 192.0.2.0/24",
+		"drop tcp from 203.0.113.5/32 to 192.0.2.9/32 sport 4444 dport 80",
+		"drop any from any to any",
+		"drop 100% icmp from any to any",
+		// Malformed forms the unit tests reject.
+		"drop",
+		"drop tcp from",
+		"drop tcp badkw any",
+		"drop xtp from any to any",
+		"drop tcp from 10.0.0.0/99 to any",
+		"drop tcp from any to any dport 100-10",
+		"drop tcp from any to any dport 99999",
+		"drop -1% tcp from any to any",
+		"drop 200% tcp from any to any",
+		"forward tcp from any to any",
+		"",
+		"   ",
+		"allow % from to",
+		"drop 1e309% tcp from any to any",
+		"allow tcp from 999.0.0.1 to any",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		r, err := Parse(s) // must not panic
+		if err != nil {
+			return
+		}
+		// Accepted: the rule must satisfy its own invariants, render, and
+		// re-parse to an equally valid rule (the control plane round-trips
+		// rule text through logs and redistribution messages).
+		if verr := r.Validate(); verr != nil {
+			t.Fatalf("Parse(%q) accepted invalid rule %+v: %v", s, r, verr)
+		}
+		rendered := r.String()
+		r2, err := Parse(rendered)
+		if err != nil {
+			t.Fatalf("Parse(%q) → %q does not re-parse: %v", s, rendered, err)
+		}
+		if verr := r2.Validate(); verr != nil {
+			t.Fatalf("re-parsed %q invalid: %v", rendered, verr)
+		}
+	})
+}

@@ -112,6 +112,24 @@ func (s *Sketch) Add(key []byte, weight uint64) {
 	s.total += weight
 }
 
+// AddMany increments each keys[i]'s counters by weights[i] — the batch
+// data path's amortized equivalent of per-packet Add, letting a burst's
+// deduplicated flow keys land in one call with the row loop hoisted.
+// keys and weights must have equal length.
+func (s *Sketch) AddMany(keys [][]byte, weights []uint64) {
+	mask := uint64(s.bins - 1)
+	for r := 0; r < s.rows; r++ {
+		seed := s.seeds[r]
+		row := s.cnt[r]
+		for i, k := range keys {
+			row[hash(seed, k)&mask] += weights[i]
+		}
+	}
+	for _, w := range weights {
+		s.total += w
+	}
+}
+
 // Estimate returns the count-min estimate for key: the minimum of the key's
 // row counters. It never under-counts.
 func (s *Sketch) Estimate(key []byte) uint64 {

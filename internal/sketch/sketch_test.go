@@ -372,3 +372,25 @@ func BenchmarkDiff(b *testing.B) {
 		}
 	}
 }
+
+func TestAddManyMatchesAdd(t *testing.T) {
+	a, b := NewDefault(), NewDefault()
+	keys := make([][]byte, 200)
+	weights := make([]uint64, len(keys))
+	for i := range keys {
+		keys[i] = []byte{byte(i), byte(i >> 3), byte(i * 7), 0xab}
+		weights[i] = uint64(i%9) + 1
+		a.Add(keys[i], weights[i])
+	}
+	b.AddMany(keys, weights)
+	if a.Total() != b.Total() {
+		t.Fatalf("totals differ: %d vs %d", a.Total(), b.Total())
+	}
+	d, err := a.Diff(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.Empty() {
+		t.Fatalf("AddMany diverged from Add: %+v", d)
+	}
+}

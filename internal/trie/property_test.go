@@ -1,0 +1,228 @@
+package trie
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/innetworkfiltering/vif/internal/packet"
+	"github.com/innetworkfiltering/vif/internal/rules"
+)
+
+// oracle is the naive reference: a flat list of (rule, priority) entries,
+// looked up by linear scan with lowest-priority-wins — exactly the
+// semantics the trie must preserve under any mutation sequence.
+type oracle struct {
+	ents []entry
+}
+
+func (o *oracle) insert(r rules.Rule, prio int) {
+	o.ents = append(o.ents, entry{rule: r, prio: int32(prio)})
+}
+
+func (o *oracle) remove(r rules.Rule) {
+	kept := o.ents[:0]
+	for _, e := range o.ents {
+		if e.rule.ID != r.ID {
+			kept = append(kept, e)
+		}
+	}
+	o.ents = kept
+}
+
+func (o *oracle) lookup(t packet.FiveTuple) (rules.Rule, int, bool) {
+	var (
+		best     rules.Rule
+		bestPrio int32 = math.MaxInt32
+		found    bool
+	)
+	for _, e := range o.ents {
+		if e.prio < bestPrio && e.rule.Matches(t) {
+			best, bestPrio, found = e.rule, e.prio, true
+		}
+	}
+	return best, int(bestPrio), found
+}
+
+func propRule(rng *rand.Rand, id uint32) rules.Rule {
+	plens := []uint8{0, 4, 8, 12, 16, 20, 24, 28, 32}
+	protos := []packet.Protocol{0, packet.ProtoTCP, packet.ProtoUDP}
+	r := rules.Rule{
+		ID:    id,
+		Src:   rules.Prefix{Addr: rng.Uint32(), Len: plens[rng.Intn(len(plens))]}.Canonical(),
+		Dst:   rules.Prefix{Addr: rng.Uint32(), Len: plens[rng.Intn(len(plens))]}.Canonical(),
+		Proto: protos[rng.Intn(len(protos))],
+	}
+	if rng.Intn(2) == 0 {
+		r.DstPort = rules.Port(uint16(rng.Intn(1024)))
+	}
+	return r
+}
+
+func propProbe(rng *rand.Rand, live []rules.Rule) packet.FiveTuple {
+	t := packet.FiveTuple{
+		SrcIP:   rng.Uint32(),
+		DstIP:   rng.Uint32(),
+		SrcPort: uint16(rng.Intn(2048)),
+		DstPort: uint16(rng.Intn(2048)),
+		Proto:   packet.ProtoUDP,
+	}
+	// Bias half the probes toward live rule space so matches happen.
+	if len(live) > 0 && rng.Intn(2) == 0 {
+		r := live[rng.Intn(len(live))]
+		t.SrcIP = r.Src.Addr | (rng.Uint32() &^ r.Src.Mask())
+		t.DstIP = r.Dst.Addr | (rng.Uint32() &^ r.Dst.Mask())
+		if r.Proto != 0 {
+			t.Proto = r.Proto
+		}
+	}
+	return t
+}
+
+// TestMutationSequenceMatchesOracle drives random Insert/Remove/rebuild
+// (Reset + reinsert, the Reconfigure pattern) sequences against the naive
+// linear-scan oracle: after every operation, both the mutable Table and a
+// freshly published Snapshot must agree with the oracle on every probe.
+func TestMutationSequenceMatchesOracle(t *testing.T) {
+	for _, stride := range []int{4, 8} {
+		rng := rand.New(rand.NewSource(int64(stride) * 77))
+		tbl, err := New(stride)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref := &oracle{}
+		var live []rules.Rule
+		nextID := uint32(1)
+		nextPrio := 0
+
+		for op := 0; op < 400; op++ {
+			switch k := rng.Intn(10); {
+			case k < 5 || len(live) == 0: // insert
+				r := propRule(rng, nextID)
+				nextID++
+				tbl.Insert(r, nextPrio)
+				ref.insert(r, nextPrio)
+				nextPrio++
+				live = append(live, r)
+			case k < 8: // remove a random live rule
+				i := rng.Intn(len(live))
+				r := live[i]
+				removed := tbl.Remove(r)
+				if removed != 1 {
+					t.Fatalf("stride %d op %d: Remove(%v) = %d, want 1", stride, op, r, removed)
+				}
+				ref.remove(r)
+				live = append(live[:i], live[i+1:]...)
+			default: // rebuild from scratch (the Reconfigure pattern)
+				tbl.Reset()
+				ref.ents = ref.ents[:0]
+				keep := live[:0]
+				for _, r := range live {
+					if rng.Intn(4) != 0 { // drop ~¼ of the rules in the "new shard"
+						keep = append(keep, r)
+					}
+				}
+				live = keep
+				nextPrio = 0
+				for _, r := range live {
+					tbl.Insert(r, nextPrio)
+					ref.insert(r, nextPrio)
+					nextPrio++
+				}
+			}
+
+			snap := tbl.Snapshot()
+			if snap.Len() != tbl.Len() || snap.Len() != len(ref.ents) {
+				t.Fatalf("stride %d op %d: len table=%d snap=%d oracle=%d",
+					stride, op, tbl.Len(), snap.Len(), len(ref.ents))
+			}
+			for probe := 0; probe < 40; probe++ {
+				tup := propProbe(rng, live)
+				wantR, wantPrio, wantOK := ref.lookup(tup)
+				gotR, gotPrio, gotOK := tbl.Lookup(tup)
+				if wantOK != gotOK || (wantOK && (wantR.ID != gotR.ID || wantPrio != gotPrio)) {
+					t.Fatalf("stride %d op %d: table disagrees with oracle on %v:\n table: %+v %d %v\n oracle: %+v %d %v",
+						stride, op, tup, gotR, gotPrio, gotOK, wantR, wantPrio, wantOK)
+				}
+				sR, sPrio, sOK := snap.Lookup(tup)
+				if wantOK != sOK || (wantOK && (wantR.ID != sR.ID || wantPrio != sPrio)) {
+					t.Fatalf("stride %d op %d: snapshot disagrees with oracle on %v",
+						stride, op, tup)
+				}
+			}
+		}
+	}
+}
+
+// TestSnapshotImmutableUnderMutation pins the copy-on-write contract: a
+// snapshot taken before further Insert/Remove/Reset keeps answering
+// exactly as at capture time — the property that lets the data plane keep
+// looking up lock-free while Reconfigure builds its replacement.
+func TestSnapshotImmutableUnderMutation(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	tbl := NewDefault()
+	var live []rules.Rule
+	for i := 0; i < 120; i++ {
+		r := propRule(rng, uint32(i+1))
+		tbl.Insert(r, i)
+		live = append(live, r)
+	}
+	old := tbl.Snapshot()
+
+	// Record the old snapshot's answers on a probe set.
+	probes := make([]packet.FiveTuple, 500)
+	type ans struct {
+		id   uint32
+		prio int
+		ok   bool
+	}
+	want := make([]ans, len(probes))
+	for i := range probes {
+		probes[i] = propProbe(rng, live)
+		r, prio, ok := old.Lookup(probes[i])
+		want[i] = ans{id: r.ID, prio: prio, ok: ok}
+	}
+
+	// Mutate heavily: remove half, insert a fresh population, then reset
+	// and rebuild with entirely different rules.
+	for i := 0; i < len(live); i += 2 {
+		tbl.Remove(live[i])
+	}
+	for i := 0; i < 200; i++ {
+		tbl.Insert(propRule(rng, uint32(1000+i)), i)
+	}
+	if tbl.Snapshot() == old {
+		t.Fatal("Snapshot returned the same object after mutation")
+	}
+	tbl.Reset()
+	for i := 0; i < 50; i++ {
+		tbl.Insert(propRule(rng, uint32(5000+i)), i)
+	}
+	tbl.Snapshot()
+
+	for i, p := range probes {
+		r, prio, ok := old.Lookup(p)
+		if ok != want[i].ok || r.ID != want[i].id || prio != want[i].prio {
+			t.Fatalf("old snapshot changed its answer for %v: (%d,%d,%v) want (%d,%d,%v)",
+				p, r.ID, prio, ok, want[i].id, want[i].prio, want[i].ok)
+		}
+	}
+}
+
+// TestSnapshotReusedWhenClean asserts Snapshot() is cheap when nothing
+// changed: the same published object comes back until the next mutation.
+func TestSnapshotReusedWhenClean(t *testing.T) {
+	tbl := NewDefault()
+	tbl.Insert(propRule(rand.New(rand.NewSource(1)), 1), 0)
+	a := tbl.Snapshot()
+	if b := tbl.Snapshot(); a != b {
+		t.Fatal("clean Snapshot() rebuilt")
+	}
+	if got := tbl.Loaded(); got != a {
+		t.Fatal("Loaded() is not the published snapshot")
+	}
+	tbl.Insert(propRule(rand.New(rand.NewSource(2)), 2), 1)
+	if b := tbl.Snapshot(); a == b {
+		t.Fatal("dirty Snapshot() not rebuilt")
+	}
+}

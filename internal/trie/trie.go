@@ -11,14 +11,26 @@
 // first-match-wins semantics as the reference linear matcher in
 // package rules, against which this implementation is property-tested.
 //
-// The table tracks its own memory footprint; the enclave package charges
-// that footprint against the EPC budget, which is what produces the
-// paper's Figure 3b (linear growth toward the EPC limit).
+// Layout: instead of one heap object per node, all nodes live in flat
+// arrays. A node is an index; node i's child table is the slice
+// children[i<<stride : (i+1)<<stride] of node indices (0 = no child — the
+// root is node 0 and is never anyone's child, so 0 doubles as the nil
+// sentinel). This removes per-node pointer chasing from the hot lookup
+// path and makes the memory footprint exact arena arithmetic, which is
+// what the enclave package charges against the EPC budget (the paper's
+// Figure 3b: linear growth toward the EPC limit).
+//
+// Table is the single-writer builder. Snapshot() compacts the current
+// contents into an immutable Snapshot and publishes it with one atomic
+// pointer store, so a data plane doing lock-free lookups against the last
+// published Snapshot never observes a partially applied reconfiguration
+// and never stops the world for a rebuild.
 package trie
 
 import (
 	"fmt"
 	"math"
+	"sync/atomic"
 
 	"github.com/innetworkfiltering/vif/internal/packet"
 	"github.com/innetworkfiltering/vif/internal/rules"
@@ -33,30 +45,37 @@ type entry struct {
 	prio int32
 }
 
-type node struct {
-	children []*node
-	entries  []entry
-}
-
-// Table is a multi-bit trie over rule source prefixes. It is not safe for
-// concurrent mutation; the enclave filter thread owns it, matching the
-// paper's single-writer data-plane design.
-type Table struct {
-	stride  int
-	levels  int
-	root    *node
-	nodes   int
-	entries int
-}
-
-// Memory accounting constants (bytes). These approximate the Go object
-// sizes so MemoryBytes tracks real heap usage of the table.
+// Memory accounting constants (bytes). The arena layout makes these exact:
+// a child slot is one uint32 index, an entry slot is one entry struct
+// (rules.Rule ≈ 40 bytes plus the int32 priority, padded to 48).
 const (
-	nodeOverheadBytes  = 48 // node struct + slice headers
-	entryBytes         = 56 // rules.Rule (≈48) + priority + padding
-	childPointerBytes  = 8
+	childSlotBytes     = 4
+	entrySlotBytes     = 48
+	entrySpanBytes     = 4 // one uint32 span boundary per node (Snapshot)
+	entrySliceBytes    = 24 // one slice header per node (Table builder)
 	tableOverheadBytes = 64
 )
+
+// Table is a flat-arena multi-bit trie over rule source prefixes. It is the
+// mutable builder half of the pair: one goroutine owns it (the control
+// plane, matching the paper's single-writer design) — even Lookup may
+// publish a fresh snapshot and so requires the owner's discipline.
+// Concurrent readers use the immutable views Snapshot publishes.
+type Table struct {
+	stride int
+	levels int
+
+	// children is the node arena: node i's child table occupies
+	// children[i<<stride:(i+1)<<stride]; 0 means no child.
+	children []uint32
+	// entries[i] holds node i's anchored rules.
+	entries    [][]entry
+	numEntries int
+
+	// snap is the last published immutable view; nil until Snapshot() runs.
+	snap  atomic.Pointer[Snapshot]
+	dirty bool
+}
 
 // New creates a table with the given stride. Stride must divide 32 evenly
 // and be between 1 and 16 (a 2^16-wide root is the widest sane fan-out).
@@ -65,7 +84,7 @@ func New(stride int) (*Table, error) {
 		return nil, fmt.Errorf("trie: invalid stride %d (must divide 32, 1..16)", stride)
 	}
 	t := &Table{stride: stride, levels: 32 / stride}
-	t.root = t.newNode()
+	t.newNode()
 	return t, nil
 }
 
@@ -78,9 +97,12 @@ func NewDefault() *Table {
 	return t
 }
 
-func (t *Table) newNode() *node {
-	t.nodes++
-	return &node{children: make([]*node, 1<<t.stride)}
+// newNode appends a fresh all-empty node to the arena and returns its index.
+func (t *Table) newNode() uint32 {
+	idx := uint32(len(t.entries))
+	t.children = append(t.children, make([]uint32, 1<<t.stride)...)
+	t.entries = append(t.entries, nil)
+	return idx
 }
 
 // anchorDepth is the deepest level whose full path bits are determined by
@@ -94,27 +116,30 @@ func (t *Table) anchorDepth(prefixLen uint8) int {
 }
 
 // chunk extracts the level-th stride of addr (level 0 = most significant).
-func (t *Table) chunk(addr uint32, level int) uint32 {
-	shift := 32 - (level+1)*t.stride
-	return (addr >> shift) & (1<<t.stride - 1)
+func chunk(addr uint32, level, stride int) uint32 {
+	shift := 32 - (level+1)*stride
+	return (addr >> shift) & (1<<stride - 1)
 }
 
 // Insert adds a rule with the given priority (lower wins, mirroring rule
 // order in a Set). Inserting two rules with the same ID is allowed only via
 // Replace semantics in the caller; the table itself does not deduplicate.
 func (t *Table) Insert(r rules.Rule, prio int) {
-	n := t.root
+	var n uint32
 	depth := t.anchorDepth(r.Src.Len)
 	addr := r.Src.Addr & r.Src.Mask()
 	for level := 0; level < depth; level++ {
-		c := t.chunk(addr, level)
-		if n.children[c] == nil {
-			n.children[c] = t.newNode()
+		slot := (uint64(n) << t.stride) + uint64(chunk(addr, level, t.stride))
+		c := t.children[slot]
+		if c == 0 {
+			c = t.newNode()
+			t.children[slot] = c
 		}
-		n = n.children[c]
+		n = c
 	}
-	n.entries = append(n.entries, entry{rule: r, prio: int32(prio)})
-	t.entries++
+	t.entries[n] = append(t.entries[n], entry{rule: r, prio: int32(prio)})
+	t.numEntries++
+	t.dirty = true
 }
 
 // InsertBatch inserts rules with consecutive priorities starting at
@@ -137,68 +162,161 @@ func (t *Table) InsertSet(s *rules.Set) {
 // Remove deletes all entries whose rule ID matches id under the given
 // source prefix (the anchor must be recomputable, so the caller passes the
 // rule it originally inserted). It reports how many entries were removed.
+// Emptied nodes stay in the arena (they are reclaimed by the next full
+// rebuild, i.e. Reset+reinsert, which is how Reconfigure works).
 func (t *Table) Remove(r rules.Rule) int {
-	n := t.root
+	var n uint32
 	depth := t.anchorDepth(r.Src.Len)
 	addr := r.Src.Addr & r.Src.Mask()
 	for level := 0; level < depth; level++ {
-		c := t.chunk(addr, level)
-		if n.children[c] == nil {
+		c := t.children[(uint64(n)<<t.stride)+uint64(chunk(addr, level, t.stride))]
+		if c == 0 {
 			return 0
 		}
-		n = n.children[c]
+		n = c
 	}
-	kept := n.entries[:0]
+	kept := t.entries[n][:0]
 	removed := 0
-	for _, e := range n.entries {
+	for _, e := range t.entries[n] {
 		if e.rule.ID == r.ID {
 			removed++
 			continue
 		}
 		kept = append(kept, e)
 	}
-	n.entries = kept
-	t.entries -= removed
+	t.entries[n] = kept
+	t.numEntries -= removed
+	if removed > 0 {
+		t.dirty = true
+	}
 	return removed
 }
 
 // Lookup returns the highest-priority rule matching the tuple, its
 // priority, and whether any rule matched. NodesVisited-style stats are
-// available via LookupTrace for the performance model.
+// available via LookupTrace for the performance model. Both delegate to
+// the compacted snapshot (rebuilt only when the table changed since the
+// last publish), so there is exactly one matcher implementation.
 func (t *Table) Lookup(tuple packet.FiveTuple) (rules.Rule, int, bool) {
-	r, prio, _, ok := t.lookup(tuple)
-	return r, prio, ok
+	return t.Snapshot().Lookup(tuple)
 }
 
 // LookupTrace is Lookup plus the number of trie nodes visited, which the
 // enclave cost model charges per-access (EPC/LLC behaviour).
 func (t *Table) LookupTrace(tuple packet.FiveTuple) (rules.Rule, int, int, bool) {
-	return t.lookup(tuple)
+	return t.Snapshot().LookupTrace(tuple)
 }
 
-func (t *Table) lookup(tuple packet.FiveTuple) (rules.Rule, int, int, bool) {
+// Len returns the number of entries (rules) stored.
+func (t *Table) Len() int { return t.numEntries }
+
+// NodeCount returns the number of trie nodes allocated.
+func (t *Table) NodeCount() int { return len(t.entries) }
+
+// MemoryBytes is the table's resident size: exact arena arithmetic (child
+// index arena + per-node entry storage), which is what the enclave's EPC
+// accounting charges. It is linear in rules with a node component that
+// depends on prefix sharing, reproducing Figure 3b's linear growth.
+func (t *Table) MemoryBytes() int {
+	return tableOverheadBytes +
+		len(t.children)*childSlotBytes +
+		len(t.entries)*entrySliceBytes +
+		t.numEntries*entrySlotBytes
+}
+
+// Reset discards all entries and nodes.
+func (t *Table) Reset() {
+	t.children = t.children[:0]
+	t.entries = t.entries[:0]
+	t.numEntries = 0
+	t.newNode()
+	t.dirty = true
+}
+
+// Stride returns the configured stride.
+func (t *Table) Stride() int { return t.stride }
+
+// Snapshot compacts the table's current contents into an immutable
+// Snapshot and publishes it with a single atomic pointer store. Readers
+// holding older snapshots are unaffected (copy-on-write: the new snapshot
+// shares no memory with the builder or with prior snapshots), so a
+// reconfiguration never blocks or tears a concurrent lookup.
+func (t *Table) Snapshot() *Snapshot {
+	if !t.dirty {
+		if s := t.snap.Load(); s != nil {
+			return s
+		}
+	}
+	nodes := len(t.entries)
+	s := &Snapshot{
+		stride:     t.stride,
+		levels:     t.levels,
+		children:   append([]uint32(nil), t.children...),
+		entryStart: make([]uint32, nodes+1),
+		entries:    make([]entry, 0, t.numEntries),
+	}
+	for i, es := range t.entries {
+		s.entryStart[i] = uint32(len(s.entries))
+		s.entries = append(s.entries, es...)
+	}
+	s.entryStart[nodes] = uint32(len(s.entries))
+	t.snap.Store(s)
+	t.dirty = false
+	return s
+}
+
+// Loaded returns the last published snapshot (nil before the first
+// Snapshot call). Concurrent readers may call it at any time.
+func (t *Table) Loaded() *Snapshot { return t.snap.Load() }
+
+// Snapshot is an immutable compacted trie: the flat child-index arena plus
+// all entries in node order, addressed by per-node spans. Safe for any
+// number of concurrent readers; never mutated after construction.
+type Snapshot struct {
+	stride     int
+	levels     int
+	children   []uint32
+	entryStart []uint32 // node i's entries: entries[entryStart[i]:entryStart[i+1]]
+	entries    []entry
+}
+
+// Lookup returns the highest-priority rule matching the tuple, its
+// priority, and whether any rule matched.
+func (s *Snapshot) Lookup(tuple packet.FiveTuple) (rules.Rule, int, bool) {
+	r, prio, _, ok := s.lookup(tuple)
+	return r, prio, ok
+}
+
+// LookupTrace is Lookup plus the number of trie nodes visited, for the
+// enclave cost model.
+func (s *Snapshot) LookupTrace(tuple packet.FiveTuple) (rules.Rule, int, int, bool) {
+	return s.lookup(tuple)
+}
+
+func (s *Snapshot) lookup(tuple packet.FiveTuple) (rules.Rule, int, int, bool) {
 	var (
 		best     rules.Rule
 		bestPrio int32 = math.MaxInt32
 		found    bool
 	)
-	n := t.root
+	var n uint32
 	visited := 0
 	for level := 0; ; level++ {
 		visited++
-		for _, e := range n.entries {
+		for i := s.entryStart[n]; i < s.entryStart[n+1]; i++ {
+			e := &s.entries[i]
 			if e.prio < bestPrio && e.rule.Matches(tuple) {
 				best, bestPrio, found = e.rule, e.prio, true
 			}
 		}
-		if level == t.levels {
+		if level == s.levels {
 			break
 		}
-		c := t.chunk(tuple.SrcIP, level)
-		if n.children[c] == nil {
+		c := s.children[(uint64(n)<<s.stride)+uint64(chunk(tuple.SrcIP, level, s.stride))]
+		if c == 0 {
 			break
 		}
-		n = n.children[c]
+		n = c
 	}
 	if !found {
 		return rules.Rule{}, 0, visited, false
@@ -207,26 +325,18 @@ func (t *Table) lookup(tuple packet.FiveTuple) (rules.Rule, int, int, bool) {
 }
 
 // Len returns the number of entries (rules) stored.
-func (t *Table) Len() int { return t.entries }
+func (s *Snapshot) Len() int { return len(s.entries) }
 
-// NodeCount returns the number of trie nodes allocated.
-func (t *Table) NodeCount() int { return t.nodes }
+// NodeCount returns the number of trie nodes in the snapshot.
+func (s *Snapshot) NodeCount() int { return len(s.entryStart) - 1 }
 
-// MemoryBytes estimates the table's resident size: what the enclave's EPC
-// accounting charges. It is linear in rules (entries) with a node component
-// that depends on prefix sharing, reproducing Figure 3b's linear growth.
-func (t *Table) MemoryBytes() int {
+// MemoryBytes is the snapshot's resident size: exact arena arithmetic.
+func (s *Snapshot) MemoryBytes() int {
 	return tableOverheadBytes +
-		t.nodes*(nodeOverheadBytes+childPointerBytes<<t.stride) +
-		t.entries*entryBytes
-}
-
-// Reset discards all entries and nodes.
-func (t *Table) Reset() {
-	t.nodes = 0
-	t.entries = 0
-	t.root = t.newNode()
+		len(s.children)*childSlotBytes +
+		len(s.entryStart)*entrySpanBytes +
+		len(s.entries)*entrySlotBytes
 }
 
 // Stride returns the configured stride.
-func (t *Table) Stride() int { return t.stride }
+func (s *Snapshot) Stride() int { return s.stride }

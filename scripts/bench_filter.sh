@@ -1,0 +1,57 @@
+#!/bin/sh
+# Runs the filter hot-path benchmarks (scalar BenchmarkFilterProcess vs
+# batched BenchmarkFilterBatch on the allow-heavy packet-train workload)
+# and writes the results as JSON so the batch path's advantage is recorded
+# per PR and cannot silently regress to scalar speed. Usage:
+#
+#   scripts/bench_filter.sh [output.json]     # default BENCH_filter.json
+#   BENCHTIME=1000000x scripts/bench_filter.sh # longer runs
+#
+# The JSON records, per path, the wall-clock ns per packet, the derived
+# packets/sec, and the SGX cost model's virtual ns per packet, plus the
+# batch/scalar packets-per-second speedup (acceptance floor: 2x).
+set -e
+
+out="${1:-BENCH_filter.json}"
+benchtime="${BENCHTIME:-300000x}"
+tmp="$(mktemp)"
+trap 'rm -f "$tmp"' EXIT
+
+go test -run '^$' -bench 'BenchmarkFilter(Process|Batch)$' -benchtime "$benchtime" -count 1 . | tee "$tmp"
+
+awk -v benchtime="$benchtime" '
+/^BenchmarkFilter(Process|Batch)/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)                 # strip the -GOMAXPROCS suffix
+    path = (name ~ /Batch/) ? "batch" : "scalar"
+    ns = ""; modeled = ""; wall = ""
+    for (i = 2; i < NF; i++) {
+        if ($(i+1) == "ns/op") ns = $i
+        if ($(i+1) == "modeled-ns/pkt") modeled = $i
+        if ($(i+1) == "wall-Mpps") wall = $i
+    }
+    pps[path] = (ns > 0) ? 1e9 / ns : 0
+    n++
+    line[n] = sprintf("    {\"path\": \"%s\", \"ns_per_pkt\": %s, \"pps\": %.0f, \"modeled_ns_per_pkt\": %s, \"wall_mpps\": %s}", path, ns, pps[path], modeled, wall)
+}
+END {
+    printf "{\n"
+    printf "  \"benchmark\": \"BenchmarkFilterProcess vs BenchmarkFilterBatch\",\n"
+    printf "  \"workload\": \"allow-heavy, 3000 rules, 64B frames, 4-packet trains, 64-packet bursts\",\n"
+    printf "  \"benchtime\": \"%s\",\n", benchtime
+    printf "  \"results\": [\n"
+    for (i = 1; i <= n; i++) printf "%s%s\n", line[i], (i < n ? "," : "")
+    printf "  ],\n"
+    speedup = (pps["scalar"] > 0) ? pps["batch"] / pps["scalar"] : 0
+    printf "  \"batch_over_scalar_pps\": %.2f\n", speedup
+    printf "}\n"
+}' "$tmp" > "$out"
+
+echo "wrote $out"
+
+# Guard: the batch path must stay ≥2x the scalar path in packets/sec.
+awk '/"batch_over_scalar_pps"/ {
+    v = $2 + 0
+    if (v < 2.0) { printf "FAIL: batch/scalar speedup %.2f < 2.0\n", v; exit 1 }
+    printf "batch/scalar speedup: %.2fx (floor 2.0)\n", v
+}' "$out"

@@ -175,12 +175,15 @@ func (s *Session) AuditOutgoing() (bypass.Verdict, error) {
 }
 
 // MisrouteReports returns the number of load-balancer misrouting events
-// the enclaves detected and reported (§IV-B).
+// the enclaves detected and reported (§IV-B). Safe to call while the
+// engine runs (the filters' counters are atomic blocks).
 func (s *Session) MisrouteReports() uint64 {
 	return s.cluster.TotalStats().Misrouted
 }
 
-// Stats exposes fleet-wide filtering counters.
+// Stats exposes fleet-wide filtering counters. Safe to call while the
+// engine runs: the workers publish counters once per burst through
+// atomics, so live monitoring never races the data plane.
 func (s *Session) Stats() filter.Stats { return s.cluster.TotalStats() }
 
 // FleetSize returns the number of enclaves currently filtering.
