@@ -1,5 +1,7 @@
 # VIF build/test/bench entry points. `make bench` refreshes
-# BENCH_engine.json so the engine's scaling trajectory accumulates per PR;
+# BENCH_engine.json — wall-clock multi-producer shard scaling plus the
+# injection-path comparison — and enforces the perf gates (InjectBatch ≥2x
+# scalar Inject always; 4-shard wall Mpps > 1-shard on hosts with ≥2 CPUs).
 # `make bench-filter` refreshes BENCH_filter.json, the scalar-vs-batch
 # hot-path comparison (guarded at ≥2x batch speedup).
 

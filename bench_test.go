@@ -9,6 +9,8 @@ package vif_test
 import (
 	"math/rand"
 	"runtime"
+	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -333,23 +335,30 @@ func BenchmarkFilterBatch(b *testing.B) {
 	b.ReportMetric(e.VirtualNs()/float64(b.N), "modeled-ns/pkt")
 }
 
-// --- Figure 4: engine shard scaling -------------------------------------------
+// --- Figure 4: engine shard scaling (wall clock) ------------------------------
 
-// benchmarkEngineShards drives b.N descriptors through the live sharded
-// engine (real worker goroutines, MPSC rings, batched bursts) and reports:
+// benchmarkEngineWallScaling is the honest successor of the modeled-only
+// shard benchmark: `shards` producer goroutines drive b.N descriptors
+// through the live engine's batched injection path (256-packet bursts,
+// one routing pass and one ring reservation per shard per burst) while
+// `shards` workers drain and filter them — real goroutines, real rings,
+// wall clock. It reports:
 //
-//   - ns/op: wall clock per injected packet on this machine (meaningful as
-//     a parallel-scaling signal only when GOMAXPROCS > shards);
+//   - wall-Mpps: b.N divided by elapsed wall time — the rate this machine
+//     actually sustained end to end, injection included. This is the
+//     number the ROADMAP's "fast as the hardware allows" north star means,
+//     and the one the CI gate compares across shard counts;
 //   - aggregate-modeled-Mpps: the fleet's summed per-shard modeled
-//     capacity, each shard's measured SGX virtual ns/pkt converted to a
-//     line-rate-capped packet rate — the quantity of the paper's Figure 4,
-//     where capacity grows linearly with the number of parallel enclaves
-//     regardless of how many cores this host happens to have;
-//   - wall-Mpps: the aggregate processed rate actually observed.
+//     capacity (measured SGX virtual ns/pkt converted to a line-rate-
+//     capped rate) — the paper's Figure 4 quantity, host-independent,
+//     kept so the two scaling stories can be told apart;
+//   - host-cpus: GOMAXPROCS at run time. Wall-clock scaling with shards
+//     is physically bounded by this; the bench gate only enforces
+//     4-shard > 1-shard when the host has parallelism to give.
 //
 // Flows spread across shards by five-tuple hash, as an honest balancer
 // with uniform shares would steer them.
-func benchmarkEngineShards(b *testing.B, shards int) {
+func benchmarkEngineWallScaling(b *testing.B, shards int) {
 	set := benchRules(b, 3000, 0)
 	fs := make([]*filter.Filter, shards)
 	for i := range fs {
@@ -364,22 +373,137 @@ func benchmarkEngineShards(b *testing.B, shards int) {
 	}
 	defer eng.Stop()
 	descs := benchDescriptors(b, set, 64)
+	const burst = 256
+	producers := shards
+	// remaining is decremented by ACCEPTED counts, not by optimistic
+	// claims: InjectBatch drops what full rings refuse (its return is not
+	// a resumable prefix), so producers keep offering fresh windows until
+	// the fleet has actually swallowed b.N descriptors. The final bursts
+	// may overshoot by < producers*burst — the reported rate therefore
+	// divides what was really accepted, not b.N.
+	var remaining atomic.Int64
+	remaining.Store(int64(b.N))
 	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		for !eng.Inject(descs[i&1023]) {
-			runtime.Gosched() // ring full: the shard is the bottleneck
-		}
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			off := (p * burst) & 1023
+			for remaining.Load() > 0 {
+				win := descs[off : off+burst]
+				off = (off + burst) & 1023
+				k := eng.InjectBatch(win)
+				if k == 0 {
+					runtime.Gosched() // rings full: workers are the bottleneck
+					continue
+				}
+				remaining.Add(-int64(k))
+			}
+		}(p)
 	}
+	wg.Wait()
 	eng.WaitDrained()
 	b.StopTimer()
+	accepted := eng.Metrics().Accepted
+	b.ReportMetric(float64(accepted)/b.Elapsed().Seconds()/1e6, "wall-Mpps")
 	b.ReportMetric(eng.AggregateModeledPps(64)/1e6, "aggregate-modeled-Mpps")
-	b.ReportMetric(eng.Metrics().PPS/1e6, "wall-Mpps")
+	b.ReportMetric(float64(runtime.GOMAXPROCS(0)), "host-cpus")
 }
 
-func BenchmarkEngineShards1(b *testing.B) { benchmarkEngineShards(b, 1) }
-func BenchmarkEngineShards2(b *testing.B) { benchmarkEngineShards(b, 2) }
-func BenchmarkEngineShards4(b *testing.B) { benchmarkEngineShards(b, 4) }
-func BenchmarkEngineShards8(b *testing.B) { benchmarkEngineShards(b, 8) }
+func BenchmarkEngineWallScaling1(b *testing.B) { benchmarkEngineWallScaling(b, 1) }
+func BenchmarkEngineWallScaling2(b *testing.B) { benchmarkEngineWallScaling(b, 2) }
+func BenchmarkEngineWallScaling4(b *testing.B) { benchmarkEngineWallScaling(b, 4) }
+func BenchmarkEngineWallScaling8(b *testing.B) { benchmarkEngineWallScaling(b, 8) }
+
+// --- Injection path: scalar vs batched producers ------------------------------
+
+// benchmarkEngineInject measures the producer-side cost the tentpole
+// attacks: two producer goroutines push b.N descriptors through a
+// four-shard engine as 256-packet single-flow trains (the burst structure
+// GRO/GSO exists for). The workers run, but the batch filter path dedups
+// each train to one decision and one sketch update, so their per-packet
+// share stays small and the clock predominantly sees injection — route,
+// reserve, publish. Rings stay cache-warm because the same slots recycle
+// for the whole run. The batch/scalar wall-Mpps ratio is the gated
+// quantity: batched injection must stay ≥2x scalar (one routing pass, one
+// ring CAS, and one accepted-counter update per burst-run instead of one
+// of each per packet).
+func benchmarkEngineInject(b *testing.B, batched bool) {
+	set := benchRules(b, 8, 0)
+	const (
+		shards    = 4
+		producers = 2
+		burst     = 256
+	)
+	fs := make([]*filter.Filter, shards)
+	for i := range fs {
+		fs[i] = benchFilter(b, set, filter.CopyModeNearZero)
+	}
+	eng, err := engine.New(engine.Config{Filters: fs})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := eng.Start(); err != nil {
+		b.Fatal(err)
+	}
+	defer eng.Stop()
+	descs := benchTrainDescriptors(b, set, burst, 64)
+	// Scalar producers claim a burst upfront and retry each packet until
+	// accepted (sound per packet). Batched producers cannot resume a
+	// partially accepted window (InjectBatch drops refusals), so they
+	// decrement the quota by what was actually accepted and keep offering
+	// fresh windows; the reported rate divides real acceptance.
+	var remaining atomic.Int64
+	remaining.Store(int64(b.N))
+	b.ResetTimer()
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			off := (p * 2048) & 4095
+			if batched {
+				for remaining.Load() > 0 {
+					win := descs[off : off+burst]
+					off = (off + burst) & 4095
+					k := eng.InjectBatch(win)
+					if k == 0 {
+						runtime.Gosched()
+						continue
+					}
+					remaining.Add(-int64(k))
+				}
+				return
+			}
+			for {
+				claimed := remaining.Add(-burst)
+				n := burst
+				if claimed < 0 {
+					n = int(claimed + burst)
+					if n <= 0 {
+						return
+					}
+				}
+				win := descs[off : off+n]
+				off = (off + burst) & 4095
+				for i := 0; i < n; i++ {
+					for !eng.Inject(win[i]) {
+						runtime.Gosched()
+					}
+				}
+			}
+		}(p)
+	}
+	wg.Wait()
+	eng.WaitDrained()
+	b.StopTimer()
+	accepted := eng.Metrics().Accepted
+	b.ReportMetric(float64(accepted)/b.Elapsed().Seconds()/1e6, "wall-Mpps")
+}
+
+func BenchmarkEngineInjectScalar(b *testing.B) { benchmarkEngineInject(b, false) }
+func BenchmarkEngineInjectBatch(b *testing.B)  { benchmarkEngineInject(b, true) }
 
 // --- Figure 11: IXP coverage simulation --------------------------------------
 

@@ -70,26 +70,41 @@ func run(args []string, stdout io.Writer) error {
 	attacks := 0
 	var bytesOut int64
 	acc := 0.0 // fractional accumulator: interleaves attack frames evenly
-	for i := 0; i < *count; i++ {
-		tuple := gen.Next()
-		if acc += *attack; acc >= 1 {
-			acc--
-			// DNS amplification: source port 53 UDP floods.
-			tuple.SrcPort, tuple.DstPort, tuple.Proto = 53, 53, packet.ProtoUDP
-			attacks++
+	// Generate in engine-sized bursts: one DescriptorsInto call synthesizes
+	// a whole batch of flows (the same burst path vif-filter's producers
+	// inject through), then each descriptor is marked, serialized, and
+	// written. The burst loop is what keeps pktgen's per-frame overhead a
+	// slice store instead of a generator call.
+	const burstSize = 256
+	burst := make([]packet.Descriptor, burstSize)
+	for done := 0; done < *count; {
+		n := *count - done
+		if n > burstSize {
+			n = burstSize
 		}
-		packet.SynthesizeInto(frame, tuple)
-		if w != nil {
-			var hdr [4]byte
-			binary.BigEndian.PutUint32(hdr[:], uint32(len(frame)))
-			if _, err := w.Write(hdr[:]); err != nil {
-				return err
+		gen.DescriptorsInto(burst[:n], *size)
+		for i := 0; i < n; i++ {
+			tuple := burst[i].Tuple
+			if acc += *attack; acc >= 1 {
+				acc--
+				// DNS amplification: source port 53 UDP floods.
+				tuple.SrcPort, tuple.DstPort, tuple.Proto = 53, 53, packet.ProtoUDP
+				attacks++
 			}
-			if _, err := w.Write(frame); err != nil {
-				return err
+			packet.SynthesizeInto(frame, tuple)
+			if w != nil {
+				var hdr [4]byte
+				binary.BigEndian.PutUint32(hdr[:], uint32(len(frame)))
+				if _, err := w.Write(hdr[:]); err != nil {
+					return err
+				}
+				if _, err := w.Write(frame); err != nil {
+					return err
+				}
 			}
+			bytesOut += int64(len(frame))
 		}
-		bytesOut += int64(len(frame))
+		done += n
 	}
 	fmt.Fprintf(stdout, "generated %d frames (%d attack, %d legitimate), %d bytes",
 		*count, attacks, *count-attacks, bytesOut)

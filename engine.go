@@ -68,12 +68,14 @@ func (s *Session) StartEngine(cfg EngineConfig) (*Engine, error) {
 		deliver := cfg.Deliver
 		sink = func(_ int, d Descriptor) { deliver(d) }
 	}
+	bal := s.cluster.Balancer()
 	eng, err := engine.New(engine.Config{
-		Filters:  s.cluster.Filters(),
-		Route:    s.cluster.Balancer().Route,
-		RingSize: cfg.RingSize,
-		Batch:    cfg.Batch,
-		Sink:     sink,
+		Filters:    s.cluster.Filters(),
+		Route:      bal.Route,
+		RouteBatch: bal.RouteBatch,
+		RingSize:   cfg.RingSize,
+		Batch:      cfg.Batch,
+		Sink:       sink,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("vif: engine: %w", err)
@@ -98,6 +100,24 @@ func (s *Session) StopEngine() {
 // EngineRunning reports whether an engine currently owns the data plane.
 func (s *Session) EngineRunning() bool {
 	return s.engine != nil && s.engine.Running()
+}
+
+// InjectBatch forwards a whole burst of descriptors to the running engine
+// through its batched injection path: the burst is routed once by the
+// deployment's load balancer, scattered into per-shard runs, and each run
+// lands in its shard's ring with a single reservation. It returns how many
+// descriptors the data plane accepted — the rest were balancer drops or
+// ring backpressure (visible in EngineMetrics) and are dropped, NIC-style;
+// the count is not a resumable prefix of ds (see Engine.InjectBatch) — or
+// ErrNoEngine when no engine owns the data plane. Safe for any number of
+// concurrent producers; a concurrent StopEngine makes in-flight calls
+// return 0 or ErrNoEngine, never panic.
+func (s *Session) InjectBatch(ds []Descriptor) (int, error) {
+	eng := s.engine // one read: StopEngine nils the field concurrently
+	if eng == nil || !eng.Running() {
+		return 0, ErrNoEngine
+	}
+	return eng.InjectBatch(ds), nil
 }
 
 // EngineMetrics snapshots the running engine's per-shard counter blocks

@@ -141,6 +141,9 @@ func TestEngineEndToEndHonest(t *testing.T) {
 	if session.EngineRunning() {
 		t.Fatal("engine still running after StopEngine")
 	}
+	if _, err := session.InjectBatch(descs[:1]); !errors.Is(err, ErrNoEngine) {
+		t.Fatalf("InjectBatch after StopEngine: %v", err)
+	}
 	// Serial path is handed back.
 	if v := session.Process(descs[1]); v != VerdictAllow {
 		t.Fatalf("serial Process after StopEngine: %v", v)
@@ -174,9 +177,24 @@ func TestEngineDetectsDropAfterFilter(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	// Inject through the session's batched path: each burst is routed once
+	// by the deployment's balancer and scattered to the shards. The 3000-
+	// descriptor stream fits the default rings even undrained, so every
+	// burst must be accepted whole (InjectBatch's count is not a resumable
+	// prefix; nothing may be dropped here or the verdict totals below
+	// would drift).
 	descs, _ := engineTraffic(3000, 3)
-	for _, de := range descs {
-		for !eng.Inject(de) {
+	for off := 0; off < len(descs); off += 256 {
+		end := off + 256
+		if end > len(descs) {
+			end = len(descs)
+		}
+		n, err := session.InjectBatch(descs[off:end])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n != end-off {
+			t.Fatalf("burst at %d: accepted %d of %d with roomy rings", off, n, end-off)
 		}
 	}
 	eng.WaitDrained()

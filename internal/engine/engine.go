@@ -71,6 +71,13 @@ type Config struct {
 	// (untrusted, possibly faulty) balancer drops the packet. Typically
 	// lb.Balancer.Route. Nil falls back to five-tuple hashing.
 	Route func(packet.FiveTuple) (int, bool)
+	// RouteBatch, when set, routes a whole burst in one call (typically
+	// lb.Balancer.RouteBatch), writing each descriptor's shard index to
+	// shards[i] (-1 when the balancer drops it). InjectBatch prefers it
+	// over per-packet Route calls so the balancer can amortize its
+	// per-packet costs (the faulty paths' lock, the call overhead) across
+	// the burst. Nil falls back to looping Route.
+	RouteBatch func(ds []packet.Descriptor, shards []int32)
 	// RingSize is each shard's ingress ring capacity. Default
 	// DefaultRingSize.
 	RingSize int
@@ -136,24 +143,44 @@ type shard struct {
 	// rest of the block: metrics may be polled concurrently with Start.
 	baseVirtualNs atomic.Uint64
 
-	// Atomic metrics block, written only by the owning worker (except
-	// backpressure, written by producers) and read by anyone.
-	processed    atomic.Uint64
-	allowed      atomic.Uint64
-	dropped      atomic.Uint64
+	// Atomic metrics block. The worker-owned counters and the producer-
+	// written backpressure counter live on separate cache lines: producers
+	// hammering backpressure on a full ring must not invalidate the line
+	// the worker updates once per burst (the false sharing that made
+	// adding shards slow the whole fleet down).
+	_         [64]byte
+	processed atomic.Uint64 // worker-written line
+	allowed   atomic.Uint64
+	dropped   atomic.Uint64
+	epochs    atomic.Uint64
+	batches   atomic.Uint64
+	promoted  atomic.Uint64
+	_         [16]byte
+	// backpressure is written by any producer whose enqueue hit a full
+	// ring — the only cross-thread counter in the block.
 	backpressure atomic.Uint64
-	epochs       atomic.Uint64
-	batches      atomic.Uint64
+	_            [56]byte
 }
 
 // Engine runs the sharded data plane.
 type Engine struct {
-	cfg    Config
-	shards []*shard
-	route  func(packet.FiveTuple) (int, bool)
+	cfg        Config
+	shards     []*shard
+	route      func(packet.FiveTuple) (int, bool)
+	routeBatch func(ds []packet.Descriptor, shards []int32)
 
+	// scratch pools the per-producer scatter buffers InjectBatch stages
+	// bursts in, so the hot path allocates nothing per call.
+	scratch sync.Pool
+
+	// accepted and lbDrops are each on their own cache line: every
+	// producer updates accepted once per burst, and sharing its line with
+	// anything else would put that write on every producer's critical path.
+	_        [64]byte
 	accepted atomic.Uint64 // descriptors successfully enqueued
+	_        [56]byte
 	lbDrops  atomic.Uint64 // descriptors the balancer discarded
+	_        [56]byte
 
 	mu       sync.Mutex // serializes Start/Stop/RotateEpoch
 	running  atomic.Bool
@@ -162,6 +189,14 @@ type Engine struct {
 	stop     chan struct{}
 	epoch    uint64 // last rotated epoch seq, under mu
 	started  time.Time
+}
+
+// injectScratch is one producer's staging area for a burst: the routing
+// output and the per-shard descriptor runs the burst is scattered into
+// before each run is flushed with a single ring reservation.
+type injectScratch struct {
+	shards []int32
+	runs   [][]packet.Descriptor
 }
 
 // New assembles an engine; call Start to launch the workers.
@@ -180,6 +215,39 @@ func New(cfg Config) (*Engine, error) {
 		e.route = func(t packet.FiveTuple) (int, bool) {
 			return int(t.Hash64() % uint64(n)), true
 		}
+	}
+	e.routeBatch = cfg.RouteBatch
+	if e.routeBatch == nil && cfg.Route == nil {
+		// Both hooks defaulted: the five-tuple hash route is pure, so a run
+		// of consecutive packets of one flow (a packet train) is routed
+		// once — a 16-byte compare instead of a hash per packet. A
+		// user-supplied Route is NOT run-cached below: it may be impure
+		// (fault injection drops per packet), so it is called per packet.
+		e.routeBatch = func(ds []packet.Descriptor, shards []int32) {
+			for i := range ds {
+				if i > 0 && ds[i].Tuple == ds[i-1].Tuple {
+					shards[i] = shards[i-1]
+					continue
+				}
+				shards[i] = int32(ds[i].Tuple.Hash64() % uint64(n))
+			}
+		}
+	}
+	if e.routeBatch == nil {
+		route := e.route
+		e.routeBatch = func(ds []packet.Descriptor, shards []int32) {
+			for i := range ds {
+				j, ok := route(ds[i].Tuple)
+				if !ok {
+					shards[i] = -1
+					continue
+				}
+				shards[i] = int32(j)
+			}
+		}
+	}
+	e.scratch.New = func() any {
+		return &injectScratch{runs: make([][]packet.Descriptor, n)}
 	}
 	for i, f := range cfg.Filters {
 		if f == nil {
@@ -286,6 +354,66 @@ func (e *Engine) Inject(d packet.Descriptor) bool {
 	}
 	e.accepted.Add(1)
 	return true
+}
+
+// InjectBatch routes a whole burst, scatters it into per-shard runs, and
+// flushes each run with a single ring reservation — one route pass and one
+// CAS per (producer, shard, burst) instead of one of each per packet, the
+// producer-side analogue of the workers' batched drain. It returns how
+// many descriptors were accepted; the remainder were either discarded by
+// the balancer (counted as lb drops) or refused by a full shard ring
+// (counted as backpressure, per packet, exactly as scalar Inject would),
+// and in both cases they are DROPPED, as a NIC drops on ring overflow.
+// The count is for accounting, not resumption: refusals happen per shard,
+// so the unaccepted descriptors may sit anywhere in ds — retrying ds[n:]
+// would re-inject accepted packets. A producer that must deliver a burst
+// losslessly sizes the rings for it, or falls back to scalar Inject with
+// retry. Partial acceptance keeps the accepted==processed drain
+// invariant: only descriptors that actually landed in a ring are counted
+// as accepted. Safe for any number of concurrent producer goroutines;
+// returns 0 without touching any counter once the engine is stopping,
+// like Inject.
+func (e *Engine) InjectBatch(ds []packet.Descriptor) int {
+	if len(ds) == 0 || e.stopping.Load() {
+		return 0
+	}
+	sc := e.scratch.Get().(*injectScratch)
+	if cap(sc.shards) < len(ds) {
+		sc.shards = make([]int32, len(ds))
+	}
+	shards := sc.shards[:len(ds)]
+	e.routeBatch(ds, shards)
+	var lbDrops uint64
+	for i := range ds {
+		j := shards[i]
+		if j < 0 {
+			lbDrops++
+			continue
+		}
+		sc.runs[j] = append(sc.runs[j], ds[i])
+	}
+	accepted := 0
+	for j := range sc.runs {
+		run := sc.runs[j]
+		if len(run) == 0 {
+			continue
+		}
+		s := e.shards[j]
+		n := s.ring.EnqueueBatch(run)
+		if n < len(run) {
+			s.backpressure.Add(uint64(len(run) - n))
+		}
+		accepted += n
+		sc.runs[j] = run[:0]
+	}
+	if lbDrops > 0 {
+		e.lbDrops.Add(lbDrops)
+	}
+	if accepted > 0 {
+		e.accepted.Add(uint64(accepted))
+	}
+	e.scratch.Put(sc)
+	return accepted
 }
 
 // WaitDrained spins until every accepted descriptor has been processed.
@@ -414,6 +542,12 @@ func (s *shard) doRotate(t *rotateTicket) {
 		return
 	}
 	s.f.ResetLogs()
+	// Promote pending flows to exact-match entries at the epoch boundary —
+	// the hybrid design's learning step (Appendix F). Promotion is filter-
+	// thread state, and the rotation ticket runs on the worker goroutine,
+	// so engine mode gets the same periodic batch promotion the serial
+	// path performs at rule-update boundaries.
+	s.promoted.Add(uint64(s.f.Promote()))
 	s.epochs.Add(1)
 	t.reply <- shardEpoch{log: EpochLog{
 		Shard:    s.id,

@@ -25,6 +25,9 @@ type ShardMetrics struct {
 	QueueDepth int
 	// Epochs is the number of epoch rotations this shard has sealed.
 	Epochs uint64
+	// Promoted counts flows the worker promoted to exact-match entries at
+	// epoch boundaries (the hybrid design's learning step in engine mode).
+	Promoted uint64
 	// PPS is the shard's average processed-packet rate since Start.
 	PPS float64
 	// Batches counts bursts drained from the ring; AvgBatch is the mean
@@ -77,6 +80,7 @@ func (e *Engine) Metrics() Metrics {
 			Backpressure: s.backpressure.Load(),
 			QueueDepth:   s.ring.Len(),
 			Epochs:       s.epochs.Load(),
+			Promoted:     s.promoted.Load(),
 			Batches:      s.batches.Load(),
 		}
 		if secs > 0 {

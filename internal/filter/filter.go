@@ -517,13 +517,27 @@ func (f *Filter) ProcessBatch(ds []packet.Descriptor, verdicts []Verdict) []Verd
 
 	sc := &f.scratch
 	sc.reset(n)
+	// runIdx short-circuits runs of consecutive packets of one flow (the
+	// packet-train structure GRO/GSO exists for): only the first packet of
+	// a run pays the five-tuple hash and the dedup probe; the rest are a
+	// 16-byte compare. Behavior is identical to probing every packet — the
+	// run's tuple is bit-equal, so the probe could only return the same
+	// entry.
+	runIdx := -1
 	for i := range ds {
 		d := &ds[i]
-		ei, fresh := sc.lookupOrAdd(d.Tuple, d.Tuple.Hash64())
-		ent := &sc.ents[ei]
-		if fresh {
-			f.classify(ent, view, model, &cv)
+		var ei int
+		if runIdx >= 0 && d.Tuple == ds[i-1].Tuple {
+			ei = runIdx
+		} else {
+			var fresh bool
+			ei, fresh = sc.lookupOrAdd(d.Tuple, d.Tuple.Hash64())
+			if fresh {
+				f.classify(&sc.ents[ei], view, model, &cv)
+			}
+			runIdx = ei
 		}
+		ent := &sc.ents[ei]
 		ent.count++
 		ent.bytes += uint64(d.Size)
 		verdicts[i] = ent.verdict

@@ -152,6 +152,41 @@ func (b *Balancer) Route(t packet.FiveTuple) (int, bool) {
 	return j, true
 }
 
+// RouteBatch routes a whole burst of descriptors, writing each packet's
+// enclave index to out[i] (-1 when the faulty balancer drops it). It is
+// the balancer's half of the engine's batched injection path: the honest
+// case stays pure and lock-free like Route, and the faulty paths take the
+// shared-randomness lock once per burst instead of once per packet.
+// len(out) must be at least len(ds).
+func (b *Balancer) RouteBatch(ds []packet.Descriptor, out []int32) {
+	if b.faults.DropProb == 0 && b.faults.MisrouteProb == 0 {
+		// Honest routing is a pure function of the tuple, so a run of
+		// consecutive packets of one flow is routed once — the rule-set
+		// match is paid per train, not per packet.
+		for i := range ds {
+			if i > 0 && ds[i].Tuple == ds[i-1].Tuple {
+				out[i] = out[i-1]
+				continue
+			}
+			out[i] = int32(b.route(ds[i].Tuple))
+		}
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for i := range ds {
+		if b.faults.DropProb > 0 && b.rng.Float64() < b.faults.DropProb {
+			out[i] = -1
+			continue
+		}
+		j := b.route(ds[i].Tuple)
+		if b.faults.MisrouteProb > 0 && b.rng.Float64() < b.faults.MisrouteProb {
+			j = (j + 1 + b.rng.Intn(b.n)) % b.n
+		}
+		out[i] = int32(j)
+	}
+}
+
 func (b *Balancer) route(t packet.FiveTuple) int {
 	r, ok := b.matcher.Match(t)
 	if !ok {

@@ -211,3 +211,75 @@ func TestFaultInjection(t *testing.T) {
 		t.Fatal("MisrouteProb=1 never misrouted")
 	}
 }
+
+// TestRouteBatchMatchesScalar drives the same flows through Route and
+// RouteBatch on an honest balancer: the batch path must produce the exact
+// per-packet routing the scalar path does (routing is a pure function of
+// the tuple).
+func TestRouteBatchMatchesScalar(t *testing.T) {
+	set := testSet(t)
+	ids := set.IDs()
+	b, err := New(Config{
+		FullSet: set,
+		Shares:  map[uint32][]float64{ids[0]: {2e9, 3e9}, ids[1]: {1e9, 4e9}},
+		N:       2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds := make([]packet.Descriptor, 512)
+	for i := range ds {
+		if i%2 == 0 {
+			ds[i] = packet.Descriptor{Tuple: dnsTuple(uint32(i))}
+		} else {
+			ds[i] = packet.Descriptor{Tuple: httpTuple(uint32(i), uint16(i%6000)+1)}
+		}
+	}
+	out := make([]int32, len(ds))
+	b.RouteBatch(ds, out)
+	for i, d := range ds {
+		j, ok := b.Route(d.Tuple)
+		if !ok {
+			t.Fatalf("honest balancer dropped flow %d", i)
+		}
+		if out[i] != int32(j) {
+			t.Fatalf("flow %d: RouteBatch %d, Route %d", i, out[i], j)
+		}
+	}
+}
+
+// TestRouteBatchFaultyDropsAndMisroutes checks the faulty batch path: drop
+// verdicts surface as -1 at roughly the configured probability, and
+// misroutes still land on a valid enclave index.
+func TestRouteBatchFaultyDropsAndMisroutes(t *testing.T) {
+	set := testSet(t)
+	ids := set.IDs()
+	b, err := New(Config{
+		FullSet: set,
+		Shares:  map[uint32][]float64{ids[0]: {1, 1}, ids[1]: {1, 1}},
+		N:       2,
+		Faults:  Faults{DropProb: 0.2, MisrouteProb: 0.2, Seed: 9},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 10000
+	ds := make([]packet.Descriptor, n)
+	for i := range ds {
+		ds[i] = packet.Descriptor{Tuple: dnsTuple(uint32(i))}
+	}
+	out := make([]int32, n)
+	b.RouteBatch(ds, out)
+	drops := 0
+	for i, j := range out {
+		switch {
+		case j == -1:
+			drops++
+		case j < 0 || int(j) >= b.N():
+			t.Fatalf("flow %d routed to invalid enclave %d", i, j)
+		}
+	}
+	if frac := float64(drops) / n; math.Abs(frac-0.2) > 0.03 {
+		t.Fatalf("drop fraction %.3f, configured 0.2", frac)
+	}
+}

@@ -99,8 +99,15 @@ func (g *FlowGen) Next() packet.FiveTuple {
 // closed-loop benchmarking.
 func (g *FlowGen) Descriptors(n, frameSize int) []packet.Descriptor {
 	out := make([]packet.Descriptor, n)
+	g.DescriptorsInto(out, frameSize)
+	return out
+}
+
+// DescriptorsInto fills out with fresh flows of the given frame size — the
+// burst-generation form producer loops use so a whole injection batch is
+// synthesized without a call or an allocation per packet.
+func (g *FlowGen) DescriptorsInto(out []packet.Descriptor, frameSize int) {
 	for i := range out {
 		out[i] = packet.Descriptor{Tuple: g.Next(), Size: uint16(frameSize), Ref: packet.NoRef}
 	}
-	return out
 }

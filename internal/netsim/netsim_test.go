@@ -137,3 +137,19 @@ func TestDescriptors(t *testing.T) {
 		}
 	}
 }
+
+// TestDescriptorsIntoMatchesScalar checks that burst generation is the
+// same flow sequence the scalar generator produces: a producer switching
+// to DescriptorsInto emits bit-identical traffic.
+func TestDescriptorsIntoMatchesScalar(t *testing.T) {
+	a := NewFlowGen(5, packet.MustParseIP("192.0.2.0"), 24)
+	b := NewFlowGen(5, packet.MustParseIP("192.0.2.0"), 24)
+	burst := make([]packet.Descriptor, 96)
+	a.DescriptorsInto(burst, 128)
+	for i, d := range burst {
+		want := packet.Descriptor{Tuple: b.Next(), Size: 128, Ref: packet.NoRef}
+		if d != want {
+			t.Fatalf("burst[%d] = %v, scalar %v", i, d, want)
+		}
+	}
+}

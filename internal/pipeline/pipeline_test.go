@@ -2,6 +2,7 @@ package pipeline
 
 import (
 	"math"
+	"runtime"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -121,6 +122,10 @@ func TestRingSPSCStress(t *testing.T) {
 		buf := make([]packet.Descriptor, 16)
 		for got < total {
 			n := r.DequeueBatch(buf)
+			if n == 0 {
+				runtime.Gosched() // empty ring: hand the core to the producer
+				continue
+			}
 			for i := 0; i < n; i++ {
 				sum.Add(uint64(buf[i].Size))
 			}
@@ -131,7 +136,11 @@ func TestRingSPSCStress(t *testing.T) {
 	for i := 0; i < total; i++ {
 		d := packet.Descriptor{Size: uint16(i & 0x3ff)}
 		want += uint64(d.Size)
+		// Yield while the ring is full: a tight spin starves the consumer
+		// for a whole scheduler timeslice per lap on a single-CPU host,
+		// turning this test into minutes of wall clock.
 		for !r.Enqueue(d) {
+			runtime.Gosched()
 		}
 	}
 	<-done

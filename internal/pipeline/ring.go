@@ -17,11 +17,18 @@ import (
 // packet descriptors, the analogue of DPDK's rte_ring in SP/SC mode.
 // Exactly one goroutine may call Enqueue* and exactly one may call
 // Dequeue*; this matches the pipeline's fixed stage topology.
+//
+// head and tail live on separate cache lines: the producer writes tail on
+// every enqueue and the consumer writes head on every dequeue, so sharing
+// a line would bounce it between the two cores on every operation.
 type Ring struct {
 	buf  []packet.Descriptor
 	mask uint64
+	_    [48]byte      // keep head off the buf/mask line
 	head atomic.Uint64 // next slot to dequeue (consumer-owned)
+	_    [56]byte      // producer and consumer indexes on separate lines
 	tail atomic.Uint64 // next slot to enqueue (producer-owned)
+	_    [56]byte      // keep tail off whatever the allocator packs next
 }
 
 // NewRing creates a ring with capacity size (rounded up to a power of two,
@@ -41,9 +48,13 @@ func NewRing(size int) (*Ring, error) {
 func (r *Ring) Cap() int { return len(r.buf) }
 
 // Len returns the number of queued descriptors (approximate under
-// concurrency, exact when quiesced).
+// concurrency, exact when quiesced). head is loaded before tail: head
+// never exceeds tail, and tail only grows, so the difference is always
+// non-negative — loading in the other order could observe a head advanced
+// past the stale tail and return a huge value from the unsigned wrap.
 func (r *Ring) Len() int {
-	return int(r.tail.Load() - r.head.Load())
+	head := r.head.Load()
+	return int(r.tail.Load() - head)
 }
 
 // Enqueue adds one descriptor; it reports false when the ring is full
@@ -124,6 +135,7 @@ type MPSCRing struct {
 	tail  atomic.Uint64 // next slot producers will claim
 	_     [56]byte      // producers and consumer on separate lines
 	head  atomic.Uint64 // next slot the consumer will read
+	_     [56]byte      // keep head off whatever the allocator packs next
 }
 
 // NewMPSCRing creates a ring with capacity size (rounded up to a power of
@@ -146,10 +158,14 @@ func NewMPSCRing(size int) (*MPSCRing, error) {
 // Cap returns the ring capacity.
 func (r *MPSCRing) Cap() int { return len(r.slots) }
 
-// Len returns the number of queued descriptors (approximate under
-// concurrency, exact when quiesced).
+// Len returns the number of queued descriptors, counting slots producers
+// have claimed but not yet published (approximate under concurrency, exact
+// when quiesced). head is loaded before tail — head never exceeds tail and
+// tail only grows, so the difference cannot transiently go negative; the
+// clamp stays as a belt against future reorderings.
 func (r *MPSCRing) Len() int {
-	n := int64(r.tail.Load()) - int64(r.head.Load())
+	head := r.head.Load()
+	n := int64(r.tail.Load()) - int64(head)
 	if n < 0 {
 		return 0
 	}
@@ -182,14 +198,51 @@ func (r *MPSCRing) Enqueue(d packet.Descriptor) bool {
 }
 
 // EnqueueBatch adds as many descriptors from ds as fit and returns the
-// number enqueued.
+// number enqueued. Unlike a loop of Enqueue calls, the whole run is
+// reserved with a single CAS on tail — the per-packet producer cost the
+// scalar path pays collapses to one synchronization per (producer, burst).
+//
+// Safety of the multi-slot claim: the free-space bound comes from head,
+// which the consumer advances only after recycling the corresponding slot
+// sequence numbers, so every position in [pos, pos+n) proven free by
+// cap-(pos-head) is guaranteed recycled; the CAS on tail then makes this
+// producer the unique owner of those positions. Publication stays per-slot
+// (the Vyukov sequence store), so the consumer consumes each entry exactly
+// when it is written, and scalar Enqueue callers interleave correctly with
+// batch callers — both claim positions through the same tail CAS.
+//
+// Because head may lag the slot recycling by a store, the head-based bound
+// is conservative; when it reports no space the slot-precise scalar path
+// is tried once before concluding the ring is truly full, so EnqueueBatch
+// never refuses an entry Enqueue would have accepted.
 func (r *MPSCRing) EnqueueBatch(ds []packet.Descriptor) int {
-	for i, d := range ds {
-		if !r.Enqueue(d) {
-			return i
+	total := 0
+	for total < len(ds) {
+		pos := r.tail.Load()
+		free := uint64(len(r.slots)) - (pos - r.head.Load())
+		if free == 0 {
+			// head may be stale: fall back to the slot-precise check.
+			if !r.Enqueue(ds[total]) {
+				return total
+			}
+			total++
+			continue
 		}
+		n := uint64(len(ds) - total)
+		if n > free {
+			n = free
+		}
+		if !r.tail.CompareAndSwap(pos, pos+n) {
+			continue // another producer moved tail; recompute
+		}
+		for i := uint64(0); i < n; i++ {
+			s := &r.slots[(pos+i)&r.mask]
+			s.d = ds[total+int(i)]
+			s.seq.Store(pos + i + 1)
+		}
+		total += int(n)
 	}
-	return len(ds)
+	return total
 }
 
 // Dequeue removes one descriptor; ok is false when the ring is empty.

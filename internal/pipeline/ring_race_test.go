@@ -224,6 +224,137 @@ func TestMPSCRingWrapAroundBatches(t *testing.T) {
 	}
 }
 
+// TestMPSCRingEnqueueBatchStress is the dedicated race/stress coverage for
+// the single-CAS batched reservation: several producers push variable-size
+// bursts through EnqueueBatch while others interleave scalar Enqueue calls,
+// against a tiny ring so nearly every reservation is partial and the claim
+// logic runs at the full/empty boundaries constantly. Every descriptor must
+// arrive exactly once and per-producer sequences must stay in order (batch
+// producers resume a partially accepted burst from the refusal point, so
+// their FIFO order must survive partial reservations).
+func TestMPSCRingEnqueueBatchStress(t *testing.T) {
+	r, err := NewMPSCRing(32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const (
+		batchProducers  = 4
+		scalarProducers = 2
+		producers       = batchProducers + scalarProducers
+		perProd         = 30000
+	)
+	var wg sync.WaitGroup
+	for p := 0; p < batchProducers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			burst := make([]packet.Descriptor, 0, 48)
+			next := uint32(0)
+			for next < perProd {
+				burst = burst[:0]
+				// Vary the burst size (1..48, some larger than the ring)
+				// so reservations split across laps and partial acceptance
+				// paths all execute.
+				n := int(next%48) + 1
+				for i := 0; i < n && next < perProd; i++ {
+					burst = append(burst, packet.Descriptor{
+						Tuple: packet.FiveTuple{SrcIP: uint32(p), DstIP: next},
+						Size:  64,
+					})
+					next++
+				}
+				pushed := 0
+				for pushed < len(burst) {
+					k := r.EnqueueBatch(burst[pushed:])
+					pushed += k
+					if k == 0 {
+						runtime.Gosched()
+					}
+				}
+			}
+		}(p)
+	}
+	for p := batchProducers; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := uint32(0); i < perProd; i++ {
+				d := packet.Descriptor{
+					Tuple: packet.FiveTuple{SrcIP: uint32(p), DstIP: i},
+					Size:  64,
+				}
+				for !r.Enqueue(d) {
+					runtime.Gosched()
+				}
+			}
+		}(p)
+	}
+
+	seen := make([]uint32, producers)
+	total := 0
+	batch := make([]packet.Descriptor, 24)
+	consumerDone := make(chan error, 1)
+	go func() {
+		for total < producers*perProd {
+			n := r.DequeueBatch(batch)
+			if n == 0 {
+				runtime.Gosched()
+				continue
+			}
+			for _, d := range batch[:n] {
+				p := d.Tuple.SrcIP
+				if d.Tuple.DstIP != seen[p] {
+					consumerDone <- errorf("producer %d: got seq %d want %d", p, d.Tuple.DstIP, seen[p])
+					return
+				}
+				seen[p]++
+			}
+			total += n
+		}
+		consumerDone <- nil
+	}()
+	wg.Wait()
+	if err := <-consumerDone; err != nil {
+		t.Fatal(err)
+	}
+	if total != producers*perProd {
+		t.Fatalf("consumed %d of %d", total, producers*perProd)
+	}
+	if r.Len() != 0 {
+		t.Fatalf("ring not empty after drain: Len %d", r.Len())
+	}
+}
+
+// TestMPSCRingEnqueueBatchFullRefusal checks the exact refusal boundary of
+// the batched path with no consumer: a burst larger than the free space is
+// partially accepted, and a follow-up batch on the full ring returns 0.
+func TestMPSCRingEnqueueBatchFullRefusal(t *testing.T) {
+	r, err := NewMPSCRing(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	burst := make([]packet.Descriptor, 24)
+	for i := range burst {
+		burst[i] = ringDesc(uint64(i))
+	}
+	if n := r.EnqueueBatch(burst); n != r.Cap() {
+		t.Fatalf("oversized burst accepted %d, want cap %d", n, r.Cap())
+	}
+	if n := r.EnqueueBatch(burst); n != 0 {
+		t.Fatalf("full ring accepted %d", n)
+	}
+	if r.Len() != r.Cap() {
+		t.Fatalf("Len %d, want %d", r.Len(), r.Cap())
+	}
+	// Drain one, and a batch must fit exactly one again.
+	if _, ok := r.Dequeue(); !ok {
+		t.Fatal("dequeue failed")
+	}
+	if n := r.EnqueueBatch(burst[:4]); n != 1 {
+		t.Fatalf("one-slot ring accepted %d", n)
+	}
+}
+
 // TestMPSCRingSizing mirrors the SPSC constructor contract.
 func TestMPSCRingSizing(t *testing.T) {
 	if _, err := NewMPSCRing(0); err == nil {

@@ -1,16 +1,38 @@
 #!/bin/sh
-# Runs the engine shard-scaling benchmarks (BenchmarkEngineShards{1,2,4,8})
-# and writes the results as JSON so the performance trajectory accumulates
-# across PRs. Usage:
+# Runs the engine wall-clock scaling benchmarks
+# (BenchmarkEngineWallScaling{1,2,4,8}) plus the injection-path comparison
+# (BenchmarkEngineInject{Scalar,Batch}) and writes the results as JSON so
+# the performance trajectory accumulates across PRs. Usage:
 #
 #   scripts/bench_engine.sh [output.json]     # default BENCH_engine.json
 #   BENCHTIME=500000x scripts/bench_engine.sh # longer runs
 #
-# The JSON records, per shard count, the wall-clock ns per injected packet,
-# the observed aggregate packet rate, and the aggregate modeled fleet
-# capacity (per-shard SGX-cost-model virtual time converted to a line-rate-
-# capped packet rate and summed — the paper's Figure 4 linear-scaling
-# quantity, which is host-core-count independent).
+# Two quantities are recorded per shard count and must not be confused:
+#
+#   wall_mpps               what this machine actually sustained end to end
+#                           (multi-producer batched injection + real worker
+#                           drain), the ROADMAP's "fast as the hardware
+#                           allows" number;
+#   aggregate_modeled_mpps  the paper's Figure 4 quantity: per-shard SGX
+#                           cost-model virtual time converted to a
+#                           line-rate-capped rate and summed — linear in
+#                           shard count on any host, by construction.
+#
+# Gates (the script exits non-zero when one fails):
+#
+#   inject_batch_2x   InjectBatch wall Mpps must be >= 2x scalar Inject on
+#                     the multi-producer train workload. Enforced always:
+#                     the batched reservation is a serial-cost reduction,
+#                     so it holds even on one core.
+#   wall_4_gt_1       wall Mpps at 4 shards must exceed 1 shard. Enforced
+#                     when the host reports >= 4 CPUs (hosted CI runners
+#                     do): the 4-shard case runs 4 workers + 4 producers,
+#                     and below 4 cores the scheduler timeslices them
+#                     against each other, so a win over the 2-goroutine
+#                     1-shard case is not physically guaranteed and the
+#                     gate would flag scheduling luck, not regressions.
+#                     On smaller hosts it is recorded as skipped rather
+#                     than lying in either direction.
 set -e
 
 out="${1:-BENCH_engine.json}"
@@ -18,35 +40,63 @@ benchtime="${BENCHTIME:-100000x}"
 tmp="$(mktemp)"
 trap 'rm -f "$tmp"' EXIT
 
-go test -run '^$' -bench 'BenchmarkEngineShards' -benchtime "$benchtime" -count 1 . | tee "$tmp"
+go test -run '^$' -bench 'BenchmarkEngine(WallScaling|Inject)' \
+    -benchtime "$benchtime" -count 1 . | tee "$tmp"
 
 awk -v benchtime="$benchtime" '
-/^BenchmarkEngineShards/ {
+/^BenchmarkEngineWallScaling/ {
     name = $1
     sub(/-[0-9]+$/, "", name)                 # strip the -GOMAXPROCS suffix
     shards = name
-    sub(/^BenchmarkEngineShards/, "", shards)
+    sub(/^BenchmarkEngineWallScaling/, "", shards)
     ns = ""; agg = ""; wall = ""
     for (i = 2; i < NF; i++) {
         if ($(i+1) == "ns/op") ns = $i
         if ($(i+1) == "aggregate-modeled-Mpps") agg = $i
         if ($(i+1) == "wall-Mpps") wall = $i
+        if ($(i+1) == "host-cpus") cpus = $i
     }
     n++
-    line[n] = sprintf("    {\"shards\": %s, \"ns_per_op\": %s, \"aggregate_modeled_mpps\": %s, \"wall_mpps\": %s}", shards, ns, agg, wall)
+    line[n] = sprintf("    {\"shards\": %s, \"ns_per_op\": %s, \"wall_mpps\": %s, \"aggregate_modeled_mpps\": %s}", shards, ns, wall, agg)
+    wallv[shards] = wall
     aggv[shards] = agg
 }
+/^BenchmarkEngineInjectScalar/ {
+    for (i = 2; i < NF; i++) if ($(i+1) == "wall-Mpps") scalar = $i
+}
+/^BenchmarkEngineInjectBatch/ {
+    for (i = 2; i < NF; i++) if ($(i+1) == "wall-Mpps") batch = $i
+}
 END {
+    wallscale = (wallv[1] > 0 && wallv[4] > 0) ? wallv[4] / wallv[1] : 0
+    aggscale = (aggv[1] > 0 && aggv[8] > 0) ? aggv[8] / aggv[1] : 0
+    injratio = (scalar > 0 && batch > 0) ? batch / scalar : 0
+
+    injgate = (injratio >= 2.0) ? "pass" : "FAIL"
+    if (cpus + 0 >= 4)
+        wallgate = (wallscale > 1.0) ? "pass" : "FAIL"
+    else
+        wallgate = sprintf("skipped (host_cpus=%d; enforced when >= 4)", cpus)
+
     printf "{\n"
-    printf "  \"benchmark\": \"BenchmarkEngineShards\",\n"
+    printf "  \"benchmark\": \"BenchmarkEngineWallScaling\",\n"
     printf "  \"frame_bytes\": 64,\n"
     printf "  \"benchtime\": \"%s\",\n", benchtime
+    printf "  \"host_cpus\": %d,\n", cpus
     printf "  \"results\": [\n"
     for (i = 1; i <= n; i++) printf "%s%s\n", line[i], (i < n ? "," : "")
-    scaling = (aggv[1] > 0 && aggv[8] > 0) ? aggv[8] / aggv[1] : 0
     printf "  ],\n"
-    printf "  \"aggregate_scaling_8_over_1\": %.2f\n", scaling
+    printf "  \"inject\": {\"scalar_mpps\": %s, \"batch_mpps\": %s, \"batch_over_scalar\": %.2f},\n", scalar, batch, injratio
+    printf "  \"wall_scaling_4_over_1\": %.2f,\n", wallscale
+    printf "  \"aggregate_scaling_8_over_1\": %.2f,\n", aggscale
+    printf "  \"gates\": {\"inject_batch_2x\": \"%s\", \"wall_4_gt_1\": \"%s\"}\n", injgate, wallgate
     printf "}\n"
 }' "$tmp" > "$out"
 
 echo "wrote $out"
+
+if grep -q '"FAIL"' "$out"; then
+    echo "bench_engine: gate FAILED:" >&2
+    grep '"gates"' "$out" >&2
+    exit 1
+fi
