@@ -1,13 +1,16 @@
 # VIF build/test/bench entry points. `make bench` refreshes
-# BENCH_engine.json — wall-clock multi-producer shard scaling plus the
-# injection-path comparison — and enforces the perf gates (InjectBatch ≥2x
-# scalar Inject always; 4-shard wall Mpps > 1-shard on hosts with ≥2 CPUs).
-# `make bench-filter` refreshes BENCH_filter.json, the scalar-vs-batch
-# hot-path comparison (guarded at ≥2x batch speedup).
+# BENCH_engine.json — wall-clock multi-producer shard scaling, the
+# injection-path comparison, multi-victim namespace scaling, and the
+# Reconfigure latency sweep — and enforces the perf gates (InjectBatch ≥2x
+# scalar Inject always; 4-shard wall Mpps > 1-shard on hosts with ≥4 CPUs;
+# 4-namespace wall Mpps ≥ 0.7x single-namespace always).
+# `make bench-multivictim` runs just the namespace-scaling slice of the
+# same script. `make bench-filter` refreshes BENCH_filter.json, the
+# scalar-vs-batch hot-path comparison (guarded at ≥2x batch speedup).
 
 GO ?= go
 
-.PHONY: all build vet test race bench bench-filter
+.PHONY: all build vet test race bench bench-filter bench-multivictim
 
 all: build vet test
 
@@ -18,13 +21,16 @@ vet:
 	$(GO) vet ./...
 
 test:
-	$(GO) test ./...
+	$(GO) test -shuffle=on ./...
 
 race:
-	$(GO) test -race ./...
+	$(GO) test -race -shuffle=on ./...
 
 bench:
 	./scripts/bench_engine.sh BENCH_engine.json
 
 bench-filter:
 	./scripts/bench_filter.sh BENCH_filter.json
+
+bench-multivictim:
+	ONLY=multivictim ./scripts/bench_engine.sh BENCH_multivictim.json

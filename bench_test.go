@@ -32,8 +32,12 @@ import (
 // --- shared fixtures -----------------------------------------------------
 
 func benchRules(b *testing.B, k int, pAllow float64) *rules.Set {
+	return benchRulesSeed(b, k, pAllow, 1)
+}
+
+func benchRulesSeed(b *testing.B, k int, pAllow float64, seed int64) *rules.Set {
 	b.Helper()
-	rng := rand.New(rand.NewSource(1))
+	rng := rand.New(rand.NewSource(seed))
 	rs := make([]rules.Rule, k)
 	dst := rules.MustParsePrefix("192.0.2.0/24")
 	for i := range rs {
@@ -415,6 +419,116 @@ func BenchmarkEngineWallScaling1(b *testing.B) { benchmarkEngineWallScaling(b, 1
 func BenchmarkEngineWallScaling2(b *testing.B) { benchmarkEngineWallScaling(b, 2) }
 func BenchmarkEngineWallScaling4(b *testing.B) { benchmarkEngineWallScaling(b, 4) }
 func BenchmarkEngineWallScaling8(b *testing.B) { benchmarkEngineWallScaling(b, 8) }
+
+// --- Multi-victim namespaces: dispatch must stay off the hot path -------------
+
+// benchmarkEngineMultiVictim holds the machine workload constant — two
+// shards, two producers, the same per-burst injection pattern — and
+// varies only how many victim namespaces the one engine serves. Each
+// victim brings its own rule set (one filter per shard) and its own
+// descriptor stream stamped with its namespace id, so the measured
+// quantity is the cost of namespace dispatch itself: the copy-on-write
+// view load per burst plus the 2-byte NS compares that split bursts into
+// runs. The CI gate holds 4-namespace wall pps at ≥ 0.7x the
+// single-namespace figure — if dispatch ever lands on the per-packet
+// path, this collapses and the gate trips.
+func benchmarkEngineMultiVictim(b *testing.B, victims int) {
+	const (
+		shards    = 2
+		producers = 2
+		burst     = 256
+	)
+	eng, err := engine.New(engine.Config{Shards: shards})
+	if err != nil {
+		b.Fatal(err)
+	}
+	streams := make([][]packet.Descriptor, victims)
+	for v := 0; v < victims; v++ {
+		set := benchRulesSeed(b, 256, 0, int64(v+1))
+		fs := make([]*filter.Filter, shards)
+		for i := range fs {
+			fs[i] = benchFilter(b, set, filter.CopyModeNearZero)
+		}
+		ns, err := eng.AttachNamespace(engine.NamespaceConfig{Filters: fs})
+		if err != nil {
+			b.Fatal(err)
+		}
+		descs := benchDescriptors(b, set, 64)
+		for i := range descs {
+			descs[i].NS = uint16(ns)
+		}
+		streams[v] = descs
+	}
+	if err := eng.Start(); err != nil {
+		b.Fatal(err)
+	}
+	defer eng.Stop()
+	var remaining atomic.Int64
+	remaining.Store(int64(b.N))
+	b.ResetTimer()
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			off := (p * burst) & 1023
+			for v := p % victims; remaining.Load() > 0; v = (v + 1) % victims {
+				win := streams[v][off : off+burst]
+				off = (off + burst) & 1023
+				k := eng.InjectBatch(win)
+				if k == 0 {
+					runtime.Gosched()
+					continue
+				}
+				remaining.Add(-int64(k))
+			}
+		}(p)
+	}
+	wg.Wait()
+	eng.WaitDrained()
+	b.StopTimer()
+	accepted := eng.Metrics().Accepted
+	b.ReportMetric(float64(accepted)/b.Elapsed().Seconds()/1e6, "wall-Mpps")
+	b.ReportMetric(float64(victims), "victims")
+}
+
+func BenchmarkEngineMultiVictim1(b *testing.B)  { benchmarkEngineMultiVictim(b, 1) }
+func BenchmarkEngineMultiVictim4(b *testing.B)  { benchmarkEngineMultiVictim(b, 4) }
+func BenchmarkEngineMultiVictim16(b *testing.B) { benchmarkEngineMultiVictim(b, 16) }
+
+// --- Filter.Reconfigure latency vs rule-set size -------------------------------
+
+// benchmarkReconfigure times a full rule-set reinstall — trie rebuild,
+// exact-table reset, view swap — at growing rule counts. Reconfigure
+// currently rebuilds the whole snapshot, so ns/op here is the baseline
+// the ROADMAP's snapshot-level trie-diffing item has to beat; recorded in
+// BENCH_engine.json so the trajectory is pinned before the incremental
+// builder lands.
+func benchmarkReconfigure(b *testing.B, k int) {
+	set := benchRules(b, k, 0)
+	e, err := enclave.New(enclave.CodeIdentity{
+		Name: "vif-filter", Version: "bench", BinarySize: 1 << 20,
+	}, enclave.DefaultCostModel())
+	if err != nil {
+		b.Fatal(err)
+	}
+	f, err := filter.New(e, set, filter.Config{Mode: filter.CopyModeNearZero})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := f.Reconfigure(set, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(k), "rules")
+}
+
+func BenchmarkReconfigure1k(b *testing.B)  { benchmarkReconfigure(b, 1000) }
+func BenchmarkReconfigure10k(b *testing.B) { benchmarkReconfigure(b, 10000) }
+func BenchmarkReconfigure25k(b *testing.B) { benchmarkReconfigure(b, 25000) }
 
 // --- Injection path: scalar vs batched producers ------------------------------
 

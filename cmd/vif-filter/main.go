@@ -60,6 +60,7 @@ func run(args []string, out io.Writer) error {
 		seed      = fs.Int64("seed", 1, "traffic generator seed")
 		shards    = fs.Int("shards", 0, "run the live sharded engine with this many enclaves (0: classic single-enclave pipeline)")
 		producers = fs.Int("producers", 2, "engine mode: concurrent traffic-generator goroutines")
+		victims   = fs.Int("victims", 1, "engine mode: serve this many victim namespaces (distinct rule sets, per-victim traffic mixes) through one shared engine")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -73,8 +74,17 @@ func run(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
-	if *shards < 0 || *producers < 1 {
-		return fmt.Errorf("bad -shards %d / -producers %d", *shards, *producers)
+	if *shards < 0 || *producers < 1 || *victims < 1 {
+		return fmt.Errorf("bad -shards %d / -producers %d / -victims %d", *shards, *producers, *victims)
+	}
+	if *victims > 1 {
+		if *shards == 0 {
+			return fmt.Errorf("-victims %d needs the engine: pass -shards N", *victims)
+		}
+		if *rulesPath != "" {
+			fmt.Fprintln(out, "note: -victims synthesizes one rule set per victim; -rules is ignored")
+		}
+		return runMultiVictim(out, mode, *shards, *producers, *victims, *size, *duration, *seed)
 	}
 	if *shards > 0 {
 		return runEngine(out, set, mode, *shards, *producers, *size, *duration, *seed)
@@ -307,7 +317,7 @@ func runEngine(out io.Writer, set *rules.Set, mode filter.CopyMode, n, producers
 
 	// Seal the run as one epoch and print the authenticated log digests a
 	// victim would fetch for the bypass audit.
-	logs, err := eng.RotateEpoch()
+	logs, err := eng.RotateEpoch(0)
 	if err != nil {
 		return err
 	}
@@ -325,6 +335,163 @@ func runEngine(out io.Writer, set *rules.Set, mode filter.CopyMode, n, producers
 		promoted += sm.Promoted
 	}
 	fmt.Fprintf(out, "flows promoted to exact-match at epoch boundary: %d\n", promoted)
+	eng.Stop()
+	return nil
+}
+
+// uniformBalancer builds the lb programme a fresh fleet starts from:
+// every shard serves 1/n of each rule's flows.
+func uniformBalancer(set *rules.Set, n int) (*lb.Balancer, error) {
+	shares := make(map[uint32][]float64, set.Len())
+	for _, r := range set.Rules {
+		row := make([]float64, n)
+		for j := range row {
+			row[j] = 1 / float64(n)
+		}
+		shares[r.ID] = row
+	}
+	return lb.New(lb.Config{FullSet: set, Shares: shares, N: n})
+}
+
+// runMultiVictim drives the shared multi-victim engine: one fleet of n
+// enclave shards concurrently serving `victims` independent rule
+// namespaces. Each victim v owns the prefix 10.v.0.0/16 with its own
+// synthesized rule set (drop DNS, drop half of HTTP) and its own uniform
+// balancer programme; producers generate each victim's traffic mix and
+// stamp descriptors through the dst-prefix → namespace map exactly as the
+// untrusted ingress fabric would. The run ends with per-victim verdicts,
+// EPC budget shares, and one sealed epoch per victim — rotated
+// independently, the way each victim's audit cadence would drive it.
+func runMultiVictim(out io.Writer, mode filter.CopyMode, n, producers, victims, size int, duration time.Duration, seed int64) error {
+	if victims > 250 {
+		return fmt.Errorf("-victims %d: demo prefixes support at most 250", victims)
+	}
+	model := enclave.DefaultCostModel()
+	eng, err := engine.New(engine.Config{Shards: n, EPCBytes: model.EPCBytes})
+	if err != nil {
+		return err
+	}
+
+	type victimState struct {
+		ns     int
+		prefix rules.Prefix
+	}
+	vmap := lb.NewVictimMap()
+	vs := make([]victimState, victims)
+	for v := range vs {
+		prefix := rules.Prefix{Addr: 10<<24 | uint32(v+1)<<16, Len: 16}
+		set, err := rules.NewSet([]rules.Rule{
+			rules.MustParse(fmt.Sprintf("drop udp from any to %s dport 53", prefix)),
+			rules.MustParse(fmt.Sprintf("drop 50%% tcp from any to %s dport 80", prefix)),
+		}, true)
+		if err != nil {
+			return err
+		}
+		filters := make([]*filter.Filter, n)
+		for i := range filters {
+			e, err := enclave.New(enclave.CodeIdentity{
+				Name: "vif-filter", Version: "1.0.0",
+				Config:     fmt.Sprintf("victim=%d shard=%d/%d", v, i, n),
+				BinarySize: 1 << 20,
+			}, model)
+			if err != nil {
+				return err
+			}
+			f, err := filter.New(e, set, filter.Config{Mode: mode})
+			if err != nil {
+				return err
+			}
+			filters[i] = f
+		}
+		bal, err := uniformBalancer(set, n)
+		if err != nil {
+			return err
+		}
+		ns, err := eng.AttachNamespace(engine.NamespaceConfig{
+			Filters: filters, Route: bal.Route, RouteBatch: bal.RouteBatch,
+		})
+		if err != nil {
+			return err
+		}
+		if err := vmap.Add(prefix, uint16(ns)); err != nil {
+			return err
+		}
+		vs[v] = victimState{ns: ns, prefix: prefix}
+	}
+	if err := eng.Start(); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "engine: %d shards, %d producers, %d victim namespaces, mode %s\n",
+		n, producers, victims, mode)
+	epcShares := eng.EPCShares()
+	var epcTotal int
+	for _, s := range epcShares {
+		epcTotal += s
+	}
+	fmt.Fprintf(out, "EPC budget: %.1f MB per shard machine apportioned across %d victims (shares sum %.1f MB)\n",
+		float64(eng.EPCBytes())/1e6, victims, float64(epcTotal)/1e6)
+
+	deadline := time.Now().Add(duration)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			// One generator per victim so every namespace sees its own
+			// traffic mix; bursts rotate victims and are stamped through
+			// the dst-prefix map before the batched injection.
+			gens := make([]*netsim.FlowGen, victims)
+			for v := range gens {
+				gens[v] = netsim.NewFlowGen(seed+int64(p*victims+v), vs[v].prefix.Addr, int(vs[v].prefix.Len))
+			}
+			burst := make([]packet.Descriptor, 256)
+			for v := 0; time.Now().Before(deadline); v = (v + 1) % victims {
+				gens[v].DescriptorsInto(burst, size)
+				vmap.Stamp(burst)
+				eng.InjectBatch(burst)
+			}
+		}(p)
+	}
+	wg.Wait()
+	eng.WaitDrained()
+	elapsed := time.Since(start)
+
+	m := eng.Metrics()
+	fmt.Fprintf(out, "\nwall-clock: %v, accepted %d descriptors (%.2f Mpps aggregate)\n",
+		elapsed.Round(time.Millisecond), m.Accepted, m.PPS/1e6)
+	fmt.Fprintf(out, "verdicts: allowed %d, dropped %d; backpressure drops %d, lb drops %d, ns drops %d\n",
+		m.Allowed, m.Dropped, m.Backpressure, m.LBDrops, m.NSDrops)
+	for _, sm := range m.Shards {
+		fmt.Fprintf(out, "  shard %d: processed %d (%.2f Mpps), allowed %d, dropped %d, avg batch %.1f, %.0f ns/pkt modeled\n",
+			sm.Shard, sm.Processed, sm.PPS/1e6, sm.Allowed, sm.Dropped, sm.AvgBatch, sm.NsPerPacket)
+	}
+
+	// Per-victim accounting and one independently sealed epoch each: the
+	// digests are what each victim would fetch for its own bypass audit.
+	// Rotation runs first so the per-victim line reflects the promotions
+	// the epoch boundary performed.
+	for _, v := range vs {
+		logs, err := eng.RotateEpoch(v.ns)
+		if err != nil {
+			return err
+		}
+		var nm engine.NamespaceMetrics
+		for _, cand := range eng.Metrics().Namespaces {
+			if cand.NS == v.ns {
+				nm = cand
+				break
+			}
+		}
+		fmt.Fprintf(out, "victim ns=%d %v: processed %d, allowed %d, dropped %d, promoted %d, EPC share %.1f MB, paging %.2f\n",
+			v.ns, v.prefix, nm.Processed, nm.Allowed, nm.Dropped, nm.Promoted,
+			float64(nm.EPCShareBytes)/1e6, nm.PagingPressure)
+		for _, l := range logs {
+			outDigest := sha256.Sum256(l.Outgoing.Data)
+			fmt.Fprintf(out, "  epoch %d shard %d: outgoing %d bytes digest %x...\n",
+				l.Seq, l.Shard, len(l.Outgoing.Data), outDigest[:8])
+		}
+	}
 	eng.Stop()
 	return nil
 }

@@ -122,3 +122,36 @@ func TestRunEngineMode(t *testing.T) {
 		}
 	}
 }
+
+func TestRunMultiVictimMode(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{
+		"-shards", "2", "-producers", "2", "-victims", "3", "-duration", "150ms",
+	}, &out); err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	for _, want := range []string{
+		"engine: 2 shards, 2 producers, 3 victim namespaces",
+		"EPC budget:",
+		"victim ns=0 10.1.0.0/16:",
+		"victim ns=1 10.2.0.0/16:",
+		"victim ns=2 10.3.0.0/16:",
+		"epoch 1 shard 0:", "epoch 1 shard 1:",
+		"ns drops 0",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("multi-victim output missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestRunMultiVictimNeedsEngine(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-victims", "2"}, &out); err == nil {
+		t.Fatal("-victims without -shards accepted")
+	}
+	if err := run([]string{"-victims", "0"}, &out); err == nil {
+		t.Fatal("-victims 0 accepted")
+	}
+}

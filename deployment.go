@@ -4,12 +4,14 @@ import (
 	"crypto/ecdsa"
 	"errors"
 	"fmt"
+	"sync"
 
 	"github.com/innetworkfiltering/vif/internal/attest"
 	"github.com/innetworkfiltering/vif/internal/bgp"
 	"github.com/innetworkfiltering/vif/internal/cluster"
 	"github.com/innetworkfiltering/vif/internal/dist"
 	"github.com/innetworkfiltering/vif/internal/enclave"
+	"github.com/innetworkfiltering/vif/internal/engine"
 	"github.com/innetworkfiltering/vif/internal/filter"
 	"github.com/innetworkfiltering/vif/internal/lb"
 	"github.com/innetworkfiltering/vif/internal/rpki"
@@ -70,6 +72,12 @@ type Deployment struct {
 	service  *attest.Service
 	platform *attest.Platform
 	registry *rpki.Registry
+
+	// shared is the deployment-wide multi-victim engine (nil until
+	// SharedEngine is called). Victim sessions attach to it as rule
+	// namespaces instead of each running a private engine.
+	engMu  sync.Mutex
+	shared *engine.Engine
 }
 
 // NewDeployment stands up a filtering service whose platform is certified
@@ -102,7 +110,81 @@ func (d *Deployment) Identity() CodeIdentity { return d.cfg.Identity }
 // (published out of band; victims pin it).
 func (d *Deployment) ServiceRoot() ecdsa.PublicKey { return d.service.RootPublicKey() }
 
-// startCluster builds the enclave fleet for one authorized rule set.
+// SharedEngineConfig sizes the deployment-wide multi-victim engine.
+type SharedEngineConfig struct {
+	// Shards is the number of enclave worker shards every attached victim
+	// namespace spans. Default 4.
+	Shards int
+	// RingSize is each shard's ingress ring capacity. Default 4096.
+	RingSize int
+	// Batch is the worker burst size. Default 64.
+	Batch int
+}
+
+// SharedEngine starts (once) and returns the deployment's multi-victim
+// engine: one sharded data plane serving every victim session that
+// subsequently calls StartEngine, each as its own rule namespace with
+// independent epoch rotation and an apportioned share of the machines'
+// EPC. Subsequent calls return the same engine (the config is fixed by
+// the first call). This is the paper's actual deployment shape: a transit
+// AS / IXP filtering for many downstream victims at once.
+func (d *Deployment) SharedEngine(cfg SharedEngineConfig) (*Engine, error) {
+	d.engMu.Lock()
+	defer d.engMu.Unlock()
+	if d.shared != nil {
+		return d.shared, nil
+	}
+	if cfg.Shards == 0 {
+		cfg.Shards = 4
+	}
+	eng, err := engine.New(engine.Config{
+		Shards:   cfg.Shards,
+		RingSize: cfg.RingSize,
+		Batch:    cfg.Batch,
+		EPCBytes: d.cfg.CostModel.EPCBytes,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("vif: shared engine: %w", err)
+	}
+	if err := eng.Start(); err != nil {
+		return nil, fmt.Errorf("vif: shared engine: %w", err)
+	}
+	d.shared = eng
+	return eng, nil
+}
+
+// StopSharedEngine drains and stops the deployment's shared engine.
+// Attached sessions should detach first (Session.StopEngine); namespaces
+// still attached simply stop receiving traffic.
+func (d *Deployment) StopSharedEngine() {
+	d.engMu.Lock()
+	defer d.engMu.Unlock()
+	if d.shared == nil {
+		return
+	}
+	d.shared.Stop()
+	d.shared = nil
+}
+
+// sharedEngine returns the shared engine, or nil when none is running.
+func (d *Deployment) sharedEngine() *engine.Engine {
+	d.engMu.Lock()
+	defer d.engMu.Unlock()
+	return d.shared
+}
+
+// pinnedShards returns the shared engine's shard count, or 0 when no
+// shared engine is up (fleets are then free-sized by the optimizer).
+func (d *Deployment) pinnedShards() int {
+	if eng := d.sharedEngine(); eng != nil {
+		return eng.Shards()
+	}
+	return 0
+}
+
+// startCluster builds the enclave fleet for one authorized rule set. When
+// the shared engine is already up, the fleet is pinned to its shard count
+// so the session can attach as a namespace without a later re-shard.
 func (d *Deployment) startCluster(set *rules.Set) (*cluster.Cluster, error) {
 	epc := float64(d.cfg.CostModel.EPCBytes)
 	return cluster.New(cluster.Config{
@@ -117,8 +199,9 @@ func (d *Deployment) startCluster(set *rules.Set) (*cluster.Cluster, error) {
 			Alpha:  1,
 			Lambda: 0.2,
 		},
-		MaxEnclaves: d.cfg.MaxEnclaves,
-		Faults:      d.cfg.LBFaults,
+		MaxEnclaves:    d.cfg.MaxEnclaves,
+		PinnedEnclaves: d.pinnedShards(),
+		Faults:         d.cfg.LBFaults,
 	}, set)
 }
 

@@ -11,11 +11,22 @@ import (
 
 // Engine mode: instead of pushing packets one at a time through
 // Session.Process (the analytical single-threaded path used by the
-// experiment harness), a session can launch the concurrent sharded runtime
-// of §IV-B. Each attested enclave becomes a worker shard behind a bounded
-// MPSC ring; the untrusted load balancer's rule-distribution programme
-// assigns flows to shards; per-epoch authenticated sketch snapshots feed
-// the same bypass-detection checks the serial path uses.
+// experiment harness), a session can run on the concurrent sharded runtime
+// of §IV-B. Two shapes exist:
+//
+//   - Private engine (no Deployment.SharedEngine): StartEngine builds an
+//     engine over the session's own attested fleet, one worker per
+//     enclave — the original single-victim mode.
+//   - Shared engine (Deployment.SharedEngine started first): StartEngine
+//     ATTACHES the session to the deployment-wide engine as a victim rule
+//     namespace. Many sessions filter concurrently through one shard
+//     fleet, each with its own rules, its own epoch/audit cadence, and an
+//     apportioned share of the machines' EPC; StopEngine detaches the
+//     namespace and releases its share without disturbing the other
+//     victims.
+//
+// In both shapes, per-epoch authenticated sketch snapshots feed the same
+// bypass-detection checks the serial path uses.
 
 // Re-exported engine vocabulary.
 type (
@@ -25,7 +36,10 @@ type (
 	EngineMetrics = engine.Metrics
 	// ShardMetrics is one shard's counter block.
 	ShardMetrics = engine.ShardMetrics
-	// EpochLog is one shard's sealed per-epoch authenticated logs.
+	// NamespaceMetrics is one victim namespace's counter block.
+	NamespaceMetrics = engine.NamespaceMetrics
+	// EpochLog is one (namespace, shard) sealed per-epoch authenticated
+	// log pair.
 	EpochLog = engine.EpochLog
 )
 
@@ -40,29 +54,42 @@ var ErrNoEngine = errors.New("vif: no engine running")
 // EngineConfig sizes the session's concurrent runtime.
 type EngineConfig struct {
 	// RingSize is each shard's ingress ring capacity. Default 4096.
+	// Ignored when attaching to a shared engine (its rings are fixed).
 	RingSize int
-	// Batch is the worker burst size. Default 64.
+	// Batch is the worker burst size. Default 64. Ignored when attaching
+	// to a shared engine.
 	Batch int
 	// Deliver, when set, observes every packet the fleet forwards toward
 	// the victim (called on worker goroutines; keep it cheap). Simulations
 	// use it to drive Session.ObserveDelivered through the downstream
-	// path.
+	// path. On a shared engine only this session's packets are delivered
+	// here — namespace dispatch keeps victims' traffic apart.
 	Deliver func(d Descriptor)
 }
 
-// StartEngine launches the concurrent data plane over the session's
-// attested fleet: one worker per enclave, shard assignment by the
-// deployment's load balancer. While the engine runs, the serial methods
-// (Process, Reconfigure, AuditOutgoing, NewRound) refuse — the engine owns
-// the filters. Stop it with StopEngine (or Engine.Stop) to return to the
-// serial path.
+// StartEngine moves the session onto the concurrent data plane. With a
+// deployment shared engine up (Deployment.SharedEngine), the session's
+// fleet is pinned to the engine's shard count (re-attesting any newly
+// spawned enclaves) and attached as a victim rule namespace; otherwise a
+// private engine is built over the session's fleet as before. While
+// engine mode is active, the serial methods (Process, Reconfigure,
+// AuditOutgoing, NewRound) refuse — the engine owns the filters. Leave
+// engine mode with StopEngine.
 func (s *Session) StartEngine(cfg EngineConfig) (*Engine, error) {
 	if s.Aborted() {
 		return nil, ErrAborted
 	}
-	if s.engine != nil && s.engine.Running() {
+	if s.EngineRunning() {
 		return nil, ErrEngineRunning
 	}
+	// A stale attachment to a shared engine the operator already stopped
+	// (or a stopped private engine) is released first, so it can never
+	// shadow the engine started below when StopEngine runs later.
+	s.StopEngine()
+	if shared := s.deployment.sharedEngine(); shared != nil {
+		return s.attachShared(shared, cfg)
+	}
+
 	var sink engine.Sink
 	if cfg.Deliver != nil {
 		deliver := cfg.Deliver
@@ -87,9 +114,53 @@ func (s *Session) StartEngine(cfg EngineConfig) (*Engine, error) {
 	return eng, nil
 }
 
-// StopEngine drains and stops the running engine, returning the session to
-// the serial path. No-op when no engine is live.
+// attachShared pins the session fleet to the shared engine's shard count
+// and attaches it as a namespace.
+func (s *Session) attachShared(shared *Engine, cfg EngineConfig) (*Engine, error) {
+	shards := shared.Shards()
+	if s.cluster.Size() != shards {
+		if err := s.cluster.PinSize(shards); err != nil {
+			return nil, fmt.Errorf("vif: pin fleet to %d shards: %w", shards, err)
+		}
+		// The pin may have spawned fresh enclaves: the victim attests the
+		// whole fleet again before trusting any of its logs.
+		if err := s.attestFleet(); err != nil {
+			return nil, err
+		}
+	}
+	var sink engine.Sink
+	if cfg.Deliver != nil {
+		deliver := cfg.Deliver
+		sink = func(_ int, d Descriptor) { deliver(d) }
+	}
+	bal := s.cluster.Balancer()
+	ns, err := shared.AttachNamespace(engine.NamespaceConfig{
+		Filters:    s.cluster.Filters(),
+		Route:      bal.Route,
+		RouteBatch: bal.RouteBatch,
+		Sink:       sink,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("vif: attach namespace: %w", err)
+	}
+	s.attached.Store(&attachment{eng: shared, ns: ns})
+	return shared, nil
+}
+
+// StopEngine leaves engine mode, returning the session to the serial
+// path. On a shared engine the session's namespace is detached — its EPC
+// budget share is released to the remaining victims and in-flight packets
+// of this namespace are dropped, while every other session keeps
+// filtering undisturbed. A private engine is drained and stopped. Both
+// are handled (a stale attachment to an engine the operator already
+// stopped never shadows a live private engine). No-op when no engine is
+// live.
 func (s *Session) StopEngine() {
+	if att := s.attached.Swap(nil); att != nil {
+		// ErrUnknownNamespace can only mean a double detach; idempotence
+		// is the contract here, so it is deliberately ignored.
+		_, _ = att.eng.DetachNamespace(att.ns)
+	}
 	if s.engine == nil {
 		return
 	}
@@ -97,47 +168,127 @@ func (s *Session) StopEngine() {
 	s.engine = nil
 }
 
-// EngineRunning reports whether an engine currently owns the data plane.
+// EngineRunning reports whether an engine currently owns the session's
+// data plane (a private engine, or an attached shared-engine namespace).
 func (s *Session) EngineRunning() bool {
+	if att := s.attached.Load(); att != nil && att.eng.Running() {
+		return true
+	}
 	return s.engine != nil && s.engine.Running()
 }
 
-// InjectBatch forwards a whole burst of descriptors to the running engine
-// through its batched injection path: the burst is routed once by the
-// deployment's load balancer, scattered into per-shard runs, and each run
-// lands in its shard's ring with a single reservation. It returns how many
-// descriptors the data plane accepted — the rest were balancer drops or
-// ring backpressure (visible in EngineMetrics) and are dropped, NIC-style;
-// the count is not a resumable prefix of ds (see Engine.InjectBatch) — or
-// ErrNoEngine when no engine owns the data plane. Safe for any number of
-// concurrent producers; a concurrent StopEngine makes in-flight calls
-// return 0 or ErrNoEngine, never panic.
+// Namespace returns the session's victim namespace id on the shared
+// engine. ok is false in private-engine or serial mode.
+func (s *Session) Namespace() (ns int, ok bool) {
+	att := s.attached.Load()
+	if att == nil {
+		return 0, false
+	}
+	return att.ns, true
+}
+
+// liveEngine returns the engine owning this session's data plane, the
+// namespace id to stamp, and whether descriptors need stamping. The
+// attachment is read with one atomic load, so a concurrent StopEngine
+// can never tear the (engine, namespace) pair apart — a racing producer
+// either stamps the old namespace (whose packets the engine then drops
+// as ns drops or orphans) or sees no engine at all, never another
+// victim's id.
+func (s *Session) liveEngine() (*Engine, uint16, bool) {
+	if att := s.attached.Load(); att != nil && att.eng.Running() {
+		return att.eng, uint16(att.ns), true
+	}
+	if eng := s.engine; eng != nil && eng.Running() {
+		return eng, 0, false
+	}
+	return nil, 0, false
+}
+
+// Inject forwards one descriptor to the session's engine, stamping it
+// with the session's namespace on a shared engine. Reports false when the
+// engine refused it (balancer drop, ring backpressure, stopping) or no
+// engine is live.
+func (s *Session) Inject(d Descriptor) bool {
+	eng, ns, stamp := s.liveEngine()
+	if eng == nil {
+		return false
+	}
+	if stamp {
+		d.NS = ns
+	}
+	return eng.Inject(d)
+}
+
+// InjectBatch forwards a whole burst of descriptors to the session's
+// engine through its batched injection path: the burst is stamped with
+// the session's namespace (shared engine), routed once by this victim's
+// load-balancer programme, scattered into per-shard runs, and each run
+// lands in its shard's ring with a single reservation. It returns how
+// many descriptors the data plane accepted — the rest were balancer
+// drops or ring backpressure (visible in EngineMetrics) and are dropped,
+// NIC-style; the count is not a resumable prefix of ds (see
+// Engine.InjectBatch) — or ErrNoEngine when no engine owns the data
+// plane. The descriptors' NS field is overwritten in place on the shared
+// path. Safe for any number of concurrent producers; a concurrent
+// StopEngine makes in-flight calls return 0 or ErrNoEngine, never panic.
 func (s *Session) InjectBatch(ds []Descriptor) (int, error) {
-	eng := s.engine // one read: StopEngine nils the field concurrently
-	if eng == nil || !eng.Running() {
+	eng, ns, stamp := s.liveEngine() // one read: StopEngine detaches concurrently
+	if eng == nil {
 		return 0, ErrNoEngine
+	}
+	if stamp {
+		for i := range ds {
+			ds[i].NS = ns
+		}
 	}
 	return eng.InjectBatch(ds), nil
 }
 
-// EngineMetrics snapshots the running engine's per-shard counter blocks
-// (verdicts, queue depths, backpressure, batch occupancy, modeled
-// ns/packet). Like Session.Stats, it is safe to call while the data plane
-// runs: the workers publish counters once per burst through atomics, so
-// monitoring never synchronizes with — or races against — the hot path.
+// EngineMetrics snapshots the running engine's counter blocks (per-shard
+// and per-namespace verdicts, queue depths, backpressure, batch
+// occupancy, modeled ns/packet, EPC shares). Like Session.Stats, it is
+// safe to call while the data plane runs: the workers publish counters
+// once per burst through atomics, so monitoring never synchronizes with —
+// or races against — the hot path. On a shared engine the snapshot spans
+// every victim; use VictimMetrics for just this session's namespace.
 func (s *Session) EngineMetrics() (EngineMetrics, error) {
+	if att := s.attached.Load(); att != nil {
+		return att.eng.Metrics(), nil
+	}
 	if s.engine == nil {
 		return EngineMetrics{}, ErrNoEngine
 	}
 	return s.engine.Metrics(), nil
 }
 
-// AuditEngineEpoch seals the current epoch on every shard (without
-// stopping the data plane), authenticates and merges the per-shard
-// outgoing logs with the MAC keys obtained during attestation, and
-// compares them against the victim's local received-traffic log — the
+// VictimMetrics returns this session's own namespace counters: verdicts,
+// epochs, promotions, the EPC budget share, and the modeled paging
+// pressure under it.
+func (s *Session) VictimMetrics() (NamespaceMetrics, error) {
+	m, err := s.EngineMetrics()
+	if err != nil {
+		return NamespaceMetrics{}, err
+	}
+	want := 0
+	if att := s.attached.Load(); att != nil {
+		want = att.ns
+	}
+	for _, nm := range m.Namespaces {
+		if nm.NS == want {
+			return nm, nil
+		}
+	}
+	return NamespaceMetrics{}, ErrNoEngine
+}
+
+// AuditEngineEpoch seals the session's current epoch on every shard
+// (without stopping the data plane), authenticates and merges the
+// per-shard outgoing logs with the MAC keys obtained during attestation,
+// and compares them against the victim's local received-traffic log — the
 // §III-B bypass check, per epoch. The victim's local log is reset so the
-// next epoch starts a fresh audit window on both sides.
+// next epoch starts a fresh audit window on both sides. On a shared
+// engine only this session's namespace rotates: every victim audits on
+// its own cadence, concurrently, without blocking the others.
 //
 // For an exact comparison, quiesce first (Engine.WaitDrained after the
 // producers stop): a rotation under live traffic can attribute packets in
@@ -151,7 +302,13 @@ func (s *Session) AuditEngineEpoch() (bypass.Verdict, error) {
 	if !s.EngineRunning() {
 		return bypass.Verdict{}, ErrNoEngine
 	}
-	logs, err := s.engine.RotateEpoch()
+	var logs []EpochLog
+	var err error
+	if att := s.attached.Load(); att != nil {
+		logs, err = att.eng.RotateEpoch(att.ns)
+	} else {
+		logs, err = s.engine.RotateEpoch(0)
+	}
 	if err != nil {
 		return bypass.Verdict{}, fmt.Errorf("vif: rotate epoch: %w", err)
 	}

@@ -276,3 +276,290 @@ func TestEngineReportsMisrouting(t *testing.T) {
 		t.Fatal("misrouting balancer went unreported")
 	}
 }
+
+// twoVictimDeployment authorizes two victims with disjoint prefixes.
+func twoVictimDeployment(t *testing.T) *Deployment {
+	t.Helper()
+	svc, err := attest.NewService()
+	if err != nil {
+		t.Fatal(err)
+	}
+	registry := rpki.NewRegistry()
+	if err := registry.Add(rpki.ROA{
+		Prefix: rules.MustParsePrefix("192.0.2.0/24"), ASN: victimASN, MaxLength: 32,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := registry.Add(rpki.ROA{
+		Prefix: rules.MustParsePrefix("198.51.100.0/24"), ASN: 64501, MaxLength: 32,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	d, err := NewDeployment(DeploymentConfig{Name: "AMS-IX"}, svc, registry)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func victimBRules(t *testing.T) *RuleSet {
+	t.Helper()
+	r1, err := ParseRule("drop udp from any to 198.51.100.0/24 dport 123")
+	if err != nil {
+		t.Fatal(err)
+	}
+	set, err := NewRuleSet([]Rule{r1}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return set
+}
+
+// sharedEngineTraffic builds victim-targeted traffic: half hits the
+// victim's drop rule (attack), half is legitimate TCP/443.
+func sharedEngineTraffic(n int, seed int64, dst string, attackPort uint16) (descs []Descriptor, attack int) {
+	rng := rand.New(rand.NewSource(seed))
+	victim := packet.MustParseIP(dst)
+	descs = make([]Descriptor, n)
+	for i := range descs {
+		var tp FiveTuple
+		if i%2 == 0 {
+			tp = FiveTuple{
+				SrcIP: rng.Uint32(), DstIP: victim,
+				SrcPort: attackPort, DstPort: attackPort, Proto: packet.ProtoUDP,
+			}
+			attack++
+		} else {
+			tp = FiveTuple{
+				SrcIP: rng.Uint32(), DstIP: victim,
+				SrcPort: uint16(rng.Intn(60000) + 1), DstPort: 443, Proto: packet.ProtoTCP,
+			}
+		}
+		descs[i] = Descriptor{Tuple: tp, Size: 512}
+	}
+	return descs, attack
+}
+
+// TestSharedEngineTwoSessions is the tentpole acceptance test at the
+// public API: two victims' sessions share one deployment engine, filter
+// interleaved traffic with correct per-victim verdicts, audit on
+// independent epoch cadences, hold EPC budget shares that sum to the
+// machine EPC, and detach independently — one victim leaving never
+// disturbs the other.
+func TestSharedEngineTwoSessions(t *testing.T) {
+	d := twoVictimDeployment(t)
+
+	// Session A exists BEFORE the shared engine: StartEngine must re-pin
+	// its fleet to the engine's shard count and re-attest.
+	sessionA, err := RequestFiltering(victimASN, d, victimRules(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := d.SharedEngine(SharedEngineConfig{Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eng2, err := d.SharedEngine(SharedEngineConfig{Shards: 7}); err != nil || eng2 != eng {
+		t.Fatalf("second SharedEngine call: %v, same=%v", err, eng2 == eng)
+	}
+	// Session B is created with the engine already up: its fleet is
+	// pinned from the start.
+	sessionB, err := RequestFiltering(64501, d, victimBRules(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	engA, err := sessionA.StartEngine(EngineConfig{
+		Deliver: func(de Descriptor) { sessionA.ObserveDelivered(de.Tuple) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	engB, err := sessionB.StartEngine(EngineConfig{
+		Deliver: func(de Descriptor) { sessionB.ObserveDelivered(de.Tuple) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if engA != eng || engB != eng {
+		t.Fatal("sessions did not attach to the deployment's shared engine")
+	}
+	nsA, okA := sessionA.Namespace()
+	nsB, okB := sessionB.Namespace()
+	if !okA || !okB || nsA == nsB {
+		t.Fatalf("namespaces %d/%d ok=%v/%v", nsA, nsB, okA, okB)
+	}
+	if !sessionA.EngineRunning() || !sessionB.EngineRunning() {
+		t.Fatal("sessions not in engine mode after attach")
+	}
+	// Serial paths refuse while attached.
+	if err := sessionA.Reconfigure(); !errors.Is(err, ErrEngineRunning) {
+		t.Fatalf("Reconfigure while attached: %v", err)
+	}
+	if _, err := sessionB.AuditOutgoing(); !errors.Is(err, ErrEngineRunning) {
+		t.Fatalf("AuditOutgoing while attached: %v", err)
+	}
+
+	// EPC budget: shares of both namespaces sum to the machine EPC.
+	shares := eng.EPCShares()
+	if got := shares[nsA] + shares[nsB]; got != eng.EPCBytes() {
+		t.Fatalf("EPC shares %v sum %d, machine EPC %d", shares, got, eng.EPCBytes())
+	}
+
+	// Interleaved traffic through both sessions' batched paths. Tiny rule
+	// sets land whole on one shard (the pinned fleet's other shard is
+	// padding), so drain between burst pairs — this test pins verdict
+	// totals, and InjectBatch's count is not a resumable prefix.
+	descsA, attackA := sharedEngineTraffic(3000, 1, "192.0.2.10", 53)
+	descsB, attackB := sharedEngineTraffic(3000, 2, "198.51.100.10", 123)
+	for off := 0; off < 3000; off += 250 {
+		end := min(off+250, 3000)
+		if n, err := sessionA.InjectBatch(descsA[off:end]); err != nil || n != end-off {
+			t.Fatalf("A burst at %d: n=%d err=%v", off, n, err)
+		}
+		if n, err := sessionB.InjectBatch(descsB[off:end]); err != nil || n != end-off {
+			t.Fatalf("B burst at %d: n=%d err=%v", off, n, err)
+		}
+		eng.WaitDrained()
+	}
+
+	// Per-victim verdicts: each session drops exactly its own attack
+	// traffic.
+	vmA, err := sessionA.VictimMetrics()
+	if err != nil {
+		t.Fatal(err)
+	}
+	vmB, err := sessionB.VictimMetrics()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vmA.Processed != 3000 || vmA.Dropped != uint64(attackA) {
+		t.Fatalf("victim A processed/dropped %d/%d, want 3000/%d", vmA.Processed, vmA.Dropped, attackA)
+	}
+	if vmB.Processed != 3000 || vmB.Dropped != uint64(attackB) {
+		t.Fatalf("victim B processed/dropped %d/%d, want 3000/%d", vmB.Processed, vmB.Dropped, attackB)
+	}
+	if vmA.EPCShareBytes+vmB.EPCShareBytes != eng.EPCBytes() {
+		t.Fatalf("victim metrics EPC shares %d+%d != %d", vmA.EPCShareBytes, vmB.EPCShareBytes, eng.EPCBytes())
+	}
+
+	// Independent audit cadences: A audits twice while B audits once;
+	// every audit is clean (honest deployment, per-namespace sinks must
+	// have routed each victim exactly its own packets).
+	if v, err := sessionA.AuditEngineEpoch(); err != nil || !v.Clean {
+		t.Fatalf("A epoch 1: %+v err=%v", v, err)
+	}
+	moreA, _ := sharedEngineTraffic(1000, 3, "192.0.2.10", 53)
+	if _, err := sessionA.InjectBatch(moreA); err != nil {
+		t.Fatal(err)
+	}
+	eng.WaitDrained()
+	if v, err := sessionA.AuditEngineEpoch(); err != nil || !v.Clean {
+		t.Fatalf("A epoch 2: %+v err=%v", v, err)
+	}
+	if v, err := sessionB.AuditEngineEpoch(); err != nil || !v.Clean {
+		t.Fatalf("B epoch 1: %+v err=%v", v, err)
+	}
+	if got := eng.Epoch(nsA); got != 2 {
+		t.Fatalf("A sealed %d epochs, want 2", got)
+	}
+	if got := eng.Epoch(nsB); got != 1 {
+		t.Fatalf("B sealed %d epochs, want 1", got)
+	}
+
+	// A detaches; B keeps filtering through the same engine.
+	sessionA.StopEngine()
+	if sessionA.EngineRunning() {
+		t.Fatal("A still in engine mode after StopEngine")
+	}
+	if !sessionB.EngineRunning() {
+		t.Fatal("B lost its engine when A detached")
+	}
+	if got := eng.EPCShares()[nsB]; got != eng.EPCBytes() {
+		t.Fatalf("B's share %d after A detached, want the whole EPC %d", got, eng.EPCBytes())
+	}
+	// A's serial path is handed back (its filters left engine ownership).
+	if v := sessionA.Process(descsA[1]); v != VerdictAllow {
+		t.Fatalf("A serial Process after detach: %v", v)
+	}
+	if err := sessionA.Reconfigure(); err != nil {
+		t.Fatalf("A Reconfigure after detach: %v", err)
+	}
+	// B continues: inject, audit, clean.
+	moreB, _ := sharedEngineTraffic(1000, 4, "198.51.100.10", 123)
+	if _, err := sessionB.InjectBatch(moreB); err != nil {
+		t.Fatal(err)
+	}
+	eng.WaitDrained()
+	if v, err := sessionB.AuditEngineEpoch(); err != nil || !v.Clean {
+		t.Fatalf("B epoch 2 after A left: %+v err=%v", v, err)
+	}
+
+	// Abort detaches too (the satellite fix: stopping one session must
+	// release shared-engine state, not tear the engine down).
+	sessionB.Abort()
+	if got := len(eng.Namespaces()); got != 0 {
+		t.Fatalf("%d namespaces still attached after both sessions left", got)
+	}
+	if !eng.Running() {
+		t.Fatal("shared engine stopped by a session detach")
+	}
+	d.StopSharedEngine()
+	if eng.Running() {
+		t.Fatal("engine still running after StopSharedEngine")
+	}
+}
+
+// TestStaleAttachmentNeverShadowsPrivateEngine pins the recovery path:
+// the operator stops the shared engine while a session is still
+// attached; the session then starts a (private) engine and must be able
+// to stop it and return to the serial path — the stale attachment to the
+// dead engine cannot shadow the live private engine.
+func TestStaleAttachmentNeverShadowsPrivateEngine(t *testing.T) {
+	d := twoVictimDeployment(t)
+	if _, err := d.SharedEngine(SharedEngineConfig{Shards: 2}); err != nil {
+		t.Fatal(err)
+	}
+	session, err := RequestFiltering(victimASN, d, victimRules(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := session.StartEngine(EngineConfig{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := session.Namespace(); !ok {
+		t.Fatal("session not attached to the shared engine")
+	}
+	d.StopSharedEngine()
+	if session.EngineRunning() {
+		t.Fatal("engine mode still reported on a stopped shared engine")
+	}
+
+	// A fresh StartEngine now builds a private engine (no shared engine
+	// is up); the stale attachment must be cleaned out along the way.
+	eng, err := session.StartEngine(EngineConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := session.Namespace(); ok {
+		t.Fatal("stale shared-engine namespace survived a private StartEngine")
+	}
+	if !session.EngineRunning() {
+		t.Fatal("private engine not running")
+	}
+	descs, _ := engineTraffic(100, 9)
+	if n, err := session.InjectBatch(descs); err != nil || n != len(descs) {
+		t.Fatalf("inject on private engine: n=%d err=%v", n, err)
+	}
+	eng.WaitDrained()
+
+	// StopEngine must stop the PRIVATE engine, not just detach the stale
+	// attachment — the serial path comes back.
+	session.StopEngine()
+	if session.EngineRunning() {
+		t.Fatal("private engine survived StopEngine")
+	}
+	if err := session.Reconfigure(); err != nil {
+		t.Fatalf("serial path not handed back: %v", err)
+	}
+}

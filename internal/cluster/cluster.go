@@ -48,6 +48,14 @@ type Config struct {
 	Dist dist.Instance
 	// MaxEnclaves caps scale-out. Default 256.
 	MaxEnclaves int
+	// PinnedEnclaves, when positive, fixes the fleet at exactly this many
+	// enclaves regardless of what the optimizer would open — the shape a
+	// shared multi-victim engine imposes, where every victim namespace
+	// must present one filter per engine shard. The distribution is still
+	// computed by the greedy; its allocation is padded with empty columns
+	// (an enclave holding no share of a rule simply receives none of its
+	// flows). Rules needing more enclaves than the pin is an error.
+	PinnedEnclaves int
 	// WindowSeconds is the measurement window length used to convert the
 	// enclaves' per-rule byte counts into bandwidths (the control plane
 	// timestamps windows externally because enclave clocks are untrusted).
@@ -119,6 +127,30 @@ func (c *Cluster) Process(d packet.Descriptor) filter.Verdict {
 	return c.filters[j].Process(d)
 }
 
+// PinSize fixes the fleet at exactly n enclaves and re-runs a
+// redistribution round under the pin (with the uniform traffic estimate a
+// fresh fleet starts from). A session attaching to a shared multi-victim
+// engine calls this so its namespace presents exactly one filter per
+// engine shard; newly spawned members must be re-attested by the victim
+// afterwards, like any reconfiguration. Fails when the rules cannot fit n
+// enclaves.
+func (c *Cluster) PinSize(n int) error {
+	if n <= 0 {
+		return errors.New("cluster: pinned size must be positive")
+	}
+	prev := c.cfg.PinnedEnclaves
+	c.cfg.PinnedEnclaves = n
+	uniform := make(map[uint32]uint64, c.set.Len())
+	for _, r := range c.set.Rules {
+		uniform[r.ID] = 1
+	}
+	if err := c.Reconfigure(uniform); err != nil {
+		c.cfg.PinnedEnclaves = prev
+		return err
+	}
+	return nil
+}
+
 // MeasuredBytes aggregates the per-rule byte counters across all member
 // enclaves — the {R_i, B_i} upload step of Figure 5. reset starts the next
 // measurement window.
@@ -154,26 +186,40 @@ func (c *Cluster) Reconfigure(measured map[uint32]uint64) error {
 	if err != nil {
 		return fmt.Errorf("cluster: redistribute: %w", err)
 	}
-	if alloc.N > c.cfg.MaxEnclaves {
-		return fmt.Errorf("%w: need %d", ErrTooLarge, alloc.N)
+	n := alloc.N
+	if p := c.cfg.PinnedEnclaves; p > 0 {
+		if alloc.N > p {
+			return fmt.Errorf("%w: rules need %d enclaves, fleet pinned at %d", ErrTooLarge, alloc.N, p)
+		}
+		// Pad every rule's share row with empty columns so the balancer
+		// programme spans the pinned fleet.
+		for i := range alloc.X {
+			row := make([]float64, p)
+			copy(row, alloc.X[i])
+			alloc.X[i] = row
+		}
+		n = p
+	}
+	if n > c.cfg.MaxEnclaves {
+		return fmt.Errorf("%w: need %d", ErrTooLarge, n)
 	}
 
 	// Scale the fleet: spawn and attest new enclaves as needed. Extra
 	// enclaves beyond the allocation are retired (their EPC is reclaimed).
-	for len(c.filters) < alloc.N {
+	for len(c.filters) < n {
 		f, err := c.spawnAttested()
 		if err != nil {
 			return err
 		}
 		c.filters = append(c.filters, f)
 	}
-	if len(c.filters) > alloc.N {
-		c.filters = c.filters[:alloc.N]
+	if len(c.filters) > n {
+		c.filters = c.filters[:n]
 	}
 
 	// Build per-enclave shards and the balancer programme.
 	shares := make(map[uint32][]float64, c.set.Len())
-	shardIDs := make([]map[uint32]bool, alloc.N)
+	shardIDs := make([]map[uint32]bool, n)
 	for j := range shardIDs {
 		shardIDs[j] = make(map[uint32]bool)
 	}
@@ -210,7 +256,7 @@ func (c *Cluster) Reconfigure(measured map[uint32]uint64) error {
 	bal, err := lb.New(lb.Config{
 		FullSet: c.set,
 		Shares:  shares,
-		N:       alloc.N,
+		N:       n,
 		Faults:  c.cfg.Faults,
 	})
 	if err != nil {

@@ -352,3 +352,67 @@ func TestReconfigureRespectsMaxEnclaves(t *testing.T) {
 		t.Fatal("surge beyond MaxEnclaves accepted")
 	}
 }
+
+// TestPinSizeFixesFleetShape covers the shared-engine shape: a pinned
+// fleet spans exactly n enclaves regardless of what the optimizer would
+// open (padded share rows for the empty tail), verdicts stay identical to
+// a single filter, and rules that genuinely need more enclaves than the
+// pin refuse rather than silently overcommitting.
+func TestPinSizeFixesFleetShape(t *testing.T) {
+	cfg, _ := testConfig(t)
+	set := bigSet(t, 40)
+	c, err := New(cfg, set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.PinSize(4); err != nil {
+		t.Fatal(err)
+	}
+	if c.Size() != 4 {
+		t.Fatalf("pinned fleet size %d, want 4", c.Size())
+	}
+	if got := c.Balancer().N(); got != 4 {
+		t.Fatalf("balancer spans %d enclaves, want 4", got)
+	}
+
+	// Verdict equivalence against a lone filter over the full set.
+	e, err := enclave.New(cfg.Identity, cfg.Model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := filter.New(e, set, filter.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 2000; i++ {
+		var tup packet.FiveTuple
+		if i%2 == 0 {
+			r := set.Rules[rng.Intn(set.Len())]
+			tup = packet.FiveTuple{
+				SrcIP: r.Src.Addr | (rng.Uint32() &^ r.Src.Mask()),
+				DstIP: packet.MustParseIP("192.0.2.10"), DstPort: 53, Proto: packet.ProtoUDP,
+			}
+		} else {
+			tup = packet.FiveTuple{SrcIP: rng.Uint32(), DstIP: packet.MustParseIP("192.0.2.10"), DstPort: 443, Proto: packet.ProtoTCP}
+		}
+		d := packet.Descriptor{Tuple: tup, Size: 64, Ref: packet.NoRef}
+		if got, want := c.Process(d), ref.Process(d); got != want {
+			t.Fatalf("packet %d: cluster %v, single filter %v", i, got, want)
+		}
+	}
+
+	// An impossible pin refuses and leaves the previous pin standing.
+	big := bigSet(t, 9000) // needs ≥3 enclaves at 3000 rules each
+	c2, err := New(cfg, big)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := c2.Size()
+	if err := c2.PinSize(1); err == nil {
+		t.Fatal("9000 rules pinned into one enclave")
+	}
+	if c2.Size() != before {
+		t.Fatalf("failed pin resized fleet %d -> %d", before, c2.Size())
+	}
+}

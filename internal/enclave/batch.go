@@ -53,7 +53,7 @@ func (e *Enclave) ChargeBatch(v CostVector) {
 		float64(v.HotRefs)*m.MemRefNs +
 		v.NativeNs
 	if v.ColdRefs > 0 {
-		ns += float64(v.ColdRefs) * m.AccessCost(e.MemoryUsed())
+		ns += float64(v.ColdRefs) * m.AccessCostBudgeted(e.MemoryUsed(), e.EPCBudget())
 	}
 	if v.NativeColdRefs > 0 {
 		ns += float64(v.NativeColdRefs) * m.NativeAccessCost(e.MemoryUsed())

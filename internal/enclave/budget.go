@@ -1,0 +1,122 @@
+package enclave
+
+import (
+	"sort"
+	"sync"
+)
+
+// EPCBudgeter apportions one machine's EPC across tenant namespaces — the
+// scarce-shared-resource arbitration of a multi-victim deployment. The
+// paper's fleet serves one victim, so an enclave's only EPC competitor is
+// itself; a transit AS / IXP filtering for many downstream victims at once
+// runs every victim's filter on the same SGX machines, and the ~92 MB EPC
+// becomes the contended resource (the same structure as the classic
+// optimal-filtering formulation: allocate a scarce filter resource across
+// demands). The budgeter splits EPCBytes proportionally to each
+// namespace's rule-set memory weight, with exact largest-remainder
+// rounding so the shares always sum to precisely EPCBytes — no tenant can
+// be promised memory the machine does not have, and none of the EPC is
+// silently stranded.
+//
+// The budgeter is pure accounting: callers (the engine) push the resulting
+// shares into each namespace's enclaves via Enclave.SetEPCBudget, where the
+// cost model prices accesses beyond the share as paging.
+type EPCBudgeter struct {
+	mu       sync.Mutex
+	epcBytes int
+	weights  map[int]int // namespace id -> rule-set memory weight, bytes
+	shares   map[int]int // namespace id -> apportioned EPC bytes
+}
+
+// NewEPCBudgeter creates a budgeter for a machine exposing epcBytes of
+// usable EPC.
+func NewEPCBudgeter(epcBytes int) *EPCBudgeter {
+	if epcBytes < 0 {
+		epcBytes = 0
+	}
+	return &EPCBudgeter{
+		epcBytes: epcBytes,
+		weights:  make(map[int]int),
+		shares:   make(map[int]int),
+	}
+}
+
+// EPCBytes returns the machine EPC the budgeter apportions.
+func (b *EPCBudgeter) EPCBytes() int { return b.epcBytes }
+
+// Set installs (or updates) a namespace's weight — its rule-set memory
+// footprint in bytes — and recomputes every share. A non-positive weight
+// is clamped to 1 so an attached namespace always holds a nonzero claim.
+func (b *EPCBudgeter) Set(ns, weightBytes int) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if weightBytes < 1 {
+		weightBytes = 1
+	}
+	b.weights[ns] = weightBytes
+	b.rebalance()
+}
+
+// Remove detaches a namespace and redistributes its share among the rest.
+func (b *EPCBudgeter) Remove(ns int) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	delete(b.weights, ns)
+	b.rebalance()
+}
+
+// Share returns a namespace's current EPC allowance in bytes (0 when the
+// namespace is not attached).
+func (b *EPCBudgeter) Share(ns int) int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.shares[ns]
+}
+
+// Shares returns a copy of every namespace's allowance. The values sum to
+// exactly EPCBytes whenever at least one namespace is attached.
+func (b *EPCBudgeter) Shares() map[int]int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	out := make(map[int]int, len(b.shares))
+	for ns, s := range b.shares {
+		out[ns] = s
+	}
+	return out
+}
+
+// rebalance recomputes shares under b.mu: proportional split by weight,
+// exact total via largest-remainder apportionment (floors first, then the
+// leftover bytes go to the largest fractional remainders, ties broken by
+// namespace id for determinism).
+func (b *EPCBudgeter) rebalance() {
+	clear(b.shares)
+	if len(b.weights) == 0 || b.epcBytes == 0 {
+		return
+	}
+	var totalW int
+	ids := make([]int, 0, len(b.weights))
+	for ns, w := range b.weights {
+		totalW += w
+		ids = append(ids, ns)
+	}
+	sort.Ints(ids)
+	type frac struct {
+		ns  int
+		rem float64
+	}
+	fracs := make([]frac, 0, len(ids))
+	assigned := 0
+	for _, ns := range ids {
+		exact := float64(b.epcBytes) * float64(b.weights[ns]) / float64(totalW)
+		floor := int(exact)
+		b.shares[ns] = floor
+		assigned += floor
+		fracs = append(fracs, frac{ns: ns, rem: exact - float64(floor)})
+	}
+	sort.SliceStable(fracs, func(i, j int) bool { return fracs[i].rem > fracs[j].rem })
+	for i := 0; assigned < b.epcBytes; i++ {
+		b.shares[fracs[i%len(fracs)].ns]++
+		assigned++
+	}
+}

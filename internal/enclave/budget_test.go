@@ -1,0 +1,119 @@
+package enclave
+
+import "testing"
+
+func TestEPCBudgeterSharesSumExactly(t *testing.T) {
+	const epc = 10_000_001 // odd total so floors alone cannot add up
+	b := NewEPCBudgeter(epc)
+	b.Set(0, 3)
+	b.Set(1, 3)
+	b.Set(2, 3)
+	shares := b.Shares()
+	if len(shares) != 3 {
+		t.Fatalf("shares %v", shares)
+	}
+	var sum int
+	for _, s := range shares {
+		sum += s
+	}
+	if sum != epc {
+		t.Fatalf("shares sum %d, want exactly %d", sum, epc)
+	}
+	// Equal weights: shares within one byte of each other (largest
+	// remainder distributes the leftover).
+	for ns, s := range shares {
+		if s < epc/3 || s > epc/3+1 {
+			t.Fatalf("ns %d share %d, want ~%d", ns, s, epc/3)
+		}
+	}
+}
+
+func TestEPCBudgeterProportionalToWeight(t *testing.T) {
+	b := NewEPCBudgeter(1000)
+	b.Set(7, 100)
+	b.Set(9, 300)
+	if got := b.Share(7); got != 250 {
+		t.Fatalf("light tenant share %d, want 250", got)
+	}
+	if got := b.Share(9); got != 750 {
+		t.Fatalf("heavy tenant share %d, want 750", got)
+	}
+	// Updating a weight rebalances.
+	b.Set(7, 300)
+	if got := b.Share(7); got != 500 {
+		t.Fatalf("rebalanced share %d, want 500", got)
+	}
+}
+
+func TestEPCBudgeterRemoveRedistributes(t *testing.T) {
+	b := NewEPCBudgeter(1 << 20)
+	b.Set(0, 1)
+	b.Set(1, 1)
+	b.Remove(0)
+	if got := b.Share(1); got != 1<<20 {
+		t.Fatalf("survivor share %d, want the whole EPC", got)
+	}
+	if got := b.Share(0); got != 0 {
+		t.Fatalf("removed tenant still holds %d", got)
+	}
+	b.Remove(1)
+	if got := b.Shares(); len(got) != 0 {
+		t.Fatalf("empty budgeter shares %v", got)
+	}
+}
+
+func TestEPCBudgeterClampsWeights(t *testing.T) {
+	b := NewEPCBudgeter(100)
+	b.Set(0, 0)  // clamped to 1
+	b.Set(1, -5) // clamped to 1
+	if got := b.Share(0) + b.Share(1); got != 100 {
+		t.Fatalf("clamped weights sum %d", got)
+	}
+}
+
+func TestEnclaveEPCBudgetPricesPaging(t *testing.T) {
+	model := DefaultCostModel()
+	e, err := New(CodeIdentity{Name: "t", BinarySize: 1 << 20}, model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.SetMemoryUsed(40 << 20) // fits the full EPC easily
+
+	if e.EPCBudget() != model.EPCBytes {
+		t.Fatalf("unbudgeted EPCBudget %d, want %d", e.EPCBudget(), model.EPCBytes)
+	}
+	if e.PagingPressure() != 0 {
+		t.Fatalf("paging pressure %f with room to spare", e.PagingPressure())
+	}
+	fullCost := model.AccessCost(e.MemoryUsed())
+
+	// A tenant budget below the working set turns on paging pressure and
+	// makes every cold access dearer — the multi-victim contention the
+	// budgeter surfaces in the cost model.
+	e.SetEPCBudget(10 << 20)
+	if e.EPCBudget() != 10<<20 {
+		t.Fatalf("budget %d", e.EPCBudget())
+	}
+	if !e.EPCExceeded() {
+		t.Fatal("working set beyond budget not flagged")
+	}
+	p := e.PagingPressure()
+	if p <= 0 || p >= 1 {
+		t.Fatalf("paging pressure %f", p)
+	}
+	capped := model.AccessCostBudgeted(e.MemoryUsed(), e.EPCBudget())
+	if capped <= fullCost {
+		t.Fatalf("budgeted access cost %f not above unbudgeted %f", capped, fullCost)
+	}
+
+	// Lifting the cap restores the platform pricing.
+	e.SetEPCBudget(0)
+	if e.EPCBudget() != model.EPCBytes || e.PagingPressure() != 0 {
+		t.Fatalf("cap not lifted: budget %d pressure %f", e.EPCBudget(), e.PagingPressure())
+	}
+	// A budget above the platform EPC cannot mint memory.
+	e.SetEPCBudget(model.EPCBytes * 2)
+	if e.EPCBudget() != model.EPCBytes {
+		t.Fatalf("budget beyond platform EPC: %d", e.EPCBudget())
+	}
+}

@@ -124,12 +124,39 @@ func missRatio(w, c int) float64 {
 // expected MEE miss penalty plus, beyond the EPC, the expected paging
 // penalty for the portion of the set that cannot be resident.
 func (m CostModel) AccessCost(wss int) float64 {
+	return m.AccessCostBudgeted(wss, m.EPCBytes)
+}
+
+// AccessCostBudgeted is AccessCost with an explicit EPC allowance instead
+// of the platform's full EPCBytes. It prices multi-tenant paging pressure:
+// when several victims' enclaves share one machine's EPC, each namespace
+// is apportioned a budget (enclave.EPCBudgeter) and a working set beyond
+// that budget pays the paging penalty even though the machine's total EPC
+// might have held it — the tenant's pages are the ones the kernel evicts
+// first, because the other tenants' budgets are spoken for.
+func (m CostModel) AccessCostBudgeted(wss, epc int) float64 {
 	cost := m.MemRefNs + missRatio(wss, m.LLCBytes)*m.MEEMissNs
-	if wss > m.EPCBytes {
-		pagedFrac := float64(wss-m.EPCBytes) / float64(wss)
+	if epc <= 0 || epc > m.EPCBytes {
+		epc = m.EPCBytes
+	}
+	if wss > epc {
+		pagedFrac := float64(wss-epc) / float64(wss)
 		cost += pagedFrac * m.PageFaultNs
 	}
 	return cost
+}
+
+// PagedFraction returns the fraction of a wss-byte working set that cannot
+// be EPC-resident under an epc-byte allowance — the per-namespace paging
+// pressure the budgeter surfaces (0 when the set fits).
+func (m CostModel) PagedFraction(wss, epc int) float64 {
+	if epc <= 0 || epc > m.EPCBytes {
+		epc = m.EPCBytes
+	}
+	if wss <= epc || wss == 0 {
+		return 0
+	}
+	return float64(wss-epc) / float64(wss)
 }
 
 // NativeAccessCost is AccessCost without MEE or EPC effects, for the

@@ -84,6 +84,12 @@ type Enclave struct {
 	epcUsed   atomic.Int64
 	virtualNs atomic.Uint64 // fixed-point: 1/16 ns units
 	ticks     atomic.Uint64 // in-enclave monotonic clock (never read by the filter)
+
+	// epcBudget is this enclave's apportioned share of the machine's EPC
+	// when several tenants' enclaves share the platform (0 = unbudgeted,
+	// the whole EPC). Set by the control plane (enclave.EPCBudgeter via the
+	// engine); read by the charging paths, so it is atomic.
+	epcBudget atomic.Int64
 }
 
 var nextEnclaveID atomic.Uint64
@@ -161,10 +167,42 @@ func (e *Enclave) SetMemoryUsed(n int) {
 // MemoryUsed returns the current EPC consumption in bytes.
 func (e *Enclave) MemoryUsed() int { return int(e.epcUsed.Load()) }
 
-// EPCExceeded reports whether the working set has outgrown the EPC (the
-// regime where Figure 3a's throughput collapse steepens).
+// SetEPCBudget caps this enclave's usable EPC at n bytes — the tenant's
+// apportioned share of the shared platform EPC in a multi-victim
+// deployment (enclave.EPCBudgeter computes the shares). n <= 0 removes
+// the cap (the whole EPC). The cap changes only the *cost* of accesses (a
+// working set beyond the budget pays paging), never a verdict: it is pure
+// performance modeling, so the filter's statelessness is untouched.
+func (e *Enclave) SetEPCBudget(n int) {
+	if n < 0 {
+		n = 0
+	}
+	e.epcBudget.Store(int64(n))
+}
+
+// EPCBudget returns the effective usable EPC in bytes: the apportioned
+// budget when one is set, otherwise the platform's full EPCBytes.
+func (e *Enclave) EPCBudget() int {
+	if b := e.epcBudget.Load(); b > 0 && b < int64(e.model.EPCBytes) {
+		return int(b)
+	}
+	return e.model.EPCBytes
+}
+
+// PagingPressure returns the fraction of this enclave's working set that
+// cannot be EPC-resident under its budget — 0 when everything fits, and
+// the accesses' expected paging exposure otherwise. Safe from any
+// goroutine (both inputs are atomics).
+func (e *Enclave) PagingPressure() float64 {
+	return e.model.PagedFraction(e.MemoryUsed(), e.EPCBudget())
+}
+
+// EPCExceeded reports whether the working set has outgrown the usable EPC
+// (the regime where Figure 3a's throughput collapse steepens). Under an
+// apportioned budget the cliff arrives at the budget, not the platform
+// total.
 func (e *Enclave) EPCExceeded() bool {
-	return e.epcUsed.Load() > int64(e.model.EPCBytes)
+	return e.epcUsed.Load() > int64(e.EPCBudget())
 }
 
 const nsFixedPoint = 16 // virtual-time resolution: 1/16 ns
@@ -210,9 +248,10 @@ func (e *Enclave) ChargeCopyIn(n int) { e.charge(e.model.CopyInCost(n)) }
 // ChargeFullCopy charges a wholesale packet copy into the enclave.
 func (e *Enclave) ChargeFullCopy(n int) { e.charge(e.model.FullCopyCost(n)) }
 
-// ChargeAccesses charges k memory references into the current working set.
+// ChargeAccesses charges k memory references into the current working set
+// (priced under the enclave's EPC budget, if one is apportioned).
 func (e *Enclave) ChargeAccesses(k int) {
-	e.charge(float64(k) * e.model.AccessCost(e.MemoryUsed()))
+	e.charge(float64(k) * e.model.AccessCostBudgeted(e.MemoryUsed(), e.EPCBudget()))
 }
 
 // ChargeSHA256 charges hashing n bytes inside the enclave.

@@ -9,21 +9,37 @@
 // verdicts, queue depth, backpressure events) that the control plane reads
 // without synchronizing with the hot path.
 //
-// Shard assignment is the untrusted load balancer's job: Config.Route is
-// typically lb.Balancer.Route, so the rule-distribution output of the
-// greedy algorithm (package dist, via package cluster) directly drives
-// which shard sees which flow, and a misbehaving balancer is caught by the
-// filters' misroute counters exactly as in the single-threaded path.
+// One engine serves many victims at once — the paper's actual deployment
+// model, where a transit AS or IXP filters for N downstream victims with
+// heterogeneous rule sets. Each victim is a *namespace*: a set of filters
+// (one per shard), a routing programme, independent epoch/audit cadence,
+// and an apportioned share of the machines' EPC. packet.Descriptor carries
+// the namespace id (stamped at ingress from the destination prefix, e.g.
+// lb.VictimMap); each shard worker holds a flat copy-on-write view slice
+// indexed by namespace id and dispatches per-burst runs to the right
+// filter with zero locks on the hot path — AttachNamespace and
+// DetachNamespace swap views with single atomic pointer stores, the same
+// discipline Filter.Reconfigure uses for rule tables. Namespace 0 is the
+// default, so single-victim callers never see any of this.
+//
+// Shard assignment is the untrusted load balancer's job: each namespace's
+// Route is typically its lb.Balancer.Route, so the rule-distribution
+// output of the greedy algorithm (package dist, via package cluster)
+// directly drives which shard sees which flow, and a misbehaving balancer
+// is caught by the filters' misroute counters exactly as in the
+// single-threaded path.
 //
 // Epoch rotation solves the audit-consistency problem of a running fleet:
 // the victim's bypass detection (package bypass) must compare logs that
 // cover an exact packet population, but stopping N shards to snapshot
-// would forfeit the paper's line-rate claim. RotateEpoch instead hands
+// would forfeit the paper's line-rate claim. RotateEpoch(ns) instead hands
 // each worker a rotation ticket that it honors at its next batch boundary:
-// the worker snapshots both sketch logs (authenticated, via the enclave's
-// MAC key) and resets them, so every packet is logged in exactly one epoch
-// per shard and the merged per-epoch snapshots form a consistent audit
-// window — without ever parking the data plane.
+// the worker snapshots both of that namespace's sketch logs
+// (authenticated, via the enclave's MAC key) and resets them, so every
+// packet is logged in exactly one epoch per shard and the merged per-epoch
+// snapshots form a consistent audit window — without ever parking the data
+// plane, and without one victim's audit cadence blocking another's
+// (rotations of different namespaces run concurrently).
 package engine
 
 import (
@@ -35,6 +51,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"github.com/innetworkfiltering/vif/internal/enclave"
 	"github.com/innetworkfiltering/vif/internal/filter"
 	"github.com/innetworkfiltering/vif/internal/packet"
 	"github.com/innetworkfiltering/vif/internal/pipeline"
@@ -48,43 +65,62 @@ const (
 	// double the classic 32-packet DPDK burst because the worker amortizes
 	// a rotation poll per burst).
 	DefaultBatch = 64
+	// MaxNamespaces bounds attached victim namespaces (Descriptor.NS is a
+	// uint16).
+	MaxNamespaces = 1 << 16
 )
 
 // Errors.
 var (
-	ErrNotRunning = errors.New("engine: not running")
-	ErrRunning    = errors.New("engine: already running")
-	ErrNoShards   = errors.New("engine: no filter shards")
+	ErrNotRunning       = errors.New("engine: not running")
+	ErrRunning          = errors.New("engine: already running")
+	ErrNoShards         = errors.New("engine: no filter shards")
+	ErrUnknownNamespace = errors.New("engine: unknown namespace")
+	ErrShardMismatch    = errors.New("engine: namespace needs one filter per shard")
 )
 
 // Sink observes packets the filter allowed, called on the shard's worker
-// goroutine (keep it cheap; nil discards).
+// goroutine (keep it cheap; nil discards). The descriptor carries the
+// namespace id of the victim it was filtered for.
 type Sink func(shard int, d packet.Descriptor)
 
 // Config assembles an Engine.
 type Config struct {
-	// Filters are the enclave shards, one worker each. The engine owns
-	// them exclusively between Start and Stop: no other goroutine may call
-	// filter methods while the engine runs.
+	// Filters, when set, become the default namespace (id 0): one enclave
+	// shard per filter, with Route/RouteBatch/Sink as its programme. The
+	// engine owns attached filters exclusively between Start and Stop (and
+	// between attach and detach while running): no other goroutine may call
+	// filter methods during that window.
 	Filters []*filter.Filter
-	// Route maps a flow to its shard index, returning ok=false when the
-	// (untrusted, possibly faulty) balancer drops the packet. Typically
-	// lb.Balancer.Route. Nil falls back to five-tuple hashing.
+	// Shards fixes the shard count for an engine assembled empty (no
+	// Filters) so victim namespaces can be attached later — the shared
+	// multi-victim deployment shape. Ignored when Filters is set (the shard
+	// count is then len(Filters)).
+	Shards int
+	// Route maps a flow to its shard index for the default namespace,
+	// returning ok=false when the (untrusted, possibly faulty) balancer
+	// drops the packet. Typically lb.Balancer.Route. Nil falls back to
+	// five-tuple hashing.
 	Route func(packet.FiveTuple) (int, bool)
-	// RouteBatch, when set, routes a whole burst in one call (typically
-	// lb.Balancer.RouteBatch), writing each descriptor's shard index to
-	// shards[i] (-1 when the balancer drops it). InjectBatch prefers it
-	// over per-packet Route calls so the balancer can amortize its
-	// per-packet costs (the faulty paths' lock, the call overhead) across
-	// the burst. Nil falls back to looping Route.
+	// RouteBatch, when set, routes a whole burst of the default namespace
+	// in one call (typically lb.Balancer.RouteBatch), writing each
+	// descriptor's shard index to shards[i] (-1 when the balancer drops
+	// it). InjectBatch prefers it over per-packet Route calls so the
+	// balancer can amortize its per-packet costs (the faulty paths' lock,
+	// the call overhead) across the burst. Nil falls back to looping Route.
 	RouteBatch func(ds []packet.Descriptor, shards []int32)
 	// RingSize is each shard's ingress ring capacity. Default
 	// DefaultRingSize.
 	RingSize int
 	// Batch is the worker burst size. Default DefaultBatch.
 	Batch int
-	// Sink observes allowed packets. Nil discards.
+	// Sink observes allowed packets of every namespace. Nil discards.
+	// Namespaces may additionally attach their own sink.
 	Sink Sink
+	// EPCBytes is each shard machine's usable EPC, apportioned across
+	// attached namespaces by rule-set memory weight (enclave.EPCBudgeter).
+	// 0 defaults to the first attached filter's platform model.
+	EPCBytes int
 }
 
 func (c *Config) fillDefaults() {
@@ -96,10 +132,31 @@ func (c *Config) fillDefaults() {
 	}
 }
 
-// rotateTicket asks one worker to seal the current epoch at its next batch
-// boundary.
+// NamespaceConfig attaches one victim's rule namespace to a running (or
+// not-yet-started) engine.
+type NamespaceConfig struct {
+	// Filters holds the victim's enclave filters, one per engine shard
+	// (len must equal Engine.Shards()). The engine owns them exclusively
+	// while the namespace is attached and the engine runs.
+	Filters []*filter.Filter
+	// Route maps a flow to its shard index (the victim's balancer
+	// programme). Nil falls back to five-tuple hashing.
+	Route func(packet.FiveTuple) (int, bool)
+	// RouteBatch routes a whole burst at once; nil falls back to Route.
+	RouteBatch func(ds []packet.Descriptor, shards []int32)
+	// Sink observes this namespace's allowed packets (in addition to the
+	// engine-wide Config.Sink). Nil discards.
+	Sink Sink
+}
+
+// rotateTicket asks one worker to act at its next batch boundary: seal the
+// ticket's namespace epoch, or — for a fence — just acknowledge, proving
+// the worker has moved past any burst dispatched under a previous view.
 type rotateTicket struct {
+	ns    *nsShard
+	nsID  int
 	seq   uint64
+	fence bool
 	reply chan shardEpoch
 }
 
@@ -108,13 +165,15 @@ type shardEpoch struct {
 	err error
 }
 
-// EpochLog is one shard's sealed audit window: authenticated snapshots of
-// both packet logs covering exactly the packets the shard processed while
-// the epoch was current.
+// EpochLog is one (namespace, shard) sealed audit window: authenticated
+// snapshots of both packet logs covering exactly the packets the shard
+// processed for that victim while the epoch was current.
 type EpochLog struct {
+	// Namespace is the victim namespace id.
+	Namespace int
 	// Shard is the shard index.
 	Shard int
-	// Seq is the epoch sequence number (monotonic per engine).
+	// Seq is the epoch sequence number (monotonic per namespace).
 	Seq uint64
 	// Incoming is the per-source-IP log snapshot (drop-before-filter
 	// evidence for neighbors).
@@ -124,11 +183,53 @@ type EpochLog struct {
 	Outgoing *filter.SignedSnapshot
 }
 
-// shard is one worker: an enclave filter behind an MPSC ring.
+// nsShard is one (namespace, shard) cell: the victim's filter on that
+// shard plus the per-cell counters the worker publishes. The worker-
+// written counters share the cell with nothing producer-written, so the
+// per-burst updates stay on lines only the owning worker dirties.
+type nsShard struct {
+	f *filter.Filter
+	// sink is the namespace's allowed-packet observer (nil discards),
+	// copied here so the worker needs no second table lookup.
+	sink Sink
+
+	// baseVirtualNs is the enclave meter reading when the engine took
+	// ownership (float64 bits), so NsPerPacket reflects only work done
+	// under this engine. Atomic: metrics may be polled concurrently.
+	baseVirtualNs atomic.Uint64
+
+	_         [64]byte
+	processed atomic.Uint64
+	allowed   atomic.Uint64
+	dropped   atomic.Uint64
+	epochs    atomic.Uint64
+	promoted  atomic.Uint64
+	_         [24]byte
+}
+
+// namespace is one victim's attachment: filters (one per shard), routing
+// programme, and independent epoch state.
+type namespace struct {
+	id         int
+	route      func(packet.FiveTuple) (int, bool)
+	routeBatch func(ds []packet.Descriptor, shards []int32)
+	sink       Sink
+	shards     []*nsShard // indexed by shard id
+
+	mu       sync.Mutex // serializes this namespace's rotations vs its detach
+	epoch    uint64     // last sealed epoch seq, under mu
+	detached bool       // set under mu once DetachNamespace wins
+}
+
+// shard is one worker: an MPSC ring drained into per-namespace filters.
 type shard struct {
 	id   int
-	f    *filter.Filter
 	ring *pipeline.MPSCRing
+
+	// views is the flat copy-on-write namespace table, indexed by
+	// namespace id (nil holes for detached ids). The worker loads it once
+	// per burst; attach/detach swap it with one atomic store.
+	views atomic.Pointer[[]*nsShard]
 
 	rotate chan *rotateTicket
 	done   chan struct{}
@@ -136,12 +237,6 @@ type shard struct {
 	// verdicts is the pooled verdict slice the worker hands ProcessBatch
 	// every burst (allocated once, reused for the shard's lifetime).
 	verdicts []filter.Verdict
-
-	// baseVirtualNs is the enclave meter reading at Start (float64 bits),
-	// so NsPerPacket reflects only work done under this engine (the
-	// filters may have served the serial path before). Atomic like the
-	// rest of the block: metrics may be polled concurrently with Start.
-	baseVirtualNs atomic.Uint64
 
 	// Atomic metrics block. The worker-owned counters and the producer-
 	// written backpressure counter live on separate cache lines: producers
@@ -155,19 +250,30 @@ type shard struct {
 	epochs    atomic.Uint64
 	batches   atomic.Uint64
 	promoted  atomic.Uint64
-	_         [16]byte
+	orphaned  atomic.Uint64 // packets whose namespace detached while they sat in the ring
+	_         [8]byte
 	// backpressure is written by any producer whose enqueue hit a full
 	// ring — the only cross-thread counter in the block.
 	backpressure atomic.Uint64
 	_            [56]byte
 }
 
-// Engine runs the sharded data plane.
+// Engine runs the sharded multi-victim data plane.
 type Engine struct {
-	cfg        Config
-	shards     []*shard
-	route      func(packet.FiveTuple) (int, bool)
-	routeBatch func(ds []packet.Descriptor, shards []int32)
+	cfg    Config
+	shards []*shard
+
+	// nss is the engine-level copy-on-write namespace table (indexed by
+	// namespace id, nil holes), consulted by the injection paths for
+	// routing. Swapped wholesale under nsMu.
+	nss atomic.Pointer[[]*namespace]
+
+	// budget apportions each shard machine's EPC across attached
+	// namespaces, weighted by rule-set memory. Created lazily at the
+	// first attach (the EPC size may come from that filter's platform
+	// model) and only ever written under nsMu; an atomic pointer because
+	// the metrics paths read it without any lock.
+	budget atomic.Pointer[enclave.EPCBudgeter]
 
 	// scratch pools the per-producer scatter buffers InjectBatch stages
 	// bursts in, so the hot path allocates nothing per call.
@@ -179,15 +285,24 @@ type Engine struct {
 	_        [64]byte
 	accepted atomic.Uint64 // descriptors successfully enqueued
 	_        [56]byte
-	lbDrops  atomic.Uint64 // descriptors the balancer discarded
+	lbDrops  atomic.Uint64 // descriptors a namespace's balancer discarded
+	_        [56]byte
+	nsDrops  atomic.Uint64 // descriptors stamped with an unattached namespace
 	_        [56]byte
 
-	mu       sync.Mutex // serializes Start/Stop/RotateEpoch
+	// lifeMu orders the lifecycle against in-flight control actions:
+	// Start/Stop take the write side; rotations and attach/detach fences
+	// take the read side, so any number of victims rotate concurrently
+	// while workers are guaranteed alive to serve their tickets.
+	lifeMu sync.RWMutex
+	// nsMu serializes namespace-table mutations (attach/detach/
+	// reconfigure).
+	nsMu sync.Mutex
+
 	running  atomic.Bool
 	stopping atomic.Bool // set at Stop entry: Inject refuses from here on
 	stopped  bool
 	stop     chan struct{}
-	epoch    uint64 // last rotated epoch seq, under mu
 	started  time.Time
 }
 
@@ -199,71 +314,57 @@ type injectScratch struct {
 	runs   [][]packet.Descriptor
 }
 
-// New assembles an engine; call Start to launch the workers.
+// shard markers inside injectScratch.shards beyond valid indices.
+const (
+	shardLBDrop int32 = -1 // balancer discarded the packet
+	shardNSDrop int32 = -2 // no such namespace attached
+)
+
+// New assembles an engine; call Start to launch the workers. When
+// cfg.Filters is set they become namespace 0 (the single-victim shape);
+// an empty engine (cfg.Shards > 0) starts with no namespaces and serves
+// whatever AttachNamespace installs.
 func New(cfg Config) (*Engine, error) {
 	cfg.fillDefaults()
-	if len(cfg.Filters) == 0 {
+	n := len(cfg.Filters)
+	if n == 0 {
+		n = cfg.Shards
+	}
+	if n == 0 {
 		return nil, ErrNoShards
 	}
 	if cfg.Batch < 1 {
 		return nil, fmt.Errorf("engine: batch size %d", cfg.Batch)
 	}
 	e := &Engine{cfg: cfg}
-	n := len(cfg.Filters)
-	e.route = cfg.Route
-	if e.route == nil {
-		e.route = func(t packet.FiveTuple) (int, bool) {
-			return int(t.Hash64() % uint64(n)), true
-		}
-	}
-	e.routeBatch = cfg.RouteBatch
-	if e.routeBatch == nil && cfg.Route == nil {
-		// Both hooks defaulted: the five-tuple hash route is pure, so a run
-		// of consecutive packets of one flow (a packet train) is routed
-		// once — a 16-byte compare instead of a hash per packet. A
-		// user-supplied Route is NOT run-cached below: it may be impure
-		// (fault injection drops per packet), so it is called per packet.
-		e.routeBatch = func(ds []packet.Descriptor, shards []int32) {
-			for i := range ds {
-				if i > 0 && ds[i].Tuple == ds[i-1].Tuple {
-					shards[i] = shards[i-1]
-					continue
-				}
-				shards[i] = int32(ds[i].Tuple.Hash64() % uint64(n))
-			}
-		}
-	}
-	if e.routeBatch == nil {
-		route := e.route
-		e.routeBatch = func(ds []packet.Descriptor, shards []int32) {
-			for i := range ds {
-				j, ok := route(ds[i].Tuple)
-				if !ok {
-					shards[i] = -1
-					continue
-				}
-				shards[i] = int32(j)
-			}
-		}
-	}
 	e.scratch.New = func() any {
 		return &injectScratch{runs: make([][]packet.Descriptor, n)}
 	}
-	for i, f := range cfg.Filters {
-		if f == nil {
-			return nil, fmt.Errorf("engine: shard %d: nil filter", i)
-		}
+	for i := 0; i < n; i++ {
 		ring, err := pipeline.NewMPSCRing(cfg.RingSize)
 		if err != nil {
 			return nil, err
 		}
-		e.shards = append(e.shards, &shard{
+		s := &shard{
 			id:     i,
-			f:      f,
 			ring:   ring,
 			rotate: make(chan *rotateTicket, 1),
 			done:   make(chan struct{}),
-		})
+		}
+		empty := make([]*nsShard, 0)
+		s.views.Store(&empty)
+		e.shards = append(e.shards, s)
+	}
+	emptyNS := make([]*namespace, 0)
+	e.nss.Store(&emptyNS)
+	if len(cfg.Filters) > 0 {
+		if _, err := e.AttachNamespace(NamespaceConfig{
+			Filters:    cfg.Filters,
+			Route:      cfg.Route,
+			RouteBatch: cfg.RouteBatch,
+		}); err != nil {
+			return nil, err
+		}
 	}
 	return e, nil
 }
@@ -271,23 +372,389 @@ func New(cfg Config) (*Engine, error) {
 // Shards returns the shard count.
 func (e *Engine) Shards() int { return len(e.shards) }
 
-// Filter returns shard i's filter (for attestation and post-Stop queries;
-// do not call filter methods while the engine runs).
-func (e *Engine) Filter(i int) *filter.Filter { return e.shards[i].f }
+// Filter returns shard i's default-namespace filter (nil when namespace 0
+// is not attached). For attestation and post-Stop queries; do not call
+// filter methods while the engine runs.
+func (e *Engine) Filter(i int) *filter.Filter {
+	ns := e.lookup(0)
+	if ns == nil {
+		return nil
+	}
+	return ns.shards[i].f
+}
+
+// NamespaceFilters returns a namespace's filters in shard order, or nil if
+// it is not attached. Same ownership caveat as Filter.
+func (e *Engine) NamespaceFilters(ns int) []*filter.Filter {
+	n := e.lookup(ns)
+	if n == nil {
+		return nil
+	}
+	out := make([]*filter.Filter, len(n.shards))
+	for i, t := range n.shards {
+		out[i] = t.f
+	}
+	return out
+}
+
+// Namespaces returns the attached namespace ids in ascending order.
+func (e *Engine) Namespaces() []int {
+	nss := *e.nss.Load()
+	out := make([]int, 0, len(nss))
+	for id, ns := range nss {
+		if ns != nil {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// lookup resolves a namespace id against the current table (nil if
+// detached or never attached).
+func (e *Engine) lookup(id int) *namespace {
+	nss := *e.nss.Load()
+	if id < 0 || id >= len(nss) {
+		return nil
+	}
+	return nss[id]
+}
+
+// buildNamespace validates a NamespaceConfig and assembles the namespace
+// object (routing defaults mirror the engine's historical single-victim
+// behavior).
+func (e *Engine) buildNamespace(id int, cfg NamespaceConfig) (*namespace, error) {
+	n := len(e.shards)
+	if len(cfg.Filters) != n {
+		return nil, fmt.Errorf("%w: got %d filters for %d shards", ErrShardMismatch, len(cfg.Filters), n)
+	}
+	ns := &namespace{
+		id:         id,
+		route:      cfg.Route,
+		routeBatch: cfg.RouteBatch,
+		sink:       cfg.Sink,
+		shards:     make([]*nsShard, n),
+	}
+	for i, f := range cfg.Filters {
+		if f == nil {
+			return nil, fmt.Errorf("engine: namespace shard %d: nil filter", i)
+		}
+		t := &nsShard{f: f, sink: cfg.Sink}
+		t.baseVirtualNs.Store(math.Float64bits(f.Enclave().VirtualNs()))
+		ns.shards[i] = t
+	}
+	if ns.route == nil {
+		ns.route = func(t packet.FiveTuple) (int, bool) {
+			return int(t.Hash64() % uint64(n)), true
+		}
+		if ns.routeBatch == nil {
+			// Both hooks defaulted: the five-tuple hash route is pure, so a
+			// run of consecutive packets of one flow (a packet train) is
+			// routed once — a 16-byte compare instead of a hash per packet.
+			// A user-supplied Route is NOT run-cached below: it may be
+			// impure (fault injection drops per packet), so it is called
+			// per packet.
+			ns.routeBatch = func(ds []packet.Descriptor, shards []int32) {
+				for i := range ds {
+					if i > 0 && ds[i].Tuple == ds[i-1].Tuple {
+						shards[i] = shards[i-1]
+						continue
+					}
+					shards[i] = int32(ds[i].Tuple.Hash64() % uint64(n))
+				}
+			}
+		}
+	}
+	if ns.routeBatch == nil {
+		route := ns.route
+		ns.routeBatch = func(ds []packet.Descriptor, shards []int32) {
+			for i := range ds {
+				j, ok := route(ds[i].Tuple)
+				if !ok {
+					shards[i] = shardLBDrop
+					continue
+				}
+				shards[i] = int32(j)
+			}
+		}
+	}
+	return ns, nil
+}
+
+// AttachNamespace installs a victim namespace — one filter per shard plus
+// its routing programme — and returns its namespace id (the value ingress
+// stamps into Descriptor.NS). Safe while the engine runs: the shard
+// workers observe the new copy-on-write view at their next burst, and the
+// injection paths the moment the engine table is swapped. The machine EPC
+// budget is re-apportioned across all attached namespaces, weighted by
+// rule-set memory.
+func (e *Engine) AttachNamespace(cfg NamespaceConfig) (int, error) {
+	e.nsMu.Lock()
+	defer e.nsMu.Unlock()
+	e.lifeMu.RLock()
+	defer e.lifeMu.RUnlock()
+
+	cur := *e.nss.Load()
+	id := -1
+	for i, ns := range cur {
+		if ns == nil {
+			id = i
+			break
+		}
+	}
+	if id < 0 {
+		if len(cur) >= MaxNamespaces {
+			return 0, fmt.Errorf("engine: namespace limit %d reached", MaxNamespaces)
+		}
+		id = len(cur)
+	}
+	ns, err := e.buildNamespace(id, cfg)
+	if err != nil {
+		return 0, err
+	}
+
+	// Publish to the workers first, then to the injection paths: no
+	// descriptor can be routed to a namespace a worker cannot dispatch.
+	for i, s := range e.shards {
+		s.views.Store(cowSet(s.views.Load(), id, ns.shards[i]))
+	}
+	e.nss.Store(cowSet(&cur, id, ns))
+	e.rebalanceEPC()
+	return id, nil
+}
+
+// DetachNamespace removes a victim namespace, releases its EPC budget
+// share back to the remaining tenants, and returns once no worker will
+// touch its filters again (the caller may then reuse them on the serial
+// path). The returned NamespaceMetrics is the victim's final, exact
+// accounting — taken after the workers quiesced, so nothing can bump it
+// afterwards. Descriptors of the namespace still in flight are dropped —
+// never misattributed: in-ring packets count as shard "orphaned", and
+// injections racing the detach count as engine nsDrops. Concurrent
+// RotateEpoch calls on the same namespace either complete before the
+// detach or fail with ErrUnknownNamespace.
+func (e *Engine) DetachNamespace(id int) (NamespaceMetrics, error) {
+	e.nsMu.Lock()
+	defer e.nsMu.Unlock()
+	e.lifeMu.RLock()
+	defer e.lifeMu.RUnlock()
+
+	ns := e.lookup(id)
+	if ns == nil {
+		return NamespaceMetrics{}, ErrUnknownNamespace
+	}
+	// Win the race against in-flight rotations of this namespace: after
+	// this flag flips under ns.mu, no new rotation sends tickets. The
+	// table swap commits under the same critical section, so a rotation
+	// that observes detached=true also observes the id gone from the
+	// table — it can always tell this detach from a reconfigure (which
+	// publishes a fresh object instead) and retries or errors correctly.
+	// Injection unpublishes before the workers so no descriptor can be
+	// routed to a namespace a worker cannot dispatch.
+	ns.mu.Lock()
+	ns.detached = true
+	cur := *e.nss.Load()
+	e.nss.Store(cowSet(&cur, id, (*namespace)(nil)))
+	for _, s := range e.shards {
+		s.views.Store(cowSet(s.views.Load(), id, (*nsShard)(nil)))
+	}
+	ns.mu.Unlock()
+	e.fence()
+	// Quiesced: fold the victim's final counters before anything about it
+	// is released.
+	final := NamespaceMetrics{NS: id}
+	var virtual float64
+	for _, t := range ns.shards {
+		final.Processed += t.processed.Load()
+		final.Allowed += t.allowed.Load()
+		final.Dropped += t.dropped.Load()
+		final.Epochs += t.epochs.Load()
+		final.Promoted += t.promoted.Load()
+		virtual += t.virtualDelta()
+	}
+	if final.Processed > 0 {
+		final.NsPerPacket = virtual / float64(final.Processed)
+	}
+	if budget := e.budget.Load(); budget != nil {
+		final.EPCShareBytes = budget.Share(id)
+	}
+	// The filters leave the engine's ownership: lift their tenant EPC cap.
+	for _, t := range ns.shards {
+		t.f.Enclave().SetEPCBudget(0)
+	}
+	if budget := e.budget.Load(); budget != nil {
+		budget.Remove(id)
+	}
+	e.rebalanceEPC()
+	return final, nil
+}
+
+// ReconfigureNamespace atomically replaces a namespace's filters and
+// routing programme — the engine-level analogue of Filter.Reconfigure's
+// view swap. Counters carry over; epoch state continues (the old filters'
+// unsealed log contents are abandoned with them, so rotate first if the
+// current window matters). Returns once no worker will touch the old
+// filters again.
+func (e *Engine) ReconfigureNamespace(id int, cfg NamespaceConfig) error {
+	e.nsMu.Lock()
+	defer e.nsMu.Unlock()
+	e.lifeMu.RLock()
+	defer e.lifeMu.RUnlock()
+
+	old := e.lookup(id)
+	if old == nil {
+		return ErrUnknownNamespace
+	}
+	ns, err := e.buildNamespace(id, cfg)
+	if err != nil {
+		return err
+	}
+	// Retire the old object and publish the new one in one ns.mu critical
+	// section: a rotation racing this call either completes on the old
+	// filters first (this lock waits for it; the new object then inherits
+	// the advanced epoch), or sees detached=true together with the fresh
+	// object already in the table and retries against it — it never
+	// reports a still-attached namespace as unknown.
+	old.mu.Lock()
+	ns.epoch = old.epoch
+	old.detached = true
+	for i, s := range e.shards {
+		s.views.Store(cowSet(s.views.Load(), id, ns.shards[i]))
+	}
+	cur := *e.nss.Load()
+	e.nss.Store(cowSet(&cur, id, ns))
+	old.mu.Unlock()
+	e.fence()
+	// Old cells are quiesced now; fold their final counters into the new
+	// cells so per-victim totals survive the swap (atomic adds: workers
+	// may already be bumping the new cells).
+	for i, t := range ns.shards {
+		o := old.shards[i]
+		t.processed.Add(o.processed.Load())
+		t.allowed.Add(o.allowed.Load())
+		t.dropped.Add(o.dropped.Load())
+		t.epochs.Add(o.epochs.Load())
+		t.promoted.Add(o.promoted.Load())
+		o.f.Enclave().SetEPCBudget(0)
+	}
+	e.rebalanceEPC()
+	return nil
+}
+
+// cowSet returns a copy of *p with index id set to v, growing as needed —
+// the copy-on-write step behind every namespace table swap.
+func cowSet[T any](p *[]T, id int, v T) *[]T {
+	old := *p
+	n := len(old)
+	if id >= n {
+		n = id + 1
+	}
+	next := make([]T, n)
+	copy(next, old)
+	next[id] = v
+	return &next
+}
+
+// fence waits until every live worker has passed a batch boundary, which
+// proves no burst dispatched under a previously published view is still
+// in flight. No-op when the workers are not running (then nobody touches
+// views at all — lifeMu excludes Stop's final sweep).
+func (e *Engine) fence() {
+	if !e.running.Load() {
+		return
+	}
+	tickets := make([]*rotateTicket, len(e.shards))
+	for i, s := range e.shards {
+		t := &rotateTicket{fence: true, reply: make(chan shardEpoch, 1)}
+		tickets[i] = t
+		s.rotate <- t
+	}
+	for _, t := range tickets {
+		<-t.reply
+	}
+}
+
+// rebalanceEPC recomputes every namespace's EPC share (weight: the sum of
+// its filters' rule-table footprints) and pushes the allowance into each
+// enclave, where the cost model prices accesses beyond it as paging.
+// Called under nsMu (the only budget writer).
+func (e *Engine) rebalanceEPC() {
+	nss := *e.nss.Load()
+	budget := e.budget.Load()
+	if budget == nil {
+		epc := e.cfg.EPCBytes
+		if epc == 0 {
+			for _, ns := range nss {
+				if ns != nil {
+					epc = ns.shards[0].f.Enclave().Model().EPCBytes
+					break
+				}
+			}
+		}
+		if epc == 0 {
+			return
+		}
+		budget = enclave.NewEPCBudgeter(epc)
+		e.budget.Store(budget)
+	}
+	for _, ns := range nss {
+		if ns == nil {
+			continue
+		}
+		w := 0
+		for _, t := range ns.shards {
+			w += t.f.RuleMemoryBytes()
+		}
+		budget.Set(ns.id, w)
+	}
+	for _, ns := range nss {
+		if ns == nil {
+			continue
+		}
+		share := budget.Share(ns.id)
+		for _, t := range ns.shards {
+			t.f.Enclave().SetEPCBudget(share)
+		}
+	}
+}
+
+// EPCShares returns each attached namespace's EPC allowance in bytes.
+// Shares sum to exactly the machine EPC whenever a namespace is attached.
+func (e *Engine) EPCShares() map[int]int {
+	budget := e.budget.Load()
+	if budget == nil {
+		return map[int]int{}
+	}
+	return budget.Shares()
+}
+
+// EPCBytes returns the per-machine EPC the engine apportions (0 until the
+// first namespace attaches when Config.EPCBytes was unset).
+func (e *Engine) EPCBytes() int {
+	budget := e.budget.Load()
+	if budget == nil {
+		return e.cfg.EPCBytes
+	}
+	return budget.EPCBytes()
+}
 
 // Start launches one worker goroutine per shard. An engine runs at most
 // once; after Stop it cannot be restarted (build a new one — filters can
 // be reused once the old engine has fully stopped).
 func (e *Engine) Start() error {
-	e.mu.Lock()
-	defer e.mu.Unlock()
+	e.lifeMu.Lock()
+	defer e.lifeMu.Unlock()
 	if e.running.Load() || e.stopped {
 		return ErrRunning
 	}
 	e.stop = make(chan struct{})
 	e.started = time.Now()
-	for _, s := range e.shards {
-		s.baseVirtualNs.Store(math.Float64bits(s.f.Enclave().VirtualNs()))
+	for _, ns := range *e.nss.Load() {
+		if ns == nil {
+			continue
+		}
+		for _, t := range ns.shards {
+			t.baseVirtualNs.Store(math.Float64bits(t.f.Enclave().VirtualNs()))
+		}
 	}
 	e.running.Store(true)
 	for _, s := range e.shards {
@@ -302,8 +769,8 @@ func (e *Engine) Start() error {
 // by its worker, or by the final sweep below once the workers have
 // exited and the filters are safe to drive from this goroutine.
 func (e *Engine) Stop() {
-	e.mu.Lock()
-	defer e.mu.Unlock()
+	e.lifeMu.Lock()
+	defer e.lifeMu.Unlock()
 	if !e.running.Load() {
 		return
 	}
@@ -332,17 +799,24 @@ func (e *Engine) Stop() {
 // Running reports whether workers are live.
 func (e *Engine) Running() bool { return e.running.Load() }
 
-// Inject routes one descriptor to its shard and enqueues it. Safe for any
-// number of concurrent producer goroutines (the rings are MPSC). It
-// reports false when the balancer dropped the packet, the shard ring is
-// full (a backpressure event: the producer drops, as a NIC does when a
-// descriptor ring backs up), or the engine is stopping — late injections
-// are refused uncounted so the accepted==processed drain invariant holds.
+// Inject routes one descriptor to its namespace's shard and enqueues it.
+// Safe for any number of concurrent producer goroutines (the rings are
+// MPSC). It reports false when the descriptor names an unattached
+// namespace (counted as an ns drop — the InjectBatch-racing-Detach case),
+// the namespace's balancer dropped the packet, the shard ring is full (a
+// backpressure event: the producer drops, as a NIC does when a descriptor
+// ring backs up), or the engine is stopping — late injections are refused
+// uncounted so the accepted==processed drain invariant holds.
 func (e *Engine) Inject(d packet.Descriptor) bool {
 	if e.stopping.Load() {
 		return false
 	}
-	j, ok := e.route(d.Tuple)
+	ns := e.lookup(int(d.NS))
+	if ns == nil {
+		e.nsDrops.Add(1)
+		return false
+	}
+	j, ok := ns.route(d.Tuple)
 	if !ok {
 		e.lbDrops.Add(1)
 		return false
@@ -359,11 +833,15 @@ func (e *Engine) Inject(d packet.Descriptor) bool {
 // InjectBatch routes a whole burst, scatters it into per-shard runs, and
 // flushes each run with a single ring reservation — one route pass and one
 // CAS per (producer, shard, burst) instead of one of each per packet, the
-// producer-side analogue of the workers' batched drain. It returns how
-// many descriptors were accepted; the remainder were either discarded by
-// the balancer (counted as lb drops) or refused by a full shard ring
+// producer-side analogue of the workers' batched drain. A burst may mix
+// namespaces: it is split into namespace runs and each run is routed by
+// its own victim's balancer in one call (single-victim producers pay
+// exactly one route pass, as before). It returns how many descriptors
+// were accepted; the remainder were discarded by a balancer (counted as
+// lb drops), stamped with an unattached namespace (counted as ns drops —
+// a detach racing the injection), or refused by a full shard ring
 // (counted as backpressure, per packet, exactly as scalar Inject would),
-// and in both cases they are DROPPED, as a NIC drops on ring overflow.
+// and in all cases they are DROPPED, as a NIC drops on ring overflow.
 // The count is for accounting, not resumption: refusals happen per shard,
 // so the unaccepted descriptors may sit anywhere in ds — retrying ds[n:]
 // would re-inject accepted packets. A producer that must deliver a burst
@@ -382,12 +860,35 @@ func (e *Engine) InjectBatch(ds []packet.Descriptor) int {
 		sc.shards = make([]int32, len(ds))
 	}
 	shards := sc.shards[:len(ds)]
-	e.routeBatch(ds, shards)
+	nss := *e.nss.Load()
+	var nsDrops uint64
+	for i := 0; i < len(ds); {
+		id := ds[i].NS
+		j := i + 1
+		for j < len(ds) && ds[j].NS == id {
+			j++
+		}
+		var ns *namespace
+		if int(id) < len(nss) {
+			ns = nss[id]
+		}
+		if ns == nil {
+			for k := i; k < j; k++ {
+				shards[k] = shardNSDrop
+			}
+			nsDrops += uint64(j - i)
+		} else {
+			ns.routeBatch(ds[i:j], shards[i:j])
+		}
+		i = j
+	}
 	var lbDrops uint64
 	for i := range ds {
 		j := shards[i]
 		if j < 0 {
-			lbDrops++
+			if j == shardLBDrop {
+				lbDrops++
+			}
 			continue
 		}
 		sc.runs[j] = append(sc.runs[j], ds[i])
@@ -408,6 +909,9 @@ func (e *Engine) InjectBatch(ds []packet.Descriptor) int {
 	}
 	if lbDrops > 0 {
 		e.lbDrops.Add(lbDrops)
+	}
+	if nsDrops > 0 {
+		e.nsDrops.Add(nsDrops)
 	}
 	if accepted > 0 {
 		e.accepted.Add(uint64(accepted))
@@ -432,25 +936,49 @@ func (e *Engine) WaitDrained() {
 	}
 }
 
-// RotateEpoch seals the current epoch on every shard and returns the
-// per-shard authenticated log snapshots, ordered by shard index. Workers
-// rotate at their next batch boundary; the data plane never stops. The
-// returned logs of one epoch, merged across shards (bypass.MergeSnapshots),
-// cover exactly the packets processed between this rotation and the
-// previous one.
-func (e *Engine) RotateEpoch() ([]EpochLog, error) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
+// RotateEpoch seals the namespace's current epoch on every shard and
+// returns the per-shard authenticated log snapshots, ordered by shard
+// index. Workers rotate at their next batch boundary; the data plane never
+// stops, and rotations of different namespaces proceed concurrently — one
+// victim's audit cadence never blocks another's. The returned logs of one
+// epoch, merged across shards (bypass.MergeSnapshots), cover exactly the
+// packets the fleet processed for this victim between this rotation and
+// the previous one.
+func (e *Engine) RotateEpoch(id int) ([]EpochLog, error) {
+	e.lifeMu.RLock()
+	defer e.lifeMu.RUnlock()
 	if !e.running.Load() {
 		return nil, ErrNotRunning
 	}
-	e.epoch++
-	seq := e.epoch
+	var ns *namespace
+	for {
+		ns = e.lookup(id)
+		if ns == nil {
+			return nil, ErrUnknownNamespace
+		}
+		ns.mu.Lock()
+		if !ns.detached {
+			break
+		}
+		// Retired object: its detach/reconfigure committed the table swap
+		// in the same critical section, so the next lookup either finds
+		// the id gone (a real detach — unknown) or the reconfigured
+		// replacement (retry against it).
+		ns.mu.Unlock()
+	}
+	defer ns.mu.Unlock()
+	ns.epoch++
+	seq := ns.epoch
 	tickets := make([]*rotateTicket, len(e.shards))
 	for i, s := range e.shards {
-		t := &rotateTicket{seq: seq, reply: make(chan shardEpoch, 1)}
+		t := &rotateTicket{
+			ns:    ns.shards[i],
+			nsID:  id,
+			seq:   seq,
+			reply: make(chan shardEpoch, 1),
+		}
 		tickets[i] = t
-		s.rotate <- t // capacity 1, serialized by e.mu: never blocks
+		s.rotate <- t
 	}
 	logs := make([]EpochLog, len(e.shards))
 	for i, t := range tickets {
@@ -463,15 +991,20 @@ func (e *Engine) RotateEpoch() ([]EpochLog, error) {
 	return logs, nil
 }
 
-// Epoch returns the last sealed epoch sequence number.
-func (e *Engine) Epoch() uint64 {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	return e.epoch
+// Epoch returns a namespace's last sealed epoch sequence number (0 when
+// the namespace is unknown).
+func (e *Engine) Epoch(id int) uint64 {
+	ns := e.lookup(id)
+	if ns == nil {
+		return 0
+	}
+	ns.mu.Lock()
+	defer ns.mu.Unlock()
+	return ns.epoch
 }
 
-// run is the shard worker loop: burst-dequeue, filter, honor rotation
-// tickets at batch boundaries, drain on stop.
+// run is the shard worker loop: burst-dequeue, filter, honor rotation and
+// fence tickets at batch boundaries, drain on stop.
 func (s *shard) run(e *Engine) {
 	defer close(s.done)
 	batch := make([]packet.Descriptor, e.cfg.Batch)
@@ -479,16 +1012,12 @@ func (s *shard) run(e *Engine) {
 		n := s.ring.DequeueBatch(batch)
 		if n > 0 {
 			s.process(e, batch[:n])
-			select {
-			case t := <-s.rotate:
-				s.doRotate(t)
-			default:
-			}
+			s.drainTickets()
 			continue
 		}
 		select {
 		case t := <-s.rotate:
-			s.doRotate(t)
+			s.serveTicket(t)
 		case <-e.stop:
 			// Final drain: producers may have raced descriptors in after
 			// the stop signal.
@@ -505,54 +1034,116 @@ func (s *shard) run(e *Engine) {
 	}
 }
 
-// process pushes one burst through the filter's batch path: one call, one
-// pooled verdict slice, one cost-meter charge — the amortization the
-// paper's near-constant per-packet work depends on.
-func (s *shard) process(e *Engine, batch []packet.Descriptor) {
-	s.verdicts = s.f.ProcessBatch(batch, s.verdicts)
-	var allowed, dropped uint64
-	for i, v := range s.verdicts {
-		if v == filter.VerdictAllow {
-			allowed++
-			if e.cfg.Sink != nil {
-				e.cfg.Sink(s.id, batch[i])
-			}
-		} else {
-			dropped++
+// drainTickets serves every pending ticket at a batch boundary, so
+// concurrent rotations of several namespaces all land between the same
+// two bursts instead of one per burst.
+func (s *shard) drainTickets() {
+	for {
+		select {
+		case t := <-s.rotate:
+			s.serveTicket(t)
+		default:
+			return
 		}
+	}
+}
+
+func (s *shard) serveTicket(t *rotateTicket) {
+	if t.fence {
+		t.reply <- shardEpoch{}
+		return
+	}
+	s.doRotate(t)
+}
+
+// process pushes one burst through the filters' batch path, splitting it
+// into namespace runs: each run is one ProcessBatch call against its
+// victim's filter — one pooled verdict slice, one cost-meter charge — so
+// the multi-victim dispatch costs a 2-byte compare per packet and one
+// atomic view load per burst, nothing on the per-packet path. Packets of
+// detached namespaces are dropped and counted as orphaned (never
+// attributed to any victim).
+func (s *shard) process(e *Engine, batch []packet.Descriptor) {
+	views := *s.views.Load()
+	var allowed, dropped, orphaned uint64
+	for i := 0; i < len(batch); {
+		id := batch[i].NS
+		j := i + 1
+		for j < len(batch) && batch[j].NS == id {
+			j++
+		}
+		run := batch[i:j]
+		var t *nsShard
+		if int(id) < len(views) {
+			t = views[id]
+		}
+		if t == nil {
+			orphaned += uint64(len(run))
+			i = j
+			continue
+		}
+		s.verdicts = t.f.ProcessBatch(run, s.verdicts)
+		var runAllowed, runDropped uint64
+		for k, v := range s.verdicts {
+			if v == filter.VerdictAllow {
+				runAllowed++
+				if e.cfg.Sink != nil {
+					e.cfg.Sink(s.id, run[k])
+				}
+				if t.sink != nil {
+					t.sink(s.id, run[k])
+				}
+			} else {
+				runDropped++
+			}
+		}
+		t.processed.Add(uint64(len(run)))
+		t.allowed.Add(runAllowed)
+		t.dropped.Add(runDropped)
+		allowed += runAllowed
+		dropped += runDropped
+		i = j
 	}
 	s.allowed.Add(allowed)
 	s.dropped.Add(dropped)
+	if orphaned > 0 {
+		s.orphaned.Add(orphaned)
+	}
 	s.processed.Add(uint64(len(batch)))
 	s.batches.Add(1)
 }
 
-// doRotate seals the epoch: authenticated snapshots of both logs, then
-// reset. Runs on the worker goroutine, so it is ordered with Process calls
-// — no packet straddles the epoch boundary.
+// doRotate seals the ticket namespace's epoch on this shard:
+// authenticated snapshots of both logs, then reset. Runs on the worker
+// goroutine, so it is ordered with ProcessBatch calls — no packet
+// straddles the epoch boundary.
 func (s *shard) doRotate(t *rotateTicket) {
-	in, err := s.f.Snapshot(filter.LogIncoming, t.seq)
+	in, err := t.ns.f.Snapshot(filter.LogIncoming, t.seq)
 	if err != nil {
 		t.reply <- shardEpoch{err: err}
 		return
 	}
-	out, err := s.f.Snapshot(filter.LogOutgoing, t.seq)
+	out, err := t.ns.f.Snapshot(filter.LogOutgoing, t.seq)
 	if err != nil {
 		t.reply <- shardEpoch{err: err}
 		return
 	}
-	s.f.ResetLogs()
+	t.ns.f.ResetLogs()
 	// Promote pending flows to exact-match entries at the epoch boundary —
 	// the hybrid design's learning step (Appendix F). Promotion is filter-
 	// thread state, and the rotation ticket runs on the worker goroutine,
 	// so engine mode gets the same periodic batch promotion the serial
 	// path performs at rule-update boundaries.
-	s.promoted.Add(uint64(s.f.Promote()))
+	promoted := uint64(t.ns.f.Promote())
+	t.ns.promoted.Add(promoted)
+	t.ns.epochs.Add(1)
+	s.promoted.Add(promoted)
 	s.epochs.Add(1)
 	t.reply <- shardEpoch{log: EpochLog{
-		Shard:    s.id,
-		Seq:      t.seq,
-		Incoming: in,
-		Outgoing: out,
+		Namespace: t.nsID,
+		Shard:     s.id,
+		Seq:       t.seq,
+		Incoming:  in,
+		Outgoing:  out,
 	}}
 }

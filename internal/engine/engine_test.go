@@ -183,7 +183,7 @@ func TestEngineEpochRotationPartitionsLogs(t *testing.T) {
 		}
 	}()
 	for i := 0; i < 3; i++ {
-		logs, err := eng.RotateEpoch()
+		logs, err := eng.RotateEpoch(0)
 		if err != nil {
 			t.Errorf("rotate %d: %v", i, err)
 			return
@@ -193,7 +193,7 @@ func TestEngineEpochRotationPartitionsLogs(t *testing.T) {
 	<-done
 	eng.WaitDrained()
 	// Final epoch seals the remainder.
-	logs, err := eng.RotateEpoch()
+	logs, err := eng.RotateEpoch(0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -228,7 +228,7 @@ func TestEngineEpochRotationPartitionsLogs(t *testing.T) {
 	if loggedOut != m.Allowed {
 		t.Fatalf("outgoing logs across epochs total %d, engine allowed %d", loggedOut, m.Allowed)
 	}
-	if got := eng.Epoch(); got != uint64(len(epochs)) {
+	if got := eng.Epoch(0); got != uint64(len(epochs)) {
 		t.Fatalf("epoch counter %d, rotated %d times", got, len(epochs))
 	}
 }
@@ -283,7 +283,7 @@ func TestEngineLifecycle(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := eng.RotateEpoch(); err != ErrNotRunning {
+	if _, err := eng.RotateEpoch(0); err != ErrNotRunning {
 		t.Fatalf("rotate before start: %v", err)
 	}
 	if err := eng.Start(); err != nil {
@@ -294,7 +294,7 @@ func TestEngineLifecycle(t *testing.T) {
 	}
 	eng.Stop()
 	eng.Stop() // idempotent
-	if _, err := eng.RotateEpoch(); err != ErrNotRunning {
+	if _, err := eng.RotateEpoch(0); err != ErrNotRunning {
 		t.Fatalf("rotate after stop: %v", err)
 	}
 	if err := eng.Start(); err != ErrRunning {
@@ -572,8 +572,8 @@ func TestEnginePromotesAtEpochBoundary(t *testing.T) {
 		r := rs[rng.Intn(len(rs))]
 		descs[i] = packet.Descriptor{
 			Tuple: packet.FiveTuple{
-				SrcIP: r.Src.Addr | (rng.Uint32() &^ r.Src.Mask()),
-				DstIP: packet.MustParseIP("192.0.2.9"),
+				SrcIP:   r.Src.Addr | (rng.Uint32() &^ r.Src.Mask()),
+				DstIP:   packet.MustParseIP("192.0.2.9"),
 				SrcPort: uint16(rng.Intn(60000) + 1), DstPort: 53,
 				Proto: packet.ProtoUDP,
 			},
@@ -591,7 +591,7 @@ func TestEnginePromotesAtEpochBoundary(t *testing.T) {
 	if pendingBefore == 0 {
 		t.Fatal("probabilistic traffic left no flows pending promotion")
 	}
-	if _, err := eng.RotateEpoch(); err != nil {
+	if _, err := eng.RotateEpoch(0); err != nil {
 		t.Fatal(err)
 	}
 	eng.Stop()

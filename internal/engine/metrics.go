@@ -9,21 +9,26 @@ import (
 	"github.com/innetworkfiltering/vif/internal/pipeline"
 )
 
-// ShardMetrics is one shard's live counter snapshot. All fields are read
-// from the shard's atomic metrics block without synchronizing with the
-// worker, so a snapshot is internally consistent only when the engine is
-// quiesced (after WaitDrained or Stop); live snapshots are monitoring-
-// grade, like any /proc counter.
+// ShardMetrics is one shard's live counter snapshot, aggregated over every
+// namespace the shard serves. All fields are read from the shard's atomic
+// metrics block without synchronizing with the worker, so a snapshot is
+// internally consistent only when the engine is quiesced (after
+// WaitDrained or Stop); live snapshots are monitoring-grade, like any
+// /proc counter.
 type ShardMetrics struct {
 	// Shard is the shard index.
 	Shard int
 	// Processed, Allowed, Dropped count filter verdicts.
 	Processed, Allowed, Dropped uint64
+	// Orphaned counts packets dequeued for a namespace that detached while
+	// they sat in the ring: dropped, attributed to no victim.
+	Orphaned uint64
 	// Backpressure counts producer enqueue failures on a full ring.
 	Backpressure uint64
 	// QueueDepth is the ring occupancy at snapshot time.
 	QueueDepth int
-	// Epochs is the number of epoch rotations this shard has sealed.
+	// Epochs is the number of (namespace) epoch rotations this shard has
+	// sealed.
 	Epochs uint64
 	// Promoted counts flows the worker promoted to exact-match entries at
 	// epoch boundaries (the hybrid design's learning step in engine mode).
@@ -35,9 +40,33 @@ type ShardMetrics struct {
 	// actually runs, the amortization factor of the per-burst costs.
 	Batches  uint64
 	AvgBatch float64
-	// NsPerPacket is the shard's modeled enclave time per processed packet
-	// (the SGX cost meter's virtual nanoseconds divided by packets) — the
+	// NsPerPacket is the shard's modeled enclave time per filtered packet
+	// (the SGX cost meters' virtual nanoseconds, summed over the shard's
+	// namespace filters, divided by the packets they decided) — the
 	// per-packet cost floor behind the paper's throughput figures.
+	NsPerPacket float64
+}
+
+// NamespaceMetrics is one victim namespace's live counter snapshot,
+// aggregated across shards.
+type NamespaceMetrics struct {
+	// NS is the namespace id.
+	NS int
+	// Processed, Allowed, Dropped count this victim's filter verdicts.
+	Processed, Allowed, Dropped uint64
+	// Epochs is the number of epochs sealed (rotations × shards).
+	Epochs uint64
+	// Promoted counts flows promoted to exact-match entries.
+	Promoted uint64
+	// EPCShareBytes is the namespace's apportioned share of each shard
+	// machine's EPC.
+	EPCShareBytes int
+	// PagingPressure is the worst paging exposure across the namespace's
+	// enclaves: the fraction of a working set that cannot be EPC-resident
+	// under the share (0 when every shard's set fits).
+	PagingPressure float64
+	// NsPerPacket is the namespace's modeled enclave time per processed
+	// packet.
 	NsPerPacket float64
 }
 
@@ -45,24 +74,38 @@ type ShardMetrics struct {
 type Metrics struct {
 	// Shards holds one entry per shard, in shard order.
 	Shards []ShardMetrics
+	// Namespaces holds one entry per attached victim namespace, in
+	// namespace-id order.
+	Namespaces []NamespaceMetrics
 	// Accepted counts descriptors successfully enqueued across all shards.
 	Accepted uint64
-	// LBDrops counts descriptors the (faulty) balancer discarded before
-	// any shard saw them.
+	// LBDrops counts descriptors a (faulty) balancer discarded before any
+	// shard saw them.
 	LBDrops uint64
-	// Processed, Allowed, Dropped, Backpressure aggregate the shard blocks.
-	Processed, Allowed, Dropped, Backpressure uint64
+	// NSDrops counts descriptors stamped with an unattached namespace
+	// (typically injections racing a detach): dropped before any shard.
+	NSDrops uint64
+	// Processed, Allowed, Dropped, Orphaned, Backpressure aggregate the
+	// shard blocks.
+	Processed, Allowed, Dropped, Orphaned, Backpressure uint64
 	// Elapsed is the wall-clock time since Start.
 	Elapsed time.Duration
 	// PPS is the aggregate average processed-packet rate since Start.
 	PPS float64
 }
 
-// Metrics snapshots the per-shard atomic metric blocks.
+// nsVirtualDelta returns a cell's engine-era modeled nanoseconds.
+func (t *nsShard) virtualDelta() float64 {
+	base := math.Float64frombits(t.baseVirtualNs.Load())
+	return t.f.Enclave().VirtualNs() - base
+}
+
+// Metrics snapshots the per-shard and per-namespace atomic metric blocks.
 func (e *Engine) Metrics() Metrics {
 	m := Metrics{
 		Shards:  make([]ShardMetrics, len(e.shards)),
 		LBDrops: e.lbDrops.Load(),
+		NSDrops: e.nsDrops.Load(),
 	}
 	m.Accepted = e.accepted.Load()
 	elapsed := time.Since(e.started)
@@ -71,12 +114,48 @@ func (e *Engine) Metrics() Metrics {
 	}
 	m.Elapsed = elapsed
 	secs := elapsed.Seconds()
+
+	nss := *e.nss.Load()
+	// Per-shard modeled time: summed over the shard's namespace cells.
+	shardVirtual := make([]float64, len(e.shards))
+	shardFiltered := make([]uint64, len(e.shards))
+	for _, ns := range nss {
+		if ns == nil {
+			continue
+		}
+		nm := NamespaceMetrics{NS: ns.id}
+		var virtual float64
+		for i, t := range ns.shards {
+			p := t.processed.Load()
+			nm.Processed += p
+			nm.Allowed += t.allowed.Load()
+			nm.Dropped += t.dropped.Load()
+			nm.Epochs += t.epochs.Load()
+			nm.Promoted += t.promoted.Load()
+			if pr := t.f.Enclave().PagingPressure(); pr > nm.PagingPressure {
+				nm.PagingPressure = pr
+			}
+			d := t.virtualDelta()
+			virtual += d
+			shardVirtual[i] += d
+			shardFiltered[i] += p
+		}
+		if budget := e.budget.Load(); budget != nil {
+			nm.EPCShareBytes = budget.Share(ns.id)
+		}
+		if nm.Processed > 0 {
+			nm.NsPerPacket = virtual / float64(nm.Processed)
+		}
+		m.Namespaces = append(m.Namespaces, nm)
+	}
+
 	for i, s := range e.shards {
 		sm := ShardMetrics{
 			Shard:        i,
 			Processed:    s.processed.Load(),
 			Allowed:      s.allowed.Load(),
 			Dropped:      s.dropped.Load(),
+			Orphaned:     s.orphaned.Load(),
 			Backpressure: s.backpressure.Load(),
 			QueueDepth:   s.ring.Len(),
 			Epochs:       s.epochs.Load(),
@@ -89,14 +168,14 @@ func (e *Engine) Metrics() Metrics {
 		if sm.Batches > 0 {
 			sm.AvgBatch = float64(sm.Processed) / float64(sm.Batches)
 		}
-		if sm.Processed > 0 {
-			base := math.Float64frombits(s.baseVirtualNs.Load())
-			sm.NsPerPacket = (s.f.Enclave().VirtualNs() - base) / float64(sm.Processed)
+		if shardFiltered[i] > 0 {
+			sm.NsPerPacket = shardVirtual[i] / float64(shardFiltered[i])
 		}
 		m.Shards[i] = sm
 		m.Processed += sm.Processed
 		m.Allowed += sm.Allowed
 		m.Dropped += sm.Dropped
+		m.Orphaned += sm.Orphaned
 		m.Backpressure += sm.Backpressure
 	}
 	if secs > 0 {
@@ -106,22 +185,41 @@ func (e *Engine) Metrics() Metrics {
 }
 
 // AggregateModeledPps returns the fleet's aggregate modeled capacity in
-// packets/s for the given frame size: each shard's measured SGX virtual
-// time per packet (the calibrated cost-model meter driven by the packets
-// the shard actually processed) converted to a line-rate-capped rate and
-// summed — the paper's Figure 4 quantity, where filtering capacity grows
-// linearly with the number of parallel enclaves. Shards that processed
-// nothing contribute nothing.
+// packets/s for the given frame size: each (namespace, shard) cell's
+// measured SGX virtual time per packet (the calibrated cost-model meter
+// driven by the packets the cell actually processed) converted to a
+// line-rate-capped rate and summed per shard — the paper's Figure 4
+// quantity, where filtering capacity grows linearly with the number of
+// parallel enclaves. Cells that processed nothing contribute nothing.
 func (e *Engine) AggregateModeledPps(frameSize int) float64 {
-	var total float64
-	for _, s := range e.shards {
-		n := s.processed.Load()
-		if n == 0 {
+	nss := *e.nss.Load()
+	shardVirtual := make([]float64, len(e.shards))
+	shardProcessed := make([]uint64, len(e.shards))
+	// Per-shard pipeline pricing: tenants may run under different platform
+	// models, and a shard's fixed pipeline cost is a property of its
+	// machine, so weight each cell's PipelineNs by the packets it decided
+	// rather than letting any one cell's constant speak for the shard.
+	shardPipelineNs := make([]float64, len(e.shards))
+	for _, ns := range nss {
+		if ns == nil {
 			continue
 		}
-		encl := s.f.Enclave()
-		base := math.Float64frombits(s.baseVirtualNs.Load())
-		perPkt := (encl.VirtualNs()-base)/float64(n) + encl.Model().PipelineNs
+		for i, t := range ns.shards {
+			n := t.processed.Load()
+			if n == 0 {
+				continue
+			}
+			shardProcessed[i] += n
+			shardVirtual[i] += t.virtualDelta()
+			shardPipelineNs[i] += float64(n) * t.f.Enclave().Model().PipelineNs
+		}
+	}
+	var total float64
+	for i := range e.shards {
+		if shardProcessed[i] == 0 {
+			continue
+		}
+		perPkt := (shardVirtual[i] + shardPipelineNs[i]) / float64(shardProcessed[i])
 		pps, _ := pipeline.ModeledThroughput(perPkt, frameSize, pipeline.TenGigE)
 		total += pps
 	}
@@ -131,7 +229,7 @@ func (e *Engine) AggregateModeledPps(frameSize int) float64 {
 // String renders a compact operator summary.
 func (m Metrics) String() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "engine{shards=%d accepted=%d processed=%d allowed=%d dropped=%d lbdrops=%d backpressure=%d pps=%.0f}",
-		len(m.Shards), m.Accepted, m.Processed, m.Allowed, m.Dropped, m.LBDrops, m.Backpressure, m.PPS)
+	fmt.Fprintf(&b, "engine{shards=%d namespaces=%d accepted=%d processed=%d allowed=%d dropped=%d lbdrops=%d nsdrops=%d backpressure=%d pps=%.0f}",
+		len(m.Shards), len(m.Namespaces), m.Accepted, m.Processed, m.Allowed, m.Dropped, m.LBDrops, m.NSDrops, m.Backpressure, m.PPS)
 	return b.String()
 }

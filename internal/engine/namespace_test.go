@@ -1,0 +1,573 @@
+package engine
+
+import (
+	"errors"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"github.com/innetworkfiltering/vif/internal/bypass"
+	"github.com/innetworkfiltering/vif/internal/filter"
+	"github.com/innetworkfiltering/vif/internal/packet"
+	"github.com/innetworkfiltering/vif/internal/rules"
+)
+
+// nsTestRules builds k deterministic drop rules over the given victim
+// prefix plus default-allow, so per-victim verdict counts are
+// reproducible.
+func nsTestRules(t testing.TB, k int, dstPrefix string, seed int64) *rules.Set {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	rs := make([]rules.Rule, k)
+	dst := rules.MustParsePrefix(dstPrefix)
+	for i := range rs {
+		rs[i] = rules.Rule{
+			Src:   rules.Prefix{Addr: rng.Uint32(), Len: 24}.Canonical(),
+			Dst:   dst,
+			Proto: packet.ProtoUDP,
+		}
+	}
+	set, err := rules.NewSet(rs, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return set
+}
+
+// nsTestDescriptors mixes flows hitting the set's drop rules with flows
+// that miss, all toward the victim inside dstPrefix, stamped with ns.
+func nsTestDescriptors(t testing.TB, set *rules.Set, n int, victimIP string, ns uint16, seed int64) []packet.Descriptor {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	victim := packet.MustParseIP(victimIP)
+	out := make([]packet.Descriptor, n)
+	for i := range out {
+		var tup packet.FiveTuple
+		if i%2 == 0 {
+			r := set.Rules[rng.Intn(set.Len())]
+			tup = packet.FiveTuple{
+				SrcIP: r.Src.Addr | (rng.Uint32() &^ r.Src.Mask()),
+				DstIP: victim, SrcPort: uint16(rng.Intn(60000) + 1),
+				DstPort: 53, Proto: packet.ProtoUDP,
+			}
+		} else {
+			tup = packet.FiveTuple{
+				SrcIP: rng.Uint32(), DstIP: victim,
+				SrcPort: uint16(rng.Intn(60000) + 1), DstPort: 443,
+				Proto: packet.ProtoTCP,
+			}
+		}
+		out[i] = packet.Descriptor{Tuple: tup, Size: 64, Ref: packet.NoRef, NS: ns}
+	}
+	return out
+}
+
+// attachVictim builds a fleet for one victim's rules and attaches it.
+func attachVictim(t testing.TB, eng *Engine, set *rules.Set) (int, []*filter.Filter) {
+	t.Helper()
+	fs := testFilters(t, set, eng.Shards())
+	ns, err := eng.AttachNamespace(NamespaceConfig{Filters: fs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ns, fs
+}
+
+// TestEngineTwoNamespacesDisjointVerdicts is the tentpole acceptance
+// check at the engine layer: two victims with disjoint rule sets filter
+// interleaved traffic through one shard fleet, and each namespace's
+// verdict counters match its own serial reference exactly — no
+// cross-victim leakage in either direction.
+func TestEngineTwoNamespacesDisjointVerdicts(t *testing.T) {
+	setA := nsTestRules(t, 32, "192.0.2.0/24", 1)
+	setB := nsTestRules(t, 32, "198.51.100.0/24", 2)
+
+	eng, err := New(Config{Shards: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nsA, _ := attachVictim(t, eng, setA)
+	nsB, _ := attachVictim(t, eng, setB)
+	if nsA == nsB {
+		t.Fatalf("namespace ids collide: %d", nsA)
+	}
+	if err := eng.Start(); err != nil {
+		t.Fatal(err)
+	}
+
+	descsA := nsTestDescriptors(t, setA, 2048, "192.0.2.9", uint16(nsA), 3)
+	descsB := nsTestDescriptors(t, setB, 2048, "198.51.100.9", uint16(nsB), 4)
+
+	// Serial references: one filter per victim processes everything.
+	refA := testFilters(t, setA, 1)[0]
+	for _, d := range descsA {
+		refA.Process(d)
+	}
+	refB := testFilters(t, setB, 1)[0]
+	for _, d := range descsB {
+		refB.Process(d)
+	}
+
+	// Interleave the two victims' streams through mixed bursts.
+	mixed := make([]packet.Descriptor, 0, len(descsA)+len(descsB))
+	for i := range descsA {
+		mixed = append(mixed, descsA[i], descsB[i])
+	}
+	for off := 0; off < len(mixed); off += 256 {
+		end := min(off+256, len(mixed))
+		if n := eng.InjectBatch(mixed[off:end]); n != end-off {
+			t.Fatalf("burst at %d: accepted %d of %d with roomy rings", off, n, end-off)
+		}
+	}
+	eng.WaitDrained()
+	eng.Stop()
+
+	m := eng.Metrics()
+	if len(m.Namespaces) != 2 {
+		t.Fatalf("namespace metrics: %d entries", len(m.Namespaces))
+	}
+	byNS := map[int]NamespaceMetrics{}
+	for _, nm := range m.Namespaces {
+		byNS[nm.NS] = nm
+	}
+	sa, sb := refA.Stats(), refB.Stats()
+	if got := byNS[nsA]; got.Allowed != sa.Allowed || got.Dropped != sa.Dropped {
+		t.Fatalf("victim A allowed/dropped %d/%d, serial %d/%d", got.Allowed, got.Dropped, sa.Allowed, sa.Dropped)
+	}
+	if got := byNS[nsB]; got.Allowed != sb.Allowed || got.Dropped != sb.Dropped {
+		t.Fatalf("victim B allowed/dropped %d/%d, serial %d/%d", got.Allowed, got.Dropped, sb.Allowed, sb.Dropped)
+	}
+	if got := byNS[nsA].Processed + byNS[nsB].Processed; got != m.Processed {
+		t.Fatalf("namespace processed %d, engine %d", got, m.Processed)
+	}
+	if m.Orphaned != 0 || m.NSDrops != 0 {
+		t.Fatalf("orphaned=%d nsdrops=%d on a clean run", m.Orphaned, m.NSDrops)
+	}
+}
+
+// TestEnginePerNamespaceEpochsIndependent rotates one victim's epoch
+// without touching the other's: sequence numbers advance independently
+// and each namespace's merged outgoing logs across all its epochs total
+// exactly its allowed count.
+func TestEnginePerNamespaceEpochsIndependent(t *testing.T) {
+	setA := nsTestRules(t, 16, "192.0.2.0/24", 5)
+	setB := nsTestRules(t, 16, "198.51.100.0/24", 6)
+	eng, err := New(Config{Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nsA, fsA := attachVictim(t, eng, setA)
+	nsB, fsB := attachVictim(t, eng, setB)
+	if err := eng.Start(); err != nil {
+		t.Fatal(err)
+	}
+
+	descsA := nsTestDescriptors(t, setA, 1200, "192.0.2.9", uint16(nsA), 7)
+	descsB := nsTestDescriptors(t, setB, 1200, "198.51.100.9", uint16(nsB), 8)
+
+	inject := func(ds []packet.Descriptor) {
+		for _, d := range ds {
+			for !eng.Inject(d) {
+			}
+		}
+	}
+
+	inject(descsA[:600])
+	inject(descsB)
+	eng.WaitDrained()
+
+	// Rotate A only: B's window must stay open.
+	logsA1, err := eng.RotateEpoch(nsA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := eng.Epoch(nsA); got != 1 {
+		t.Fatalf("A epoch %d after one rotation", got)
+	}
+	if got := eng.Epoch(nsB); got != 0 {
+		t.Fatalf("B epoch %d, never rotated", got)
+	}
+	for _, l := range logsA1 {
+		if l.Namespace != nsA || l.Seq != 1 {
+			t.Fatalf("log namespace/seq %d/%d", l.Namespace, l.Seq)
+		}
+	}
+
+	inject(descsA[600:])
+	eng.WaitDrained()
+	logsA2, err := eng.RotateEpoch(nsA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	logsB1, err := eng.RotateEpoch(nsB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.Stop()
+
+	merge := func(fs []*filter.Filter, epochs ...[]EpochLog) uint64 {
+		keys := make(map[uint64][32]byte)
+		for _, f := range fs {
+			keys[f.Enclave().ID()] = f.Enclave().MACKey()
+		}
+		var total uint64
+		for _, logs := range epochs {
+			snaps := make([]*filter.SignedSnapshot, 0, len(logs))
+			for _, l := range logs {
+				snaps = append(snaps, l.Outgoing)
+			}
+			merged, err := bypass.MergeSnapshots(keys, snaps)
+			if err != nil {
+				t.Fatal(err)
+			}
+			total += merged.Total()
+		}
+		return total
+	}
+
+	m := eng.Metrics()
+	byNS := map[int]NamespaceMetrics{}
+	for _, nm := range m.Namespaces {
+		byNS[nm.NS] = nm
+	}
+	if got := merge(fsA, logsA1, logsA2); got != byNS[nsA].Allowed {
+		t.Fatalf("A logs across epochs total %d, allowed %d", got, byNS[nsA].Allowed)
+	}
+	if got := merge(fsB, logsB1); got != byNS[nsB].Allowed {
+		t.Fatalf("B logs total %d, allowed %d", got, byNS[nsB].Allowed)
+	}
+}
+
+// TestEngineConcurrentRotationsTwoNamespaces drives live traffic into two
+// namespaces while two goroutines rotate them concurrently — one victim's
+// audit cadence must never block or corrupt another's. Run under -race in
+// CI.
+func TestEngineConcurrentRotationsTwoNamespaces(t *testing.T) {
+	setA := nsTestRules(t, 16, "192.0.2.0/24", 9)
+	setB := nsTestRules(t, 16, "198.51.100.0/24", 10)
+	eng, err := New(Config{Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nsA, _ := attachVictim(t, eng, setA)
+	nsB, _ := attachVictim(t, eng, setB)
+	if err := eng.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Stop()
+
+	descsA := nsTestDescriptors(t, setA, 2048, "192.0.2.9", uint16(nsA), 11)
+	descsB := nsTestDescriptors(t, setB, 2048, "198.51.100.9", uint16(nsB), 12)
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for _, stream := range [][]packet.Descriptor{descsA, descsB} {
+		wg.Add(1)
+		go func(ds []packet.Descriptor) {
+			defer wg.Done()
+			for i := 0; ; i = (i + 1) & 2047 {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				eng.Inject(ds[i])
+			}
+		}(stream)
+	}
+
+	const rotations = 20
+	var rotWG sync.WaitGroup
+	for _, id := range []int{nsA, nsB} {
+		rotWG.Add(1)
+		go func(id int) {
+			defer rotWG.Done()
+			for i := 0; i < rotations; i++ {
+				logs, err := eng.RotateEpoch(id)
+				if err != nil {
+					t.Errorf("rotate ns %d: %v", id, err)
+					return
+				}
+				for _, l := range logs {
+					if l.Namespace != id || l.Seq != uint64(i+1) {
+						t.Errorf("ns %d rotation %d: got namespace/seq %d/%d", id, i, l.Namespace, l.Seq)
+						return
+					}
+				}
+			}
+		}(id)
+	}
+	rotWG.Wait()
+	close(stop)
+	wg.Wait()
+
+	if got := eng.Epoch(nsA); got != rotations {
+		t.Fatalf("A epoch %d, want %d", got, rotations)
+	}
+	if got := eng.Epoch(nsB); got != rotations {
+		t.Fatalf("B epoch %d, want %d", got, rotations)
+	}
+}
+
+// TestEngineInjectBatchRacesDetach hammers mixed-namespace InjectBatch
+// from producers while the victim being injected detaches mid-stream: no
+// panic, no misattribution — every injected descriptor is accounted as
+// accepted, lb-dropped, ns-dropped, or ring backpressure; every accepted
+// one is processed (drain invariant) and attributed to its namespace or
+// to the shard orphan counter, never to the other victim. Run under
+// -race in CI.
+func TestEngineInjectBatchRacesDetach(t *testing.T) {
+	setA := nsTestRules(t, 16, "192.0.2.0/24", 13)
+	setB := nsTestRules(t, 16, "198.51.100.0/24", 14)
+	eng, err := New(Config{Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nsA, _ := attachVictim(t, eng, setA)
+	nsB, fsB := attachVictim(t, eng, setB)
+	if err := eng.Start(); err != nil {
+		t.Fatal(err)
+	}
+
+	descsA := nsTestDescriptors(t, setA, 1024, "192.0.2.9", uint16(nsA), 15)
+	descsB := nsTestDescriptors(t, setB, 1024, "198.51.100.9", uint16(nsB), 16)
+	mixed := make([]packet.Descriptor, 0, 2048)
+	for i := range descsA {
+		mixed = append(mixed, descsA[i], descsB[i])
+	}
+
+	const producers = 3
+	var injected atomic.Uint64
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			off := (p * 512) % len(mixed)
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				end := min(off+256, len(mixed))
+				win := mixed[off:end]
+				off = end % len(mixed)
+				injected.Add(uint64(len(win)))
+				eng.InjectBatch(win)
+			}
+		}(p)
+	}
+
+	// Let traffic flow, then detach B under fire.
+	for eng.Metrics().Processed < 10000 {
+	}
+	finalB, err := eng.DetachNamespace(nsB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Post-detach, B's filters are engine-free: serial use must be safe
+	// while producers keep offering B-stamped descriptors (now ns drops).
+	for _, f := range fsB {
+		f.ResetLogs()
+	}
+	for eng.Metrics().NSDrops == 0 {
+	}
+	close(stop)
+	wg.Wait()
+	eng.WaitDrained()
+	eng.Stop()
+
+	m := eng.Metrics()
+	if m.Processed != m.Accepted {
+		t.Fatalf("processed %d != accepted %d after drain", m.Processed, m.Accepted)
+	}
+	// Exact attribution: the survivor's live counters plus B's final
+	// (quiesced) counters plus the orphaned in-ring remainder must cover
+	// every processed packet — nothing misattributed, nothing lost.
+	total := finalB.Processed
+	for _, nm := range m.Namespaces {
+		total += nm.Processed
+	}
+	if total+m.Orphaned != m.Processed {
+		t.Fatalf("namespace processed %d + orphaned %d != processed %d", total, m.Orphaned, m.Processed)
+	}
+	if finalB.Processed == 0 {
+		t.Fatal("victim B processed nothing before detach")
+	}
+	if m.NSDrops == 0 {
+		t.Fatal("detach race produced no ns drops")
+	}
+	if m.Accepted+m.NSDrops+m.Backpressure+m.LBDrops != injected.Load() {
+		t.Fatalf("accepted %d + nsdrops %d + backpressure %d + lbdrops %d != injected %d",
+			m.Accepted, m.NSDrops, m.Backpressure, m.LBDrops, injected.Load())
+	}
+	// A survived untouched: its namespace still answers rotations.
+	if _, err := eng.RotateEpoch(nsA); !errors.Is(err, ErrNotRunning) {
+		t.Fatalf("rotate after stop: %v", err)
+	}
+}
+
+// TestEngineAttachDetachLifecycle covers the control-plane contract: id
+// assignment and reuse, shard-count validation, detach of unknown ids,
+// and rotation errors on detached namespaces.
+func TestEngineAttachDetachLifecycle(t *testing.T) {
+	set := nsTestRules(t, 8, "192.0.2.0/24", 17)
+	eng, err := New(Config{Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.AttachNamespace(NamespaceConfig{Filters: testFilters(t, set, 1)}); !errors.Is(err, ErrShardMismatch) {
+		t.Fatalf("short filter slice: %v", err)
+	}
+	ns0, _ := attachVictim(t, eng, set)
+	ns1, _ := attachVictim(t, eng, set)
+	if ns0 != 0 || ns1 != 1 {
+		t.Fatalf("ids %d,%d want 0,1", ns0, ns1)
+	}
+	if _, err := eng.DetachNamespace(ns0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.DetachNamespace(ns0); !errors.Is(err, ErrUnknownNamespace) {
+		t.Fatalf("double detach: %v", err)
+	}
+	// Freed id is reused.
+	nsAgain, _ := attachVictim(t, eng, set)
+	if nsAgain != ns0 {
+		t.Fatalf("id %d not reused, got %d", ns0, nsAgain)
+	}
+	if got := eng.Namespaces(); len(got) != 2 {
+		t.Fatalf("namespaces %v", got)
+	}
+	if err := eng.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.RotateEpoch(99); !errors.Is(err, ErrUnknownNamespace) {
+		t.Fatalf("rotate unknown ns: %v", err)
+	}
+	eng.Stop()
+}
+
+// TestEngineEPCBudgetShares pins the budget arbitration: shares are
+// weighted by rule-set memory, sum to exactly the machine EPC, rebalance
+// on attach/detach, and land in every enclave of the namespace (where
+// paging pressure is priced against the share, not the platform total).
+func TestEngineEPCBudgetShares(t *testing.T) {
+	const epc = 10_000_000
+	small := nsTestRules(t, 8, "192.0.2.0/24", 18)
+	big := nsTestRules(t, 2048, "198.51.100.0/24", 19)
+	eng, err := New(Config{Shards: 2, EPCBytes: epc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nsSmall, fsSmall := attachVictim(t, eng, small)
+	if got := eng.EPCShares()[nsSmall]; got != epc {
+		t.Fatalf("single namespace share %d, want whole EPC %d", got, epc)
+	}
+	nsBig, fsBig := attachVictim(t, eng, big)
+
+	shares := eng.EPCShares()
+	if len(shares) != 2 {
+		t.Fatalf("shares %v", shares)
+	}
+	if got := shares[nsSmall] + shares[nsBig]; got != epc {
+		t.Fatalf("shares sum %d, want %d", got, epc)
+	}
+	if shares[nsBig] <= shares[nsSmall] {
+		t.Fatalf("2048-rule victim got %d, 8-rule victim %d — weight inverted", shares[nsBig], shares[nsSmall])
+	}
+	for _, f := range fsSmall {
+		if got := f.Enclave().EPCBudget(); got != shares[nsSmall] {
+			t.Fatalf("small enclave budget %d, share %d", got, shares[nsSmall])
+		}
+	}
+	for _, f := range fsBig {
+		if got := f.Enclave().EPCBudget(); got != shares[nsBig] {
+			t.Fatalf("big enclave budget %d, share %d", got, shares[nsBig])
+		}
+		// The 2048-rule victim's working set (two 1 MiB sketches + table)
+		// exceeds its slice of the 10 MB machine: pressure must surface.
+		if f.Enclave().PagingPressure() == 0 && f.Enclave().MemoryUsed() > shares[nsBig] {
+			t.Fatal("working set beyond budget reports zero paging pressure")
+		}
+	}
+	// Detach returns the EPC to the survivor and lifts the cap on the
+	// released enclaves.
+	if _, err := eng.DetachNamespace(nsBig); err != nil {
+		t.Fatal(err)
+	}
+	if got := eng.EPCShares()[nsSmall]; got != epc {
+		t.Fatalf("survivor share %d after detach, want %d", got, epc)
+	}
+	model := fsBig[0].Enclave().Model()
+	for _, f := range fsBig {
+		if got := f.Enclave().EPCBudget(); got != model.EPCBytes {
+			t.Fatalf("released enclave budget %d, want full EPC %d", got, model.EPCBytes)
+		}
+	}
+}
+
+// TestEngineReconfigureNamespace swaps a namespace's rule set in place
+// while the engine runs: counters carry over, the new rules take effect,
+// and the old filters are quiesced when the call returns.
+func TestEngineReconfigureNamespace(t *testing.T) {
+	dropAll := nsTestRules(t, 8, "192.0.2.0/24", 20)
+	eng, err := New(Config{Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ns, _ := attachVictim(t, eng, dropAll)
+	if err := eng.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Stop()
+
+	descs := nsTestDescriptors(t, dropAll, 512, "192.0.2.9", uint16(ns), 21)
+	for _, d := range descs {
+		for !eng.Inject(d) {
+		}
+	}
+	eng.WaitDrained()
+	before := eng.Metrics()
+
+	// Replace with a default-drop set matching nothing: every subsequent
+	// packet must drop.
+	denySet, err := rules.NewSet([]rules.Rule{{
+		Src: rules.MustParsePrefix("203.0.113.0/24"), Dst: rules.MustParsePrefix("203.0.113.0/24"),
+	}}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.ReconfigureNamespace(ns, NamespaceConfig{Filters: testFilters(t, denySet, 2)}); err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range descs {
+		for !eng.Inject(d) {
+		}
+	}
+	eng.WaitDrained()
+	after := eng.Metrics()
+	var nmBefore, nmAfter NamespaceMetrics
+	for _, nm := range before.Namespaces {
+		if nm.NS == ns {
+			nmBefore = nm
+		}
+	}
+	for _, nm := range after.Namespaces {
+		if nm.NS == ns {
+			nmAfter = nm
+		}
+	}
+	if nmAfter.Processed != nmBefore.Processed+uint64(len(descs)) {
+		t.Fatalf("processed %d after reconfigure, want %d carried + %d new",
+			nmAfter.Processed, nmBefore.Processed, len(descs))
+	}
+	if got := nmAfter.Dropped - nmBefore.Dropped; got != uint64(len(descs)) {
+		t.Fatalf("default-drop set dropped %d of %d", got, len(descs))
+	}
+	if _, err := eng.RotateEpoch(ns); err != nil {
+		t.Fatalf("rotate after reconfigure: %v", err)
+	}
+}

@@ -773,6 +773,12 @@ func (f *Filter) HashRatio() float64 {
 // exact-match entries).
 func (f *Filter) RuleCount() int { return f.view.Load().set.Len() }
 
+// RuleMemoryBytes returns the resident size of the installed lookup-table
+// snapshot — the rule-set memory weight the multi-victim EPC budgeter
+// apportions by. Safe to read while the data plane runs: the snapshot is
+// immutable and reached through one atomic pointer load.
+func (f *Filter) RuleMemoryBytes() int { return f.view.Load().snap.MemoryBytes() }
+
 // ExactEntries returns the number of learned exact-match entries. Safe to
 // read while the data plane runs.
 func (f *Filter) ExactEntries() int { return int(f.exactCount.Load()) }

@@ -1,0 +1,91 @@
+package lb
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/innetworkfiltering/vif/internal/packet"
+	"github.com/innetworkfiltering/vif/internal/rules"
+)
+
+// VictimMap is the ingress-side destination-prefix → victim-namespace
+// classifier of a multi-victim deployment. The transit network knows which
+// victim requested filtering for which prefix (it authorized each request
+// against RPKI), so the untrusted ingress path — the same switching fabric
+// that load-balances flows to enclaves — stamps every descriptor with its
+// victim's namespace id before injection, and the engine dispatches it to
+// that victim's rule set.
+//
+// Like the balancer's routing programme, the map is built by the control
+// plane and then read-only on the data path: Stamp/Lookup are safe for any
+// number of concurrent producers once Add calls have stopped. Misstamping
+// is in the untrusted domain and is caught the same way misrouting is —
+// traffic stamped into the wrong namespace matches no rule there and shows
+// up in that victim's audit, not silently in the right victim's counters.
+type VictimMap struct {
+	entries []vmEntry // sorted by descending prefix length: first hit wins
+}
+
+type vmEntry struct {
+	prefix rules.Prefix
+	ns     uint16
+}
+
+// NewVictimMap creates an empty map.
+func NewVictimMap() *VictimMap { return &VictimMap{} }
+
+// Add maps a destination prefix to a victim namespace. Longest prefix wins
+// on overlapping entries. Control-plane only: not safe concurrently with
+// Lookup/Stamp.
+func (m *VictimMap) Add(p rules.Prefix, ns uint16) error {
+	if p.IsAny() {
+		return fmt.Errorf("lb: victim prefix must be specific, got %v", p)
+	}
+	m.entries = append(m.entries, vmEntry{prefix: p.Canonical(), ns: ns})
+	sort.SliceStable(m.entries, func(i, j int) bool {
+		return m.entries[i].prefix.Len > m.entries[j].prefix.Len
+	})
+	return nil
+}
+
+// Lookup returns the namespace owning a destination address. The victim
+// count at one filtering point is small (tens, not millions), so the
+// longest-prefix match is a linear scan over length-sorted entries.
+func (m *VictimMap) Lookup(dst uint32) (uint16, bool) {
+	for _, e := range m.entries {
+		if e.prefix.Contains(dst) {
+			return e.ns, true
+		}
+	}
+	return 0, false
+}
+
+// Stamp writes each descriptor's namespace id from its destination
+// address and reports how many had no owning victim (those are left with
+// NS unchanged; callers typically drop or default-route them). Runs of
+// consecutive packets to one destination are classified once — the same
+// packet-train amortization the balancer's RouteBatch uses.
+func (m *VictimMap) Stamp(ds []packet.Descriptor) (unmapped int) {
+	var (
+		lastDst  uint32
+		lastNS   uint16
+		lastOK   bool
+		haveLast bool
+	)
+	for i := range ds {
+		dst := ds[i].Tuple.DstIP
+		if !haveLast || dst != lastDst {
+			lastNS, lastOK = m.Lookup(dst)
+			lastDst, haveLast = dst, true
+		}
+		if !lastOK {
+			unmapped++
+			continue
+		}
+		ds[i].NS = lastNS
+	}
+	return unmapped
+}
+
+// Len returns the number of mapped prefixes.
+func (m *VictimMap) Len() int { return len(m.entries) }

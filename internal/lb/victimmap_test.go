@@ -1,0 +1,78 @@
+package lb
+
+import (
+	"testing"
+
+	"github.com/innetworkfiltering/vif/internal/packet"
+	"github.com/innetworkfiltering/vif/internal/rules"
+)
+
+func TestVictimMapLongestPrefixWins(t *testing.T) {
+	m := NewVictimMap()
+	if err := m.Add(rules.MustParsePrefix("10.0.0.0/8"), 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Add(rules.MustParsePrefix("10.5.0.0/16"), 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Add(rules.MustParsePrefix("10.5.7.0/24"), 3); err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		ip   string
+		ns   uint16
+		want bool
+	}{
+		{"10.200.1.1", 1, true},
+		{"10.5.1.1", 2, true},
+		{"10.5.7.9", 3, true},
+		{"192.0.2.1", 0, false},
+	}
+	for _, c := range cases {
+		ns, ok := m.Lookup(packet.MustParseIP(c.ip))
+		if ok != c.want || (ok && ns != c.ns) {
+			t.Fatalf("Lookup(%s) = %d,%v want %d,%v", c.ip, ns, ok, c.ns, c.want)
+		}
+	}
+	if m.Len() != 3 {
+		t.Fatalf("Len %d", m.Len())
+	}
+}
+
+func TestVictimMapRejectsAnyPrefix(t *testing.T) {
+	m := NewVictimMap()
+	if err := m.Add(rules.Prefix{}, 1); err == nil {
+		t.Fatal("0.0.0.0/0 accepted as a victim prefix")
+	}
+}
+
+func TestVictimMapStamp(t *testing.T) {
+	m := NewVictimMap()
+	if err := m.Add(rules.MustParsePrefix("192.0.2.0/24"), 4); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Add(rules.MustParsePrefix("198.51.100.0/24"), 9); err != nil {
+		t.Fatal(err)
+	}
+	mk := func(ip string) packet.Descriptor {
+		return packet.Descriptor{Tuple: packet.FiveTuple{DstIP: packet.MustParseIP(ip)}, NS: 77}
+	}
+	// A packet train to one destination exercises the run-cached path.
+	ds := []packet.Descriptor{
+		mk("192.0.2.1"), mk("192.0.2.1"), mk("192.0.2.1"),
+		mk("198.51.100.8"),
+		mk("203.0.113.5"), // unmapped: NS left untouched
+		mk("203.0.113.5"),
+		mk("192.0.2.200"),
+	}
+	unmapped := m.Stamp(ds)
+	if unmapped != 2 {
+		t.Fatalf("unmapped %d, want 2", unmapped)
+	}
+	wantNS := []uint16{4, 4, 4, 9, 77, 77, 4}
+	for i, d := range ds {
+		if d.NS != wantNS[i] {
+			t.Fatalf("ds[%d].NS = %d, want %d", i, d.NS, wantNS[i])
+		}
+	}
+}

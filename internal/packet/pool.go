@@ -68,13 +68,24 @@ func (p *Pool) Cap() int { return len(p.bufs) }
 // Descriptor is what travels on the data-plane rings: the parsed summary of
 // one packet plus the reference to its out-of-enclave buffer. It mirrors the
 // ⟨∗, 5T, s⟩ triple the paper copies into the enclave.
+//
+// NS is the victim namespace the packet belongs to in a multi-victim
+// deployment: the ingress side stamps it from the destination prefix (the
+// transit network knows which victim requested filtering for which prefix,
+// e.g. via lb.VictimMap), and the engine dispatches the descriptor to that
+// namespace's rule set. Zero is the default namespace, so single-victim
+// paths never need to touch it.
 type Descriptor struct {
 	Tuple FiveTuple
 	Size  uint16
 	Ref   Ref
+	NS    uint16
 }
 
 // String implements fmt.Stringer for logs and test failures.
 func (d Descriptor) String() string {
+	if d.NS != 0 {
+		return fmt.Sprintf("%v size=%d ref=%d ns=%d", d.Tuple, d.Size, d.Ref, d.NS)
+	}
 	return fmt.Sprintf("%v size=%d ref=%d", d.Tuple, d.Size, d.Ref)
 }

@@ -219,8 +219,20 @@ func (r *MPSCRing) EnqueueBatch(ds []packet.Descriptor) int {
 	total := 0
 	for total < len(ds) {
 		pos := r.tail.Load()
-		free := uint64(len(r.slots)) - (pos - r.head.Load())
-		if free == 0 {
+		// Signed arithmetic, deliberately: head is read after tail and may
+		// be stale in either direction. While the consumer is mid-batch it
+		// recycles slot sequences before publishing head, so the scalar
+		// fallback below can legitimately push tail past head+cap — with
+		// unsigned math `used` then exceeds cap, the subtraction wraps,
+		// and a huge bogus `free` would let this producer claim and
+		// OVERWRITE unconsumed slots (lost packets and a torn read on the
+		// consumer). Conversely a head read racing ahead of the stale
+		// tail makes `used` negative; the tail CAS would fail anyway, but
+		// the claim is bounded to cap so not even a doomed claim can span
+		// more than one lap.
+		used := int64(pos) - int64(r.head.Load())
+		free := int64(len(r.slots)) - used
+		if free <= 0 {
 			// head may be stale: fall back to the slot-precise check.
 			if !r.Enqueue(ds[total]) {
 				return total
@@ -228,9 +240,12 @@ func (r *MPSCRing) EnqueueBatch(ds []packet.Descriptor) int {
 			total++
 			continue
 		}
+		if free > int64(len(r.slots)) {
+			free = int64(len(r.slots))
+		}
 		n := uint64(len(ds) - total)
-		if n > free {
-			n = free
+		if n > uint64(free) {
+			n = uint64(free)
 		}
 		if !r.tail.CompareAndSwap(pos, pos+n) {
 			continue // another producer moved tail; recompute

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"testing"
 
 	"github.com/innetworkfiltering/vif/internal/packet"
@@ -373,3 +374,89 @@ func TestMPSCRingSizing(t *testing.T) {
 }
 
 func errorf(format string, args ...any) error { return fmt.Errorf(format, args...) }
+
+// TestMPSCRingEnqueueBatchFullRingStaleHead is the regression test for the
+// batched reservation's free-space arithmetic at the exactly-full
+// boundary. While the consumer is mid-DequeueBatch it recycles slot
+// sequences before publishing head, so producers' scalar fallbacks can
+// legitimately push tail past head+cap; the batched path's free-space
+// subtraction then underflowed (unsigned), conjured a huge bogus free
+// count, and overwrote unconsumed slots — lost packets and a data race on
+// the slot descriptor. The recipe that reaches the boundary: a small ring
+// kept pegged full by bursty producers (drop on refusal, like the
+// engine's NIC-style InjectBatch) against a consumer that drains in
+// large batches but does per-packet work, so its head publication lags
+// its slot recycling. Counts must balance exactly; under -race (CI) the
+// overwrite also shows up as a descriptor race.
+func TestMPSCRingEnqueueBatchFullRingStaleHead(t *testing.T) {
+	r, err := NewMPSCRing(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const producers = 3
+	var accepted, consumed atomic.Uint64
+	stop := make(chan struct{})    // producers: stop offering bursts
+	drained := make(chan struct{}) // consumer: producers are done, final drain
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			burst := make([]packet.Descriptor, 96) // larger than the ring
+			for i := range burst {
+				burst[i] = packet.Descriptor{
+					Tuple: packet.FiveTuple{SrcIP: uint32(p), DstIP: uint32(i)},
+					Size:  64,
+				}
+			}
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				// NIC-style: whatever the full ring refuses is dropped,
+				// not retried — the pattern that keeps the ring pegged at
+				// exactly-full while the consumer lags.
+				accepted.Add(uint64(r.EnqueueBatch(burst)))
+			}
+		}(p)
+	}
+	consumerDone := make(chan struct{})
+	go func() {
+		defer close(consumerDone)
+		out := make([]packet.Descriptor, 64)
+		var sink uint64
+		for {
+			n := r.DequeueBatch(out)
+			if n == 0 {
+				select {
+				case <-drained:
+					if r.Len() == 0 {
+						return
+					}
+				default:
+				}
+				runtime.Gosched()
+				continue
+			}
+			// Per-packet work between the slot recycling and the next
+			// poll, so producers run against a stale head as the engine's
+			// filter workers do.
+			for _, d := range out[:n] {
+				sink += uint64(d.Tuple.SrcIP) + uint64(d.Tuple.DstIP)
+			}
+			consumed.Add(uint64(n))
+		}
+	}()
+	for consumed.Load() < 60000 {
+		runtime.Gosched()
+	}
+	close(stop)
+	wg.Wait()
+	close(drained)
+	<-consumerDone
+	if a, c := accepted.Load(), consumed.Load(); a != c {
+		t.Fatalf("accepted %d, consumed %d — the full-ring claim overwrote live slots", a, c)
+	}
+}

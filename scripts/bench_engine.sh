@@ -1,11 +1,15 @@
 #!/bin/sh
 # Runs the engine wall-clock scaling benchmarks
-# (BenchmarkEngineWallScaling{1,2,4,8}) plus the injection-path comparison
-# (BenchmarkEngineInject{Scalar,Batch}) and writes the results as JSON so
-# the performance trajectory accumulates across PRs. Usage:
+# (BenchmarkEngineWallScaling{1,2,4,8}), the injection-path comparison
+# (BenchmarkEngineInject{Scalar,Batch}), the multi-victim namespace
+# scaling (BenchmarkEngineMultiVictim{1,4,16}) and the rule-reinstall
+# latency sweep (BenchmarkReconfigure{1k,10k,25k}), and writes the results
+# as JSON so the performance trajectory accumulates across PRs. Usage:
 #
 #   scripts/bench_engine.sh [output.json]     # default BENCH_engine.json
 #   BENCHTIME=500000x scripts/bench_engine.sh # longer runs
+#   ONLY=multivictim scripts/bench_engine.sh  # just the namespace gate
+#                                             # (make bench-multivictim)
 #
 # Two quantities are recorded per shard count and must not be confused:
 #
@@ -20,30 +24,48 @@
 #
 # Gates (the script exits non-zero when one fails):
 #
-#   inject_batch_2x   InjectBatch wall Mpps must be >= 2x scalar Inject on
-#                     the multi-producer train workload. Enforced always:
-#                     the batched reservation is a serial-cost reduction,
-#                     so it holds even on one core.
-#   wall_4_gt_1       wall Mpps at 4 shards must exceed 1 shard. Enforced
-#                     when the host reports >= 4 CPUs (hosted CI runners
-#                     do): the 4-shard case runs 4 workers + 4 producers,
-#                     and below 4 cores the scheduler timeslices them
-#                     against each other, so a win over the 2-goroutine
-#                     1-shard case is not physically guaranteed and the
-#                     gate would flag scheduling luck, not regressions.
-#                     On smaller hosts it is recorded as skipped rather
-#                     than lying in either direction.
+#   inject_batch_2x     InjectBatch wall Mpps must be >= 2x scalar Inject
+#                       on the multi-producer train workload. Enforced
+#                       always: the batched reservation is a serial-cost
+#                       reduction, so it holds even on one core.
+#   wall_4_gt_1         wall Mpps at 4 shards must exceed 1 shard. Enforced
+#                       when the host reports >= 4 CPUs (hosted CI runners
+#                       do); recorded as skipped on smaller hosts, where a
+#                       win would be scheduling luck, not engineering.
+#   multivictim_4_ge_07 wall Mpps serving 4 victim namespaces must stay
+#                       >= 0.7x the single-namespace figure on an
+#                       otherwise identical workload (2 shards, 2
+#                       producers). Enforced always: namespace dispatch is
+#                       a per-burst view load plus 2-byte compares, so if
+#                       this gate trips, dispatch has leaked onto the
+#                       per-packet path.
 set -e
 
 out="${1:-BENCH_engine.json}"
 benchtime="${BENCHTIME:-100000x}"
+only="${ONLY:-}"
 tmp="$(mktemp)"
 trap 'rm -f "$tmp"' EXIT
 
-go test -run '^$' -bench 'BenchmarkEngine(WallScaling|Inject)' \
+if [ "$only" = "multivictim" ]; then
+    pattern='BenchmarkEngineMultiVictim'
+else
+    pattern='BenchmarkEngine(WallScaling|Inject|MultiVictim)'
+fi
+
+go test -run '^$' -bench "$pattern" \
     -benchtime "$benchtime" -count 1 . | tee "$tmp"
 
-awk -v benchtime="$benchtime" '
+# The Reconfigure sweep gets its own iteration budget: a 25k-rule
+# reinstall costs tens of milliseconds, so the packet-scale benchtime
+# above would run it for an hour. A handful of iterations is plenty for a
+# whole-table-rebuild measurement.
+if [ -z "$only" ]; then
+    go test -run '^$' -bench 'BenchmarkReconfigure' \
+        -benchtime "${RECONF_BENCHTIME:-10x}" -count 1 . | tee -a "$tmp"
+fi
+
+awk -v benchtime="$benchtime" -v only="$only" '
 /^BenchmarkEngineWallScaling/ {
     name = $1
     sub(/-[0-9]+$/, "", name)                 # strip the -GOMAXPROCS suffix
@@ -61,6 +83,33 @@ awk -v benchtime="$benchtime" '
     wallv[shards] = wall
     aggv[shards] = agg
 }
+/^BenchmarkEngineMultiVictim/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)
+    vict = name
+    sub(/^BenchmarkEngineMultiVictim/, "", vict)
+    ns = ""; wall = ""
+    for (i = 2; i < NF; i++) {
+        if ($(i+1) == "ns/op") ns = $i
+        if ($(i+1) == "wall-Mpps") wall = $i
+    }
+    mvn++
+    mvline[mvn] = sprintf("    {\"victims\": %s, \"ns_per_op\": %s, \"wall_mpps\": %s}", vict, ns, wall)
+    mv[vict] = wall
+}
+/^BenchmarkReconfigure/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)
+    rk = name
+    sub(/^BenchmarkReconfigure/, "", rk)
+    ns = ""; rules = ""
+    for (i = 2; i < NF; i++) {
+        if ($(i+1) == "ns/op") ns = $i
+        if ($(i+1) == "rules") rules = $i
+    }
+    rn++
+    rline[rn] = sprintf("    {\"rules\": %.0f, \"ns_per_reconfigure\": %s, \"ms_per_reconfigure\": %.3f}", rules, ns, ns / 1e6)
+}
 /^BenchmarkEngineInjectScalar/ {
     for (i = 2; i < NF; i++) if ($(i+1) == "wall-Mpps") scalar = $i
 }
@@ -68,6 +117,22 @@ awk -v benchtime="$benchtime" '
     for (i = 2; i < NF; i++) if ($(i+1) == "wall-Mpps") batch = $i
 }
 END {
+    mvratio = (mv[1] > 0 && mv[4] > 0) ? mv[4] / mv[1] : 0
+    mvgate = (mvratio >= 0.7) ? "pass" : "FAIL"
+
+    if (only == "multivictim") {
+        printf "{\n"
+        printf "  \"benchmark\": \"BenchmarkEngineMultiVictim\",\n"
+        printf "  \"benchtime\": \"%s\",\n", benchtime
+        printf "  \"multivictim\": [\n"
+        for (i = 1; i <= mvn; i++) printf "%s%s\n", mvline[i], (i < mvn ? "," : "")
+        printf "  ],\n"
+        printf "  \"multivictim_4_over_1\": %.2f,\n", mvratio
+        printf "  \"gates\": {\"multivictim_4_ge_07\": \"%s\"}\n", mvgate
+        printf "}\n"
+        exit
+    }
+
     wallscale = (wallv[1] > 0 && wallv[4] > 0) ? wallv[4] / wallv[1] : 0
     aggscale = (aggv[1] > 0 && aggv[8] > 0) ? aggv[8] / aggv[1] : 0
     injratio = (scalar > 0 && batch > 0) ? batch / scalar : 0
@@ -86,10 +151,17 @@ END {
     printf "  \"results\": [\n"
     for (i = 1; i <= n; i++) printf "%s%s\n", line[i], (i < n ? "," : "")
     printf "  ],\n"
+    printf "  \"multivictim\": [\n"
+    for (i = 1; i <= mvn; i++) printf "%s%s\n", mvline[i], (i < mvn ? "," : "")
+    printf "  ],\n"
+    printf "  \"reconfigure\": [\n"
+    for (i = 1; i <= rn; i++) printf "%s%s\n", rline[i], (i < rn ? "," : "")
+    printf "  ],\n"
     printf "  \"inject\": {\"scalar_mpps\": %s, \"batch_mpps\": %s, \"batch_over_scalar\": %.2f},\n", scalar, batch, injratio
     printf "  \"wall_scaling_4_over_1\": %.2f,\n", wallscale
+    printf "  \"multivictim_4_over_1\": %.2f,\n", mvratio
     printf "  \"aggregate_scaling_8_over_1\": %.2f,\n", aggscale
-    printf "  \"gates\": {\"inject_batch_2x\": \"%s\", \"wall_4_gt_1\": \"%s\"}\n", injgate, wallgate
+    printf "  \"gates\": {\"inject_batch_2x\": \"%s\", \"wall_4_gt_1\": \"%s\", \"multivictim_4_ge_07\": \"%s\"}\n", injgate, wallgate, mvgate
     printf "}\n"
 }' "$tmp" > "$out"
 

@@ -4,6 +4,7 @@ import (
 	"crypto/rand"
 	"errors"
 	"fmt"
+	"sync/atomic"
 
 	"github.com/innetworkfiltering/vif/internal/attest"
 	"github.com/innetworkfiltering/vif/internal/bgp"
@@ -33,6 +34,20 @@ type Session struct {
 	// engine, when non-nil and running, owns the fleet's data plane (see
 	// engine.go); the serial methods refuse until it stops.
 	engine *Engine
+
+	// attached is set while the session is attached to the deployment's
+	// shared multi-victim engine as a rule namespace (StartEngine with
+	// Deployment.SharedEngine up). One atomic pointer, swapped whole, so
+	// a producer in InjectBatch can never observe the engine of one
+	// attachment paired with the namespace id of another while StopEngine
+	// detaches concurrently.
+	attached atomic.Pointer[attachment]
+}
+
+// attachment binds the shared engine and the session's namespace id on it.
+type attachment struct {
+	eng *Engine
+	ns  int
 }
 
 // Tolerance is re-exported for callers tuning benign-loss budgets.
