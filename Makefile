@@ -10,9 +10,9 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench bench-filter bench-multivictim
+.PHONY: all build vet test race bench bench-filter bench-multivictim docs-check
 
-all: build vet test
+all: build vet test docs-check
 
 build:
 	$(GO) build ./...
@@ -34,3 +34,8 @@ bench-filter:
 
 bench-multivictim:
 	ONLY=multivictim ./scripts/bench_engine.sh BENCH_multivictim.json
+
+# Fails when an internal package lacks a package comment, a load-bearing
+# package lacks its doc.go contract, or docs/ files go missing/unlinked.
+docs-check:
+	./scripts/check_docs.sh

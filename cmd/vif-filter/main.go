@@ -61,6 +61,8 @@ func run(args []string, out io.Writer) error {
 		shards    = fs.Int("shards", 0, "run the live sharded engine with this many enclaves (0: classic single-enclave pipeline)")
 		producers = fs.Int("producers", 2, "engine mode: concurrent traffic-generator goroutines")
 		victims   = fs.Int("victims", 1, "engine mode: serve this many victim namespaces (distinct rule sets, per-victim traffic mixes) through one shared engine")
+		churn     = fs.Duration("churn", 0, "engine mode: push a live rule delta (add/remove a batch) at this interval while traffic runs (0: off)")
+		churnN    = fs.Int("churn-rules", 64, "engine mode: rules added (and, after the first delta, removed) per -churn reinstall")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -84,10 +86,16 @@ func run(args []string, out io.Writer) error {
 		if *rulesPath != "" {
 			fmt.Fprintln(out, "note: -victims synthesizes one rule set per victim; -rules is ignored")
 		}
+		if *churn > 0 {
+			fmt.Fprintln(out, "note: -churn applies to the single-victim engine mode; ignored with -victims")
+		}
 		return runMultiVictim(out, mode, *shards, *producers, *victims, *size, *duration, *seed)
 	}
+	if *churn > 0 && *shards == 0 {
+		return fmt.Errorf("-churn needs the engine: pass -shards N")
+	}
 	if *shards > 0 {
-		return runEngine(out, set, mode, *shards, *producers, *size, *duration, *seed)
+		return runEngine(out, set, mode, *shards, *producers, *size, *duration, *seed, *churn, *churnN)
 	}
 
 	e, err := enclave.New(enclave.CodeIdentity{
@@ -229,8 +237,14 @@ func victimBase(set *rules.Set) uint32 {
 
 // runEngine drives the live sharded engine: n enclave shards (each holding
 // the full rule set) behind a uniform load-balancer programme, fed by
-// `producers` concurrent flow generators for `duration`.
-func runEngine(out io.Writer, set *rules.Set, mode filter.CopyMode, n, producers, size int, duration time.Duration, seed int64) error {
+// `producers` concurrent flow generators for `duration`. With churnEvery
+// > 0 a control-plane goroutine concurrently exercises the live
+// delta-reconfigure path: every interval it pushes a changeset adding
+// churnN fresh drop rules and removing the previous interval's batch
+// (Engine.ReconfigureNamespaceDelta — applied by the shard workers at
+// batch boundaries, so the data plane never stops), and the reinstall
+// latencies are reported at the end.
+func runEngine(out io.Writer, set *rules.Set, mode filter.CopyMode, n, producers, size int, duration time.Duration, seed int64, churnEvery time.Duration, churnN int) error {
 	filters := make([]*filter.Filter, n)
 	for i := range filters {
 		e, err := enclave.New(enclave.CodeIdentity{
@@ -297,6 +311,60 @@ func runEngine(out io.Writer, set *rules.Set, mode filter.CopyMode, n, producers
 			}
 		}(p)
 	}
+
+	// Live churn: the victim keeps re-installing rules mid-attack while the
+	// producers hammer the rings — the paper's §IV requirement that rule
+	// updates never stall the enclave data path, exercised for real.
+	var (
+		churnCount int
+		churnTotal time.Duration
+		churnMax   time.Duration
+	)
+	if churnEvery > 0 {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			base := victimBase(set)
+			var prev []rules.Rule
+			nextID := uint32(1 << 20)
+			for round := 0; ; round++ {
+				time.Sleep(churnEvery)
+				if !time.Now().Before(deadline) {
+					return
+				}
+				adds := make([]rules.Rule, churnN)
+				for i := range adds {
+					// Fresh /24 source prefixes per round: some overlap the
+					// generators' source space, so a slice of the live
+					// traffic genuinely changes fate each reinstall.
+					adds[i] = rules.Rule{
+						ID:    nextID,
+						Src:   rules.Prefix{Addr: uint32(round*churnN+i) << 8, Len: 24},
+						Dst:   rules.Prefix{Addr: base, Len: 24},
+						Proto: packet.ProtoUDP,
+					}
+					nextID++
+				}
+				d := filter.Delta{Adds: adds, Removes: prev}
+				deltas := make([]filter.Delta, n)
+				for i := range deltas {
+					deltas[i] = d // every shard holds the full set here
+				}
+				t0 := time.Now()
+				if err := eng.ReconfigureNamespaceDelta(0, deltas, nil, nil); err != nil {
+					fmt.Fprintf(out, "churn round %d failed: %v\n", round, err)
+					return
+				}
+				lat := time.Since(t0)
+				churnCount++
+				churnTotal += lat
+				if lat > churnMax {
+					churnMax = lat
+				}
+				prev = adds
+			}
+		}()
+	}
 	wg.Wait()
 	eng.WaitDrained()
 	elapsed := time.Since(start)
@@ -314,6 +382,16 @@ func runEngine(out io.Writer, set *rules.Set, mode filter.CopyMode, n, producers
 			sm.Shard, sm.Processed, sm.PPS/1e6, sm.Allowed, sm.Dropped, sm.Backpressure, sm.QueueDepth, sm.AvgBatch, sm.NsPerPacket)
 	}
 	fmt.Fprintf(out, "lb drops: %d (balancer discards, before any shard)\n", m.LBDrops)
+	if churnCount > 0 {
+		final := 0
+		if f := eng.Filter(0); f != nil {
+			final = f.RuleCount()
+		}
+		fmt.Fprintf(out, "churn: %d live delta reinstalls (+%d/-%d rules each) under load: avg %.2f ms, max %.2f ms; final rule count %d\n",
+			churnCount, churnN, churnN,
+			float64(churnTotal.Microseconds())/float64(churnCount)/1e3,
+			float64(churnMax.Microseconds())/1e3, final)
+	}
 
 	// Seal the run as one epoch and print the authenticated log digests a
 	// victim would fetch for the bypass audit.
@@ -491,6 +569,21 @@ func runMultiVictim(out io.Writer, mode filter.CopyMode, n, producers, victims, 
 			fmt.Fprintf(out, "  epoch %d shard %d: outgoing %d bytes digest %x...\n",
 				l.Seq, l.Shard, len(l.Outgoing.Data), outDigest[:8])
 		}
+	}
+
+	// Tenants leave: detach every victim and show the engine-side
+	// tombstone history an operator of a long-lived shared engine audits
+	// after the fact — each entry is the victim's exact final accounting.
+	for _, v := range vs {
+		if _, err := eng.DetachNamespace(v.ns); err != nil {
+			return err
+		}
+	}
+	fmt.Fprintf(out, "\ntombstones (detached victims' final counters, oldest first, retained %d):\n", len(eng.Tombstones()))
+	for _, tb := range eng.Tombstones() {
+		fmt.Fprintf(out, "  tombstone ns=%d: processed %d, allowed %d, dropped %d, epochs %d, EPC share was %.1f MB\n",
+			tb.Final.NS, tb.Final.Processed, tb.Final.Allowed, tb.Final.Dropped,
+			tb.Final.Epochs, float64(tb.Final.EPCShareBytes)/1e6)
 	}
 	eng.Stop()
 	return nil

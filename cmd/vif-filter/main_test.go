@@ -146,6 +146,49 @@ func TestRunMultiVictimMode(t *testing.T) {
 	}
 }
 
+func TestRunChurnMode(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{
+		"-shards", "2", "-producers", "1", "-duration", "400ms",
+		"-churn", "60ms", "-churn-rules", "16",
+	}, &out); err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	if !strings.Contains(text, "live delta reinstalls (+16/-16 rules each)") {
+		t.Errorf("churn output missing reinstall summary:\n%s", text)
+	}
+	// Steady state: base rules + one live batch of 16 still installed.
+	if !strings.Contains(text, "final rule count 18") {
+		t.Errorf("churn output missing expected final rule count:\n%s", text)
+	}
+}
+
+func TestRunChurnNeedsEngine(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-churn", "50ms"}, &out); err == nil {
+		t.Fatal("-churn without -shards accepted")
+	}
+}
+
+func TestRunMultiVictimTombstones(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{
+		"-shards", "2", "-producers", "1", "-victims", "2", "-duration", "150ms",
+	}, &out); err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	for _, want := range []string{
+		"tombstones (detached victims' final counters",
+		"tombstone ns=0:", "tombstone ns=1:",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("multi-victim output missing %q:\n%s", want, text)
+		}
+	}
+}
+
 func TestRunMultiVictimNeedsEngine(t *testing.T) {
 	var out bytes.Buffer
 	if err := run([]string{"-victims", "2"}, &out); err == nil {

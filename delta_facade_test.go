@@ -1,0 +1,147 @@
+package vif
+
+import (
+	"testing"
+
+	"github.com/innetworkfiltering/vif/internal/lb"
+	"github.com/innetworkfiltering/vif/internal/packet"
+)
+
+// deltaHit builds a flow matching a /24 drop rule over dstIP.
+func deltaHit(srcIP, dstIP string) Descriptor {
+	return Descriptor{Tuple: FiveTuple{
+		SrcIP: packet.MustParseIP(srcIP), DstIP: packet.MustParseIP(dstIP),
+		SrcPort: 4000, DstPort: 9, Proto: packet.ProtoUDP,
+	}, Size: 64}
+}
+
+// TestSessionReconfigureDeltaSerial: on the serial path, a delta installs
+// an enforcing rule and drops a previously enforcing one, without
+// changing the fleet.
+func TestSessionReconfigureDeltaSerial(t *testing.T) {
+	d := testDeployment(t, lb.Faults{})
+	session, err := RequestFiltering(victimASN, d, victimRules(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fleet := session.FleetSize()
+
+	blocked := deltaHit("203.0.113.5", "192.0.2.77")
+	if got := session.Process(blocked); got != VerdictAllow {
+		t.Fatalf("pre-delta verdict %v, want allow (no rule yet)", got)
+	}
+	add, err := ParseRule("drop udp from 203.0.113.0/24 to 192.0.2.0/24 dport 9")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := session.ReconfigureDelta([]Rule{add}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := session.Process(blocked); got != VerdictDrop {
+		t.Fatalf("post-delta verdict %v, want drop", got)
+	}
+	if session.FleetSize() != fleet {
+		t.Fatalf("delta changed the fleet: %d -> %d", fleet, session.FleetSize())
+	}
+
+	// Remove the original DNS rule (ID 1 by NewSet assignment): its
+	// traffic goes back to default-allow.
+	dns := Descriptor{Tuple: FiveTuple{
+		SrcIP: packet.MustParseIP("198.18.0.1"), DstIP: packet.MustParseIP("192.0.2.10"),
+		SrcPort: 53, DstPort: 53, Proto: packet.ProtoUDP,
+	}, Size: 64}
+	if got := session.Process(dns); got != VerdictDrop {
+		t.Fatalf("DNS rule not enforcing before its removal: %v", got)
+	}
+	if err := session.ReconfigureDelta(nil, []Rule{{ID: 1}}); err != nil {
+		t.Fatal(err)
+	}
+	if got := session.Process(dns); got != VerdictAllow {
+		t.Fatalf("removed DNS rule still enforcing: %v", got)
+	}
+}
+
+// TestSessionReconfigureDeltaSharedEngine: two victims on one shared
+// engine; one pushes a live delta mid-run. Its new rule enforces for its
+// own traffic, the other victim's filtering and rule set stay untouched,
+// and both keep auditing on their own cadences.
+func TestSessionReconfigureDeltaSharedEngine(t *testing.T) {
+	d := testDeployment(t, lb.Faults{})
+	if _, err := d.SharedEngine(SharedEngineConfig{Shards: 2}); err != nil {
+		t.Fatal(err)
+	}
+	defer d.StopSharedEngine()
+
+	sA, err := RequestFiltering(victimASN, d, victimRules(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sB, err := RequestFiltering(victimASN, d, victimRules(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sA.StartEngine(EngineConfig{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sB.StartEngine(EngineConfig{}); err != nil {
+		t.Fatal(err)
+	}
+	defer sA.StopEngine()
+	defer sB.StopEngine()
+
+	bRulesBefore := sB.Stats()
+
+	// A adds a drop rule for a fresh attack prefix, live.
+	add, err := ParseRule("drop udp from 203.0.113.0/24 to 192.0.2.0/24 dport 9")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sA.ReconfigureDelta([]Rule{add}, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	// A's new rule enforces on A's namespace.
+	burst := make([]Descriptor, 64)
+	for i := range burst {
+		burst[i] = deltaHit("203.0.113.9", "192.0.2.77")
+		burst[i].Tuple.SrcPort = uint16(1000 + i)
+	}
+	if n, err := sA.InjectBatch(burst); err != nil || n == 0 {
+		t.Fatalf("InjectBatch after delta: n=%d err=%v", n, err)
+	}
+	engA, _, _ := sA.liveEngine()
+	engA.WaitDrained()
+	vmA, err := sA.VictimMetrics()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vmA.Dropped == 0 {
+		t.Fatalf("A's live-added rule not enforcing: %+v", vmA)
+	}
+
+	// B's same-looking traffic is untouched by A's delta (allowed: B never
+	// installed that rule).
+	for i := range burst {
+		burst[i] = deltaHit("203.0.113.9", "192.0.2.77")
+		burst[i].Tuple.SrcPort = uint16(1000 + i)
+	}
+	if n, err := sB.InjectBatch(burst); err != nil || n == 0 {
+		t.Fatalf("B InjectBatch: n=%d err=%v", n, err)
+	}
+	engA.WaitDrained()
+	vmB, err := sB.VictimMetrics()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vmB.Dropped != bRulesBefore.Dropped {
+		t.Fatalf("A's delta leaked into B's verdicts: dropped %d -> %d", bRulesBefore.Dropped, vmB.Dropped)
+	}
+
+	// Both victims can still seal and audit their own epochs.
+	if _, err := sA.AuditEngineEpoch(); err != nil {
+		t.Fatalf("A audit after delta: %v", err)
+	}
+	if _, err := sB.AuditEngineEpoch(); err != nil {
+		t.Fatalf("B audit after A's delta: %v", err)
+	}
+}

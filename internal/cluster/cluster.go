@@ -71,7 +71,11 @@ type Cluster struct {
 	set     *rules.Set
 	filters []*filter.Filter
 	bal     *lb.Balancer
-	round   uint64
+	// shares is the current distribution outcome (rule ID -> per-enclave
+	// bandwidth shares), retained so PlanDelta can derive the successor
+	// balancer programme without re-running the optimizer.
+	shares map[uint32][]float64
+	round  uint64
 	// lbDrops counts packets the (faulty) balancer discarded.
 	lbDrops uint64
 }
@@ -263,7 +267,191 @@ func (c *Cluster) Reconfigure(measured map[uint32]uint64) error {
 		return fmt.Errorf("cluster: balancer: %w", err)
 	}
 	c.bal = bal
+	c.shares = shares
 	c.round++
+	return nil
+}
+
+// ErrEmptyShard is returned by PlanDelta when a delta would leave a member
+// enclave with no rules at all; run a full Reconfigure (which retires or
+// re-shards members) instead.
+var ErrEmptyShard = errors.New("cluster: delta would empty an enclave's shard; run a full Reconfigure")
+
+// DeltaPlan is one computed incremental reconfiguration: the per-enclave
+// filter changesets, the successor balancer programme, and the successor
+// control-plane state. Planning only reads; nothing changes until the
+// deltas are applied (by this cluster on the serial path, or by the
+// engine's worker tickets in engine mode) and CommitDelta installs the
+// successor state. The fleet size never changes under a delta — no
+// enclave spawns, so no re-attestation is needed, which is most of why a
+// delta reinstall is cheap end to end.
+type DeltaPlan struct {
+	// PerShard holds one filter delta per member enclave, in fleet order:
+	// removals routed to every shard holding the rule, each add placed on
+	// one shard, and the refreshed peer-rule (foreign) view for misroute
+	// detection.
+	PerShard []filter.Delta
+
+	set    *rules.Set
+	shares map[uint32][]float64
+	bal    *lb.Balancer
+}
+
+// Balancer is the successor load-balancer programme covering the delta
+// (installed by CommitDelta; engine callers hand its Route/RouteBatch to
+// ReconfigureNamespaceDelta so routing swaps with the rules).
+func (p *DeltaPlan) Balancer() *lb.Balancer { return p.bal }
+
+// Set returns the successor full rule set.
+func (p *DeltaPlan) Set() *rules.Set { return p.set }
+
+// PlanDelta computes an incremental reconfiguration: removes are deleted
+// from every shard holding them (matched by rule ID), and each add —
+// validated, with fresh IDs assigned to zero-ID rules — is placed on the
+// member with the smallest current rule-table memory (greedy single-shard
+// placement; the periodic full redistribution round re-optimizes with
+// traffic measurements). The successor set appends adds after survivors,
+// matching Filter.ReconfigureDelta's first-match order.
+func (c *Cluster) PlanDelta(adds, removes []rules.Rule) (*DeltaPlan, error) {
+	if len(adds) == 0 && len(removes) == 0 {
+		return nil, errors.New("cluster: empty delta")
+	}
+	removeIDs := make(map[uint32]bool, len(removes))
+	for _, r := range removes {
+		if removeIDs[r.ID] {
+			return nil, fmt.Errorf("cluster: delta removes rule %d twice", r.ID)
+		}
+		if _, ok := c.set.ByID(r.ID); !ok {
+			return nil, fmt.Errorf("cluster: delta removes unknown rule %d", r.ID)
+		}
+		removeIDs[r.ID] = true
+	}
+	survivors := make([]rules.Rule, 0, c.set.Len()-len(removes))
+	for _, r := range c.set.Rules {
+		if !removeIDs[r.ID] {
+			survivors = append(survivors, r)
+		}
+	}
+	if len(survivors)+len(adds) == 0 {
+		return nil, filter.ErrNoRules
+	}
+	newSet, err := rules.NewSet(append(survivors, adds...), c.set.DefaultAllow)
+	if err != nil {
+		return nil, err
+	}
+	assigned := newSet.Rules[len(survivors):]
+
+	n := len(c.filters)
+	plan := &DeltaPlan{
+		PerShard: make([]filter.Delta, n),
+		set:      newSet,
+		shares:   make(map[uint32][]float64, len(c.shares)+len(assigned)),
+	}
+	for id, row := range c.shares {
+		if !removeIDs[id] {
+			plan.shares[id] = row
+		}
+	}
+
+	// Per-member rule membership and removal routing. Placeholder rules an
+	// earlier pinned round installed on otherwise-empty members count as
+	// membership here, so removing one routes to those members too.
+	memberIDs := make([]map[uint32]bool, n)
+	weight := make([]int, n)
+	for j, f := range c.filters {
+		memberIDs[j] = make(map[uint32]bool, f.RuleCount())
+		for _, id := range f.Rules().IDs() {
+			memberIDs[j][id] = true
+		}
+		weight[j] = f.RuleMemoryBytes()
+	}
+	// approxRuleBytes keeps the weights tracking the plan's own changes:
+	// removals lighten the members they leave and repeated placements
+	// spread instead of stacking on the pre-plan lightest.
+	const approxRuleBytes = 128
+	for _, r := range c.set.Rules {
+		if !removeIDs[r.ID] {
+			continue
+		}
+		for j := range memberIDs {
+			if memberIDs[j][r.ID] {
+				plan.PerShard[j].Removes = append(plan.PerShard[j].Removes, r)
+				delete(memberIDs[j], r.ID)
+				weight[j] -= approxRuleBytes
+			}
+		}
+	}
+	// Greedy placement: each add lands whole on the lightest member.
+	for _, r := range assigned {
+		best := 0
+		for j := 1; j < n; j++ {
+			if weight[j] < weight[best] {
+				best = j
+			}
+		}
+		plan.PerShard[best].Adds = append(plan.PerShard[best].Adds, r)
+		memberIDs[best][r.ID] = true
+		weight[best] += approxRuleBytes
+		row := make([]float64, n)
+		row[best] = 1
+		plan.shares[r.ID] = row
+	}
+	for j := range memberIDs {
+		if len(memberIDs[j]) == 0 {
+			return nil, fmt.Errorf("%w (enclave %d)", ErrEmptyShard, j)
+		}
+	}
+	// Refresh every member's peer-rule view: misroute detection must stop
+	// flagging removed rules and start covering adds placed elsewhere.
+	for j := range plan.PerShard {
+		foreignIDs := make(map[uint32]bool, newSet.Len())
+		for _, r := range newSet.Rules {
+			if !memberIDs[j][r.ID] {
+				foreignIDs[r.ID] = true
+			}
+		}
+		plan.PerShard[j].Foreign = newSet.Subset(foreignIDs)
+	}
+
+	bal, err := lb.New(lb.Config{
+		FullSet: newSet,
+		Shares:  plan.shares,
+		N:       n,
+		Faults:  c.cfg.Faults,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("cluster: delta balancer: %w", err)
+	}
+	plan.bal = bal
+	return plan, nil
+}
+
+// CommitDelta installs a plan's successor control-plane state (rule set,
+// shares, balancer programme) after its per-shard deltas were applied.
+// Counts as a reconfiguration round.
+func (c *Cluster) CommitDelta(p *DeltaPlan) {
+	c.set = p.set
+	c.shares = p.shares
+	c.bal = p.bal
+	c.round++
+}
+
+// ApplyDelta is the serial-path incremental reconfiguration: plan, apply
+// each member's changeset directly (the caller owns the filters — no
+// engine may be running), commit. On a per-member error the already-
+// applied members keep their deltas; a full Reconfigure is the repair,
+// exactly as on the engine path.
+func (c *Cluster) ApplyDelta(adds, removes []rules.Rule) error {
+	p, err := c.PlanDelta(adds, removes)
+	if err != nil {
+		return err
+	}
+	for j, f := range c.filters {
+		if err := f.ReconfigureDelta(p.PerShard[j]); err != nil {
+			return fmt.Errorf("cluster: enclave %d delta: %w", j, err)
+		}
+	}
+	c.CommitDelta(p)
 	return nil
 }
 

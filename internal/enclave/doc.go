@@ -1,0 +1,46 @@
+// Package enclave simulates the Intel SGX trusted execution environment
+// that hosts VIF's auditable filter.
+//
+// Real SGX gives three things VIF depends on: (1) an isolated memory
+// region (the EPC) whose contents the host cannot read or tamper with,
+// (2) a measurement of the loaded code that remote parties can verify via
+// attestation, and (3) severe, well-characterized performance cliffs (MEE
+// overhead on cache misses, paging beyond the ~92 MB EPC, expensive
+// ECall/OCall transitions). This package reproduces (2) and (3) faithfully
+// — measurement as SHA-256 over the code identity, and a virtual-time cost
+// meter driven by CostModel — and models (1) by API discipline: secrets
+// (the filtering secret, the log MAC key) never leave the Enclave value
+// except through the attested-channel APIs.
+//
+// # Cost accounting
+//
+// The hosted filter charges work through CostVector/ChargeBatch (one
+// atomic meter update per burst) and memory through SetMemoryUsed; the
+// pipeline layer converts accumulated virtual nanoseconds into the
+// throughput figures behind the paper's plots. When several tenants share
+// a machine, EPCBudgeter apportions the EPC by rule-memory weight with
+// largest-remainder rounding (shares always sum to exactly the machine
+// EPC); each enclave's SetEPCBudget cap makes the cost model price
+// accesses beyond the tenant's share as paging (AccessCostBudgeted,
+// PagingPressure).
+//
+// # Concurrency contract
+//
+//   - Charge*, TickN, SetMemoryUsed are called by the single filter
+//     thread that owns the hosted filter.
+//   - Meter and budget readers (VirtualNs, MemoryUsed, PagingPressure,
+//     EPCBudget) and the control-plane budget writer (SetEPCBudget) are
+//     safe from any goroutine: all shared state is atomic.
+//   - EPCBudgeter itself is not goroutine-safe; its single writer is the
+//     engine's namespace-mutation path (under the engine's nsMu).
+//
+// # Invariants
+//
+//   - The filtering secret and MAC key never cross the enclave boundary
+//     in plaintext; accessors exist only for in-enclave code paths and
+//     the attested key-release channel.
+//   - Virtual time is monotone; the data path never reads the clock
+//     (verdict statelessness does not depend on it).
+//   - An EPCBudgeter's shares sum to exactly EPCBytes whenever at least
+//     one tenant is registered.
+package enclave

@@ -1,16 +1,3 @@
-// Package enclave simulates the Intel SGX trusted execution environment
-// that hosts VIF's auditable filter.
-//
-// Real SGX gives three things VIF depends on: (1) an isolated memory region
-// (the EPC) whose contents the host cannot read or tamper with, (2) a
-// measurement of the loaded code that remote parties can verify via
-// attestation, and (3) severe, well-characterized performance cliffs (MEE
-// overhead on cache misses, paging beyond the ~92 MB EPC, expensive
-// ECall/OCall transitions). This package reproduces (2) and (3) faithfully
-// — measurement as SHA-256 over the code identity, and a virtual-time cost
-// meter driven by CostModel — and models (1) by API discipline: secrets
-// (the filtering secret, the log MAC key) never leave the Enclave value
-// except through the attested-channel APIs.
 package enclave
 
 import (

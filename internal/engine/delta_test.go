@@ -1,0 +1,290 @@
+package engine
+
+import (
+	"errors"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/innetworkfiltering/vif/internal/filter"
+	"github.com/innetworkfiltering/vif/internal/packet"
+	"github.com/innetworkfiltering/vif/internal/rules"
+)
+
+// TestReconfigureNamespaceDeltaLive applies rule deltas to a running
+// engine under live traffic and checks, after quiescing, that the
+// namespace's filters ended up with exactly the rule set a full
+// ReconfigureNamespace (the oracle path) would have installed, that the
+// new rules genuinely filter, and that the EPC budget tracked the changed
+// rule-memory weight.
+func TestReconfigureNamespaceDeltaLive(t *testing.T) {
+	set := nsTestRules(t, 64, "192.0.2.0/24", 5)
+	fs := testFilters(t, set, 2)
+	eng, err := New(Config{Filters: fs, EPCBytes: 92 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Stop()
+
+	descs := nsTestDescriptors(t, set, 4096, "192.0.2.9", 0, 6)
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; !stop.Load(); i = (i + 256) % 4096 {
+			eng.InjectBatch(descs[i : i+256])
+		}
+	}()
+
+	shareBefore := eng.EPCShares()[0]
+	// Push three live deltas: add a drop rule for a fresh prefix, remove
+	// two originals, add another.
+	rng := rand.New(rand.NewSource(99))
+	added := []rules.Rule{{
+		ID: 9001, Src: rules.MustParsePrefix("198.51.100.0/24"),
+		Dst: rules.MustParsePrefix("192.0.2.0/24"), Proto: packet.ProtoUDP,
+	}}
+	for step := 0; step < 3; step++ {
+		var d filter.Delta
+		switch step {
+		case 0:
+			d.Adds = added
+		case 1:
+			d.Removes = []rules.Rule{{ID: set.Rules[0].ID}, {ID: set.Rules[1].ID}}
+		case 2:
+			d.Adds = []rules.Rule{{
+				ID: 9002, Src: rules.Prefix{Addr: rng.Uint32(), Len: 24}.Canonical(),
+				Dst: rules.MustParsePrefix("192.0.2.0/24"), Proto: packet.ProtoUDP,
+			}}
+		}
+		deltas := []filter.Delta{d, d} // both shards hold the full set here
+		if err := eng.ReconfigureNamespaceDelta(0, deltas, nil, nil); err != nil {
+			t.Fatalf("delta step %d: %v", step, err)
+		}
+	}
+	stop.Store(true)
+	wg.Wait()
+	eng.WaitDrained()
+
+	// Expected final set: originals minus the two removed, plus the two adds.
+	wantCount := set.Len() - 2 + 2
+	for i, f := range eng.NamespaceFilters(0) {
+		if got := f.RuleCount(); got != wantCount {
+			t.Fatalf("shard %d: %d rules, want %d", i, got, wantCount)
+		}
+		if _, ok := f.Rules().ByID(9001); !ok {
+			t.Fatalf("shard %d: added rule 9001 missing", i)
+		}
+		if _, ok := f.Rules().ByID(set.Rules[0].ID); ok {
+			t.Fatalf("shard %d: removed rule still installed", i)
+		}
+	}
+
+	// The added rule must actually drop: inject matching traffic and watch
+	// the namespace drop counter move.
+	droppedBefore := eng.Metrics().Namespaces[0].Dropped
+	hit := make([]packet.Descriptor, 64)
+	for i := range hit {
+		hit[i] = packet.Descriptor{Tuple: packet.FiveTuple{
+			SrcIP: packet.MustParseIP("198.51.100.7") + uint32(i),
+			DstIP: packet.MustParseIP("192.0.2.9"),
+			SrcPort: 1000 + uint16(i), DstPort: 53, Proto: packet.ProtoUDP,
+		}, Size: 64, Ref: packet.NoRef}
+	}
+	if n := eng.InjectBatch(hit); n == 0 {
+		t.Fatal("inject after delta refused")
+	}
+	eng.WaitDrained()
+	if got := eng.Metrics().Namespaces[0].Dropped; got <= droppedBefore {
+		t.Fatalf("added drop rule not filtering: dropped %d -> %d", droppedBefore, got)
+	}
+
+	if shareAfter := eng.EPCShares()[0]; shareAfter != shareBefore {
+		// Single tenant: the share is the whole EPC regardless of weight.
+		t.Fatalf("single-tenant EPC share changed: %d -> %d", shareBefore, shareAfter)
+	}
+}
+
+// TestReconfigureNamespaceDeltaRebalancesEPC: with two tenants, a delta
+// that grows one tenant's rule memory shifts the EPC apportionment toward
+// it without detaching anyone.
+func TestReconfigureNamespaceDeltaRebalancesEPC(t *testing.T) {
+	setA := nsTestRules(t, 100, "192.0.2.0/24", 11)
+	setB := nsTestRules(t, 100, "198.51.100.0/24", 12)
+	eng, err := New(Config{Shards: 2, EPCBytes: 92 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nsA, err := eng.AttachNamespace(NamespaceConfig{Filters: testFilters(t, setA, 2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nsB, err := eng.AttachNamespace(NamespaceConfig{Filters: testFilters(t, setB, 2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := eng.EPCShares()
+
+	rng := rand.New(rand.NewSource(13))
+	adds := make([]rules.Rule, 400)
+	for i := range adds {
+		adds[i] = rules.Rule{
+			ID:  uint32(50000 + i),
+			Src: rules.Prefix{Addr: rng.Uint32(), Len: 24}.Canonical(),
+			Dst: rules.MustParsePrefix("198.51.100.0/24"), Proto: packet.ProtoUDP,
+		}
+	}
+	d := filter.Delta{Adds: adds}
+	if err := eng.ReconfigureNamespaceDelta(nsB, []filter.Delta{d, d}, nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	after := eng.EPCShares()
+	if !(after[nsB] > before[nsB] && after[nsA] < before[nsA]) {
+		t.Fatalf("EPC shares did not follow the delta: before %v after %v", before, after)
+	}
+	if after[nsA]+after[nsB] != 92<<20 {
+		t.Fatalf("shares no longer sum to the EPC: %v", after)
+	}
+}
+
+// TestReconfigureNamespaceDeltaErrors: unknown namespace, shard-count
+// mismatch, and an invalid per-shard delta all error; the full-rebuild
+// path still repairs the namespace afterwards.
+func TestReconfigureNamespaceDeltaErrors(t *testing.T) {
+	set := nsTestRules(t, 8, "192.0.2.0/24", 21)
+	fs := testFilters(t, set, 2)
+	eng, err := New(Config{Filters: fs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.ReconfigureNamespaceDelta(7, make([]filter.Delta, 2), nil, nil); !errors.Is(err, ErrUnknownNamespace) {
+		t.Fatalf("unknown namespace: %v", err)
+	}
+	if err := eng.ReconfigureNamespaceDelta(0, make([]filter.Delta, 1), nil, nil); !errors.Is(err, ErrShardMismatch) {
+		t.Fatalf("shard mismatch: %v", err)
+	}
+	bad := filter.Delta{Removes: []rules.Rule{{ID: 4242}}}
+	if err := eng.ReconfigureNamespaceDelta(0, []filter.Delta{bad, bad}, nil, nil); err == nil {
+		t.Fatal("invalid delta accepted")
+	}
+	// Oracle repair: a full ReconfigureNamespace still lands.
+	if err := eng.ReconfigureNamespace(0, NamespaceConfig{Filters: testFilters(t, set, 2)}); err != nil {
+		t.Fatalf("repair: %v", err)
+	}
+}
+
+// TestReconfigureNamespaceDeltaRoutingSwap: supplying a routing programme
+// with the delta swaps it atomically — subsequent injections follow the
+// new programme (everything to shard 1), and a concurrent rotation never
+// errors across the swap.
+func TestReconfigureNamespaceDeltaRoutingSwap(t *testing.T) {
+	set := nsTestRules(t, 8, "192.0.2.0/24", 31)
+	fs := testFilters(t, set, 2)
+	eng, err := New(Config{Filters: fs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Stop()
+
+	descs := nsTestDescriptors(t, set, 512, "192.0.2.9", 0, 32)
+	eng.InjectBatch(descs[:256])
+	eng.WaitDrained()
+
+	toShard1 := func(packet.FiveTuple) (int, bool) { return 1, true }
+	if err := eng.ReconfigureNamespaceDelta(0, make([]filter.Delta, 2), toShard1, nil); err != nil {
+		t.Fatal(err)
+	}
+	before := eng.Metrics().Shards[0].Processed
+	eng.InjectBatch(descs[256:])
+	eng.WaitDrained()
+	m := eng.Metrics()
+	if got := m.Shards[0].Processed; got != before {
+		t.Fatalf("shard 0 still receiving after routing swap: %d -> %d", before, got)
+	}
+	if _, err := eng.RotateEpoch(0); err != nil {
+		t.Fatalf("rotation across routing swap: %v", err)
+	}
+}
+
+// TestTombstones: detached victims' final counters are retained exactly,
+// oldest evicted first under the bound.
+func TestTombstones(t *testing.T) {
+	const limit = 3
+	eng, err := New(Config{Shards: 1, TombstoneLimit: limit, EPCBytes: 92 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Stop()
+
+	finals := make([]NamespaceMetrics, 0, 5)
+	for v := 0; v < 5; v++ {
+		set := nsTestRules(t, 4, "192.0.2.0/24", int64(40+v))
+		ns, err := eng.AttachNamespace(NamespaceConfig{Filters: testFilters(t, set, 1)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		descs := nsTestDescriptors(t, set, 256+64*v, "192.0.2.9", uint16(ns), int64(50+v))
+		for off := 0; off < len(descs); off += 64 {
+			for eng.InjectBatch(descs[off:off+64]) == 0 {
+				time.Sleep(time.Millisecond)
+			}
+		}
+		eng.WaitDrained()
+		final, err := eng.DetachNamespace(ns)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if final.Processed != uint64(256+64*v) {
+			t.Fatalf("victim %d: final processed %d, want %d", v, final.Processed, 256+64*v)
+		}
+		finals = append(finals, final)
+	}
+
+	tombs := eng.Tombstones()
+	if len(tombs) != limit {
+		t.Fatalf("retained %d tombstones, want %d", len(tombs), limit)
+	}
+	for i, tb := range tombs {
+		want := finals[len(finals)-limit+i]
+		if tb.Final != want {
+			t.Fatalf("tombstone %d mismatch:\n got %+v\nwant %+v", i, tb.Final, want)
+		}
+		if tb.DetachedAt.IsZero() {
+			t.Fatalf("tombstone %d has no detach time", i)
+		}
+	}
+	if tombs[0].Final.Processed >= tombs[limit-1].Final.Processed {
+		t.Fatal("tombstones not in oldest-first order")
+	}
+}
+
+// TestTombstonesDisabled: a negative limit retains nothing.
+func TestTombstonesDisabled(t *testing.T) {
+	eng, err := New(Config{Shards: 1, TombstoneLimit: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	set := nsTestRules(t, 4, "192.0.2.0/24", 61)
+	ns, err := eng.AttachNamespace(NamespaceConfig{Filters: testFilters(t, set, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.DetachNamespace(ns); err != nil {
+		t.Fatal(err)
+	}
+	if got := eng.Tombstones(); len(got) != 0 {
+		t.Fatalf("disabled tombstones retained %d entries", len(got))
+	}
+}

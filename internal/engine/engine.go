@@ -1,45 +1,3 @@
-// Package engine is VIF's concurrent data-plane runtime: the scalable
-// architecture of §IV-B (Figure 4) executing for real instead of being
-// modeled analytically. N enclaved filter shards each run on their own
-// worker goroutine, fed by a bounded multi-producer/single-consumer ring
-// (package pipeline's MPSCRing) that any number of RX threads may enqueue
-// into concurrently. Workers drain their ring in bursts (default 64
-// packets), run the stateless filter verdict plus the count-min-sketch log
-// updates for each packet, and maintain an atomic metrics block (packets,
-// verdicts, queue depth, backpressure events) that the control plane reads
-// without synchronizing with the hot path.
-//
-// One engine serves many victims at once — the paper's actual deployment
-// model, where a transit AS or IXP filters for N downstream victims with
-// heterogeneous rule sets. Each victim is a *namespace*: a set of filters
-// (one per shard), a routing programme, independent epoch/audit cadence,
-// and an apportioned share of the machines' EPC. packet.Descriptor carries
-// the namespace id (stamped at ingress from the destination prefix, e.g.
-// lb.VictimMap); each shard worker holds a flat copy-on-write view slice
-// indexed by namespace id and dispatches per-burst runs to the right
-// filter with zero locks on the hot path — AttachNamespace and
-// DetachNamespace swap views with single atomic pointer stores, the same
-// discipline Filter.Reconfigure uses for rule tables. Namespace 0 is the
-// default, so single-victim callers never see any of this.
-//
-// Shard assignment is the untrusted load balancer's job: each namespace's
-// Route is typically its lb.Balancer.Route, so the rule-distribution
-// output of the greedy algorithm (package dist, via package cluster)
-// directly drives which shard sees which flow, and a misbehaving balancer
-// is caught by the filters' misroute counters exactly as in the
-// single-threaded path.
-//
-// Epoch rotation solves the audit-consistency problem of a running fleet:
-// the victim's bypass detection (package bypass) must compare logs that
-// cover an exact packet population, but stopping N shards to snapshot
-// would forfeit the paper's line-rate claim. RotateEpoch(ns) instead hands
-// each worker a rotation ticket that it honors at its next batch boundary:
-// the worker snapshots both of that namespace's sketch logs
-// (authenticated, via the enclave's MAC key) and resets them, so every
-// packet is logged in exactly one epoch per shard and the merged per-epoch
-// snapshots form a consistent audit window — without ever parking the data
-// plane, and without one victim's audit cadence blocking another's
-// (rotations of different namespaces run concurrently).
 package engine
 
 import (
@@ -68,6 +26,9 @@ const (
 	// MaxNamespaces bounds attached victim namespaces (Descriptor.NS is a
 	// uint16).
 	MaxNamespaces = 1 << 16
+	// DefaultTombstoneLimit is how many detached namespaces' final
+	// counters a long-lived shared engine retains for operators.
+	DefaultTombstoneLimit = 64
 )
 
 // Errors.
@@ -121,6 +82,11 @@ type Config struct {
 	// attached namespaces by rule-set memory weight (enclave.EPCBudgeter).
 	// 0 defaults to the first attached filter's platform model.
 	EPCBytes int
+	// TombstoneLimit bounds the retained history of detached namespaces'
+	// final counters (Engine.Tombstones): the newest TombstoneLimit
+	// detaches are kept, older ones fall off. 0 defaults to
+	// DefaultTombstoneLimit; negative disables retention.
+	TombstoneLimit int
 }
 
 func (c *Config) fillDefaults() {
@@ -150,13 +116,17 @@ type NamespaceConfig struct {
 }
 
 // rotateTicket asks one worker to act at its next batch boundary: seal the
-// ticket's namespace epoch, or — for a fence — just acknowledge, proving
-// the worker has moved past any burst dispatched under a previous view.
+// ticket's namespace epoch; run an apply closure (a rule-set delta — on
+// the worker goroutine, so the filter's single-thread discipline holds
+// without parking the data plane); or — for a fence — just acknowledge,
+// proving the worker has moved past any burst dispatched under a previous
+// view.
 type rotateTicket struct {
 	ns    *nsShard
 	nsID  int
 	seq   uint64
 	fence bool
+	apply func() error
 	reply chan shardEpoch
 }
 
@@ -289,6 +259,12 @@ type Engine struct {
 	_        [56]byte
 	nsDrops  atomic.Uint64 // descriptors stamped with an unattached namespace
 	_        [56]byte
+
+	// tombMu guards tombstones, the bounded history of detached
+	// namespaces' final counters (oldest first). Its own mutex: readers
+	// (Tombstones) must not contend with nsMu-holding control actions.
+	tombMu     sync.Mutex
+	tombstones []NamespaceTombstone
 
 	// lifeMu orders the lifecycle against in-flight control actions:
 	// Start/Stop take the write side; rotations and attach/detach fences
@@ -442,6 +418,13 @@ func (e *Engine) buildNamespace(id int, cfg NamespaceConfig) (*namespace, error)
 		t.baseVirtualNs.Store(math.Float64bits(f.Enclave().VirtualNs()))
 		ns.shards[i] = t
 	}
+	ns.finishRouting(n)
+	return ns, nil
+}
+
+// finishRouting fills the namespace's routing defaults for an n-shard
+// engine (shared by attach and the delta-reconfigure routing swap).
+func (ns *namespace) finishRouting(n int) {
 	if ns.route == nil {
 		ns.route = func(t packet.FiveTuple) (int, bool) {
 			return int(t.Hash64() % uint64(n)), true
@@ -477,7 +460,6 @@ func (e *Engine) buildNamespace(id int, cfg NamespaceConfig) (*namespace, error)
 			}
 		}
 	}
-	return ns, nil
 }
 
 // AttachNamespace installs a victim namespace — one filter per shard plus
@@ -585,7 +567,44 @@ func (e *Engine) DetachNamespace(id int) (NamespaceMetrics, error) {
 		budget.Remove(id)
 	}
 	e.rebalanceEPC()
+	e.recordTombstone(final)
 	return final, nil
+}
+
+// recordTombstone appends a detached victim's final counters to the
+// bounded history (oldest evicted first).
+func (e *Engine) recordTombstone(final NamespaceMetrics) {
+	limit := e.cfg.TombstoneLimit
+	if limit == 0 {
+		limit = DefaultTombstoneLimit
+	}
+	if limit < 0 {
+		return
+	}
+	e.tombMu.Lock()
+	defer e.tombMu.Unlock()
+	if len(e.tombstones) >= limit {
+		drop := len(e.tombstones) - limit + 1
+		copy(e.tombstones, e.tombstones[drop:])
+		e.tombstones = e.tombstones[:len(e.tombstones)-drop]
+	}
+	e.tombstones = append(e.tombstones, NamespaceTombstone{
+		Final:      final,
+		DetachedAt: time.Now(),
+	})
+}
+
+// Tombstones returns the retained final counters of detached victim
+// namespaces, oldest first — the audit trail that keeps a long-lived
+// shared engine accountable after tenants leave. Each entry is exact: it
+// is the NamespaceMetrics DetachNamespace returned, taken after the
+// workers quiesced, so no later traffic can have touched it. Bounded by
+// Config.TombstoneLimit; namespace ids recycle, so entries for one id can
+// recur across tenancies. Safe from any goroutine.
+func (e *Engine) Tombstones() []NamespaceTombstone {
+	e.tombMu.Lock()
+	defer e.tombMu.Unlock()
+	return append([]NamespaceTombstone(nil), e.tombstones...)
 }
 
 // ReconfigureNamespace atomically replaces a namespace's filters and
@@ -635,6 +654,99 @@ func (e *Engine) ReconfigureNamespace(id int, cfg NamespaceConfig) error {
 		t.epochs.Add(o.epochs.Load())
 		t.promoted.Add(o.promoted.Load())
 		o.f.Enclave().SetEPCBudget(0)
+	}
+	e.rebalanceEPC()
+	return nil
+}
+
+// ReconfigureNamespaceDelta applies an incremental rule-set change to a
+// live namespace WITHOUT replacing its filters: each shard's filter.Delta
+// is executed by that shard's worker goroutine at its next batch boundary
+// (a rotate-channel apply ticket), so the filter's single-thread data-path
+// discipline holds while every other namespace — and every other shard of
+// this one — keeps filtering. This is the paper's live rule-update path
+// (§IV: updates must not stall the enclave data path): a victim pushing
+// "add these 50 prefixes, drop these 20" pays the delta's path copies,
+// not a full table rebuild, and counters, epochs, and learned state ride
+// through (see Filter.ReconfigureDelta for what survives).
+//
+// deltas must hold one entry per shard, in shard order — rule sets are
+// distributed across shards, so each shard receives its own changeset
+// (identical entries are fine when every shard holds the full set). When
+// route/routeBatch are non-nil the namespace's routing programme is
+// swapped after the deltas apply, so a rebuilt balancer programme
+// covering the added rules takes over atomically for subsequent
+// injections (in-flight bursts complete under the old programme, exactly
+// as with ReconfigureNamespace). The EPC budget is rebalanced from the
+// filters' changed rule-memory weights before returning.
+//
+// On error (an invalid delta refused by some shard's filter) the
+// namespace may be left with the delta applied on some shards only;
+// ReconfigureNamespace — the full-rebuild oracle path — remains the
+// repair. The routing swap is skipped in that case.
+func (e *Engine) ReconfigureNamespaceDelta(id int, deltas []filter.Delta, route func(packet.FiveTuple) (int, bool), routeBatch func(ds []packet.Descriptor, shards []int32)) error {
+	e.nsMu.Lock()
+	defer e.nsMu.Unlock()
+	e.lifeMu.RLock()
+	defer e.lifeMu.RUnlock()
+
+	ns := e.lookup(id)
+	if ns == nil {
+		return ErrUnknownNamespace
+	}
+	if len(deltas) != len(e.shards) {
+		return fmt.Errorf("%w: got %d deltas for %d shards", ErrShardMismatch, len(deltas), len(e.shards))
+	}
+
+	var errs []error
+	if e.running.Load() {
+		tickets := make([]*rotateTicket, len(e.shards))
+		for i, s := range e.shards {
+			f, d := ns.shards[i].f, deltas[i]
+			t := &rotateTicket{
+				apply: func() error { return f.ReconfigureDelta(d) },
+				reply: make(chan shardEpoch, 1),
+			}
+			tickets[i] = t
+			s.rotate <- t
+		}
+		for i, t := range tickets {
+			if se := <-t.reply; se.err != nil {
+				errs = append(errs, fmt.Errorf("engine: shard %d delta: %w", i, se.err))
+			}
+		}
+	} else {
+		// Workers are not running: the control plane owns the filters.
+		for i := range e.shards {
+			if err := ns.shards[i].f.ReconfigureDelta(deltas[i]); err != nil {
+				errs = append(errs, fmt.Errorf("engine: shard %d delta: %w", i, err))
+			}
+		}
+	}
+	if len(errs) > 0 {
+		// Some shards may have applied before the failure: rebalance from
+		// the filters' LIVE rule-memory weights so EPC shares and paging
+		// pricing stay consistent with whatever actually installed, then
+		// surface the error (routing swap skipped; full
+		// ReconfigureNamespace is the repair).
+		e.rebalanceEPC()
+		return errors.Join(errs...)
+	}
+
+	if route != nil || routeBatch != nil {
+		// Swap only the routing programme: a successor namespace object
+		// sharing the same cells (filters and counters), published with the
+		// same retire-then-commit critical section ReconfigureNamespace
+		// uses so concurrent rotations retry against the successor. No
+		// fence and no counter folding — the workers' views are unchanged.
+		ns2 := &namespace{id: id, route: route, routeBatch: routeBatch, sink: ns.sink, shards: ns.shards}
+		ns2.finishRouting(len(e.shards))
+		ns.mu.Lock()
+		ns2.epoch = ns.epoch
+		ns.detached = true
+		cur := *e.nss.Load()
+		e.nss.Store(cowSet(&cur, id, ns2))
+		ns.mu.Unlock()
 	}
 	e.rebalanceEPC()
 	return nil
@@ -1049,11 +1161,14 @@ func (s *shard) drainTickets() {
 }
 
 func (s *shard) serveTicket(t *rotateTicket) {
-	if t.fence {
+	switch {
+	case t.fence:
 		t.reply <- shardEpoch{}
-		return
+	case t.apply != nil:
+		t.reply <- shardEpoch{err: t.apply()}
+	default:
+		s.doRotate(t)
 	}
-	s.doRotate(t)
 }
 
 // process pushes one burst through the filters' batch path, splitting it

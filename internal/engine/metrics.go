@@ -70,6 +70,19 @@ type NamespaceMetrics struct {
 	NsPerPacket float64
 }
 
+// NamespaceTombstone is one detached victim namespace's final, exact
+// accounting, retained engine-side (bounded by Config.TombstoneLimit) so
+// operators of long-lived shared engines can audit tenants after they
+// leave.
+type NamespaceTombstone struct {
+	// Final is exactly what DetachNamespace returned: counters folded
+	// after the quiescing fence, so nothing ran for the victim afterwards.
+	Final NamespaceMetrics
+	// DetachedAt is the control-plane wall-clock detach time. (Enclave
+	// clocks are untrusted; this is operator bookkeeping, not evidence.)
+	DetachedAt time.Time
+}
+
 // Metrics is an engine-wide snapshot.
 type Metrics struct {
 	// Shards holds one entry per shard, in shard order.

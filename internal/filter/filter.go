@@ -1,28 +1,3 @@
-// Package filter implements VIF's auditable in-enclave traffic filter —
-// the paper's core contribution (§III).
-//
-// The decision function is stateless in the sense of Eq. 2: the verdict for
-// a packet depends only on the packet's five-tuple, the installed rule set,
-// and the enclave's sealed secret — never on arrival time, packet order, or
-// any previous packet. That property (asserted by this package's tests) is
-// what makes the filter auditable: the untrusted host controls packet
-// timing and can inject traffic, but cannot steer decisions.
-//
-// Probabilistic rules ("drop 50% of HTTP flows") are executed
-// connection-preservingly via hash-based filtering (Appendix A): a flow is
-// allowed iff the leading 64 bits of SHA-256(fiveTuple ‖ secret) fall under
-// PAllow·2^64, so all packets of a flow share one fate, the host cannot
-// predict or bias fates without the secret, and the empirical allow rate
-// converges to PAllow. The hybrid design (Appendix F) additionally promotes
-// newly observed flows to exact-match entries in batches, trading per-packet
-// hashing for lookup-table growth.
-//
-// The data path is batch-first: ProcessBatch decides a whole burst against
-// an immutable rule-table snapshot (swapped by Reconfigure with one atomic
-// pointer store), deduplicates the burst's flows so a packet train costs
-// one decision, accumulates sketch updates and per-rule byte counts per
-// batch, and charges the enclave cost meter once per burst. Process is the
-// one-packet special case of the same path.
 package filter
 
 import (
@@ -96,6 +71,11 @@ func (m CopyMode) String() string {
 // descriptorBytes is what the near-zero-copy path moves across the enclave
 // boundary per packet: five-tuple (13) + size (2) + buffer reference (8).
 const descriptorBytes = packet.KeySize + 2 + 8
+
+// densifyFactor bounds the sparse priority domain a ReconfigureDelta
+// lineage may grow: once MaxPrio+1 would exceed this multiple of the live
+// rule count, the delta rebuilds the table dense instead of diffing.
+const densifyFactor = 2
 
 // Errors.
 var (
@@ -179,6 +159,19 @@ type ruleView struct {
 	set     *rules.Set
 	foreign *rules.Set
 	snap    *trie.Snapshot
+	// prios maps set.Rules[i] to its priority in snap. nil means identity
+	// (a full rebuild assigns dense 0..Len-1 priorities); after
+	// ReconfigureDelta priorities are sparse — survivors keep theirs and
+	// adds extend past snap.MaxPrio — so the mapping is explicit.
+	prios []int32
+}
+
+// prio returns the trie priority of set.Rules[i].
+func (v *ruleView) prio(i int) int32 {
+	if v.prios == nil {
+		return int32(i)
+	}
+	return v.prios[i]
 }
 
 // Filter is one enclaved filter instance. Data-path methods (Process,
@@ -289,7 +282,10 @@ func (f *Filter) Stats() Stats {
 // structure sizes: lookup table snapshot + learned flows + the two packet
 // logs.
 func (f *Filter) syncMemory() {
-	mem := f.view.Load().snap.MemoryBytes() +
+	// RetainedBytes, not MemoryBytes: a delta-built snapshot can carry
+	// bounded dead arena slack, and the EPC meter charges what is actually
+	// resident.
+	mem := f.view.Load().snap.RetainedBytes() +
 		f.exact.memoryBytes() +
 		len(f.pendingQ)*packet.KeySize +
 		f.inLog.MemoryBytes() + f.outLog.MemoryBytes()
@@ -331,7 +327,153 @@ func (f *Filter) Reconfigure(set *rules.Set, foreign *rules.Set) error {
 // SetForeign installs only the peer-rule view.
 func (f *Filter) SetForeign(foreign *rules.Set) {
 	v := f.view.Load()
-	f.view.Store(&ruleView{set: v.set, foreign: foreign, snap: v.snap})
+	f.view.Store(&ruleView{set: v.set, foreign: foreign, snap: v.snap, prios: v.prios})
+}
+
+// Delta is an incremental rule-set change for ReconfigureDelta: Removes
+// are deleted from the installed set (matched by rule ID; the other fields
+// are ignored) and Adds are appended after every existing rule, so
+// first-match order is: surviving rules in their installed order, then
+// Adds in order. Foreign, when non-nil, replaces the peer-rule view in the
+// same atomic swap; nil keeps the current one.
+type Delta struct {
+	Adds    []rules.Rule
+	Removes []rules.Rule
+	Foreign *rules.Set
+}
+
+// ReconfigureDelta applies an incremental rule-set change by diffing the
+// installed lookup snapshot (trie.Snapshot.Diff: untouched subtrees are
+// reused by reference, only the delta's root-to-anchor paths are copied)
+// and publishing the result with the same single atomic view store a full
+// Reconfigure uses — so a 25k-rule tenant adding 50 prefixes pays for the
+// 50 paths, not a 25k-rule rebuild, and concurrent readers never observe
+// a torn table. Like Reconfigure it is a data-plane mutation and must not
+// run concurrently with the data-path methods; in engine mode use
+// Engine.ReconfigureNamespaceDelta, which applies it on the shard workers
+// at batch boundaries.
+//
+// Unlike Reconfigure, surviving rules keep their per-rule byte counters
+// (the measurement window continues across a live delta) and — when the
+// delta removes nothing — the learned exact-match entries survive too:
+// adds are appended at the lowest priority, so no existing decision can
+// change. Any remove resets the learned table, since its entries may
+// derive from the removed rules. Priorities grow monotonically across
+// deltas (adds never reuse a removed rule's slot); once the sparse
+// priority domain exceeds densifyFactor times the live rule count, the
+// delta transparently rebuilds the lookup table dense (same rule set,
+// identity priorities, survivor counters remapped) — so unbounded churn
+// on a long-lived engine cannot grow prios/ruleBytes without bound, and
+// no caller ever needs to leave engine mode to re-densify. The rebuild
+// is amortized: it recurs only after churn totalling
+// (densifyFactor-1)x the rule set.
+//
+// On error nothing changes. A failed or partially failed delta across a
+// fleet is repaired by a full Reconfigure, which remains the oracle path.
+func (f *Filter) ReconfigureDelta(d Delta) error {
+	view := f.view.Load()
+	if len(d.Adds) == 0 && len(d.Removes) == 0 {
+		if d.Foreign != nil {
+			f.SetForeign(d.Foreign)
+		}
+		return nil
+	}
+
+	// Resolve removes against the installed set by ID; the installed rule
+	// (not the caller's copy) anchors the trie removal.
+	removeIdx := make(map[uint32]int, len(d.Removes))
+	removes := make([]rules.Rule, 0, len(d.Removes))
+	for _, r := range d.Removes {
+		if _, dup := removeIdx[r.ID]; dup {
+			return fmt.Errorf("filter: delta removes rule %d twice", r.ID)
+		}
+		removeIdx[r.ID] = -1
+	}
+	survivors := make([]rules.Rule, 0, view.set.Len()-len(d.Removes)+len(d.Adds))
+	survivorPrios := make([]int32, 0, cap(survivors))
+	for i, r := range view.set.Rules {
+		if _, ok := removeIdx[r.ID]; ok {
+			removeIdx[r.ID] = i
+			removes = append(removes, r)
+			continue
+		}
+		survivors = append(survivors, r)
+		survivorPrios = append(survivorPrios, view.prio(i))
+	}
+	for id, i := range removeIdx {
+		if i < 0 {
+			return fmt.Errorf("filter: delta removes unknown rule %d", id)
+		}
+	}
+	if len(survivors)+len(d.Adds) == 0 {
+		return ErrNoRules
+	}
+
+	// NewSet validates the adds, checks ID uniqueness across the whole new
+	// set, and assigns fresh IDs to zero-ID adds.
+	newSet, err := rules.NewSet(append(survivors, d.Adds...), view.set.DefaultAllow)
+	if err != nil {
+		return err
+	}
+	adds := newSet.Rules[len(survivors):]
+
+	var (
+		snap      *trie.Snapshot
+		prios     []int32
+		ruleBytes []uint64
+	)
+	if int(view.snap.MaxPrio())+1+len(adds) > densifyFactor*newSet.Len() {
+		// The sparse priority domain has outgrown the rule set: rebuild
+		// dense instead of diffing. Same successor set, identity
+		// priorities; survivor counters are remapped from their sparse
+		// slots, so the measurement window still rides through. Decisions
+		// are unchanged (identical rules in identical order), so the
+		// exact-table policy below applies exactly as on the diff path.
+		tbl, err := trie.New(f.cfg.Stride)
+		if err != nil {
+			return err
+		}
+		tbl.InsertSet(newSet)
+		snap = tbl.Snapshot()
+		ruleBytes = make([]uint64, newSet.Len())
+		for i, p := range survivorPrios {
+			ruleBytes[i] = f.ruleBytes[p]
+		}
+	} else {
+		snap, err = view.snap.Diff(adds, removes)
+		if err != nil {
+			return err
+		}
+		prios = make([]int32, newSet.Len())
+		copy(prios, survivorPrios)
+		base := view.snap.MaxPrio() // Diff numbered adds base+1, base+2, ...
+		for i := range adds {
+			prios[len(survivors)+i] = base + 1 + int32(i)
+		}
+		// Per-rule byte counters: survivors keep their (sparse-prio)
+		// slots, removed slots are zeroed so they can never leak into a
+		// future RuleBytes read, adds start fresh at the end.
+		ruleBytes = make([]uint64, snap.MaxPrio()+1)
+		copy(ruleBytes, f.ruleBytes)
+		for _, i := range removeIdx {
+			ruleBytes[view.prio(i)] = 0
+		}
+	}
+
+	if len(removes) > 0 {
+		// Learned entries may derive from removed rules; drop them. The
+		// pending queue survives — Promote recomputes against the new view.
+		f.exact = newExactTable()
+		f.exactCount.Store(0)
+	}
+	f.ruleBytes = ruleBytes
+	foreign := view.foreign
+	if d.Foreign != nil {
+		foreign = d.Foreign
+	}
+	f.view.Store(&ruleView{set: newSet, foreign: foreign, snap: snap, prios: prios})
+	f.syncMemory()
+	return nil
 }
 
 // hashBits computes the leading 64 bits of SHA-256(key ‖ secret) through
@@ -745,10 +887,11 @@ func (f *Filter) RuleBytes(reset bool) map[uint32]uint64 {
 	view := f.view.Load()
 	out := make(map[uint32]uint64)
 	for i, r := range view.set.Rules {
-		if b := f.ruleBytes[i]; b > 0 {
+		p := view.prio(i)
+		if b := f.ruleBytes[p]; b > 0 {
 			out[r.ID] += b
 			if reset {
-				f.ruleBytes[i] = 0
+				f.ruleBytes[p] = 0
 			}
 		}
 	}

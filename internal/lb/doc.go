@@ -1,0 +1,36 @@
+// Package lb models the untrusted load balancer / switching fabric of the
+// scalable VIF architecture (§IV-B, Figure 4). The balancer steers traffic
+// to enclaves according to the rule distribution computed by the master
+// enclave; because it runs outside any enclave it may misbehave, so the
+// package also provides fault injection (misrouting, silent drops) that
+// the enclave-side misroute detection and the sketch-based bypass
+// detection must catch — exercised by the cluster and integration tests.
+//
+// Balancer routes flow→enclave by a deterministic unit-interval hash over
+// per-rule weighted shares, so all packets of a connection take the same
+// path (the filter's connection-preserving guarantee must survive load
+// balancing). A Balancer is immutable once built: reconfiguration (full
+// rounds and rule deltas alike) builds a successor from the new shares
+// and swaps it in wholesale, so routing can never observe a half-updated
+// programme. VictimMap maps destination prefixes to victim namespace ids
+// (longest prefix wins) and stamps descriptor bursts at ingress for the
+// multi-victim engine.
+//
+// # Concurrency contract
+//
+//   - Honest routing (Route, RouteBatch without faults) is a pure
+//     function of the tuple: lock-free and safe for any number of
+//     concurrent callers — the engine's producers call it directly.
+//   - Fault-injecting balancers serialize on the shared randomness; the
+//     batch path takes that lock once per burst.
+//   - VictimMap is immutable after its Add calls complete; Stamp is then
+//     safe for any number of concurrent callers.
+//
+// # Invariants
+//
+//   - Every rule in the programme has at least one positive share;
+//     per-rule share boundaries are normalized and the last boundary is
+//     exactly 1.0.
+//   - A flow matching no rule spreads uniformly by hash (the balancer
+//     cannot know rules the controller never installed).
+package lb

@@ -1,10 +1,3 @@
-// Package lb models the untrusted load balancer / switching fabric of the
-// scalable VIF architecture (§IV-B, Figure 4). The balancer steers traffic
-// to enclaves according to the rule distribution computed by the master
-// enclave; because it runs outside any enclave it may misbehave, so the
-// package also provides fault injection (misrouting, silent drops) that
-// the enclave-side misroute detection and the sketch-based bypass
-// detection must catch — exercised by the cluster and integration tests.
 package lb
 
 import (

@@ -1,0 +1,39 @@
+// Package pipeline implements VIF's DPDK-style data plane: lock-free rings
+// connecting an RX stage, the enclaved filter stage, and a TX stage, each
+// running on its own goroutine and processing packets in batches (the
+// paper's Figure 6 pipeline model with RX/DROP/TX rings). It also provides
+// the throughput and latency arithmetic used to regenerate the paper's
+// data-plane figures (ModeledThroughput, LatencyModel).
+//
+// Two ring flavors exist, both bounded, power-of-two sized, and cache-line
+// padded so producer and consumer indexes never share a line:
+//
+//   - Ring is single-producer/single-consumer (DPDK rte_ring SP/SC): the
+//     fixed stage topology of the serial pipeline.
+//   - MPSCRing is multi-producer/single-consumer (Vyukov-style per-slot
+//     sequence numbers): the engine's shard ingress, where any number of
+//     producer goroutines inject concurrently. EnqueueBatch reserves a
+//     whole run with ONE tail CAS and publishes per slot, falling back to
+//     scalar enqueues when the consumer lags.
+//
+// # Concurrency contract
+//
+//   - Ring: exactly one goroutine may call Enqueue*, exactly one may call
+//     Dequeue*. No third role exists.
+//   - MPSCRing: any number of enqueuers; exactly ONE dequeuer. Len may be
+//     read from any goroutine (monitoring-grade).
+//   - Pipeline (the RX→filter→TX assembly) owns its stage goroutines;
+//     Inject is the producer API and Counters is safe concurrently.
+//
+// # Invariants
+//
+//   - No descriptor is ever lost inside a ring: an enqueue either
+//     publishes the descriptor for the consumer or reports refusal
+//     (full ring) to the caller — partial batch acceptance counts
+//     exactly the published prefix of the reservation.
+//   - Slots are recycled only after the consumer advances past them; a
+//     refused EnqueueBatch never overwrites unconsumed slots (the
+//     stale-head full-ring case is regression-tested).
+//   - Len never exceeds capacity and never goes negative (head is loaded
+//     before tail).
+package pipeline

@@ -1,9 +1,3 @@
-// Package pipeline implements VIF's DPDK-style data plane: single-producer/
-// single-consumer lock-free rings connecting an RX stage, the enclaved
-// filter stage, and a TX stage, each running on its own goroutine and
-// processing packets in batches (the paper's Figure 6 pipeline model with
-// RX/DROP/TX rings). It also provides the throughput and latency arithmetic
-// used to regenerate the paper's data-plane figures.
 package pipeline
 
 import (

@@ -1,0 +1,338 @@
+// Incremental snapshot construction: Snapshot.Diff builds the successor of
+// an immutable snapshot from a rule changeset by path copying, instead of
+// re-inserting every rule the way a full rebuild does. Untouched subtrees
+// are shared by reference with the source snapshot (its base segment is
+// adopted wholesale); only the root-to-anchor paths the delta actually
+// touches are copied into the new snapshot's ext segment. Removals prune
+// emptied subtrees bottom-up so the live node population stays exactly
+// what a from-scratch rebuild of the same rule set would allocate — the
+// property the equivalence tests pin. Dead old copies of path-copied nodes
+// accumulate as slack in the shared arenas; Diff compacts (one structural
+// copy of the live trie, still no re-insertion) once slack would exceed
+// 1/compactSlackDen of the live size, so retained memory stays within a
+// constant factor of a fresh build.
+
+package trie
+
+import (
+	"fmt"
+
+	"github.com/innetworkfiltering/vif/internal/rules"
+)
+
+// compactSlackDen bounds retained dead arena bytes: a Diff result carrying
+// more than live/compactSlackDen dead nodes (or entries) is compacted
+// before being returned.
+const compactSlackDen = 2
+
+// ovNode is one mutable overlay copy of a trie node while a diff is being
+// applied. Overlay nodes exist only for nodes on touched root-to-anchor
+// paths; everything else stays shared.
+type ovNode struct {
+	children []uint32
+	entries  []entry
+	existed  bool // had an id in the source snapshot (its old copy becomes slack)
+	pruned   bool // emptied by removals; not emitted, parent slot cleared
+}
+
+// differ accumulates a delta over a source snapshot before serializing the
+// touched overlay into the successor's ext segment.
+type differ struct {
+	src   *Snapshot
+	ov    map[uint32]*ovNode
+	order []uint32 // touched ids in first-touch order (deterministic emit)
+	next  uint32   // next temporary id for freshly created nodes
+
+	removedEntries int
+	addedEntries   int
+}
+
+// touch returns the overlay copy of an existing node, materializing it
+// from the source on first touch.
+func (d *differ) touch(id uint32) *ovNode {
+	if n, ok := d.ov[id]; ok {
+		return n
+	}
+	s := d.src
+	n := &ovNode{
+		children: append([]uint32(nil), s.childSlots(id)...),
+		entries:  append([]entry(nil), s.nodeEntries(id)...),
+		existed:  true,
+	}
+	d.ov[id] = n
+	d.order = append(d.order, id)
+	return n
+}
+
+// newNode creates a fresh overlay node under a temporary id (>= the source
+// snapshot's id space, remapped at build time).
+func (d *differ) newNode() (uint32, *ovNode) {
+	id := d.next
+	d.next++
+	n := &ovNode{children: make([]uint32, 1<<d.src.stride)}
+	d.ov[id] = n
+	d.order = append(d.order, id)
+	return id, n
+}
+
+// remove deletes every entry with r's rule ID at r's anchor, pruning
+// emptied nodes bottom-up (never the root). The caller passes the rule as
+// it was inserted so the anchor is recomputable.
+func (d *differ) remove(r rules.Rule) error {
+	s := d.src
+	depth := int(r.Src.Len) / s.stride
+	if depth > s.levels {
+		depth = s.levels
+	}
+	addr := r.Src.Addr & r.Src.Mask()
+	var pathBuf [33]uint32 // stride >= 1 bounds the path at 32 levels + root
+	id := s.root
+	node := d.touch(id)
+	path := append(pathBuf[:0], id)
+	for level := 0; level < depth; level++ {
+		c := node.children[chunk(addr, level, s.stride)]
+		if c == 0 {
+			return fmt.Errorf("trie: diff: remove rule %d: no node at its anchor", r.ID)
+		}
+		id = c
+		node = d.touch(id)
+		path = append(path, id)
+	}
+	kept := node.entries[:0]
+	removed := 0
+	for _, e := range node.entries {
+		if e.rule.ID == r.ID {
+			removed++
+			continue
+		}
+		kept = append(kept, e)
+	}
+	if removed == 0 {
+		return fmt.Errorf("trie: diff: remove rule %d: not present at its anchor", r.ID)
+	}
+	node.entries = kept
+	d.removedEntries += removed
+	// Prune emptied nodes bottom-up along the copied path so the live node
+	// set matches what a from-scratch rebuild would allocate.
+	for level := depth; level > 0; level-- {
+		nd := d.ov[path[level]]
+		if len(nd.entries) > 0 || !allZero(nd.children) {
+			break
+		}
+		nd.pruned = true
+		d.ov[path[level-1]].children[chunk(addr, level-1, s.stride)] = 0
+	}
+	return nil
+}
+
+// add anchors r with the given priority, creating path nodes as needed.
+func (d *differ) add(r rules.Rule, prio int32) {
+	s := d.src
+	depth := int(r.Src.Len) / s.stride
+	if depth > s.levels {
+		depth = s.levels
+	}
+	addr := r.Src.Addr & r.Src.Mask()
+	node := d.touch(s.root)
+	for level := 0; level < depth; level++ {
+		idx := chunk(addr, level, s.stride)
+		c := node.children[idx]
+		if c == 0 {
+			nid, nn := d.newNode()
+			node.children[idx] = nid
+			node = nn
+			continue
+		}
+		node = d.touch(c)
+	}
+	node.entries = append(node.entries, entry{rule: r, prio: prio})
+	d.addedEntries++
+}
+
+func allZero(slots []uint32) bool {
+	for _, c := range slots {
+		if c != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// entryCount is node id's entry-span length in the source snapshot.
+func (s *Snapshot) entryCount(id uint32) int {
+	if id < s.baseNodes {
+		return int(s.baseEntryStart[id+1] - s.baseEntryStart[id])
+	}
+	m := id - s.baseNodes
+	return int(s.extEntryStart[m+1] - s.extEntryStart[m])
+}
+
+// Diff constructs the immutable successor of this snapshot under a rule
+// changeset: removes are deleted (matched by rule ID at the rule's anchor
+// — pass the rules as originally inserted) and adds are appended with
+// consecutive priorities starting at MaxPrio()+1, preserving first-match
+// order: existing rules first, then adds in order.
+//
+// The successor reuses every untouched subtree of this snapshot by
+// reference and copies only the root-to-anchor paths the delta touches,
+// so its cost is O(|delta| · levels · 2^stride) plus the (slack-bounded)
+// ext-segment carry-over — not O(rules) like a full rebuild. This
+// snapshot is never modified: both remain valid, and publishing the
+// successor is the caller's single atomic pointer store.
+//
+// MemoryBytes of the result equals that of a from-scratch rebuild of the
+// equivalent rule set, provided this snapshot itself is garbage-free (it
+// came from an inserts-only Table or a prior Diff — the Reconfigure
+// pattern; Table.Remove leaves garbage nodes that a rebuild would not
+// allocate). Errors (a remove that matches nothing) leave everything
+// untouched and return nil.
+func (s *Snapshot) Diff(adds, removes []rules.Rule) (*Snapshot, error) {
+	if len(adds) == 0 && len(removes) == 0 {
+		return s, nil
+	}
+	d := &differ{src: s, ov: make(map[uint32]*ovNode), next: s.totalNodes()}
+	for _, r := range removes {
+		if err := d.remove(r); err != nil {
+			return nil, err
+		}
+	}
+	prio := s.maxPrio
+	for _, r := range adds {
+		prio++
+		d.add(r, prio)
+	}
+	out := d.build(prio)
+	if out.deadNodes*compactSlackDen > out.liveNodes ||
+		out.deadEntries*compactSlackDen > out.liveEntries {
+		out = out.compact()
+	}
+	return out, nil
+}
+
+// build serializes the overlay into the successor snapshot: the source's
+// base segment is adopted by reference, its ext segment is carried over by
+// copy (ids preserved), and live overlay nodes are appended under fresh
+// ext ids with child pointers remapped.
+func (d *differ) build(maxPrio int32) *Snapshot {
+	s := d.src
+	out := &Snapshot{
+		stride:         s.stride,
+		levels:         s.levels,
+		baseNodes:      s.baseNodes,
+		baseChildren:   s.baseChildren,
+		baseEntryStart: s.baseEntryStart,
+		baseEntries:    s.baseEntries,
+		maxPrio:        maxPrio,
+	}
+
+	touchedExisting, prunedExisting, createdLive, oldEntries, newEntries := 0, 0, 0, 0, 0
+	for _, id := range d.order {
+		n := d.ov[id]
+		if n.existed {
+			touchedExisting++
+			oldEntries += s.entryCount(id)
+			if n.pruned {
+				prunedExisting++
+			}
+		} else if !n.pruned {
+			createdLive++
+		}
+		if !n.pruned {
+			newEntries += len(n.entries)
+		}
+	}
+
+	extOld := s.extNodes()
+	remap := make(map[uint32]uint32, len(d.order))
+	nid := s.baseNodes + uint32(extOld)
+	for _, id := range d.order {
+		if d.ov[id].pruned {
+			continue
+		}
+		remap[id] = nid
+		nid++
+	}
+	extNew := int(nid - s.baseNodes)
+
+	out.extChildren = make([]uint32, extNew<<s.stride)
+	copy(out.extChildren, s.extChildren)
+	out.extEntryStart = make([]uint32, extNew+1)
+	copy(out.extEntryStart, s.extEntryStart)
+	out.extEntries = make([]entry, len(s.extEntries), len(s.extEntries)+newEntries)
+	copy(out.extEntries, s.extEntries)
+
+	for _, id := range d.order {
+		n := d.ov[id]
+		if n.pruned {
+			continue
+		}
+		m := uint64(remap[id] - s.baseNodes)
+		slots := out.extChildren[m<<s.stride : (m+1)<<s.stride]
+		for i, c := range n.children {
+			if c == 0 {
+				continue
+			}
+			if nc, ok := remap[c]; ok {
+				slots[i] = nc
+				continue
+			}
+			slots[i] = c
+		}
+		out.extEntries = append(out.extEntries, n.entries...)
+		out.extEntryStart[m+1] = uint32(len(out.extEntries))
+	}
+
+	out.root = remap[s.root]
+	out.liveNodes = s.liveNodes - prunedExisting + createdLive
+	out.liveEntries = s.liveEntries - d.removedEntries + d.addedEntries
+	out.deadNodes = s.deadNodes + touchedExisting
+	out.deadEntries = s.deadEntries + oldEntries
+	return out
+}
+
+// compact rebuilds the snapshot as a single garbage-free base segment by
+// traversing the live trie — a structural copy, no rule re-insertion. The
+// result is what Table.Snapshot would have produced for the same contents
+// (up to node numbering, which MemoryBytes does not observe).
+func (s *Snapshot) compact() *Snapshot {
+	remap := make([]int32, s.totalNodes())
+	for i := range remap {
+		remap[i] = -1
+	}
+	order := make([]uint32, 0, s.liveNodes)
+	remap[s.root] = 0
+	order = append(order, s.root)
+	for i := 0; i < len(order); i++ {
+		for _, c := range s.childSlots(order[i]) {
+			if c != 0 && remap[c] < 0 {
+				remap[c] = int32(len(order))
+				order = append(order, c)
+			}
+		}
+	}
+
+	nodes := len(order)
+	out := &Snapshot{
+		stride:         s.stride,
+		levels:         s.levels,
+		baseNodes:      uint32(nodes),
+		baseChildren:   make([]uint32, nodes<<s.stride),
+		baseEntryStart: make([]uint32, nodes+1),
+		baseEntries:    make([]entry, 0, s.liveEntries),
+		liveNodes:      nodes,
+		maxPrio:        s.maxPrio,
+	}
+	for newID, old := range order {
+		slots := out.baseChildren[uint64(newID)<<s.stride : (uint64(newID)+1)<<s.stride]
+		for i, c := range s.childSlots(old) {
+			if c != 0 {
+				slots[i] = uint32(remap[c])
+			}
+		}
+		out.baseEntryStart[newID] = uint32(len(out.baseEntries))
+		out.baseEntries = append(out.baseEntries, s.nodeEntries(old)...)
+	}
+	out.baseEntryStart[nodes] = uint32(len(out.baseEntries))
+	out.liveEntries = len(out.baseEntries)
+	return out
+}

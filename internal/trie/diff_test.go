@@ -1,0 +1,211 @@
+package trie
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/innetworkfiltering/vif/internal/packet"
+	"github.com/innetworkfiltering/vif/internal/rules"
+)
+
+// rebuildSnapshot is the from-scratch oracle for structure: a fresh Table
+// loaded with exactly the live rules in first-match order, as Reconfigure
+// would build it.
+func rebuildSnapshot(t *testing.T, stride int, live []rules.Rule) *Snapshot {
+	t.Helper()
+	tbl, err := New(stride)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range live {
+		tbl.Insert(r, i)
+	}
+	return tbl.Snapshot()
+}
+
+// TestDiffMatchesRebuild drives random delta chains (Diff after Diff, the
+// live-reconfigure pattern) and checks after every delta that the diffed
+// snapshot is verdict-equivalent to the linear-scan oracle AND arena-
+// equivalent (MemoryBytes, Len, NodeCount) to a from-scratch rebuild of
+// the same rule list — the property the ISSUE's acceptance pins.
+func TestDiffMatchesRebuild(t *testing.T) {
+	for _, stride := range []int{4, 8} {
+		rng := rand.New(rand.NewSource(int64(stride) * 1031))
+		var live []rules.Rule
+		nextID := uint32(1)
+		for i := 0; i < 60; i++ {
+			live = append(live, propRule(rng, nextID))
+			nextID++
+		}
+		snap := rebuildSnapshot(t, stride, live)
+
+		for op := 0; op < 120; op++ {
+			// Random delta: up to 8 removes of live rules, up to 8 adds.
+			var removes []rules.Rule
+			nRem := rng.Intn(4)
+			if len(live) > nRem {
+				for i := 0; i < nRem; i++ {
+					j := rng.Intn(len(live))
+					removes = append(removes, live[j])
+					live = append(live[:j], live[j+1:]...)
+				}
+			}
+			var adds []rules.Rule
+			for i := rng.Intn(8); i > 0; i-- {
+				adds = append(adds, propRule(rng, nextID))
+				nextID++
+			}
+			next, err := snap.Diff(adds, removes)
+			if err != nil {
+				t.Fatalf("stride %d op %d: Diff: %v", stride, op, err)
+			}
+			snap = next
+			live = append(live, adds...)
+
+			ref := rebuildSnapshot(t, stride, live)
+			if snap.Len() != ref.Len() || snap.NodeCount() != ref.NodeCount() {
+				t.Fatalf("stride %d op %d: live arena mismatch: diff len=%d nodes=%d, rebuild len=%d nodes=%d",
+					stride, op, snap.Len(), snap.NodeCount(), ref.Len(), ref.NodeCount())
+			}
+			if snap.MemoryBytes() != ref.MemoryBytes() {
+				t.Fatalf("stride %d op %d: MemoryBytes diff=%d rebuild=%d",
+					stride, op, snap.MemoryBytes(), ref.MemoryBytes())
+			}
+			// Diff's compaction invariant: dead nodes and entries each stay
+			// at or under 1/compactSlackDen of their live counterparts, so
+			// slack bytes can never exceed live bytes / compactSlackDen.
+			if s, m := snap.SlackBytes(), snap.MemoryBytes(); s*compactSlackDen > m {
+				t.Fatalf("stride %d op %d: slack %d exceeds bound vs live %d", stride, op, s, m)
+			}
+			for probe := 0; probe < 60; probe++ {
+				tup := propProbe(rng, live)
+				// First-match-wins over the live list, in order — the
+				// semantics both snapshots must share. Priorities are dense
+				// in the rebuild and sparse in the diff chain, so compare
+				// the winning rule, not the priority value.
+				wantR, wantOK := firstMatch(live, tup)
+				gotR, _, gotOK := snap.Lookup(tup)
+				refR, _, refOK := ref.Lookup(tup)
+				if refOK != wantOK || (wantOK && refR.ID != wantR.ID) {
+					t.Fatalf("stride %d op %d: rebuild oracle drift on %v", stride, op, tup)
+				}
+				if gotOK != wantOK || (wantOK && gotR.ID != wantR.ID) {
+					t.Fatalf("stride %d op %d: diff snapshot disagrees on %v: got (%d,%v) want (%d,%v)",
+						stride, op, tup, gotR.ID, gotOK, wantR.ID, wantOK)
+				}
+			}
+		}
+	}
+}
+
+func firstMatch(live []rules.Rule, tup packet.FiveTuple) (rules.Rule, bool) {
+	for _, r := range live {
+		if r.Matches(tup) {
+			return r, true
+		}
+	}
+	return rules.Rule{}, false
+}
+
+// TestDiffLeavesSourceUntouched pins immutability: a snapshot keeps
+// answering exactly as at capture time after arbitrarily many diffs have
+// been derived from it — the property that lets the data plane keep doing
+// lock-free lookups against the previous table while a delta installs.
+func TestDiffLeavesSourceUntouched(t *testing.T) {
+	rng := rand.New(rand.NewSource(4242))
+	var live []rules.Rule
+	for i := 0; i < 200; i++ {
+		live = append(live, propRule(rng, uint32(i+1)))
+	}
+	old := rebuildSnapshot(t, DefaultStride, live)
+
+	probes := make([]packet.FiveTuple, 600)
+	type ans struct {
+		id uint32
+		ok bool
+	}
+	want := make([]ans, len(probes))
+	for i := range probes {
+		probes[i] = propProbe(rng, live)
+		r, _, ok := old.Lookup(probes[i])
+		want[i] = ans{id: r.ID, ok: ok}
+	}
+	oldMem, oldSlack := old.MemoryBytes(), old.SlackBytes()
+
+	// Derive a long diff chain (and a second branch from the same parent,
+	// which must not share mutable state with the first).
+	snap := old
+	branch, err := old.Diff([]rules.Rule{propRule(rng, 9999)}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cur := append([]rules.Rule(nil), live...)
+	for op := 0; op < 50; op++ {
+		j := rng.Intn(len(cur))
+		removes := []rules.Rule{cur[j]}
+		cur = append(cur[:j], cur[j+1:]...)
+		adds := []rules.Rule{propRule(rng, uint32(10000+op))}
+		cur = append(cur, adds...)
+		if snap, err = snap.Diff(adds, removes); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_ = branch
+
+	for i, p := range probes {
+		r, _, ok := old.Lookup(p)
+		if ok != want[i].ok || r.ID != want[i].id {
+			t.Fatalf("source snapshot changed its answer for %v after diffing: (%d,%v) want (%d,%v)",
+				p, r.ID, ok, want[i].id, want[i].ok)
+		}
+	}
+	if old.MemoryBytes() != oldMem || old.SlackBytes() != oldSlack {
+		t.Fatal("source snapshot's memory accounting changed after diffing")
+	}
+}
+
+// TestDiffRemoveMissing: a remove that matches nothing is an error and the
+// source is returned unharmed.
+func TestDiffRemoveMissing(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	live := []rules.Rule{propRule(rng, 1), propRule(rng, 2)}
+	snap := rebuildSnapshot(t, DefaultStride, live)
+	missing := propRule(rng, 77)
+	if _, err := snap.Diff(nil, []rules.Rule{missing}); err == nil {
+		t.Fatal("Diff removed a rule that was never inserted")
+	}
+	if got, _, ok := snap.Lookup(propProbe(rng, live)); ok && got.ID == 77 {
+		t.Fatal("failed Diff mutated the source")
+	}
+}
+
+// TestDiffEmptyDelta returns the receiver itself: nothing to copy.
+func TestDiffEmptyDelta(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	snap := rebuildSnapshot(t, DefaultStride, []rules.Rule{propRule(rng, 1)})
+	out, err := snap.Diff(nil, nil)
+	if err != nil || out != snap {
+		t.Fatalf("empty Diff: got (%p,%v), want the receiver", out, err)
+	}
+}
+
+// TestDiffPriorityAppend: adds land after every existing priority so
+// existing rules keep winning ties, matching append-at-end first-match
+// semantics.
+func TestDiffPriorityAppend(t *testing.T) {
+	a := rules.Rule{ID: 1, Src: rules.MustParsePrefix("10.0.0.0/8"), PAllow: 1}
+	b := rules.Rule{ID: 2, Src: rules.MustParsePrefix("10.0.0.0/8"), PAllow: 0}
+	snap := rebuildSnapshot(t, DefaultStride, []rules.Rule{a})
+	next, err := snap.Diff([]rules.Rule{b}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tup := packet.FiveTuple{SrcIP: packet.MustParseIP("10.1.2.3")}
+	r, prio, ok := next.Lookup(tup)
+	if !ok || r.ID != 1 {
+		t.Fatalf("existing rule should still win: got id=%d ok=%v", r.ID, ok)
+	}
+	if int32(prio) != snap.MaxPrio() || next.MaxPrio() != snap.MaxPrio()+1 {
+		t.Fatalf("priority bookkeeping off: prio=%d src max=%d next max=%d", prio, snap.MaxPrio(), next.MaxPrio())
+	}
+}

@@ -1,0 +1,61 @@
+// Package trie implements the multi-bit trie rule lookup table used inside
+// the VIF enclave (the paper's "state-of-the-art multi-bit tries data
+// structure for looking up the filter rules", §IV-A and Figure 6).
+//
+// The trie is keyed by source address — the dimension along which DDoS
+// filter rules discriminate (attack sources) — with each rule anchored at
+// the deepest node whose path is a prefix of the rule's source prefix.
+// Lookup walks at most 32/stride nodes, collecting candidate rules and
+// verifying their remaining fields (destination, ports, protocol), and
+// returns the highest-priority (first-submitted) match: the same
+// first-match-wins semantics as the reference linear matcher in package
+// rules, against which this implementation is property-tested.
+//
+// # Layout
+//
+// Instead of one heap object per node, all nodes live in flat arrays. A
+// node is an index; node i's child table is the slice
+// children[i<<stride : (i+1)<<stride] of node indices (0 = no child in the
+// builder, whose root is node 0). This removes per-node pointer chasing
+// from the hot lookup path and makes the memory footprint exact arena
+// arithmetic, which is what the enclave package charges against the EPC
+// budget (the paper's Figure 3b: linear growth toward the EPC limit).
+//
+// A Snapshot splits that arena into two segments so incremental updates
+// can share structure: a base segment adopted by reference from the
+// snapshot it was diffed from (the reused untouched subtrees) and an ext
+// segment owned by the snapshot (the delta's root-to-leaf path copies).
+// Snapshot.Diff builds a successor from a changeset in
+// O(|delta|·levels·2^stride) instead of re-inserting every rule; removals
+// prune emptied subtrees so the live population stays exactly what a
+// from-scratch rebuild would allocate, and dead old copies (slack,
+// reported by SlackBytes, charged via RetainedBytes) are bounded by
+// periodic compaction inside Diff.
+//
+// # Concurrency contract
+//
+//   - Table is single-writer: one goroutine (the control plane) owns all
+//     mutation and even Lookup, since Lookup may publish a fresh snapshot.
+//   - Snapshot is deeply immutable after construction and safe for any
+//     number of concurrent lock-free readers. Table.Snapshot publishes
+//     with a single atomic pointer store; Loaded may be called from any
+//     goroutine.
+//   - Snapshot.Diff only reads its receiver; the source and the successor
+//     remain independently valid, so a reader holding the old snapshot is
+//     never blocked, torn, or invalidated by a reconfiguration. Multiple
+//     Diffs from one source are safe (each copies the ext segment it
+//     extends).
+//
+// # Invariants
+//
+//   - Verdict equivalence: a Diff chain answers every lookup exactly as a
+//     from-scratch rebuild of the equivalent rule list (survivors in
+//     order, adds appended); priorities are sparse after diffs but order-
+//     isomorphic to the dense rebuild numbering.
+//   - Arena equivalence: Len, NodeCount, and MemoryBytes of a Diff result
+//     equal the from-scratch rebuild's, provided the lineage is
+//     garbage-free (built by InsertSet/Diff, not Table.Remove — see
+//     Diff's note).
+//   - MaxPrio is monotonic along a Diff lineage; adds never reuse a
+//     removed rule's priority.
+package trie

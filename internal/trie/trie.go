@@ -1,30 +1,3 @@
-// Package trie implements the multi-bit trie rule lookup table used inside
-// the VIF enclave (the paper's "state-of-the-art multi-bit tries data
-// structure for looking up the filter rules", §IV-A and Figure 6).
-//
-// The trie is keyed by source address — the dimension along which DDoS
-// filter rules discriminate (attack sources) — with each rule anchored at
-// the deepest node whose path is a prefix of the rule's source prefix.
-// Lookup walks at most 32/stride nodes, collecting candidate rules and
-// verifying their remaining fields (destination, ports, protocol), and
-// returns the highest-priority (first-submitted) match: the same
-// first-match-wins semantics as the reference linear matcher in
-// package rules, against which this implementation is property-tested.
-//
-// Layout: instead of one heap object per node, all nodes live in flat
-// arrays. A node is an index; node i's child table is the slice
-// children[i<<stride : (i+1)<<stride] of node indices (0 = no child — the
-// root is node 0 and is never anyone's child, so 0 doubles as the nil
-// sentinel). This removes per-node pointer chasing from the hot lookup
-// path and makes the memory footprint exact arena arithmetic, which is
-// what the enclave package charges against the EPC budget (the paper's
-// Figure 3b: linear growth toward the EPC limit).
-//
-// Table is the single-writer builder. Snapshot() compacts the current
-// contents into an immutable Snapshot and publishes it with one atomic
-// pointer store, so a data plane doing lock-free lookups against the last
-// published Snapshot never observes a partially applied reconfiguration
-// and never stops the world for a rebuild.
 package trie
 
 import (
@@ -71,6 +44,10 @@ type Table struct {
 	// entries[i] holds node i's anchored rules.
 	entries    [][]entry
 	numEntries int
+	// maxPrio is the highest priority inserted since the last Reset (-1
+	// when empty); Snapshot carries it so Diff can append new rules after
+	// every existing priority.
+	maxPrio int32
 
 	// snap is the last published immutable view; nil until Snapshot() runs.
 	snap  atomic.Pointer[Snapshot]
@@ -83,7 +60,7 @@ func New(stride int) (*Table, error) {
 	if stride < 1 || stride > 16 || 32%stride != 0 {
 		return nil, fmt.Errorf("trie: invalid stride %d (must divide 32, 1..16)", stride)
 	}
-	t := &Table{stride: stride, levels: 32 / stride}
+	t := &Table{stride: stride, levels: 32 / stride, maxPrio: -1}
 	t.newNode()
 	return t, nil
 }
@@ -139,6 +116,9 @@ func (t *Table) Insert(r rules.Rule, prio int) {
 	}
 	t.entries[n] = append(t.entries[n], entry{rule: r, prio: int32(prio)})
 	t.numEntries++
+	if int32(prio) > t.maxPrio {
+		t.maxPrio = int32(prio)
+	}
 	t.dirty = true
 }
 
@@ -229,6 +209,7 @@ func (t *Table) Reset() {
 	t.children = t.children[:0]
 	t.entries = t.entries[:0]
 	t.numEntries = 0
+	t.maxPrio = -1
 	t.newNode()
 	t.dirty = true
 }
@@ -249,17 +230,21 @@ func (t *Table) Snapshot() *Snapshot {
 	}
 	nodes := len(t.entries)
 	s := &Snapshot{
-		stride:     t.stride,
-		levels:     t.levels,
-		children:   append([]uint32(nil), t.children...),
-		entryStart: make([]uint32, nodes+1),
-		entries:    make([]entry, 0, t.numEntries),
+		stride:         t.stride,
+		levels:         t.levels,
+		baseNodes:      uint32(nodes),
+		baseChildren:   append([]uint32(nil), t.children...),
+		baseEntryStart: make([]uint32, nodes+1),
+		baseEntries:    make([]entry, 0, t.numEntries),
+		liveNodes:      nodes,
+		liveEntries:    t.numEntries,
+		maxPrio:        t.maxPrio,
 	}
 	for i, es := range t.entries {
-		s.entryStart[i] = uint32(len(s.entries))
-		s.entries = append(s.entries, es...)
+		s.baseEntryStart[i] = uint32(len(s.baseEntries))
+		s.baseEntries = append(s.baseEntries, es...)
 	}
-	s.entryStart[nodes] = uint32(len(s.entries))
+	s.baseEntryStart[nodes] = uint32(len(s.baseEntries))
 	t.snap.Store(s)
 	t.dirty = false
 	return s
@@ -269,15 +254,96 @@ func (t *Table) Snapshot() *Snapshot {
 // Snapshot call). Concurrent readers may call it at any time.
 func (t *Table) Loaded() *Snapshot { return t.snap.Load() }
 
-// Snapshot is an immutable compacted trie: the flat child-index arena plus
+// Snapshot is an immutable compacted trie: a flat child-index arena plus
 // all entries in node order, addressed by per-node spans. Safe for any
 // number of concurrent readers; never mutated after construction.
+//
+// A snapshot stores its arena in two segments so Diff can share structure
+// with its source instead of copying the world:
+//
+//   - the base segment (nodes [0, baseNodes)) is shared BY REFERENCE with
+//     the snapshot Diff derived it from — these are the reused untouched
+//     subtrees;
+//   - the ext segment (nodes [baseNodes, baseNodes+extNodes)) is owned by
+//     this snapshot and holds the root-to-leaf path copies the last delta
+//     actually touched, plus any ext nodes inherited (by copy) from the
+//     source.
+//
+// A snapshot built from scratch by Table.Snapshot or compact() has
+// everything in base and an empty ext. The root is not node 0 in general:
+// every Diff re-roots into the ext segment (path copying always reaches
+// the root), so lookups start at root.
+//
+// Node id resolution never chases pointers: id < baseNodes indexes the
+// base arrays, anything else indexes ext at (id - baseNodes) — one
+// predictable branch per level on the hot lookup path.
 type Snapshot struct {
-	stride     int
-	levels     int
-	children   []uint32
-	entryStart []uint32 // node i's entries: entries[entryStart[i]:entryStart[i+1]]
-	entries    []entry
+	stride int
+	levels int
+	root   uint32
+
+	// base segment: shared, never written after construction.
+	baseNodes      uint32
+	baseChildren   []uint32
+	baseEntryStart []uint32 // node i's entries: baseEntries[baseEntryStart[i]:baseEntryStart[i+1]]
+	baseEntries    []entry
+
+	// ext segment: owned by this snapshot.
+	extChildren   []uint32
+	extEntryStart []uint32
+	extEntries    []entry
+
+	// Live arena arithmetic: the node/entry population an equivalent
+	// from-scratch rebuild would contain. Dead counts are the unreachable
+	// old copies of path-copied or pruned nodes still retained by the
+	// shared segments (slack); Diff compacts when slack crosses
+	// compactSlackDen.
+	liveNodes   int
+	liveEntries int
+	deadNodes   int
+	deadEntries int
+
+	// maxPrio is the highest priority present or ever diffed in; Diff
+	// appends adds at maxPrio+1 so relative rule order is stable.
+	maxPrio int32
+}
+
+// extNodes returns the number of nodes in the ext segment.
+func (s *Snapshot) extNodes() int {
+	if len(s.extEntryStart) == 0 {
+		return 0
+	}
+	return len(s.extEntryStart) - 1
+}
+
+// totalNodes returns the number of node ids in use (live + dead).
+func (s *Snapshot) totalNodes() uint32 { return s.baseNodes + uint32(s.extNodes()) }
+
+// child resolves node n's child at slot idx across the two segments.
+func (s *Snapshot) child(n uint32, idx uint64) uint32 {
+	slot := (uint64(n) << s.stride) + idx
+	if n < s.baseNodes {
+		return s.baseChildren[slot]
+	}
+	return s.extChildren[slot-(uint64(s.baseNodes)<<s.stride)]
+}
+
+// childSlots returns node n's full child table.
+func (s *Snapshot) childSlots(n uint32) []uint32 {
+	if n < s.baseNodes {
+		return s.baseChildren[uint64(n)<<s.stride : (uint64(n)+1)<<s.stride]
+	}
+	m := uint64(n - s.baseNodes)
+	return s.extChildren[m<<s.stride : (m+1)<<s.stride]
+}
+
+// nodeEntries returns node n's entry span.
+func (s *Snapshot) nodeEntries(n uint32) []entry {
+	if n < s.baseNodes {
+		return s.baseEntries[s.baseEntryStart[n]:s.baseEntryStart[n+1]]
+	}
+	m := n - s.baseNodes
+	return s.extEntries[s.extEntryStart[m]:s.extEntryStart[m+1]]
 }
 
 // Lookup returns the highest-priority rule matching the tuple, its
@@ -294,17 +360,21 @@ func (s *Snapshot) LookupTrace(tuple packet.FiveTuple) (rules.Rule, int, int, bo
 }
 
 func (s *Snapshot) lookup(tuple packet.FiveTuple) (rules.Rule, int, int, bool) {
+	if len(s.extChildren) == 0 {
+		return s.lookupBase(tuple)
+	}
 	var (
 		best     rules.Rule
 		bestPrio int32 = math.MaxInt32
 		found    bool
 	)
-	var n uint32
+	n := s.root
 	visited := 0
 	for level := 0; ; level++ {
 		visited++
-		for i := s.entryStart[n]; i < s.entryStart[n+1]; i++ {
-			e := &s.entries[i]
+		ents := s.nodeEntries(n)
+		for i := range ents {
+			e := &ents[i]
 			if e.prio < bestPrio && e.rule.Matches(tuple) {
 				best, bestPrio, found = e.rule, e.prio, true
 			}
@@ -312,7 +382,7 @@ func (s *Snapshot) lookup(tuple packet.FiveTuple) (rules.Rule, int, int, bool) {
 		if level == s.levels {
 			break
 		}
-		c := s.children[(uint64(n)<<s.stride)+uint64(chunk(tuple.SrcIP, level, s.stride))]
+		c := s.child(n, uint64(chunk(tuple.SrcIP, level, s.stride)))
 		if c == 0 {
 			break
 		}
@@ -324,19 +394,82 @@ func (s *Snapshot) lookup(tuple packet.FiveTuple) (rules.Rule, int, int, bool) {
 	return best, int(bestPrio), visited, true
 }
 
-// Len returns the number of entries (rules) stored.
-func (s *Snapshot) Len() int { return len(s.entries) }
+// lookupBase is the single-segment fast path: every snapshot built by
+// Table.Snapshot or compact() — i.e. every snapshot outside an active
+// Diff lineage — has an empty ext segment, so the per-level segment
+// branch of the general walk is pure overhead for the common case. This
+// loop indexes the base arrays directly, exactly as the pre-diffing
+// arena did.
+func (s *Snapshot) lookupBase(tuple packet.FiveTuple) (rules.Rule, int, int, bool) {
+	var (
+		best     rules.Rule
+		bestPrio int32 = math.MaxInt32
+		found    bool
+	)
+	n := s.root
+	visited := 0
+	for level := 0; ; level++ {
+		visited++
+		for i := s.baseEntryStart[n]; i < s.baseEntryStart[n+1]; i++ {
+			e := &s.baseEntries[i]
+			if e.prio < bestPrio && e.rule.Matches(tuple) {
+				best, bestPrio, found = e.rule, e.prio, true
+			}
+		}
+		if level == s.levels {
+			break
+		}
+		c := s.baseChildren[(uint64(n)<<s.stride)+uint64(chunk(tuple.SrcIP, level, s.stride))]
+		if c == 0 {
+			break
+		}
+		n = c
+	}
+	if !found {
+		return rules.Rule{}, 0, visited, false
+	}
+	return best, int(bestPrio), visited, true
+}
 
-// NodeCount returns the number of trie nodes in the snapshot.
-func (s *Snapshot) NodeCount() int { return len(s.entryStart) - 1 }
+// Len returns the number of live entries (rules) stored.
+func (s *Snapshot) Len() int { return s.liveEntries }
 
-// MemoryBytes is the snapshot's resident size: exact arena arithmetic.
+// NodeCount returns the number of live trie nodes in the snapshot.
+func (s *Snapshot) NodeCount() int { return s.liveNodes }
+
+// MemoryBytes is the snapshot's live resident size: exact arena arithmetic
+// over the node and entry population an equivalent from-scratch rebuild
+// would contain. For a snapshot built by Table.Snapshot this is exactly
+// the arena array sizes; for a diffed snapshot, dead old copies of
+// path-copied nodes retained by the shared segments are reported
+// separately by SlackBytes (Diff bounds them to under half the live size
+// by compacting). This is the quantity the EPC budgeter weighs rule sets
+// by — the working set a tenant's rules genuinely need.
 func (s *Snapshot) MemoryBytes() int {
 	return tableOverheadBytes +
-		len(s.children)*childSlotBytes +
-		len(s.entryStart)*entrySpanBytes +
-		len(s.entries)*entrySlotBytes
+		(s.liveNodes<<s.stride)*childSlotBytes +
+		(s.liveNodes+1)*entrySpanBytes +
+		s.liveEntries*entrySlotBytes
 }
+
+// SlackBytes is the retained-but-dead portion of the snapshot's arenas:
+// old copies of nodes a Diff path-copied or pruned, still held alive by
+// the shared base segment. Zero for from-scratch snapshots; bounded below
+// liveBytes/compactSlackDen for diffed ones.
+func (s *Snapshot) SlackBytes() int {
+	return (s.deadNodes<<s.stride)*childSlotBytes +
+		s.deadNodes*entrySpanBytes +
+		s.deadEntries*entrySlotBytes
+}
+
+// RetainedBytes is the snapshot's true resident footprint: live arena
+// bytes plus slack. This is what the enclave memory meter charges.
+func (s *Snapshot) RetainedBytes() int { return s.MemoryBytes() + s.SlackBytes() }
+
+// MaxPrio returns the highest entry priority ever present in this
+// snapshot's lineage (-1 when empty). Diff assigns its adds consecutive
+// priorities starting at MaxPrio()+1, in order.
+func (s *Snapshot) MaxPrio() int32 { return s.maxPrio }
 
 // Stride returns the configured stride.
 func (s *Snapshot) Stride() int { return s.stride }

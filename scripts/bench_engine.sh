@@ -3,8 +3,11 @@
 # (BenchmarkEngineWallScaling{1,2,4,8}), the injection-path comparison
 # (BenchmarkEngineInject{Scalar,Batch}), the multi-victim namespace
 # scaling (BenchmarkEngineMultiVictim{1,4,16}) and the rule-reinstall
-# latency sweep (BenchmarkReconfigure{1k,10k,25k}), and writes the results
-# as JSON so the performance trajectory accumulates across PRs. Usage:
+# latency sweep — full rebuild (BenchmarkReconfigure{1k,10k,25k}) against
+# incremental delta reinstall (BenchmarkReconfigureDelta{1k,10k,25k}, a
+# ≤1%-of-rules changeset through trie snapshot diffing) — and writes the
+# results as JSON so the performance trajectory accumulates across PRs.
+# Usage:
 #
 #   scripts/bench_engine.sh [output.json]     # default BENCH_engine.json
 #   BENCHTIME=500000x scripts/bench_engine.sh # longer runs
@@ -39,6 +42,14 @@
 #                       a per-burst view load plus 2-byte compares, so if
 #                       this gate trips, dispatch has leaked onto the
 #                       per-packet path.
+#   delta_5x_10k        a ≤1%-of-rules delta reinstall at 10k rules must
+#   delta_5x_25k        be >= 5x faster than the full rebuild at the same
+#                       size (ditto at 25k). Enforced always: the speedup
+#                       is a serial work reduction (path copies instead of
+#                       re-inserting every rule), host-independent. This
+#                       is the ROADMAP's "snapshot-level trie diffing"
+#                       number-to-beat, gated so it can never regress to a
+#                       hidden full rebuild.
 set -e
 
 out="${1:-BENCH_engine.json}"
@@ -56,13 +67,21 @@ fi
 go test -run '^$' -bench "$pattern" \
     -benchtime "$benchtime" -count 1 . | tee "$tmp"
 
-# The Reconfigure sweep gets its own iteration budget: a 25k-rule
+# The Reconfigure sweeps get their own iteration budgets: a 25k-rule
 # reinstall costs tens of milliseconds, so the packet-scale benchtime
 # above would run it for an hour. A handful of iterations is plenty for a
-# whole-table-rebuild measurement.
+# whole-table-rebuild measurement. The DELTA sweep needs more: Diff's
+# slack compaction first fires after ~20-30 consecutive 1% deltas, and the
+# filter's priority-domain densify rebuild after ~100 (churn totalling
+# (densifyFactor-1)x the rule set), so the gated mean must span at least
+# one full cycle of BOTH amortized costs to price steady-state churn
+# honestly rather than the best case — 120 iterations covers it at every
+# rule count.
 if [ -z "$only" ]; then
-    go test -run '^$' -bench 'BenchmarkReconfigure' \
+    go test -run '^$' -bench 'BenchmarkReconfigure(1k|10k|25k)$' \
         -benchtime "${RECONF_BENCHTIME:-10x}" -count 1 . | tee -a "$tmp"
+    go test -run '^$' -bench 'BenchmarkReconfigureDelta' \
+        -benchtime "${DELTA_BENCHTIME:-120x}" -count 1 . | tee -a "$tmp"
 fi
 
 awk -v benchtime="$benchtime" -v only="$only" '
@@ -97,6 +116,22 @@ awk -v benchtime="$benchtime" -v only="$only" '
     mvline[mvn] = sprintf("    {\"victims\": %s, \"ns_per_op\": %s, \"wall_mpps\": %s}", vict, ns, wall)
     mv[vict] = wall
 }
+/^BenchmarkReconfigureDelta/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)
+    rk = name
+    sub(/^BenchmarkReconfigureDelta/, "", rk)
+    ns = ""; rules = ""; drules = ""
+    for (i = 2; i < NF; i++) {
+        if ($(i+1) == "ns/op") ns = $i
+        if ($(i+1) == "rules") rules = $i
+        if ($(i+1) == "delta-rules") drules = $i
+    }
+    dn++
+    dline[dn] = sprintf("    {\"rules\": %.0f, \"delta_rules\": %.0f, \"ns_per_reconfigure\": %s, \"ms_per_reconfigure\": %.3f}", rules, drules, ns, ns / 1e6)
+    deltans[rk] = ns
+    next
+}
 /^BenchmarkReconfigure/ {
     name = $1
     sub(/-[0-9]+$/, "", name)
@@ -109,6 +144,7 @@ awk -v benchtime="$benchtime" -v only="$only" '
     }
     rn++
     rline[rn] = sprintf("    {\"rules\": %.0f, \"ns_per_reconfigure\": %s, \"ms_per_reconfigure\": %.3f}", rules, ns, ns / 1e6)
+    fullns[rk] = ns
 }
 /^BenchmarkEngineInjectScalar/ {
     for (i = 2; i < NF; i++) if ($(i+1) == "wall-Mpps") scalar = $i
@@ -157,11 +193,19 @@ END {
     printf "  \"reconfigure\": [\n"
     for (i = 1; i <= rn; i++) printf "%s%s\n", rline[i], (i < rn ? "," : "")
     printf "  ],\n"
+    printf "  \"reconfigure_delta\": [\n"
+    for (i = 1; i <= dn; i++) printf "%s%s\n", dline[i], (i < dn ? "," : "")
+    printf "  ],\n"
+    d10 = (deltans["10k"] > 0) ? fullns["10k"] / deltans["10k"] : 0
+    d25 = (deltans["25k"] > 0) ? fullns["25k"] / deltans["25k"] : 0
+    d10gate = (d10 >= 5.0) ? "pass" : "FAIL"
+    d25gate = (d25 >= 5.0) ? "pass" : "FAIL"
+    printf "  \"delta_speedup\": {\"10k\": %.1f, \"25k\": %.1f},\n", d10, d25
     printf "  \"inject\": {\"scalar_mpps\": %s, \"batch_mpps\": %s, \"batch_over_scalar\": %.2f},\n", scalar, batch, injratio
     printf "  \"wall_scaling_4_over_1\": %.2f,\n", wallscale
     printf "  \"multivictim_4_over_1\": %.2f,\n", mvratio
     printf "  \"aggregate_scaling_8_over_1\": %.2f,\n", aggscale
-    printf "  \"gates\": {\"inject_batch_2x\": \"%s\", \"wall_4_gt_1\": \"%s\", \"multivictim_4_ge_07\": \"%s\"}\n", injgate, wallgate, mvgate
+    printf "  \"gates\": {\"inject_batch_2x\": \"%s\", \"wall_4_gt_1\": \"%s\", \"multivictim_4_ge_07\": \"%s\", \"delta_5x_10k\": \"%s\", \"delta_5x_25k\": \"%s\"}\n", injgate, wallgate, mvgate, d10gate, d25gate
     printf "}\n"
 }' "$tmp" > "$out"
 

@@ -220,6 +220,50 @@ func (s *Session) Reconfigure() error {
 	return s.attestFleet()
 }
 
+// ReconfigureDelta pushes an incremental rule-set change — "add these
+// prefixes, drop those" — without rerunning the optimizer or spawning
+// enclaves: each member filter diffs its immutable trie snapshot
+// (reusing untouched subtrees, copying only the delta's paths — the
+// data-plane table update is O(delta), with amortized compaction and
+// densify rebuilds bounding slack and priority growth), removals are
+// routed to every shard holding the rule, adds are placed greedily on
+// the lightest member, and the balancer programme is rebuilt to cover
+// the new set. Planning itself is O(rules) control-plane map/copy work
+// (membership, foreign views, shares — no trie work); what a full
+// Reconfigure additionally pays and a delta skips is the optimizer, N
+// trie rebuilds, learned-state loss, and — since the fleet never changes
+// shape — the whole re-attestation round. That is what makes mid-attack
+// rule updates a data-plane-speed operation (§IV: updates must not stall
+// the enclave path).
+//
+// Unlike the serial-only Reconfigure, this works in BOTH modes: serially
+// it applies directly to the fleet; in engine mode (private or attached
+// to a shared engine) the per-shard deltas are executed by the shard
+// workers at batch boundaries (Engine.ReconfigureNamespaceDelta) while
+// every victim keeps filtering, and the refreshed balancer swaps in with
+// the rules. Adds carrying ID 0 get fresh IDs assigned. On error the
+// fleet may hold the delta on some shards only; Reconfigure (the
+// full-rebuild oracle) is the repair.
+func (s *Session) ReconfigureDelta(adds, removes []Rule) error {
+	if s.Aborted() {
+		return ErrAborted
+	}
+	eng, ns, _ := s.liveEngine()
+	if eng == nil {
+		return s.cluster.ApplyDelta(adds, removes)
+	}
+	plan, err := s.cluster.PlanDelta(adds, removes)
+	if err != nil {
+		return err
+	}
+	bal := plan.Balancer()
+	if err := eng.ReconfigureNamespaceDelta(int(ns), plan.PerShard, bal.Route, bal.RouteBatch); err != nil {
+		return fmt.Errorf("vif: delta reconfigure: %w", err)
+	}
+	s.cluster.CommitDelta(plan)
+	return nil
+}
+
 // NewRound starts a fresh audit window on both sides (the paper suggests
 // short rounds — a few minutes — so victims can abort quickly). In engine
 // mode, AuditEngineEpoch's rotation plays this role; NewRound is a no-op
