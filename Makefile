@@ -5,12 +5,14 @@
 # scalar Inject always; 4-shard wall Mpps > 1-shard on hosts with ≥4 CPUs;
 # 4-namespace wall Mpps ≥ 0.7x single-namespace always).
 # `make bench-multivictim` runs just the namespace-scaling slice of the
-# same script. `make bench-filter` refreshes BENCH_filter.json, the
-# scalar-vs-batch hot-path comparison (guarded at ≥2x batch speedup).
+# same script; `make bench-telemetry` runs just the observability
+# overhead slice (telemetry-on wall Mpps ≥ 0.97x telemetry-off).
+# `make bench-filter` refreshes BENCH_filter.json, the scalar-vs-batch
+# hot-path comparison (guarded at ≥2x batch speedup).
 
 GO ?= go
 
-.PHONY: all build vet test race bench bench-filter bench-multivictim docs-check
+.PHONY: all build vet test race bench bench-filter bench-multivictim bench-telemetry docs-check
 
 all: build vet test docs-check
 
@@ -34,6 +36,9 @@ bench-filter:
 
 bench-multivictim:
 	ONLY=multivictim ./scripts/bench_engine.sh BENCH_multivictim.json
+
+bench-telemetry:
+	ONLY=telemetry ./scripts/bench_engine.sh BENCH_telemetry.json
 
 # Fails when an internal package lacks a package comment, a load-bearing
 # package lacks its doc.go contract, or docs/ files go missing/unlinked.

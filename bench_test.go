@@ -26,6 +26,7 @@ import (
 	"github.com/innetworkfiltering/vif/internal/packet"
 	"github.com/innetworkfiltering/vif/internal/pipeline"
 	"github.com/innetworkfiltering/vif/internal/rules"
+	"github.com/innetworkfiltering/vif/internal/telemetry"
 	"github.com/innetworkfiltering/vif/internal/trie"
 )
 
@@ -419,6 +420,73 @@ func BenchmarkEngineWallScaling1(b *testing.B) { benchmarkEngineWallScaling(b, 1
 func BenchmarkEngineWallScaling2(b *testing.B) { benchmarkEngineWallScaling(b, 2) }
 func BenchmarkEngineWallScaling4(b *testing.B) { benchmarkEngineWallScaling(b, 4) }
 func BenchmarkEngineWallScaling8(b *testing.B) { benchmarkEngineWallScaling(b, 8) }
+
+// --- Telemetry overhead: observability must stay off the hot path -------------
+
+// benchmarkEngineTelemetry holds the 2-shard wall-scaling workload
+// constant and varies only whether the observability plane is attached.
+// The On variant runs telemetry at its production defaults (1-in-64 burst
+// stage sampling, 1-in-4096 batch packet traces, journal on), so the
+// measured delta is exactly what an operator pays for flipping
+// -metrics-addr on. The CI gate holds On at >= 0.97x Off: sampling,
+// nil-guarded recorders, and the single per-burst Outstanding() load are
+// the whole per-packet bill, and if the gate trips, telemetry has leaked
+// real work onto the per-packet path.
+func benchmarkEngineTelemetry(b *testing.B, tel *telemetry.Telemetry) {
+	const shards = 2
+	set := benchRules(b, 3000, 0)
+	fs := make([]*filter.Filter, shards)
+	for i := range fs {
+		fs[i] = benchFilter(b, set, filter.CopyModeNearZero)
+	}
+	eng, err := engine.New(engine.Config{Filters: fs, Telemetry: tel})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := eng.Start(); err != nil {
+		b.Fatal(err)
+	}
+	defer eng.Stop()
+	descs := benchDescriptors(b, set, 64)
+	const burst = 256
+	var remaining atomic.Int64
+	remaining.Store(int64(b.N))
+	b.ResetTimer()
+	var wg sync.WaitGroup
+	for p := 0; p < shards; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			off := (p * burst) & 1023
+			for remaining.Load() > 0 {
+				win := descs[off : off+burst]
+				off = (off + burst) & 1023
+				k := eng.InjectBatch(win)
+				if k == 0 {
+					runtime.Gosched()
+					continue
+				}
+				remaining.Add(-int64(k))
+			}
+		}(p)
+	}
+	wg.Wait()
+	eng.WaitDrained()
+	b.StopTimer()
+	accepted := eng.Metrics().Accepted
+	b.ReportMetric(float64(accepted)/b.Elapsed().Seconds()/1e6, "wall-Mpps")
+	if tel != nil {
+		started, completed := tel.Tracer().Counts()
+		b.ReportMetric(float64(started), "traces-started")
+		b.ReportMetric(float64(completed), "traces-completed")
+	}
+}
+
+func BenchmarkEngineTelemetryOff(b *testing.B) { benchmarkEngineTelemetry(b, nil) }
+
+func BenchmarkEngineTelemetryOn(b *testing.B) {
+	benchmarkEngineTelemetry(b, telemetry.New(telemetry.Config{Shards: 2}))
+}
 
 // --- Multi-victim namespaces: dispatch must stay off the hot path -------------
 

@@ -41,6 +41,7 @@ import (
 	"github.com/innetworkfiltering/vif/internal/packet"
 	"github.com/innetworkfiltering/vif/internal/pipeline"
 	"github.com/innetworkfiltering/vif/internal/rules"
+	"github.com/innetworkfiltering/vif/internal/telemetry"
 )
 
 func main() {
@@ -63,10 +64,13 @@ func run(args []string, out io.Writer) error {
 		victims   = fs.Int("victims", 1, "engine mode: serve this many victim namespaces (distinct rule sets, per-victim traffic mixes) through one shared engine")
 		churn     = fs.Duration("churn", 0, "engine mode: push a live rule delta (add/remove a batch) at this interval while traffic runs (0: off)")
 		churnN    = fs.Int("churn-rules", 64, "engine mode: rules added (and, after the first delta, removed) per -churn reinstall")
+		metrics   = fs.String("metrics-addr", "", "serve /metrics (Prometheus text), /events, /traces and /debug/pprof on this address (e.g. :9090; empty: off)")
+		statsIvl  = fs.Duration("stats-interval", 0, "print a periodic stats line from the live metrics snapshot at this interval (0: off)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	oc := obsConfig{metricsAddr: *metrics, statsInterval: *statsIvl}
 
 	set, err := loadRules(*rulesPath)
 	if err != nil {
@@ -89,13 +93,13 @@ func run(args []string, out io.Writer) error {
 		if *churn > 0 {
 			fmt.Fprintln(out, "note: -churn applies to the single-victim engine mode; ignored with -victims")
 		}
-		return runMultiVictim(out, mode, *shards, *producers, *victims, *size, *duration, *seed)
+		return runMultiVictim(out, mode, *shards, *producers, *victims, *size, *duration, *seed, oc)
 	}
 	if *churn > 0 && *shards == 0 {
 		return fmt.Errorf("-churn needs the engine: pass -shards N")
 	}
 	if *shards > 0 {
-		return runEngine(out, set, mode, *shards, *producers, *size, *duration, *seed, *churn, *churnN)
+		return runEngine(out, set, mode, *shards, *producers, *size, *duration, *seed, *churn, *churnN, oc)
 	}
 
 	e, err := enclave.New(enclave.CodeIdentity{
@@ -121,6 +125,21 @@ func run(args []string, out io.Writer) error {
 	}
 	defer p.Stop()
 
+	// Observability for the classic single-enclave pipeline: the pipeline's
+	// counters publish through the same collector/exposition machinery the
+	// engine uses (no shard histograms here — no shards).
+	if oc.metricsAddr != "" {
+		tel := telemetry.New(telemetry.Config{})
+		tel.Register(telemetry.CollectorFunc(p.Collect))
+		closeTel, err := serveTelemetry(out, tel, oc.metricsAddr)
+		if err != nil {
+			return err
+		}
+		defer closeTel()
+	}
+	stopStats := startStats(out, oc.statsInterval, p.String)
+	defer stopStats()
+
 	gen := netsim.NewFlowGen(*seed, victimBase(set), 24)
 	frame := make([]byte, *size)
 	deadline := time.Now().Add(*duration)
@@ -135,6 +154,7 @@ func run(args []string, out io.Writer) error {
 		}
 	}
 	p.WaitDrained()
+	stopStats()
 	elapsed := time.Since(start)
 
 	c := p.Counters()
@@ -217,6 +237,62 @@ func parseMode(s string) (filter.CopyMode, error) {
 	}
 }
 
+// obsConfig carries the observability flags every run shape honours.
+type obsConfig struct {
+	metricsAddr   string
+	statsInterval time.Duration
+}
+
+// buildTelemetry sizes a telemetry registry for an engine run, or returns
+// nil when no observability endpoint was requested (the hot path then pays
+// only nil checks).
+func (oc obsConfig) buildTelemetry(shards int) *telemetry.Telemetry {
+	if oc.metricsAddr == "" {
+		return nil
+	}
+	return telemetry.New(telemetry.Config{Shards: shards})
+}
+
+// serveTelemetry binds the -metrics-addr HTTP server around tel and
+// returns its closer. No-op when addr is empty or tel is nil.
+func serveTelemetry(out io.Writer, tel *telemetry.Telemetry, addr string) (func(), error) {
+	if addr == "" || tel == nil {
+		return func() {}, nil
+	}
+	srv, err := telemetry.NewServer(tel, addr)
+	if err != nil {
+		return nil, err
+	}
+	fmt.Fprintf(out, "telemetry: serving /metrics, /events, /traces, /debug/pprof on %s\n", srv.Addr())
+	return func() { srv.Close() }, nil
+}
+
+// startStats prints one stats line per interval from the same live
+// snapshot path /metrics scrapes, until the returned stop function runs.
+func startStats(out io.Writer, every time.Duration, line func() string) func() {
+	if every <= 0 {
+		return func() {}
+	}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		tick := time.NewTicker(every)
+		defer tick.Stop()
+		for {
+			select {
+			case <-tick.C:
+				fmt.Fprintf(out, "stats: %s\n", line())
+			case <-stop:
+				return
+			}
+		}
+	}()
+	var once sync.Once
+	return func() { once.Do(func() { close(stop) }); wg.Wait() }
+}
+
 func defaultWord(allow bool) string {
 	if allow {
 		return "allow"
@@ -244,7 +320,7 @@ func victimBase(set *rules.Set) uint32 {
 // (Engine.ReconfigureNamespaceDelta — applied by the shard workers at
 // batch boundaries, so the data plane never stops), and the reinstall
 // latencies are reported at the end.
-func runEngine(out io.Writer, set *rules.Set, mode filter.CopyMode, n, producers, size int, duration time.Duration, seed int64, churnEvery time.Duration, churnN int) error {
+func runEngine(out io.Writer, set *rules.Set, mode filter.CopyMode, n, producers, size int, duration time.Duration, seed int64, churnEvery time.Duration, churnN int, oc obsConfig) error {
 	filters := make([]*filter.Filter, n)
 	for i := range filters {
 		e, err := enclave.New(enclave.CodeIdentity{
@@ -276,15 +352,24 @@ func runEngine(out io.Writer, set *rules.Set, mode filter.CopyMode, n, producers
 		return err
 	}
 
+	tel := oc.buildTelemetry(n)
 	eng, err := engine.New(engine.Config{
 		Filters: filters, Route: bal.Route, RouteBatch: bal.RouteBatch,
+		Telemetry: tel,
 	})
 	if err != nil {
 		return err
 	}
+	closeTel, err := serveTelemetry(out, tel, oc.metricsAddr)
+	if err != nil {
+		return err
+	}
+	defer closeTel()
 	if err := eng.Start(); err != nil {
 		return err
 	}
+	stopStats := startStats(out, oc.statsInterval, func() string { return eng.Metrics().String() })
+	defer stopStats()
 	fmt.Fprintf(out, "engine: %d shards, %d producers, rules %d, mode %s\n",
 		n, producers, set.Len(), mode)
 	fmt.Fprintf(out, "measurement %x (all shards load the same identity)\n",
@@ -367,6 +452,7 @@ func runEngine(out io.Writer, set *rules.Set, mode filter.CopyMode, n, producers
 	}
 	wg.Wait()
 	eng.WaitDrained()
+	stopStats()
 	elapsed := time.Since(start)
 
 	m := eng.Metrics()
@@ -440,15 +526,21 @@ func uniformBalancer(set *rules.Set, n int) (*lb.Balancer, error) {
 // untrusted ingress fabric would. The run ends with per-victim verdicts,
 // EPC budget shares, and one sealed epoch per victim — rotated
 // independently, the way each victim's audit cadence would drive it.
-func runMultiVictim(out io.Writer, mode filter.CopyMode, n, producers, victims, size int, duration time.Duration, seed int64) error {
+func runMultiVictim(out io.Writer, mode filter.CopyMode, n, producers, victims, size int, duration time.Duration, seed int64, oc obsConfig) error {
 	if victims > 250 {
 		return fmt.Errorf("-victims %d: demo prefixes support at most 250", victims)
 	}
 	model := enclave.DefaultCostModel()
-	eng, err := engine.New(engine.Config{Shards: n, EPCBytes: model.EPCBytes})
+	tel := oc.buildTelemetry(n)
+	eng, err := engine.New(engine.Config{Shards: n, EPCBytes: model.EPCBytes, Telemetry: tel})
 	if err != nil {
 		return err
 	}
+	closeTel, err := serveTelemetry(out, tel, oc.metricsAddr)
+	if err != nil {
+		return err
+	}
+	defer closeTel()
 
 	type victimState struct {
 		ns     int
@@ -499,6 +591,8 @@ func runMultiVictim(out io.Writer, mode filter.CopyMode, n, producers, victims, 
 	if err := eng.Start(); err != nil {
 		return err
 	}
+	stopStats := startStats(out, oc.statsInterval, func() string { return eng.Metrics().String() })
+	defer stopStats()
 	fmt.Fprintf(out, "engine: %d shards, %d producers, %d victim namespaces, mode %s\n",
 		n, producers, victims, mode)
 	epcShares := eng.EPCShares()
@@ -533,6 +627,7 @@ func runMultiVictim(out io.Writer, mode filter.CopyMode, n, producers, victims, 
 	}
 	wg.Wait()
 	eng.WaitDrained()
+	stopStats()
 	elapsed := time.Since(start)
 
 	m := eng.Metrics()

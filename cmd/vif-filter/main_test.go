@@ -2,9 +2,13 @@ package main
 
 import (
 	"bytes"
+	"io"
+	"net/http"
 	"os"
 	"path/filepath"
+	"regexp"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -196,5 +200,132 @@ func TestRunMultiVictimNeedsEngine(t *testing.T) {
 	}
 	if err := run([]string{"-victims", "0"}, &out); err == nil {
 		t.Fatal("-victims 0 accepted")
+	}
+}
+
+// syncBuffer is an io.Writer safe to read while run() writes it from
+// another goroutine (the telemetry tests scrape mid-run).
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+var servingRe = regexp.MustCompile(`telemetry: serving .* on (\S+)`)
+
+// TestRunEngineModeTelemetry starts the engine with -metrics-addr and
+// -stats-interval, scrapes /metrics and /events while traffic runs, and
+// checks the periodic stats lines reuse the live snapshot path.
+func TestRunEngineModeTelemetry(t *testing.T) {
+	var out syncBuffer
+	done := make(chan error, 1)
+	go func() {
+		done <- run([]string{
+			"-shards", "2", "-producers", "1", "-duration", "900ms",
+			"-metrics-addr", "127.0.0.1:0", "-stats-interval", "100ms",
+		}, &out)
+	}()
+
+	// Wait for the server address line, then scrape mid-run.
+	var addr string
+	deadline := time.Now().Add(5 * time.Second)
+	for addr == "" {
+		if time.Now().After(deadline) {
+			t.Fatalf("telemetry address never printed:\n%s", out.String())
+		}
+		if m := servingRe.FindStringSubmatch(out.String()); m != nil {
+			addr = m[1]
+		} else {
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+	get := func(path string) string {
+		t.Helper()
+		resp, err := http.Get("http://" + addr + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		b, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(b)
+	}
+	metrics := get("/metrics")
+	for _, want := range []string{
+		"vif_engine_shards 2",
+		"vif_shard_processed_total",
+		"# TYPE vif_stage_latency_ns histogram",
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Errorf("mid-run /metrics missing %q:\n%s", want, metrics)
+		}
+	}
+	if events := get("/events"); !strings.Contains(events, `"type":"engine_start"`) {
+		t.Errorf("mid-run /events missing engine_start:\n%s", events)
+	}
+
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	if !strings.Contains(text, "stats: engine{") {
+		t.Errorf("-stats-interval printed no engine stats lines:\n%s", text)
+	}
+}
+
+// TestRunClassicModeTelemetry covers the single-enclave pipeline shape:
+// stats lines from the pipeline counters and a /metrics endpoint serving
+// the vif_pipeline_* families.
+func TestRunClassicModeTelemetry(t *testing.T) {
+	var out syncBuffer
+	done := make(chan error, 1)
+	go func() {
+		done <- run([]string{
+			"-duration", "600ms",
+			"-metrics-addr", "127.0.0.1:0", "-stats-interval", "100ms",
+		}, &out)
+	}()
+	var addr string
+	deadline := time.Now().Add(5 * time.Second)
+	for addr == "" {
+		if time.Now().After(deadline) {
+			t.Fatalf("telemetry address never printed:\n%s", out.String())
+		}
+		if m := servingRe.FindStringSubmatch(out.String()); m != nil {
+			addr = m[1]
+		} else {
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+	resp, err := http.Get("http://" + addr + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(b), "vif_pipeline_rx_packets_total") {
+		t.Errorf("classic /metrics missing pipeline counters:\n%s", b)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	if text := out.String(); !strings.Contains(text, "stats: pipeline{") {
+		t.Errorf("-stats-interval printed no pipeline stats lines:\n%s", text)
 	}
 }

@@ -119,6 +119,10 @@ type SharedEngineConfig struct {
 	RingSize int
 	// Batch is the worker burst size. Default 64.
 	Batch int
+	// Telemetry, when set, attaches the observability plane (stage
+	// histograms, event journal, sampled traces, Prometheus collector) to
+	// the shared engine. Must be sized for Shards.
+	Telemetry *Telemetry
 }
 
 // SharedEngine starts (once) and returns the deployment's multi-victim
@@ -138,10 +142,11 @@ func (d *Deployment) SharedEngine(cfg SharedEngineConfig) (*Engine, error) {
 		cfg.Shards = 4
 	}
 	eng, err := engine.New(engine.Config{
-		Shards:   cfg.Shards,
-		RingSize: cfg.RingSize,
-		Batch:    cfg.Batch,
-		EPCBytes: d.cfg.CostModel.EPCBytes,
+		Shards:    cfg.Shards,
+		RingSize:  cfg.RingSize,
+		Batch:     cfg.Batch,
+		EPCBytes:  d.cfg.CostModel.EPCBytes,
+		Telemetry: cfg.Telemetry,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("vif: shared engine: %w", err)

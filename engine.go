@@ -7,6 +7,7 @@ import (
 	"github.com/innetworkfiltering/vif/internal/bypass"
 	"github.com/innetworkfiltering/vif/internal/engine"
 	"github.com/innetworkfiltering/vif/internal/filter"
+	"github.com/innetworkfiltering/vif/internal/telemetry"
 )
 
 // Engine mode: instead of pushing packets one at a time through
@@ -43,6 +44,34 @@ type (
 	EpochLog = engine.EpochLog
 )
 
+// Re-exported telemetry vocabulary, so operators can stand up the
+// observability plane (stage histograms, /metrics + pprof, event journal,
+// sampled packet traces) without importing internal packages.
+type (
+	// Telemetry is the engine-wide observability registry (see
+	// internal/telemetry). Build one with NewTelemetry, hand it to
+	// EngineConfig.Telemetry or SharedEngineConfig.Telemetry, and expose
+	// it over HTTP with NewTelemetryServer.
+	Telemetry = telemetry.Telemetry
+	// TelemetryConfig sizes a Telemetry instance. Shards must match the
+	// engine it is attached to.
+	TelemetryConfig = telemetry.Config
+	// TelemetryServer serves /metrics, /events, /traces and /debug/pprof
+	// for one Telemetry instance.
+	TelemetryServer = telemetry.Server
+	// TelemetryEvent is one structured journal record.
+	TelemetryEvent = telemetry.Event
+)
+
+// NewTelemetry builds a telemetry registry sized by cfg.
+func NewTelemetry(cfg TelemetryConfig) *Telemetry { return telemetry.New(cfg) }
+
+// NewTelemetryServer binds addr (":0" picks a free port) and serves the
+// registry's /metrics, /events, /traces and /debug/pprof endpoints.
+func NewTelemetryServer(t *Telemetry, addr string) (*TelemetryServer, error) {
+	return telemetry.NewServer(t, addr)
+}
+
 // ErrEngineRunning is returned by serial-path session methods while the
 // engine owns the data plane (the fleet's filters are not thread-safe;
 // exactly one runtime may drive them).
@@ -65,6 +94,13 @@ type EngineConfig struct {
 	// path. On a shared engine only this session's packets are delivered
 	// here — namespace dispatch keeps victims' traffic apart.
 	Deliver func(d Descriptor)
+	// Telemetry, when set, attaches the observability plane to a private
+	// engine: per-shard stage histograms, the event journal, sampled
+	// packet traces, and the Prometheus collector. It must be sized for
+	// the fleet's shard count (TelemetryConfig.Shards). Ignored when
+	// attaching to a shared engine — the shared engine's telemetry is
+	// fixed by SharedEngineConfig.
+	Telemetry *Telemetry
 }
 
 // StartEngine moves the session onto the concurrent data plane. With a
@@ -103,6 +139,7 @@ func (s *Session) StartEngine(cfg EngineConfig) (*Engine, error) {
 		RingSize:   cfg.RingSize,
 		Batch:      cfg.Batch,
 		Sink:       sink,
+		Telemetry:  cfg.Telemetry,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("vif: engine: %w", err)
@@ -302,27 +339,42 @@ func (s *Session) AuditEngineEpoch() (bypass.Verdict, error) {
 	if !s.EngineRunning() {
 		return bypass.Verdict{}, ErrNoEngine
 	}
-	var logs []EpochLog
-	var err error
+	var (
+		logs []EpochLog
+		err  error
+		eng  *Engine
+		ns   int
+	)
 	if att := s.attached.Load(); att != nil {
-		logs, err = att.eng.RotateEpoch(att.ns)
+		eng, ns = att.eng, att.ns
+		logs, err = eng.RotateEpoch(ns)
 	} else {
-		logs, err = s.engine.RotateEpoch(0)
+		eng, ns = s.engine, 0
+		logs, err = eng.RotateEpoch(0)
 	}
 	if err != nil {
 		return bypass.Verdict{}, fmt.Errorf("vif: rotate epoch: %w", err)
 	}
+	// journal is nil-safe: a no-telemetry engine journals nowhere.
+	journal := eng.Telemetry().Journal()
 	snaps := make([]*filter.SignedSnapshot, len(logs))
 	for i, l := range logs {
 		snaps[i] = l.Outgoing
 	}
 	merged, err := bypass.MergeSnapshots(s.macKeys, snaps)
 	if err != nil {
+		journal.Emit(telemetry.Event{Type: telemetry.EvAuditFail, NS: ns, Shard: -1, Detail: "merge snapshots: " + err.Error()})
 		return bypass.Verdict{}, err
 	}
 	v, err := s.verifier.CheckSketch(merged)
 	if err != nil {
+		journal.Emit(telemetry.Event{Type: telemetry.EvAuditFail, NS: ns, Shard: -1, Detail: "check sketch: " + err.Error()})
 		return bypass.Verdict{}, err
+	}
+	if v.Clean {
+		journal.Emit(telemetry.Event{Type: telemetry.EvAuditPass, NS: ns, Shard: -1, Detail: "epoch audit clean"})
+	} else {
+		journal.Emit(telemetry.Event{Type: telemetry.EvAuditFail, NS: ns, Shard: -1, Detail: v.Detail})
 	}
 	s.verifier.Reset()
 	return v, nil

@@ -154,6 +154,33 @@ func (e *Enclave) SetMemoryUsed(n int) {
 // MemoryUsed returns the current EPC consumption in bytes.
 func (e *Enclave) MemoryUsed() int { return int(e.epcUsed.Load()) }
 
+// MeterSnapshot is one consistent-enough read of the enclave's live
+// meters, for telemetry exporters that publish several of them per scrape
+// without four separate accessor calls at every site. Each field is an
+// independent atomic load, like any monitoring counter.
+type MeterSnapshot struct {
+	// VirtualNs is the accumulated modeled SGX time in nanoseconds.
+	VirtualNs float64
+	// Ticks counts data-path packets the enclave clocked.
+	Ticks uint64
+	// MemoryUsed and EPCBudget are the live working set and its usable
+	// EPC cap, in bytes.
+	MemoryUsed, EPCBudget int
+	// PagingPressure is the working-set fraction beyond the budget.
+	PagingPressure float64
+}
+
+// Meter snapshots the enclave's live meters. Safe from any goroutine.
+func (e *Enclave) Meter() MeterSnapshot {
+	return MeterSnapshot{
+		VirtualNs:      e.VirtualNs(),
+		Ticks:          e.Ticks(),
+		MemoryUsed:     e.MemoryUsed(),
+		EPCBudget:      e.EPCBudget(),
+		PagingPressure: e.PagingPressure(),
+	}
+}
+
 // SetEPCBudget caps this enclave's usable EPC at n bytes — the tenant's
 // apportioned share of the shared platform EPC in a multi-victim
 // deployment (enclave.EPCBudgeter computes the shares). n <= 0 removes

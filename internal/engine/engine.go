@@ -13,6 +13,7 @@ import (
 	"github.com/innetworkfiltering/vif/internal/filter"
 	"github.com/innetworkfiltering/vif/internal/packet"
 	"github.com/innetworkfiltering/vif/internal/pipeline"
+	"github.com/innetworkfiltering/vif/internal/telemetry"
 )
 
 // Defaults.
@@ -87,6 +88,13 @@ type Config struct {
 	// detaches are kept, older ones fall off. 0 defaults to
 	// DefaultTombstoneLimit; negative disables retention.
 	TombstoneLimit int
+	// Telemetry, when set, threads the observability layer through the
+	// engine: sampled per-shard stage histograms, journal events for every
+	// control action, 1-in-N packet traces, and the engine's metric
+	// families registered for /metrics. It must be sized for this engine
+	// (telemetry.New with Shards equal to the shard count). Nil disables
+	// all instrumentation; the hot path then carries only nil checks.
+	Telemetry *telemetry.Telemetry
 }
 
 func (c *Config) fillDefaults() {
@@ -208,6 +216,11 @@ type shard struct {
 	// every burst (allocated once, reused for the shard's lifetime).
 	verdicts []filter.Verdict
 
+	// claimed is the worker-owned scratch holding packet traces claimed
+	// from the tracer for the current burst (normally empty; tracing is
+	// 1-in-N inject batches).
+	claimed []claimedTrace
+
 	// Atomic metrics block. The worker-owned counters and the producer-
 	// written backpressure counter live on separate cache lines: producers
 	// hammering backpressure on a full ring must not invalidate the line
@@ -225,7 +238,20 @@ type shard struct {
 	// backpressure is written by any producer whose enqueue hit a full
 	// ring — the only cross-thread counter in the block.
 	backpressure atomic.Uint64
-	_            [56]byte
+	// bpActive edge-detects backpressure onset for the journal: the first
+	// producer to hit the full ring CASes it true (and emits one event);
+	// the worker clears it when the ring drains. It shares the producer-
+	// written line deliberately — producers only touch it on the enqueue-
+	// failure slow path.
+	bpActive atomic.Bool
+	_        [55]byte
+}
+
+// claimedTrace is one pending packet trace a worker claimed out of the
+// current burst, remembered until the burst's verdicts are known.
+type claimedTrace struct {
+	idx int
+	p   *telemetry.Pending
 }
 
 // Engine runs the sharded multi-victim data plane.
@@ -280,6 +306,13 @@ type Engine struct {
 	stopped  bool
 	stop     chan struct{}
 	started  time.Time
+
+	// tel is the observability layer (Config.Telemetry; nil disables).
+	// tracer and traceMask are cached off it so the injection paths pay a
+	// nil check, not two pointer chases, per burst.
+	tel       *telemetry.Telemetry
+	tracer    *telemetry.Tracer
+	traceMask uint64
 }
 
 // injectScratch is one producer's staging area for a burst: the routing
@@ -288,6 +321,11 @@ type Engine struct {
 type injectScratch struct {
 	shards []int32
 	runs   [][]packet.Descriptor
+	// traceCtr is this scratch's packet-trace sampling counter. It lives
+	// in the pooled scratch — not on the engine — so sampling adds no
+	// shared write to the injection path; each pooled scratch samples its
+	// own 1-in-N of the bursts it stages.
+	traceCtr uint64
 }
 
 // shard markers inside injectScratch.shards beyond valid indices.
@@ -312,7 +350,17 @@ func New(cfg Config) (*Engine, error) {
 	if cfg.Batch < 1 {
 		return nil, fmt.Errorf("engine: batch size %d", cfg.Batch)
 	}
-	e := &Engine{cfg: cfg}
+	e := &Engine{cfg: cfg, tel: cfg.Telemetry}
+	if e.tel != nil {
+		if e.tel.Shards() != n {
+			return nil, fmt.Errorf("engine: telemetry sized for %d shards, engine has %d", e.tel.Shards(), n)
+		}
+		e.tracer = e.tel.Tracer()
+		if mask, ok := e.tracer.SampleMask(); ok {
+			e.traceMask = mask
+		}
+		e.registerCollector()
+	}
 	e.scratch.New = func() any {
 		return &injectScratch{runs: make([][]packet.Descriptor, n)}
 	}
@@ -347,6 +395,29 @@ func New(cfg Config) (*Engine, error) {
 
 // Shards returns the shard count.
 func (e *Engine) Shards() int { return len(e.shards) }
+
+// Telemetry returns the engine's observability layer (nil when disabled).
+// Session/cluster layers emit their own events — audits, for one — through
+// its journal.
+func (e *Engine) Telemetry() *telemetry.Telemetry { return e.tel }
+
+// emit journals one structured event; a no-op without telemetry.
+func (e *Engine) emit(t telemetry.EventType, ns, shard int, detail string) {
+	e.tel.Journal().Emit(telemetry.Event{Type: t, NS: ns, Shard: shard, Detail: detail})
+}
+
+// noteBackpressure edge-detects a shard ring filling up: the first
+// producer refused by the full ring journals the onset; the worker clears
+// the flag once the ring drains (emitting the matching off event). Called
+// only on the enqueue-failure slow path.
+func (e *Engine) noteBackpressure(s *shard) {
+	if e.tel == nil {
+		return
+	}
+	if s.bpActive.CompareAndSwap(false, true) {
+		e.emit(telemetry.EvBackpressureOn, -1, s.id, "ring full")
+	}
+}
 
 // Filter returns shard i's default-namespace filter (nil when namespace 0
 // is not attached). For attestation and post-Stop queries; do not call
@@ -416,6 +487,11 @@ func (e *Engine) buildNamespace(id int, cfg NamespaceConfig) (*namespace, error)
 		}
 		t := &nsShard{f: f, sink: cfg.Sink}
 		t.baseVirtualNs.Store(math.Float64bits(f.Enclave().VirtualNs()))
+		// Each filter gets its own recorder into its shard's stage block
+		// (the filter thread and the worker thread must not share one).
+		// Set before the view is published, so the store is ordered ahead
+		// of any worker ProcessBatch call.
+		f.SetStageRecorder(e.tel.Recorder(i))
 		ns.shards[i] = t
 	}
 	ns.finishRouting(n)
@@ -501,6 +577,7 @@ func (e *Engine) AttachNamespace(cfg NamespaceConfig) (int, error) {
 	}
 	e.nss.Store(cowSet(&cur, id, ns))
 	e.rebalanceEPC()
+	e.emit(telemetry.EvAttach, id, -1, fmt.Sprintf("filters=%d", len(cfg.Filters)))
 	return id, nil
 }
 
@@ -559,15 +636,19 @@ func (e *Engine) DetachNamespace(id int) (NamespaceMetrics, error) {
 	if budget := e.budget.Load(); budget != nil {
 		final.EPCShareBytes = budget.Share(id)
 	}
-	// The filters leave the engine's ownership: lift their tenant EPC cap.
+	// The filters leave the engine's ownership: lift their tenant EPC cap
+	// and detach their stage recorders.
 	for _, t := range ns.shards {
 		t.f.Enclave().SetEPCBudget(0)
+		t.f.SetStageRecorder(nil)
 	}
 	if budget := e.budget.Load(); budget != nil {
 		budget.Remove(id)
 	}
 	e.rebalanceEPC()
 	e.recordTombstone(final)
+	e.emit(telemetry.EvDetach, id, -1, fmt.Sprintf(
+		"processed=%d allowed=%d dropped=%d tombstoned", final.Processed, final.Allowed, final.Dropped))
 	return final, nil
 }
 
@@ -654,8 +735,10 @@ func (e *Engine) ReconfigureNamespace(id int, cfg NamespaceConfig) error {
 		t.epochs.Add(o.epochs.Load())
 		t.promoted.Add(o.promoted.Load())
 		o.f.Enclave().SetEPCBudget(0)
+		o.f.SetStageRecorder(nil)
 	}
 	e.rebalanceEPC()
+	e.emit(telemetry.EvReconfigure, id, -1, "full rebuild")
 	return nil
 }
 
@@ -749,6 +832,15 @@ func (e *Engine) ReconfigureNamespaceDelta(id int, deltas []filter.Delta, route 
 		ns.mu.Unlock()
 	}
 	e.rebalanceEPC()
+	if e.tel != nil {
+		adds, removes := 0, 0
+		for i := range deltas {
+			adds += len(deltas[i].Adds)
+			removes += len(deltas[i].Removes)
+		}
+		e.emit(telemetry.EvReconfigureDelta, id, -1, fmt.Sprintf(
+			"adds=%d removes=%d routing_swap=%t", adds, removes, route != nil || routeBatch != nil))
+	}
 	return nil
 }
 
@@ -818,15 +910,19 @@ func (e *Engine) rebalanceEPC() {
 		}
 		budget.Set(ns.id, w)
 	}
+	attached := 0
 	for _, ns := range nss {
 		if ns == nil {
 			continue
 		}
+		attached++
 		share := budget.Share(ns.id)
 		for _, t := range ns.shards {
 			t.f.Enclave().SetEPCBudget(share)
 		}
 	}
+	e.emit(telemetry.EvEPCRebalance, -1, -1, fmt.Sprintf(
+		"epc_bytes=%d namespaces=%d", budget.EPCBytes(), attached))
 }
 
 // EPCShares returns each attached namespace's EPC allowance in bytes.
@@ -872,6 +968,7 @@ func (e *Engine) Start() error {
 	for _, s := range e.shards {
 		go s.run(e)
 	}
+	e.emit(telemetry.EvEngineStart, -1, -1, fmt.Sprintf("shards=%d", len(e.shards)))
 	return nil
 }
 
@@ -898,7 +995,7 @@ func (e *Engine) Stop() {
 		batch := make([]packet.Descriptor, e.cfg.Batch)
 		for s.ring.Len() > 0 {
 			if n := s.ring.DequeueBatch(batch); n > 0 {
-				s.process(e, batch[:n])
+				s.process(e, batch[:n], nil, false)
 			} else {
 				runtime.Gosched()
 			}
@@ -906,6 +1003,7 @@ func (e *Engine) Stop() {
 	}
 	e.running.Store(false)
 	e.stopped = true
+	e.emit(telemetry.EvEngineStop, -1, -1, "")
 }
 
 // Running reports whether workers are live.
@@ -936,6 +1034,7 @@ func (e *Engine) Inject(d packet.Descriptor) bool {
 	s := e.shards[j]
 	if !s.ring.Enqueue(d) {
 		s.backpressure.Add(1)
+		e.noteBackpressure(s)
 		return false
 	}
 	e.accepted.Add(1)
@@ -972,6 +1071,20 @@ func (e *Engine) InjectBatch(ds []packet.Descriptor) int {
 		sc.shards = make([]int32, len(ds))
 	}
 	shards := sc.shards[:len(ds)]
+
+	// Packet tracing: 1-in-N inject batches (per pooled scratch) follow
+	// their first descriptor through the engine. The unsampled path pays
+	// one local increment; the sampled path allocates its Pending here.
+	var pend *telemetry.Pending
+	if e.tracer != nil {
+		sc.traceCtr++
+		if sc.traceCtr&e.traceMask == 0 {
+			pend = &telemetry.Pending{Trace: telemetry.Trace{
+				InjectNS: telemetry.Now(), RulePrio: -1,
+			}}
+		}
+	}
+
 	nss := *e.nss.Load()
 	var nsDrops uint64
 	for i := 0; i < len(ds); {
@@ -994,6 +1107,20 @@ func (e *Engine) InjectBatch(ds []packet.Descriptor) int {
 		}
 		i = j
 	}
+	if pend != nil {
+		// The traced descriptor is ds[0]: routed (or not) by the loop
+		// above. It is the first descriptor scattered into its shard's
+		// run, so below it is accepted iff that run accepts >= 1.
+		if j := shards[0]; j >= 0 {
+			pend.Hash = ds[0].Tuple.Hash64()
+			pend.Trace.Flow = ds[0].Tuple.String()
+			pend.Trace.NS = int(ds[0].NS)
+			pend.Trace.Shard = int(j)
+			pend.Trace.RouteNS = telemetry.Now()
+		} else {
+			pend = nil // balancer or namespace drop: journey ends here
+		}
+	}
 	var lbDrops uint64
 	for i := range ds {
 		j := shards[i]
@@ -1012,9 +1139,22 @@ func (e *Engine) InjectBatch(ds []packet.Descriptor) int {
 			continue
 		}
 		s := e.shards[j]
+		traced := pend != nil && pend.Trace.Shard == j
+		if traced {
+			// Publish before the enqueue: the worker may dequeue the
+			// descriptor the instant it lands, and must find the Pending.
+			// After Publish only Abandon may touch pend.
+			pend.Trace.EnqueueNS = telemetry.Now()
+			e.tracer.Publish(pend)
+		}
 		n := s.ring.EnqueueBatch(run)
 		if n < len(run) {
 			s.backpressure.Add(uint64(len(run) - n))
+			e.noteBackpressure(s)
+			if traced && n == 0 {
+				// The traced descriptor heads its run: refused with it.
+				e.tracer.Abandon(pend)
+			}
 		}
 		accepted += n
 		sc.runs[j] = run[:0]
@@ -1116,20 +1256,33 @@ func (e *Engine) Epoch(id int) uint64 {
 }
 
 // run is the shard worker loop: burst-dequeue, filter, honor rotation and
-// fence tickets at batch boundaries, drain on stop.
+// fence tickets at batch boundaries, drain on stop. With telemetry the
+// worker holds its own stage recorder: a sampled burst additionally pays
+// the clock reads bounding its stages; every other burst pays one counter
+// increment (Sample) and one atomic tracer load (inside process).
 func (s *shard) run(e *Engine) {
 	defer close(s.done)
 	batch := make([]packet.Descriptor, e.cfg.Batch)
+	rec := e.tel.Recorder(s.id)
+	var waitStart time.Time
+	waiting := false
 	for {
 		n := s.ring.DequeueBatch(batch)
 		if n > 0 {
-			s.process(e, batch[:n])
-			s.drainTickets()
+			sampled := rec.Sample()
+			if waiting {
+				waiting = false
+				if sampled {
+					rec.Record(telemetry.StageDequeueWait, time.Since(waitStart))
+				}
+			}
+			s.process(e, batch[:n], rec, sampled)
+			s.drainTickets(e)
 			continue
 		}
 		select {
 		case t := <-s.rotate:
-			s.serveTicket(t)
+			s.serveTicket(e, t)
 		case <-e.stop:
 			// Final drain: producers may have raced descriptors in after
 			// the stop signal.
@@ -1138,9 +1291,19 @@ func (s *shard) run(e *Engine) {
 				if n == 0 {
 					return
 				}
-				s.process(e, batch[:n])
+				s.process(e, batch[:n], rec, false)
 			}
 		default:
+			if rec != nil {
+				if !waiting {
+					waiting = true
+					waitStart = time.Now()
+				}
+				// The ring is empty: any backpressure episode is over.
+				if s.bpActive.Load() && s.bpActive.CompareAndSwap(true, false) {
+					e.emit(telemetry.EvBackpressureOff, -1, s.id, "ring drained")
+				}
+			}
 			runtime.Gosched()
 		}
 	}
@@ -1149,25 +1312,25 @@ func (s *shard) run(e *Engine) {
 // drainTickets serves every pending ticket at a batch boundary, so
 // concurrent rotations of several namespaces all land between the same
 // two bursts instead of one per burst.
-func (s *shard) drainTickets() {
+func (s *shard) drainTickets(e *Engine) {
 	for {
 		select {
 		case t := <-s.rotate:
-			s.serveTicket(t)
+			s.serveTicket(e, t)
 		default:
 			return
 		}
 	}
 }
 
-func (s *shard) serveTicket(t *rotateTicket) {
+func (s *shard) serveTicket(e *Engine, t *rotateTicket) {
 	switch {
 	case t.fence:
 		t.reply <- shardEpoch{}
 	case t.apply != nil:
 		t.reply <- shardEpoch{err: t.apply()}
 	default:
-		s.doRotate(t)
+		s.doRotate(e, t)
 	}
 }
 
@@ -1178,8 +1341,32 @@ func (s *shard) serveTicket(t *rotateTicket) {
 // atomic view load per burst, nothing on the per-packet path. Packets of
 // detached namespaces are dropped and counted as orphaned (never
 // attributed to any victim).
-func (s *shard) process(e *Engine, batch []packet.Descriptor) {
+func (s *shard) process(e *Engine, batch []packet.Descriptor, rec *telemetry.StageRecorder, sampled bool) {
 	views := *s.views.Load()
+
+	// Packet tracing: one atomic load per burst; only when a sampled
+	// descriptor is actually in flight does the worker hash-scan the burst
+	// to claim it (DequeueNS now, verdict after its run is processed).
+	s.claimed = s.claimed[:0]
+	if e.tracer.Outstanding() {
+		now := telemetry.Now()
+		for i := range batch {
+			if p := e.tracer.Claim(batch[i].Tuple.Hash64(), s.id); p != nil {
+				p.Trace.DequeueNS = now
+				s.claimed = append(s.claimed, claimedTrace{idx: i, p: p})
+			}
+		}
+	}
+
+	// Stage timing on sampled bursts: StageFlush is everything process
+	// adds around the filter — dispatch, sink fanout, counter publication
+	// — so the burst total minus the timed ProcessBatch calls.
+	var start time.Time
+	var filterTime time.Duration
+	if sampled {
+		start = time.Now()
+	}
+
 	var allowed, dropped, orphaned uint64
 	for i := 0; i < len(batch); {
 		id := batch[i].NS
@@ -1194,10 +1381,17 @@ func (s *shard) process(e *Engine, batch []packet.Descriptor) {
 		}
 		if t == nil {
 			orphaned += uint64(len(run))
+			s.completeTraces(e, t, i, j, batch)
 			i = j
 			continue
 		}
-		s.verdicts = t.f.ProcessBatch(run, s.verdicts)
+		if sampled {
+			fs := time.Now()
+			s.verdicts = t.f.ProcessBatch(run, s.verdicts)
+			filterTime += time.Since(fs)
+		} else {
+			s.verdicts = t.f.ProcessBatch(run, s.verdicts)
+		}
 		var runAllowed, runDropped uint64
 		for k, v := range s.verdicts {
 			if v == filter.VerdictAllow {
@@ -1217,6 +1411,7 @@ func (s *shard) process(e *Engine, batch []packet.Descriptor) {
 		t.dropped.Add(runDropped)
 		allowed += runAllowed
 		dropped += runDropped
+		s.completeTraces(e, t, i, j, batch)
 		i = j
 	}
 	s.allowed.Add(allowed)
@@ -1226,13 +1421,44 @@ func (s *shard) process(e *Engine, batch []packet.Descriptor) {
 	}
 	s.processed.Add(uint64(len(batch)))
 	s.batches.Add(1)
+	if sampled {
+		rec.Record(telemetry.StageFlush, time.Since(start)-filterTime)
+	}
+}
+
+// completeTraces finishes any claimed packet trace whose descriptor sits
+// in the just-processed run [i, j): verdict from the run's verdict slice,
+// rule provenance from the filter's Explain (we are on the filter's
+// thread), both dropped runs and orphaned runs (t == nil) included.
+func (s *shard) completeTraces(e *Engine, t *nsShard, i, j int, batch []packet.Descriptor) {
+	if len(s.claimed) == 0 {
+		return
+	}
+	for ci := range s.claimed {
+		c := &s.claimed[ci]
+		if c.p == nil || c.idx < i || c.idx >= j {
+			continue
+		}
+		tr := &c.p.Trace
+		tr.VerdictNS = telemetry.Now()
+		if t == nil {
+			tr.Verdict = "orphaned"
+		} else {
+			tr.Verdict = s.verdicts[c.idx-i].String()
+			_, prio, origin := t.f.Explain(batch[c.idx].Tuple)
+			tr.RulePrio = prio
+			tr.Rule = origin
+		}
+		e.tracer.Complete(*tr)
+		c.p = nil
+	}
 }
 
 // doRotate seals the ticket namespace's epoch on this shard:
 // authenticated snapshots of both logs, then reset. Runs on the worker
 // goroutine, so it is ordered with ProcessBatch calls — no packet
 // straddles the epoch boundary.
-func (s *shard) doRotate(t *rotateTicket) {
+func (s *shard) doRotate(e *Engine, t *rotateTicket) {
 	in, err := t.ns.f.Snapshot(filter.LogIncoming, t.seq)
 	if err != nil {
 		t.reply <- shardEpoch{err: err}
@@ -1254,6 +1480,7 @@ func (s *shard) doRotate(t *rotateTicket) {
 	t.ns.epochs.Add(1)
 	s.promoted.Add(promoted)
 	s.epochs.Add(1)
+	e.emit(telemetry.EvEpochSeal, t.nsID, s.id, fmt.Sprintf("seq=%d promoted=%d", t.seq, promoted))
 	t.reply <- shardEpoch{log: EpochLog{
 		Namespace: t.nsID,
 		Shard:     s.id,

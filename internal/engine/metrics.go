@@ -101,6 +101,8 @@ type Metrics struct {
 	// Processed, Allowed, Dropped, Orphaned, Backpressure aggregate the
 	// shard blocks.
 	Processed, Allowed, Dropped, Orphaned, Backpressure uint64
+	// QueueDepth sums the shard rings' occupancy at snapshot time.
+	QueueDepth int
 	// Elapsed is the wall-clock time since Start.
 	Elapsed time.Duration
 	// PPS is the aggregate average processed-packet rate since Start.
@@ -121,9 +123,11 @@ func (e *Engine) Metrics() Metrics {
 		NSDrops: e.nsDrops.Load(),
 	}
 	m.Accepted = e.accepted.Load()
-	elapsed := time.Since(e.started)
-	if e.started.IsZero() {
-		elapsed = 0
+	// Guard before computing: time.Since on the zero time of a never-
+	// started engine would yield a unix-epoch-sized nonsense duration.
+	var elapsed time.Duration
+	if !e.started.IsZero() {
+		elapsed = time.Since(e.started)
 	}
 	m.Elapsed = elapsed
 	secs := elapsed.Seconds()
@@ -190,6 +194,7 @@ func (e *Engine) Metrics() Metrics {
 		m.Dropped += sm.Dropped
 		m.Orphaned += sm.Orphaned
 		m.Backpressure += sm.Backpressure
+		m.QueueDepth += sm.QueueDepth
 	}
 	if secs > 0 {
 		m.PPS = float64(m.Processed) / secs
@@ -239,10 +244,12 @@ func (e *Engine) AggregateModeledPps(frameSize int) float64 {
 	return total
 }
 
-// String renders a compact operator summary.
+// String renders a compact operator summary covering every drop class
+// (filter verdicts, balancer drops, namespace drops, orphans,
+// backpressure) plus the live ring occupancy.
 func (m Metrics) String() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "engine{shards=%d namespaces=%d accepted=%d processed=%d allowed=%d dropped=%d lbdrops=%d nsdrops=%d backpressure=%d pps=%.0f}",
-		len(m.Shards), len(m.Namespaces), m.Accepted, m.Processed, m.Allowed, m.Dropped, m.LBDrops, m.NSDrops, m.Backpressure, m.PPS)
+	fmt.Fprintf(&b, "engine{shards=%d namespaces=%d accepted=%d processed=%d allowed=%d dropped=%d lbdrops=%d nsdrops=%d orphaned=%d backpressure=%d queue=%d pps=%.0f}",
+		len(m.Shards), len(m.Namespaces), m.Accepted, m.Processed, m.Allowed, m.Dropped, m.LBDrops, m.NSDrops, m.Orphaned, m.Backpressure, m.QueueDepth, m.PPS)
 	return b.String()
 }

@@ -1,0 +1,244 @@
+package engine
+
+import (
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/innetworkfiltering/vif/internal/telemetry"
+)
+
+// hasEvent reports whether the journal holds an event of the given type,
+// optionally scoped to one namespace (ns >= 0).
+func hasEvent(evs []telemetry.Event, typ telemetry.EventType, ns int) bool {
+	for _, e := range evs {
+		if e.Type == typ && (ns < 0 || e.NS == ns) {
+			return true
+		}
+	}
+	return false
+}
+
+// TestEngineTelemetryEndToEnd is the tentpole acceptance test: an engine
+// with the observability plane attached processes traffic, and the stage
+// histograms, journal, sampled traces, and /metrics exposition all carry
+// coherent data about what actually happened.
+func TestEngineTelemetryEndToEnd(t *testing.T) {
+	set := testRules(t, 64)
+	tel := telemetry.New(telemetry.Config{
+		Shards: 2, SampleEvery: 1, TraceEvery: 1, JournalSize: 64, TraceBuf: 64,
+	})
+	eng, err := New(Config{Filters: testFilters(t, set, 2), Telemetry: tel})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eng.Telemetry() != tel {
+		t.Fatal("Telemetry() accessor lost the registry")
+	}
+	if err := eng.Start(); err != nil {
+		t.Fatal(err)
+	}
+	descs := testDescriptors(t, set, 4096)
+	// Many small batches: every one is trace-sampled (TraceEvery=1), so
+	// plenty of inject→verdict journeys complete.
+	for lo := 0; lo < len(descs); lo += 256 {
+		hi := lo + 256
+		if hi > len(descs) {
+			hi = len(descs)
+		}
+		eng.InjectBatch(descs[lo:hi])
+		eng.WaitDrained() // force idle gaps so StageDequeueWait observes real waits
+	}
+	if _, err := eng.RotateEpoch(0); err != nil {
+		t.Fatal(err)
+	}
+	eng.Stop()
+
+	// Stage histograms: every stage of every shard that processed traffic
+	// must have sampled observations (SampleEvery=1 samples every burst).
+	snaps := tel.StageSnapshot()
+	m := eng.Metrics()
+	for shard, snap := range snaps {
+		if m.Shards[shard].Processed == 0 {
+			continue
+		}
+		for st := 0; st < telemetry.NumStages; st++ {
+			if snap[st].Count == 0 {
+				t.Errorf("shard %d stage %s: no observations despite %d processed",
+					shard, telemetry.Stage(st), m.Shards[shard].Processed)
+			}
+		}
+	}
+
+	// Journal: lifecycle and epoch-seal events with correct scoping.
+	evs := tel.Journal().Events()
+	if !hasEvent(evs, telemetry.EvEngineStart, -1) {
+		t.Error("journal missing engine_start")
+	}
+	if !hasEvent(evs, telemetry.EvEpochSeal, 0) {
+		t.Error("journal missing epoch_seal for namespace 0")
+	}
+	if !hasEvent(evs, telemetry.EvEngineStop, -1) {
+		t.Error("journal missing engine_stop")
+	}
+
+	// Traces: complete inject→verdict journeys with ordered timestamps.
+	traces := tel.Tracer().Traces()
+	if len(traces) == 0 {
+		t.Fatal("no completed traces despite TraceEvery=1")
+	}
+	for _, tr := range traces {
+		if tr.Flow == "" {
+			t.Errorf("trace missing flow: %+v", tr)
+		}
+		if tr.NS != 0 {
+			t.Errorf("trace NS = %d, want 0", tr.NS)
+		}
+		if tr.Shard < 0 || tr.Shard >= 2 {
+			t.Errorf("trace shard = %d out of range", tr.Shard)
+		}
+		if tr.Verdict != "allow" && tr.Verdict != "drop" {
+			t.Errorf("trace verdict = %q", tr.Verdict)
+		}
+		if tr.Rule == "" {
+			t.Errorf("trace missing rule origin: %+v", tr)
+		}
+		ts := []int64{tr.InjectNS, tr.RouteNS, tr.EnqueueNS, tr.DequeueNS, tr.VerdictNS}
+		for i := 1; i < len(ts); i++ {
+			if ts[i] < ts[i-1] {
+				t.Errorf("trace timestamps not nondecreasing: %+v", tr)
+				break
+			}
+		}
+	}
+	started, completed := tel.Tracer().Counts()
+	if completed == 0 || completed > started {
+		t.Errorf("trace counts started=%d completed=%d", started, completed)
+	}
+
+	// Exposition: the scrape carries the engine counters, per-shard and
+	// per-namespace families, and the stage histograms.
+	srv, err := telemetry.NewServer(tel, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	resp, err := http.Get("http://" + srv.Addr() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(body)
+	for _, want := range []string{
+		"vif_engine_processed_total",
+		`vif_shard_processed_total{shard="0"}`,
+		`vif_shard_processed_total{shard="1"}`,
+		`vif_namespace_processed_total{ns="0"}`,
+		`vif_namespace_epc_share_bytes{ns="0"}`,
+		"# TYPE vif_stage_latency_ns histogram",
+		`vif_stage_latency_ns_bucket{shard="0",stage="verdict"`,
+		`vif_stage_latency_ns_count{shard="1",stage="charge"}`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+}
+
+func TestEngineRejectsMismatchedTelemetry(t *testing.T) {
+	set := testRules(t, 8)
+	tel := telemetry.New(telemetry.Config{Shards: 3})
+	if _, err := New(Config{Filters: testFilters(t, set, 2), Telemetry: tel}); err == nil {
+		t.Fatal("engine accepted telemetry sized for the wrong shard count")
+	}
+}
+
+func TestEngineAttachDetachJournaled(t *testing.T) {
+	tel := telemetry.New(telemetry.Config{Shards: 2, TraceEvery: -1})
+	eng, err := New(Config{Shards: 2, EPCBytes: 1 << 26, Telemetry: tel})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Start(); err != nil {
+		t.Fatal(err)
+	}
+	set := nsTestRules(t, 16, "192.0.2.0/24", 1)
+	ns, _ := attachVictim(t, eng, set)
+	if _, err := eng.DetachNamespace(ns); err != nil {
+		t.Fatal(err)
+	}
+	eng.Stop()
+	evs := tel.Journal().Events()
+	if !hasEvent(evs, telemetry.EvAttach, ns) {
+		t.Error("journal missing ns_attach")
+	}
+	if !hasEvent(evs, telemetry.EvDetach, ns) {
+		t.Error("journal missing ns_detach")
+	}
+	if !hasEvent(evs, telemetry.EvEPCRebalance, -1) {
+		t.Error("journal missing epc_rebalance")
+	}
+}
+
+func TestEngineBackpressureJournaled(t *testing.T) {
+	set := testRules(t, 8)
+	tel := telemetry.New(telemetry.Config{Shards: 1, TraceEvery: -1})
+	eng, err := New(Config{Filters: testFilters(t, set, 1), RingSize: 64, Telemetry: tel})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Start(); err != nil {
+		t.Fatal(err)
+	}
+	// Flood far past the tiny ring so some enqueues must fail.
+	descs := testDescriptors(t, set, 8192)
+	for i := 0; i < 64; i++ {
+		eng.InjectBatch(descs)
+	}
+	eng.WaitDrained()
+	if eng.Metrics().Backpressure == 0 {
+		t.Skip("flood never overflowed the ring on this machine")
+	}
+	if !hasEvent(tel.Journal().Events(), telemetry.EvBackpressureOn, -1) {
+		t.Error("journal missing backpressure_on despite backpressure drops")
+	}
+	// The worker clears the episode when it finds the ring drained.
+	deadline := time.Now().Add(2 * time.Second)
+	for !hasEvent(tel.Journal().Events(), telemetry.EvBackpressureOff, -1) {
+		if time.Now().After(deadline) {
+			t.Error("journal missing backpressure_off after drain")
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	eng.Stop()
+}
+
+// TestEngineTelemetryOffIsInert pins the disabled path: no telemetry, no
+// events, no traces, no recorder writes — and everything still works.
+func TestEngineTelemetryOffIsInert(t *testing.T) {
+	set := testRules(t, 16)
+	eng, err := New(Config{Filters: testFilters(t, set, 2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eng.Telemetry() != nil {
+		t.Fatal("engine invented a telemetry registry")
+	}
+	if err := eng.Start(); err != nil {
+		t.Fatal(err)
+	}
+	eng.InjectBatch(testDescriptors(t, set, 1024))
+	eng.WaitDrained()
+	eng.Stop()
+	m := eng.Metrics()
+	if m.Processed == 0 {
+		t.Fatal("engine without telemetry processed nothing")
+	}
+}

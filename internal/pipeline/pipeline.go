@@ -8,6 +8,7 @@ import (
 
 	"github.com/innetworkfiltering/vif/internal/filter"
 	"github.com/innetworkfiltering/vif/internal/packet"
+	"github.com/innetworkfiltering/vif/internal/telemetry"
 )
 
 // DefaultBatch is the per-poll batch size, matching DPDK's conventional
@@ -285,6 +286,25 @@ func (p *Pipeline) WaitDrained() {
 			return
 		}
 		runtime.Gosched()
+	}
+}
+
+// Collect publishes the pipeline's counters as telemetry metric families,
+// so the serial Figure-6 pipeline can register on a telemetry.Server
+// exactly like the engine does (telemetry.Telemetry.Register).
+func (p *Pipeline) Collect() []telemetry.Metric {
+	c := p.Counters()
+	counter := func(name, help string, v uint64) telemetry.Metric {
+		return telemetry.Metric{
+			Name: name, Help: help, Type: telemetry.Counter,
+			Samples: []telemetry.Sample{{Value: float64(v)}},
+		}
+	}
+	return []telemetry.Metric{
+		counter("vif_pipeline_rx_packets_total", "Frames accepted by Inject.", c.RxPackets),
+		counter("vif_pipeline_rx_dropped_total", "Frames dropped at RX (pool/ring exhaustion, parse).", c.RxDropped),
+		counter("vif_pipeline_tx_packets_total", "Frames delivered to the sink.", c.TxPackets),
+		counter("vif_pipeline_filtered_total", "Frames dropped by filter verdict.", c.Filtered),
 	}
 }
 

@@ -1,0 +1,45 @@
+// Package telemetry is the engine's zero-dependency observability layer:
+// per-shard stage-latency histograms sampled off the hot path, a bounded
+// lock-free journal of structured control-plane events, 1-in-N sampled
+// packet traces, and an HTTP server exposing all of it as Prometheus text
+// (/metrics), JSONL (/events, /traces), and the standard Go profiling
+// endpoints (/debug/pprof). The engine imports telemetry — never the
+// reverse — so packages telemetry cannot see (engine, pipeline) publish
+// their counters by registering a Collector that returns neutral Metric
+// families.
+//
+// # Concurrency contract
+//
+//   - Hist.Record is one atomic add; any number of recorders may write a
+//     histogram while any number of readers Snapshot it. Snapshots are
+//     per-bucket-atomic (a concurrent snapshot may split a burst across
+//     buckets, never corrupt a count).
+//   - StageRecorder is single-thread: each hot-path goroutine holds its
+//     own (the shard worker one, the filter it drives another). Recorders
+//     of one shard share that shard's padded ShardStages block; the only
+//     cross-thread writes are the atomic histogram adds. A nil recorder
+//     records nothing, so call sites carry no enabled/disabled branch.
+//   - Journal.Emit is wait-free for writers (one atomic add + one atomic
+//     store) and safe from any goroutine; Events reconstructs the newest
+//     window without blocking writers.
+//   - Tracer: producers Publish with pool-local sampling counters (no
+//     shared write on unsampled batches); workers pay one atomic load per
+//     burst (Outstanding) unless a trace is pending. Claim hands each
+//     Pending to exactly one worker via CompareAndSwap.
+//   - Telemetry.Register may race Gather; the collector list is
+//     mutex-guarded. Collect implementations must be safe to call from
+//     the scrape goroutine while the engine runs.
+//
+// # Invariants
+//
+//   - A histogram's bucket counts only grow; Snapshot sums equal the
+//     number of Record calls observed.
+//   - The journal retains at most Cap() events — the newest ones; Seq is
+//     dense and strictly increasing across Emit calls.
+//   - Every completed Trace carries the full inject → route → enqueue →
+//     dequeue → verdict timestamp chain, in nondecreasing order.
+//   - Telemetry never blocks, allocates on, or adds more than the costs
+//     above to the engine hot path; the bench gate
+//     telemetry_overhead_ge_097 (scripts/bench_engine.sh) enforces that
+//     enabling it keeps wall throughput within 3% of telemetry-off.
+package telemetry

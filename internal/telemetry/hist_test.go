@@ -1,0 +1,224 @@
+package telemetry
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// naiveBucketOf is the reference implementation the property test checks
+// bucketOf against: linear scan for the first bucket whose inclusive upper
+// bound (BucketUpper) reaches the value.
+func naiveBucketOf(d time.Duration) int {
+	if d <= 0 {
+		return 0
+	}
+	for i := 1; i < NumBuckets-1; i++ {
+		if uint64(d) <= BucketUpper(i) {
+			return i
+		}
+	}
+	return NumBuckets - 1
+}
+
+func TestBucketOfMatchesNaiveReference(t *testing.T) {
+	// Every power-of-two boundary, its neighbors, and the edge cases.
+	cases := []time.Duration{-5, -1, 0, 1, 2, 3}
+	for k := 1; k < 64; k++ {
+		v := time.Duration(1) << uint(k)
+		cases = append(cases, v-1, v, v+1)
+	}
+	for _, d := range cases {
+		if got, want := bucketOf(d), naiveBucketOf(d); got != want {
+			t.Errorf("bucketOf(%d) = %d, want %d", d, got, want)
+		}
+	}
+}
+
+func TestBucketUpperSemantics(t *testing.T) {
+	// Bucket 0 holds exactly 0ns; bucket i holds (BucketUpper(i-1),
+	// BucketUpper(i)] — i.e. [2^(i-1), 2^i).
+	if BucketUpper(0) != 0 {
+		t.Errorf("BucketUpper(0) = %d, want 0", BucketUpper(0))
+	}
+	for i := 1; i < NumBuckets; i++ {
+		lo := time.Duration(BucketUpper(i-1) + 1)
+		hi := time.Duration(BucketUpper(i))
+		if got := bucketOf(lo); got != i {
+			t.Errorf("bucketOf(lower edge %d) = %d, want %d", lo, got, i)
+		}
+		if i < NumBuckets-1 {
+			if got := bucketOf(hi); got != i {
+				t.Errorf("bucketOf(upper edge %d) = %d, want %d", hi, got, i)
+			}
+		}
+	}
+	// Beyond the last finite boundary everything clamps to the last bucket.
+	if got := bucketOf(time.Duration(1) << 62); got != NumBuckets-1 {
+		t.Errorf("huge duration bucket = %d, want %d", got, NumBuckets-1)
+	}
+}
+
+func TestHistSnapshot(t *testing.T) {
+	var h Hist
+	obs := []time.Duration{0, 1, 1, 2, 3, 4, 1000, time.Second}
+	for _, d := range obs {
+		h.Record(d)
+	}
+	s := h.Snapshot()
+	if s.Count != uint64(len(obs)) {
+		t.Fatalf("Count = %d, want %d", s.Count, len(obs))
+	}
+	want := map[int]uint64{}
+	for _, d := range obs {
+		want[naiveBucketOf(d)]++
+	}
+	for i, c := range s.Buckets {
+		if c != want[i] {
+			t.Errorf("bucket %d = %d, want %d", i, c, want[i])
+		}
+	}
+	if s.SumNS == 0 {
+		t.Error("SumNS = 0 after nonzero observations")
+	}
+}
+
+func TestHistSnapshotMerge(t *testing.T) {
+	var a, b Hist
+	a.Record(1)
+	a.Record(100)
+	b.Record(100)
+	b.Record(1 << 20)
+	sa, sb := a.Snapshot(), b.Snapshot()
+	wantSum := sa.SumNS + sb.SumNS
+	sa.Merge(sb)
+	if sa.Count != 4 {
+		t.Errorf("merged Count = %d, want 4", sa.Count)
+	}
+	if sa.SumNS != wantSum {
+		t.Errorf("merged SumNS = %d, want %d", sa.SumNS, wantSum)
+	}
+	if got := sa.Buckets[naiveBucketOf(100)]; got != 2 {
+		t.Errorf("merged bucket for 100ns = %d, want 2", got)
+	}
+}
+
+// TestHistConcurrentRecorders hammers one histogram from many goroutines
+// while a reader snapshots concurrently; run under -race this is the
+// lock-freedom proof, and the final count must be exact.
+func TestHistConcurrentRecorders(t *testing.T) {
+	const (
+		workers = 8
+		each    = 10000
+	)
+	var h Hist
+	stop := make(chan struct{})
+	var readers sync.WaitGroup
+	readers.Add(1)
+	go func() {
+		defer readers.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				s := h.Snapshot()
+				var n uint64
+				for _, c := range s.Buckets {
+					n += c
+				}
+				if n != s.Count {
+					t.Error("snapshot buckets do not sum to Count")
+					return
+				}
+			}
+		}
+	}()
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				h.Record(time.Duration(w*each + i))
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(stop)
+	readers.Wait()
+	if s := h.Snapshot(); s.Count != workers*each {
+		t.Fatalf("final Count = %d, want %d", s.Count, workers*each)
+	}
+}
+
+func TestStageRecorderSampling(t *testing.T) {
+	tel := New(Config{Shards: 1, SampleEvery: 4})
+	r := tel.Recorder(0)
+	sampled := 0
+	for i := 0; i < 64; i++ {
+		if r.Sample() {
+			sampled++
+			r.Record(StageVerdict, 10)
+		}
+	}
+	if sampled != 16 {
+		t.Errorf("sampled %d of 64 bursts at 1-in-4, want 16", sampled)
+	}
+	snap := tel.StageSnapshot()[0]
+	if snap[StageVerdict].Count != uint64(sampled) {
+		t.Errorf("verdict histogram count = %d, want %d", snap[StageVerdict].Count, sampled)
+	}
+}
+
+func TestStageRecorderNil(t *testing.T) {
+	var r *StageRecorder
+	if r.Sample() {
+		t.Error("nil recorder sampled")
+	}
+	r.Record(StageFlush, time.Second) // must not panic
+
+	var tel *Telemetry
+	if tel.Recorder(0) != nil {
+		t.Error("nil telemetry returned a recorder")
+	}
+	if tel.Shards() != 0 || tel.StageSnapshot() != nil {
+		t.Error("nil telemetry not inert")
+	}
+}
+
+// TestSharedBlockTwoRecorders models the real layout: the engine worker and
+// the filter it drives each hold a recorder over the same shard block.
+func TestSharedBlockTwoRecorders(t *testing.T) {
+	tel := New(Config{Shards: 2, SampleEvery: 1})
+	worker := tel.Recorder(1)
+	filt := tel.Recorder(1)
+	for i := 0; i < 10; i++ {
+		if worker.Sample() {
+			worker.Record(StageFlush, 5)
+		}
+		if filt.Sample() {
+			filt.Record(StageVerdict, 7)
+			filt.Record(StageCharge, 3)
+		}
+	}
+	snap := tel.StageSnapshot()
+	if snap[1][StageFlush].Count != 10 || snap[1][StageVerdict].Count != 10 || snap[1][StageCharge].Count != 10 {
+		t.Errorf("shared block counts = %+v, want 10 each", snap[1])
+	}
+	// Shard 0 untouched.
+	for st, h := range snap[0] {
+		if h.Count != 0 {
+			t.Errorf("shard 0 stage %d count = %d, want 0", st, h.Count)
+		}
+	}
+}
+
+func TestStageString(t *testing.T) {
+	if StageDequeueWait.String() != "dequeue_wait" || StageFlush.String() != "flush" {
+		t.Error("stage names wrong")
+	}
+	if Stage(99).String() != "unknown" {
+		t.Error("out-of-range stage not unknown")
+	}
+}

@@ -1,0 +1,115 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+	"sync/atomic"
+	"time"
+)
+
+// EventType names a structured control-plane event.
+type EventType string
+
+// Event types emitted by the engine, session, and cluster layers. The set
+// is open — the journal stores whatever it is given — but these are the
+// ones the runtime emits and docs/OBSERVABILITY.md documents.
+const (
+	EvEngineStart      EventType = "engine_start"
+	EvEngineStop       EventType = "engine_stop"
+	EvEpochSeal        EventType = "epoch_seal"
+	EvAttach           EventType = "ns_attach"
+	EvDetach           EventType = "ns_detach"
+	EvReconfigure      EventType = "ns_reconfigure"
+	EvReconfigureDelta EventType = "ns_reconfigure_delta"
+	EvEPCRebalance     EventType = "epc_rebalance"
+	EvAuditPass        EventType = "audit_pass"
+	EvAuditFail        EventType = "audit_fail"
+	EvBackpressureOn   EventType = "backpressure_on"
+	EvBackpressureOff  EventType = "backpressure_off"
+)
+
+// Event is one journal entry. NS and Shard are -1 when the event is not
+// scoped to a namespace or shard. Seq and Time are stamped by Emit.
+type Event struct {
+	Seq    uint64    `json:"seq"`
+	Time   time.Time `json:"time"`
+	Type   EventType `json:"type"`
+	NS     int       `json:"ns"`
+	Shard  int       `json:"shard"`
+	Detail string    `json:"detail,omitempty"`
+}
+
+// Journal is a bounded lock-free ring of recent events. Writers claim a
+// sequence number with one atomic add and publish the event pointer with
+// one atomic store; an old event in the reused slot is simply overwritten,
+// which is the retention policy: the journal keeps the newest `size`
+// events and nothing else. Readers reconstruct the current window without
+// blocking writers.
+type Journal struct {
+	mask  uint64
+	seq   atomic.Uint64
+	slots []atomic.Pointer[Event]
+}
+
+// NewJournal creates a journal retaining at least size events (rounded up
+// to a power of two, minimum 16).
+func NewJournal(size int) *Journal {
+	n := ceilPow2(size, 16)
+	return &Journal{mask: uint64(n - 1), slots: make([]atomic.Pointer[Event], n)}
+}
+
+// Cap returns the retention bound.
+func (j *Journal) Cap() int { return len(j.slots) }
+
+// Emit stamps the event with a sequence number and wall-clock time and
+// publishes it. Safe from any goroutine; a nil journal drops the event.
+func (j *Journal) Emit(e Event) {
+	if j == nil {
+		return
+	}
+	e.Seq = j.seq.Add(1)
+	e.Time = time.Now()
+	ev := e
+	j.slots[e.Seq&j.mask].Store(&ev)
+}
+
+// Events returns the retained window in sequence order (oldest first). The
+// view may miss an event being published concurrently — it is a monitoring
+// read, not a barrier.
+func (j *Journal) Events() []Event {
+	if j == nil {
+		return nil
+	}
+	out := make([]Event, 0, len(j.slots))
+	for i := range j.slots {
+		if p := j.slots[i].Load(); p != nil {
+			out = append(out, *p)
+		}
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].Seq < out[b].Seq })
+	return out
+}
+
+// WriteJSONL streams the retained window as one JSON object per line.
+func (j *Journal) WriteJSONL(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	for _, e := range j.Events() {
+		if err := enc.Encode(e); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ceilPow2 rounds n up to a power of two, with a floor.
+func ceilPow2(n, floor int) int {
+	if n < floor {
+		n = floor
+	}
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}

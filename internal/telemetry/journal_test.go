@@ -1,0 +1,128 @@
+package telemetry
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestJournalRetentionBound(t *testing.T) {
+	j := NewJournal(16)
+	if j.Cap() != 16 {
+		t.Fatalf("Cap = %d, want 16", j.Cap())
+	}
+	const emitted = 100
+	for i := 0; i < emitted; i++ {
+		j.Emit(Event{Type: EvEpochSeal, NS: i, Shard: -1})
+	}
+	evs := j.Events()
+	if len(evs) != 16 {
+		t.Fatalf("retained %d events, want 16", len(evs))
+	}
+	// The window is the newest 16, in ascending sequence order.
+	for i, e := range evs {
+		if want := uint64(emitted - 16 + 1 + i); e.Seq != want {
+			t.Errorf("event %d Seq = %d, want %d", i, e.Seq, want)
+		}
+		if i > 0 && evs[i-1].Seq >= e.Seq {
+			t.Errorf("events not strictly ordered at %d", i)
+		}
+	}
+	if evs[len(evs)-1].NS != emitted-1 {
+		t.Errorf("newest event NS = %d, want %d", evs[len(evs)-1].NS, emitted-1)
+	}
+}
+
+func TestJournalSizeRounding(t *testing.T) {
+	if got := NewJournal(0).Cap(); got != 16 {
+		t.Errorf("Cap(0) = %d, want floor 16", got)
+	}
+	if got := NewJournal(100).Cap(); got != 128 {
+		t.Errorf("Cap(100) = %d, want 128", got)
+	}
+}
+
+func TestJournalNilSafe(t *testing.T) {
+	var j *Journal
+	j.Emit(Event{Type: EvEngineStart}) // must not panic
+	if j.Events() != nil {
+		t.Error("nil journal returned events")
+	}
+	var tel *Telemetry
+	tel.Journal().Emit(Event{Type: EvEngineStop}) // full nil chain
+}
+
+func TestJournalJSONL(t *testing.T) {
+	j := NewJournal(16)
+	j.Emit(Event{Type: EvAttach, NS: 3, Shard: -1, Detail: "filters=4"})
+	j.Emit(Event{Type: EvBackpressureOn, NS: -1, Shard: 2})
+	var buf bytes.Buffer
+	if err := j.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var got []Event
+	sc := bufio.NewScanner(&buf)
+	for sc.Scan() {
+		var e Event
+		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+			t.Fatalf("bad JSONL line %q: %v", sc.Text(), err)
+		}
+		got = append(got, e)
+	}
+	if len(got) != 2 {
+		t.Fatalf("decoded %d lines, want 2", len(got))
+	}
+	if got[0].Type != EvAttach || got[0].NS != 3 || got[0].Detail != "filters=4" {
+		t.Errorf("first event round-trip = %+v", got[0])
+	}
+	if got[1].Type != EvBackpressureOn || got[1].Shard != 2 {
+		t.Errorf("second event round-trip = %+v", got[1])
+	}
+	if got[0].Time.IsZero() {
+		t.Error("Emit did not stamp Time")
+	}
+}
+
+func TestJournalConcurrentEmitters(t *testing.T) {
+	j := NewJournal(64)
+	const (
+		workers = 8
+		each    = 500
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				j.Emit(Event{Type: EvEpochSeal, NS: w, Shard: i, Detail: fmt.Sprintf("w%d", w)})
+			}
+		}(w)
+	}
+	// Concurrent readers must never see torn or unordered views.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 200; i++ {
+			evs := j.Events()
+			for k := 1; k < len(evs); k++ {
+				if evs[k-1].Seq >= evs[k].Seq {
+					t.Error("concurrent Events() view unordered")
+					return
+				}
+			}
+		}
+	}()
+	wg.Wait()
+	<-done
+	evs := j.Events()
+	if len(evs) != j.Cap() {
+		t.Fatalf("retained %d, want full window %d", len(evs), j.Cap())
+	}
+	if top := evs[len(evs)-1].Seq; top != workers*each {
+		t.Errorf("newest Seq = %d, want %d", top, workers*each)
+	}
+}

@@ -1,0 +1,164 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// MetricType is the Prometheus metric kind of a Metric.
+type MetricType int
+
+const (
+	Counter MetricType = iota
+	Gauge
+)
+
+func (t MetricType) String() string {
+	if t == Gauge {
+		return "gauge"
+	}
+	return "counter"
+}
+
+// Label is one name="value" pair on a sample.
+type Label struct {
+	Key, Value string
+}
+
+// Sample is one time series of a metric family: a label set and a value.
+type Sample struct {
+	Labels []Label
+	Value  float64
+}
+
+// Metric is one family in the Prometheus text exposition: a name, help
+// string, type, and its samples. Collectors return these so telemetry can
+// render metrics from packages (engine, pipeline) it cannot import.
+type Metric struct {
+	Name    string
+	Help    string
+	Type    MetricType
+	Samples []Sample
+}
+
+// Collector is a source of metric families, snapshotted per scrape.
+type Collector interface {
+	Collect() []Metric
+}
+
+// CollectorFunc adapts a function to the Collector interface.
+type CollectorFunc func() []Metric
+
+func (f CollectorFunc) Collect() []Metric { return f() }
+
+// WriteMetrics renders the full Prometheus text exposition (format 0.0.4):
+// every registered collector's families, then the per-shard stage
+// histograms.
+func (t *Telemetry) WriteMetrics(w io.Writer) error {
+	for _, m := range t.Gather() {
+		if err := writeFamily(w, m); err != nil {
+			return err
+		}
+	}
+	return t.writeStageHistograms(w)
+}
+
+func writeFamily(w io.Writer, m Metric) error {
+	if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n",
+		m.Name, escapeHelp(m.Help), m.Name, m.Type); err != nil {
+		return err
+	}
+	for _, s := range m.Samples {
+		if _, err := fmt.Fprintf(w, "%s%s %s\n",
+			m.Name, renderLabels(s.Labels), formatValue(s.Value)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writeStageHistograms renders vif_stage_latency_ns as one Prometheus
+// histogram per (shard, stage), with cumulative le buckets in nanoseconds.
+// Empty series are skipped so an idle engine scrapes small.
+func (t *Telemetry) writeStageHistograms(w io.Writer) error {
+	snaps := t.StageSnapshot()
+	if len(snaps) == 0 {
+		return nil
+	}
+	const name = "vif_stage_latency_ns"
+	if _, err := fmt.Fprintf(w,
+		"# HELP %s Sampled per-burst stage latency (power-of-two buckets, nanoseconds).\n# TYPE %s histogram\n",
+		name, name); err != nil {
+		return err
+	}
+	for shard, snap := range snaps {
+		for st := 0; st < NumStages; st++ {
+			h := snap[st]
+			if h.Count == 0 {
+				continue
+			}
+			base := fmt.Sprintf(`shard="%d",stage="%s"`, shard, Stage(st))
+			cum := uint64(0)
+			for i := 0; i < NumBuckets; i++ {
+				cum += h.Buckets[i]
+				if h.Buckets[i] == 0 && i != NumBuckets-1 {
+					continue // only emit boundaries that gained counts, plus +Inf
+				}
+				le := strconv.FormatUint(BucketUpper(i), 10)
+				if i == NumBuckets-1 {
+					le = "+Inf"
+				}
+				if _, err := fmt.Fprintf(w, "%s_bucket{%s,le=\"%s\"} %d\n",
+					name, base, le, cum); err != nil {
+					return err
+				}
+			}
+			if _, err := fmt.Fprintf(w, "%s_sum{%s} %d\n%s_count{%s} %d\n",
+				name, base, h.SumNS, name, base, h.Count); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func renderLabels(ls []Label) string {
+	if len(ls) == 0 {
+		return ""
+	}
+	ls = append([]Label(nil), ls...)
+	sort.Slice(ls, func(i, j int) bool { return ls[i].Key < ls[j].Key })
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range ls {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Key)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(l.Value))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func formatValue(v float64) string {
+	if v == float64(int64(v)) {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func escapeLabel(s string) string {
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(s)
+}
+
+func escapeHelp(s string) string {
+	r := strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+	return r.Replace(s)
+}

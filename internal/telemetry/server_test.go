@@ -1,0 +1,173 @@
+package telemetry
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"regexp"
+	"strings"
+	"testing"
+	"time"
+)
+
+// promLine matches one Prometheus text-format sample line:
+// name{label="v",...} value
+var promLine = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? ([0-9eE+.\-]+|[+-]Inf)$`)
+
+// checkPromText asserts every non-comment line of a /metrics body parses as
+// a sample line.
+func checkPromText(t *testing.T, body string) {
+	t.Helper()
+	for _, line := range strings.Split(body, "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if !promLine.MatchString(line) {
+			t.Errorf("invalid exposition line: %q", line)
+		}
+	}
+}
+
+func TestWriteMetricsRendersCollectorsAndHistograms(t *testing.T) {
+	tel := New(Config{Shards: 2, SampleEvery: 1})
+	tel.Register(CollectorFunc(func() []Metric {
+		return []Metric{
+			{Name: "demo_total", Help: "A demo counter.", Type: Counter,
+				Samples: []Sample{
+					{Labels: []Label{{Key: "ns", Value: "0"}}, Value: 3},
+					{Labels: []Label{{Key: "ns", Value: "1"}}, Value: 4.5},
+				}},
+			{Name: "demo_gauge", Help: "Escaped \"help\"\nwith newline.", Type: Gauge,
+				Samples: []Sample{{Value: -1}}},
+		}
+	}))
+	r := tel.Recorder(1)
+	r.Sample()
+	r.Record(StageVerdict, 100)
+	r.Record(StageVerdict, 5000)
+	r.Record(StageCharge, 0)
+
+	var buf bytes.Buffer
+	if err := tel.WriteMetrics(&buf); err != nil {
+		t.Fatal(err)
+	}
+	body := buf.String()
+	checkPromText(t, body)
+	for _, want := range []string{
+		"# TYPE demo_total counter",
+		`demo_total{ns="0"} 3`,
+		`demo_total{ns="1"} 4.5`,
+		"# TYPE demo_gauge gauge",
+		"demo_gauge -1",
+		"# TYPE vif_stage_latency_ns histogram",
+		`vif_stage_latency_ns_bucket{shard="1",stage="verdict",le="127"} 1`,
+		`vif_stage_latency_ns_bucket{shard="1",stage="verdict",le="8191"} 2`,
+		`vif_stage_latency_ns_bucket{shard="1",stage="verdict",le="+Inf"} 2`,
+		`vif_stage_latency_ns_count{shard="1",stage="verdict"} 2`,
+		`vif_stage_latency_ns_bucket{shard="1",stage="charge",le="0"} 1`,
+		`vif_stage_latency_ns_count{shard="1",stage="charge"} 1`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("metrics missing %q:\n%s", want, body)
+		}
+	}
+	// Idle series are skipped: shard 0 recorded nothing.
+	if strings.Contains(body, `shard="0"`) {
+		t.Error("idle shard 0 series rendered")
+	}
+	// Buckets are cumulative and last bucket equals the count.
+	if strings.Contains(body, `stage="flush"`) {
+		t.Error("unrecorded stage rendered")
+	}
+}
+
+func TestServerEndpoints(t *testing.T) {
+	tel := New(Config{Shards: 1, SampleEvery: 1, TraceEvery: 1, JournalSize: 16, TraceBuf: 16})
+	tel.Register(CollectorFunc(func() []Metric {
+		return []Metric{{Name: "up", Help: "Up.", Type: Gauge, Samples: []Sample{{Value: 1}}}}
+	}))
+	rec := tel.Recorder(0)
+	rec.Sample()
+	rec.Record(StageFlush, 42)
+	tel.Journal().Emit(Event{Type: EvEngineStart, NS: -1, Shard: -1, Detail: "shards=1"})
+	tel.Tracer().Complete(Trace{Flow: "f", Verdict: "allow", RulePrio: -1})
+
+	srv, err := NewServer(tel, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	get := func(path string) (string, *http.Response) {
+		t.Helper()
+		resp, err := http.Get("http://" + srv.Addr() + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		b, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatalf("read %s: %v", path, err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		return string(b), resp
+	}
+
+	body, resp := get("/metrics")
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Errorf("metrics Content-Type = %q", ct)
+	}
+	checkPromText(t, body)
+	for _, want := range []string{"up 1", "vif_stage_latency_ns_bucket", `stage="flush"`} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q:\n%s", want, body)
+		}
+	}
+
+	body, resp = get("/events")
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "application/jsonl") {
+		t.Errorf("events Content-Type = %q", ct)
+	}
+	sc := bufio.NewScanner(strings.NewReader(body))
+	found := false
+	for sc.Scan() {
+		var e Event
+		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+			t.Fatalf("bad /events line %q: %v", sc.Text(), err)
+		}
+		if e.Type == EvEngineStart && e.Detail == "shards=1" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("/events missing engine_start:\n%s", body)
+	}
+
+	body, _ = get("/traces")
+	var tc Trace
+	if err := json.Unmarshal([]byte(strings.TrimSpace(body)), &tc); err != nil {
+		t.Fatalf("bad /traces body %q: %v", body, err)
+	}
+	if tc.Verdict != "allow" || tc.RulePrio != -1 {
+		t.Errorf("trace round-trip = %+v", tc)
+	}
+
+	if body, _ = get("/debug/pprof/"); !strings.Contains(body, "goroutine") {
+		t.Errorf("/debug/pprof/ index missing profiles:\n%s", body)
+	}
+
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Closed server refuses new connections (eventually).
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if _, err := http.Get("http://" + srv.Addr() + "/metrics"); err != nil {
+			return
+		}
+	}
+	t.Error("server still serving after Close")
+}

@@ -1,0 +1,135 @@
+package telemetry
+
+import "sync"
+
+// Config sizes a Telemetry instance. Zero values get sane defaults.
+type Config struct {
+	// Shards is the number of per-shard stage-histogram blocks — the
+	// engine's shard count. Minimum 1.
+	Shards int
+	// SampleEvery samples 1-in-N bursts for stage timing (rounded up to a
+	// power of two). Default 64.
+	SampleEvery int
+	// TraceEvery samples 1-in-N inject batches for packet traces (rounded
+	// up to a power of two). Default 4096; < 0 disables tracing.
+	TraceEvery int
+	// JournalSize bounds the event journal. Default 1024.
+	JournalSize int
+	// TraceBuf bounds the completed-trace ring. Default 256.
+	TraceBuf int
+}
+
+// Telemetry is the engine-side observability hub: per-shard stage
+// histograms, the event journal, and the packet tracer, plus a registry
+// of metric collectors (the engine registers its counter snapshot there)
+// for the /metrics endpoint. One Telemetry serves one engine.
+type Telemetry struct {
+	shards  []ShardStages
+	journal *Journal
+	tracer  *Tracer
+	mask    uint64
+
+	mu         sync.Mutex
+	collectors []Collector
+}
+
+// New builds a Telemetry for an engine with cfg.Shards shards.
+func New(cfg Config) *Telemetry {
+	if cfg.Shards < 1 {
+		cfg.Shards = 1
+	}
+	if cfg.SampleEvery <= 0 {
+		cfg.SampleEvery = 64
+	}
+	if cfg.TraceEvery == 0 {
+		cfg.TraceEvery = 4096
+	}
+	if cfg.JournalSize <= 0 {
+		cfg.JournalSize = 1024
+	}
+	if cfg.TraceBuf <= 0 {
+		cfg.TraceBuf = 256
+	}
+	return &Telemetry{
+		shards:  make([]ShardStages, cfg.Shards),
+		journal: NewJournal(cfg.JournalSize),
+		tracer:  NewTracer(cfg.TraceEvery, cfg.TraceBuf),
+		mask:    uint64(ceilPow2(cfg.SampleEvery, 1) - 1),
+	}
+}
+
+// Shards returns the number of per-shard blocks.
+func (t *Telemetry) Shards() int {
+	if t == nil {
+		return 0
+	}
+	return len(t.shards)
+}
+
+// Recorder creates a new single-thread recorder writing shard's block.
+// Each hot-path thread must hold its own recorder; recorders of the same
+// shard share the block, and the block's histogram writes are atomic. A
+// nil Telemetry yields a nil recorder, which records nothing.
+func (t *Telemetry) Recorder(shard int) *StageRecorder {
+	if t == nil || shard < 0 || shard >= len(t.shards) {
+		return nil
+	}
+	return &StageRecorder{stages: &t.shards[shard], mask: t.mask}
+}
+
+// Journal returns the event journal (nil-safe: a nil Telemetry has a nil
+// journal, and Journal.Emit on nil drops events).
+func (t *Telemetry) Journal() *Journal {
+	if t == nil {
+		return nil
+	}
+	return t.journal
+}
+
+// Tracer returns the packet tracer (nil when tracing is disabled).
+func (t *Telemetry) Tracer() *Tracer {
+	if t == nil {
+		return nil
+	}
+	return t.tracer
+}
+
+// StageSnapshot copies every shard's stage histograms.
+func (t *Telemetry) StageSnapshot() []StagesSnapshot {
+	if t == nil {
+		return nil
+	}
+	out := make([]StagesSnapshot, len(t.shards))
+	for i := range t.shards {
+		out[i] = t.shards[i].Snapshot()
+	}
+	return out
+}
+
+// Register adds a metric collector consulted by Gather. The engine
+// registers its counter snapshot; the classic pipeline registers its
+// stage counters.
+func (t *Telemetry) Register(c Collector) {
+	if t == nil || c == nil {
+		return
+	}
+	t.mu.Lock()
+	t.collectors = append(t.collectors, c)
+	t.mu.Unlock()
+}
+
+// Gather collects every registered collector's metrics. The stage
+// histograms are rendered separately by WriteMetrics.
+func (t *Telemetry) Gather() []Metric {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	cs := append([]Collector(nil), t.collectors...)
+	t.mu.Unlock()
+	var out []Metric
+	for _, c := range cs {
+		out = append(out, c.Collect()...)
+	}
+	return out
+}

@@ -1,0 +1,191 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Trace is one completed sampled-packet record: the descriptor's journey
+// from producer injection to worker verdict, with stage timestamps in
+// UnixNano. RulePrio is -1 when no rule matched (default verdict).
+type Trace struct {
+	Flow     string `json:"flow"`
+	NS       int    `json:"ns"`
+	Shard    int    `json:"shard"`
+	Verdict  string `json:"verdict"`
+	Rule     string `json:"rule,omitempty"`
+	RulePrio int32  `json:"rule_prio"`
+
+	InjectNS  int64 `json:"t_inject_ns"`  // entry to InjectBatch
+	RouteNS   int64 `json:"t_route_ns"`   // shard chosen by the balancer
+	EnqueueNS int64 `json:"t_enqueue_ns"` // accepted by the shard ring
+	DequeueNS int64 `json:"t_dequeue_ns"` // pulled by the worker in a burst
+	VerdictNS int64 `json:"t_verdict_ns"` // classified + charged
+}
+
+// Pending is a trace the producer side has started but a worker has not
+// yet completed. The producer fills the identity and producer-side
+// timestamps, then hands it to Tracer.Publish; exactly one worker claims
+// it (Claim) and fills the rest.
+type Pending struct {
+	Hash  uint64
+	Trace Trace
+}
+
+// Tracer samples 1-in-N injected bursts and follows one descriptor of
+// each through the engine. The hot-path contract is asymmetric:
+//
+//   - Producers pay nothing until their (pool-local, non-atomic) sampling
+//     counter fires; a sampled batch allocates one Pending and does one
+//     atomic store + add to publish it.
+//   - Workers pay one atomic load per burst (Outstanding) while no trace
+//     is pending — the common case — and only hash-scan a burst when one
+//     is.
+//
+// Completed traces land in a small mutex-guarded ring: completion is
+// rare (sampled), so a lock there costs nothing measurable.
+type Tracer struct {
+	everyMask   uint64
+	pendingMask uint64
+	pending     []atomic.Pointer[Pending]
+	outstanding atomic.Int64
+
+	mu   sync.Mutex
+	ring []Trace
+	next int
+	full bool
+
+	started   atomic.Uint64 // pendings published
+	completed atomic.Uint64 // traces completed
+}
+
+// NewTracer samples one inject batch in `every` (rounded up to a power of
+// two) and retains the last `buf` completed traces. every <= 0 disables
+// tracing (NewTracer returns nil, and every method tolerates nil).
+func NewTracer(every, buf int) *Tracer {
+	if every <= 0 {
+		return nil
+	}
+	return &Tracer{
+		everyMask:   uint64(ceilPow2(every, 1) - 1),
+		pendingMask: uint64(ceilPow2(64, 64) - 1),
+		pending:     make([]atomic.Pointer[Pending], 64),
+		ring:        make([]Trace, ceilPow2(buf, 16)),
+	}
+}
+
+// SampleMask returns the producer-side sampling mask: sample the batch
+// when localCtr&mask == 0. Producers keep the counter themselves (in
+// pooled scratch) so sampling adds no shared write.
+func (tr *Tracer) SampleMask() (uint64, bool) {
+	if tr == nil {
+		return 0, false
+	}
+	return tr.everyMask, true
+}
+
+// Publish makes a producer-filled Pending visible to workers.
+func (tr *Tracer) Publish(p *Pending) {
+	if tr == nil || p == nil {
+		return
+	}
+	slot := &tr.pending[p.Hash&tr.pendingMask]
+	if old := slot.Swap(p); old == nil {
+		tr.outstanding.Add(1)
+	}
+	tr.started.Add(1)
+}
+
+// Outstanding reports whether any pending trace awaits a worker. One
+// atomic load — the only per-burst cost tracing adds to workers.
+func (tr *Tracer) Outstanding() bool {
+	return tr != nil && tr.outstanding.Load() > 0
+}
+
+// Claim removes and returns the pending trace for a flow hash routed to
+// this shard, or nil. Exactly one worker wins a given Pending.
+func (tr *Tracer) Claim(hash uint64, shard int) *Pending {
+	if tr == nil {
+		return nil
+	}
+	slot := &tr.pending[hash&tr.pendingMask]
+	p := slot.Load()
+	if p == nil || p.Hash != hash || p.Trace.Shard != shard {
+		return nil
+	}
+	if !slot.CompareAndSwap(p, nil) {
+		return nil
+	}
+	tr.outstanding.Add(-1)
+	return p
+}
+
+// Abandon drops a published Pending that will never reach a worker (its
+// descriptor was dropped before the ring). Unpublished Pendings are just
+// garbage-collected; only published ones hold an outstanding count.
+func (tr *Tracer) Abandon(p *Pending) {
+	if tr == nil || p == nil {
+		return
+	}
+	slot := &tr.pending[p.Hash&tr.pendingMask]
+	if slot.CompareAndSwap(p, nil) {
+		tr.outstanding.Add(-1)
+	}
+}
+
+// Complete records a finished trace.
+func (tr *Tracer) Complete(t Trace) {
+	if tr == nil {
+		return
+	}
+	tr.completed.Add(1)
+	tr.mu.Lock()
+	tr.ring[tr.next] = t
+	tr.next++
+	if tr.next == len(tr.ring) {
+		tr.next = 0
+		tr.full = true
+	}
+	tr.mu.Unlock()
+}
+
+// Traces returns the retained completed traces, oldest first.
+func (tr *Tracer) Traces() []Trace {
+	if tr == nil {
+		return nil
+	}
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	if !tr.full {
+		return append([]Trace(nil), tr.ring[:tr.next]...)
+	}
+	out := make([]Trace, 0, len(tr.ring))
+	out = append(out, tr.ring[tr.next:]...)
+	out = append(out, tr.ring[:tr.next]...)
+	return out
+}
+
+// Counts reports how many traces were started and completed.
+func (tr *Tracer) Counts() (started, completed uint64) {
+	if tr == nil {
+		return 0, 0
+	}
+	return tr.started.Load(), tr.completed.Load()
+}
+
+// WriteJSONL streams the retained traces as one JSON object per line.
+func (tr *Tracer) WriteJSONL(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	for _, t := range tr.Traces() {
+		if err := enc.Encode(t); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Now returns the current time as UnixNano, the trace timestamp unit.
+func Now() int64 { return time.Now().UnixNano() }

@@ -1,0 +1,170 @@
+package telemetry
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+func TestTracerLifecycle(t *testing.T) {
+	tr := NewTracer(1, 16)
+	if mask, ok := tr.SampleMask(); !ok || mask != 0 {
+		t.Fatalf("SampleMask = %d, %t; want 0, true (every batch)", mask, ok)
+	}
+	p := &Pending{Hash: 0xdeadbeef, Trace: Trace{Flow: "f", NS: 1, Shard: 2, InjectNS: 10, RouteNS: 20, EnqueueNS: 30}}
+	if tr.Outstanding() {
+		t.Fatal("outstanding before publish")
+	}
+	tr.Publish(p)
+	if !tr.Outstanding() {
+		t.Fatal("not outstanding after publish")
+	}
+	// Wrong shard or wrong hash must not claim.
+	if tr.Claim(0xdeadbeef, 3) != nil {
+		t.Fatal("claimed with wrong shard")
+	}
+	if tr.Claim(0xbeef, 2) != nil {
+		t.Fatal("claimed with wrong hash")
+	}
+	got := tr.Claim(0xdeadbeef, 2)
+	if got != p {
+		t.Fatal("right (hash, shard) did not claim the pending")
+	}
+	if tr.Outstanding() {
+		t.Fatal("still outstanding after claim")
+	}
+	if tr.Claim(0xdeadbeef, 2) != nil {
+		t.Fatal("double claim succeeded")
+	}
+	got.Trace.DequeueNS = 40
+	got.Trace.VerdictNS = 50
+	got.Trace.Verdict = "allow"
+	tr.Complete(got.Trace)
+	started, completed := tr.Counts()
+	if started != 1 || completed != 1 {
+		t.Fatalf("Counts = %d, %d; want 1, 1", started, completed)
+	}
+	ts := tr.Traces()
+	if len(ts) != 1 || ts[0].Verdict != "allow" || ts[0].VerdictNS != 50 {
+		t.Fatalf("Traces = %+v", ts)
+	}
+}
+
+func TestTracerAbandon(t *testing.T) {
+	tr := NewTracer(4, 16)
+	p := &Pending{Hash: 7, Trace: Trace{Shard: 0}}
+	tr.Publish(p)
+	tr.Abandon(p)
+	if tr.Outstanding() {
+		t.Fatal("outstanding after abandon")
+	}
+	// Abandoning twice, or abandoning something never published, is a no-op.
+	tr.Abandon(p)
+	tr.Abandon(&Pending{Hash: 9})
+	if tr.Outstanding() {
+		t.Fatal("abandon corrupted the outstanding count")
+	}
+}
+
+func TestTracerSlotCollision(t *testing.T) {
+	tr := NewTracer(1, 16)
+	// Two pendings hashing to the same slot: the newer one wins the slot,
+	// the older becomes unclaimable garbage, and the outstanding count
+	// still drops to zero after one claim.
+	a := &Pending{Hash: 5, Trace: Trace{Shard: 0}}
+	b := &Pending{Hash: 5 + 64, Trace: Trace{Shard: 1}} // same slot (64 slots)
+	tr.Publish(a)
+	tr.Publish(b)
+	if tr.Claim(5, 0) != nil {
+		t.Fatal("claimed the overwritten pending")
+	}
+	if got := tr.Claim(5+64, 1); got != b {
+		t.Fatal("newest pending not claimable")
+	}
+	if tr.Outstanding() {
+		t.Fatal("outstanding leaked after slot collision")
+	}
+}
+
+func TestTracerRingWrap(t *testing.T) {
+	tr := NewTracer(1, 16) // ring rounds to 16
+	const total = 40
+	for i := 0; i < total; i++ {
+		tr.Complete(Trace{NS: i})
+	}
+	ts := tr.Traces()
+	if len(ts) != 16 {
+		t.Fatalf("retained %d traces, want 16", len(ts))
+	}
+	for i, tc := range ts {
+		if want := total - 16 + i; tc.NS != want {
+			t.Errorf("trace %d NS = %d, want %d (oldest first)", i, tc.NS, want)
+		}
+	}
+}
+
+func TestTracerDisabled(t *testing.T) {
+	for _, every := range []int{0, -1} {
+		if NewTracer(every, 16) != nil {
+			t.Fatalf("NewTracer(%d) != nil", every)
+		}
+	}
+	var tr *Tracer
+	if _, ok := tr.SampleMask(); ok {
+		t.Error("nil tracer samples")
+	}
+	tr.Publish(&Pending{})
+	tr.Abandon(&Pending{})
+	tr.Complete(Trace{})
+	if tr.Outstanding() || tr.Claim(0, 0) != nil || tr.Traces() != nil {
+		t.Error("nil tracer not inert")
+	}
+	if s, c := tr.Counts(); s != 0 || c != 0 {
+		t.Error("nil tracer counts nonzero")
+	}
+}
+
+func TestTracerJSONL(t *testing.T) {
+	tr := NewTracer(1, 16)
+	tr.Complete(Trace{Flow: "10.0.0.1:1 > 192.0.2.1:53 udp", NS: 0, Shard: 1,
+		Verdict: "drop", Rule: "rule", RulePrio: 2,
+		InjectNS: 1, RouteNS: 2, EnqueueNS: 3, DequeueNS: 4, VerdictNS: 5})
+	var buf bytes.Buffer
+	if err := tr.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(&buf)
+	n := 0
+	for sc.Scan() {
+		var tc Trace
+		if err := json.Unmarshal(sc.Bytes(), &tc); err != nil {
+			t.Fatalf("bad trace JSONL %q: %v", sc.Text(), err)
+		}
+		if tc.Verdict != "drop" || tc.RulePrio != 2 || tc.VerdictNS != 5 {
+			t.Errorf("trace round-trip = %+v", tc)
+		}
+		n++
+	}
+	if n != 1 {
+		t.Fatalf("decoded %d lines, want 1", n)
+	}
+}
+
+func TestTracerSamplingMaskRounding(t *testing.T) {
+	tr := NewTracer(1000, 16) // rounds to 1024
+	mask, ok := tr.SampleMask()
+	if !ok || mask != 1023 {
+		t.Fatalf("mask = %d, %t; want 1023, true", mask, ok)
+	}
+	// The mask is how producers sample: ctr&mask == 0 fires once per 1024.
+	fired := 0
+	for ctr := uint64(1); ctr <= 4096; ctr++ {
+		if ctr&mask == 0 {
+			fired++
+		}
+	}
+	if fired != 4 {
+		t.Errorf("mask fired %d times in 4096, want 4", fired)
+	}
+}

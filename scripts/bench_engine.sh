@@ -13,6 +13,8 @@
 #   BENCHTIME=500000x scripts/bench_engine.sh # longer runs
 #   ONLY=multivictim scripts/bench_engine.sh  # just the namespace gate
 #                                             # (make bench-multivictim)
+#   ONLY=telemetry scripts/bench_engine.sh    # just the telemetry gate
+#                                             # (make bench-telemetry)
 #
 # Two quantities are recorded per shard count and must not be confused:
 #
@@ -42,6 +44,22 @@
 #                       a per-burst view load plus 2-byte compares, so if
 #                       this gate trips, dispatch has leaked onto the
 #                       per-packet path.
+#   telemetry_overhead_ge_097
+#                       wall Mpps with the observability plane attached at
+#                       its production defaults (1-in-64 stage sampling,
+#                       1-in-4096 packet traces, journal on) must stay
+#                       >= 0.97x the telemetry-off figure on the same
+#                       2-shard workload. Enforced always: per packet,
+#                       telemetry costs a handful of nil checks, one local
+#                       counter increment per burst, and one atomic load
+#                       per burst — none of which depends on host
+#                       parallelism. The 0.03 allowance is measurement
+#                       noise, not a budget to spend. Each side runs
+#                       TELEMETRY_COUNT times (default 3) and the gate
+#                       compares best-of: on a timeslicing 1-CPU host a
+#                       single wall sample swings +-15% on scheduling
+#                       luck, which would drown a 3% gate; peak-vs-peak
+#                       isolates the overhead from the noise.
 #   delta_5x_10k        a ≤1%-of-rules delta reinstall at 10k rules must
 #   delta_5x_25k        be >= 5x faster than the full rebuild at the same
 #                       size (ditto at 25k). Enforced always: the speedup
@@ -64,8 +82,19 @@ else
     pattern='BenchmarkEngine(WallScaling|Inject|MultiVictim)'
 fi
 
-go test -run '^$' -bench "$pattern" \
-    -benchtime "$benchtime" -count 1 . | tee "$tmp"
+: > "$tmp"
+if [ "$only" != "telemetry" ]; then
+    go test -run '^$' -bench "$pattern" \
+        -benchtime "$benchtime" -count 1 . | tee -a "$tmp"
+fi
+
+# The telemetry overhead pair runs with -count so the gate can compare
+# best-of rather than one noisy wall sample per side (see the gate note
+# in the header).
+if [ -z "$only" ] || [ "$only" = "telemetry" ]; then
+    go test -run '^$' -bench 'BenchmarkEngineTelemetry' \
+        -benchtime "$benchtime" -count "${TELEMETRY_COUNT:-3}" . | tee -a "$tmp"
+fi
 
 # The Reconfigure sweeps get their own iteration budgets: a 25k-rule
 # reinstall costs tens of milliseconds, so the packet-scale benchtime
@@ -146,6 +175,12 @@ awk -v benchtime="$benchtime" -v only="$only" '
     rline[rn] = sprintf("    {\"rules\": %.0f, \"ns_per_reconfigure\": %s, \"ms_per_reconfigure\": %.3f}", rules, ns, ns / 1e6)
     fullns[rk] = ns
 }
+/^BenchmarkEngineTelemetryOff/ {
+    for (i = 2; i < NF; i++) if ($(i+1) == "wall-Mpps" && $i + 0 > teloff) teloff = $i + 0
+}
+/^BenchmarkEngineTelemetryOn/ {
+    for (i = 2; i < NF; i++) if ($(i+1) == "wall-Mpps" && $i + 0 > telon) telon = $i + 0
+}
 /^BenchmarkEngineInjectScalar/ {
     for (i = 2; i < NF; i++) if ($(i+1) == "wall-Mpps") scalar = $i
 }
@@ -155,6 +190,18 @@ awk -v benchtime="$benchtime" -v only="$only" '
 END {
     mvratio = (mv[1] > 0 && mv[4] > 0) ? mv[4] / mv[1] : 0
     mvgate = (mvratio >= 0.7) ? "pass" : "FAIL"
+    telratio = (teloff > 0 && telon > 0) ? telon / teloff : 0
+    telgate = (telratio >= 0.97) ? "pass" : "FAIL"
+
+    if (only == "telemetry") {
+        printf "{\n"
+        printf "  \"benchmark\": \"BenchmarkEngineTelemetry\",\n"
+        printf "  \"benchtime\": \"%s\",\n", benchtime
+        printf "  \"telemetry\": {\"off_mpps\": %s, \"on_mpps\": %s, \"on_over_off\": %.3f},\n", teloff, telon, telratio
+        printf "  \"gates\": {\"telemetry_overhead_ge_097\": \"%s\"}\n", telgate
+        printf "}\n"
+        exit
+    }
 
     if (only == "multivictim") {
         printf "{\n"
@@ -202,10 +249,11 @@ END {
     d25gate = (d25 >= 5.0) ? "pass" : "FAIL"
     printf "  \"delta_speedup\": {\"10k\": %.1f, \"25k\": %.1f},\n", d10, d25
     printf "  \"inject\": {\"scalar_mpps\": %s, \"batch_mpps\": %s, \"batch_over_scalar\": %.2f},\n", scalar, batch, injratio
+    printf "  \"telemetry\": {\"off_mpps\": %s, \"on_mpps\": %s, \"on_over_off\": %.3f},\n", teloff, telon, telratio
     printf "  \"wall_scaling_4_over_1\": %.2f,\n", wallscale
     printf "  \"multivictim_4_over_1\": %.2f,\n", mvratio
     printf "  \"aggregate_scaling_8_over_1\": %.2f,\n", aggscale
-    printf "  \"gates\": {\"inject_batch_2x\": \"%s\", \"wall_4_gt_1\": \"%s\", \"multivictim_4_ge_07\": \"%s\", \"delta_5x_10k\": \"%s\", \"delta_5x_25k\": \"%s\"}\n", injgate, wallgate, mvgate, d10gate, d25gate
+    printf "  \"gates\": {\"inject_batch_2x\": \"%s\", \"wall_4_gt_1\": \"%s\", \"multivictim_4_ge_07\": \"%s\", \"telemetry_overhead_ge_097\": \"%s\", \"delta_5x_10k\": \"%s\", \"delta_5x_25k\": \"%s\"}\n", injgate, wallgate, mvgate, telgate, d10gate, d25gate
     printf "}\n"
 }' "$tmp" > "$out"
 

@@ -4,7 +4,8 @@
 # Fails when:
 #   - any internal package is missing a "// Package <name>" comment;
 #   - any of the load-bearing packages (trie, engine, filter, pipeline,
-#     enclave, lb) is missing its dedicated doc.go — the file that states
+#     enclave, lb, telemetry) is missing its dedicated doc.go — the file
+#     that states
 #     the package's role, concurrency contract, and invariants;
 #   - a required docs/ file is gone, or README stopped linking it.
 #
@@ -24,7 +25,7 @@ for dir in internal/*/; do
     fi
 done
 
-for p in trie engine filter pipeline enclave lb; do
+for p in trie engine filter pipeline enclave lb telemetry; do
     if [ ! -f "internal/$p/doc.go" ]; then
         echo "docs-check: internal/$p/doc.go missing (role + concurrency contract + invariants)" >&2
         fail=1
@@ -35,7 +36,7 @@ for p in trie engine filter pipeline enclave lb; do
     fi
 done
 
-for f in docs/ARCHITECTURE.md docs/BENCHMARKS.md; do
+for f in docs/ARCHITECTURE.md docs/BENCHMARKS.md docs/OBSERVABILITY.md; do
     if [ ! -f "$f" ]; then
         echo "docs-check: $f missing" >&2
         fail=1
