@@ -7,12 +7,15 @@
 # `make bench-multivictim` runs just the namespace-scaling slice of the
 # same script; `make bench-telemetry` runs just the observability
 # overhead slice (telemetry-on wall Mpps ≥ 0.97x telemetry-off).
-# `make bench-filter` refreshes BENCH_filter.json, the scalar-vs-batch
-# hot-path comparison (guarded at ≥2x batch speedup).
+# `make bench-filter` refreshes BENCH_filter.json — the scalar-vs-batch
+# hot-path comparison (guarded at ≥2x batch speedup) plus the compiled
+# classifier's rule-count-invariance sweep (100k-rule ns/pkt guarded at
+# ≤2x its own 1k figure, with the trie scan path recorded alongside).
+# `make bench-classify` runs just that flatness slice.
 
 GO ?= go
 
-.PHONY: all build vet test race bench bench-filter bench-multivictim bench-telemetry docs-check
+.PHONY: all build vet test race bench bench-filter bench-classify bench-multivictim bench-telemetry docs-check
 
 all: build vet test docs-check
 
@@ -33,6 +36,9 @@ bench:
 
 bench-filter:
 	./scripts/bench_filter.sh BENCH_filter.json
+
+bench-classify:
+	ONLY=classify ./scripts/bench_filter.sh BENCH_classify.json
 
 bench-multivictim:
 	ONLY=multivictim ./scripts/bench_engine.sh BENCH_multivictim.json

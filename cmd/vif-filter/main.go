@@ -55,6 +55,8 @@ func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("vif-filter", flag.ContinueOnError)
 	var (
 		rulesPath = fs.String("rules", "", "path to rules file (default: built-in demo rules)")
+		ruleShape = fs.String("rule-shape", "", "synthesize the rule set in a named workload shape: "+shapeNames+" (overrides -rules)")
+		ruleCount = fs.Int("rule-count", 1000, "rules to synthesize for -rule-shape")
 		modeStr   = fs.String("mode", "near-zero-copy", "data path: native | full-copy | near-zero-copy")
 		size      = fs.Int("size", 64, "frame size in bytes")
 		duration  = fs.Duration("duration", 2*time.Second, "how long to generate traffic")
@@ -72,7 +74,16 @@ func run(args []string, out io.Writer) error {
 	}
 	oc := obsConfig{metricsAddr: *metrics, statsInterval: *statsIvl}
 
-	set, err := loadRules(*rulesPath)
+	var set *rules.Set
+	var err error
+	if *ruleShape != "" {
+		if *rulesPath != "" {
+			fmt.Fprintln(out, "note: -rule-shape synthesizes the rule set; -rules is ignored")
+		}
+		set, err = shapeRules(*ruleShape, *ruleCount, *seed)
+	} else {
+		set, err = loadRules(*rulesPath)
+	}
 	if err != nil {
 		return err
 	}
@@ -87,8 +98,8 @@ func run(args []string, out io.Writer) error {
 		if *shards == 0 {
 			return fmt.Errorf("-victims %d needs the engine: pass -shards N", *victims)
 		}
-		if *rulesPath != "" {
-			fmt.Fprintln(out, "note: -victims synthesizes one rule set per victim; -rules is ignored")
+		if *rulesPath != "" || *ruleShape != "" {
+			fmt.Fprintln(out, "note: -victims synthesizes one rule set per victim; -rules/-rule-shape are ignored")
 		}
 		if *churn > 0 {
 			fmt.Fprintln(out, "note: -churn applies to the single-victim engine mode; ignored with -victims")
@@ -99,7 +110,7 @@ func run(args []string, out io.Writer) error {
 		return fmt.Errorf("-churn needs the engine: pass -shards N")
 	}
 	if *shards > 0 {
-		return runEngine(out, set, mode, *shards, *producers, *size, *duration, *seed, *churn, *churnN, oc)
+		return runEngine(out, set, mode, *shards, *producers, *size, *duration, *seed, *churn, *churnN, oc, *ruleShape)
 	}
 
 	e, err := enclave.New(enclave.CodeIdentity{
@@ -165,6 +176,9 @@ func run(args []string, out io.Writer) error {
 		pipeline.ThroughputBps(pps, *size)/1e9, *size)
 	fmt.Fprintf(out, "verdicts: allowed %d, dropped %d (rule hits %d, hash evals %d, default %d)\n",
 		st.Allowed, st.Dropped, st.RuleHits, st.Hashed, st.DefaultHits)
+	if *ruleShape != "" {
+		fmt.Fprintf(out, "%s\n", shapeStatsLine(*ruleShape, set.Len(), st))
+	}
 	fmt.Fprintf(out, "modeled enclave time: %.0f ns/pkt; EPC in use: %.1f MB\n",
 		e.VirtualNs()/float64(st.Processed), float64(e.MemoryUsed())/1e6)
 
@@ -320,7 +334,7 @@ func victimBase(set *rules.Set) uint32 {
 // (Engine.ReconfigureNamespaceDelta — applied by the shard workers at
 // batch boundaries, so the data plane never stops), and the reinstall
 // latencies are reported at the end.
-func runEngine(out io.Writer, set *rules.Set, mode filter.CopyMode, n, producers, size int, duration time.Duration, seed int64, churnEvery time.Duration, churnN int, oc obsConfig) error {
+func runEngine(out io.Writer, set *rules.Set, mode filter.CopyMode, n, producers, size int, duration time.Duration, seed int64, churnEvery time.Duration, churnN int, oc obsConfig, ruleShape string) error {
 	filters := make([]*filter.Filter, n)
 	for i := range filters {
 		e, err := enclave.New(enclave.CodeIdentity{
@@ -468,6 +482,20 @@ func runEngine(out io.Writer, set *rules.Set, mode filter.CopyMode, n, producers
 			sm.Shard, sm.Processed, sm.PPS/1e6, sm.Allowed, sm.Dropped, sm.Backpressure, sm.QueueDepth, sm.AvgBatch, sm.NsPerPacket)
 	}
 	fmt.Fprintf(out, "lb drops: %d (balancer discards, before any shard)\n", m.LBDrops)
+	if ruleShape != "" {
+		// Aggregate the per-shard filter counters so shaped engine runs end
+		// with the same comparable verdict line the classic pipeline prints.
+		var agg filter.Stats
+		for _, f := range filters {
+			st := f.Stats()
+			agg.Allowed += st.Allowed
+			agg.Dropped += st.Dropped
+			agg.RuleHits += st.RuleHits
+			agg.ExactHits += st.ExactHits
+			agg.DefaultHits += st.DefaultHits
+		}
+		fmt.Fprintf(out, "%s\n", shapeStatsLine(ruleShape, set.Len(), agg))
+	}
 	if churnCount > 0 {
 		final := 0
 		if f := eng.Filter(0); f != nil {

@@ -91,6 +91,100 @@ func TestRunEndToEnd(t *testing.T) {
 	}
 }
 
+func TestShapeRules(t *testing.T) {
+	for _, shape := range []string{"prefix", "5tuple", "reflection"} {
+		set, err := shapeRules(shape, 300, 1)
+		if err != nil {
+			t.Fatalf("shapeRules(%q): %v", shape, err)
+		}
+		if set.Len() != 300 {
+			t.Errorf("shapeRules(%q) = %d rules, want 300", shape, set.Len())
+		}
+	}
+	if _, err := shapeRules("bogus", 10, 1); err == nil {
+		t.Error("bogus shape accepted")
+	}
+	if _, err := shapeRules("prefix", 0, 1); err == nil {
+		t.Error("zero rule count accepted")
+	}
+}
+
+// TestShapeRulesDistinctGeometry pins what each shape is for: reflection
+// gives every rule its own dst block but shares src prefixes (candidate
+// pile-up on trie nodes), 5tuple constrains every attribute.
+func TestShapeRulesDistinctGeometry(t *testing.T) {
+	refl, err := shapeRules("reflection", 512, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dsts := make(map[uint32]bool)
+	srcs := make(map[uint32]bool)
+	for _, r := range refl.Rules {
+		dsts[r.Dst.Addr] = true
+		srcs[r.Src.Addr] = true
+		if !r.DstPort.IsAny() {
+			t.Fatalf("reflection rule %v constrains dport", r)
+		}
+	}
+	if len(dsts) != 512 {
+		t.Errorf("reflection dst blocks = %d, want 512 unique", len(dsts))
+	}
+	if len(srcs) != 256 {
+		t.Errorf("reflection src vocabulary = %d, want 256", len(srcs))
+	}
+	ft, err := shapeRules("5tuple", 64, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range ft.Rules {
+		if r.Src.Len != 32 || r.Dst.Len != 32 || r.SrcPort.IsAny() || r.DstPort.IsAny() {
+			t.Fatalf("5tuple rule %v leaves an attribute unconstrained", r)
+		}
+	}
+}
+
+func TestRunRuleShapeClassic(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{
+		"-rule-shape", "reflection", "-rule-count", "500", "-duration", "150ms",
+	}, &out); err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	for _, want := range []string{
+		"rules: 500, default allow",
+		"rule-shape reflection: 500 rules; verdicts: allowed ",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("shaped classic output missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestRunRuleShapeEngine(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{
+		"-rule-shape", "prefix", "-rule-count", "200",
+		"-shards", "2", "-producers", "1", "-duration", "150ms",
+	}, &out); err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	if !strings.Contains(text, "rule-shape prefix: 200 rules; verdicts: allowed ") {
+		t.Errorf("shaped engine output missing per-shape verdict line:\n%s", text)
+	}
+}
+
+func TestRunRuleShapeRejected(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-rule-shape", "bogus"}, &out); err == nil {
+		t.Fatal("bogus -rule-shape accepted")
+	}
+	if err := run([]string{"-rule-shape", "prefix", "-rule-count", "0"}, &out); err == nil {
+		t.Fatal("-rule-count 0 accepted")
+	}
+}
+
 func TestRunRejectsBadFlags(t *testing.T) {
 	var out bytes.Buffer
 	if err := run([]string{"-mode", "bogus"}, &out); err == nil {

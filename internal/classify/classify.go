@@ -1,0 +1,469 @@
+package classify
+
+import (
+	"math/bits"
+	"slices"
+
+	"github.com/innetworkfiltering/vif/internal/packet"
+	"github.com/innetworkfiltering/vif/internal/rules"
+)
+
+// Attribute indices. Every attribute is compiled the same way — as a
+// sorted elementary-interval table over uint32 keys — so ports and the
+// protocol byte reuse the address machinery with narrower domains.
+const (
+	attrSrc = iota
+	attrDst
+	attrSrcPort
+	attrDstPort
+	attrProto
+	numAttrs
+)
+
+// sparseMax is the largest per-interval membership stored as a sorted
+// priority list; larger memberships switch to a dense bitset. The sparse
+// representation keeps the common case (a /24 carpet block matched by a
+// handful of rules) at a few cache lines, while dense bitsets bound the
+// worst case (thousands of rules sharing one protocol) at one word-AND
+// per 64 rules.
+const sparseMax = 48
+
+// hotBoundsMax is the largest boundary table whose probe is priced as
+// free in the EPC cost model: at <=16 uint32 bounds the whole table is
+// one cache line that every packet touches, so it never leaves cache —
+// the classifier analog of the trie's always-hot upper levels. Larger
+// tables charge one footprint-dependent reference per probe.
+const hotBoundsMax = 16
+
+// classRef locates one elementary interval's rule membership inside the
+// per-attribute shared arenas: sparse (off into attrTable.sparse, n
+// entries, ascending priorities) when n <= sparseMax, dense (off into
+// attrTable.dense, Program.words words) when n > sparseMax.
+type classRef struct {
+	off uint32
+	n   uint32
+}
+
+func (c classRef) dense() bool { return c.n > sparseMax }
+
+// attrTable is one attribute's compiled range→class table.
+//
+// bounds holds the attribute's live elementary-interval boundaries in
+// ascending order; value v falls in interval upperBound(bounds, v), so
+// there are len(bounds)+1 intervals. boundRef counts, per boundary, how
+// many live rules contribute it — the delta path uses it to detect when a
+// reconfigure changes the interval structure itself (boundary appears or
+// dies) versus merely editing memberships within fixed intervals.
+//
+// Rules that leave the attribute unrestricted ("any") are factored out of
+// the per-interval memberships entirely: they appear once in anyList
+// (ascending priorities) and anyBits (bitset), not once per interval.
+// This keeps compiled size linear in the rule count regardless of how
+// many wildcards the set mixes in.
+type attrTable struct {
+	bounds       []uint32
+	boundRef     []int32
+	refs         []classRef
+	sparse       []int32
+	dense        []uint64
+	anyList      []int32
+	anyBits      []uint64
+	denseClasses int
+}
+
+// Program is an immutable compiled classifier over a rule set. Build it
+// with Compile (or evolve it with Delta, which returns a new Program) and
+// share it freely across readers; Classify never mutates.
+//
+// Priorities are the rule-set order: rule i has priority prios[i]
+// (identity when prios is nil), lower wins. The priority domain may be
+// sparse — survivors of deletions keep their slots — so the bitset width
+// (words) tracks maxPrio, not the live-rule count.
+type Program struct {
+	attrs     [numAttrs]attrTable
+	ruleOf    []int32 // priority -> rule index; -1 for dead slots
+	words     int     // bitset words: ceil((maxPrio+1)/64)
+	liveRules int
+}
+
+// attrRange reports rule r's restriction on attribute a as an inclusive
+// [lo, hi] uint32 range, or any=true when the attribute is unrestricted.
+func attrRange(r *rules.Rule, a int) (lo, hi uint32, any bool) {
+	switch a {
+	case attrSrc:
+		if r.Src.IsAny() {
+			return 0, 0, true
+		}
+		m := r.Src.Mask()
+		base := r.Src.Addr & m
+		return base, base | ^m, false
+	case attrDst:
+		if r.Dst.IsAny() {
+			return 0, 0, true
+		}
+		m := r.Dst.Mask()
+		base := r.Dst.Addr & m
+		return base, base | ^m, false
+	case attrSrcPort:
+		if r.SrcPort.IsAny() {
+			return 0, 0, true
+		}
+		return uint32(r.SrcPort.Lo), uint32(r.SrcPort.Hi), false
+	case attrDstPort:
+		if r.DstPort.IsAny() {
+			return 0, 0, true
+		}
+		return uint32(r.DstPort.Lo), uint32(r.DstPort.Hi), false
+	default: // attrProto
+		if r.Proto == 0 {
+			return 0, 0, true
+		}
+		return uint32(r.Proto), uint32(r.Proto), false
+	}
+}
+
+// upperBound returns the number of elements of b that are <= v, which is
+// also the index of the elementary interval containing v. Branch-light
+// binary search (the loop body compiles to a conditional move).
+func upperBound(b []uint32, v uint32) int {
+	lo, n := 0, len(b)
+	for n > 0 {
+		half := n >> 1
+		if b[lo+half] <= v {
+			lo += half + 1
+			n -= half + 1
+		} else {
+			n = half
+		}
+	}
+	return lo
+}
+
+// span returns the inclusive elementary-interval index range covered by
+// rule range [lo, hi] under the boundary table b.
+func span(b []uint32, lo, hi uint32) (int, int) {
+	return upperBound(b, lo), upperBound(b, hi)
+}
+
+// appendBounds appends rule r's boundary contributions on attribute a:
+// lo (unless 0) and hi+1 (unless the range reaches the domain top).
+// A rule with range [lo, hi] changes the match set exactly at lo and at
+// hi+1; 0 and the domain top are implicit interval edges.
+func appendBounds(vals []uint32, r *rules.Rule, a int) []uint32 {
+	lo, hi, any := attrRange(r, a)
+	if any {
+		return vals
+	}
+	if lo > 0 {
+		vals = append(vals, lo)
+	}
+	if hi != ^uint32(0) {
+		vals = append(vals, hi+1)
+	}
+	return vals
+}
+
+// compileAttr builds one attribute's table from scratch. rs must be in
+// ascending-priority order (prioOf(i) strictly increasing) so that fill
+// order alone leaves every membership list sorted.
+func compileAttr(rs []rules.Rule, prioOf func(int) int32, a, words int) attrTable {
+	vals := make([]uint32, 0, 2*len(rs))
+	for i := range rs {
+		vals = appendBounds(vals, &rs[i], a)
+	}
+	slices.Sort(vals)
+
+	var tb attrTable
+	for i := 0; i < len(vals); {
+		j := i
+		for j < len(vals) && vals[j] == vals[i] {
+			j++
+		}
+		tb.bounds = append(tb.bounds, vals[i])
+		tb.boundRef = append(tb.boundRef, int32(j-i))
+		i = j
+	}
+
+	nIv := len(tb.bounds) + 1
+	counts := make([]uint32, nIv)
+	spans := make([][2]int32, len(rs)) // cached; {-1,-1} marks any
+	anyCount := 0
+	for i := range rs {
+		lo, hi, any := attrRange(&rs[i], a)
+		if any {
+			spans[i] = [2]int32{-1, -1}
+			anyCount++
+			continue
+		}
+		lb, rb := span(tb.bounds, lo, hi)
+		spans[i] = [2]int32{int32(lb), int32(rb)}
+		for j := lb; j <= rb; j++ {
+			counts[j]++
+		}
+	}
+
+	tb.refs = make([]classRef, nIv)
+	sparseTotal := 0
+	for j, n := range counts {
+		if n > sparseMax {
+			tb.refs[j] = classRef{off: uint32(tb.denseClasses * words), n: n}
+			tb.denseClasses++
+		} else {
+			tb.refs[j] = classRef{off: uint32(sparseTotal), n: n}
+			sparseTotal += int(n)
+		}
+	}
+
+	tb.sparse = make([]int32, sparseTotal)
+	if tb.denseClasses > 0 {
+		tb.dense = make([]uint64, tb.denseClasses*words)
+	}
+	if anyCount > 0 {
+		tb.anyList = make([]int32, 0, anyCount)
+		tb.anyBits = make([]uint64, words)
+	}
+	cursor := make([]uint32, nIv)
+	for i := range rs {
+		p := prioOf(i)
+		sp := spans[i]
+		if sp[0] < 0 {
+			tb.anyList = append(tb.anyList, p)
+			tb.anyBits[uint32(p)>>6] |= 1 << (uint32(p) & 63)
+			continue
+		}
+		for j := sp[0]; j <= sp[1]; j++ {
+			ref := tb.refs[j]
+			if ref.dense() {
+				tb.dense[ref.off+uint32(p)>>6] |= 1 << (uint32(p) & 63)
+			} else {
+				tb.sparse[ref.off+cursor[j]] = p
+				cursor[j]++
+			}
+		}
+	}
+	return tb
+}
+
+// Compile builds a Program for rs. prios maps rule index to priority
+// (nil means identity) and must be strictly ascending — the order the
+// filter maintains for survivors-plus-appended-adds. maxPrio is the top
+// of the (possibly sparse) priority domain; all prios are <= maxPrio.
+func Compile(rs []rules.Rule, prios []int32, maxPrio int32) *Program {
+	if len(rs) == 0 {
+		maxPrio = -1
+	}
+	p := &Program{
+		words:     int(maxPrio+64) >> 6,
+		liveRules: len(rs),
+	}
+	prioOf := identityOr(prios)
+	p.ruleOf = make([]int32, int(maxPrio)+1)
+	for i := range p.ruleOf {
+		p.ruleOf[i] = -1
+	}
+	for i := range rs {
+		p.ruleOf[prioOf(i)] = int32(i)
+	}
+	for a := 0; a < numAttrs; a++ {
+		p.attrs[a] = compileAttr(rs, prioOf, a, p.words)
+	}
+	return p
+}
+
+func identityOr(prios []int32) func(int) int32 {
+	if prios == nil {
+		return func(i int) int32 { return int32(i) }
+	}
+	return func(i int) int32 { return prios[i] }
+}
+
+// member reports whether priority pr matches this attribute given the
+// probed class ref, plus a count of memory words touched at the same
+// granularity the trie charged node visits (for the EPC cost model: one
+// per bitset word probed, one per cache line of sparse entries scanned).
+func (tb *attrTable) member(ref classRef, pr int32) (bool, int) {
+	if tb.anyBits != nil && tb.anyBits[uint32(pr)>>6]>>(uint32(pr)&63)&1 != 0 {
+		return true, 1
+	}
+	if ref.dense() {
+		return tb.dense[ref.off+uint32(pr)>>6]>>(uint32(pr)&63)&1 != 0, 1
+	}
+	s := tb.sparse[ref.off : ref.off+ref.n]
+	for i, q := range s {
+		if q >= pr {
+			return q == pr, 1 + i/16
+		}
+	}
+	return false, 1 + len(s)/16
+}
+
+// word assembles bitset word w of this attribute's match set (specific
+// class ∪ any-rules). cursor tracks the sparse scan position across
+// ascending w; entries below the window that were skipped by an early
+// exit in a previous word are discarded, not replayed.
+func (tb *attrTable) word(ref classRef, w int, cursor *int) uint64 {
+	var x uint64
+	if tb.anyBits != nil {
+		x = tb.anyBits[w]
+	}
+	if ref.dense() {
+		return x | tb.dense[int(ref.off)+w]
+	}
+	s := tb.sparse[ref.off : ref.off+ref.n]
+	lo, hi := int32(w)<<6, int32(w+1)<<6
+	for *cursor < len(s) && s[*cursor] < hi {
+		if s[*cursor] >= lo {
+			x |= 1 << (uint32(s[*cursor]) & 63)
+		}
+		*cursor++
+	}
+	return x
+}
+
+// Classify matches t against the compiled rule set. It returns the
+// winning rule's index in the compiled slice and its priority (lowest
+// priority wins, mirroring the linear-scan first-match oracle), plus a
+// count of memory references touched for cost accounting. ok=false means
+// no rule matched.
+//
+// The fast path probes one interval table per attribute (branch-light
+// binary search), picks the attribute with the smallest candidate set as
+// the driver, and membership-tests the driver's candidates in ascending
+// priority order against the other four attributes — so the first hit is
+// the final answer. When even the smallest candidate set is dense the
+// path degrades to a word-wise five-way AND with early exit, bounding the
+// worst case at one word op per attribute per 64 priorities.
+func (p *Program) Classify(t packet.FiveTuple) (rule, prio int32, refs int, ok bool) {
+	keys := [numAttrs]uint32{
+		t.SrcIP, t.DstIP, uint32(t.SrcPort), uint32(t.DstPort), uint32(t.Proto),
+	}
+	var cls [numAttrs]classRef
+	driver, driverScore := 0, int(^uint(0) >> 1)
+	for a := 0; a < numAttrs; a++ {
+		tb := &p.attrs[a]
+		// One ref per probe of a multi-cache-line table — the granularity
+		// the trie charged per node visit; the binary search's intermediate
+		// steps land in the same few lines. Single-line tables are free
+		// (see hotBoundsMax).
+		if len(tb.bounds) > hotBoundsMax {
+			refs++
+		}
+		ref := tb.refs[upperBound(tb.bounds, keys[a])]
+		score := int(ref.n) + len(tb.anyList)
+		if score == 0 {
+			return 0, 0, refs, false
+		}
+		cls[a] = ref
+		if score < driverScore {
+			driver, driverScore = a, score
+		}
+	}
+
+	dtb := &p.attrs[driver]
+	dref := cls[driver]
+	if !dref.dense() {
+		// Sparse driver: merge the driver's specific membership with its
+		// any-list (both ascending) and test candidates lowest-first.
+		spec := dtb.sparse[dref.off : dref.off+dref.n]
+		anyL := dtb.anyList
+		si, ai := 0, 0
+		for si < len(spec) || ai < len(anyL) {
+			var pr int32
+			if ai >= len(anyL) || (si < len(spec) && spec[si] < anyL[ai]) {
+				pr = spec[si]
+				si++
+			} else {
+				pr = anyL[ai]
+				ai++
+			}
+			refs++
+			matched := true
+			for a := 0; a < numAttrs; a++ {
+				if a == driver {
+					continue
+				}
+				m, touched := p.attrs[a].member(cls[a], pr)
+				refs += touched
+				if !m {
+					matched = false
+					break
+				}
+			}
+			if matched {
+				return p.ruleOf[pr], pr, refs, true
+			}
+		}
+		return 0, 0, refs, false
+	}
+
+	// Dense driver: every attribute's candidate set is large — AND the
+	// five match-set bitsets word by word, lowest word first.
+	var cursors [numAttrs]int
+	for w := 0; w < p.words; w++ {
+		x := ^uint64(0)
+		for a := 0; a < numAttrs && x != 0; a++ {
+			x &= p.attrs[a].word(cls[a], w, &cursors[a])
+		}
+		refs += numAttrs
+		if x != 0 {
+			pr := int32(w<<6 + bits.TrailingZeros64(x))
+			return p.ruleOf[pr], pr, refs, true
+		}
+	}
+	return 0, 0, refs, false
+}
+
+// Len reports the number of live rules the program was compiled over.
+func (p *Program) Len() int { return p.liveRules }
+
+const (
+	programOverheadBytes = 192 // Program struct + slice headers, amortized
+	attrOverheadBytes    = 64  // per-attrTable slice headers
+	classRefBytes        = 8
+	prioBytes            = 4
+	boundBytes           = 4
+)
+
+// memoryBytes computes the program's footprint with bitsets priced at w
+// words each. Everything except bitset widths — boundary tables, class
+// counts, membership sizes, sparse/dense representation choices — is a
+// function of the rule set alone, invariant under priority renumbering.
+func (p *Program) memoryBytes(w int) int {
+	total := programOverheadBytes + p.liveRules*prioBytes // ruleOf at dense width
+	for a := 0; a < numAttrs; a++ {
+		tb := &p.attrs[a]
+		total += attrOverheadBytes +
+			len(tb.bounds)*boundBytes +
+			len(tb.boundRef)*prioBytes +
+			len(tb.refs)*classRefBytes +
+			len(tb.sparse)*prioBytes +
+			tb.denseClasses*w*8 +
+			len(tb.anyList)*prioBytes
+		if len(tb.anyList) > 0 {
+			total += w * 8
+		}
+	}
+	return total
+}
+
+// MemoryBytes reports the program's footprint at dense-equivalent bitset
+// width (ceil(liveRules/64) words) — the size an identical rule set
+// compiles to with contiguous priorities. A delta-evolved program over a
+// sparse priority domain reports the same figure as a fresh compile of
+// the same rules, so EPCBudgeter weights and the delta-vs-oracle memory
+// parity the filter tests assert stay exact; the width slack a sparse
+// domain actually retains is RetainedBytes - MemoryBytes and is charged
+// to the EPC meter as slack, exactly like trie snapshot slack.
+func (p *Program) MemoryBytes() int {
+	return p.memoryBytes((p.liveRules + 63) >> 6)
+}
+
+// RetainedBytes reports the bytes actually held live by this program,
+// including bitset width slack from a sparse priority domain and the
+// full ruleOf table.
+func (p *Program) RetainedBytes() int {
+	total := p.memoryBytes(p.words)
+	total += (len(p.ruleOf) - p.liveRules) * prioBytes
+	return total
+}
+

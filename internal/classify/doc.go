@@ -1,0 +1,66 @@
+// Package classify compiles a rule set into a multi-attribute packet
+// classifier whose per-packet cost is flat in the rule count: one
+// elementary-interval table probe per attribute (src addr, dst addr, src
+// port, dst port, protocol) plus an intersection of small per-class
+// candidate sets, lowest priority winning. It is the bit-vector scheme
+// from yanet2's generic filter, adapted to this repo's copy-on-write
+// snapshot discipline.
+//
+// # Role
+//
+// The filter's hot path (internal/filter) used to resolve a packet by
+// walking src-prefix trie levels and then linearly scanning each node's
+// candidate rules with rule.Matches — O(rules-per-node) for rule shapes
+// that share a src prefix (reflection floods keyed by src port, carpet
+// bombing keyed by dst range). A compiled Program replaces that scan:
+// Classify(t) answers exactly what the linear first-match oracle
+// (ascending priority, rules.Rule.Matches) would, at a cost governed by
+// how many rules share a single packet's five attribute classes, not by
+// the rule-set size.
+//
+// Design notes: all five attributes — addresses and ports/proto alike —
+// are compiled through one uniform uint32 interval-table representation
+// rather than reusing the trie arena for addresses; trie node ids are
+// not sound equivalence classes without leaf-pushing, and the uniform
+// table keeps the probe loop branch-light. Per-interval memberships are
+// adaptive: a sorted priority list in a shared arena while small
+// (<= sparseMax), a dense bitset beyond that. Rules leaving an attribute
+// unrestricted are factored into one per-attribute any-list instead of
+// being duplicated into every interval, keeping compiled size linear in
+// the rule count.
+//
+// # Concurrency contract
+//
+// A Program is immutable after Compile returns: Classify performs no
+// writes, so any number of goroutines may classify against the same
+// Program concurrently without synchronization. Reconfiguration is
+// copy-on-write — Delta builds and returns a new Program, sharing only
+// immutable boundary tables with its predecessor, which concurrent
+// readers may still be scanning. The filter swaps Programs through the
+// same atomic ruleView pointer as trie snapshots; Compile/Delta are
+// called from the single writer (the filter thread), never from the
+// packet path.
+//
+// # Invariants
+//
+//   - Compile/Delta require rules in strictly ascending priority order
+//     (the filter's natural order: survivors keep their slots, adds are
+//     appended past the predecessor's MaxPrio). Fill order then keeps
+//     every membership list priority-sorted with no explicit sort.
+//   - Classify returns the lowest-priority matching rule — identical,
+//     priority ties impossible by construction, to scanning the rule
+//     slice in priority order calling Matches.
+//   - A Program evolved by Delta deep-equals a fresh Compile of the same
+//     successor set: per attribute, either the boundary structure
+//     changed (some boundary's refcount appeared or died) and the
+//     attribute recompiles outright, or memberships are patched over the
+//     unchanged interval table to the same arenas a fresh compile would
+//     emit. Past deltaChurnFactor the whole program recompiles.
+//   - MemoryBytes is priority-numbering-invariant: it prices bitsets at
+//     dense-equivalent width (ceil(liveRules/64) words), so a
+//     delta-evolved program over a sparse priority domain reports the
+//     same figure as a fresh compile of the same rules — the EPCBudgeter
+//     weight and the filter's delta-vs-oracle memory parity stay exact.
+//     RetainedBytes reports actual retention; the difference is width
+//     slack charged to the EPC meter like trie snapshot slack.
+package classify

@@ -10,6 +10,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"github.com/innetworkfiltering/vif/internal/classify"
 	"github.com/innetworkfiltering/vif/internal/enclave"
 	"github.com/innetworkfiltering/vif/internal/packet"
 	"github.com/innetworkfiltering/vif/internal/rules"
@@ -154,15 +155,22 @@ type statsCounters struct {
 }
 
 // ruleView bundles everything a lookup consults about the installed rules:
-// the shard, the peer-rule view, and the immutable trie snapshot. It is
-// swapped wholesale with one atomic pointer store, so a reader never sees
-// a shard paired with the wrong lookup table.
+// the shard, the peer-rule view, the immutable trie snapshot (priority
+// allocator and delta lineage), and the compiled multi-attribute
+// classifier that serves the packet path. It is swapped wholesale with
+// one atomic pointer store, so a reader never sees a shard paired with
+// the wrong lookup table.
 type ruleView struct {
 	set     *rules.Set
 	foreign *rules.Set
 	snap    *trie.Snapshot
-	// prios maps set.Rules[i] to its priority in snap. nil means identity
-	// (a full rebuild assigns dense 0..Len-1 priorities); after
+	// prog is the compiled classifier Classify/Decision/Explain/Promote
+	// resolve packets against: one interval-table probe per attribute plus
+	// a bitset intersection, flat in the rule count where the trie's
+	// per-node candidate scans were linear. Immutable, like snap.
+	prog *classify.Program
+	// prios maps set.Rules[i] to its priority in snap and prog. nil means
+	// identity (a full rebuild assigns dense 0..Len-1 priorities); after
 	// ReconfigureDelta priorities are sparse — survivors keep theirs and
 	// adds extend past snap.MaxPrio — so the mapping is explicit.
 	prios []int32
@@ -258,7 +266,11 @@ func New(encl *enclave.Enclave, set *rules.Set, cfg Config) (*Filter, error) {
 		sha:        sha256.New(),
 		shaDigest:  make([]byte, 0, sha256.Size),
 	}
-	f.view.Store(&ruleView{set: set, snap: tbl.Snapshot()})
+	f.view.Store(&ruleView{
+		set:  set,
+		snap: tbl.Snapshot(),
+		prog: classify.Compile(set.Rules, nil, int32(set.Len()-1)),
+	})
 	f.syncMemory()
 	return f, nil
 }
@@ -297,10 +309,13 @@ func (f *Filter) Stats() Stats {
 // structure sizes: lookup table snapshot + learned flows + the two packet
 // logs.
 func (f *Filter) syncMemory() {
-	// RetainedBytes, not MemoryBytes: a delta-built snapshot can carry
+	// RetainedBytes, not MemoryBytes: a delta-built snapshot (and a
+	// delta-evolved classifier over a sparse priority domain) can carry
 	// bounded dead arena slack, and the EPC meter charges what is actually
 	// resident.
-	mem := f.view.Load().snap.RetainedBytes() +
+	view := f.view.Load()
+	mem := view.snap.RetainedBytes() +
+		view.prog.RetainedBytes() +
 		f.exact.memoryBytes() +
 		len(f.pendingQ)*packet.KeySize +
 		f.inLog.MemoryBytes() + f.outLog.MemoryBytes()
@@ -334,7 +349,12 @@ func (f *Filter) Reconfigure(set *rules.Set, foreign *rules.Set) error {
 	f.pendingLen.Store(0)
 	clear(f.pendingSet)
 	f.ruleBytes = make([]uint64, set.Len())
-	f.view.Store(&ruleView{set: set, foreign: foreign, snap: tbl.Snapshot()})
+	f.view.Store(&ruleView{
+		set:     set,
+		foreign: foreign,
+		snap:    tbl.Snapshot(),
+		prog:    classify.Compile(set.Rules, nil, int32(set.Len()-1)),
+	})
 	f.syncMemory()
 	return nil
 }
@@ -342,7 +362,7 @@ func (f *Filter) Reconfigure(set *rules.Set, foreign *rules.Set) error {
 // SetForeign installs only the peer-rule view.
 func (f *Filter) SetForeign(foreign *rules.Set) {
 	v := f.view.Load()
-	f.view.Store(&ruleView{set: v.set, foreign: foreign, snap: v.snap, prios: v.prios})
+	f.view.Store(&ruleView{set: v.set, foreign: foreign, snap: v.snap, prog: v.prog, prios: v.prios})
 }
 
 // Delta is an incremental rule-set change for ReconfigureDelta: Removes
@@ -406,10 +426,12 @@ func (f *Filter) ReconfigureDelta(d Delta) error {
 	}
 	survivors := make([]rules.Rule, 0, view.set.Len()-len(d.Removes)+len(d.Adds))
 	survivorPrios := make([]int32, 0, cap(survivors))
+	removedPrios := make([]int32, 0, len(d.Removes))
 	for i, r := range view.set.Rules {
 		if _, ok := removeIdx[r.ID]; ok {
 			removeIdx[r.ID] = i
 			removes = append(removes, r)
+			removedPrios = append(removedPrios, view.prio(i))
 			continue
 		}
 		survivors = append(survivors, r)
@@ -434,6 +456,7 @@ func (f *Filter) ReconfigureDelta(d Delta) error {
 
 	var (
 		snap      *trie.Snapshot
+		prog      *classify.Program
 		prios     []int32
 		ruleBytes []uint64
 	)
@@ -450,6 +473,7 @@ func (f *Filter) ReconfigureDelta(d Delta) error {
 		}
 		tbl.InsertSet(newSet)
 		snap = tbl.Snapshot()
+		prog = classify.Compile(newSet.Rules, nil, int32(newSet.Len()-1))
 		ruleBytes = make([]uint64, newSet.Len())
 		for i, p := range survivorPrios {
 			ruleBytes[i] = f.ruleBytes[p]
@@ -465,6 +489,17 @@ func (f *Filter) ReconfigureDelta(d Delta) error {
 		for i := range adds {
 			prios[len(survivors)+i] = base + 1 + int32(i)
 		}
+		// The classifier evolves incrementally too: attributes whose
+		// interval structure the delta leaves intact are patched, the rest
+		// recompile; past the churn threshold the whole program recompiles.
+		prog = view.prog.Delta(classify.Delta{
+			Rules:        newSet.Rules,
+			Prios:        prios,
+			MaxPrio:      snap.MaxPrio(),
+			AddStart:     len(survivors),
+			RemovedRules: removes,
+			RemovedPrios: removedPrios,
+		})
 		// Per-rule byte counters: survivors keep their (sparse-prio)
 		// slots, removed slots are zeroed so they can never leak into a
 		// future RuleBytes read, adds start fresh at the end.
@@ -486,7 +521,7 @@ func (f *Filter) ReconfigureDelta(d Delta) error {
 	if d.Foreign != nil {
 		foreign = d.Foreign
 	}
-	f.view.Store(&ruleView{set: newSet, foreign: foreign, snap: snap, prios: prios})
+	f.view.Store(&ruleView{set: newSet, foreign: foreign, snap: snap, prog: prog, prios: prios})
 	f.syncMemory()
 	return nil
 }
@@ -524,8 +559,8 @@ func (f *Filter) Decision(t packet.FiveTuple) Verdict {
 		return v
 	}
 	view := f.view.Load()
-	if r, _, ok := view.snap.Lookup(t); ok {
-		return f.ruleVerdict(t, r)
+	if ri, _, _, ok := view.prog.Classify(t); ok {
+		return f.ruleVerdict(t, view.set.Rules[ri])
 	}
 	if view.set.DefaultAllow {
 		return VerdictAllow
@@ -733,8 +768,8 @@ func (f *Filter) Explain(t packet.FiveTuple) (Verdict, int32, string) {
 		return v, -1, "exact"
 	}
 	view := f.view.Load()
-	if r, prio, ok := view.snap.Lookup(t); ok {
-		return f.ruleVerdict(t, r), int32(prio), "rule"
+	if ri, prio, _, ok := view.prog.Classify(t); ok {
+		return f.ruleVerdict(t, view.set.Rules[ri]), prio, "rule"
 	}
 	if view.set.DefaultAllow {
 		return VerdictAllow, -1, "default"
@@ -742,8 +777,9 @@ func (f *Filter) Explain(t packet.FiveTuple) (Verdict, int32, string) {
 	return VerdictDrop, -1, "default"
 }
 
-// classify decides one distinct flow: exact table, then the trie snapshot,
-// then the default action, accumulating the lookup costs into cv.
+// classify decides one distinct flow: exact table, then the compiled
+// multi-attribute classifier, then the default action, accumulating the
+// lookup costs into cv.
 func (f *Filter) classify(ent *batchEntry, view *ruleView, model enclave.CostModel, cv *enclave.CostVector) {
 	cv.ExactProbes++ // the miss probe still costs
 	if v, ok := f.exact.get(ent.tuple, ent.hash); ok {
@@ -751,20 +787,20 @@ func (f *Filter) classify(ent *batchEntry, view *ruleView, model enclave.CostMod
 		return
 	}
 
-	r, prio, visited, ok := view.snap.LookupTrace(ent.tuple)
-	// The first HotVisits accesses (the upper trie levels every packet
-	// touches) are priced as cache hits regardless of table size; the rest
-	// pay the footprint-dependent miss cost — at enclave (MEE/EPC) or
-	// native rates.
-	hot := visited
+	ri, prio, refs, ok := view.prog.Classify(ent.tuple)
+	// The first HotVisits accesses (the attribute tables' upper search
+	// levels every packet touches) are priced as cache hits regardless of
+	// table size; the rest pay the footprint-dependent miss cost — at
+	// enclave (MEE/EPC) or native rates.
+	hot := refs
 	if hot > model.HotVisits {
 		hot = model.HotVisits
 	}
 	cv.HotRefs += hot
 	if f.cfg.Mode == CopyModeNative {
-		cv.NativeColdRefs += visited - hot
+		cv.NativeColdRefs += refs - hot
 	} else {
-		cv.ColdRefs += visited - hot
+		cv.ColdRefs += refs - hot
 	}
 
 	if !ok {
@@ -784,7 +820,8 @@ func (f *Filter) classify(ent *batchEntry, view *ruleView, model enclave.CostMod
 		return
 	}
 
-	ent.class, ent.prio = classRule, int32(prio)
+	r := &view.set.Rules[ri]
+	ent.class, ent.prio = classRule, prio
 	switch {
 	case r.PAllow >= 1:
 		ent.verdict = VerdictAllow
@@ -918,8 +955,8 @@ func (f *Filter) Promote() int {
 	for _, t := range f.pendingQ {
 		// Recompute via the rule, not the hash cache, so the entry is the
 		// deterministic function of (rules, secret).
-		if r, _, ok := view.snap.Lookup(t); ok && !r.Deterministic() {
-			f.exact.put(t, t.Hash64(), f.ruleVerdict(t, r))
+		if ri, _, _, ok := view.prog.Classify(t); ok && !view.set.Rules[ri].Deterministic() {
+			f.exact.put(t, t.Hash64(), f.ruleVerdict(t, view.set.Rules[ri]))
 			n++
 		}
 		delete(f.pendingSet, t)
@@ -968,11 +1005,17 @@ func (f *Filter) HashRatio() float64 {
 // exact-match entries).
 func (f *Filter) RuleCount() int { return f.view.Load().set.Len() }
 
-// RuleMemoryBytes returns the resident size of the installed lookup-table
-// snapshot — the rule-set memory weight the multi-victim EPC budgeter
-// apportions by. Safe to read while the data plane runs: the snapshot is
-// immutable and reached through one atomic pointer load.
-func (f *Filter) RuleMemoryBytes() int { return f.view.Load().snap.MemoryBytes() }
+// RuleMemoryBytes returns the live size of the installed lookup
+// structures — trie snapshot plus compiled classifier — the rule-set
+// memory weight the multi-victim EPC budgeter apportions by. Both terms
+// are numbering-invariant (delta lineages report the same figure a fresh
+// rebuild of the same rules would; slack is charged to the EPC meter
+// separately). Safe to read while the data plane runs: both structures
+// are immutable and reached through one atomic pointer load.
+func (f *Filter) RuleMemoryBytes() int {
+	view := f.view.Load()
+	return view.snap.MemoryBytes() + view.prog.MemoryBytes()
+}
 
 // ExactEntries returns the number of learned exact-match entries. Safe to
 // read while the data plane runs.

@@ -23,6 +23,20 @@ func FuzzParse(f *testing.F) {
 		"drop tcp from 203.0.113.5/32 to 192.0.2.9/32 sport 4444 dport 80",
 		"drop any from any to any",
 		"drop 100% icmp from any to any",
+		// Full-attribute forms: port ranges on either side, every proto
+		// keyword, dst-constrained — the classifier's per-attribute range
+		// tables are compiled straight from these, so the parser corners
+		// (range collapse, boundary ports, /0 vs any) deserve seeds.
+		"drop udp from 198.51.100.0/24 to 192.0.2.0/28 sport 53-123 dport 1024-65535",
+		"allow tcp from any to 192.0.2.128/25 sport 1-1 dport 443",
+		"drop udp from 0.0.0.0/0 to 10.0.0.0/8 sport 11211",
+		"drop icmp from 203.0.113.0/24 to 192.0.2.1/32",
+		"allow any from 172.16.0.0/12 to any sport 65535 dport 65535",
+		"drop 25% udp from any to 192.0.2.0/24 sport 1900-1901",
+		// And their malformed cousins.
+		"drop udp from any to any sport 0-70000",
+		"drop udp from any to any sport 123-53",
+		"drop udp from any to any sport",
 		// Malformed forms the unit tests reject.
 		"drop",
 		"drop tcp from",

@@ -60,6 +60,47 @@ func TestRuleStringParseRoundTripProperty(t *testing.T) {
 	}
 }
 
+// TestFullAttributeRuleExactRoundTrip pins the strongest codec property:
+// a randomized rule constraining every attribute must survive
+// Parse(r.String()) with operator-== equality — not behavioral
+// equivalence, bitwise identity. Restricted to the inputs where exactness
+// is well-defined: canonical prefixes, port ranges with lo >= 1 (lo 0
+// renders as the any form), probabilities with exact binary
+// representations, ID zero (the textual form does not carry IDs).
+func TestFullAttributeRuleExactRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	pallows := []float64{0, 0.25, 0.5, 0.75, 1}
+	protos := []packet.Protocol{0, packet.ProtoTCP, packet.ProtoUDP, packet.ProtoICMP}
+	randPort := func() PortRange {
+		switch rng.Intn(3) {
+		case 0:
+			return AnyPort
+		case 1:
+			return Port(uint16(rng.Intn(65535) + 1))
+		default:
+			lo := uint16(rng.Intn(60000) + 1)
+			return PortRange{Lo: lo, Hi: lo + uint16(rng.Intn(5000))}
+		}
+	}
+	for trial := 0; trial < 1000; trial++ {
+		r := Rule{
+			Src:     Prefix{Addr: rng.Uint32(), Len: uint8(rng.Intn(33))}.Canonical(),
+			Dst:     Prefix{Addr: rng.Uint32(), Len: uint8(rng.Intn(33))}.Canonical(),
+			SrcPort: randPort(),
+			DstPort: randPort(),
+			Proto:   protos[rng.Intn(len(protos))],
+			PAllow:  pallows[rng.Intn(len(pallows))],
+		}
+		back, err := Parse(r.String())
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", r.String(), err)
+		}
+		if back != r {
+			t.Fatalf("Parse(%q) = %+v, want %+v", r.String(), back, r)
+		}
+	}
+}
+
 // TestMatchesConsistentUnderCanonical fuzz: matching behavior must be
 // identical whether or not host bits were pre-cleared.
 func TestMatchesConsistentUnderCanonical(t *testing.T) {

@@ -353,8 +353,13 @@ func (s *Snapshot) Lookup(tuple packet.FiveTuple) (rules.Rule, int, bool) {
 	return r, prio, ok
 }
 
-// LookupTrace is Lookup plus the number of trie nodes visited, for the
-// enclave cost model.
+// LookupTrace is Lookup plus the number of memory touches the walk made:
+// one per trie node visited plus one per candidate entry scanned in the
+// visited nodes' lists. The scan term is what dominates on rule shapes
+// that pile many rules onto one src-prefix node (reflection floods,
+// carpet-bombing dst ranges) — under-reporting it would hide exactly the
+// work the compiled classifier exists to eliminate, and the cost model
+// and before/after benchmarks need the honest figure.
 func (s *Snapshot) LookupTrace(tuple packet.FiveTuple) (rules.Rule, int, int, bool) {
 	return s.lookup(tuple)
 }
@@ -373,6 +378,7 @@ func (s *Snapshot) lookup(tuple packet.FiveTuple) (rules.Rule, int, int, bool) {
 	for level := 0; ; level++ {
 		visited++
 		ents := s.nodeEntries(n)
+		visited += len(ents)
 		for i := range ents {
 			e := &ents[i]
 			if e.prio < bestPrio && e.rule.Matches(tuple) {
@@ -410,6 +416,7 @@ func (s *Snapshot) lookupBase(tuple packet.FiveTuple) (rules.Rule, int, int, boo
 	visited := 0
 	for level := 0; ; level++ {
 		visited++
+		visited += int(s.baseEntryStart[n+1] - s.baseEntryStart[n])
 		for i := s.baseEntryStart[n]; i < s.baseEntryStart[n+1]; i++ {
 			e := &s.baseEntries[i]
 			if e.prio < bestPrio && e.rule.Matches(tuple) {

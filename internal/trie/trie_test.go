@@ -251,6 +251,9 @@ func TestReset(t *testing.T) {
 }
 
 func TestLookupTraceVisitBounds(t *testing.T) {
+	// 100 rules anchored at one /8 node: the walk visits at most levels+1
+	// nodes and must also count the 100-entry candidate scan at the anchor
+	// — the linear work the trace exists to attribute.
 	tbl := NewDefault()
 	for i := 0; i < 100; i++ {
 		tbl.Insert(mkRule("10.0.0.0/8", "0.0.0.0/0", packet.ProtoUDP, uint32(i+1)), i)
@@ -260,8 +263,16 @@ func TestLookupTraceVisitBounds(t *testing.T) {
 	if !ok {
 		t.Fatal("want match")
 	}
-	if visited < 1 || visited > tbl.levels+1 {
-		t.Fatalf("visited = %d, want 1..%d", visited, tbl.levels+1)
+	if visited <= 100 {
+		t.Fatalf("visited = %d, candidate-list scans not counted", visited)
+	}
+	if visited > tbl.levels+1+100 {
+		t.Fatalf("visited = %d, want <= %d", visited, tbl.levels+1+100)
+	}
+	// A probe outside 10/8 scans no candidates: nodes only.
+	miss := packet.FiveTuple{SrcIP: packet.MustParseIP("11.1.2.3"), Proto: packet.ProtoUDP}
+	if _, _, v, ok := tbl.LookupTrace(miss); ok || v < 1 || v > tbl.levels+1 {
+		t.Fatalf("miss probe: visited=%d ok=%v, want 1..%d and no match", v, ok, tbl.levels+1)
 	}
 }
 

@@ -73,6 +73,8 @@ set -e
 out="${1:-BENCH_engine.json}"
 benchtime="${BENCHTIME:-100000x}"
 only="${ONLY:-}"
+host_cpus="$(getconf _NPROCESSORS_ONLN 2>/dev/null || echo 0)"
+go_version="$(go env GOVERSION)"
 tmp="$(mktemp)"
 trap 'rm -f "$tmp"' EXIT
 
@@ -113,7 +115,8 @@ if [ -z "$only" ]; then
         -benchtime "${DELTA_BENCHTIME:-120x}" -count 1 . | tee -a "$tmp"
 fi
 
-awk -v benchtime="$benchtime" -v only="$only" '
+awk -v benchtime="$benchtime" -v only="$only" \
+    -v shcpus="$host_cpus" -v gover="$go_version" '
 /^BenchmarkEngineWallScaling/ {
     name = $1
     sub(/-[0-9]+$/, "", name)                 # strip the -GOMAXPROCS suffix
@@ -197,6 +200,8 @@ END {
         printf "{\n"
         printf "  \"benchmark\": \"BenchmarkEngineTelemetry\",\n"
         printf "  \"benchtime\": \"%s\",\n", benchtime
+        printf "  \"host_cpus\": %d,\n", shcpus
+        printf "  \"go_version\": \"%s\",\n", gover
         printf "  \"telemetry\": {\"off_mpps\": %s, \"on_mpps\": %s, \"on_over_off\": %.3f},\n", teloff, telon, telratio
         printf "  \"gates\": {\"telemetry_overhead_ge_097\": \"%s\"}\n", telgate
         printf "}\n"
@@ -207,6 +212,8 @@ END {
         printf "{\n"
         printf "  \"benchmark\": \"BenchmarkEngineMultiVictim\",\n"
         printf "  \"benchtime\": \"%s\",\n", benchtime
+        printf "  \"host_cpus\": %d,\n", shcpus
+        printf "  \"go_version\": \"%s\",\n", gover
         printf "  \"multivictim\": [\n"
         for (i = 1; i <= mvn; i++) printf "%s%s\n", mvline[i], (i < mvn ? "," : "")
         printf "  ],\n"
@@ -231,6 +238,7 @@ END {
     printf "  \"frame_bytes\": 64,\n"
     printf "  \"benchtime\": \"%s\",\n", benchtime
     printf "  \"host_cpus\": %d,\n", cpus
+    printf "  \"go_version\": \"%s\",\n", gover
     printf "  \"results\": [\n"
     for (i = 1; i <= n; i++) printf "%s%s\n", line[i], (i < n ? "," : "")
     printf "  ],\n"
