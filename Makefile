@@ -6,7 +6,10 @@
 # 4-namespace wall Mpps ≥ 0.7x single-namespace always).
 # `make bench-multivictim` runs just the namespace-scaling slice of the
 # same script; `make bench-telemetry` runs just the observability
-# overhead slice (telemetry-on wall Mpps ≥ 0.97x telemetry-off).
+# overhead slice (telemetry-on wall Mpps ≥ 0.97x telemetry-off);
+# `make bench-isolation` runs just the overload-isolation slice (quiet
+# victims' wall Mpps with an admission-capped attacked neighbor ≥ 0.9x
+# their solo figure).
 # `make bench-filter` refreshes BENCH_filter.json — the scalar-vs-batch
 # hot-path comparison (guarded at ≥2x batch speedup) plus the compiled
 # classifier's rule-count-invariance sweep (100k-rule ns/pkt guarded at
@@ -15,7 +18,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench bench-filter bench-classify bench-multivictim bench-telemetry docs-check
+.PHONY: all build vet test race bench bench-filter bench-classify bench-multivictim bench-telemetry bench-isolation docs-check
 
 all: build vet test docs-check
 
@@ -45,6 +48,9 @@ bench-multivictim:
 
 bench-telemetry:
 	ONLY=telemetry ./scripts/bench_engine.sh BENCH_telemetry.json
+
+bench-isolation:
+	ONLY=isolation ./scripts/bench_engine.sh BENCH_isolation.json
 
 # Fails when an internal package lacks a package comment, a load-bearing
 # package lacks its doc.go contract, or docs/ files go missing/unlinked.

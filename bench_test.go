@@ -564,6 +564,110 @@ func BenchmarkEngineMultiVictim1(b *testing.B)  { benchmarkEngineMultiVictim(b, 
 func BenchmarkEngineMultiVictim4(b *testing.B)  { benchmarkEngineMultiVictim(b, 4) }
 func BenchmarkEngineMultiVictim16(b *testing.B) { benchmarkEngineMultiVictim(b, 16) }
 
+// --- Overload isolation: one flooded victim must not starve the quiet ones ----
+
+// benchmarkEngineIsolation measures what per-victim admission control
+// buys: the quiet victims' wall throughput with an attacked neighbor on
+// the same engine versus without one. The attacked victim carries a low
+// explicit AdmitPps cap (the knob an operator turns mid-attack), so its
+// flood is clipped at ingress — marker writes, no route, no ring, no
+// filter work — and the quiet victims keep their shard and EPC shares.
+//
+// Both phases use ONE producer injecting the same quiet-victim pattern;
+// the attacked phase interleaves one attacker burst per quiet burst (a
+// 1:1 offered-load flood). Single-producer on purpose: on a small host a
+// second producer goroutine would turn the ratio into a scheduler
+// measurement. The gate (scripts/bench_engine.sh, quiet_victim_ge_09)
+// holds attacked/solo quiet throughput at >= 0.9.
+func benchmarkEngineIsolation(b *testing.B, attacked bool) {
+	const (
+		shards = 2
+		quiet  = 3
+		burst  = 256
+	)
+	eng, err := engine.New(engine.Config{
+		Shards:    shards,
+		Admission: &engine.AdmissionConfig{Burst: 512},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	// The attacked victim is attached in BOTH phases (same EPC and share
+	// layout); only its flood is phase-dependent.
+	atkSet := benchRulesSeed(b, 256, 0, 99)
+	atkFilters := make([]*filter.Filter, shards)
+	for i := range atkFilters {
+		atkFilters[i] = benchFilter(b, atkSet, filter.CopyModeNearZero)
+	}
+	nsAtk, err := eng.AttachNamespace(engine.NamespaceConfig{
+		Filters: atkFilters, AdmitPps: 1000,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	atkDescs := benchDescriptors(b, atkSet, 64)
+	for i := range atkDescs {
+		atkDescs[i].NS = uint16(nsAtk)
+	}
+	streams := make([][]packet.Descriptor, quiet)
+	for v := 0; v < quiet; v++ {
+		set := benchRulesSeed(b, 256, 0, int64(v+1))
+		fs := make([]*filter.Filter, shards)
+		for i := range fs {
+			fs[i] = benchFilter(b, set, filter.CopyModeNearZero)
+		}
+		ns, err := eng.AttachNamespace(engine.NamespaceConfig{Filters: fs})
+		if err != nil {
+			b.Fatal(err)
+		}
+		descs := benchDescriptors(b, set, 64)
+		for i := range descs {
+			descs[i].NS = uint16(ns)
+		}
+		streams[v] = descs
+	}
+	if err := eng.Start(); err != nil {
+		b.Fatal(err)
+	}
+	defer eng.Stop()
+
+	remaining := b.N
+	quietAccepted := 0
+	off, atkOff := 0, 0
+	b.ResetTimer()
+	for v := 0; remaining > 0; v = (v + 1) % quiet {
+		if attacked {
+			eng.InjectBatch(atkDescs[atkOff : atkOff+burst])
+			atkOff = (atkOff + burst) & 1023
+		}
+		win := streams[v][off : off+burst]
+		off = (off + burst) & 1023
+		k := eng.InjectBatch(win)
+		if k == 0 {
+			runtime.Gosched()
+			continue
+		}
+		quietAccepted += k
+		remaining -= k
+	}
+	eng.WaitDrained()
+	b.StopTimer()
+	b.ReportMetric(float64(quietAccepted)/b.Elapsed().Seconds()/1e6, "quiet-wall-Mpps")
+	if attacked {
+		nm := eng.Metrics().Namespaces
+		var throttled uint64
+		for _, n := range nm {
+			if n.NS == nsAtk {
+				throttled = n.Throttled
+			}
+		}
+		b.ReportMetric(float64(throttled), "attacker-throttled")
+	}
+}
+
+func BenchmarkEngineIsolationSolo(b *testing.B)     { benchmarkEngineIsolation(b, false) }
+func BenchmarkEngineIsolationAttacked(b *testing.B) { benchmarkEngineIsolation(b, true) }
+
 // --- Filter.Reconfigure latency vs rule-set size -------------------------------
 
 // benchmarkReconfigure times a full rule-set reinstall — trie rebuild,

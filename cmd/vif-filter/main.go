@@ -64,6 +64,8 @@ func run(args []string, out io.Writer) error {
 		shards    = fs.Int("shards", 0, "run the live sharded engine with this many enclaves (0: classic single-enclave pipeline)")
 		producers = fs.Int("producers", 2, "engine mode: concurrent traffic-generator goroutines")
 		victims   = fs.Int("victims", 1, "engine mode: serve this many victim namespaces (distinct rule sets, per-victim traffic mixes) through one shared engine")
+		overload  = fs.Bool("overload", false, "engine mode: overload scenario — one flooded, admission-capped victim (-attack-pps) shares the engine with -victims quiet namespaces; prints per-victim admit/throttle/drop SLO lines")
+		attackPps = fs.Float64("attack-pps", 50000, "overload mode: the attacked victim's admitted-rate cap in packets/s")
 		churn     = fs.Duration("churn", 0, "engine mode: push a live rule delta (add/remove a batch) at this interval while traffic runs (0: off)")
 		churnN    = fs.Int("churn-rules", 64, "engine mode: rules added (and, after the first delta, removed) per -churn reinstall")
 		metrics   = fs.String("metrics-addr", "", "serve /metrics (Prometheus text), /events, /traces and /debug/pprof on this address (e.g. :9090; empty: off)")
@@ -93,6 +95,21 @@ func run(args []string, out io.Writer) error {
 	}
 	if *shards < 0 || *producers < 1 || *victims < 1 {
 		return fmt.Errorf("bad -shards %d / -producers %d / -victims %d", *shards, *producers, *victims)
+	}
+	if *overload {
+		if *shards == 0 {
+			return fmt.Errorf("-overload needs the engine: pass -shards N")
+		}
+		if *attackPps <= 0 {
+			return fmt.Errorf("bad -attack-pps %v", *attackPps)
+		}
+		if *rulesPath != "" || *ruleShape != "" {
+			fmt.Fprintln(out, "note: -overload synthesizes one rule set per victim; -rules/-rule-shape are ignored")
+		}
+		if *churn > 0 {
+			fmt.Fprintln(out, "note: -churn applies to the single-victim engine mode; ignored with -overload")
+		}
+		return runOverload(out, mode, *shards, *producers, *victims, *size, *duration, *seed, oc, *attackPps)
 	}
 	if *victims > 1 {
 		if *shards == 0 {
@@ -527,6 +544,146 @@ func runEngine(out io.Writer, set *rules.Set, mode filter.CopyMode, n, producers
 		promoted += sm.Promoted
 	}
 	fmt.Fprintf(out, "flows promoted to exact-match at epoch boundary: %d\n", promoted)
+	eng.Stop()
+	return nil
+}
+
+// runOverload is the admission-control scenario: victim 0 is under a
+// volumetric flood but carries an explicit admitted-rate cap (the knob an
+// operator turns mid-attack), while the quiet victims share the same
+// engine uncapped. Every producer interleaves one flood burst per quiet
+// burst — a 1:1 offered-load attack — so the printed per-victim SLO lines
+// (admitted / throttled / allowed / dropped) show the flood being clipped
+// at ingress while the quiet victims keep filtering at full rate.
+func runOverload(out io.Writer, mode filter.CopyMode, n, producers, quiet, size int, duration time.Duration, seed int64, oc obsConfig, attackPps float64) error {
+	if quiet < 1 || quiet > 249 {
+		return fmt.Errorf("-victims %d: overload mode needs 1..249 quiet victims", quiet)
+	}
+	model := enclave.DefaultCostModel()
+	tel := oc.buildTelemetry(n)
+	eng, err := engine.New(engine.Config{
+		Shards: n, EPCBytes: model.EPCBytes, Telemetry: tel,
+		Admission: &engine.AdmissionConfig{},
+	})
+	if err != nil {
+		return err
+	}
+	closeTel, err := serveTelemetry(out, tel, oc.metricsAddr)
+	if err != nil {
+		return err
+	}
+	defer closeTel()
+
+	type victimState struct {
+		ns     int
+		prefix rules.Prefix
+	}
+	victims := quiet + 1 // index 0 is the attacked victim
+	vmap := lb.NewVictimMap()
+	vs := make([]victimState, victims)
+	for v := range vs {
+		prefix := rules.Prefix{Addr: 10<<24 | uint32(v+1)<<16, Len: 16}
+		set, err := rules.NewSet([]rules.Rule{
+			rules.MustParse(fmt.Sprintf("drop udp from any to %s dport 53", prefix)),
+			rules.MustParse(fmt.Sprintf("drop 50%% tcp from any to %s dport 80", prefix)),
+		}, true)
+		if err != nil {
+			return err
+		}
+		filters := make([]*filter.Filter, n)
+		for i := range filters {
+			e, err := enclave.New(enclave.CodeIdentity{
+				Name: "vif-filter", Version: "1.0.0",
+				Config:     fmt.Sprintf("overload victim=%d shard=%d/%d", v, i, n),
+				BinarySize: 1 << 20,
+			}, model)
+			if err != nil {
+				return err
+			}
+			f, err := filter.New(e, set, filter.Config{Mode: mode})
+			if err != nil {
+				return err
+			}
+			filters[i] = f
+		}
+		bal, err := uniformBalancer(set, n)
+		if err != nil {
+			return err
+		}
+		nc := engine.NamespaceConfig{Filters: filters, Route: bal.Route, RouteBatch: bal.RouteBatch}
+		if v == 0 {
+			nc.AdmitPps = attackPps
+		}
+		ns, err := eng.AttachNamespace(nc)
+		if err != nil {
+			return err
+		}
+		if err := vmap.Add(prefix, uint16(ns)); err != nil {
+			return err
+		}
+		vs[v] = victimState{ns: ns, prefix: prefix}
+	}
+	if err := eng.Start(); err != nil {
+		return err
+	}
+	stopStats := startStats(out, oc.statsInterval, func() string { return eng.Metrics().String() })
+	defer stopStats()
+	fmt.Fprintf(out, "overload: %d shards, %d producers, 1 attacked + %d quiet victims, attacked cap %.0f pps, mode %s\n",
+		n, producers, quiet, attackPps, mode)
+
+	deadline := time.Now().Add(duration)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			gens := make([]*netsim.FlowGen, victims)
+			for v := range gens {
+				gens[v] = netsim.NewFlowGen(seed+int64(p*victims+v), vs[v].prefix.Addr, int(vs[v].prefix.Len))
+			}
+			flood := make([]packet.Descriptor, 256)
+			burst := make([]packet.Descriptor, 256)
+			for v := 1; time.Now().Before(deadline); v++ {
+				if v >= victims {
+					v = 1
+				}
+				// The flood rides ahead of every quiet burst: same
+				// offered load as all quiet victims combined.
+				gens[0].DescriptorsInto(flood, size)
+				vmap.Stamp(flood)
+				eng.InjectBatch(flood)
+				gens[v].DescriptorsInto(burst, size)
+				vmap.Stamp(burst)
+				eng.InjectBatch(burst)
+			}
+		}(p)
+	}
+	wg.Wait()
+	eng.WaitDrained()
+	stopStats()
+	elapsed := time.Since(start)
+
+	m := eng.Metrics()
+	fmt.Fprintf(out, "\nwall-clock: %v, accepted %d descriptors (%.2f Mpps aggregate), throttled %d at ingress\n",
+		elapsed.Round(time.Millisecond), m.Accepted, m.PPS/1e6, m.Throttled)
+	// Per-victim SLO lines: what each tenant's operator dashboard reads.
+	for v, st := range vs {
+		var nm engine.NamespaceMetrics
+		for _, cand := range m.Namespaces {
+			if cand.NS == st.ns {
+				nm = cand
+				break
+			}
+		}
+		role, capLbl := "quiet   ", "uncapped"
+		if v == 0 {
+			role = "attacked"
+			capLbl = fmt.Sprintf("cap %.0f pps", nm.AdmitRatePps)
+		}
+		fmt.Fprintf(out, "%s ns=%d %v: admitted %d, throttled %d (%s), allowed %d, dropped %d\n",
+			role, st.ns, st.prefix, nm.Admitted, nm.Throttled, capLbl, nm.Allowed, nm.Dropped)
+	}
 	eng.Stop()
 	return nil
 }

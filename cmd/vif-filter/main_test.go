@@ -287,6 +287,51 @@ func TestRunMultiVictimTombstones(t *testing.T) {
 	}
 }
 
+func TestRunOverloadMode(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{
+		"-shards", "2", "-producers", "1", "-victims", "2", "-overload",
+		"-attack-pps", "10000", "-duration", "200ms",
+	}, &out); err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	for _, want := range []string{
+		"overload: 2 shards, 1 producers, 1 attacked + 2 quiet victims, attacked cap 10000 pps",
+		"attacked ns=0 10.1.0.0/16: admitted",
+		"(cap 10000 pps)",
+		"quiet    ns=1 10.2.0.0/16: admitted",
+		"quiet    ns=2 10.3.0.0/16: admitted",
+		"(uncapped)",
+		"throttled",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("overload output missing %q:\n%s", want, text)
+		}
+	}
+	// The flood must actually be clipped: the attacked victim's SLO line
+	// reports a non-zero throttle count while the quiet victims stay at
+	// "throttled 0".
+	for _, line := range strings.Split(text, "\n") {
+		if strings.HasPrefix(line, "attacked ns=0") && strings.Contains(line, "throttled 0 (") {
+			t.Errorf("attacked victim was never throttled:\n%s", text)
+		}
+		if strings.HasPrefix(line, "quiet") && !strings.Contains(line, "throttled 0 (") {
+			t.Errorf("quiet victim throttled:\n%s", text)
+		}
+	}
+}
+
+func TestRunOverloadNeedsEngine(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-overload"}, &out); err == nil {
+		t.Fatal("-overload without -shards accepted")
+	}
+	if err := run([]string{"-overload", "-shards", "2", "-attack-pps", "0"}, &out); err == nil {
+		t.Fatal("-attack-pps 0 accepted")
+	}
+}
+
 func TestRunMultiVictimNeedsEngine(t *testing.T) {
 	var out bytes.Buffer
 	if err := run([]string{"-victims", "2"}, &out); err == nil {

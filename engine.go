@@ -6,6 +6,7 @@ import (
 
 	"github.com/innetworkfiltering/vif/internal/bypass"
 	"github.com/innetworkfiltering/vif/internal/engine"
+	"github.com/innetworkfiltering/vif/internal/faults"
 	"github.com/innetworkfiltering/vif/internal/filter"
 	"github.com/innetworkfiltering/vif/internal/telemetry"
 )
@@ -357,6 +358,15 @@ func (s *Session) AuditEngineEpoch() (bypass.Verdict, error) {
 	}
 	// journal is nil-safe: a no-telemetry engine journals nowhere.
 	journal := eng.Telemetry().Journal()
+	if s.faults.Should(faults.AuditFailure) {
+		// Injected audit failure: the epoch rotated (logs are consumed on
+		// the enclave side either way) but the victim-side check reports a
+		// violation, exercising the alarm path end to end.
+		v := bypass.Verdict{Detail: "injected audit failure"}
+		journal.Emit(telemetry.Event{Type: telemetry.EvAuditFail, NS: ns, Shard: -1, Detail: v.Detail})
+		s.verifier.Reset()
+		return v, nil
+	}
 	snaps := make([]*filter.SignedSnapshot, len(logs))
 	for i, l := range logs {
 		snaps[i] = l.Outgoing

@@ -1,0 +1,178 @@
+package engine
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/innetworkfiltering/vif/internal/telemetry"
+)
+
+// AdmissionConfig enables weighted per-victim admission control at the
+// injection paths. With it set, every attached namespace carries a token
+// bucket consulted once per namespace run (InjectBatch) or per packet
+// (scalar Inject) BEFORE routing: a tenant whose offered load exceeds its
+// admitted rate is throttled at ingress — its excess never reaches the
+// shared rings, so it degrades itself, not its neighbors. Nil disables
+// admission entirely; the injection paths then pay one nil check.
+type AdmissionConfig struct {
+	// TotalPps is the engine-wide admitted-packet budget in packets/s,
+	// divided across attached namespaces by weight — the deficit-round-
+	// robin shares recomputed at every attach/detach. 0 means no shared
+	// budget: only namespaces with an explicit NamespaceConfig.AdmitPps
+	// cap are throttled (the usual overload posture: quiet victims run
+	// uncapped, the attacked victim's flood is clipped).
+	TotalPps float64
+	// Burst is each bucket's capacity in packets — the largest burst a
+	// namespace can land at once after idling. 0 defaults to
+	// DefaultRingSize.
+	Burst float64
+	// Now overrides the bucket clock (nanoseconds); nil uses the wall
+	// clock. Tests use it to make refill deterministic.
+	Now func() int64
+}
+
+// admission is one namespace's ingress gate: a token bucket plus the
+// per-victim SLO counters. It survives routing swaps (the successor
+// namespace object carries the same pointer) and full reconfigures fold
+// its counters forward, exactly like the verdict cells.
+type admission struct {
+	// weight and explicitPps are the attachment's configured shares,
+	// written only under nsMu (rebalanceAdmission is the other reader).
+	weight      int
+	explicitPps float64
+
+	// ratePps is the current refill rate (float64 bits; 0 = uncapped),
+	// recomputed by rebalanceAdmission and read lock-free by take.
+	ratePps atomic.Uint64
+
+	burst float64
+	now   func() int64
+
+	// Bucket state, under mu: taken once per namespace run, so the cost
+	// amortizes over the run like every other per-burst cost.
+	mu     sync.Mutex
+	tokens float64
+	last   int64
+
+	// SLO counters. admitted counts packets past the gate (they may still
+	// hit ring backpressure); throttled counts packets the gate refused.
+	admitted  atomic.Uint64
+	throttled atomic.Uint64
+	// throttling edge-detects an episode for the journal, like bpActive.
+	throttling atomic.Bool
+}
+
+func newAdmission(cfg *AdmissionConfig, weight int, explicitPps float64) *admission {
+	if cfg == nil {
+		return nil
+	}
+	if weight <= 0 {
+		weight = 1
+	}
+	burst := cfg.Burst
+	if burst <= 0 {
+		burst = DefaultRingSize
+	}
+	now := cfg.Now
+	if now == nil {
+		now = func() int64 { return time.Now().UnixNano() }
+	}
+	a := &admission{
+		weight:      weight,
+		explicitPps: explicitPps,
+		burst:       burst,
+		now:         now,
+		tokens:      burst,
+	}
+	a.last = now()
+	return a
+}
+
+// rate returns the current cap in packets/s (0 = uncapped).
+func (a *admission) rate() float64 {
+	return math.Float64frombits(a.ratePps.Load())
+}
+
+// take admits up to n packets, refilling the bucket from elapsed time
+// first, and returns how many passed. Uncapped namespaces pay one atomic
+// load and one atomic add — no lock, no clock read.
+func (a *admission) take(n int) int {
+	rate := a.rate()
+	if rate <= 0 {
+		a.admitted.Add(uint64(n))
+		return n
+	}
+	a.mu.Lock()
+	now := a.now()
+	if el := now - a.last; el > 0 {
+		a.tokens += float64(el) * rate / 1e9
+		if a.tokens > a.burst {
+			a.tokens = a.burst
+		}
+	}
+	a.last = now
+	k := n
+	if a.tokens < float64(n) {
+		k = int(a.tokens)
+		if k < 0 {
+			k = 0
+		}
+	}
+	a.tokens -= float64(k)
+	a.mu.Unlock()
+	if k > 0 {
+		a.admitted.Add(uint64(k))
+	}
+	return k
+}
+
+// noteThrottle journals the onset of an admission episode (edge-
+// triggered); take clearing the gate resets the edge in noteAdmitted.
+func (e *Engine) noteThrottle(nsID int, a *admission, refused int) {
+	a.throttled.Add(uint64(refused))
+	if a.throttling.CompareAndSwap(false, true) {
+		e.emit(telemetry.EvAdmissionThrottle, nsID, -1, fmt.Sprintf(
+			"rate_pps=%.0f refused=%d", a.rate(), refused))
+	}
+}
+
+// noteAdmitted closes an episode once a run passes the gate whole.
+func (a *admission) noteAdmitted() {
+	if a.throttling.Load() {
+		a.throttling.Store(false)
+	}
+}
+
+// rebalanceAdmission recomputes every namespace's admitted rate: an
+// explicit per-namespace cap wins; otherwise the engine budget is split
+// by weight (the DRR shares); with no budget the namespace is uncapped.
+// Called under nsMu at attach/detach (the only weight readers/writers).
+func (e *Engine) rebalanceAdmission() {
+	cfg := e.cfg.Admission
+	if cfg == nil {
+		return
+	}
+	nss := *e.nss.Load()
+	totalW := 0
+	for _, ns := range nss {
+		if ns != nil && ns.adm != nil && ns.adm.explicitPps <= 0 {
+			totalW += ns.adm.weight
+		}
+	}
+	for _, ns := range nss {
+		if ns == nil || ns.adm == nil {
+			continue
+		}
+		var rate float64
+		switch {
+		case ns.adm.explicitPps > 0:
+			rate = ns.adm.explicitPps
+		case cfg.TotalPps > 0 && totalW > 0:
+			rate = cfg.TotalPps * float64(ns.adm.weight) / float64(totalW)
+		}
+		ns.adm.ratePps.Store(math.Float64bits(rate))
+	}
+}

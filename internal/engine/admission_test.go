@@ -1,0 +1,235 @@
+package engine
+
+import (
+	"math"
+	"testing"
+
+	"github.com/innetworkfiltering/vif/internal/telemetry"
+)
+
+// admissionClock is a hand-cranked bucket clock: tests advance it
+// explicitly, so refill arithmetic is exact instead of wall-clock-shaped.
+type admissionClock struct{ ns int64 }
+
+func (c *admissionClock) now() int64       { return c.ns }
+func (c *admissionClock) advance(ms int64) { c.ns += ms * 1e6 }
+
+// TestAdmissionExplicitCapExact: a namespace with an explicit AdmitPps cap
+// admits exactly burst-then-refill packets, refuses the rest, and both SLO
+// counters account for every offered packet.
+func TestAdmissionExplicitCapExact(t *testing.T) {
+	set := testRules(t, 16)
+	clk := &admissionClock{}
+	tel := telemetry.New(telemetry.Config{Shards: 1, TraceEvery: -1})
+	eng, err := New(Config{
+		Shards:    1,
+		Telemetry: tel,
+		Admission: &AdmissionConfig{Burst: 100, Now: clk.now},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ns, err := eng.AttachNamespace(NamespaceConfig{
+		Filters: testFilters(t, set, 1), AdmitPps: 1000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Stop()
+	descs := testDescriptors(t, set, 256)
+
+	// Full bucket: a 150-packet burst admits the 100-token burst capacity.
+	if n := eng.InjectBatch(descs[:150]); n != 100 {
+		t.Fatalf("burst admit: %d, want 100", n)
+	}
+	// 50ms at 1000 pps refills 50 tokens.
+	clk.advance(50)
+	if n := eng.InjectBatch(descs[:80]); n != 50 {
+		t.Fatalf("refill admit: %d, want 50", n)
+	}
+	// Scalar path shares the bucket: empty now, so Inject refuses.
+	if eng.Inject(descs[0]) {
+		t.Fatal("scalar inject passed an empty bucket")
+	}
+	clk.advance(2) // 2 tokens
+	if !eng.Inject(descs[0]) {
+		t.Fatal("scalar inject refused with tokens available")
+	}
+	eng.WaitDrained()
+
+	m := eng.Metrics()
+	nm := m.Namespaces[0]
+	// 50 + 30 refused from the two batches, plus the scalar refusal.
+	if nm.Admitted != 151 || nm.Throttled != 81 {
+		t.Fatalf("SLO counters admitted=%d throttled=%d, want 151/81", nm.Admitted, nm.Throttled)
+	}
+	if m.Throttled != 81 {
+		t.Fatalf("engine aggregate throttled %d, want 81", m.Throttled)
+	}
+	if nm.AdmitRatePps != 1000 {
+		t.Fatalf("AdmitRatePps %v, want 1000", nm.AdmitRatePps)
+	}
+	// Admitted packets all landed and were processed; throttled ones never
+	// reached a ring.
+	if m.Accepted != 151 || m.Processed != 151 {
+		t.Fatalf("accepted=%d processed=%d, want 151/151", m.Accepted, m.Processed)
+	}
+	_ = ns
+}
+
+// TestAdmissionThrottleEventEdges: the admission_throttle journal event is
+// edge-triggered per episode — one event when throttling begins, cleared
+// by a fully-admitted run, re-armed for the next episode.
+func TestAdmissionThrottleEventEdges(t *testing.T) {
+	set := testRules(t, 16)
+	clk := &admissionClock{}
+	tel := telemetry.New(telemetry.Config{Shards: 1, TraceEvery: -1, JournalSize: 64})
+	eng, err := New(Config{
+		Shards:    1,
+		Telemetry: tel,
+		Admission: &AdmissionConfig{Burst: 10, Now: clk.now},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.AttachNamespace(NamespaceConfig{
+		Filters: testFilters(t, set, 1), AdmitPps: 1000,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Stop()
+	descs := testDescriptors(t, set, 64)
+
+	countThrottle := func() int {
+		n := 0
+		for _, ev := range tel.Journal().Events() {
+			if ev.Type == telemetry.EvAdmissionThrottle {
+				n++
+			}
+		}
+		return n
+	}
+
+	eng.InjectBatch(descs[:20]) // episode 1 begins: 10 admitted, 10 refused
+	eng.InjectBatch(descs[:20]) // still inside episode 1: no second event
+	if got := countThrottle(); got != 1 {
+		t.Fatalf("first episode journaled %d events, want 1", got)
+	}
+	clk.advance(20)             // 20 tokens
+	eng.InjectBatch(descs[:5])  // fully admitted: episode closes
+	eng.InjectBatch(descs[:40]) // episode 2 begins
+	if got := countThrottle(); got != 2 {
+		t.Fatalf("second episode journaled %d events total, want 2", got)
+	}
+	eng.WaitDrained()
+}
+
+// TestAdmissionWeightedShares: with an engine-wide TotalPps budget the
+// uncapped namespaces split it by weight; an explicit cap opts its
+// namespace out of the split entirely; detach rebalances the survivors.
+func TestAdmissionWeightedShares(t *testing.T) {
+	set := testRules(t, 16)
+	eng, err := New(Config{
+		Shards:    1,
+		Admission: &AdmissionConfig{TotalPps: 1000},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nsA, err := eng.AttachNamespace(NamespaceConfig{Filters: testFilters(t, set, 1), Weight: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nsB, err := eng.AttachNamespace(NamespaceConfig{Filters: testFilters(t, set, 1)}) // weight 1
+	if err != nil {
+		t.Fatal(err)
+	}
+	nsC, err := eng.AttachNamespace(NamespaceConfig{
+		Filters: testFilters(t, set, 1), Weight: 5, AdmitPps: 50, // explicit cap wins; weight ignored
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rates := func() map[int]float64 {
+		out := map[int]float64{}
+		for _, nm := range eng.Metrics().Namespaces {
+			out[nm.NS] = nm.AdmitRatePps
+		}
+		return out
+	}
+	r := rates()
+	if r[nsA] != 750 || r[nsB] != 250 || r[nsC] != 50 {
+		t.Fatalf("shares %v, want A=750 B=250 C=50", r)
+	}
+
+	// Detaching the heavy tenant hands its share to the survivor.
+	if _, err := eng.DetachNamespace(nsA); err != nil {
+		t.Fatal(err)
+	}
+	r = rates()
+	if r[nsB] != 1000 || r[nsC] != 50 {
+		t.Fatalf("post-detach shares %v, want B=1000 C=50", r)
+	}
+}
+
+// TestAdmissionTombstoneCarriesSLO: a detached victim's tombstone carries
+// its final admission counters, and a full reconfigure folds the counters
+// forward instead of resetting them.
+func TestAdmissionTombstoneCarriesSLO(t *testing.T) {
+	set := testRules(t, 16)
+	clk := &admissionClock{}
+	eng, err := New(Config{
+		Shards:    1,
+		Admission: &AdmissionConfig{Burst: 10, Now: clk.now},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ns, err := eng.AttachNamespace(NamespaceConfig{
+		Filters: testFilters(t, set, 1), AdmitPps: 1000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Start(); err != nil {
+		t.Fatal(err)
+	}
+	descs := testDescriptors(t, set, 64)
+	eng.InjectBatch(descs[:25]) // 10 admitted, 15 throttled
+	eng.WaitDrained()
+
+	// Counters survive a full reconfigure (fresh filters, same bucket
+	// identity folded forward).
+	if err := eng.ReconfigureNamespace(ns, NamespaceConfig{
+		Filters: testFilters(t, set, 1), AdmitPps: 1000,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	nm := eng.Metrics().Namespaces[0]
+	if nm.Admitted != 10 || nm.Throttled != 15 {
+		t.Fatalf("post-reconfigure SLO admitted=%d throttled=%d, want 10/15", nm.Admitted, nm.Throttled)
+	}
+
+	final, err := eng.DetachNamespace(ns)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.Stop()
+	if final.Admitted != 10 || final.Throttled != 15 {
+		t.Fatalf("tombstone SLO admitted=%d throttled=%d, want 10/15", final.Admitted, final.Throttled)
+	}
+	if math.Abs(final.AdmitRatePps-1000) > 1e-9 {
+		t.Fatalf("tombstone AdmitRatePps %v, want 1000", final.AdmitRatePps)
+	}
+	tombs := eng.Tombstones()
+	if got := tombs[len(tombs)-1].Final; got != final {
+		t.Fatalf("tombstone %+v != detach return %+v", got, final)
+	}
+}

@@ -1,0 +1,420 @@
+package engine
+
+import (
+	"math/rand"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/innetworkfiltering/vif/internal/faults"
+	"github.com/innetworkfiltering/vif/internal/filter"
+	"github.com/innetworkfiltering/vif/internal/packet"
+	"github.com/innetworkfiltering/vif/internal/rules"
+	"github.com/innetworkfiltering/vif/internal/telemetry"
+)
+
+// The chaos suite drives the engine through deterministic fault schedules
+// (internal/faults) and asserts the robustness invariants that define
+// "graceful" degradation:
+//
+//   - No packet is lost or misattributed: every injected descriptor lands
+//     in exactly one counter class (accepted, throttled, backpressure,
+//     lb drop, ns drop), and every accepted descriptor is processed.
+//   - The data plane never parks: WaitDrained terminates under every
+//     schedule, including mid-burst worker panics.
+//   - Control-plane failures repair themselves: a failed delta rolls the
+//     namespace back to its pre-delta rules on every shard.
+//
+// All schedules are seeded, so a failure reproduces byte-for-byte.
+
+func chaosTelemetry(shards int) *telemetry.Telemetry {
+	return telemetry.New(telemetry.Config{
+		Shards: shards, TraceEvery: -1, JournalSize: 512,
+	})
+}
+
+func journalHas(tel *telemetry.Telemetry, typ telemetry.EventType) bool {
+	for _, ev := range tel.Journal().Events() {
+		if ev.Type == typ {
+			return true
+		}
+	}
+	return false
+}
+
+// TestChaosRingFullStorm: with the RingFull point firing on a hashed coin,
+// injections are refused as backpressure exactly as a genuinely full ring
+// would refuse them — and the accounting identity holds packet-for-packet
+// across both injection paths.
+func TestChaosRingFullStorm(t *testing.T) {
+	set := testRules(t, 64)
+	in := faults.New(1)
+	in.Enable(faults.RingFull, faults.Spec{Prob: 0.4})
+	tel := chaosTelemetry(2)
+	eng, err := New(Config{Filters: testFilters(t, set, 2), Telemetry: tel, Faults: in})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Start(); err != nil {
+		t.Fatal(err)
+	}
+	descs := testDescriptors(t, set, 8192)
+
+	var attempts, accepted uint64
+	for lo := 0; lo < len(descs); lo += 128 {
+		hi := lo + 128
+		if hi > len(descs) {
+			hi = len(descs)
+		}
+		accepted += uint64(eng.InjectBatch(descs[lo:hi]))
+		attempts += uint64(hi - lo)
+	}
+	for i := 0; i < 1024; i++ { // scalar path pays the same hook
+		if eng.Inject(descs[i]) {
+			accepted++
+		}
+		attempts++
+	}
+	eng.WaitDrained()
+	eng.Stop()
+
+	if in.Fired(faults.RingFull) == 0 {
+		t.Fatal("schedule never fired; the test exercised nothing")
+	}
+	m := eng.Metrics()
+	if m.Accepted != accepted {
+		t.Fatalf("engine accepted %d, producers counted %d", m.Accepted, accepted)
+	}
+	if m.Processed != m.Accepted {
+		t.Fatalf("processed %d != accepted %d after drain", m.Processed, m.Accepted)
+	}
+	if m.Accepted+m.Backpressure != attempts {
+		t.Fatalf("lost packets: accepted %d + backpressure %d != attempts %d",
+			m.Accepted, m.Backpressure, attempts)
+	}
+	if !journalHas(tel, telemetry.EvBackpressureOn) {
+		t.Fatal("no backpressure_on event for the injected storm")
+	}
+}
+
+// TestChaosWorkerPanicRecovery: a sink that blows up mid-burst must not
+// take the shard down. The supervisor restarts the worker, the panicked
+// burst is folded into faulted (counted processed, no verdict), the drain
+// invariant holds, and the restarts are journaled.
+func TestChaosWorkerPanicRecovery(t *testing.T) {
+	set := testRules(t, 64)
+	var hits atomic.Uint64
+	sink := func(_ int, _ packet.Descriptor) {
+		if hits.Add(1)%97 == 0 {
+			panic("chaos: sink blew up")
+		}
+	}
+	tel := chaosTelemetry(2)
+	eng, err := New(Config{Filters: testFilters(t, set, 2), Sink: sink, Telemetry: tel})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Start(); err != nil {
+		t.Fatal(err)
+	}
+	descs := testDescriptors(t, set, 8192)
+	var accepted uint64
+	for lo := 0; lo < len(descs); lo += 256 {
+		accepted += uint64(eng.InjectBatch(descs[lo : lo+256]))
+	}
+	eng.WaitDrained() // must terminate: faulted packets count as processed
+	if _, err := eng.RotateEpoch(0); err != nil {
+		t.Fatalf("rotation after recoveries: %v", err)
+	}
+	eng.Stop()
+
+	m := eng.Metrics()
+	if m.Restarts == 0 {
+		t.Fatal("no worker restarts; the panic schedule never tripped")
+	}
+	if m.Faulted == 0 {
+		t.Fatal("restarts without faulted packets: panicked bursts unaccounted")
+	}
+	if m.Processed != m.Accepted || m.Accepted != accepted {
+		t.Fatalf("drain invariant broken: accepted %d (produced %d), processed %d",
+			m.Accepted, accepted, m.Processed)
+	}
+	if got := m.Allowed + m.Dropped + m.Faulted + m.Orphaned; got != m.Processed {
+		t.Fatalf("verdict classes %d != processed %d (allowed=%d dropped=%d faulted=%d orphaned=%d)",
+			got, m.Processed, m.Allowed, m.Dropped, m.Faulted, m.Orphaned)
+	}
+	if !journalHas(tel, telemetry.EvWorkerRestart) {
+		t.Fatal("no worker_restart event journaled")
+	}
+}
+
+// TestChaosDeltaApplyRollback: a delta that fails on one shard mid-apply
+// (the other shard already committed it) must leave the namespace on its
+// pre-delta rules EVERYWHERE — the automatic full-Reconfigure rollback —
+// and the data plane must keep filtering afterwards.
+func TestChaosDeltaApplyRollback(t *testing.T) {
+	set := nsTestRules(t, 32, "192.0.2.0/24", 77)
+	in := faults.New(7)
+	tel := chaosTelemetry(2)
+	eng, err := New(Config{Filters: testFilters(t, set, 2), Telemetry: tel, Faults: in})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Start(); err != nil {
+		t.Fatal(err)
+	}
+	// TCP/443 flows miss every UDP drop rule: allowed until a delta adds
+	// a covering TCP rule. They are the probe for "is the delta active".
+	tcp := make([]packet.Descriptor, 512)
+	rng := rand.New(rand.NewSource(9))
+	victim := packet.MustParseIP("192.0.2.9")
+	for i := range tcp {
+		tcp[i] = packet.Descriptor{Tuple: packet.FiveTuple{
+			SrcIP: rng.Uint32(), DstIP: victim,
+			SrcPort: uint16(rng.Intn(60000) + 1), DstPort: 443,
+			Proto: packet.ProtoTCP,
+		}, Size: 64, Ref: packet.NoRef}
+	}
+	add := rules.Rule{
+		ID: 9001, Src: rules.MustParsePrefix("0.0.0.0/0"),
+		Dst: rules.MustParsePrefix("192.0.2.0/24"), Proto: packet.ProtoTCP,
+	}
+	d := filter.Delta{Adds: []rules.Rule{add}}
+
+	// Every=2: shard 0's apply survives (eval 1), shard 1's fails (eval
+	// 2) — the partial-application shape that forces a cross-shard repair.
+	in.Enable(faults.DeltaApply, faults.Spec{Every: 2})
+	err = eng.ReconfigureNamespaceDelta(0, []filter.Delta{d, d}, nil, nil)
+	if err == nil {
+		t.Fatal("delta succeeded under an apply fault")
+	}
+	if !strings.Contains(err.Error(), "rolled back") {
+		t.Fatalf("error does not report the rollback: %v", err)
+	}
+	if !journalHas(tel, telemetry.EvDeltaRollback) {
+		t.Fatal("no delta_rollback event journaled")
+	}
+
+	// The rolled-back namespace must filter as if the delta never
+	// happened, on BOTH shards: all TCP probes still pass.
+	allowedBefore := eng.Metrics().Allowed
+	if n := eng.InjectBatch(tcp); n != len(tcp) {
+		t.Fatalf("inject after rollback: %d of %d", n, len(tcp))
+	}
+	eng.WaitDrained()
+	if got := eng.Metrics().Allowed - allowedBefore; got != uint64(len(tcp)) {
+		t.Fatalf("rollback incomplete: %d of %d TCP probes allowed (a shard kept the delta)",
+			got, len(tcp))
+	}
+
+	// With the fault gone the same delta lands, and the probes now drop.
+	in.Disable(faults.DeltaApply)
+	if err := eng.ReconfigureNamespaceDelta(0, []filter.Delta{d, d}, nil, nil); err != nil {
+		t.Fatalf("delta after fault cleared: %v", err)
+	}
+	droppedBefore := eng.Metrics().Dropped
+	eng.InjectBatch(tcp)
+	eng.WaitDrained()
+	eng.Stop()
+	if got := eng.Metrics().Dropped - droppedBefore; got != uint64(len(tcp)) {
+		t.Fatalf("delta not active after rollback recovery: %d of %d dropped", got, len(tcp))
+	}
+	for i := 0; i < 2; i++ {
+		if got := eng.Filter(i).Rules().Len(); got != set.Len()+1 {
+			t.Fatalf("shard %d holds %d rules, want %d", i, got, set.Len()+1)
+		}
+	}
+}
+
+// TestChaosPagingSpikeRebalance: an injected paging spike inflates one
+// victim's observed demand; the reapportionment must follow the demand
+// while the shares keep summing to exactly the machine EPC.
+func TestChaosPagingSpikeRebalance(t *testing.T) {
+	const epc = 64 << 20
+	setA := nsTestRules(t, 100, "192.0.2.0/24", 11)
+	setB := nsTestRules(t, 100, "198.51.100.0/24", 12)
+	in := faults.New(3)
+	eng, err := New(Config{Shards: 2, EPCBytes: epc, Faults: in})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nsA, err := eng.AttachNamespace(NamespaceConfig{Filters: testFilters(t, setA, 2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nsB, err := eng.AttachNamespace(NamespaceConfig{Filters: testFilters(t, setB, 2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.RebalanceEPC()
+	before := eng.EPCShares()
+
+	// Every=2 with two tenants per rebalance: exactly one tenant spikes
+	// (which one depends on the evaluation ordinal — deterministic for
+	// the seed, but not part of the contract). The shares must follow
+	// the spiked demand and still sum to the machine EPC exactly.
+	in.Enable(faults.PagingSpike, faults.Spec{Every: 2})
+	eng.RebalanceEPC()
+	after := eng.EPCShares()
+	if after[nsA]+after[nsB] != epc {
+		t.Fatalf("shares no longer sum to the EPC under a spike: %v", after)
+	}
+	grewA := after[nsA] > before[nsA] && after[nsB] < before[nsB]
+	grewB := after[nsB] > before[nsB] && after[nsA] < before[nsA]
+	if !grewA && !grewB {
+		t.Fatalf("shares did not follow the spiked demand: before %v after %v", before, after)
+	}
+}
+
+// TestChaosRandomizedSchedule: a seeded random schedule of fault flips,
+// injections, rotations, and rebalances. After every drain the global
+// accounting identities must hold exactly — nothing lost, nothing
+// double-counted, the engine never wedged. Two seeds guard against a
+// schedule that happens to dodge the interesting interleavings.
+func TestChaosRandomizedSchedule(t *testing.T) {
+	for _, seed := range []uint64{1, 42} {
+		seed := seed
+		t.Run("", func(t *testing.T) {
+			set := testRules(t, 64)
+			in := faults.New(seed)
+			rng := rand.New(rand.NewSource(int64(seed)))
+			var hits atomic.Uint64
+			sink := func(_ int, _ packet.Descriptor) {
+				if hits.Add(1)%503 == 0 {
+					panic("chaos: scheduled sink panic")
+				}
+			}
+			tel := chaosTelemetry(2)
+			eng, err := New(Config{
+				Filters: testFilters(t, set, 2), Sink: sink,
+				Telemetry: tel, Faults: in, EPCBytes: 64 << 20,
+				Admission: &AdmissionConfig{}, // explicit caps only; ns 0 uncapped
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := eng.Start(); err != nil {
+				t.Fatal(err)
+			}
+			descs := testDescriptors(t, set, 4096)
+
+			check := func(stage int) {
+				eng.WaitDrained()
+				m := eng.Metrics()
+				if m.Processed != m.Accepted {
+					t.Fatalf("round %d: processed %d != accepted %d", stage, m.Processed, m.Accepted)
+				}
+				if got := m.Allowed + m.Dropped + m.Faulted + m.Orphaned; got != m.Processed {
+					t.Fatalf("round %d: verdict classes %d != processed %d", stage, got, m.Processed)
+				}
+			}
+			for round := 0; round < 40; round++ {
+				switch rng.Intn(6) {
+				case 0:
+					in.Enable(faults.RingFull, faults.Spec{Prob: rng.Float64() * 0.5})
+				case 1:
+					in.Disable(faults.RingFull)
+				case 2:
+					if _, err := eng.RotateEpoch(0); err != nil {
+						t.Fatalf("round %d: rotate: %v", round, err)
+					}
+				case 3:
+					in.Enable(faults.PagingSpike, faults.Spec{Every: uint64(rng.Intn(3) + 1)})
+					eng.RebalanceEPC()
+					in.Disable(faults.PagingSpike)
+				case 4:
+					check(round)
+				}
+				lo := rng.Intn(len(descs) - 256)
+				eng.InjectBatch(descs[lo : lo+rng.Intn(256)])
+			}
+			check(-1)
+			eng.Stop()
+			check(-2) // final: stop drained everything, counters still exact
+		})
+	}
+}
+
+// TestDetachDuringBackpressure: detaching a namespace in the middle of an
+// active backpressure episode (tiny ring, flooding producer) must yield
+// exact final counters — the fence quiesces the victim before folding —
+// and the shard's backpressure episode must still close with its
+// backpressure_off event once the flood stops.
+func TestDetachDuringBackpressure(t *testing.T) {
+	set := nsTestRules(t, 256, "192.0.2.0/24", 99)
+	tel := telemetry.New(telemetry.Config{
+		Shards: 1, SampleEvery: 1, TraceEvery: -1, JournalSize: 512,
+	})
+	eng, err := New(Config{Shards: 1, RingSize: 8, Telemetry: tel})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ns, err := eng.AttachNamespace(NamespaceConfig{Filters: testFilters(t, set, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Start(); err != nil {
+		t.Fatal(err)
+	}
+	descs := nsTestDescriptors(t, set, 2048, "192.0.2.9", uint16(ns), 3)
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				eng.InjectBatch(descs)
+			}
+		}
+	}()
+
+	// An 8-slot ring under 2048-packet floods: backpressure is immediate.
+	deadline := time.Now().Add(10 * time.Second)
+	for eng.Metrics().Backpressure == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("flood never backpressured the ring")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	final, err := eng.DetachNamespace(ns)
+	if err != nil {
+		t.Fatalf("detach under backpressure: %v", err)
+	}
+	close(stop)
+	wg.Wait()
+
+	// Exactness: the fold happened after the fence, so the victim's
+	// verdict classes partition its processed count with no slack.
+	if final.Processed != final.Allowed+final.Dropped {
+		t.Fatalf("tombstone counters inexact: processed %d != allowed %d + dropped %d",
+			final.Processed, final.Allowed, final.Dropped)
+	}
+	tombs := eng.Tombstones()
+	if len(tombs) == 0 || tombs[len(tombs)-1].Final != final {
+		t.Fatalf("tombstone does not match the detach return: %+v", tombs)
+	}
+
+	// The episode closes: the worker drains the orphaned remainder and
+	// emits backpressure_off from its idle loop.
+	eng.WaitDrained()
+	deadline = time.Now().Add(10 * time.Second)
+	for !journalHas(tel, telemetry.EvBackpressureOff) {
+		if time.Now().After(deadline) {
+			t.Fatal("backpressure_off never fired after the flood stopped")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	eng.Stop()
+	m := eng.Metrics()
+	if m.Processed != m.Accepted {
+		t.Fatalf("drain invariant broken across detach: processed %d accepted %d", m.Processed, m.Accepted)
+	}
+}

@@ -10,9 +10,11 @@ import (
 	"time"
 
 	"github.com/innetworkfiltering/vif/internal/enclave"
+	"github.com/innetworkfiltering/vif/internal/faults"
 	"github.com/innetworkfiltering/vif/internal/filter"
 	"github.com/innetworkfiltering/vif/internal/packet"
 	"github.com/innetworkfiltering/vif/internal/pipeline"
+	"github.com/innetworkfiltering/vif/internal/rules"
 	"github.com/innetworkfiltering/vif/internal/telemetry"
 )
 
@@ -95,6 +97,16 @@ type Config struct {
 	// (telemetry.New with Shards equal to the shard count). Nil disables
 	// all instrumentation; the hot path then carries only nil checks.
 	Telemetry *telemetry.Telemetry
+	// Admission, when set, gates every namespace's ingress behind a
+	// weighted token bucket (see AdmissionConfig) so one victim's
+	// volumetric flood throttles itself instead of starving its
+	// neighbors' ring and EPC shares. Nil disables admission.
+	Admission *AdmissionConfig
+	// Faults threads the deterministic fault-injection harness through
+	// the engine's hooks (ring-full storms, paging spikes, delta-apply
+	// failures). Nil — the production default — disables every hook at
+	// the cost of one nil check each.
+	Faults *faults.Injector
 }
 
 func (c *Config) fillDefaults() {
@@ -121,6 +133,15 @@ type NamespaceConfig struct {
 	// Sink observes this namespace's allowed packets (in addition to the
 	// engine-wide Config.Sink). Nil discards.
 	Sink Sink
+	// Weight is the namespace's admission weight when Config.Admission
+	// sets an engine-wide TotalPps budget: admitted rates are apportioned
+	// weight/Σweights across attached namespaces. <= 0 defaults to 1.
+	// Ignored without Config.Admission.
+	Weight int
+	// AdmitPps, when > 0, caps this namespace's admitted packet rate
+	// explicitly, overriding any weighted share — the knob an operator
+	// turns on an attacked victim. Ignored without Config.Admission.
+	AdmitPps float64
 }
 
 // rotateTicket asks one worker to act at its next batch boundary: seal the
@@ -193,6 +214,10 @@ type namespace struct {
 	routeBatch func(ds []packet.Descriptor, shards []int32)
 	sink       Sink
 	shards     []*nsShard // indexed by shard id
+	// adm is the victim's ingress admission gate (nil without
+	// Config.Admission). Like the nsShard cells it survives routing
+	// swaps: successor namespace objects carry the same pointer.
+	adm *admission
 
 	mu       sync.Mutex // serializes this namespace's rotations vs its detach
 	epoch    uint64     // last sealed epoch seq, under mu
@@ -221,6 +246,16 @@ type shard struct {
 	// 1-in-N inject batches).
 	claimed []claimedTrace
 
+	// Panic-supervision scratch, touched only by the owning worker (its
+	// loop and the recover in the same goroutine): how much of the burst
+	// in flight has been attributed to verdict counters, and which ticket
+	// is being served, so a panicked burst is folded into processed/
+	// faulted and an in-flight control caller gets an error instead of a
+	// hang.
+	inflight  int
+	accounted int
+	curTicket *rotateTicket
+
 	// Atomic metrics block. The worker-owned counters and the producer-
 	// written backpressure counter live on separate cache lines: producers
 	// hammering backpressure on a full ring must not invalidate the line
@@ -234,7 +269,9 @@ type shard struct {
 	batches   atomic.Uint64
 	promoted  atomic.Uint64
 	orphaned  atomic.Uint64 // packets whose namespace detached while they sat in the ring
-	_         [8]byte
+	faulted   atomic.Uint64 // packets lost to a worker panic mid-burst (counted processed, no verdict)
+	restarts  atomic.Uint64 // worker panic recoveries
+	_         [56]byte
 	// backpressure is written by any producer whose enqueue hit a full
 	// ring — the only cross-thread counter in the block.
 	backpressure atomic.Uint64
@@ -330,8 +367,9 @@ type injectScratch struct {
 
 // shard markers inside injectScratch.shards beyond valid indices.
 const (
-	shardLBDrop int32 = -1 // balancer discarded the packet
-	shardNSDrop int32 = -2 // no such namespace attached
+	shardLBDrop  int32 = -1 // balancer discarded the packet
+	shardNSDrop  int32 = -2 // no such namespace attached
+	shardAdmDrop int32 = -3 // admission throttled the packet at ingress
 )
 
 // New assembles an engine; call Start to launch the workers. When
@@ -480,6 +518,7 @@ func (e *Engine) buildNamespace(id int, cfg NamespaceConfig) (*namespace, error)
 		routeBatch: cfg.RouteBatch,
 		sink:       cfg.Sink,
 		shards:     make([]*nsShard, n),
+		adm:        newAdmission(e.cfg.Admission, cfg.Weight, cfg.AdmitPps),
 	}
 	for i, f := range cfg.Filters {
 		if f == nil {
@@ -577,6 +616,7 @@ func (e *Engine) AttachNamespace(cfg NamespaceConfig) (int, error) {
 	}
 	e.nss.Store(cowSet(&cur, id, ns))
 	e.rebalanceEPC()
+	e.rebalanceAdmission()
 	e.emit(telemetry.EvAttach, id, -1, fmt.Sprintf("filters=%d", len(cfg.Filters)))
 	return id, nil
 }
@@ -633,6 +673,11 @@ func (e *Engine) DetachNamespace(id int) (NamespaceMetrics, error) {
 	if final.Processed > 0 {
 		final.NsPerPacket = virtual / float64(final.Processed)
 	}
+	if ns.adm != nil {
+		final.Admitted = ns.adm.admitted.Load()
+		final.Throttled = ns.adm.throttled.Load()
+		final.AdmitRatePps = ns.adm.rate()
+	}
 	if budget := e.budget.Load(); budget != nil {
 		final.EPCShareBytes = budget.Share(id)
 	}
@@ -646,6 +691,7 @@ func (e *Engine) DetachNamespace(id int) (NamespaceMetrics, error) {
 		budget.Remove(id)
 	}
 	e.rebalanceEPC()
+	e.rebalanceAdmission()
 	e.recordTombstone(final)
 	e.emit(telemetry.EvDetach, id, -1, fmt.Sprintf(
 		"processed=%d allowed=%d dropped=%d tombstoned", final.Processed, final.Allowed, final.Dropped))
@@ -737,7 +783,15 @@ func (e *Engine) ReconfigureNamespace(id int, cfg NamespaceConfig) error {
 		o.f.Enclave().SetEPCBudget(0)
 		o.f.SetStageRecorder(nil)
 	}
+	if ns.adm != nil && old.adm != nil {
+		// Per-victim SLO counters ride through a full reconfigure like the
+		// verdict cells; the bucket itself starts fresh under the new
+		// weight/cap.
+		ns.adm.admitted.Add(old.adm.admitted.Load())
+		ns.adm.throttled.Add(old.adm.throttled.Load())
+	}
 	e.rebalanceEPC()
+	e.rebalanceAdmission()
 	e.emit(telemetry.EvReconfigure, id, -1, "full rebuild")
 	return nil
 }
@@ -763,10 +817,14 @@ func (e *Engine) ReconfigureNamespace(id int, cfg NamespaceConfig) error {
 // as with ReconfigureNamespace). The EPC budget is rebalanced from the
 // filters' changed rule-memory weights before returning.
 //
-// On error (an invalid delta refused by some shard's filter) the
-// namespace may be left with the delta applied on some shards only;
-// ReconfigureNamespace — the full-rebuild oracle path — remains the
-// repair. The routing swap is skipped in that case.
+// On error (an invalid delta refused by some shard's filter, or an
+// injected fault) the namespace is REPAIRED AUTOMATICALLY: every shard is
+// rolled back to its pre-delta rule view through the full-rebuild oracle
+// path (Filter.Reconfigure on the worker goroutine), a delta_rollback
+// event is journaled, and the error is returned. The rollback restores
+// the rule sets exactly; learned exact-match state and pending
+// promotions are sacrificed, as any full reconfigure does. The routing
+// swap is skipped in that case.
 func (e *Engine) ReconfigureNamespaceDelta(id int, deltas []filter.Delta, route func(packet.FiveTuple) (int, bool), routeBatch func(ds []packet.Descriptor, shards []int32)) error {
 	e.nsMu.Lock()
 	defer e.nsMu.Unlock()
@@ -781,13 +839,27 @@ func (e *Engine) ReconfigureNamespaceDelta(id int, deltas []filter.Delta, route 
 		return fmt.Errorf("%w: got %d deltas for %d shards", ErrShardMismatch, len(deltas), len(e.shards))
 	}
 
+	// Capture every shard's pre-delta rule view first: on a partial
+	// failure the rollback below restores exactly this, even on shards
+	// whose filter state a failed apply corrupted.
+	saved := make([]savedRules, len(e.shards))
+	for i := range e.shards {
+		f := ns.shards[i].f
+		saved[i] = savedRules{set: f.Rules(), foreign: f.ForeignRules()}
+	}
+
 	var errs []error
 	if e.running.Load() {
 		tickets := make([]*rotateTicket, len(e.shards))
 		for i, s := range e.shards {
 			f, d := ns.shards[i].f, deltas[i]
 			t := &rotateTicket{
-				apply: func() error { return f.ReconfigureDelta(d) },
+				apply: func() error {
+					if e.cfg.Faults.Should(faults.DeltaApply) {
+						return fmt.Errorf("engine: delta apply: %w", faults.ErrInjected)
+					}
+					return f.ReconfigureDelta(d)
+				},
 				reply: make(chan shardEpoch, 1),
 			}
 			tickets[i] = t
@@ -801,28 +873,41 @@ func (e *Engine) ReconfigureNamespaceDelta(id int, deltas []filter.Delta, route 
 	} else {
 		// Workers are not running: the control plane owns the filters.
 		for i := range e.shards {
+			if e.cfg.Faults.Should(faults.DeltaApply) {
+				errs = append(errs, fmt.Errorf("engine: shard %d delta: %w", i, faults.ErrInjected))
+				continue
+			}
 			if err := ns.shards[i].f.ReconfigureDelta(deltas[i]); err != nil {
 				errs = append(errs, fmt.Errorf("engine: shard %d delta: %w", i, err))
 			}
 		}
 	}
 	if len(errs) > 0 {
-		// Some shards may have applied before the failure: rebalance from
-		// the filters' LIVE rule-memory weights so EPC shares and paging
-		// pricing stay consistent with whatever actually installed, then
-		// surface the error (routing swap skipped; full
-		// ReconfigureNamespace is the repair).
+		// Partial failure: some shards applied, others refused (or were
+		// left mid-apply). Roll every shard back to its captured pre-delta
+		// view through the full-rebuild path, on the worker goroutines, so
+		// the namespace is never left split-brained; then rebalance EPC
+		// from the restored weights and surface the error (routing swap
+		// skipped).
+		rbErrs := e.rollbackDelta(ns, saved)
 		e.rebalanceEPC()
-		return errors.Join(errs...)
+		e.emit(telemetry.EvDeltaRollback, id, -1, fmt.Sprintf(
+			"failed_shards=%d rollback_errs=%d", len(errs), len(rbErrs)))
+		if len(rbErrs) > 0 {
+			errs = append(errs, rbErrs...)
+			return fmt.Errorf("engine: delta failed and rollback incomplete: %w", errors.Join(errs...))
+		}
+		return fmt.Errorf("engine: delta failed, namespace rolled back to pre-delta rules: %w", errors.Join(errs...))
 	}
 
 	if route != nil || routeBatch != nil {
 		// Swap only the routing programme: a successor namespace object
-		// sharing the same cells (filters and counters), published with the
-		// same retire-then-commit critical section ReconfigureNamespace
-		// uses so concurrent rotations retry against the successor. No
-		// fence and no counter folding — the workers' views are unchanged.
-		ns2 := &namespace{id: id, route: route, routeBatch: routeBatch, sink: ns.sink, shards: ns.shards}
+		// sharing the same cells (filters, counters, admission gate),
+		// published with the same retire-then-commit critical section
+		// ReconfigureNamespace uses so concurrent rotations retry against
+		// the successor. No fence and no counter folding — the workers'
+		// views are unchanged.
+		ns2 := &namespace{id: id, route: route, routeBatch: routeBatch, sink: ns.sink, shards: ns.shards, adm: ns.adm}
 		ns2.finishRouting(len(e.shards))
 		ns.mu.Lock()
 		ns2.epoch = ns.epoch
@@ -842,6 +927,45 @@ func (e *Engine) ReconfigureNamespaceDelta(id int, deltas []filter.Delta, route 
 			"adds=%d removes=%d routing_swap=%t", adds, removes, route != nil || routeBatch != nil))
 	}
 	return nil
+}
+
+// savedRules is one shard's captured pre-delta rule view — everything
+// Filter.Reconfigure needs to restore it.
+type savedRules struct {
+	set, foreign *rules.Set
+}
+
+// rollbackDelta restores every shard of a namespace to its captured
+// pre-delta view via the full-rebuild path, on the worker goroutines when
+// they run (the same apply-ticket discipline as the delta itself), so a
+// partial ReconfigureNamespaceDelta failure never leaves the namespace
+// split-brained. Called under nsMu + lifeMu.RLock.
+func (e *Engine) rollbackDelta(ns *namespace, saved []savedRules) []error {
+	var errs []error
+	if e.running.Load() {
+		tickets := make([]*rotateTicket, len(e.shards))
+		for i, s := range e.shards {
+			f, sv := ns.shards[i].f, saved[i]
+			t := &rotateTicket{
+				apply: func() error { return f.Reconfigure(sv.set, sv.foreign) },
+				reply: make(chan shardEpoch, 1),
+			}
+			tickets[i] = t
+			s.rotate <- t
+		}
+		for i, t := range tickets {
+			if se := <-t.reply; se.err != nil {
+				errs = append(errs, fmt.Errorf("engine: shard %d rollback: %w", i, se.err))
+			}
+		}
+		return errs
+	}
+	for i := range e.shards {
+		if err := ns.shards[i].f.Reconfigure(saved[i].set, saved[i].foreign); err != nil {
+			errs = append(errs, fmt.Errorf("engine: shard %d rollback: %w", i, err))
+		}
+	}
+	return errs
 }
 
 // cowSet returns a copy of *p with index id set to v, growing as needed —
@@ -877,10 +1001,31 @@ func (e *Engine) fence() {
 	}
 }
 
-// rebalanceEPC recomputes every namespace's EPC share (weight: the sum of
-// its filters' rule-table footprints) and pushes the allowance into each
-// enclave, where the cost model prices accesses beyond it as paging.
-// Called under nsMu (the only budget writer).
+// RebalanceEPC re-apportions the machine EPC across attached namespaces
+// from their enclaves' OBSERVED working sets — the live demand signal
+// behind PagingPressure — instead of the static rule-memory weights the
+// attach-time split starts from. A victim whose learned flows, pending
+// promotions, and packet logs outgrow its share pulls budget toward
+// itself at the operator's (or audit cadence's) next call, which is what
+// drives its paging pressure back down; a shrinking victim releases
+// budget the same way. Safe to call from any goroutine at any time: it
+// takes only the namespace-table lock, so it composes with a concurrent
+// rotation or audit without ordering against the engine lifecycle.
+func (e *Engine) RebalanceEPC() {
+	e.nsMu.Lock()
+	defer e.nsMu.Unlock()
+	e.rebalanceEPC()
+}
+
+// rebalanceEPC recomputes every namespace's EPC share and pushes the
+// allowance into each enclave, where the cost model prices accesses
+// beyond it as paging. The weight is the namespace's observed demand:
+// the sum of its enclaves' live working sets (enclave.MemoryUsed — rule
+// tables plus learned flows plus the packet logs), which at attach time
+// equals the rule-memory footprint and then tracks what the victim
+// actually keeps resident. A PagingSpike fault inflates one victim's
+// demand to chaos-test the reapportionment. Called under nsMu (the only
+// budget writer).
 func (e *Engine) rebalanceEPC() {
 	nss := *e.nss.Load()
 	budget := e.budget.Load()
@@ -906,7 +1051,13 @@ func (e *Engine) rebalanceEPC() {
 		}
 		w := 0
 		for _, t := range ns.shards {
-			w += t.f.RuleMemoryBytes()
+			w += t.f.Enclave().MemoryUsed()
+		}
+		if e.cfg.Faults.Should(faults.PagingSpike) {
+			// Injected paging spike: this victim's working set "blew up"
+			// eightfold; the apportionment must absorb it without
+			// disturbing the shares-sum-to-EPC invariant.
+			w *= 8
 		}
 		budget.Set(ns.id, w)
 	}
@@ -1026,13 +1177,20 @@ func (e *Engine) Inject(d packet.Descriptor) bool {
 		e.nsDrops.Add(1)
 		return false
 	}
+	if a := ns.adm; a != nil {
+		if a.take(1) == 0 {
+			e.noteThrottle(ns.id, a, 1)
+			return false
+		}
+		a.noteAdmitted()
+	}
 	j, ok := ns.route(d.Tuple)
 	if !ok {
 		e.lbDrops.Add(1)
 		return false
 	}
 	s := e.shards[j]
-	if !s.ring.Enqueue(d) {
+	if e.cfg.Faults.Should(faults.RingFull) || !s.ring.Enqueue(d) {
 		s.backpressure.Add(1)
 		e.noteBackpressure(s)
 		return false
@@ -1103,7 +1261,25 @@ func (e *Engine) InjectBatch(ds []packet.Descriptor) int {
 			}
 			nsDrops += uint64(j - i)
 		} else {
-			ns.routeBatch(ds[i:j], shards[i:j])
+			// Admission gate, once per namespace run: the throttled tail of
+			// the run is marked and never routed — an overdriven victim's
+			// excess costs its neighbors a marker write per packet, not a
+			// route + ring reservation.
+			admit := j - i
+			if a := ns.adm; a != nil {
+				admit = a.take(j - i)
+				if admit < j-i {
+					e.noteThrottle(int(id), a, j-i-admit)
+					for k := i + admit; k < j; k++ {
+						shards[k] = shardAdmDrop
+					}
+				} else {
+					a.noteAdmitted()
+				}
+			}
+			if admit > 0 {
+				ns.routeBatch(ds[i:i+admit], shards[i:i+admit])
+			}
 		}
 		i = j
 	}
@@ -1147,7 +1323,10 @@ func (e *Engine) InjectBatch(ds []packet.Descriptor) int {
 			pend.Trace.EnqueueNS = telemetry.Now()
 			e.tracer.Publish(pend)
 		}
-		n := s.ring.EnqueueBatch(run)
+		n := 0
+		if !e.cfg.Faults.Should(faults.RingFull) {
+			n = s.ring.EnqueueBatch(run)
+		}
 		if n < len(run) {
 			s.backpressure.Add(uint64(len(run) - n))
 			e.noteBackpressure(s)
@@ -1255,15 +1434,56 @@ func (e *Engine) Epoch(id int) uint64 {
 	return ns.epoch
 }
 
-// run is the shard worker loop: burst-dequeue, filter, honor rotation and
-// fence tickets at batch boundaries, drain on stop. With telemetry the
-// worker holds its own stage recorder: a sampled burst additionally pays
-// the clock reads bounding its stages; every other burst pays one counter
-// increment (Sample) and one atomic tracer load (inside process).
+// run is the shard worker supervisor: it launches the loop and re-enters
+// it after a recovered panic, so a poisoned packet, a panicking sink, or
+// a filter bug degrades one burst — accounted as faulted, journaled as a
+// worker_restart — instead of silently killing the shard and parking the
+// data plane. Views, the ring, and every counter survive the restart
+// untouched.
 func (s *shard) run(e *Engine) {
 	defer close(s.done)
 	batch := make([]packet.Descriptor, e.cfg.Batch)
 	rec := e.tel.Recorder(s.id)
+	for s.loop(e, batch, rec) {
+	}
+}
+
+// recoverWorker repairs the books after a worker panic: an in-flight
+// control ticket gets an error reply (its caller must not hang on a
+// channel nobody will ever send to), and the interrupted burst's
+// unattributed remainder is folded into processed — as faulted, since no
+// verdict exists for it — so the accepted==processed drain invariant
+// holds exactly across the restart.
+func (s *shard) recoverWorker(e *Engine, r any) {
+	if t := s.curTicket; t != nil {
+		s.curTicket = nil
+		t.reply <- shardEpoch{err: fmt.Errorf("engine: shard %d worker panic: %v", s.id, r)}
+	}
+	if n := s.inflight; n > 0 {
+		if rem := n - s.accounted; rem > 0 {
+			s.faulted.Add(uint64(rem))
+		}
+		s.processed.Add(uint64(n))
+		s.inflight, s.accounted = 0, 0
+	}
+	s.restarts.Add(1)
+	e.emit(telemetry.EvWorkerRestart, -1, s.id, fmt.Sprintf("recovered: %v", r))
+}
+
+// loop is one supervised incarnation of the worker: burst-dequeue,
+// filter, honor rotation and fence tickets at batch boundaries, drain on
+// stop. It returns false on clean shutdown; a panic anywhere inside is
+// recovered and accounted, and the supervisor re-enters. With telemetry
+// the worker holds its own stage recorder: a sampled burst additionally
+// pays the clock reads bounding its stages; every other burst pays one
+// counter increment (Sample) and one atomic tracer load (inside process).
+func (s *shard) loop(e *Engine, batch []packet.Descriptor, rec *telemetry.StageRecorder) (again bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			s.recoverWorker(e, r)
+			again = true
+		}
+	}()
 	var waitStart time.Time
 	waiting := false
 	for {
@@ -1324,6 +1544,12 @@ func (s *shard) drainTickets(e *Engine) {
 }
 
 func (s *shard) serveTicket(e *Engine, t *rotateTicket) {
+	// Remember the ticket across the call: if serving it panics (an apply
+	// closure, a snapshot), the recovery path replies with the error so
+	// the control-plane caller never hangs. Replies are buffered, and
+	// every path below replies exactly once as its last action, so the
+	// recovery reply can never double-send.
+	s.curTicket = t
 	switch {
 	case t.fence:
 		t.reply <- shardEpoch{}
@@ -1332,6 +1558,7 @@ func (s *shard) serveTicket(e *Engine, t *rotateTicket) {
 	default:
 		s.doRotate(e, t)
 	}
+	s.curTicket = nil
 }
 
 // process pushes one burst through the filters' batch path, splitting it
@@ -1340,9 +1567,13 @@ func (s *shard) serveTicket(e *Engine, t *rotateTicket) {
 // the multi-victim dispatch costs a 2-byte compare per packet and one
 // atomic view load per burst, nothing on the per-packet path. Packets of
 // detached namespaces are dropped and counted as orphaned (never
-// attributed to any victim).
+// attributed to any victim). Verdict counters publish per run (worker-
+// owned lines, so the extra adds are cheap) and inflight/accounted track
+// progress, so a panic mid-burst leaves recoverWorker an exact picture:
+// completed runs keep their verdicts, the remainder counts as faulted.
 func (s *shard) process(e *Engine, batch []packet.Descriptor, rec *telemetry.StageRecorder, sampled bool) {
 	views := *s.views.Load()
+	s.inflight, s.accounted = len(batch), 0
 
 	// Packet tracing: one atomic load per burst; only when a sampled
 	// descriptor is actually in flight does the worker hash-scan the burst
@@ -1367,7 +1598,6 @@ func (s *shard) process(e *Engine, batch []packet.Descriptor, rec *telemetry.Sta
 		start = time.Now()
 	}
 
-	var allowed, dropped, orphaned uint64
 	for i := 0; i < len(batch); {
 		id := batch[i].NS
 		j := i + 1
@@ -1380,7 +1610,8 @@ func (s *shard) process(e *Engine, batch []packet.Descriptor, rec *telemetry.Sta
 			t = views[id]
 		}
 		if t == nil {
-			orphaned += uint64(len(run))
+			s.orphaned.Add(uint64(len(run)))
+			s.accounted += len(run)
 			s.completeTraces(e, t, i, j, batch)
 			i = j
 			continue
@@ -1409,17 +1640,14 @@ func (s *shard) process(e *Engine, batch []packet.Descriptor, rec *telemetry.Sta
 		t.processed.Add(uint64(len(run)))
 		t.allowed.Add(runAllowed)
 		t.dropped.Add(runDropped)
-		allowed += runAllowed
-		dropped += runDropped
+		s.allowed.Add(runAllowed)
+		s.dropped.Add(runDropped)
+		s.accounted += len(run)
 		s.completeTraces(e, t, i, j, batch)
 		i = j
 	}
-	s.allowed.Add(allowed)
-	s.dropped.Add(dropped)
-	if orphaned > 0 {
-		s.orphaned.Add(orphaned)
-	}
 	s.processed.Add(uint64(len(batch)))
+	s.inflight = 0
 	s.batches.Add(1)
 	if sampled {
 		rec.Record(telemetry.StageFlush, time.Since(start)-filterTime)

@@ -35,6 +35,9 @@ func (e *Engine) collect() []telemetry.Metric {
 	single("vif_engine_lb_drops_total", "Descriptors the balancer discarded before any shard.", telemetry.Counter, float64(m.LBDrops))
 	single("vif_engine_ns_drops_total", "Descriptors stamped with an unattached namespace.", telemetry.Counter, float64(m.NSDrops))
 	single("vif_engine_backpressure_total", "Producer enqueue failures on full shard rings.", telemetry.Counter, float64(m.Backpressure))
+	single("vif_engine_throttled_total", "Descriptors refused at ingress by admission control.", telemetry.Counter, float64(m.Throttled))
+	single("vif_engine_faulted_total", "Descriptors lost to worker panics (processed without a verdict).", telemetry.Counter, float64(m.Faulted))
+	single("vif_engine_worker_restarts_total", "Shard worker panic recoveries.", telemetry.Counter, float64(m.Restarts))
 	single("vif_engine_queue_depth", "Descriptors sitting in shard rings.", telemetry.Gauge, float64(m.QueueDepth))
 	single("vif_engine_uptime_seconds", "Wall-clock time since Start.", telemetry.Gauge, m.Elapsed.Seconds())
 	single("vif_engine_pps", "Average processed packets per second since Start.", telemetry.Gauge, m.PPS)
@@ -54,6 +57,8 @@ func (e *Engine) collect() []telemetry.Metric {
 	shardFam("vif_shard_allowed_total", "Descriptors this shard allowed.", telemetry.Counter, func(s ShardMetrics) float64 { return float64(s.Allowed) })
 	shardFam("vif_shard_dropped_total", "Descriptors this shard dropped.", telemetry.Counter, func(s ShardMetrics) float64 { return float64(s.Dropped) })
 	shardFam("vif_shard_orphaned_total", "Orphaned descriptors this shard drained.", telemetry.Counter, func(s ShardMetrics) float64 { return float64(s.Orphaned) })
+	shardFam("vif_shard_faulted_total", "Descriptors this shard lost to worker panics.", telemetry.Counter, func(s ShardMetrics) float64 { return float64(s.Faulted) })
+	shardFam("vif_shard_restarts_total", "Worker panic recoveries on this shard.", telemetry.Counter, func(s ShardMetrics) float64 { return float64(s.Restarts) })
 	shardFam("vif_shard_backpressure_total", "Enqueue failures on this shard's ring.", telemetry.Counter, func(s ShardMetrics) float64 { return float64(s.Backpressure) })
 	shardFam("vif_shard_queue_depth", "This shard's ring occupancy.", telemetry.Gauge, func(s ShardMetrics) float64 { return float64(s.QueueDepth) })
 	shardFam("vif_shard_epochs_total", "Epoch rotations this shard sealed.", telemetry.Counter, func(s ShardMetrics) float64 { return float64(s.Epochs) })
@@ -75,6 +80,9 @@ func (e *Engine) collect() []telemetry.Metric {
 		nsFam("vif_namespace_processed_total", "Descriptors decided for this victim.", telemetry.Counter, func(n NamespaceMetrics) float64 { return float64(n.Processed) })
 		nsFam("vif_namespace_allowed_total", "Descriptors allowed for this victim.", telemetry.Counter, func(n NamespaceMetrics) float64 { return float64(n.Allowed) })
 		nsFam("vif_namespace_dropped_total", "Descriptors dropped for this victim.", telemetry.Counter, func(n NamespaceMetrics) float64 { return float64(n.Dropped) })
+		nsFam("vif_namespace_admitted_total", "Descriptors past this victim's admission gate.", telemetry.Counter, func(n NamespaceMetrics) float64 { return float64(n.Admitted) })
+		nsFam("vif_namespace_throttled_total", "Descriptors refused at ingress for this victim.", telemetry.Counter, func(n NamespaceMetrics) float64 { return float64(n.Throttled) })
+		nsFam("vif_namespace_admit_rate_pps", "This victim's admitted-rate cap (0 = uncapped).", telemetry.Gauge, func(n NamespaceMetrics) float64 { return n.AdmitRatePps })
 		nsFam("vif_namespace_epochs_total", "Epochs sealed for this victim (rotations x shards).", telemetry.Counter, func(n NamespaceMetrics) float64 { return float64(n.Epochs) })
 		nsFam("vif_namespace_promoted_total", "Flows promoted to exact-match entries.", telemetry.Counter, func(n NamespaceMetrics) float64 { return float64(n.Promoted) })
 		nsFam("vif_namespace_epc_share_bytes", "This victim's apportioned EPC share.", telemetry.Gauge, func(n NamespaceMetrics) float64 { return float64(n.EPCShareBytes) })

@@ -23,6 +23,11 @@ type ShardMetrics struct {
 	// Orphaned counts packets dequeued for a namespace that detached while
 	// they sat in the ring: dropped, attributed to no victim.
 	Orphaned uint64
+	// Faulted counts packets lost to a worker panic mid-burst: counted as
+	// processed (the drain invariant holds) but carrying no verdict.
+	Faulted uint64
+	// Restarts counts worker panic recoveries (worker_restart events).
+	Restarts uint64
 	// Backpressure counts producer enqueue failures on a full ring.
 	Backpressure uint64
 	// QueueDepth is the ring occupancy at snapshot time.
@@ -54,6 +59,15 @@ type NamespaceMetrics struct {
 	NS int
 	// Processed, Allowed, Dropped count this victim's filter verdicts.
 	Processed, Allowed, Dropped uint64
+	// Admitted and Throttled are the victim's ingress SLO counters under
+	// admission control (Config.Admission): packets past the token-bucket
+	// gate (they may still hit ring backpressure) and packets the gate
+	// refused. Both zero without admission.
+	Admitted, Throttled uint64
+	// AdmitRatePps is the victim's current admitted-rate cap in packets/s
+	// (0 = uncapped): an explicit AdmitPps, or its weighted share of the
+	// engine's TotalPps budget.
+	AdmitRatePps float64
 	// Epochs is the number of epochs sealed (rotations × shards).
 	Epochs uint64
 	// Promoted counts flows promoted to exact-match entries.
@@ -98,9 +112,11 @@ type Metrics struct {
 	// NSDrops counts descriptors stamped with an unattached namespace
 	// (typically injections racing a detach): dropped before any shard.
 	NSDrops uint64
-	// Processed, Allowed, Dropped, Orphaned, Backpressure aggregate the
-	// shard blocks.
-	Processed, Allowed, Dropped, Orphaned, Backpressure uint64
+	// Processed, Allowed, Dropped, Orphaned, Backpressure, Faulted,
+	// Restarts aggregate the shard blocks.
+	Processed, Allowed, Dropped, Orphaned, Backpressure, Faulted, Restarts uint64
+	// Throttled aggregates the namespaces' admission-refused counters.
+	Throttled uint64
 	// QueueDepth sums the shard rings' occupancy at snapshot time.
 	QueueDepth int
 	// Elapsed is the wall-clock time since Start.
@@ -163,6 +179,12 @@ func (e *Engine) Metrics() Metrics {
 		if nm.Processed > 0 {
 			nm.NsPerPacket = virtual / float64(nm.Processed)
 		}
+		if ns.adm != nil {
+			nm.Admitted = ns.adm.admitted.Load()
+			nm.Throttled = ns.adm.throttled.Load()
+			nm.AdmitRatePps = ns.adm.rate()
+			m.Throttled += nm.Throttled
+		}
 		m.Namespaces = append(m.Namespaces, nm)
 	}
 
@@ -173,6 +195,8 @@ func (e *Engine) Metrics() Metrics {
 			Allowed:      s.allowed.Load(),
 			Dropped:      s.dropped.Load(),
 			Orphaned:     s.orphaned.Load(),
+			Faulted:      s.faulted.Load(),
+			Restarts:     s.restarts.Load(),
 			Backpressure: s.backpressure.Load(),
 			QueueDepth:   s.ring.Len(),
 			Epochs:       s.epochs.Load(),
@@ -193,6 +217,8 @@ func (e *Engine) Metrics() Metrics {
 		m.Allowed += sm.Allowed
 		m.Dropped += sm.Dropped
 		m.Orphaned += sm.Orphaned
+		m.Faulted += sm.Faulted
+		m.Restarts += sm.Restarts
 		m.Backpressure += sm.Backpressure
 		m.QueueDepth += sm.QueueDepth
 	}
@@ -249,7 +275,7 @@ func (e *Engine) AggregateModeledPps(frameSize int) float64 {
 // backpressure) plus the live ring occupancy.
 func (m Metrics) String() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "engine{shards=%d namespaces=%d accepted=%d processed=%d allowed=%d dropped=%d lbdrops=%d nsdrops=%d orphaned=%d backpressure=%d queue=%d pps=%.0f}",
-		len(m.Shards), len(m.Namespaces), m.Accepted, m.Processed, m.Allowed, m.Dropped, m.LBDrops, m.NSDrops, m.Orphaned, m.Backpressure, m.QueueDepth, m.PPS)
+	fmt.Fprintf(&b, "engine{shards=%d namespaces=%d accepted=%d processed=%d allowed=%d dropped=%d throttled=%d lbdrops=%d nsdrops=%d orphaned=%d faulted=%d restarts=%d backpressure=%d queue=%d pps=%.0f}",
+		len(m.Shards), len(m.Namespaces), m.Accepted, m.Processed, m.Allowed, m.Dropped, m.Throttled, m.LBDrops, m.NSDrops, m.Orphaned, m.Faulted, m.Restarts, m.Backpressure, m.QueueDepth, m.PPS)
 	return b.String()
 }

@@ -1,0 +1,28 @@
+// Package faults is the deterministic fault-injection harness behind the
+// engine's chaos test suite. An Injector owns a small fixed set of named
+// injection points (ring-full storms, enclave paging spikes, delta-apply
+// failures, audit failures); production code threads an Injector through
+// its config and asks Should(point) at each hook. A nil Injector — the
+// production default — answers false from a nil-receiver method, so the
+// shipped hot path pays one nil check and nothing else.
+//
+// Determinism is the point: every fire decision is a pure function of
+// (seed, point, evaluation ordinal). The ordinal comes from an atomic
+// per-point counter, so a schedule is reproducible for a given seed and
+// evaluation count even when the evaluations themselves race across
+// goroutines — the counter imposes a total order on them. Probabilistic
+// specs hash the ordinal through SplitMix64; periodic specs fire on every
+// Nth ordinal exactly.
+//
+// Concurrency contract: Should, Evaluations, and Fired are safe from any
+// number of goroutines, lock-free, and allocation-free. Enable and
+// Disable swap a spec with one atomic store and may run concurrently with
+// Should (an in-flight evaluation uses whichever spec it loaded).
+// Injectors have no background goroutines and nothing to close.
+//
+// Invariants: a nil *Injector never fires and never panics; a point with
+// no spec installed never fires; Fired(p) <= Evaluations(p) always; with
+// Spec.Limit > 0 at most Limit evaluations fire for that spec's lifetime;
+// two Injectors built with the same seed and driven through the same
+// per-point evaluation sequence fire on identical ordinals.
+package faults

@@ -1,0 +1,180 @@
+package faults
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+)
+
+// Point names one injection site. The set is closed: production hooks and
+// the chaos suite agree on these names at compile time.
+type Point string
+
+// Injection points the engine and session layers consult.
+const (
+	// RingFull simulates a shard ring refusing an enqueue (a backpressure
+	// storm): the injection paths treat a fire exactly like a full ring.
+	RingFull Point = "ring_full"
+	// PagingSpike inflates one namespace's observed EPC demand during a
+	// rebalance, modeling an enclave working set blowing past its share.
+	PagingSpike Point = "paging_spike"
+	// DeltaApply fails a shard's ReconfigureNamespaceDelta apply mid-
+	// flight, leaving the namespace partially reconfigured so the
+	// automatic full-rebuild rollback path runs.
+	DeltaApply Point = "delta_apply"
+	// AuditFailure corrupts an epoch audit so the victim-side check
+	// reports a violation where none occurred.
+	AuditFailure Point = "audit_failure"
+)
+
+// points is the closed universe, in the order the state array uses.
+var points = [...]Point{RingFull, PagingSpike, DeltaApply, AuditFailure}
+
+// ErrInjected is the error surfaced by hooks that fail an operation
+// (rather than silently degrade it) when their point fires.
+var ErrInjected = errors.New("faults: injected failure")
+
+// Spec says when a point fires. Exactly one of Prob or Every should be
+// set; with both zero the spec never fires (equivalent to Disable).
+type Spec struct {
+	// Prob fires each evaluation independently with this probability,
+	// decided by a deterministic hash of (seed, point, ordinal).
+	Prob float64
+	// Every fires on every Nth evaluation (1 = always). Takes precedence
+	// over Prob when nonzero.
+	Every uint64
+	// Limit bounds total fires for this spec; 0 is unlimited.
+	Limit uint64
+}
+
+type pointState struct {
+	spec  atomic.Pointer[Spec]
+	evals atomic.Uint64
+	fired atomic.Uint64
+}
+
+// Injector is one seeded fault schedule. The zero value is not usable;
+// build with New. A nil *Injector is the production no-op.
+type Injector struct {
+	seed  uint64
+	state [len(points)]pointState
+}
+
+// New builds an injector whose probabilistic decisions derive from seed.
+func New(seed uint64) *Injector {
+	return &Injector{seed: seed}
+}
+
+// index maps a point to its state slot (-1 for an unknown point).
+func index(p Point) int {
+	for i, q := range points {
+		if q == p {
+			return i
+		}
+	}
+	return -1
+}
+
+// Enable installs a spec for a point, replacing any previous one (and its
+// fire budget). Enabling an unknown point panics: a typo in a chaos
+// schedule must not silently test nothing.
+func (in *Injector) Enable(p Point, s Spec) {
+	i := index(p)
+	if i < 0 {
+		panic(fmt.Sprintf("faults: unknown point %q", p))
+	}
+	spec := s
+	in.state[i].spec.Store(&spec)
+}
+
+// Disable removes a point's spec; subsequent evaluations never fire.
+func (in *Injector) Disable(p Point) {
+	if i := index(p); i >= 0 {
+		in.state[i].spec.Store(nil)
+	}
+}
+
+// Should records one evaluation of a point and reports whether the fault
+// fires. Nil-safe: a nil injector (production) always answers false.
+func (in *Injector) Should(p Point) bool {
+	if in == nil {
+		return false
+	}
+	i := index(p)
+	if i < 0 {
+		return false
+	}
+	st := &in.state[i]
+	n := st.evals.Add(1)
+	spec := st.spec.Load()
+	if spec == nil {
+		return false
+	}
+	fire := false
+	switch {
+	case spec.Every > 0:
+		fire = n%spec.Every == 0
+	case spec.Prob > 0:
+		// Deterministic per-ordinal coin: hash (seed, point, ordinal) and
+		// compare against the probability as a 64-bit threshold.
+		h := splitmix64(in.seed ^ pointHash(p) ^ n)
+		fire = float64(h) < spec.Prob*float64(1<<63)*2
+	}
+	if fire && spec.Limit > 0 {
+		// Claim a fire slot; losers past the budget do not fire.
+		for {
+			f := st.fired.Load()
+			if f >= spec.Limit {
+				return false
+			}
+			if st.fired.CompareAndSwap(f, f+1) {
+				return true
+			}
+		}
+	}
+	if fire {
+		st.fired.Add(1)
+	}
+	return fire
+}
+
+// Evaluations returns how many times a point has been consulted.
+func (in *Injector) Evaluations(p Point) uint64 {
+	if in == nil {
+		return 0
+	}
+	if i := index(p); i >= 0 {
+		return in.state[i].evals.Load()
+	}
+	return 0
+}
+
+// Fired returns how many evaluations of a point fired.
+func (in *Injector) Fired(p Point) uint64 {
+	if in == nil {
+		return 0
+	}
+	if i := index(p); i >= 0 {
+		return in.state[i].fired.Load()
+	}
+	return 0
+}
+
+// pointHash folds a point name into the seed domain (FNV-1a).
+func pointHash(p Point) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(p); i++ {
+		h ^= uint64(p[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// splitmix64 is the standard finalizer-quality mixer: any counter in,
+// uniform bits out, no state.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}

@@ -1,0 +1,137 @@
+package faults
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestNilInjectorNeverFires(t *testing.T) {
+	var in *Injector
+	for i := 0; i < 100; i++ {
+		if in.Should(RingFull) {
+			t.Fatal("nil injector fired")
+		}
+	}
+	if in.Evaluations(RingFull) != 0 || in.Fired(RingFull) != 0 {
+		t.Fatal("nil injector counted")
+	}
+}
+
+func TestNoSpecNeverFires(t *testing.T) {
+	in := New(1)
+	for i := 0; i < 100; i++ {
+		if in.Should(DeltaApply) {
+			t.Fatal("unspecced point fired")
+		}
+	}
+	if in.Evaluations(DeltaApply) != 100 {
+		t.Fatalf("evaluations %d, want 100", in.Evaluations(DeltaApply))
+	}
+}
+
+func TestEveryFiresPeriodically(t *testing.T) {
+	in := New(7)
+	in.Enable(RingFull, Spec{Every: 3})
+	var fires []int
+	for i := 1; i <= 12; i++ {
+		if in.Should(RingFull) {
+			fires = append(fires, i)
+		}
+	}
+	want := []int{3, 6, 9, 12}
+	if len(fires) != len(want) {
+		t.Fatalf("fires %v, want %v", fires, want)
+	}
+	for i := range want {
+		if fires[i] != want[i] {
+			t.Fatalf("fires %v, want %v", fires, want)
+		}
+	}
+}
+
+func TestProbDeterministicAcrossInjectors(t *testing.T) {
+	a, b := New(42), New(42)
+	a.Enable(PagingSpike, Spec{Prob: 0.3})
+	b.Enable(PagingSpike, Spec{Prob: 0.3})
+	fired := 0
+	for i := 0; i < 10000; i++ {
+		fa, fb := a.Should(PagingSpike), b.Should(PagingSpike)
+		if fa != fb {
+			t.Fatalf("ordinal %d: injectors with one seed diverged", i+1)
+		}
+		if fa {
+			fired++
+		}
+	}
+	// The hash is uniform; 0.3 +- a wide tolerance.
+	if fired < 2500 || fired > 3500 {
+		t.Fatalf("fired %d of 10000 at p=0.3", fired)
+	}
+	// A different seed yields a different schedule.
+	c := New(43)
+	c.Enable(PagingSpike, Spec{Prob: 0.3})
+	d2, same := New(42), 0
+	d2.Enable(PagingSpike, Spec{Prob: 0.3})
+	diverged := false
+	for i := 0; i < 1000; i++ {
+		if c.Should(PagingSpike) != d2.Should(PagingSpike) {
+			diverged = true
+		} else {
+			same++
+		}
+	}
+	if !diverged {
+		t.Fatal("seeds 42 and 43 produced identical schedules over 1000 ordinals")
+	}
+}
+
+func TestLimitBoundsFires(t *testing.T) {
+	in := New(5)
+	in.Enable(AuditFailure, Spec{Every: 1, Limit: 4})
+	fired := 0
+	for i := 0; i < 50; i++ {
+		if in.Should(AuditFailure) {
+			fired++
+		}
+	}
+	if fired != 4 {
+		t.Fatalf("fired %d, limit 4", fired)
+	}
+	if in.Fired(AuditFailure) != 4 {
+		t.Fatalf("Fired %d, want 4", in.Fired(AuditFailure))
+	}
+}
+
+func TestUnknownPointPanicsOnEnable(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Enable of unknown point did not panic")
+		}
+	}()
+	New(1).Enable(Point("typo"), Spec{Every: 1})
+}
+
+// TestConcurrentShouldIsRaceFreeAndCounted drives one point from many
+// goroutines: counters must be exact and the run race-clean (-race in CI).
+func TestConcurrentShouldIsRaceFreeAndCounted(t *testing.T) {
+	in := New(99)
+	in.Enable(RingFull, Spec{Every: 2})
+	const workers, per = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				in.Should(RingFull)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := in.Evaluations(RingFull); got != workers*per {
+		t.Fatalf("evaluations %d, want %d", got, workers*per)
+	}
+	if got := in.Fired(RingFull); got != workers*per/2 {
+		t.Fatalf("fired %d, want %d (Every=2 over a totally ordered counter)", got, workers*per/2)
+	}
+}

@@ -287,6 +287,11 @@ func (f *Filter) SetStageRecorder(r *telemetry.StageRecorder) { f.rec = r }
 // Rules returns the installed shard.
 func (f *Filter) Rules() *rules.Set { return f.view.Load().set }
 
+// ForeignRules returns the installed peer-rule view (nil when misroute
+// detection is off). With Rules it captures everything Reconfigure needs
+// to restore this view — the engine's delta-rollback path uses the pair.
+func (f *Filter) ForeignRules() *rules.Set { return f.view.Load().foreign }
+
 // Stats returns a consistent-enough snapshot of the counters: each field
 // is loaded atomically, so reading while the data plane runs is race-free
 // (fields may straddle a batch boundary, like any /proc counter).

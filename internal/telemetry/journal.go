@@ -27,6 +27,16 @@ const (
 	EvAuditFail        EventType = "audit_fail"
 	EvBackpressureOn   EventType = "backpressure_on"
 	EvBackpressureOff  EventType = "backpressure_off"
+	// EvAdmissionThrottle marks the onset of an admission-control episode:
+	// a namespace's token bucket started refusing packets at ingress. Edge-
+	// triggered like backpressure_on — one event per episode, not per drop.
+	EvAdmissionThrottle EventType = "admission_throttle"
+	// EvWorkerRestart records a shard worker recovering from a panic and
+	// re-entering its loop with views intact.
+	EvWorkerRestart EventType = "worker_restart"
+	// EvDeltaRollback records a partial ReconfigureNamespaceDelta failure
+	// being repaired automatically by a full per-shard rebuild.
+	EvDeltaRollback EventType = "delta_rollback"
 )
 
 // Event is one journal entry. NS and Shard are -1 when the event is not

@@ -15,6 +15,8 @@
 #                                             # (make bench-multivictim)
 #   ONLY=telemetry scripts/bench_engine.sh    # just the telemetry gate
 #                                             # (make bench-telemetry)
+#   ONLY=isolation scripts/bench_engine.sh    # just the overload-isolation
+#                                             # gate (make bench-isolation)
 #
 # Two quantities are recorded per shard count and must not be confused:
 #
@@ -60,6 +62,16 @@
 #                       single wall sample swings +-15% on scheduling
 #                       luck, which would drown a 3% gate; peak-vs-peak
 #                       isolates the overhead from the noise.
+#   quiet_victim_ge_09  with one flooded-but-admission-capped victim on
+#                       the engine (BenchmarkEngineIsolationAttacked), the
+#                       three quiet victims' wall pps must stay >= 0.9x
+#                       their no-attacker figure (…Solo). Enforced always:
+#                       both phases run one producer on the same quiet
+#                       workload, so the ratio prices what the attacker's
+#                       clipped flood costs the neighbors — marker writes
+#                       — not host parallelism. If this gate trips, the
+#                       admission gate is leaking flood work onto the
+#                       shared rings or filters.
 #   delta_5x_10k        a ≤1%-of-rules delta reinstall at 10k rules must
 #   delta_5x_25k        be >= 5x faster than the full rebuild at the same
 #                       size (ditto at 25k). Enforced always: the speedup
@@ -80,8 +92,10 @@ trap 'rm -f "$tmp"' EXIT
 
 if [ "$only" = "multivictim" ]; then
     pattern='BenchmarkEngineMultiVictim'
+elif [ "$only" = "isolation" ]; then
+    pattern='BenchmarkEngineIsolation'
 else
-    pattern='BenchmarkEngine(WallScaling|Inject|MultiVictim)'
+    pattern='BenchmarkEngine(WallScaling|Inject|MultiVictim|Isolation)'
 fi
 
 : > "$tmp"
@@ -178,6 +192,17 @@ awk -v benchtime="$benchtime" -v only="$only" \
     rline[rn] = sprintf("    {\"rules\": %.0f, \"ns_per_reconfigure\": %s, \"ms_per_reconfigure\": %.3f}", rules, ns, ns / 1e6)
     fullns[rk] = ns
 }
+/^BenchmarkEngineIsolationSolo/ {
+    for (i = 2; i < NF; i++) if ($(i+1) == "quiet-wall-Mpps") isosolo = $i + 0
+    next
+}
+/^BenchmarkEngineIsolationAttacked/ {
+    for (i = 2; i < NF; i++) {
+        if ($(i+1) == "quiet-wall-Mpps") isoatk = $i + 0
+        if ($(i+1) == "attacker-throttled") isothr = $i + 0
+    }
+    next
+}
 /^BenchmarkEngineTelemetryOff/ {
     for (i = 2; i < NF; i++) if ($(i+1) == "wall-Mpps" && $i + 0 > teloff) teloff = $i + 0
 }
@@ -195,6 +220,20 @@ END {
     mvgate = (mvratio >= 0.7) ? "pass" : "FAIL"
     telratio = (teloff > 0 && telon > 0) ? telon / teloff : 0
     telgate = (telratio >= 0.97) ? "pass" : "FAIL"
+    isoratio = (isosolo > 0 && isoatk > 0) ? isoatk / isosolo : 0
+    isogate = (isoratio >= 0.9) ? "pass" : "FAIL"
+
+    if (only == "isolation") {
+        printf "{\n"
+        printf "  \"benchmark\": \"BenchmarkEngineIsolation\",\n"
+        printf "  \"benchtime\": \"%s\",\n", benchtime
+        printf "  \"host_cpus\": %d,\n", shcpus
+        printf "  \"go_version\": \"%s\",\n", gover
+        printf "  \"isolation\": {\"solo_quiet_mpps\": %.3f, \"attacked_quiet_mpps\": %.3f, \"attacked_over_solo\": %.3f, \"attacker_throttled\": %.0f},\n", isosolo, isoatk, isoratio, isothr
+        printf "  \"gates\": {\"quiet_victim_ge_09\": \"%s\"}\n", isogate
+        printf "}\n"
+        exit
+    }
 
     if (only == "telemetry") {
         printf "{\n"
@@ -258,10 +297,11 @@ END {
     printf "  \"delta_speedup\": {\"10k\": %.1f, \"25k\": %.1f},\n", d10, d25
     printf "  \"inject\": {\"scalar_mpps\": %s, \"batch_mpps\": %s, \"batch_over_scalar\": %.2f},\n", scalar, batch, injratio
     printf "  \"telemetry\": {\"off_mpps\": %s, \"on_mpps\": %s, \"on_over_off\": %.3f},\n", teloff, telon, telratio
+    printf "  \"isolation\": {\"solo_quiet_mpps\": %.3f, \"attacked_quiet_mpps\": %.3f, \"attacked_over_solo\": %.3f, \"attacker_throttled\": %.0f},\n", isosolo, isoatk, isoratio, isothr
     printf "  \"wall_scaling_4_over_1\": %.2f,\n", wallscale
     printf "  \"multivictim_4_over_1\": %.2f,\n", mvratio
     printf "  \"aggregate_scaling_8_over_1\": %.2f,\n", aggscale
-    printf "  \"gates\": {\"inject_batch_2x\": \"%s\", \"wall_4_gt_1\": \"%s\", \"multivictim_4_ge_07\": \"%s\", \"telemetry_overhead_ge_097\": \"%s\", \"delta_5x_10k\": \"%s\", \"delta_5x_25k\": \"%s\"}\n", injgate, wallgate, mvgate, telgate, d10gate, d25gate
+    printf "  \"gates\": {\"inject_batch_2x\": \"%s\", \"wall_4_gt_1\": \"%s\", \"multivictim_4_ge_07\": \"%s\", \"telemetry_overhead_ge_097\": \"%s\", \"quiet_victim_ge_09\": \"%s\", \"delta_5x_10k\": \"%s\", \"delta_5x_25k\": \"%s\"}\n", injgate, wallgate, mvgate, telgate, isogate, d10gate, d25gate
     printf "}\n"
 }' "$tmp" > "$out"
 

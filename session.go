@@ -10,6 +10,7 @@ import (
 	"github.com/innetworkfiltering/vif/internal/bgp"
 	"github.com/innetworkfiltering/vif/internal/bypass"
 	"github.com/innetworkfiltering/vif/internal/cluster"
+	"github.com/innetworkfiltering/vif/internal/faults"
 	"github.com/innetworkfiltering/vif/internal/filter"
 	"github.com/innetworkfiltering/vif/internal/secure"
 )
@@ -42,7 +43,18 @@ type Session struct {
 	// attachment paired with the namespace id of another while StopEngine
 	// detaches concurrently.
 	attached atomic.Pointer[attachment]
+
+	// faults is the deterministic fault-injection harness for chaos
+	// testing (SetFaultInjector); nil in production. The session consults
+	// it on the audit path only — engine-level points ride in through
+	// engine.Config.Faults.
+	faults *faults.Injector
 }
+
+// SetFaultInjector threads the chaos harness through the session's audit
+// path (the AuditFailure point). Call before driving traffic; nil (the
+// default) disables injection.
+func (s *Session) SetFaultInjector(in *faults.Injector) { s.faults = in }
 
 // attachment binds the shared engine and the session's namespace id on it.
 type attachment struct {
