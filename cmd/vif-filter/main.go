@@ -194,7 +194,8 @@ func run(args []string, out io.Writer) error {
 	fmt.Fprintf(out, "verdicts: allowed %d, dropped %d (rule hits %d, hash evals %d, default %d)\n",
 		st.Allowed, st.Dropped, st.RuleHits, st.Hashed, st.DefaultHits)
 	if *ruleShape != "" {
-		fmt.Fprintf(out, "%s\n", shapeStatsLine(*ruleShape, set.Len(), st))
+		idxB, setB, build := f.ClassifierStats()
+		fmt.Fprintf(out, "%s\n", shapeStatsLine(*ruleShape, set.Len(), st, idxB, setB, build))
 	}
 	fmt.Fprintf(out, "modeled enclave time: %.0f ns/pkt; EPC in use: %.1f MB\n",
 		e.VirtualNs()/float64(st.Processed), float64(e.MemoryUsed())/1e6)
@@ -503,6 +504,8 @@ func runEngine(out io.Writer, set *rules.Set, mode filter.CopyMode, n, producers
 		// Aggregate the per-shard filter counters so shaped engine runs end
 		// with the same comparable verdict line the classic pipeline prints.
 		var agg filter.Stats
+		var aggIdx, aggSets int
+		var maxBuild time.Duration
 		for _, f := range filters {
 			st := f.Stats()
 			agg.Allowed += st.Allowed
@@ -510,18 +513,28 @@ func runEngine(out io.Writer, set *rules.Set, mode filter.CopyMode, n, producers
 			agg.RuleHits += st.RuleHits
 			agg.ExactHits += st.ExactHits
 			agg.DefaultHits += st.DefaultHits
+			idxB, setB, build := f.ClassifierStats()
+			aggIdx += idxB
+			aggSets += setB
+			if build > maxBuild {
+				maxBuild = build
+			}
 		}
-		fmt.Fprintf(out, "%s\n", shapeStatsLine(ruleShape, set.Len(), agg))
+		fmt.Fprintf(out, "%s\n", shapeStatsLine(ruleShape, set.Len(), agg, aggIdx, aggSets, maxBuild))
 	}
 	if churnCount > 0 {
 		final := 0
+		var idxB, setB int
+		var build time.Duration
 		if f := eng.Filter(0); f != nil {
 			final = f.RuleCount()
+			idxB, setB, build = f.ClassifierStats()
 		}
-		fmt.Fprintf(out, "churn: %d live delta reinstalls (+%d/-%d rules each) under load: avg %.2f ms, max %.2f ms; final rule count %d\n",
+		fmt.Fprintf(out, "churn: %d live delta reinstalls (+%d/-%d rules each) under load: avg %.2f ms, max %.2f ms; final rule count %d; classifier: index %d B, sets %d B, last patch %.2f ms\n",
 			churnCount, churnN, churnN,
 			float64(churnTotal.Microseconds())/float64(churnCount)/1e3,
-			float64(churnMax.Microseconds())/1e3, final)
+			float64(churnMax.Microseconds())/1e3, final,
+			idxB, setB, float64(build.Microseconds())/1e3)
 	}
 
 	// Seal the run as one epoch and print the authenticated log digests a

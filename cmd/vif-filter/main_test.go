@@ -154,6 +154,9 @@ func TestRunRuleShapeClassic(t *testing.T) {
 	for _, want := range []string{
 		"rules: 500, default allow",
 		"rule-shape reflection: 500 rules; verdicts: allowed ",
+		"; classifier: index ",
+		" B, sets ",
+		" B, build ",
 	} {
 		if !strings.Contains(text, want) {
 			t.Errorf("shaped classic output missing %q:\n%s", want, text)
@@ -172,6 +175,9 @@ func TestRunRuleShapeEngine(t *testing.T) {
 	text := out.String()
 	if !strings.Contains(text, "rule-shape prefix: 200 rules; verdicts: allowed ") {
 		t.Errorf("shaped engine output missing per-shape verdict line:\n%s", text)
+	}
+	if !strings.Contains(text, "; classifier: index ") {
+		t.Errorf("shaped engine output missing classifier footprint clause:\n%s", text)
 	}
 }
 
@@ -259,6 +265,9 @@ func TestRunChurnMode(t *testing.T) {
 	// Steady state: base rules + one live batch of 16 still installed.
 	if !strings.Contains(text, "final rule count 18") {
 		t.Errorf("churn output missing expected final rule count:\n%s", text)
+	}
+	if !strings.Contains(text, "; classifier: index ") || !strings.Contains(text, " B, last patch ") {
+		t.Errorf("churn output missing classifier footprint/patch-time clause:\n%s", text)
 	}
 }
 

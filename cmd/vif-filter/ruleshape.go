@@ -3,6 +3,7 @@ package main
 import (
 	"fmt"
 	"math/rand"
+	"time"
 
 	"github.com/innetworkfiltering/vif/internal/filter"
 	"github.com/innetworkfiltering/vif/internal/packet"
@@ -78,8 +79,11 @@ func shapeRules(shape string, k int, seed int64) (*rules.Set, error) {
 
 // shapeStatsLine renders the per-shape verdict counters appended to the
 // end-of-run stats so shaped runs are comparable at a glance (and by CI
-// substring checks).
-func shapeStatsLine(shape string, k int, st filter.Stats) string {
-	return fmt.Sprintf("rule-shape %s: %d rules; verdicts: allowed %d, dropped %d (rule hits %d, exact hits %d, default %d)",
-		shape, k, st.Allowed, st.Dropped, st.RuleHits, st.ExactHits, st.DefaultHits)
+// substring checks), plus the installed classifier's table footprint —
+// direct-index translation bytes vs interval/membership-set bytes — and
+// the wall time its most recent compile (or delta patch) took.
+func shapeStatsLine(shape string, k int, st filter.Stats, idxBytes, setBytes int, build time.Duration) string {
+	return fmt.Sprintf("rule-shape %s: %d rules; verdicts: allowed %d, dropped %d (rule hits %d, exact hits %d, default %d); classifier: index %d B, sets %d B, build %.2f ms",
+		shape, k, st.Allowed, st.Dropped, st.RuleHits, st.ExactHits, st.DefaultHits,
+		idxBytes, setBytes, float64(build.Microseconds())/1e3)
 }

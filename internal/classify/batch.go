@@ -1,0 +1,150 @@
+package classify
+
+import "github.com/innetworkfiltering/vif/internal/packet"
+
+// Breadth-first burst classification. The scalar Classify resolves a
+// packet's five attributes back to back, so each direct-index load's
+// latency serializes behind the previous one. ClassifyBatch runs the
+// same stages across the whole burst instead: one pass per attribute
+// resolving every packet's interval (independent loads the memory system
+// overlaps), then the per-packet smallest-set-driven intersections. The
+// verdicts, priorities, and ref accounting are exactly Classify's —
+// property tests assert the equivalence packet by packet.
+
+// Result is one packet's classification verdict, equal field for field
+// to the corresponding Classify return.
+type Result struct {
+	Rule int32
+	Prio int32
+	Refs int32
+	OK   bool
+}
+
+// BatchScratch holds ClassifyBatch's structure-of-arrays working state.
+// Reuse one per caller (it is not safe for concurrent use); the zero
+// value is ready.
+type BatchScratch struct {
+	cls  [numAttrs][]classRef
+	same []bool
+	out  []Result
+}
+
+func (sc *BatchScratch) grow(n int) {
+	if cap(sc.out) < n {
+		for a := 0; a < numAttrs; a++ {
+			sc.cls[a] = make([]classRef, n)
+		}
+		sc.same = make([]bool, n)
+		sc.out = make([]Result, n)
+	}
+	for a := 0; a < numAttrs; a++ {
+		sc.cls[a] = sc.cls[a][:n]
+	}
+	sc.same = sc.same[:n]
+	sc.out = sc.out[:n]
+}
+
+// ClassifyBatch classifies a burst, returning one Result per tuple in a
+// slice owned by sc (valid until the next call). Runs of consecutive
+// identical tuples — the shape the filter's dedup pass feeds it — are
+// resolved once and copied, preserving the same-flow short-circuit of
+// the scalar path.
+func (p *Program) ClassifyBatch(ts []packet.FiveTuple, sc *BatchScratch) []Result {
+	n := len(ts)
+	sc.grow(n)
+	same := sc.same
+	for i := 0; i < n; i++ {
+		same[i] = i > 0 && ts[i] == ts[i-1]
+	}
+
+	// Stage 1: per-attribute interval resolution for the whole burst.
+	// miss[i] flags a packet whose candidate set went empty on some
+	// attribute; its intersect stage is skipped but its refs (charged per
+	// probed attribute up to and including the empty one, like the scalar
+	// early exit) are already final.
+	var big [numAttrs]bool
+	for a := 0; a < numAttrs; a++ {
+		tb := &p.attrs[a]
+		big[a] = len(tb.bounds) > hotBoundsMax
+		cls := sc.cls[a]
+		switch a {
+		case attrSrc:
+			for i := 0; i < n; i++ {
+				if same[i] {
+					cls[i] = cls[i-1]
+					continue
+				}
+				cls[i] = tb.refs[tb.interval(ts[i].SrcIP)]
+			}
+		case attrDst:
+			for i := 0; i < n; i++ {
+				if same[i] {
+					cls[i] = cls[i-1]
+					continue
+				}
+				cls[i] = tb.refs[tb.interval(ts[i].DstIP)]
+			}
+		case attrSrcPort:
+			for i := 0; i < n; i++ {
+				if same[i] {
+					cls[i] = cls[i-1]
+					continue
+				}
+				cls[i] = tb.refs[tb.interval(uint32(ts[i].SrcPort))]
+			}
+		case attrDstPort:
+			for i := 0; i < n; i++ {
+				if same[i] {
+					cls[i] = cls[i-1]
+					continue
+				}
+				cls[i] = tb.refs[tb.interval(uint32(ts[i].DstPort))]
+			}
+		default: // attrProto
+			for i := 0; i < n; i++ {
+				if same[i] {
+					cls[i] = cls[i-1]
+					continue
+				}
+				cls[i] = tb.refs[tb.interval(uint32(ts[i].Proto))]
+			}
+		}
+	}
+
+	// Stage 2: per-packet driver selection + intersection, mirroring the
+	// scalar probe's accounting exactly (one ref per multi-line table
+	// probed, stopping at the first empty candidate set).
+	out := sc.out
+	for i := 0; i < n; i++ {
+		if same[i] {
+			out[i] = out[i-1]
+			continue
+		}
+		var cls [numAttrs]classRef
+		refs := 0
+		driver, driverScore := 0, int(^uint(0)>>1)
+		miss := false
+		for a := 0; a < numAttrs; a++ {
+			if big[a] {
+				refs++
+			}
+			ref := sc.cls[a][i]
+			score := int(ref.n) + len(p.attrs[a].anyList)
+			if score == 0 {
+				miss = true
+				break
+			}
+			cls[a] = ref
+			if score < driverScore {
+				driver, driverScore = a, score
+			}
+		}
+		if miss {
+			out[i] = Result{Refs: int32(refs)}
+			continue
+		}
+		r, pr, irefs, ok := p.intersect(&cls, driver)
+		out[i] = Result{Rule: r, Prio: pr, Refs: int32(refs + irefs), OK: ok}
+	}
+	return out
+}

@@ -69,6 +69,11 @@ type attrTable struct {
 	anyList      []int32
 	anyBits      []uint64
 	denseClasses int
+	// idx is the attribute's direct-index translation (index.go): value →
+	// interval in one or two loads where the bounds search paid log(n).
+	// A pure function of bounds, shared by reference across deltas that
+	// leave the boundary structure untouched.
+	idx attrIndex
 }
 
 // Program is an immutable compiled classifier over a rule set. Build it
@@ -241,6 +246,7 @@ func compileAttr(rs []rules.Rule, prioOf func(int) int32, a, words int) attrTabl
 			}
 		}
 	}
+	tb.idx = buildIndex(a, tb.bounds)
 	return tb
 }
 
@@ -326,13 +332,15 @@ func (tb *attrTable) word(ref classRef, w int, cursor *int) uint64 {
 // count of memory references touched for cost accounting. ok=false means
 // no rule matched.
 //
-// The fast path probes one interval table per attribute (branch-light
-// binary search), picks the attribute with the smallest candidate set as
-// the driver, and membership-tests the driver's candidates in ascending
-// priority order against the other four attributes — so the first hit is
-// the final answer. When even the smallest candidate set is dense the
-// path degrades to a word-wise five-way AND with early exit, bounding the
-// worst case at one word op per attribute per 64 priorities.
+// The fast path resolves one elementary interval per attribute through
+// the direct-index tables (one or two dependent loads — index.go), picks
+// the attribute with the smallest candidate set as the driver, and
+// membership-tests the driver's candidates in ascending priority order
+// against the other four attributes — so the first hit is the final
+// answer. When even the smallest candidate set is dense the path
+// degrades to a word-wise five-way AND with early exit, bounding the
+// worst case at one word op per attribute per 64 priorities. For whole
+// bursts, ClassifyBatch runs the same stages breadth-first.
 func (p *Program) Classify(t packet.FiveTuple) (rule, prio int32, refs int, ok bool) {
 	keys := [numAttrs]uint32{
 		t.SrcIP, t.DstIP, uint32(t.SrcPort), uint32(t.DstPort), uint32(t.Proto),
@@ -342,9 +350,41 @@ func (p *Program) Classify(t packet.FiveTuple) (rule, prio int32, refs int, ok b
 	for a := 0; a < numAttrs; a++ {
 		tb := &p.attrs[a]
 		// One ref per probe of a multi-cache-line table — the granularity
-		// the trie charged per node visit; the binary search's intermediate
-		// steps land in the same few lines. Single-line tables are free
-		// (see hotBoundsMax).
+		// the trie charged per node visit; a root+chunk (or direct-array)
+		// access lands in one or two lines the same way the retained
+		// search's steps shared a few. Single-line tables are free (see
+		// hotBoundsMax).
+		if len(tb.bounds) > hotBoundsMax {
+			refs++
+		}
+		ref := tb.refs[tb.interval(keys[a])]
+		score := int(ref.n) + len(tb.anyList)
+		if score == 0 {
+			return 0, 0, refs, false
+		}
+		cls[a] = ref
+		if score < driverScore {
+			driver, driverScore = a, score
+		}
+	}
+	r, pr, irefs, ok := p.intersect(&cls, driver)
+	return r, pr, refs + irefs, ok
+}
+
+// ClassifySearch is the retained binary-search probe: same verdicts,
+// priorities, and ref accounting as Classify, but every attribute
+// resolves its interval by upperBound over the boundary table instead of
+// the direct-index tables. It is the oracle the index path's property
+// and fuzz tests check against, and the baseline the classify_probe
+// bench gate compares to.
+func (p *Program) ClassifySearch(t packet.FiveTuple) (rule, prio int32, refs int, ok bool) {
+	keys := [numAttrs]uint32{
+		t.SrcIP, t.DstIP, uint32(t.SrcPort), uint32(t.DstPort), uint32(t.Proto),
+	}
+	var cls [numAttrs]classRef
+	driver, driverScore := 0, int(^uint(0) >> 1)
+	for a := 0; a < numAttrs; a++ {
+		tb := &p.attrs[a]
 		if len(tb.bounds) > hotBoundsMax {
 			refs++
 		}
@@ -358,7 +398,14 @@ func (p *Program) Classify(t packet.FiveTuple) (rule, prio int32, refs int, ok b
 			driver, driverScore = a, score
 		}
 	}
+	r, pr, irefs, ok := p.intersect(&cls, driver)
+	return r, pr, refs + irefs, ok
+}
 
+// intersect runs the smallest-set-driven candidate intersection over one
+// packet's five resolved classes — the shared tail of Classify,
+// ClassifySearch, and ClassifyBatch.
+func (p *Program) intersect(cls *[numAttrs]classRef, driver int) (rule, prio int32, refs int, ok bool) {
 	dtb := &p.attrs[driver]
 	dref := cls[driver]
 	if !dref.dense() {
@@ -438,7 +485,8 @@ func (p *Program) memoryBytes(w int) int {
 			len(tb.refs)*classRefBytes +
 			len(tb.sparse)*prioBytes +
 			tb.denseClasses*w*8 +
-			len(tb.anyList)*prioBytes
+			len(tb.anyList)*prioBytes +
+			tb.idx.indexBytes()
 		if len(tb.anyList) > 0 {
 			total += w * 8
 		}

@@ -69,13 +69,18 @@ func (p *Program) Delta(d Delta) *Program {
 		net, flip := boundaryLiveness(old, &d, a)
 		if flip {
 			// The interval structure shifts: merge the boundary tables,
-			// then re-home memberships via the old→new interval map.
+			// re-home memberships via the old→new interval map, and patch
+			// the direct-index tables (leaf chunks of untouched /16 blocks
+			// are reused by reference).
 			nb, nref := mergedBounds(old, net)
-			q.attrs[a] = patchAttr(old, &d, a, p.words, q.words, prioOf,
+			tb := patchAttr(old, &d, a, p.words, q.words, prioOf,
 				nb, nref, intervalMap(old.bounds, nb))
+			tb.idx = patchIndex(a, nb, old, net)
+			q.attrs[a] = tb
 		} else {
-			// Same intervals: share the old boundary slice, patch the
-			// refcounts, stream memberships positionally.
+			// Same intervals: share the old boundary slice (and therefore
+			// the old index, a pure function of it), patch the refcounts,
+			// stream memberships positionally.
 			br := old.boundRef
 			if len(net) > 0 {
 				br = slices.Clone(old.boundRef)
@@ -85,8 +90,10 @@ func (p *Program) Delta(d Delta) *Program {
 					}
 				}
 			}
-			q.attrs[a] = patchAttr(old, &d, a, p.words, q.words, prioOf,
+			tb := patchAttr(old, &d, a, p.words, q.words, prioOf,
 				old.bounds, br, nil)
+			tb.idx = old.idx
+			q.attrs[a] = tb
 		}
 	}
 	return q

@@ -1,10 +1,11 @@
 // Package classify compiles a rule set into a multi-attribute packet
 // classifier whose per-packet cost is flat in the rule count: one
-// elementary-interval table probe per attribute (src addr, dst addr, src
-// port, dst port, protocol) plus an intersection of small per-class
+// direct-index interval translation per attribute (src addr, dst addr,
+// src port, dst port, protocol) plus an intersection of small per-class
 // candidate sets, lowest priority winning. It is the bit-vector scheme
 // from yanet2's generic filter, adapted to this repo's copy-on-write
-// snapshot discipline.
+// snapshot discipline, with DXR/Poptrie-style lookup tables in front of
+// the interval boundaries.
 //
 // # Role
 //
@@ -29,13 +30,32 @@
 // being duplicated into every interval, keeping compiled size linear in
 // the rule count.
 //
+// Interval resolution is O(1), not a binary search: compile time also
+// tabulates value→interval translations (index.go) — a 256-entry array
+// for proto, 65536-entry uint16 arrays for the ports, and for addresses
+// a two-level chunked table (a 2^16-entry root over the high 16 bits
+// whose entry inlines the interval index when no boundary falls inside
+// that /16 block, or points to a leaf chunk that is binary-searched
+// while small and value-indexed once dense) — one or two dependent loads
+// where the search paid log(bounds). Boundary tables small enough to
+// stay in one cache line (<= hotBoundsMax bounds) build no index.
+// ClassifySearch retains the binary-search probe with identical verdicts
+// and ref accounting; it is the property-test oracle and the recorded
+// classify_probe baseline. ClassifyBatch classifies bursts breadth-first
+// — each attribute resolved for the whole burst as a stage over
+// structure-of-arrays scratch, overlapping the index loads across
+// packets, then the per-packet intersections — returning per-packet
+// Results field-for-field equal to scalar Classify.
+//
 // # Concurrency contract
 //
-// A Program is immutable after Compile returns: Classify performs no
-// writes, so any number of goroutines may classify against the same
-// Program concurrently without synchronization. Reconfiguration is
-// copy-on-write — Delta builds and returns a new Program, sharing only
-// immutable boundary tables with its predecessor, which concurrent
+// A Program is immutable after Compile returns: Classify, ClassifySearch
+// and ClassifyBatch perform no writes to it, so any number of goroutines
+// may classify against the same Program concurrently without
+// synchronization (each ClassifyBatch caller owns its BatchScratch,
+// which is mutable and single-caller). Reconfiguration is copy-on-write
+// — Delta builds and returns a new Program, sharing only immutable
+// boundary and index tables with its predecessor, which concurrent
 // readers may still be scanning. The filter swaps Programs through the
 // same atomic ruleView pointer as trie snapshots; Compile/Delta are
 // called from the single writer (the filter thread), never from the
@@ -49,18 +69,25 @@
 //     every membership list priority-sorted with no explicit sort.
 //   - Classify returns the lowest-priority matching rule — identical,
 //     priority ties impossible by construction, to scanning the rule
-//     slice in priority order calling Matches.
+//     slice in priority order calling Matches. ClassifySearch and
+//     ClassifyBatch return the same rule, priority, ref count, and ok
+//     for every tuple (property- and fuzz-tested, including every
+//     elementary-interval boundary value and its neighbors).
 //   - A Program evolved by Delta deep-equals a fresh Compile of the same
 //     successor set: per attribute, either the boundary structure
 //     changed (some boundary's refcount appeared or died) and the
-//     attribute recompiles outright, or memberships are patched over the
-//     unchanged interval table to the same arenas a fresh compile would
-//     emit. Past deltaChurnFactor the whole program recompiles.
+//     attribute's memberships are re-homed through an interval map with
+//     only the index chunks of changed /16 blocks rebuilt, or
+//     memberships are patched over the unchanged interval table — whose
+//     index tables, a pure function of the boundary table, are shared by
+//     reference. Past deltaChurnFactor the whole program recompiles.
 //   - MemoryBytes is priority-numbering-invariant: it prices bitsets at
-//     dense-equivalent width (ceil(liveRules/64) words), so a
-//     delta-evolved program over a sparse priority domain reports the
-//     same figure as a fresh compile of the same rules — the EPCBudgeter
-//     weight and the filter's delta-vs-oracle memory parity stay exact.
-//     RetainedBytes reports actual retention; the difference is width
-//     slack charged to the EPC meter like trie snapshot slack.
+//     dense-equivalent width (ceil(liveRules/64) words) and includes the
+//     direct-index tables (IndexBytes reports their share; chunk arrays
+//     included), so a delta-evolved program over a sparse priority
+//     domain reports the same figure as a fresh compile of the same
+//     rules — the EPCBudgeter weight and the filter's delta-vs-oracle
+//     memory parity stay exact. RetainedBytes reports actual retention;
+//     the difference is width slack charged to the EPC meter like trie
+//     snapshot slack.
 package classify

@@ -220,6 +220,12 @@ type Filter struct {
 	// plane timestamps collection externally.
 	ruleBytes []uint64
 
+	// clsBuildNs records the wall time of the most recent classifier
+	// construction — a full Compile (New/Reconfigure/densify) or an
+	// incremental Delta patch — for the operational stats lines. Atomic so
+	// monitoring can read it while the control plane reconfigures.
+	clsBuildNs atomic.Int64
+
 	stats statsCounters
 
 	// sha is the reused SHA-256 state for hash-based filtering: one state,
@@ -266,10 +272,13 @@ func New(encl *enclave.Enclave, set *rules.Set, cfg Config) (*Filter, error) {
 		sha:        sha256.New(),
 		shaDigest:  make([]byte, 0, sha256.Size),
 	}
+	clsStart := time.Now()
+	prog := classify.Compile(set.Rules, nil, int32(set.Len()-1))
+	f.clsBuildNs.Store(int64(time.Since(clsStart)))
 	f.view.Store(&ruleView{
 		set:  set,
 		snap: tbl.Snapshot(),
-		prog: classify.Compile(set.Rules, nil, int32(set.Len()-1)),
+		prog: prog,
 	})
 	f.syncMemory()
 	return f, nil
@@ -354,11 +363,14 @@ func (f *Filter) Reconfigure(set *rules.Set, foreign *rules.Set) error {
 	f.pendingLen.Store(0)
 	clear(f.pendingSet)
 	f.ruleBytes = make([]uint64, set.Len())
+	clsStart := time.Now()
+	prog := classify.Compile(set.Rules, nil, int32(set.Len()-1))
+	f.clsBuildNs.Store(int64(time.Since(clsStart)))
 	f.view.Store(&ruleView{
 		set:     set,
 		foreign: foreign,
 		snap:    tbl.Snapshot(),
-		prog:    classify.Compile(set.Rules, nil, int32(set.Len()-1)),
+		prog:    prog,
 	})
 	f.syncMemory()
 	return nil
@@ -478,7 +490,9 @@ func (f *Filter) ReconfigureDelta(d Delta) error {
 		}
 		tbl.InsertSet(newSet)
 		snap = tbl.Snapshot()
+		clsStart := time.Now()
 		prog = classify.Compile(newSet.Rules, nil, int32(newSet.Len()-1))
+		f.clsBuildNs.Store(int64(time.Since(clsStart)))
 		ruleBytes = make([]uint64, newSet.Len())
 		for i, p := range survivorPrios {
 			ruleBytes[i] = f.ruleBytes[p]
@@ -495,8 +509,11 @@ func (f *Filter) ReconfigureDelta(d Delta) error {
 			prios[len(survivors)+i] = base + 1 + int32(i)
 		}
 		// The classifier evolves incrementally too: attributes whose
-		// interval structure the delta leaves intact are patched, the rest
-		// recompile; past the churn threshold the whole program recompiles.
+		// interval structure the delta leaves intact are patched (sharing
+		// their direct-index tables by reference), the rest patch their
+		// changed index chunks; past the churn threshold the whole program
+		// recompiles.
+		clsStart := time.Now()
 		prog = view.prog.Delta(classify.Delta{
 			Rules:        newSet.Rules,
 			Prios:        prios,
@@ -505,6 +522,7 @@ func (f *Filter) ReconfigureDelta(d Delta) error {
 			RemovedRules: removes,
 			RemovedPrios: removedPrios,
 		})
+		f.clsBuildNs.Store(int64(time.Since(clsStart)))
 		// Per-rule byte counters: survivors keep their (sparse-prio)
 		// slots, removed slots are zeroed so they can never leak into a
 		// future RuleBytes read, adds start fresh at the end.
@@ -625,6 +643,15 @@ type batchScratch struct {
 	slots []int32 // open addressing → index into ents; -1 empty
 	ents  []batchEntry
 
+	// pktEnt maps each descriptor to its flow entry so the verdict
+	// fan-out can run as a final pass, after the burst's exact-miss flows
+	// were classified breadth-first. clsTuples/clsEnts stage those flows
+	// for classify.ClassifyBatch (cls is its reusable scratch).
+	pktEnt    []int32
+	clsTuples []packet.FiveTuple
+	clsEnts   []int32
+	cls       classify.BatchScratch
+
 	keyMem     []byte // backing for the log keys below
 	inKeys     [][]byte
 	inWeights  []uint64
@@ -648,6 +675,14 @@ func (sc *batchScratch) reset(n int) {
 		sc.slots[i] = -1
 	}
 	sc.ents = sc.ents[:0]
+	if cap(sc.pktEnt) < n {
+		sc.pktEnt = make([]int32, n)
+		sc.clsTuples = make([]packet.FiveTuple, 0, n)
+		sc.clsEnts = make([]int32, 0, n)
+	}
+	sc.pktEnt = sc.pktEnt[:n]
+	sc.clsTuples = sc.clsTuples[:0]
+	sc.clsEnts = sc.clsEnts[:0]
 }
 
 // lookupOrAdd returns the index of t's entry, adding one if the burst has
@@ -723,12 +758,13 @@ func (f *Filter) ProcessBatch(ds []packet.Descriptor, verdicts []Verdict) []Verd
 
 	sc := &f.scratch
 	sc.reset(n)
-	// runIdx short-circuits runs of consecutive packets of one flow (the
-	// packet-train structure GRO/GSO exists for): only the first packet of
-	// a run pays the five-tuple hash and the dedup probe; the rest are a
-	// 16-byte compare. Behavior is identical to probing every packet — the
-	// run's tuple is bit-equal, so the probe could only return the same
-	// entry.
+	// Pass 1 — dedup + exact table. runIdx short-circuits runs of
+	// consecutive packets of one flow (the packet-train structure GRO/GSO
+	// exists for): only the first packet of a run pays the five-tuple hash
+	// and the dedup probe; the rest are a 16-byte compare. Behavior is
+	// identical to probing every packet — the run's tuple is bit-equal, so
+	// the probe could only return the same entry. Flows the exact table
+	// misses are staged for the breadth-first classifier pass.
 	runIdx := -1
 	for i := range ds {
 		d := &ds[i]
@@ -739,14 +775,37 @@ func (f *Filter) ProcessBatch(ds []packet.Descriptor, verdicts []Verdict) []Verd
 			var fresh bool
 			ei, fresh = sc.lookupOrAdd(d.Tuple, d.Tuple.Hash64())
 			if fresh {
-				f.classify(&sc.ents[ei], view, model, &cv)
+				ent := &sc.ents[ei]
+				cv.ExactProbes++ // the miss probe still costs
+				if v, ok := f.exact.get(ent.tuple, ent.hash); ok {
+					ent.verdict, ent.class = v, classExact
+				} else {
+					sc.clsTuples = append(sc.clsTuples, ent.tuple)
+					sc.clsEnts = append(sc.clsEnts, int32(ei))
+				}
 			}
 			runIdx = ei
 		}
 		ent := &sc.ents[ei]
 		ent.count++
 		ent.bytes += uint64(d.Size)
-		verdicts[i] = ent.verdict
+		sc.pktEnt[i] = int32(ei)
+	}
+
+	// Pass 2 — the burst's distinct exact-miss flows go through the
+	// compiled classifier as one breadth-first batch (per-attribute index
+	// probes overlap across flows), then each verdict is finished with the
+	// same cost charging and rule semantics the scalar path had.
+	if len(sc.clsTuples) > 0 {
+		res := view.prog.ClassifyBatch(sc.clsTuples, &sc.cls)
+		for k, ei := range sc.clsEnts {
+			f.finishRule(&sc.ents[ei], res[k], view, model, &cv)
+		}
+	}
+
+	// Pass 3 — fan verdicts out per descriptor.
+	for i := range ds {
+		verdicts[i] = sc.ents[sc.pktEnt[i]].verdict
 	}
 
 	var chargeStart time.Time
@@ -782,21 +841,16 @@ func (f *Filter) Explain(t packet.FiveTuple) (Verdict, int32, string) {
 	return VerdictDrop, -1, "default"
 }
 
-// classify decides one distinct flow: exact table, then the compiled
-// multi-attribute classifier, then the default action, accumulating the
-// lookup costs into cv.
-func (f *Filter) classify(ent *batchEntry, view *ruleView, model enclave.CostModel, cv *enclave.CostVector) {
-	cv.ExactProbes++ // the miss probe still costs
-	if v, ok := f.exact.get(ent.tuple, ent.hash); ok {
-		ent.verdict, ent.class = v, classExact
-		return
-	}
-
-	ri, prio, refs, ok := view.prog.Classify(ent.tuple)
-	// The first HotVisits accesses (the attribute tables' upper search
-	// levels every packet touches) are priced as cache hits regardless of
-	// table size; the rest pay the footprint-dependent miss cost — at
-	// enclave (MEE/EPC) or native rates.
+// finishRule finishes one exact-miss flow's decision from its batch
+// classification result: cost charging, misroute detection, default
+// action, and the probabilistic-rule hash — the post-probe half of the
+// data path.
+func (f *Filter) finishRule(ent *batchEntry, res classify.Result, view *ruleView, model enclave.CostModel, cv *enclave.CostVector) {
+	// The first HotVisits accesses (the attribute tables' always-resident
+	// index roots every packet touches) are priced as cache hits
+	// regardless of table size; the rest pay the footprint-dependent miss
+	// cost — at enclave (MEE/EPC) or native rates.
+	refs := int(res.Refs)
 	hot := refs
 	if hot > model.HotVisits {
 		hot = model.HotVisits
@@ -808,7 +862,7 @@ func (f *Filter) classify(ent *batchEntry, view *ruleView, model enclave.CostMod
 		cv.ColdRefs += refs - hot
 	}
 
-	if !ok {
+	if !res.OK {
 		ent.class = classDefault
 		if view.foreign != nil {
 			// A flow matching no local rule but matching a peer enclave's
@@ -825,8 +879,8 @@ func (f *Filter) classify(ent *batchEntry, view *ruleView, model enclave.CostMod
 		return
 	}
 
-	r := &view.set.Rules[ri]
-	ent.class, ent.prio = classRule, prio
+	r := &view.set.Rules[res.Rule]
+	ent.class, ent.prio = classRule, res.Prio
 	switch {
 	case r.PAllow >= 1:
 		ent.verdict = VerdictAllow
@@ -1025,3 +1079,16 @@ func (f *Filter) RuleMemoryBytes() int {
 // ExactEntries returns the number of learned exact-match entries. Safe to
 // read while the data plane runs.
 func (f *Filter) ExactEntries() int { return int(f.exactCount.Load()) }
+
+// ClassifierStats reports the installed classifier's footprint split into
+// its direct-index translation tables (value→interval arrays, address
+// roots and leaf chunks) versus the interval/membership structures, plus
+// the wall time of the most recent compile or delta patch. Safe to read
+// while the data plane runs: the program is immutable behind one atomic
+// pointer load and the build time is an atomic.
+func (f *Filter) ClassifierStats() (indexBytes, setBytes int, build time.Duration) {
+	view := f.view.Load()
+	indexBytes = view.prog.IndexBytes()
+	setBytes = view.prog.MemoryBytes() - indexBytes
+	return indexBytes, setBytes, time.Duration(f.clsBuildNs.Load())
+}
