@@ -35,6 +35,7 @@ import (
 
 	"github.com/innetworkfiltering/vif/internal/enclave"
 	"github.com/innetworkfiltering/vif/internal/engine"
+	"github.com/innetworkfiltering/vif/internal/engine/module"
 	"github.com/innetworkfiltering/vif/internal/filter"
 	"github.com/innetworkfiltering/vif/internal/lb"
 	"github.com/innetworkfiltering/vif/internal/netsim"
@@ -68,6 +69,7 @@ func run(args []string, out io.Writer) error {
 		attackPps = fs.Float64("attack-pps", 50000, "overload mode: the attacked victim's admitted-rate cap in packets/s")
 		churn     = fs.Duration("churn", 0, "engine mode: push a live rule delta (add/remove a batch) at this interval while traffic runs (0: off)")
 		churnN    = fs.Int("churn-rules", 64, "engine mode: rules added (and, after the first delta, removed) per -churn reinstall")
+		captureS  = fs.String("capture", "", "engine mode: pdump-style sampled capture tap on every shard's burst chain — \"1/N\" records one packet in N with its flow key and verdict (e.g. 1/64; empty: off)")
 		metrics   = fs.String("metrics-addr", "", "serve /metrics (Prometheus text), /events, /traces and /debug/pprof on this address (e.g. :9090; empty: off)")
 		statsIvl  = fs.Duration("stats-interval", 0, "print a periodic stats line from the live metrics snapshot at this interval (0: off)")
 	)
@@ -75,9 +77,12 @@ func run(args []string, out io.Writer) error {
 		return err
 	}
 	oc := obsConfig{metricsAddr: *metrics, statsInterval: *statsIvl}
+	captureEvery, err := parseCapture(*captureS)
+	if err != nil {
+		return err
+	}
 
 	var set *rules.Set
-	var err error
 	if *ruleShape != "" {
 		if *rulesPath != "" {
 			fmt.Fprintln(out, "note: -rule-shape synthesizes the rule set; -rules is ignored")
@@ -95,6 +100,12 @@ func run(args []string, out io.Writer) error {
 	}
 	if *shards < 0 || *producers < 1 || *victims < 1 {
 		return fmt.Errorf("bad -shards %d / -producers %d / -victims %d", *shards, *producers, *victims)
+	}
+	if captureEvery > 0 && *shards == 0 {
+		return fmt.Errorf("-capture needs the engine: pass -shards N")
+	}
+	if captureEvery > 0 && (*overload || *victims > 1) {
+		fmt.Fprintln(out, "note: -capture applies to the single-victim engine mode; ignored here")
 	}
 	if *overload {
 		if *shards == 0 {
@@ -127,7 +138,7 @@ func run(args []string, out io.Writer) error {
 		return fmt.Errorf("-churn needs the engine: pass -shards N")
 	}
 	if *shards > 0 {
-		return runEngine(out, set, mode, *shards, *producers, *size, *duration, *seed, *churn, *churnN, oc, *ruleShape)
+		return runEngine(out, set, mode, *shards, *producers, *size, *duration, *seed, *churn, *churnN, oc, *ruleShape, captureEvery)
 	}
 
 	e, err := enclave.New(enclave.CodeIdentity{
@@ -256,6 +267,19 @@ func parseRulesFile(text string) (*rules.Set, error) {
 	return rules.NewSet(rs, defaultAllow)
 }
 
+// parseCapture reads the -capture sampling spec "1/N" (one packet in N),
+// returning N, or 0 for the empty (disabled) spec.
+func parseCapture(s string) (int, error) {
+	if s == "" {
+		return 0, nil
+	}
+	var n int
+	if _, err := fmt.Sscanf(s, "1/%d", &n); err != nil || n < 1 {
+		return 0, fmt.Errorf("bad -capture %q: want 1/N with N >= 1", s)
+	}
+	return n, nil
+}
+
 func parseMode(s string) (filter.CopyMode, error) {
 	switch s {
 	case "native":
@@ -352,7 +376,7 @@ func victimBase(set *rules.Set) uint32 {
 // (Engine.ReconfigureNamespaceDelta — applied by the shard workers at
 // batch boundaries, so the data plane never stops), and the reinstall
 // latencies are reported at the end.
-func runEngine(out io.Writer, set *rules.Set, mode filter.CopyMode, n, producers, size int, duration time.Duration, seed int64, churnEvery time.Duration, churnN int, oc obsConfig, ruleShape string) error {
+func runEngine(out io.Writer, set *rules.Set, mode filter.CopyMode, n, producers, size int, duration time.Duration, seed int64, churnEvery time.Duration, churnN int, oc obsConfig, ruleShape string, captureEvery int) error {
 	filters := make([]*filter.Filter, n)
 	for i := range filters {
 		e, err := enclave.New(enclave.CodeIdentity{
@@ -385,9 +409,21 @@ func runEngine(out io.Writer, set *rules.Set, mode filter.CopyMode, n, producers
 	}
 
 	tel := oc.buildTelemetry(n)
+	// The capture taps ride the burst-module chain, one worker-owned
+	// instance per shard, appended after the core stages so each sampled
+	// packet records its verdict.
+	var taps []*module.Capture
+	var modulesFn func(shard int) []module.Module
+	if captureEvery > 0 {
+		taps = make([]*module.Capture, n)
+		modulesFn = func(shard int) []module.Module {
+			taps[shard] = module.NewCapture(captureEvery, module.DefaultCaptureBuf)
+			return []module.Module{taps[shard]}
+		}
+	}
 	eng, err := engine.New(engine.Config{
 		Filters: filters, Route: bal.Route, RouteBatch: bal.RouteBatch,
-		Telemetry: tel,
+		Telemetry: tel, Modules: modulesFn,
 	})
 	if err != nil {
 		return err
@@ -500,6 +536,23 @@ func runEngine(out io.Writer, set *rules.Set, mode filter.CopyMode, n, producers
 			sm.Shard, sm.Processed, sm.PPS/1e6, sm.Allowed, sm.Dropped, sm.Backpressure, sm.QueueDepth, sm.AvgBatch, sm.NsPerPacket)
 	}
 	fmt.Fprintf(out, "lb drops: %d (balancer discards, before any shard)\n", m.LBDrops)
+	if captureEvery > 0 {
+		var captured uint64
+		for _, tap := range taps {
+			captured += tap.Captured()
+		}
+		fmt.Fprintf(out, "capture: sampled %d of %d processed (1/%d per shard)\n",
+			captured, m.Processed, captureEvery)
+		for shard, tap := range taps {
+			snap := tap.Snapshot()
+			if len(snap) == 0 {
+				continue
+			}
+			last := snap[len(snap)-1]
+			fmt.Fprintf(out, "  shard %d: %d sampled, ring %d; newest: %s verdict=%s size=%dB\n",
+				shard, tap.Captured(), len(snap), last.Flow, last.Verdict, last.Size)
+		}
+	}
 	if ruleShape != "" {
 		// Aggregate the per-shard filter counters so shaped engine runs end
 		// with the same comparable verdict line the classic pipeline prints.

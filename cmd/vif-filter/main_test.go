@@ -7,6 +7,7 @@ import (
 	"os"
 	"path/filepath"
 	"regexp"
+	"strconv"
 	"strings"
 	"sync"
 	"testing"
@@ -475,5 +476,51 @@ func TestRunClassicModeTelemetry(t *testing.T) {
 	}
 	if text := out.String(); !strings.Contains(text, "stats: pipeline{") {
 		t.Errorf("-stats-interval printed no pipeline stats lines:\n%s", text)
+	}
+}
+
+// TestRunEngineCaptureTap: -capture 1/N hangs a sampled capture tap off
+// every shard's burst chain. The printed totals must satisfy the tap's
+// contract — captured is a subset of processed at exactly the configured
+// stride (each worker-owned counter floors independently, so the fleet
+// total is within one packet per shard of processed/N).
+func TestRunEngineCaptureTap(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{
+		"-shards", "2", "-producers", "1", "-duration", "150ms", "-capture", "1/16",
+	}, &out); err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	m := regexp.MustCompile(`capture: sampled (\d+) of (\d+) processed \(1/16 per shard\)`).FindStringSubmatch(text)
+	if m == nil {
+		t.Fatalf("no capture summary in output:\n%s", text)
+	}
+	captured, _ := strconv.ParseUint(m[1], 10, 64)
+	processed, _ := strconv.ParseUint(m[2], 10, 64)
+	if captured == 0 || processed == 0 {
+		t.Fatalf("degenerate run: captured %d of %d", captured, processed)
+	}
+	if captured > processed {
+		t.Fatalf("captured %d packets but only %d were processed — tap invented traffic", captured, processed)
+	}
+	want := processed / 16
+	if diff := int64(captured) - int64(want); diff < -2 || diff > 2 {
+		t.Fatalf("sampling stride off: captured %d, want ~%d (processed %d / 16)", captured, want, processed)
+	}
+	if !strings.Contains(text, "verdict=") {
+		t.Errorf("capture detail lines carry no verdicts:\n%s", text)
+	}
+}
+
+func TestCaptureFlagErrors(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-capture", "1/16"}, &out); err == nil {
+		t.Error("-capture without -shards accepted")
+	}
+	for _, bad := range []string{"16", "2/3", "1/0", "1/-4", "x"} {
+		if err := run([]string{"-shards", "2", "-capture", bad}, &out); err == nil {
+			t.Errorf("-capture %q accepted", bad)
+		}
 	}
 }

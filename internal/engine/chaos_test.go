@@ -418,3 +418,48 @@ func TestDetachDuringBackpressure(t *testing.T) {
 		t.Fatalf("drain invariant broken across detach: processed %d accepted %d", m.Processed, m.Accepted)
 	}
 }
+
+// TestChaosModuleFaultStorm: the module_fault point fires inside the
+// burst chain — before a module invocation, on the worker goroutine —
+// so every trip panics mid-pipeline. The supervisor must absorb each
+// one exactly like a module bug: burst folded into faulted, worker
+// restarted, drain invariant intact, restarts journaled.
+func TestChaosModuleFaultStorm(t *testing.T) {
+	set := testRules(t, 64)
+	in := faults.New(5)
+	in.Enable(faults.ModuleFault, faults.Spec{Prob: 0.02})
+	tel := chaosTelemetry(2)
+	eng, err := New(Config{Filters: testFilters(t, set, 2), Telemetry: tel, Faults: in})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Start(); err != nil {
+		t.Fatal(err)
+	}
+	descs := testDescriptors(t, set, 8192)
+	var accepted uint64
+	for lo := 0; lo < len(descs); lo += 256 {
+		accepted += uint64(eng.InjectBatch(descs[lo : lo+256]))
+	}
+	eng.WaitDrained() // must terminate: faulted bursts count as processed
+	eng.Stop()
+
+	if in.Fired(faults.ModuleFault) == 0 {
+		t.Fatal("module_fault schedule never fired; the chain hook is dead")
+	}
+	m := eng.Metrics()
+	if m.Restarts == 0 || m.Faulted == 0 {
+		t.Fatalf("chain panics unaccounted: restarts=%d faulted=%d", m.Restarts, m.Faulted)
+	}
+	if m.Processed != m.Accepted || m.Accepted != accepted {
+		t.Fatalf("drain invariant broken: accepted %d (produced %d), processed %d",
+			m.Accepted, accepted, m.Processed)
+	}
+	if got := m.Allowed + m.Dropped + m.Faulted + m.Orphaned; got != m.Processed {
+		t.Fatalf("verdict classes %d != processed %d (allowed=%d dropped=%d faulted=%d orphaned=%d)",
+			got, m.Processed, m.Allowed, m.Dropped, m.Faulted, m.Orphaned)
+	}
+	if !journalHas(tel, telemetry.EvWorkerRestart) {
+		t.Fatal("no worker_restart event journaled for chain panics")
+	}
+}

@@ -1,0 +1,475 @@
+package engine
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/innetworkfiltering/vif/internal/engine/module"
+	"github.com/innetworkfiltering/vif/internal/faults"
+	"github.com/innetworkfiltering/vif/internal/filter"
+	"github.com/innetworkfiltering/vif/internal/packet"
+	"github.com/innetworkfiltering/vif/internal/rules"
+	"github.com/innetworkfiltering/vif/internal/telemetry"
+)
+
+// The differential suite replays seeded netsim-style workloads through
+// two engines that differ only in loop shape — Config.LegacyLoop (the
+// pre-refactor fused Filter.ProcessBatch per namespace run) versus the
+// decomposed classify/sketch/charge module chain — and asserts the
+// observable behavior is bit-identical: per-shard verdict streams, every
+// per-namespace and engine counter, the control-plane journal sequence,
+// rule memory, and EPC shares. This is the refactor's safety proof: the
+// chain is the fused loop, relaid as modules.
+//
+// Determinism notes: one producer goroutine gives each shard ring a
+// deterministic packet order; rings are sized so nothing backpressures
+// except where a fault schedule injects refusals (seeded, producer-side,
+// so ordinals match across runs); admission legs pin the bucket clock;
+// promotion is disabled (testFilters) so learned state cannot depend on
+// burst boundaries, which the two runs do not share.
+
+// diffRecord is one packet as it left a namespace chain on one shard.
+type diffRecord struct {
+	Tuple   packet.FiveTuple
+	Verdict filter.Verdict
+	Masked  bool
+}
+
+// diffRecorder is a verdict-neutral module appended after the core
+// stages (both loop shapes), capturing the cell's full verdict stream.
+// Worker-owned while running; read only after Stop.
+type diffRecorder struct {
+	recs []diffRecord
+}
+
+func (r *diffRecorder) Name() string { return "diff-recorder" }
+func (r *diffRecorder) ProcessBurst(ctx *module.BurstCtx) {
+	for i := range ctx.Pkts {
+		var v filter.Verdict
+		if i < len(ctx.Verdicts) {
+			v = ctx.Verdicts[i]
+		}
+		r.recs = append(r.recs, diffRecord{ctx.Pkts[i].Tuple, v, ctx.Dropped(i)})
+	}
+}
+func (r *diffRecorder) Flush() {}
+
+type diffEngineCounters struct {
+	Accepted, Processed, Allowed, Dropped  uint64
+	Orphaned, Faulted, Throttled           uint64
+	Backpressure, LBDrops, NSDrops, Epochs uint64
+}
+
+type diffNSCounters struct {
+	NS                          int
+	Processed, Allowed, Dropped uint64
+	Admitted, Throttled         uint64
+	Epochs, Promoted            uint64
+	EPCShareBytes               int
+}
+
+// diffOutcome is everything one run exposes that must match its twin.
+type diffOutcome struct {
+	Engine     diffEngineCounters
+	Namespaces []diffNSCounters
+	Streams    map[int][][]diffRecord // ns → shard → verdict stream
+	Journal    []string               // deterministic control-plane events, "type ns=N"
+	EPC        map[int]int            // ns → EPC share bytes
+	Mem        map[int]int            // ns → worst-shard rule memory bytes
+}
+
+// diffJournalKeep is the set of events whose order is fully determined
+// by the (single-threaded) producer + control plane. Worker-emitted
+// events (backpressure_off on drain, epoch seals) interleave with these
+// racily and are excluded; their counters are compared instead.
+var diffJournalKeep = map[telemetry.EventType]bool{
+	telemetry.EvEngineStart:       true,
+	telemetry.EvEngineStop:        true,
+	telemetry.EvAttach:            true,
+	telemetry.EvDetach:            true,
+	telemetry.EvReconfigure:       true,
+	telemetry.EvReconfigureDelta:  true,
+	telemetry.EvDeltaRollback:     true,
+	telemetry.EvEPCRebalance:      true,
+	telemetry.EvAdmissionThrottle: true,
+}
+
+func diffTelemetry(shards int) *telemetry.Telemetry {
+	return telemetry.New(telemetry.Config{Shards: shards, TraceEvery: -1, JournalSize: 4096})
+}
+
+// diffAttach attaches one victim with a per-shard verdict recorder.
+func diffAttach(t *testing.T, eng *Engine, set *rules.Set, cfg NamespaceConfig) (int, []*diffRecorder) {
+	t.Helper()
+	recs := make([]*diffRecorder, eng.Shards())
+	cfg.Filters = testFilters(t, set, eng.Shards())
+	cfg.Modules = func(shard int) []module.Module {
+		r := &diffRecorder{}
+		recs[shard] = r
+		return []module.Module{r}
+	}
+	id, err := eng.AttachNamespace(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return id, recs
+}
+
+// diffInject pushes descriptors through the single producer in fixed
+// chunks, returning how many the engine accepted.
+func diffInject(eng *Engine, ds []packet.Descriptor) uint64 {
+	var accepted uint64
+	for lo := 0; lo < len(ds); lo += 128 {
+		hi := lo + 128
+		if hi > len(ds) {
+			hi = len(ds)
+		}
+		accepted += uint64(eng.InjectBatch(ds[lo:hi]))
+	}
+	return accepted
+}
+
+// diffCollect snapshots the run's observable state after Stop.
+func diffCollect(eng *Engine, tel *telemetry.Telemetry, streams map[int][]*diffRecorder) diffOutcome {
+	m := eng.Metrics()
+	out := diffOutcome{
+		Engine: diffEngineCounters{
+			Accepted: m.Accepted, Processed: m.Processed, Allowed: m.Allowed,
+			Dropped: m.Dropped, Orphaned: m.Orphaned, Faulted: m.Faulted,
+			Throttled: m.Throttled, Backpressure: m.Backpressure,
+			LBDrops: m.LBDrops, NSDrops: m.NSDrops,
+		},
+		Streams: map[int][][]diffRecord{},
+		EPC:     eng.EPCShares(),
+		Mem:     map[int]int{},
+	}
+	for _, nm := range m.Namespaces {
+		out.Namespaces = append(out.Namespaces, diffNSCounters{
+			NS: nm.NS, Processed: nm.Processed, Allowed: nm.Allowed,
+			Dropped: nm.Dropped, Admitted: nm.Admitted, Throttled: nm.Throttled,
+			Epochs: nm.Epochs, Promoted: nm.Promoted, EPCShareBytes: nm.EPCShareBytes,
+		})
+		worst := 0
+		for _, f := range eng.NamespaceFilters(nm.NS) {
+			if b := f.RuleMemoryBytes(); b > worst {
+				worst = b
+			}
+		}
+		out.Mem[nm.NS] = worst
+	}
+	for ns, recs := range streams {
+		perShard := make([][]diffRecord, len(recs))
+		for i, r := range recs {
+			perShard[i] = r.recs
+		}
+		out.Streams[ns] = perShard
+	}
+	for _, ev := range tel.Journal().Events() {
+		if diffJournalKeep[ev.Type] {
+			out.Journal = append(out.Journal, fmt.Sprintf("%s ns=%d", ev.Type, ev.NS))
+		}
+	}
+	return out
+}
+
+// diffCompare asserts two runs are observably identical, reporting the
+// first divergence precisely.
+func diffCompare(t *testing.T, legacy, chain diffOutcome) {
+	t.Helper()
+	if legacy.Engine != chain.Engine {
+		t.Errorf("engine counters diverge:\nlegacy: %+v\nchain:  %+v", legacy.Engine, chain.Engine)
+	}
+	if len(legacy.Namespaces) != len(chain.Namespaces) {
+		t.Fatalf("namespace count diverges: %d vs %d", len(legacy.Namespaces), len(chain.Namespaces))
+	}
+	for i := range legacy.Namespaces {
+		if legacy.Namespaces[i] != chain.Namespaces[i] {
+			t.Errorf("namespace %d counters diverge:\nlegacy: %+v\nchain:  %+v",
+				legacy.Namespaces[i].NS, legacy.Namespaces[i], chain.Namespaces[i])
+		}
+	}
+	if len(legacy.Journal) != len(chain.Journal) {
+		t.Errorf("journal length diverges: %d vs %d\nlegacy: %v\nchain:  %v",
+			len(legacy.Journal), len(chain.Journal), legacy.Journal, chain.Journal)
+	} else {
+		for i := range legacy.Journal {
+			if legacy.Journal[i] != chain.Journal[i] {
+				t.Errorf("journal[%d] diverges: %q vs %q", i, legacy.Journal[i], chain.Journal[i])
+				break
+			}
+		}
+	}
+	for ns, lm := range legacy.Mem {
+		if cm := chain.Mem[ns]; cm != lm {
+			t.Errorf("ns %d rule memory diverges: %d vs %d", ns, lm, cm)
+		}
+	}
+	for ns, ls := range legacy.EPC {
+		if cs := chain.EPC[ns]; cs != ls {
+			t.Errorf("ns %d EPC share diverges: %d vs %d", ns, ls, cs)
+		}
+	}
+	for ns, lStreams := range legacy.Streams {
+		cStreams, ok := chain.Streams[ns]
+		if !ok {
+			t.Errorf("chain run lost namespace %d's streams", ns)
+			continue
+		}
+		for sh := range lStreams {
+			l, c := lStreams[sh], cStreams[sh]
+			if len(l) != len(c) {
+				t.Errorf("ns %d shard %d: stream length diverges: %d vs %d", ns, sh, len(l), len(c))
+				continue
+			}
+			for i := range l {
+				if l[i] != c[i] {
+					t.Errorf("ns %d shard %d packet %d: verdict diverges:\nlegacy: %+v\nchain:  %+v",
+						ns, sh, i, l[i], c[i])
+					break
+				}
+			}
+		}
+	}
+	// A vacuous equivalence proves nothing: require real traffic with
+	// both verdict classes.
+	if legacy.Engine.Processed == 0 || legacy.Engine.Allowed == 0 || legacy.Engine.Dropped == 0 {
+		t.Fatalf("degenerate workload: %+v", legacy.Engine)
+	}
+}
+
+// renumber reassigns rule IDs from base so delta adds cannot collide
+// with the installed set's IDs.
+func renumber(rs []rules.Rule, base uint32) []rules.Rule {
+	out := append([]rules.Rule{}, rs...)
+	for i := range out {
+		out[i].ID = base + uint32(i)
+	}
+	return out
+}
+
+// interleave merges per-victim descriptor slices round-robin, the
+// arrival pattern a shared deployment sees.
+func interleave(lists ...[]packet.Descriptor) []packet.Descriptor {
+	total := 0
+	for _, l := range lists {
+		total += len(l)
+	}
+	out := make([]packet.Descriptor, 0, total)
+	for i := 0; len(out) < total; i++ {
+		for _, l := range lists {
+			if i < len(l) {
+				out = append(out, l[i])
+			}
+		}
+	}
+	return out
+}
+
+// --- Workload 1: multi-victim steady state ---------------------------
+
+func runDiffMultiVictim(t *testing.T, legacy bool) diffOutcome {
+	t.Helper()
+	tel := diffTelemetry(2)
+	eng, err := New(Config{Shards: 2, RingSize: 1 << 14, Telemetry: tel, LegacyLoop: legacy})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	setA := nsTestRules(t, 48, "192.0.2.0/24", 1)
+	setB := nsTestRules(t, 32, "198.51.100.0/24", 2)
+	setC := nsTestRules(t, 16, "203.0.113.0/24", 3)
+	nsA, recA := diffAttach(t, eng, setA, NamespaceConfig{})
+	nsB, recB := diffAttach(t, eng, setB, NamespaceConfig{})
+	nsC, recC := diffAttach(t, eng, setC, NamespaceConfig{})
+
+	if err := eng.Start(); err != nil {
+		t.Fatal(err)
+	}
+	ds := interleave(
+		nsTestDescriptors(t, setA, 3000, "192.0.2.9", uint16(nsA), 11),
+		nsTestDescriptors(t, setB, 3000, "198.51.100.9", uint16(nsB), 12),
+		nsTestDescriptors(t, setC, 1500, "203.0.113.9", uint16(nsC), 13),
+	)
+	if got := diffInject(eng, ds); got != uint64(len(ds)) {
+		t.Fatalf("ring backpressure broke determinism: accepted %d of %d", got, len(ds))
+	}
+	eng.WaitDrained()
+	eng.Stop()
+	return diffCollect(eng, tel, map[int][]*diffRecorder{nsA: recA, nsB: recB, nsC: recC})
+}
+
+// TestDifferentialMultiVictim: three victims' interleaved traffic
+// through both loop shapes — identical verdict streams per (ns, shard),
+// counters, journal, memory, EPC split.
+func TestDifferentialMultiVictim(t *testing.T) {
+	diffCompare(t, runDiffMultiVictim(t, true), runDiffMultiVictim(t, false))
+}
+
+// --- Workload 2: rule churn across live deltas -----------------------
+
+func runDiffChurn(t *testing.T, legacy bool) diffOutcome {
+	t.Helper()
+	tel := diffTelemetry(2)
+	eng, err := New(Config{Shards: 2, RingSize: 1 << 14, Telemetry: tel, LegacyLoop: legacy})
+	if err != nil {
+		t.Fatal(err)
+	}
+	set := nsTestRules(t, 48, "192.0.2.0/24", 21)
+	ns, recs := diffAttach(t, eng, set, NamespaceConfig{})
+	if err := eng.Start(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Phase 1: the original rules.
+	p1 := nsTestDescriptors(t, set, 3000, "192.0.2.9", uint16(ns), 31)
+	if got := diffInject(eng, p1); got != uint64(len(p1)) {
+		t.Fatalf("phase 1 backpressure: %d of %d", got, len(p1))
+	}
+	eng.WaitDrained() // quiesce so the delta point is deterministic
+
+	// Delta 1: drop 8 original rules, add 16 fresh ones. The chain (and
+	// any attached modules) must survive in place — deltas swap rule
+	// views, not cells.
+	adds := renumber(nsTestRules(t, 16, "192.0.2.0/24", 22).Rules, 9000)
+	d1 := filter.Delta{Adds: adds, Removes: set.Rules[:8]}
+	if err := eng.ReconfigureNamespaceDelta(ns, []filter.Delta{d1, d1}, nil, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	// Phase 2: traffic drawn against the post-delta rule set, so both
+	// removed-rule misses and added-rule hits appear in the streams.
+	postRules := append(append([]rules.Rule{}, set.Rules[8:]...), adds...)
+	postSet, err := rules.NewSet(postRules, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2 := nsTestDescriptors(t, postSet, 3000, "192.0.2.9", uint16(ns), 32)
+	if got := diffInject(eng, p2); got != uint64(len(p2)) {
+		t.Fatalf("phase 2 backpressure: %d of %d", got, len(p2))
+	}
+	eng.WaitDrained()
+
+	// Delta 2: pure adds (the learned-state-preserving path).
+	adds2 := renumber(nsTestRules(t, 8, "192.0.2.0/24", 23).Rules, 9100)
+	d2 := filter.Delta{Adds: adds2}
+	if err := eng.ReconfigureNamespaceDelta(ns, []filter.Delta{d2, d2}, nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	p3 := nsTestDescriptors(t, postSet, 1500, "192.0.2.9", uint16(ns), 33)
+	if got := diffInject(eng, p3); got != uint64(len(p3)) {
+		t.Fatalf("phase 3 backpressure: %d of %d", got, len(p3))
+	}
+	eng.WaitDrained()
+	eng.Stop()
+	return diffCollect(eng, tel, map[int][]*diffRecorder{ns: recs})
+}
+
+// TestDifferentialChurn: two live rule deltas between traffic phases —
+// the module chains persist across delta swaps with identical verdicts.
+func TestDifferentialChurn(t *testing.T) {
+	diffCompare(t, runDiffChurn(t, true), runDiffChurn(t, false))
+}
+
+// --- Workload 3: overload under admission control --------------------
+
+func runDiffOverload(t *testing.T, legacy bool) diffOutcome {
+	t.Helper()
+	tel := diffTelemetry(2)
+	eng, err := New(Config{
+		Shards: 2, RingSize: 1 << 14, Telemetry: tel, LegacyLoop: legacy,
+		// Pinned bucket clock: no refill, so the token arithmetic — and
+		// therefore exactly which packets are throttled — is a pure
+		// function of the injection sequence.
+		Admission: &AdmissionConfig{Burst: 1024, Now: func() int64 { return 0 }},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	setHot := nsTestRules(t, 32, "192.0.2.0/24", 41)
+	setCold := nsTestRules(t, 32, "198.51.100.0/24", 42)
+	nsHot, recHot := diffAttach(t, eng, setHot, NamespaceConfig{AdmitPps: 1000})
+	nsCold, recCold := diffAttach(t, eng, setCold, NamespaceConfig{})
+	if err := eng.Start(); err != nil {
+		t.Fatal(err)
+	}
+
+	ds := interleave(
+		nsTestDescriptors(t, setHot, 4000, "192.0.2.9", uint16(nsHot), 51),
+		nsTestDescriptors(t, setCold, 2000, "198.51.100.9", uint16(nsCold), 52),
+	)
+	diffInject(eng, ds) // the hot victim's tail is refused by design
+	eng.WaitDrained()
+	eng.Stop()
+
+	out := diffCollect(eng, tel, map[int][]*diffRecorder{nsHot: recHot, nsCold: recCold})
+	if out.Engine.Throttled == 0 {
+		t.Fatal("overload workload never throttled — admission leg exercised nothing")
+	}
+	return out
+}
+
+// TestDifferentialOverload: a flooding victim clipped by admission
+// control next to an uncapped neighbor — identical admitted/throttled
+// splits and verdict streams for what got through.
+func TestDifferentialOverload(t *testing.T) {
+	diffCompare(t, runDiffOverload(t, true), runDiffOverload(t, false))
+}
+
+// --- Workload 4: fault schedules -------------------------------------
+
+func runDiffFaults(t *testing.T, legacy bool) diffOutcome {
+	t.Helper()
+	tel := diffTelemetry(2)
+	in := faults.New(97)
+	in.Enable(faults.RingFull, faults.Spec{Prob: 0.25})
+	eng, err := New(Config{Shards: 2, RingSize: 1 << 14, Telemetry: tel, Faults: in, LegacyLoop: legacy})
+	if err != nil {
+		t.Fatal(err)
+	}
+	set := nsTestRules(t, 32, "192.0.2.0/24", 61)
+	ns, recs := diffAttach(t, eng, set, NamespaceConfig{})
+	if err := eng.Start(); err != nil {
+		t.Fatal(err)
+	}
+
+	// RingFull refusals are producer-side: the same seeded schedule sees
+	// the same ordinal sequence in both runs, so the accepted subsequence
+	// reaching each shard is identical.
+	p1 := nsTestDescriptors(t, set, 4000, "192.0.2.9", uint16(ns), 62)
+	diffInject(eng, p1)
+	eng.WaitDrained()
+
+	// A delta that fails on every shard (Prob 1): rollback restores the
+	// pre-delta rules identically under both loop shapes.
+	in.Enable(faults.DeltaApply, faults.Spec{Prob: 1})
+	adds := renumber(nsTestRules(t, 8, "192.0.2.0/24", 63).Rules, 9000)
+	d := filter.Delta{Adds: adds}
+	if err := eng.ReconfigureNamespaceDelta(ns, []filter.Delta{d, d}, nil, nil); err == nil {
+		t.Fatal("delta succeeded under a Prob-1 DeltaApply schedule")
+	}
+	in.Disable(faults.DeltaApply)
+
+	// Post-rollback traffic must classify against the original rules.
+	p2 := nsTestDescriptors(t, set, 2000, "192.0.2.9", uint16(ns), 64)
+	diffInject(eng, p2)
+	eng.WaitDrained()
+	eng.Stop()
+
+	out := diffCollect(eng, tel, map[int][]*diffRecorder{ns: recs})
+	if in.Fired(faults.RingFull) == 0 {
+		t.Fatal("fault schedule never fired")
+	}
+	if out.Engine.Backpressure == 0 {
+		t.Fatal("RingFull schedule produced no backpressure")
+	}
+	if !journalHas(tel, telemetry.EvDeltaRollback) {
+		t.Fatal("failed delta was not journaled as a rollback")
+	}
+	return out
+}
+
+// TestDifferentialFaults: a seeded ring-full storm plus a failing
+// delta's rollback — loss and repair behave identically in both shapes.
+func TestDifferentialFaults(t *testing.T) {
+	diffCompare(t, runDiffFaults(t, true), runDiffFaults(t, false))
+}

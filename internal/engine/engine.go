@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"github.com/innetworkfiltering/vif/internal/enclave"
+	"github.com/innetworkfiltering/vif/internal/engine/module"
 	"github.com/innetworkfiltering/vif/internal/faults"
 	"github.com/innetworkfiltering/vif/internal/filter"
 	"github.com/innetworkfiltering/vif/internal/packet"
@@ -104,9 +105,21 @@ type Config struct {
 	Admission *AdmissionConfig
 	// Faults threads the deterministic fault-injection harness through
 	// the engine's hooks (ring-full storms, paging spikes, delta-apply
-	// failures). Nil — the production default — disables every hook at
-	// the cost of one nil check each.
+	// failures, module faults). Nil — the production default — disables
+	// every hook at the cost of one nil check each.
 	Faults *faults.Injector
+	// Modules, when set, appends extra burst modules to the default
+	// namespace's per-shard chains, after the core stages (so they see
+	// verdicts). Called once per shard at attach; instances must not be
+	// shared across shards (chains are worker-owned). The capture tap
+	// rides here.
+	Modules func(shard int) []module.Module
+	// LegacyLoop runs every namespace chain as the pre-refactor fused
+	// loop — one Filter.ProcessBatch per namespace run — instead of the
+	// decomposed classify/sketch/charge stages. The differential
+	// equivalence suite and the pipeline-overhead benchmark use it as
+	// the fixed-loop oracle; production leaves it false.
+	LegacyLoop bool
 }
 
 func (c *Config) fillDefaults() {
@@ -142,6 +155,11 @@ type NamespaceConfig struct {
 	// explicitly, overriding any weighted share — the knob an operator
 	// turns on an attacked victim. Ignored without Config.Admission.
 	AdmitPps float64
+	// Modules appends extra burst modules to this namespace's per-shard
+	// chains, after the core stages. Called once per shard at attach (and
+	// again on a full ReconfigureNamespace); instances must not be shared
+	// across shards.
+	Modules func(shard int) []module.Module
 }
 
 // rotateTicket asks one worker to act at its next batch boundary: seal the
@@ -188,6 +206,12 @@ type EpochLog struct {
 // per-burst updates stay on lines only the owning worker dirties.
 type nsShard struct {
 	f *filter.Filter
+	// chain is the cell's burst-module pipeline (the decomposed
+	// classify/sketch/charge stages plus any configured extras, or the
+	// legacy fused loop). Immutable once the cell is published; swapped
+	// with the copy-on-write views exactly like the filter, so a worker
+	// burst always runs one consistent (filter, chain) pair.
+	chain *module.Chain
 	// sink is the namespace's allowed-packet observer (nil discards),
 	// copied here so the worker needs no second table lookup.
 	sink Sink
@@ -237,9 +261,13 @@ type shard struct {
 	rotate chan *rotateTicket
 	done   chan struct{}
 
-	// verdicts is the pooled verdict slice the worker hands ProcessBatch
+	// verdicts is the pooled verdict slice the worker hands the chain
 	// every burst (allocated once, reused for the shard's lifetime).
 	verdicts []filter.Verdict
+
+	// bctx is the worker's burst-module scratch arena, reset per
+	// namespace run and handed to the cell's chain.
+	bctx module.BurstCtx
 
 	// claimed is the worker-owned scratch holding packet traces claimed
 	// from the tracer for the current burst (normally empty; tracing is
@@ -424,6 +452,7 @@ func New(cfg Config) (*Engine, error) {
 			Filters:    cfg.Filters,
 			Route:      cfg.Route,
 			RouteBatch: cfg.RouteBatch,
+			Modules:    cfg.Modules,
 		}); err != nil {
 			return nil, err
 		}
@@ -531,6 +560,19 @@ func (e *Engine) buildNamespace(id int, cfg NamespaceConfig) (*namespace, error)
 		// Set before the view is published, so the store is ordered ahead
 		// of any worker ProcessBatch call.
 		f.SetStageRecorder(e.tel.Recorder(i))
+		// The cell's module chain: the decomposed core stages (or the
+		// legacy fused loop), then any configured extras. Built per cell
+		// so chains swap with the copy-on-write views.
+		var mods []module.Module
+		if e.cfg.LegacyLoop {
+			mods = append(mods, &module.Fused{F: f})
+		} else {
+			mods = append(mods, &module.Classify{F: f}, &module.Sketch{F: f}, &module.Charge{F: f})
+		}
+		if cfg.Modules != nil {
+			mods = append(mods, cfg.Modules(i)...)
+		}
+		t.chain = module.NewChain(e.cfg.Faults, mods...)
 		ns.shards[i] = t
 	}
 	ns.finishRouting(n)
@@ -1561,15 +1603,16 @@ func (s *shard) serveTicket(e *Engine, t *rotateTicket) {
 	s.curTicket = nil
 }
 
-// process pushes one burst through the filters' batch path, splitting it
-// into namespace runs: each run is one ProcessBatch call against its
-// victim's filter — one pooled verdict slice, one cost-meter charge — so
-// the multi-victim dispatch costs a 2-byte compare per packet and one
-// atomic view load per burst, nothing on the per-packet path. Packets of
-// detached namespaces are dropped and counted as orphaned (never
-// attributed to any victim). Verdict counters publish per run (worker-
-// owned lines, so the extra adds are cheap) and inflight/accounted track
-// progress, so a panic mid-burst leaves recoverWorker an exact picture:
+// process pushes one burst through the per-namespace module chains,
+// splitting it into namespace runs: each run is one chain execution over
+// the worker's burst arena — one pooled verdict slice, one cost-meter
+// charge — so the multi-victim dispatch costs a 2-byte compare per
+// packet and one atomic view load per burst, nothing on the per-packet
+// path. Packets of detached namespaces are dropped and counted as
+// orphaned (never attributed to any victim). Verdict counters publish
+// per run (worker-owned lines, so the extra adds are cheap) and
+// inflight/accounted track progress, so a panic mid-burst — including a
+// panic inside a module — leaves recoverWorker an exact picture:
 // completed runs keep their verdicts, the remainder counts as faulted.
 func (s *shard) process(e *Engine, batch []packet.Descriptor, rec *telemetry.StageRecorder, sampled bool) {
 	views := *s.views.Load()
@@ -1616,16 +1659,24 @@ func (s *shard) process(e *Engine, batch []packet.Descriptor, rec *telemetry.Sta
 			i = j
 			continue
 		}
+		ctx := &s.bctx
+		ctx.Reset(s.id, int(id), run, s.verdicts)
 		if sampled {
 			fs := time.Now()
-			s.verdicts = t.f.ProcessBatch(run, s.verdicts)
+			t.chain.Run(ctx, rec, true)
 			filterTime += time.Since(fs)
 		} else {
-			s.verdicts = t.f.ProcessBatch(run, s.verdicts)
+			t.chain.Run(ctx, rec, false)
 		}
+		s.verdicts = ctx.Verdicts
+		masked := ctx.MaskedDrops() > 0
 		var runAllowed, runDropped uint64
 		for k, v := range s.verdicts {
-			if v == filter.VerdictAllow {
+			// A drop-mask bit set after the verdict stage overrides an
+			// allow (the verdict stage already folds earlier bits into
+			// VerdictDrop); the default chain never masks, so the extra
+			// check is off the common path.
+			if v == filter.VerdictAllow && !(masked && ctx.Dropped(k)) {
 				runAllowed++
 				if e.cfg.Sink != nil {
 					e.cfg.Sink(s.id, run[k])

@@ -66,6 +66,31 @@ func (e *Engine) collect() []telemetry.Metric {
 	shardFam("vif_shard_avg_batch", "Mean burst occupancy (processed/batches).", telemetry.Gauge, func(s ShardMetrics) float64 { return s.AvgBatch })
 	shardFam("vif_shard_ns_per_packet", "Modeled enclave nanoseconds per packet.", telemetry.Gauge, func(s ShardMetrics) float64 { return s.NsPerPacket })
 
+	// Per-module pipeline costs: one sample per (shard, stage) with
+	// sampled data — the burst-chain decomposition of the shard's wall
+	// time, measured on the telemetry recorder's sampled bursts.
+	var stageSamples, stagePkts []telemetry.Sample
+	for _, sm := range m.Shards {
+		for _, st := range sm.Stages {
+			labels := []telemetry.Label{
+				{Key: "shard", Value: strconv.Itoa(sm.Shard)},
+				{Key: "stage", Value: st.Stage},
+			}
+			stageSamples = append(stageSamples, telemetry.Sample{Labels: labels, Value: st.NsPerPacket})
+			stagePkts = append(stagePkts, telemetry.Sample{Labels: labels, Value: float64(st.SampledPackets)})
+		}
+	}
+	if len(stageSamples) > 0 {
+		out = append(out, telemetry.Metric{
+			Name: "vif_shard_stage_ns_per_packet", Help: "Measured wall nanoseconds per packet per burst module (sampled bursts).",
+			Type: telemetry.Gauge, Samples: stageSamples,
+		})
+		out = append(out, telemetry.Metric{
+			Name: "vif_shard_stage_sampled_packets_total", Help: "Packets carried through each burst module by sampled bursts.",
+			Type: telemetry.Counter, Samples: stagePkts,
+		})
+	}
+
 	if len(m.Namespaces) > 0 {
 		nsFam := func(name, help string, typ telemetry.MetricType, get func(NamespaceMetrics) float64) {
 			samples := make([]telemetry.Sample, len(m.Namespaces))

@@ -6,6 +6,7 @@ import (
 	"strings"
 	"time"
 
+	"github.com/innetworkfiltering/vif/internal/engine/module"
 	"github.com/innetworkfiltering/vif/internal/pipeline"
 )
 
@@ -50,6 +51,22 @@ type ShardMetrics struct {
 	// namespace filters, divided by the packets they decided) — the
 	// per-packet cost floor behind the paper's throughput figures.
 	NsPerPacket float64
+	// Stages is the measured per-module cost breakdown of the shard's
+	// burst chains, aggregated by module name across the shard's
+	// namespace cells. Figures come from the telemetry recorder's
+	// 1-in-N sampled bursts (empty without telemetry).
+	Stages []StageMetrics
+}
+
+// StageMetrics is one burst module's sampled wall cost on one shard.
+type StageMetrics struct {
+	// Stage is the module name (classify, sketch, charge, capture, ...).
+	Stage string
+	// SampledPackets is how many packets sampled bursts carried through
+	// the module; NsPerPacket is the module's measured wall nanoseconds
+	// per such packet.
+	SampledPackets uint64
+	NsPerPacket    float64
 }
 
 // NamespaceMetrics is one victim namespace's live counter snapshot,
@@ -125,6 +142,33 @@ type Metrics struct {
 	PPS float64
 }
 
+// stageAcc accumulates one module name's sampled cost on one shard.
+type stageAcc struct {
+	name     string
+	ns, pkts uint64
+}
+
+// mergeStageCosts folds one cell chain's per-module costs into a shard's
+// accumulator, keyed by module name, preserving first-seen chain order.
+// Chains hold a handful of modules, so the linear scan beats a map.
+func mergeStageCosts(acc []stageAcc, costs []module.StageCost) []stageAcc {
+	for _, c := range costs {
+		found := false
+		for j := range acc {
+			if acc[j].name == c.Module {
+				acc[j].ns += c.Ns
+				acc[j].pkts += c.Packets
+				found = true
+				break
+			}
+		}
+		if !found {
+			acc = append(acc, stageAcc{name: c.Module, ns: c.Ns, pkts: c.Packets})
+		}
+	}
+	return acc
+}
+
 // nsVirtualDelta returns a cell's engine-era modeled nanoseconds.
 func (t *nsShard) virtualDelta() float64 {
 	base := math.Float64frombits(t.baseVirtualNs.Load())
@@ -152,6 +196,13 @@ func (e *Engine) Metrics() Metrics {
 	// Per-shard modeled time: summed over the shard's namespace cells.
 	shardVirtual := make([]float64, len(e.shards))
 	shardFiltered := make([]uint64, len(e.shards))
+	// Per-shard sampled module costs, merged by module name across the
+	// shard's namespace cells (only populated with telemetry: without a
+	// recorder no burst is ever sampled, so the accumulators stay zero).
+	var shardStages [][]stageAcc
+	if e.tel != nil {
+		shardStages = make([][]stageAcc, len(e.shards))
+	}
 	for _, ns := range nss {
 		if ns == nil {
 			continue
@@ -172,6 +223,9 @@ func (e *Engine) Metrics() Metrics {
 			virtual += d
 			shardVirtual[i] += d
 			shardFiltered[i] += p
+			if shardStages != nil {
+				shardStages[i] = mergeStageCosts(shardStages[i], t.chain.StageCosts())
+			}
 		}
 		if budget := e.budget.Load(); budget != nil {
 			nm.EPCShareBytes = budget.Share(ns.id)
@@ -211,6 +265,15 @@ func (e *Engine) Metrics() Metrics {
 		}
 		if shardFiltered[i] > 0 {
 			sm.NsPerPacket = shardVirtual[i] / float64(shardFiltered[i])
+		}
+		if shardStages != nil {
+			for _, a := range shardStages[i] {
+				st := StageMetrics{Stage: a.name, SampledPackets: a.pkts}
+				if a.pkts > 0 {
+					st.NsPerPacket = float64(a.ns) / float64(a.pkts)
+				}
+				sm.Stages = append(sm.Stages, st)
+			}
 		}
 		m.Shards[i] = sm
 		m.Processed += sm.Processed

@@ -1,0 +1,52 @@
+package module
+
+// Admission adapts an ingress admission gate — any take(n) → granted
+// token discipline, like the engine's per-namespace weighted buckets —
+// into a module, so future chains can run admission inside the pipeline
+// instead of at ingress. Packets beyond the granted count are
+// drop-masked before the verdict stage (they skip classification and
+// cost charging, exactly like the ingress gate's refusals skip the
+// ring). The engine's production admission stays at ingress; this is
+// the chain-shaped form of the same contract.
+type Admission struct {
+	// Take requests n admission tokens and returns how many were
+	// granted (0..n). Called once per burst with the burst's unmasked
+	// packet count.
+	Take func(n int) int
+	// OnThrottle, when set, observes each refused packet count (for
+	// counter plumbing). Called only when packets were refused.
+	OnThrottle func(refused int)
+}
+
+// Name implements Module.
+func (m *Admission) Name() string { return "admission" }
+
+// ProcessBurst implements Module.
+func (m *Admission) ProcessBurst(ctx *BurstCtx) {
+	n := ctx.Len() - ctx.MaskedDrops()
+	if n == 0 {
+		return
+	}
+	granted := m.Take(n)
+	if granted >= n {
+		return
+	}
+	// Refuse from the tail, preserving the granted prefix: the ingress
+	// gate admits in arrival order, and so does the adapter.
+	seen := 0
+	for i := 0; i < ctx.Len(); i++ {
+		if ctx.Dropped(i) {
+			continue
+		}
+		if seen >= granted {
+			ctx.MarkDrop(i)
+		}
+		seen++
+	}
+	if m.OnThrottle != nil {
+		m.OnThrottle(n - granted)
+	}
+}
+
+// Flush implements Module (admission stages nothing).
+func (m *Admission) Flush() {}

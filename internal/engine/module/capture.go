@@ -1,0 +1,118 @@
+package module
+
+import (
+	"sync"
+
+	"github.com/innetworkfiltering/vif/internal/filter"
+)
+
+// DefaultCaptureBuf bounds a capture tap's retained packet ring when the
+// caller passes 0.
+const DefaultCaptureBuf = 1024
+
+// CapturedPacket is one sampled packet copied out of the data path: the
+// canonical flow key (packet.FiveTuple flow-key rendering, shared with
+// the packet tracer), the verdict as of the tap's chain position (0 when
+// the tap runs before the verdict stage), and the placement of the
+// packet.
+type CapturedPacket struct {
+	Flow    string
+	Verdict filter.Verdict
+	Shard   int
+	NS      int
+	Size    uint16
+}
+
+// Capture is a pdump-style sampled capture tap: every Nth packet through
+// the chain position it occupies is copied (flow key, verdict, size)
+// into a bounded ring. It is verdict-neutral — it never touches
+// verdicts or the drop mask — so it can sit anywhere in a chain; placed
+// after the verdict stage it records decisions too. One instance per
+// shard: the sampling counter is worker-owned. Snapshot and Captured
+// are safe from any goroutine (the ring is mutex-guarded; the mutex is
+// taken only for the 1-in-N sampled packets, not per packet).
+type Capture struct {
+	every uint64
+	ctr   uint64 // worker-owned packet counter
+	key   []byte // worker-owned flow-key scratch
+
+	mu    sync.Mutex
+	ring  []CapturedPacket
+	next  int
+	total uint64
+}
+
+// NewCapture builds a tap sampling one packet in every (1-in-every),
+// retaining the most recent buf captures (DefaultCaptureBuf when 0).
+// every < 1 is clamped to 1 (capture everything).
+func NewCapture(every, buf int) *Capture {
+	if every < 1 {
+		every = 1
+	}
+	if buf <= 0 {
+		buf = DefaultCaptureBuf
+	}
+	return &Capture{every: uint64(every), ring: make([]CapturedPacket, 0, buf)}
+}
+
+// Name implements Module.
+func (c *Capture) Name() string { return "capture" }
+
+// ProcessBurst implements Module.
+func (c *Capture) ProcessBurst(ctx *BurstCtx) {
+	n := uint64(ctx.Len())
+	// First sampled offset in this burst: the smallest i with
+	// (ctr+i) % every == 0.
+	off := (c.every - c.ctr%c.every) % c.every
+	c.ctr += n
+	if off >= n {
+		return
+	}
+	for i := off; i < n; i += c.every {
+		d := &ctx.Pkts[i]
+		c.key = d.Tuple.AppendFlowKey(c.key[:0])
+		cp := CapturedPacket{
+			Flow:  string(c.key), // copy — the scratch is reused
+			Shard: ctx.Shard,
+			NS:    ctx.NS,
+			Size:  d.Size,
+		}
+		if int(i) < len(ctx.Verdicts) {
+			cp.Verdict = ctx.Verdicts[i]
+		}
+		c.record(cp)
+	}
+}
+
+func (c *Capture) record(cp CapturedPacket) {
+	c.mu.Lock()
+	if len(c.ring) < cap(c.ring) {
+		c.ring = append(c.ring, cp)
+	} else {
+		c.ring[c.next] = cp
+		c.next = (c.next + 1) % len(c.ring)
+	}
+	c.total++
+	c.mu.Unlock()
+}
+
+// Flush implements Module (captures publish immediately).
+func (c *Capture) Flush() {}
+
+// Captured is the total number of packets sampled since creation
+// (including ones the bounded ring has since evicted).
+func (c *Capture) Captured() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.total
+}
+
+// Snapshot copies the retained captures, oldest first.
+func (c *Capture) Snapshot() []CapturedPacket {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]CapturedPacket, 0, len(c.ring))
+	out = append(out, c.ring[c.next:]...)
+	out = append(out, c.ring[:c.next]...)
+	return out
+}

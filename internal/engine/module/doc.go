@@ -1,0 +1,30 @@
+// Package module is the shard worker's pluggable burst pipeline: the
+// fixed classify → sketch → charge sequence the engine once hard-coded,
+// decomposed into composable stages (Module) run over a shared per-burst
+// scratch arena (BurstCtx) by a per-(namespace, shard) Chain. New
+// per-packet behaviors — sampled capture taps, admission adapters, rate
+// limiters — become modules appended to a chain instead of engine
+// surgery.
+//
+// Concurrency contract: a Chain and its BurstCtx are owned by exactly one
+// shard worker goroutine; ProcessBurst and Flush are never called
+// concurrently, so modules keep plain (non-atomic) burst state. Anything
+// a module exposes to other goroutines (the capture tap's Snapshot, the
+// chain's sampled stage costs) must be independently synchronized —
+// atomics or a mutex touched off the per-packet path. Chains are swapped
+// atomically with the namespace view tables (copy-on-write), never
+// mutated in place: an in-flight burst always runs against exactly one
+// chain.
+//
+// Invariants: modules may set drop-mask bits but never clear one; a
+// masked packet is never delivered (the verdict stage writes it
+// VerdictDrop before classification, and the engine treats mask bits set
+// after the verdict stage as overriding an allow). Verdicts are either
+// absent (before the verdict stage) or exactly one per packet. Modules
+// must not retain references into BurstCtx slices past ProcessBurst —
+// the arena is reused by the next burst — and must copy anything they
+// keep. Flush is idempotent: flushing an already-flushed burst is a
+// no-op. Under these rules the engine's accounting identity
+// Allowed+Dropped+Faulted+Orphaned == Processed holds for any chain; the
+// moduletest package property-checks all of it for third-party modules.
+package module

@@ -1,0 +1,108 @@
+package module_test
+
+import (
+	"encoding/binary"
+	"math/rand"
+	"testing"
+
+	"github.com/innetworkfiltering/vif/internal/engine/module"
+	"github.com/innetworkfiltering/vif/internal/packet"
+)
+
+// FuzzModuleChainEquivalence: for an arbitrary burst and an arbitrary
+// placement of verdict-neutral modules (taps, uncapped admission, nops)
+// among the core stages, the chain's verdicts must be exactly the
+// filter-only chain's verdicts — neutrality is a contract, not a
+// convention. Both chains run identically-constructed filters, so any
+// divergence is a module touching state it must not.
+func FuzzModuleChainEquivalence(f *testing.F) {
+	f.Add([]byte{}, int64(1))
+	f.Add([]byte{0x01, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07, 0x08, 0x09, 0x0a, 0x0b}, int64(7))
+	seed := make([]byte, 11*67)
+	for i := range seed {
+		seed[i] = byte(i * 31)
+	}
+	f.Add(seed, int64(42))
+
+	f.Fuzz(func(t *testing.T, data []byte, order int64) {
+		pkts := fuzzBurst(data)
+
+		// Reference: the core stages alone.
+		fRef := confFilter(t, 16)
+		ref := module.NewChain(nil,
+			&module.Classify{F: fRef}, &module.Sketch{F: fRef}, &module.Charge{F: fRef})
+
+		// Candidate: the same core order with verdict-neutral modules
+		// spliced in at rng-chosen positions.
+		fCand := confFilter(t, 16)
+		core := []module.Module{
+			&module.Classify{F: fCand}, &module.Sketch{F: fCand}, &module.Charge{F: fCand}}
+		neutral := []module.Module{
+			module.NewCapture(2, 32),
+			&module.Admission{Take: func(n int) int { return n }},
+			nop{},
+		}
+		rng := rand.New(rand.NewSource(order))
+		rng.Shuffle(len(neutral), func(i, j int) { neutral[i], neutral[j] = neutral[j], neutral[i] })
+		mods := make([]module.Module, 0, len(core)+len(neutral))
+		mods = append(mods, core...)
+		for _, m := range neutral {
+			at := rng.Intn(len(mods) + 1)
+			mods = append(mods[:at], append([]module.Module{m}, mods[at:]...)...)
+		}
+		cand := module.NewChain(nil, mods...)
+
+		var refCtx, candCtx module.BurstCtx
+		refCtx.Reset(0, 1, pkts, nil)
+		candCtx.Reset(0, 1, append([]packet.Descriptor{}, pkts...), nil)
+		ref.Run(&refCtx, nil, false)
+		cand.Run(&candCtx, nil, false)
+
+		if len(refCtx.Verdicts) != len(candCtx.Verdicts) {
+			t.Fatalf("verdict count diverges: %d vs %d (order %d)",
+				len(refCtx.Verdicts), len(candCtx.Verdicts), order)
+		}
+		for i := range refCtx.Verdicts {
+			if refCtx.Verdicts[i] != candCtx.Verdicts[i] {
+				t.Fatalf("packet %d: verdict diverges: %v vs %v (order %d, tuple %s)",
+					i, refCtx.Verdicts[i], candCtx.Verdicts[i], order, pkts[i].Tuple)
+			}
+		}
+		if candCtx.MaskedDrops() != refCtx.MaskedDrops() {
+			t.Fatalf("neutral modules changed the drop mask: %d vs %d",
+				candCtx.MaskedDrops(), refCtx.MaskedDrops())
+		}
+	})
+}
+
+// fuzzBurst decodes up to 256 descriptors, 11 bytes each, biasing half
+// the flows toward the conformance filter's victim prefix so both
+// verdict classes appear.
+func fuzzBurst(data []byte) []packet.Descriptor {
+	const rec = 11
+	n := len(data) / rec
+	if n > 256 {
+		n = 256
+	}
+	victim := packet.MustParseIP("192.0.2.0")
+	pkts := make([]packet.Descriptor, n)
+	for i := 0; i < n; i++ {
+		b := data[i*rec : (i+1)*rec]
+		tup := packet.FiveTuple{
+			SrcIP:   binary.LittleEndian.Uint32(b[0:4]),
+			DstIP:   binary.LittleEndian.Uint32(b[4:8]),
+			SrcPort: binary.LittleEndian.Uint16(b[8:10]),
+			DstPort: 53,
+			Proto:   packet.ProtoUDP,
+		}
+		if b[10]%2 == 0 {
+			tup.DstIP = victim | uint32(b[10])
+		}
+		if b[10]%3 == 0 {
+			tup.Proto = packet.ProtoTCP
+			tup.DstPort = 443
+		}
+		pkts[i] = packet.Descriptor{Tuple: tup, Size: uint16(64 + int(b[10])*4), NS: 1}
+	}
+	return pkts
+}

@@ -1,0 +1,95 @@
+package module
+
+import (
+	"github.com/innetworkfiltering/vif/internal/filter"
+	"github.com/innetworkfiltering/vif/internal/packet"
+)
+
+// Module is one composable burst-pipeline stage. Implementations follow
+// the package contract (see the package comment): single-goroutine
+// ProcessBurst/Flush, no retained BurstCtx references, monotone drop
+// mask, idempotent Flush.
+type Module interface {
+	// Name identifies the stage in metrics (vif_shard_stage_ns_per_packet)
+	// and chain dumps. Stable and non-empty.
+	Name() string
+	// ProcessBurst transforms the burst in place: decide verdicts, mask
+	// drops, observe packets, update module state.
+	ProcessBurst(ctx *BurstCtx)
+	// Flush forces out any per-burst state the module staged (the sketch
+	// and charge stages re-issue their idempotent halves; stateless
+	// modules no-op). Must be idempotent.
+	Flush()
+}
+
+// BurstCtx is the shared per-burst scratch arena a chain's modules
+// operate on. One instance is owned by each shard worker and reused for
+// every burst, so modules must not retain references into its slices.
+// Pkts is the namespace run dequeued from the ring; Verdicts is parallel
+// to Pkts once a verdict stage ran (empty before); the drop mask marks
+// packets that must not be delivered regardless of verdict.
+type BurstCtx struct {
+	// Shard and NS identify the (shard, namespace) cell the burst belongs
+	// to.
+	Shard int
+	NS    int
+	// Pkts is the burst. Modules may read descriptors freely but must not
+	// reorder, grow, or shrink the slice — the engine's verdict fan-out
+	// and trace completion index into it positionally.
+	Pkts []packet.Descriptor
+	// Verdicts is the per-packet decision, parallel to Pkts after the
+	// verdict stage ran (len 0 before). A verdict stage must leave
+	// exactly len(Pkts) verdicts. Chains hand the slice back to the
+	// worker's pool, so modules growing it must do so via append/resize
+	// on the field itself.
+	Verdicts []filter.Verdict
+
+	// drop is the mask of force-dropped packets, one bit per packet.
+	// Bits are set via MarkDrop and never cleared within a burst.
+	drop   []uint64
+	masked int
+
+	// pktScratch/vScratch are the compaction arena the verdict stage uses
+	// when earlier modules masked packets (the masked ones skip
+	// classification entirely).
+	pktScratch []packet.Descriptor
+	vScratch   []filter.Verdict
+}
+
+// Reset re-arms the arena for a new burst, clearing the mask and the
+// verdicts while keeping the backing arrays.
+func (c *BurstCtx) Reset(shard, ns int, pkts []packet.Descriptor, verdicts []filter.Verdict) {
+	c.Shard, c.NS = shard, ns
+	c.Pkts = pkts
+	c.Verdicts = verdicts[:0]
+	words := (len(pkts) + 63) / 64
+	if cap(c.drop) < words {
+		c.drop = make([]uint64, words)
+	} else {
+		c.drop = c.drop[:words]
+		for i := range c.drop {
+			c.drop[i] = 0
+		}
+	}
+	c.masked = 0
+}
+
+// Len is the burst length.
+func (c *BurstCtx) Len() int { return len(c.Pkts) }
+
+// MarkDrop sets packet i's drop bit. Idempotent; bits are never cleared.
+func (c *BurstCtx) MarkDrop(i int) {
+	w, b := i>>6, uint64(1)<<(uint(i)&63)
+	if c.drop[w]&b == 0 {
+		c.drop[w] |= b
+		c.masked++
+	}
+}
+
+// Dropped reports whether packet i's drop bit is set.
+func (c *BurstCtx) Dropped(i int) bool {
+	return c.drop[i>>6]&(uint64(1)<<(uint(i)&63)) != 0
+}
+
+// MaskedDrops is the number of distinct packets marked dropped.
+func (c *BurstCtx) MaskedDrops() int { return c.masked }

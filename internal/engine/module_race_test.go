@@ -1,0 +1,181 @@
+package engine
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"github.com/innetworkfiltering/vif/internal/engine/module"
+	"github.com/innetworkfiltering/vif/internal/filter"
+	"github.com/innetworkfiltering/vif/internal/telemetry"
+)
+
+// These tests are the module pipeline's -race coverage (CI runs this
+// package with -race -count=2): chains being swapped by the control
+// plane while workers run in-flight bursts through them, and module
+// panics crossing the worker supervisor.
+
+// TestModuleChainSwapRace hammers the two chain-replacement paths —
+// in-place rule deltas (chains persist) and full namespace reconfigures
+// (chains rebuilt from NamespaceConfig.Modules) — under live traffic.
+// A worker must always run one consistent (filter, chain) pair: the race
+// detector sees any torn swap, and the drain invariant catches any lost
+// burst.
+func TestModuleChainSwapRace(t *testing.T) {
+	set := nsTestRules(t, 32, "192.0.2.0/24", 71)
+	tel := telemetry.New(telemetry.Config{Shards: 2, TraceEvery: -1, JournalSize: 256})
+	eng, err := New(Config{Shards: 2, Telemetry: tel})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Every generation's taps, so the final subset check covers chains
+	// that were swapped out mid-run too.
+	var tapMu sync.Mutex
+	var taps []*module.Capture
+	modules := func(shard int) []module.Module {
+		tap := module.NewCapture(7, 64)
+		tapMu.Lock()
+		taps = append(taps, tap)
+		tapMu.Unlock()
+		return []module.Module{tap}
+	}
+
+	ns, err := eng.AttachNamespace(NamespaceConfig{
+		Filters: testFilters(t, set, 2), Modules: modules,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Start(); err != nil {
+		t.Fatal(err)
+	}
+
+	descs := nsTestDescriptors(t, set, 4096, "192.0.2.9", uint16(ns), 72)
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; !stop.Load(); i = (i + 256) % 4096 {
+			eng.InjectBatch(descs[i : i+256])
+		}
+	}()
+
+	add := renumber(nsTestRules(t, 4, "192.0.2.0/24", 73).Rules, 9000)
+	for round := 0; round < 24; round++ {
+		if round%2 == 0 {
+			// In-place deltas: rule views rotate twice under the live
+			// chain (add, then remove — the following full reconfigure
+			// resets to the base set either way).
+			d := filter.Delta{Adds: add}
+			if err := eng.ReconfigureNamespaceDelta(ns, []filter.Delta{d, d}, nil, nil); err != nil {
+				t.Errorf("round %d delta add: %v", round, err)
+			}
+			d = filter.Delta{Removes: add}
+			if err := eng.ReconfigureNamespaceDelta(ns, []filter.Delta{d, d}, nil, nil); err != nil {
+				t.Errorf("round %d delta remove: %v", round, err)
+			}
+		} else {
+			// Full reconfigure: fresh filters, fresh chains, COW swap
+			// racing the workers' in-flight bursts.
+			err := eng.ReconfigureNamespace(ns, NamespaceConfig{
+				Filters: testFilters(t, set, 2), Modules: modules,
+			})
+			if err != nil {
+				t.Errorf("round %d reconfigure: %v", round, err)
+			}
+		}
+	}
+	stop.Store(true)
+	wg.Wait()
+	eng.WaitDrained()
+	eng.Stop()
+
+	m := eng.Metrics()
+	if m.Processed != m.Accepted {
+		t.Fatalf("lost bursts across swaps: processed %d != accepted %d", m.Processed, m.Accepted)
+	}
+	if got := m.Allowed + m.Dropped + m.Faulted + m.Orphaned; got != m.Processed {
+		t.Fatalf("verdict classes %d != processed %d", got, m.Processed)
+	}
+	// Sampled captures across every chain generation are a subset of
+	// what the engine processed.
+	var captured uint64
+	tapMu.Lock()
+	for _, tap := range taps {
+		captured += tap.Captured()
+	}
+	tapMu.Unlock()
+	if captured == 0 || captured > m.Processed {
+		t.Fatalf("capture taps sampled %d of %d processed", captured, m.Processed)
+	}
+}
+
+// TestModulePanicRecoveryRace: a buggy configured module panicking
+// mid-chain under concurrent producers must behave exactly like any
+// worker panic — supervisor restart, burst folded into faulted, no lost
+// packets — with the race detector watching the restart path.
+func TestModulePanicRecoveryRace(t *testing.T) {
+	set := testRules(t, 32)
+	tel := telemetry.New(telemetry.Config{Shards: 2, TraceEvery: -1, JournalSize: 256})
+	eng, err := New(Config{
+		Filters:   testFilters(t, set, 2),
+		Telemetry: tel,
+		Modules: func(shard int) []module.Module {
+			return []module.Module{&flakyModule{every: 50}}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Start(); err != nil {
+		t.Fatal(err)
+	}
+
+	descs := testDescriptors(t, set, 8192)
+	var accepted atomic.Uint64
+	var wg sync.WaitGroup
+	for p := 0; p < 2; p++ {
+		wg.Add(1)
+		go func(off int) {
+			defer wg.Done()
+			for lo := off * 4096; lo < off*4096+4096; lo += 256 {
+				accepted.Add(uint64(eng.InjectBatch(descs[lo : lo+256])))
+			}
+		}(p)
+	}
+	wg.Wait()
+	eng.WaitDrained()
+	eng.Stop()
+
+	m := eng.Metrics()
+	if m.Restarts == 0 || m.Faulted == 0 {
+		t.Fatalf("module panics unaccounted: restarts=%d faulted=%d", m.Restarts, m.Faulted)
+	}
+	if m.Processed != m.Accepted || m.Accepted != accepted.Load() {
+		t.Fatalf("drain invariant broken: accepted %d (produced %d), processed %d",
+			m.Accepted, accepted.Load(), m.Processed)
+	}
+	if got := m.Allowed + m.Dropped + m.Faulted + m.Orphaned; got != m.Processed {
+		t.Fatalf("verdict classes %d != processed %d", got, m.Processed)
+	}
+	if !journalHas(tel, telemetry.EvWorkerRestart) {
+		t.Fatal("no worker_restart journaled for module panics")
+	}
+}
+
+// flakyModule panics on every Nth burst it sees (worker-owned counter).
+type flakyModule struct {
+	every int
+	seen  int
+}
+
+func (f *flakyModule) Name() string { return "flaky" }
+func (f *flakyModule) ProcessBurst(ctx *module.BurstCtx) {
+	f.seen++
+	if f.seen%f.every == 0 {
+		panic("flaky module blew up mid-chain")
+	}
+}
+func (f *flakyModule) Flush() {}

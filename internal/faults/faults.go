@@ -25,10 +25,14 @@ const (
 	// AuditFailure corrupts an epoch audit so the victim-side check
 	// reports a violation where none occurred.
 	AuditFailure Point = "audit_failure"
+	// ModuleFault panics a burst module mid-burst: the chain consults the
+	// point before each module invocation, so a fire exercises the worker
+	// supervisor's faulted-packet accounting from inside the pipeline.
+	ModuleFault Point = "module_fault"
 )
 
 // points is the closed universe, in the order the state array uses.
-var points = [...]Point{RingFull, PagingSpike, DeltaApply, AuditFailure}
+var points = [...]Point{RingFull, PagingSpike, DeltaApply, AuditFailure, ModuleFault}
 
 // ErrInjected is the error surfaced by hooks that fail an operation
 // (rather than silently degrade it) when their point fires.

@@ -237,6 +237,11 @@ type Filter struct {
 	// scratch is the batch working set (flow dedup table, log-key staging).
 	scratch batchScratch
 
+	// burst is the staging area between the decomposed burst stages
+	// (ClassifyBurst → ApplyBurst → ChargeBurst, see burst.go). Owned by
+	// the filter thread.
+	burst burstState
+
 	// rec, when set, samples 1-in-N ProcessBatch calls and splits the
 	// sampled burst's time into the verdict and charge stage histograms.
 	// Owned by whichever single thread drives the data path (the filter-
@@ -717,104 +722,29 @@ func (sc *batchScratch) lookupOrAdd(t packet.FiveTuple, h uint64) (int, bool) {
 // one SHA-256 evaluation. All cost-model terms are accumulated into a
 // CostVector and charged to the enclave meter once per burst.
 func (f *Filter) ProcessBatch(ds []packet.Descriptor, verdicts []Verdict) []Verdict {
-	n := len(ds)
-	if cap(verdicts) < n {
-		verdicts = make([]Verdict, n)
-	} else {
-		verdicts = verdicts[:n]
+	if len(ds) == 0 {
+		return verdicts[:0]
 	}
-	if n == 0 {
-		return verdicts
-	}
-
-	f.encl.TickN(uint64(n)) // the clock advances; the decision path never reads it
-	view := f.view.Load()
-	model := f.encl.Model()
-	var cv enclave.CostVector
 
 	// Stage timing: 1-in-N bursts pay two extra clock reads per stage;
 	// the rest pay one counter increment in Sample. The split point is
-	// verdict (dedup + classify) vs charge (applyBatch + meter).
+	// verdict (dedup + classify) vs charge (applyBatch + meter) — the same
+	// boundary the decomposed burst stages in burst.go expose.
 	sampled := f.rec.Sample()
 	var verdictStart time.Time
 	if sampled {
 		verdictStart = time.Now()
 	}
 
-	switch f.cfg.Mode {
-	case CopyModeFull:
-		cv.FixedPackets = n
-		cv.FullCopies = n
-		for i := range ds {
-			cv.FullCopyBytes += int(ds[i].Size)
-		}
-	case CopyModeNearZero:
-		cv.FixedPackets = n
-		cv.CopyInBytes = n * descriptorBytes
-	case CopyModeNative:
-		// No boundary crossing; rule access costs are charged at native
-		// rates below via the access-ref terms.
-	}
-
-	sc := &f.scratch
-	sc.reset(n)
-	// Pass 1 — dedup + exact table. runIdx short-circuits runs of
-	// consecutive packets of one flow (the packet-train structure GRO/GSO
-	// exists for): only the first packet of a run pays the five-tuple hash
-	// and the dedup probe; the rest are a 16-byte compare. Behavior is
-	// identical to probing every packet — the run's tuple is bit-equal, so
-	// the probe could only return the same entry. Flows the exact table
-	// misses are staged for the breadth-first classifier pass.
-	runIdx := -1
-	for i := range ds {
-		d := &ds[i]
-		var ei int
-		if runIdx >= 0 && d.Tuple == ds[i-1].Tuple {
-			ei = runIdx
-		} else {
-			var fresh bool
-			ei, fresh = sc.lookupOrAdd(d.Tuple, d.Tuple.Hash64())
-			if fresh {
-				ent := &sc.ents[ei]
-				cv.ExactProbes++ // the miss probe still costs
-				if v, ok := f.exact.get(ent.tuple, ent.hash); ok {
-					ent.verdict, ent.class = v, classExact
-				} else {
-					sc.clsTuples = append(sc.clsTuples, ent.tuple)
-					sc.clsEnts = append(sc.clsEnts, int32(ei))
-				}
-			}
-			runIdx = ei
-		}
-		ent := &sc.ents[ei]
-		ent.count++
-		ent.bytes += uint64(d.Size)
-		sc.pktEnt[i] = int32(ei)
-	}
-
-	// Pass 2 — the burst's distinct exact-miss flows go through the
-	// compiled classifier as one breadth-first batch (per-attribute index
-	// probes overlap across flows), then each verdict is finished with the
-	// same cost charging and rule semantics the scalar path had.
-	if len(sc.clsTuples) > 0 {
-		res := view.prog.ClassifyBatch(sc.clsTuples, &sc.cls)
-		for k, ei := range sc.clsEnts {
-			f.finishRule(&sc.ents[ei], res[k], view, model, &cv)
-		}
-	}
-
-	// Pass 3 — fan verdicts out per descriptor.
-	for i := range ds {
-		verdicts[i] = sc.ents[sc.pktEnt[i]].verdict
-	}
+	verdicts = f.ClassifyBurst(ds, verdicts)
 
 	var chargeStart time.Time
 	if sampled {
 		chargeStart = time.Now()
 		f.rec.Record(telemetry.StageVerdict, chargeStart.Sub(verdictStart))
 	}
-	f.applyBatch(&cv)
-	f.encl.ChargeBatch(cv)
+	f.ApplyBurst()
+	f.ChargeBurst()
 	if sampled {
 		f.rec.Record(telemetry.StageCharge, time.Since(chargeStart))
 	}

@@ -10,6 +10,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"net/netip"
+	"strconv"
 )
 
 // Protocol is an IPv4 protocol number. Only the protocols VIF's volumetric
@@ -93,10 +94,38 @@ func (t FiveTuple) Hash64() uint64 {
 	return h
 }
 
-// String renders the tuple as "proto src:port->dst:port".
+// String renders the tuple as "proto src:port->dst:port". It is the
+// canonical flow-key rendering: the packet tracer's Trace.Flow, the
+// capture tap, and LookupTrace-style diagnostics all format through here
+// (via AppendFlowKey) so a flow prints identically everywhere.
 func (t FiveTuple) String() string {
-	return fmt.Sprintf("%s %s:%d->%s:%d",
-		t.Proto, FormatIP(t.SrcIP), t.SrcPort, FormatIP(t.DstIP), t.DstPort)
+	return string(t.AppendFlowKey(nil))
+}
+
+// AppendFlowKey appends the canonical flow-key rendering of the tuple
+// ("proto src:port->dst:port") to dst and returns the extended slice. It
+// is the allocation-free form of String for hot-path consumers (the
+// sampled capture tap) that format into reused buffers.
+func (t FiveTuple) AppendFlowKey(dst []byte) []byte {
+	dst = append(dst, t.Proto.String()...)
+	dst = append(dst, ' ')
+	dst = appendIP(dst, t.SrcIP)
+	dst = append(dst, ':')
+	dst = strconv.AppendUint(dst, uint64(t.SrcPort), 10)
+	dst = append(dst, '-', '>')
+	dst = appendIP(dst, t.DstIP)
+	dst = append(dst, ':')
+	return strconv.AppendUint(dst, uint64(t.DstPort), 10)
+}
+
+func appendIP(dst []byte, ip uint32) []byte {
+	for i := 3; i >= 0; i-- {
+		dst = strconv.AppendUint(dst, uint64(ip>>(8*i)&0xff), 10)
+		if i > 0 {
+			dst = append(dst, '.')
+		}
+	}
+	return dst
 }
 
 // FormatIP renders a host-order uint32 IPv4 address in dotted-quad form.

@@ -17,6 +17,8 @@
 #                                             # (make bench-telemetry)
 #   ONLY=isolation scripts/bench_engine.sh    # just the overload-isolation
 #                                             # gate (make bench-isolation)
+#   ONLY=pipeline scripts/bench_engine.sh     # just the module-pipeline
+#                                             # gate (make bench-pipeline)
 #
 # Two quantities are recorded per shard count and must not be confused:
 #
@@ -72,6 +74,17 @@
 #                       — not host parallelism. If this gate trips, the
 #                       admission gate is leaking flood work onto the
 #                       shared rings or filters.
+#   pipeline_overhead_ge_097
+#                       wall Mpps with the worker inner loop decomposed
+#                       into the classify→sketch→charge module chain must
+#                       stay >= 0.97x the legacy fused loop on the same
+#                       2-shard workload. Enforced always: the chain's
+#                       extra per-burst bill is a few interface dispatches
+#                       and the shared BurstCtx bookkeeping — none of it
+#                       per-packet and none of it host-dependent. Like the
+#                       telemetry gate, each side runs PIPELINE_COUNT
+#                       times (default 3) and the gate compares best-of to
+#                       keep 1-CPU scheduling noise out of a 3% margin.
 #   delta_5x_10k        a ≤1%-of-rules delta reinstall at 10k rules must
 #   delta_5x_25k        be >= 5x faster than the full rebuild at the same
 #                       size (ditto at 25k). Enforced always: the speedup
@@ -99,7 +112,7 @@ else
 fi
 
 : > "$tmp"
-if [ "$only" != "telemetry" ]; then
+if [ "$only" != "telemetry" ] && [ "$only" != "pipeline" ]; then
     go test -run '^$' -bench "$pattern" \
         -benchtime "$benchtime" -count 1 . | tee -a "$tmp"
 fi
@@ -110,6 +123,13 @@ fi
 if [ -z "$only" ] || [ "$only" = "telemetry" ]; then
     go test -run '^$' -bench 'BenchmarkEngineTelemetry' \
         -benchtime "$benchtime" -count "${TELEMETRY_COUNT:-3}" . | tee -a "$tmp"
+fi
+
+# The module-pipeline pair (legacy fused loop vs decomposed chain) gets
+# the same best-of treatment as telemetry, for the same reason.
+if [ -z "$only" ] || [ "$only" = "pipeline" ]; then
+    go test -run '^$' -bench 'BenchmarkEngineModulePipeline' \
+        -benchtime "$benchtime" -count "${PIPELINE_COUNT:-3}" . | tee -a "$tmp"
 fi
 
 # The Reconfigure sweeps get their own iteration budgets: a 25k-rule
@@ -203,6 +223,14 @@ awk -v benchtime="$benchtime" -v only="$only" \
     }
     next
 }
+/^BenchmarkEngineModulePipelineLegacy/ {
+    for (i = 2; i < NF; i++) if ($(i+1) == "wall-Mpps" && $i + 0 > pipelegacy) pipelegacy = $i + 0
+    next
+}
+/^BenchmarkEngineModulePipelineChain/ {
+    for (i = 2; i < NF; i++) if ($(i+1) == "wall-Mpps" && $i + 0 > pipechain) pipechain = $i + 0
+    next
+}
 /^BenchmarkEngineTelemetryOff/ {
     for (i = 2; i < NF; i++) if ($(i+1) == "wall-Mpps" && $i + 0 > teloff) teloff = $i + 0
 }
@@ -222,6 +250,20 @@ END {
     telgate = (telratio >= 0.97) ? "pass" : "FAIL"
     isoratio = (isosolo > 0 && isoatk > 0) ? isoatk / isosolo : 0
     isogate = (isoratio >= 0.9) ? "pass" : "FAIL"
+    piperatio = (pipelegacy > 0 && pipechain > 0) ? pipechain / pipelegacy : 0
+    pipegate = (piperatio >= 0.97) ? "pass" : "FAIL"
+
+    if (only == "pipeline") {
+        printf "{\n"
+        printf "  \"benchmark\": \"BenchmarkEngineModulePipeline\",\n"
+        printf "  \"benchtime\": \"%s\",\n", benchtime
+        printf "  \"host_cpus\": %d,\n", shcpus
+        printf "  \"go_version\": \"%s\",\n", gover
+        printf "  \"pipeline\": {\"legacy_mpps\": %.3f, \"chain_mpps\": %.3f, \"chain_over_legacy\": %.3f},\n", pipelegacy, pipechain, piperatio
+        printf "  \"gates\": {\"pipeline_overhead_ge_097\": \"%s\"}\n", pipegate
+        printf "}\n"
+        exit
+    }
 
     if (only == "isolation") {
         printf "{\n"
@@ -297,11 +339,12 @@ END {
     printf "  \"delta_speedup\": {\"10k\": %.1f, \"25k\": %.1f},\n", d10, d25
     printf "  \"inject\": {\"scalar_mpps\": %s, \"batch_mpps\": %s, \"batch_over_scalar\": %.2f},\n", scalar, batch, injratio
     printf "  \"telemetry\": {\"off_mpps\": %s, \"on_mpps\": %s, \"on_over_off\": %.3f},\n", teloff, telon, telratio
+    printf "  \"pipeline\": {\"legacy_mpps\": %.3f, \"chain_mpps\": %.3f, \"chain_over_legacy\": %.3f},\n", pipelegacy, pipechain, piperatio
     printf "  \"isolation\": {\"solo_quiet_mpps\": %.3f, \"attacked_quiet_mpps\": %.3f, \"attacked_over_solo\": %.3f, \"attacker_throttled\": %.0f},\n", isosolo, isoatk, isoratio, isothr
     printf "  \"wall_scaling_4_over_1\": %.2f,\n", wallscale
     printf "  \"multivictim_4_over_1\": %.2f,\n", mvratio
     printf "  \"aggregate_scaling_8_over_1\": %.2f,\n", aggscale
-    printf "  \"gates\": {\"inject_batch_2x\": \"%s\", \"wall_4_gt_1\": \"%s\", \"multivictim_4_ge_07\": \"%s\", \"telemetry_overhead_ge_097\": \"%s\", \"quiet_victim_ge_09\": \"%s\", \"delta_5x_10k\": \"%s\", \"delta_5x_25k\": \"%s\"}\n", injgate, wallgate, mvgate, telgate, isogate, d10gate, d25gate
+    printf "  \"gates\": {\"inject_batch_2x\": \"%s\", \"wall_4_gt_1\": \"%s\", \"multivictim_4_ge_07\": \"%s\", \"telemetry_overhead_ge_097\": \"%s\", \"pipeline_overhead_ge_097\": \"%s\", \"quiet_victim_ge_09\": \"%s\", \"delta_5x_10k\": \"%s\", \"delta_5x_25k\": \"%s\"}\n", injgate, wallgate, mvgate, telgate, pipegate, isogate, d10gate, d25gate
     printf "}\n"
 }' "$tmp" > "$out"
 

@@ -3,9 +3,9 @@
 #
 # Fails when:
 #   - any internal package is missing a "// Package <name>" comment;
-#   - any of the load-bearing packages (trie, classify, engine, filter,
-#     pipeline, enclave, lb, telemetry, faults) is missing its dedicated doc.go —
-#     the file that states
+#   - any of the load-bearing packages (trie, classify, engine,
+#     engine/module, filter, pipeline, enclave, lb, telemetry, faults) is
+#     missing its dedicated doc.go — the file that states
 #     the package's role, concurrency contract, and invariants;
 #   - a required docs/ file is gone, or README stopped linking it.
 #
@@ -25,7 +25,7 @@ for dir in internal/*/; do
     fi
 done
 
-for p in trie classify engine filter pipeline enclave lb telemetry faults; do
+for p in trie classify engine engine/module filter pipeline enclave lb telemetry faults; do
     if [ ! -f "internal/$p/doc.go" ]; then
         echo "docs-check: internal/$p/doc.go missing (role + concurrency contract + invariants)" >&2
         fail=1
